@@ -1,0 +1,79 @@
+"""Ablation — GPU work-chunk size in Algorithm 1 (design decision D1).
+
+The paper fixes the GPU's per-dispatch share to num_wgs/10, "empirically
+found to minimise load imbalance and dispatch overhead" (§7).  This
+ablation sweeps the divisor: very small divisors (huge chunks) suffer
+load imbalance when the GPU is slow; very large divisors (tiny chunks)
+pay a dispatch overhead per chunk.  The sweet spot should sit in the
+middle — containing, or near, the paper's 10.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import DopSetting, simulate_execution
+from repro.workloads import make_gesummv, make_conv2d
+
+from conftest import print_table
+
+DIVISORS = (1, 2, 5, 10, 20, 50, 100, 320)
+
+
+@pytest.fixture(scope="module")
+def chunk_sweep(platform):
+    out = {}
+    for workload in (make_gesummv(n=16384, wg=256), make_conv2d(n=4096, wg=(16, 16))):
+        profile = workload.profile()
+        setting = DopSetting(platform.cpu.threads, 1.0)
+        times = [
+            simulate_execution(
+                profile, platform, setting, scheduler="dynamic",
+                chunk_divisor=divisor, run_key=(workload.key, "chunk"),
+            ).time_s
+            for divisor in DIVISORS
+        ]
+        out[workload.key.split("/")[0]] = np.array(times)
+    return out
+
+
+def test_ablation_chunk_divisor(benchmark, platform, chunk_sweep):
+    benchmark(lambda: int(np.argmin(chunk_sweep["GESUMMV"])))
+    rows = []
+    for name, times in chunk_sweep.items():
+        best = DIVISORS[int(np.argmin(times))]
+        rows.append([name] + [f"{t * 1e3:.2f}" for t in times] + [best])
+    print_table(
+        f"Ablation D1: dynamic-distribution time (ms) vs chunk divisor "
+        f"({platform.name}, ALL configuration)",
+        ["kernel"] + [f"1/{d}" for d in DIVISORS] + ["best"],
+        rows,
+    )
+    for name, times in chunk_sweep.items():
+        by_divisor = dict(zip(DIVISORS, times))
+        # coarse chunks (divisor 1-2) suffer load imbalance: the paper's
+        # 1/10 must clearly beat whole-workload GPU pushes
+        assert by_divisor[1] > by_divisor[10], name
+        # and 1/10 is within 2x of the sweep's best everywhere (for very
+        # memory-bound kernels our model rewards even finer chunks than
+        # the paper's hardware did; see EXPERIMENTS.md)
+        assert by_divisor[10] <= times.min() * 2.0, name
+
+
+def test_ablation_fine_chunks_plateau(benchmark, platform, chunk_sweep):
+    """Beyond ~1/50 the curve flattens: finer dispatch buys nothing more
+    (the dispatch overhead eats the remaining balance gain)."""
+    benchmark(lambda: dict(zip(DIVISORS, chunk_sweep["GESUMMV"])))
+    for name, times in chunk_sweep.items():
+        by_divisor = dict(zip(DIVISORS, times))
+        assert by_divisor[320] >= by_divisor[100] * 0.95, name
+
+
+def test_benchmark_chunked_simulation(benchmark, platform):
+    workload = make_gesummv(n=16384, wg=256)
+    profile = workload.profile()
+    setting = DopSetting(platform.cpu.threads, 1.0)
+    benchmark(
+        lambda: simulate_execution(
+            profile, platform, setting, chunk_divisor=10, run_key=("ab",)
+        )
+    )

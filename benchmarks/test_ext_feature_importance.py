@@ -1,0 +1,46 @@
+"""Extension — which Table-1 features drive the DoP selection?
+
+The paper motivates its feature set (§5.1) by the memory-bandwidth
+bottleneck: access-pattern counts and the configuration's utilisation
+levels should carry the signal.  CART impurity-decrease importances of the
+deployed DT make that quantitative.
+"""
+
+import numpy as np
+
+from repro.analysis.features import FEATURE_NAMES
+from repro.ml import DecisionTreeRegressor
+
+from conftest import print_table
+
+
+def test_ext_feature_importances(benchmark, platform, synthetic_dataset):
+    ds = synthetic_dataset
+    model = DecisionTreeRegressor()
+    model.fit(ds.feature_matrix(), ds.targets())
+    importances = benchmark(lambda: model.feature_importances(len(FEATURE_NAMES)))
+
+    order = np.argsort(importances)[::-1]
+    rows = [
+        [FEATURE_NAMES[i], f"{importances[i]:.3f}"]
+        for i in order
+    ]
+    print_table(
+        f"Extension: DT feature importances ({platform.name})",
+        ["feature", "importance"],
+        rows,
+    )
+
+    by_name = dict(zip(FEATURE_NAMES, importances))
+    # the configuration axes must matter: the model's whole job is to rank
+    # configurations for a fixed kernel
+    assert by_name["cpu_util"] + by_name["gpu_util"] > 0.2
+    # and the code/memory features must carry real signal too — otherwise
+    # per-kernel selection would be impossible
+    code_features = sum(
+        by_name[name]
+        for name in ("mem_constant", "mem_continuous", "mem_stride",
+                     "mem_random", "arith_int", "arith_float")
+    )
+    assert code_features > 0.05
+    assert np.isclose(importances.sum(), 1.0)

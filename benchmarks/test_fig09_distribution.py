@@ -1,0 +1,114 @@
+"""Figure 9 — dynamic vs. static workload distribution.
+
+Paper: across ~50 real-kernel/input-size combinations, Dopia's dynamic
+distribution achieves similar or *better* execution time than the best of
+19 static partitionings (5 %…95 % CPU share), because the dynamic scheme
+balances at a finer granularity than the 5 % static step; CPU-only and
+GPU-only are much slower on average.
+
+Reproduced: 14 kernels × 4 input scales (≥ 50 workloads); we report the
+normalised-to-static execution-time distribution for CPU / GPU / STATIC /
+DYNAMIC and assert the ordering of the means.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import best_static_time, distribution_stats
+from repro.core.baselines import baseline_configs
+from repro.sim import simulate_execution
+from repro.workloads import REAL_WORKLOAD_FACTORIES
+
+from conftest import print_table
+
+#: per-kernel input scales (fractions of the paper size)
+SCALES = (0.25, 0.5, 0.75, 1.0)
+
+
+def scaled_workloads():
+    out = []
+    for name, factory in REAL_WORKLOAD_FACTORIES.items():
+        for scale in SCALES:
+            if name == "SYR2K":
+                workload = factory(n=max(int(1024 * scale), 64))
+            elif name == "2DCONV":
+                workload = factory(n=max(int(8192 * scale), 64))
+            else:
+                kwargs = {"n": max(int(16384 * scale) // 256 * 256, 256)}
+                workload = factory(**kwargs)
+            out.append(workload)
+    return out
+
+
+@pytest.fixture(scope="module")
+def fig9_results(platform):
+    schemes = {"cpu": [], "gpu": [], "static": [], "dynamic": []}
+    configs = baseline_configs(platform)
+    for workload in scaled_workloads():
+        profile = workload.profile()
+        cpu = simulate_execution(
+            profile, platform, configs["cpu"].setting, run_key=(workload.key, "f9")
+        ).time_s
+        gpu = simulate_execution(
+            profile, platform, configs["gpu"].setting, run_key=(workload.key, "f9")
+        ).time_s
+        static, _ = best_static_time(workload, platform)
+        dynamic = simulate_execution(
+            profile, platform, configs["all"].setting,
+            scheduler="dynamic", run_key=(workload.key, "f9"),
+        ).time_s
+        schemes["cpu"].append(cpu / static)
+        schemes["gpu"].append(gpu / static)
+        schemes["static"].append(1.0)
+        schemes["dynamic"].append(dynamic / static)
+    return {k: np.array(v) for k, v in schemes.items()}
+
+
+def test_fig09_distribution_table(benchmark, platform, fig9_results):
+    benchmark(lambda: distribution_stats(fig9_results["dynamic"]))
+    rows = []
+    for name in ("cpu", "gpu", "static", "dynamic"):
+        stats = distribution_stats(fig9_results[name])
+        rows.append(
+            [name.upper()]
+            + [f"{stats[k]:.2f}" for k in ("mean", "median", "p25", "p75", "p5", "p95")]
+        )
+    print_table(
+        f"Figure 9: execution time normalised to best-static ({platform.name}, "
+        f"{len(fig9_results['dynamic'])} workloads)",
+        ["scheme", "mean", "median", "p25", "p75", "p5", "p95"],
+        rows,
+    )
+
+    dynamic = fig9_results["dynamic"]
+    # dynamic distribution is competitive with the best static split: the
+    # paper's DYNAMIC box has a median near 1 with a mean pulled up by a
+    # tail (its whiskers reach ~4x on Kaveri)
+    assert np.median(dynamic) < 1.35
+    assert dynamic.mean() < 1.7
+    # and single-device execution is worse on average than co-execution
+    assert fig9_results["cpu"].mean() > dynamic.mean()
+    assert fig9_results["gpu"].mean() > dynamic.mean()
+
+
+def test_fig09_dynamic_beats_static_somewhere(benchmark, platform, fig9_results):
+    """The paper's counter-intuitive result: dynamic can *beat* static
+    because it balances finer than the 5% grid."""
+    wins = benchmark(lambda: (fig9_results["dynamic"] < 1.0).any())
+    assert wins
+
+
+def test_fig09_at_least_50_workloads(benchmark, fig9_results):
+    count = benchmark(lambda: len(fig9_results["dynamic"]))
+    assert count >= 50
+
+
+def test_benchmark_dynamic_vs_static_point(benchmark, platform):
+    workload = scaled_workloads()[8]
+    profile = workload.profile()
+    setting = baseline_configs(platform)["all"].setting
+    benchmark(
+        lambda: simulate_execution(
+            profile, platform, setting, scheduler="dynamic", run_key=("bench",)
+        )
+    )

@@ -1,0 +1,95 @@
+"""Figure 11 — Euclidean distance error and normalised performance (64-fold CV).
+
+Paper: Dopia's mean Euclidean distance from the selected to the optimal
+configuration (normalised by √2) is ~15 % on Kaveri and ~22 % on Skylake —
+far below any fixed scheme — and its mean normalised performance against
+the exhaustive oracle is 94 % (Kaveri) / 92 % (Skylake), versus well below
+80 % for CPU/GPU/ALL.
+
+Reproduced with the shared grouped-CV DT selections.
+"""
+
+import numpy as np
+
+from repro.core import baseline_indices, distribution_stats, evaluate_scheme
+
+from conftest import print_table
+
+PAPER_PERF = {"kaveri": 0.941, "skylake": 0.922}
+PAPER_DIST = {"kaveri": 0.15, "skylake": 0.22}
+
+
+def _schemes(platform, dataset, dt_selection):
+    schemes = {}
+    for name, index in baseline_indices(platform).items():
+        schemes[name] = evaluate_scheme(
+            dataset.times, np.full(dataset.n_workloads, index), dataset.config_utils
+        )
+    schemes["dopia"] = evaluate_scheme(
+        dataset.times, dt_selection, dataset.config_utils
+    )
+    return schemes
+
+
+def test_fig11a_euclidean_distance(benchmark, platform, synthetic_dataset, dt_cv_selection):
+    schemes = benchmark(
+        lambda: _schemes(platform, synthetic_dataset, dt_cv_selection)
+    )
+    rows = []
+    for name, scheme in schemes.items():
+        stats = distribution_stats(scheme.distance_errors)
+        rows.append([name.upper(), f"{stats['mean']:.3f}", f"{stats['median']:.3f}",
+                     f"{stats['p75']:.3f}"])
+    print_table(
+        f"Figure 11a: Euclidean distance error ({platform.name}); "
+        f"paper Dopia mean = {PAPER_DIST[platform.name]:.2f}",
+        ["scheme", "mean", "median", "p75"],
+        rows,
+    )
+    dopia = schemes["dopia"].mean_distance
+    # Dopia is much closer to the optimum than every fixed scheme
+    for name in ("cpu", "gpu", "all"):
+        assert dopia < schemes[name].mean_distance
+    # and lands in the paper's band (≈0.15-0.22, we allow 0.05-0.35)
+    assert 0.05 <= dopia <= 0.35
+    # tail: 75th percentile within ~20-30% (paper's observation)
+    assert np.percentile(schemes["dopia"].distance_errors, 75) <= 0.45
+
+
+def test_fig11b_normalized_performance(benchmark, platform, synthetic_dataset, dt_cv_selection):
+    schemes = benchmark(
+        lambda: _schemes(platform, synthetic_dataset, dt_cv_selection)
+    )
+    rows = []
+    for name, scheme in schemes.items():
+        stats = distribution_stats(scheme.normalized_perf)
+        rows.append([name.upper(), f"{stats['mean']:.3f}", f"{stats['median']:.3f}",
+                     f"{stats['p25']:.3f}"])
+    print_table(
+        f"Figure 11b: normalized performance vs Exhaustive ({platform.name}); "
+        f"paper Dopia mean = {PAPER_PERF[platform.name]:.2f}",
+        ["scheme", "mean", "median", "p25"],
+        rows,
+    )
+    dopia = schemes["dopia"].mean_performance
+    # close-to-optimal despite moderate exact-hit accuracy (the Fig-11 point)
+    assert dopia >= 0.85
+    for name in ("cpu", "gpu", "all"):
+        assert dopia > schemes[name].mean_performance + 0.1
+
+
+def test_fig11_minor_errors_are_cheap(benchmark, platform, synthetic_dataset, dt_cv_selection):
+    """§9.3: small distance errors barely cost performance."""
+    scheme = benchmark(
+        lambda: evaluate_scheme(
+            synthetic_dataset.times, dt_cv_selection, synthetic_dataset.config_utils
+        )
+    )
+    near = scheme.distance_errors < 0.2
+    if near.sum() >= 10:
+        assert scheme.normalized_perf[near].mean() > 0.9
+
+
+def test_benchmark_scheme_evaluation(benchmark, synthetic_dataset, dt_cv_selection):
+    ds = synthetic_dataset
+    benchmark(lambda: evaluate_scheme(ds.times, dt_cv_selection, ds.config_utils))

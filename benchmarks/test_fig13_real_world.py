@@ -1,0 +1,168 @@
+"""Figure 13 — the 14 real-world kernels under Dopia (leave-one-out).
+
+Paper: with the kernel under evaluation excluded from training, Dopia (DT)
+achieves on average 84 % of the exhaustive oracle on both platforms —
+including all model-inference and distribution overhead — beating the
+fixed CPU / GPU / ALL schemes (ALL ≈ 75-76 %).  SVR would reach 88 %
+ignoring its inference overhead, but the overhead drops it to 64-70 %
+(the "Overhead" bars); MVT2 is Dopia's known misprediction, caused by its
+feature vector aliasing ATAX2's.
+
+Reproduced: same leave-one-kernel-out protocol over (synthetic ∪ real)
+training data; synthetic part strided by ``DOPIA_BENCH_SUBSAMPLE``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import baseline_indices, evaluate_scheme
+from repro.ml import make_model
+
+from conftest import SUBSAMPLE, print_table
+
+MODEL_SETTINGS = {
+    "lin": {},
+    "svr": {"max_samples": 1500},
+    "dt": {},
+    "rf": {"n_estimators": 12},
+}
+
+PAPER_AVG_DT = 0.84
+
+
+@pytest.fixture(scope="module")
+def fig13(platform, synthetic_dataset, real_dataset):
+    synth, real = synthetic_dataset, real_dataset
+    keep = np.arange(0, synth.n_workloads, SUBSAMPLE)
+    synth_rows = np.concatenate([np.arange(i * 44, (i + 1) * 44) for i in keep])
+    X_synth = synth.feature_matrix()[synth_rows]
+    y_synth = synth.targets()[synth_rows]
+    X_real = real.feature_matrix()
+    y_real = real.targets()
+
+    n_real = real.n_workloads
+    best_times = real.times.min(axis=1)
+
+    results: dict[str, dict[str, float]] = {}
+    overhead: dict[str, dict[str, float]] = {}
+    for name, kwargs in MODEL_SETTINGS.items():
+        per_kernel: dict[str, float] = {}
+        per_kernel_overhead: dict[str, float] = {}
+        for k in range(n_real):
+            train_real = np.concatenate(
+                [np.arange(i * 44, (i + 1) * 44) for i in range(n_real) if i != k]
+            )
+            X = np.vstack([X_synth, X_real[train_real]])
+            y = np.concatenate([y_synth, y_real[train_real]])
+            model = make_model(name, **kwargs)
+            model.fit(X, y)
+            rows = X_real[k * 44:(k + 1) * 44]
+            selected = int(np.argmax(model.predict(rows)))
+            time = real.times[k, selected]
+            cost = model.inference_cost_s(44)
+            key = real.workload_keys[k].split("/")[0]
+            per_kernel[key] = best_times[k] / time
+            per_kernel_overhead[key] = best_times[k] / (time + cost)
+        results[name] = per_kernel
+        overhead[name] = per_kernel_overhead
+
+    fixed: dict[str, dict[str, float]] = {}
+    for name, index in baseline_indices(platform).items():
+        fixed[name] = {
+            real.workload_keys[k].split("/")[0]: best_times[k] / real.times[k, index]
+            for k in range(n_real)
+        }
+    return results, overhead, fixed
+
+
+def _average(values: dict[str, float]) -> float:
+    return float(np.mean(list(values.values())))
+
+
+def _geomean(values: dict[str, float]) -> float:
+    return float(np.exp(np.mean(np.log(list(values.values())))))
+
+
+def test_fig13_per_kernel_table(benchmark, platform, fig13):
+    results, overhead, fixed = fig13
+    benchmark(lambda: _average(overhead["dt"]))
+    kernels = list(results["dt"].keys())
+    rows = []
+    for kernel in kernels:
+        rows.append(
+            [kernel]
+            + [f"{fixed[s][kernel]:.2f}" for s in ("cpu", "gpu", "all")]
+            + [f"{overhead[m][kernel]:.2f}" for m in ("lin", "svr", "dt", "rf")]
+        )
+    rows.append(
+        ["Average"]
+        + [f"{_average(fixed[s]):.2f}" for s in ("cpu", "gpu", "all")]
+        + [f"{_average(overhead[m]):.2f}" for m in ("lin", "svr", "dt", "rf")]
+    )
+    rows.append(
+        ["Geomean"]
+        + [f"{_geomean(fixed[s]):.2f}" for s in ("cpu", "gpu", "all")]
+        + [f"{_geomean(overhead[m]):.2f}" for m in ("lin", "svr", "dt", "rf")]
+    )
+    print_table(
+        f"Figure 13: normalized performance vs exhaustive search ({platform.name}); "
+        f"paper Dopia.DT average = {PAPER_AVG_DT:.2f}",
+        ["kernel", "CPU", "GPU", "ALL", "Dopia.LIN", "Dopia.SVR", "Dopia.DT", "Dopia.RF"],
+        rows,
+    )
+
+    dt_avg = _average(overhead["dt"])
+    # Dopia (DT) reaches a large fraction of the oracle, overhead included
+    assert dt_avg >= 0.70
+    # and beats every fixed scheme on average
+    for scheme in ("cpu", "gpu", "all"):
+        assert dt_avg > _average(fixed[scheme])
+
+
+def test_fig13_overhead_penalises_heavy_models(benchmark, platform, fig13):
+    """§9.4: SVR's accuracy advantage is eaten by its inference overhead."""
+    results, overhead, _ = fig13
+    benchmark(lambda: _average(results["svr"]))
+    svr_drop = _average(results["svr"]) - _average(overhead["svr"])
+    dt_drop = _average(results["dt"]) - _average(overhead["dt"])
+    assert svr_drop > dt_drop
+    assert dt_drop < 0.02  # DT inference is effectively free
+
+
+def test_fig13_dt_competitive_with_expensive_models(benchmark, platform, fig13):
+    """With overhead charged, DT is at least as good as SVR/RF (the §9.2
+    justification for deploying the tree)."""
+    _, overhead, _ = fig13
+    benchmark(lambda: _average(overhead["rf"]))
+    assert _average(overhead["dt"]) >= _average(overhead["svr"]) - 0.05
+    assert _average(overhead["dt"]) >= _average(overhead["rf"]) - 0.05
+
+
+def test_fig13_gpu_affine_kernels_prefer_gpu(benchmark, platform, fig13):
+    """2DCONV and FDTD are GPU-friendly (§9.4): GPU-only must be at least
+    competitive with CPU-only on them (in our simulator the FDTD stencils
+    land at near-parity rather than a clear GPU win), in sharp contrast to
+    the memory-bound kernels where GPU-only collapses."""
+    _, _, fixed = fig13
+    benchmark(lambda: fixed["gpu"]["2DCONV"])
+    for kernel in ("2DCONV", "FDTD1", "FDTD2", "FDTD3"):
+        assert fixed["gpu"][kernel] > fixed["cpu"][kernel] - 0.08, kernel
+        assert fixed["gpu"][kernel] > 0.8, kernel
+    # and the anti-class: GPU-only collapses on the bandwidth-bound kernels
+    for kernel in ("GESUMMV", "SpMV", "SYR2K"):
+        assert fixed["gpu"][kernel] < 0.5, kernel
+
+
+def test_benchmark_loo_single_fit(benchmark, synthetic_dataset):
+    """Timed unit: one leave-one-out DT fit (the dominant Fig-13 cost)."""
+    ds = synthetic_dataset
+    keep = np.arange(0, ds.n_workloads, max(SUBSAMPLE, 4))
+    rows = np.concatenate([np.arange(i * 44, (i + 1) * 44) for i in keep])
+    X, y = ds.feature_matrix()[rows], ds.targets()[rows]
+
+    def fit():
+        model = make_model("dt")
+        model.fit(X, y)
+        return model
+
+    benchmark.pedantic(fit, rounds=1, iterations=1)

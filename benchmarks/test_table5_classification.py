@@ -1,0 +1,86 @@
+"""Table 5 — correct best-configuration classifications over 1,224 workloads.
+
+Paper:
+    =========  ====  ===  ===  =====
+    platform   CPU   GPU  ALL  Dopia
+    =========  ====  ===  ===  =====
+    Kaveri      253   15    7    611
+    Skylake      27   57   19    334
+    =========  ====  ===  ===  =====
+
+Reproduced shape: Dopia's model picks the exact best configuration far
+more often than any fixed scheme, and no fixed scheme exceeds a few
+hundred hits; exact counts depend on the platform model and noise.
+"""
+
+import numpy as np
+
+from repro.core import baseline_indices, evaluate_scheme
+from repro.ml import make_model
+
+from conftest import print_table
+
+PAPER = {
+    "kaveri": {"cpu": 253, "gpu": 15, "all": 7, "dopia": 611},
+    "skylake": {"cpu": 27, "gpu": 57, "all": 19, "dopia": 334},
+}
+
+
+def test_table5_counts(benchmark, platform, synthetic_dataset, dt_cv_selection):
+    ds = synthetic_dataset
+    benchmark(
+        lambda: evaluate_scheme(ds.times, dt_cv_selection, ds.config_utils).correct
+    )
+    counts = {}
+    for name, index in baseline_indices(platform).items():
+        scheme = evaluate_scheme(
+            ds.times, np.full(ds.n_workloads, index), ds.config_utils
+        )
+        counts[name] = scheme.correct
+    dopia = evaluate_scheme(ds.times, dt_cv_selection, ds.config_utils)
+    counts["dopia"] = dopia.correct
+
+    paper = PAPER[platform.name]
+    rows = [
+        [name.upper(), counts[name], paper[name]]
+        for name in ("cpu", "gpu", "all", "dopia")
+    ]
+    print_table(
+        f"Table 5: correct classifications of 1,224 workloads ({platform.name})",
+        ["scheme", "measured", "paper"],
+        rows,
+    )
+
+    # Dopia dominates every fixed configuration.  (How *far* ahead it is
+    # depends on the plateau structure of the landscape: on our simulated
+    # Kaveri the full-CPU corner is exactly optimal more often than on the
+    # paper's silicon, so the margin over CPU is smaller than the paper's
+    # 611-vs-253 while the Dopia count itself lands right in their band.)
+    assert counts["dopia"] > max(counts["cpu"], counts["gpu"], counts["all"])
+    # Dopia lands in the paper's few-hundred band
+    assert 200 <= counts["dopia"] <= 900
+    # GPU-only / ALL almost never hit the exact optimum with 44 choices
+    assert counts["gpu"] < 150 and counts["all"] < 150
+
+
+def test_table5_dopia_accuracy_is_moderate(benchmark, synthetic_dataset, dt_cv_selection):
+    """§9.3: exact-hit accuracy is only ~25-50% — the point of Fig 11 is
+    that near-misses still give near-optimal performance."""
+    correct = benchmark(
+        lambda: (dt_cv_selection == synthetic_dataset.best_config_indices()).sum()
+    )
+    assert correct < synthetic_dataset.n_workloads  # no oracle by accident
+
+
+def test_benchmark_dt_training(benchmark, synthetic_dataset):
+    """Timed unit: one DT fit on a quarter of the training matrix."""
+    ds = synthetic_dataset
+    rows = ds.n_workloads // 4 * 44
+    X, y = ds.feature_matrix()[:rows], ds.targets()[:rows]
+
+    def fit():
+        model = make_model("dt")
+        model.fit(X, y)
+        return model
+
+    benchmark.pedantic(fit, rounds=1, iterations=1)

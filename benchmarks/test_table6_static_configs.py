@@ -1,0 +1,102 @@
+"""Table 6 — normalised performance of the static partitionings vs Dopia.
+
+Paper:
+    =====================  =============  ======  =======
+    configuration          DoP            Kaveri  Skylake
+    =====================  =============  ======  =======
+    CPU                    (1.0, 0)        70.7%    60.7%
+    GPU                    (0, 1.0)        18.6%    39.5%
+    ALL                    (1.0, 1.0)      62.3%    69.6%
+    Best const. alloc.     (1.0, 0.125)    82.5%    81.6%
+    Dopia                  model-driven    94.1%    92.2%
+    =====================  =============  ======  =======
+
+Reproduced shape: Dopia > best-constant > {CPU, ALL} > GPU on Kaveri, and
+GPU/ALL markedly better on Skylake than on Kaveri (the shared-LLC effect).
+"""
+
+import numpy as np
+
+from repro.core import (
+    baseline_indices,
+    best_constant_allocation,
+    config_space,
+    evaluate_scheme,
+)
+
+from conftest import print_table
+
+PAPER = {
+    "kaveri": {"cpu": 0.707, "gpu": 0.186, "all": 0.623, "const": 0.825, "dopia": 0.941},
+    "skylake": {"cpu": 0.607, "gpu": 0.395, "all": 0.696, "const": 0.816, "dopia": 0.922},
+}
+
+
+def test_table6(benchmark, platform, synthetic_dataset, dt_cv_selection):
+    ds = synthetic_dataset
+    benchmark(lambda: best_constant_allocation(ds))
+    perf = {}
+    for name, index in baseline_indices(platform).items():
+        perf[name] = evaluate_scheme(
+            ds.times, np.full(ds.n_workloads, index), ds.config_utils
+        ).mean_performance
+    const_index, perf["const"] = best_constant_allocation(ds)
+    perf["dopia"] = evaluate_scheme(
+        ds.times, dt_cv_selection, ds.config_utils
+    ).mean_performance
+
+    const = config_space(platform)[const_index]
+    dop_text = {
+        "cpu": "CPU 1.0, GPU 0",
+        "gpu": "CPU 0, GPU 1.0",
+        "all": "CPU 1.0, GPU 1.0",
+        "const": f"CPU {const.cpu_util:.2f}, GPU {const.gpu_util:.3f}",
+        "dopia": "driven by ML model",
+    }
+    paper = PAPER[platform.name]
+    rows = [
+        [name.upper(), dop_text[name], f"{perf[name]:.1%}", f"{paper[name]:.1%}"]
+        for name in ("cpu", "gpu", "all", "const", "dopia")
+    ]
+    print_table(
+        f"Table 6: normalized performance vs Exhaustive ({platform.name})",
+        ["configuration", "degree of parallelism", "measured", "paper"],
+        rows,
+    )
+
+    # ordering: Dopia > best constant >= every naive scheme (the best
+    # constant cell can coincide with the CPU corner)
+    assert perf["dopia"] > perf["const"]
+    assert perf["const"] >= max(perf["cpu"], perf["gpu"], perf["all"])
+    # GPU-only is the worst scheme on Kaveri (severe bandwidth cliff)
+    if platform.name == "kaveri":
+        assert perf["gpu"] == min(perf["cpu"], perf["gpu"], perf["all"])
+        assert perf["gpu"] < 0.45
+    # Dopia's band
+    assert perf["dopia"] >= 0.85
+
+
+def test_table6_skylake_gpu_friendlier_than_kaveri(benchmark, synthetic_dataset):
+    """§9.3: 'conventional co-execution ... performs significantly better
+    on Intel' — compare the two platforms' GPU-only means."""
+    from repro.core import collect_dataset
+    from repro.sim import KAVERI, SKYLAKE
+    from repro.workloads import training_workloads
+
+    workloads = training_workloads()
+    kaveri = benchmark.pedantic(
+        lambda: collect_dataset(workloads, KAVERI, cache=True), rounds=1, iterations=1
+    )
+    skylake = collect_dataset(workloads, SKYLAKE, cache=True)
+    index = baseline_indices(KAVERI)["gpu"]
+    gpu_kaveri = evaluate_scheme(
+        kaveri.times, np.full(kaveri.n_workloads, index), kaveri.config_utils
+    ).mean_performance
+    gpu_skylake = evaluate_scheme(
+        skylake.times, np.full(skylake.n_workloads, index), skylake.config_utils
+    ).mean_performance
+    assert gpu_skylake > gpu_kaveri
+
+
+def test_benchmark_best_constant_search(benchmark, synthetic_dataset):
+    benchmark(lambda: best_constant_allocation(synthetic_dataset))

@@ -1,0 +1,16 @@
+/* Gesummv from Polybench [15]: y = alpha*A*x + beta*B*x (paper Table 4). */
+__kernel void gesummv(__global float* A, __global float* B,
+                      __global float* x, __global float* y,
+                      __global float* tmp, int n, float alpha, float beta)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        tmp[i] = 0.0f;
+        y[i] = 0.0f;
+        for (int j = 0; j < n; j++) {
+            tmp[i] = A[i * n + j] * x[j] + tmp[i];
+            y[i] = B[i * n + j] * x[j] + y[i];
+        }
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+}

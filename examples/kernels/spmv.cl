@@ -1,0 +1,13 @@
+/* CSR sparse matrix-vector multiplication (paper Table 4). */
+__kernel void spmv_csr(__global int* rowptr, __global int* colidx,
+                       __global float* vals, __global float* x,
+                       __global float* y, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        float sum = 0.0f;
+        for (int k = rowptr[i]; k < rowptr[i + 1]; k++)
+            sum = sum + vals[k] * x[colidx[k]];
+        y[i] = sum;
+    }
+}

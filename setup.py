@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel`` package,
+so PEP-517 editable installs (``pip install -e .``) cannot build a wheel.
+This shim lets ``python setup.py develop`` (or legacy pip) install the
+package from ``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

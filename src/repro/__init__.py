@@ -1,0 +1,44 @@
+"""repro — a full reproduction of *Dopia: Online Parallelism Management for
+Integrated CPU/GPU Architectures* (Cho et al., PPoPP 2022).
+
+The package implements the paper's framework and every substrate it needs:
+
+=====================  ====================================================
+``repro.frontend``     OpenCL-C lexer/parser/AST/semantics (ECS stand-in)
+``repro.analysis``     static feature extraction (Table 1) + kernel profiles
+``repro.transform``    malleable GPU + CPU code generation (Figures 5-7)
+``repro.interp``       functional kernel interpreter (correctness substrate)
+``repro.sim``          integrated-architecture performance model (Kaveri,
+                       Skylake; coalescing, L2 capacity misses, shared-DRAM
+                       contention, Algorithm-1 co-execution)
+``repro.ml``           from-scratch LIN / SVR / DT / RF + 64-fold CV + DT->C
+``repro.workloads``    Table-2 synthetic generator + the 14 Table-4 kernels
+``repro.cl``           miniature OpenCL host API (the interposition seam)
+``repro.core``         Dopia itself: DoP selection, training, runtime
+=====================  ====================================================
+
+Quick start::
+
+    from repro import cl
+    from repro.core import DopiaRuntime
+    from repro.sim import KAVERI
+
+    runtime = DopiaRuntime.from_pretrained(KAVERI, model_name="dt")
+    ctx = cl.create_context("kaveri")
+    with cl.interposed(runtime):
+        program = ctx.create_program_with_source(KERNEL_SRC).build()
+        kernel = program.create_kernel("my_kernel")
+        kernel.set_args(...)
+        queue = cl.create_command_queue(ctx)
+        event = queue.enqueue_nd_range_kernel(kernel, (16384,), (256,))
+        print(event.simulated_time_s, event.details["prediction"].config)
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, cl, core, frontend, interp, ml, sim, transform, workloads
+
+__all__ = [
+    "analysis", "cl", "core", "frontend", "interp", "ml", "sim", "transform",
+    "workloads", "__version__",
+]

@@ -1,0 +1,38 @@
+"""Static code analysis: access classification, Table-1 features, profiles."""
+
+from .accessclass import (
+    AccessClass,
+    AffineEvaluator,
+    AffineForm,
+    Coeff,
+    classify,
+    stride_magnitude,
+)
+from .features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    StaticFeatures,
+    assemble_feature_vector,
+    extract_static_features,
+    extract_static_features_from_source,
+    feature_matrix,
+)
+from .profile import (
+    ClassTraffic,
+    KernelProfile,
+    OpProfile,
+    build_profile,
+    profile_kernel,
+    symbol_environment,
+)
+from .scan import KernelScan, KernelScanner, MemoryOp, TripCount, scan_kernel
+
+__all__ = [
+    "AccessClass", "AffineEvaluator", "AffineForm", "Coeff", "classify",
+    "stride_magnitude", "FEATURE_NAMES", "N_FEATURES", "StaticFeatures",
+    "assemble_feature_vector", "extract_static_features",
+    "extract_static_features_from_source", "feature_matrix", "ClassTraffic",
+    "KernelProfile", "OpProfile", "build_profile", "profile_kernel",
+    "symbol_environment",
+    "KernelScan", "KernelScanner", "MemoryOp", "TripCount", "scan_kernel",
+]

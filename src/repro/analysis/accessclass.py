@@ -1,0 +1,447 @@
+"""Affine address analysis and memory-access classification (paper §5.1).
+
+Dopia classifies every memory operation into one of four classes based on
+its address pattern — ``constant``, ``continuous``, ``stride``, ``random``
+(Table 1).  The classification drives both the ML feature vector and the
+coalescing model of the architecture simulator.
+
+The implementation performs a symbolic *affine* analysis: every integer
+expression is evaluated into an :class:`AffineForm`, a linear combination
+
+    ``sum_k coeff_k * var_k + const``
+
+over the kernel's *index variables* — loop induction variables and
+work-item identifiers — with coefficients that may be literal integers or
+symbolic products of scalar kernel parameters (e.g. the ``n`` in
+``A[i * n + j]``).  A memory operation is then classified by the
+coefficient of its fastest-varying index variable:
+
+* no index variable           → ``constant``  (same address every time)
+* fastest coefficient == ±1   → ``continuous`` (unit stride)
+* any other affine dependence → ``stride``    (constant non-unit stride)
+* indirect (address contains a load) or non-affine → ``random``
+
+"Fastest-varying" uses the paper's temporal order: the innermost enclosing
+loop iterates fastest; if the address does not depend on any enclosing
+loop, neighbouring work-items provide the variation, with dimension 0
+fastest (this is exactly the order that matters for GPU coalescing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast
+from ..frontend.semantics import KernelInfo, MATH_BUILTINS, WORK_ITEM_BUILTINS
+
+
+class AccessClass(enum.Enum):
+    """The four address-pattern classes of Table 1."""
+
+    CONSTANT = "constant"
+    CONTINUOUS = "continuous"
+    STRIDE = "stride"
+    RANDOM = "random"
+
+
+# ---------------------------------------------------------------------------
+# Symbolic coefficients
+# ---------------------------------------------------------------------------
+
+#: A monomial is a sorted tuple of symbolic-constant names; the empty tuple
+#: is the literal-integer monomial.
+Monomial = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Coeff:
+    """A symbolic integer coefficient: a sum of integer-weighted monomials.
+
+    ``terms[()]`` is the pure literal part; other keys are products of
+    scalar-parameter names (``("n",)``, ``("nx", "ny")``...).
+    """
+
+    terms: tuple[tuple[Monomial, int], ...] = ()
+
+    @staticmethod
+    def of(value: int) -> "Coeff":
+        return Coeff((((), value),)) if value else Coeff()
+
+    @staticmethod
+    def symbol(name: str) -> "Coeff":
+        return Coeff((((name,), 1),))
+
+    def _as_dict(self) -> dict[Monomial, int]:
+        return dict(self.terms)
+
+    @staticmethod
+    def _from_dict(data: dict[Monomial, int]) -> "Coeff":
+        items = tuple(sorted((m, c) for m, c in data.items() if c != 0))
+        return Coeff(items)
+
+    def __add__(self, other: "Coeff") -> "Coeff":
+        data = self._as_dict()
+        for monomial, weight in other.terms:
+            data[monomial] = data.get(monomial, 0) + weight
+        return Coeff._from_dict(data)
+
+    def __neg__(self) -> "Coeff":
+        return Coeff(tuple((m, -c) for m, c in self.terms))
+
+    def __sub__(self, other: "Coeff") -> "Coeff":
+        return self + (-other)
+
+    def __mul__(self, other: "Coeff") -> "Coeff":
+        data: dict[Monomial, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                monomial = tuple(sorted(m1 + m2))
+                data[monomial] = data.get(monomial, 0) + c1 * c2
+        return Coeff._from_dict(data)
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_literal(self) -> bool:
+        """True if the coefficient is a plain integer (possibly zero)."""
+        return all(m == () for m, _ in self.terms)
+
+    @property
+    def literal(self) -> Optional[int]:
+        """The integer value if literal, else ``None``."""
+        if not self.terms:
+            return 0
+        if self.is_literal:
+            return self.terms[0][1]
+        return None
+
+    @property
+    def is_unit(self) -> bool:
+        """True if the coefficient is exactly +1 or -1."""
+        return self.literal in (1, -1)
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        """Numerically evaluate with symbol values from ``env`` (default 1)."""
+        total = 0.0
+        for monomial, weight in self.terms:
+            value = float(weight)
+            for name in monomial:
+                value *= env.get(name, 1.0)
+            total += value
+        return total
+
+
+ZERO = Coeff()
+ONE = Coeff.of(1)
+
+
+# ---------------------------------------------------------------------------
+# Index variables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexVar:
+    """An index variable with a *rank*: lower rank ⇒ varies faster.
+
+    Ranks: enclosing loops get ranks ``-depth`` (innermost = most negative
+    ... wait, innermost loop has the largest depth, so we use ``-depth`` to
+    make it the smallest/fastest); work-item ids use ranks 100+dim (local),
+    200+dim (global), 300+dim (group) so any loop is faster than any
+    work-item dimension, and dimension 0 is fastest among ids.
+    """
+
+    name: str
+    rank: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+def loop_var(name: str, depth: int, serial: int) -> IndexVar:
+    return IndexVar(f"loop{serial}:{name}", -depth)
+
+
+def local_id_var(dim: int) -> IndexVar:
+    return IndexVar(f"lid{dim}", 100 + dim)
+
+
+def global_id_var(dim: int) -> IndexVar:
+    return IndexVar(f"gid{dim}", 200 + dim)
+
+
+def group_id_var(dim: int) -> IndexVar:
+    return IndexVar(f"grp{dim}", 300 + dim)
+
+
+# ---------------------------------------------------------------------------
+# Affine forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AffineForm:
+    """A symbolic affine expression over index variables.
+
+    ``indirect`` marks forms whose value involves a memory load (indirect
+    addressing); ``nonaffine`` marks products of index variables, divisions
+    by variables, and other shapes outside the affine fragment.  Both are
+    sticky through arithmetic.
+    """
+
+    vars: dict[IndexVar, Coeff] = field(default_factory=dict)
+    const: Coeff = ZERO
+    indirect: bool = False
+    nonaffine: bool = False
+    #: the expression is affine *relative to* an unknown per-work-item base
+    #: (e.g. a loop counter initialised from a loaded row pointer): the
+    #: iteration-to-iteration pattern is known, the absolute address is not
+    unknown_base: bool = False
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def constant(coeff: Coeff) -> "AffineForm":
+        return AffineForm(const=coeff)
+
+    @staticmethod
+    def literal(value: int) -> "AffineForm":
+        return AffineForm(const=Coeff.of(value))
+
+    @staticmethod
+    def variable(var: IndexVar, scale: Coeff = ONE) -> "AffineForm":
+        return AffineForm(vars={var: scale})
+
+    @staticmethod
+    def opaque() -> "AffineForm":
+        """An unknown but loop-invariant value (e.g. an unanalysed local)."""
+        return AffineForm(const=Coeff.symbol("<opaque>"))
+
+    @staticmethod
+    def tainted(indirect: bool = False) -> "AffineForm":
+        return AffineForm(indirect=indirect, nonaffine=not indirect)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def has_vars(self) -> bool:
+        return any(not c.is_zero for c in self.vars.values())
+
+    @property
+    def is_index_free(self) -> bool:
+        return not self.has_vars
+
+    def fastest_var(self) -> Optional[IndexVar]:
+        """The fastest-varying (lowest-rank) variable with nonzero coefficient."""
+        live = [v for v, c in self.vars.items() if not c.is_zero]
+        if not live:
+            return None
+        return min(live, key=lambda v: v.rank)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _merge_flags(self, other: "AffineForm") -> tuple[bool, bool, bool]:
+        return (
+            self.indirect or other.indirect,
+            self.nonaffine or other.nonaffine,
+            self.unknown_base or other.unknown_base,
+        )
+
+    def __add__(self, other: "AffineForm") -> "AffineForm":
+        indirect, nonaffine, unknown = self._merge_flags(other)
+        vars_out = dict(self.vars)
+        for var, coeff in other.vars.items():
+            vars_out[var] = vars_out.get(var, ZERO) + coeff
+        return AffineForm(vars_out, self.const + other.const, indirect, nonaffine,
+                          unknown)
+
+    def __neg__(self) -> "AffineForm":
+        return AffineForm(
+            {v: -c for v, c in self.vars.items()}, -self.const, self.indirect,
+            self.nonaffine, self.unknown_base,
+        )
+
+    def __sub__(self, other: "AffineForm") -> "AffineForm":
+        return self + (-other)
+
+    def __mul__(self, other: "AffineForm") -> "AffineForm":
+        indirect, nonaffine, unknown = self._merge_flags(other)
+        if self.has_vars and other.has_vars:
+            # product of two index-dependent values: outside the affine fragment
+            return AffineForm(indirect=indirect, nonaffine=True,
+                              unknown_base=unknown)
+        scalar, linear = (self, other) if other.has_vars else (other, self)
+        factor = scalar.const
+        vars_out = {v: c * factor for v, c in linear.vars.items()}
+        return AffineForm(vars_out, linear.const * factor, indirect, nonaffine,
+                          unknown)
+
+    def divided(self, other: "AffineForm") -> "AffineForm":
+        """Integer division; exact only for index-free values, else non-affine."""
+        indirect, nonaffine, unknown = self._merge_flags(other)
+        if self.has_vars or other.has_vars:
+            return AffineForm(indirect=indirect, nonaffine=True,
+                              unknown_base=unknown)
+        return AffineForm(const=Coeff.symbol("<quotient>"), indirect=indirect,
+                          nonaffine=nonaffine, unknown_base=unknown)
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation into affine forms
+# ---------------------------------------------------------------------------
+
+
+class AffineEvaluator:
+    """Evaluates integer expressions into :class:`AffineForm` values.
+
+    ``env`` maps local scalar names to their current affine form (forward
+    substitution); scalar kernel parameters evaluate to symbolic constants
+    named after themselves, so coefficients like the ``n`` in
+    ``A[i * n + j]`` remain inspectable.
+    """
+
+    def __init__(self, info: KernelInfo, env: dict[str, AffineForm]):
+        self.info = info
+        self.env = env
+
+    def eval(self, expr: ast.Expr) -> AffineForm:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            return AffineForm.tainted()
+        return method(expr)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _eval_IntLiteral(self, expr: ast.IntLiteral) -> AffineForm:
+        return AffineForm.literal(expr.value)
+
+    def _eval_FloatLiteral(self, expr: ast.FloatLiteral) -> AffineForm:
+        return AffineForm.tainted()
+
+    def _eval_Identifier(self, expr: ast.Identifier) -> AffineForm:
+        if expr.name in self.env:
+            return self.env[expr.name]
+        symbol = self.info.symbols.lookup(expr.name)
+        if symbol is not None and symbol.is_param and not symbol.type.pointer:
+            if symbol.type.is_float:
+                return AffineForm.tainted()
+            return AffineForm.constant(Coeff.symbol(expr.name))
+        # Unanalysed local: loop-invariant unknown.
+        return AffineForm.opaque()
+
+    # -- operators ---------------------------------------------------------------
+
+    def _eval_BinaryOp(self, expr: ast.BinaryOp) -> AffineForm:
+        left = self.eval(expr.left)
+        right = self.eval(expr.right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op in ("/", ">>"):
+            return left.divided(right)
+        if expr.op == "%":
+            indirect = left.indirect or right.indirect
+            return AffineForm(indirect=indirect, nonaffine=True)
+        if expr.op == "<<":
+            # x << c  ==  x * 2^c when c is a literal
+            if isinstance(expr.right, ast.IntLiteral):
+                return left * AffineForm.literal(1 << expr.right.value)
+            return AffineForm.tainted()
+        if expr.op == ",":
+            return right
+        # comparisons / logical / bitwise: not address-like
+        indirect = left.indirect or right.indirect
+        return AffineForm(indirect=indirect, nonaffine=True)
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp) -> AffineForm:
+        operand = self.eval(expr.operand)
+        if expr.op == "-":
+            return -operand
+        if expr.op in ("++", "--"):
+            return operand
+        return AffineForm(indirect=operand.indirect, nonaffine=True)
+
+    def _eval_PostfixOp(self, expr: ast.PostfixOp) -> AffineForm:
+        return self.eval(expr.operand)
+
+    def _eval_Cast(self, expr: ast.Cast) -> AffineForm:
+        return self.eval(expr.operand)
+
+    def _eval_Conditional(self, expr: ast.Conditional) -> AffineForm:
+        then = self.eval(expr.then)
+        otherwise = self.eval(expr.otherwise)
+        indirect = then.indirect or otherwise.indirect
+        return AffineForm(indirect=indirect, nonaffine=True)
+
+    def _eval_Assignment(self, expr: ast.Assignment) -> AffineForm:
+        return self.eval(expr.value)
+
+    def _eval_Index(self, expr: ast.Index) -> AffineForm:
+        # A loaded value used inside an address ⇒ indirect addressing.
+        return AffineForm.tainted(indirect=True)
+
+    def _eval_Call(self, expr: ast.Call) -> AffineForm:
+        name = expr.name
+        if name in WORK_ITEM_BUILTINS:
+            dim = 0
+            if expr.args and isinstance(expr.args[0], ast.IntLiteral):
+                dim = expr.args[0].value
+            if name == "get_global_id":
+                return AffineForm.variable(global_id_var(dim))
+            if name == "get_local_id":
+                return AffineForm.variable(local_id_var(dim))
+            if name == "get_group_id":
+                return AffineForm.variable(group_id_var(dim))
+            # sizes and offsets are launch-time constants
+            return AffineForm.constant(Coeff.symbol(f"<{name}:{dim}>"))
+        if name in ("atomic_inc", "atomic_dec", "atomic_add", "atomic_sub"):
+            return AffineForm.tainted(indirect=True)
+        if name in MATH_BUILTINS:
+            return AffineForm.tainted()
+        return AffineForm.tainted()
+
+
+def classify(form: AffineForm, in_loop: bool = False) -> AccessClass:
+    """Map an address :class:`AffineForm` to its Table-1 access class.
+
+    ``in_loop`` selects the paper's temporal view: operations *inside* a
+    loop are classified against the enclosing loop induction variables
+    only (rank < 0); an address that does not vary across loop iterations
+    — e.g. ``tmp[i]`` inside the ``j`` loop of Gesummv — is ``constant``
+    even if it depends on the work-item id.  Operations outside any loop
+    are classified spatially, against neighbouring work-items.
+    """
+    if form.indirect or form.nonaffine:
+        return AccessClass.RANDOM
+    live = [v for v, c in form.vars.items() if not c.is_zero]
+    if in_loop:
+        live = [v for v in live if v.rank < 0]
+    if not live:
+        return AccessClass.CONSTANT
+    fastest = min(live, key=lambda v: v.rank)
+    coeff = form.vars[fastest]
+    if coeff.is_unit:
+        return AccessClass.CONTINUOUS
+    return AccessClass.STRIDE
+
+
+def stride_magnitude(form: AffineForm, env: Optional[dict[str, float]] = None) -> float:
+    """Numeric stride (elements) of the fastest-varying index variable.
+
+    Symbolic coefficients are evaluated with ``env`` (name → value, default
+    1.0 for unknown symbols).  Returns 0.0 for constant accesses and
+    ``float('nan')`` for random ones.
+    """
+    if form.indirect or form.nonaffine:
+        return float("nan")
+    fastest = form.fastest_var()
+    if fastest is None:
+        return 0.0
+    return abs(form.vars[fastest].evaluate(env or {}))

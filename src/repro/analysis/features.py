@@ -1,0 +1,149 @@
+"""Table-1 feature extraction.
+
+The ML model input is an 11-entry vector (paper Table 1):
+
+====== ============ =====================================================
+source type         feature
+====== ============ =====================================================
+code   mem op       #mem_constant, #mem_continuous, #mem_stride, #mem_random
+code   arith op     #arith_int, #arith_float
+input  program      work_dim
+input  data         global_size, local_size
+param  config       CPU_util, GPU_util (normalised active-core fractions)
+====== ============ =====================================================
+
+The six code features are static counts produced at "compile time"
+(``clCreateProgramWithSource``); the three input features only exist at
+enqueue time; the two config features enumerate candidate DoP settings
+during prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontend import ast
+from ..frontend.parser import parse_kernel
+from ..frontend.semantics import KernelInfo, analyze_kernel
+from .accessclass import AccessClass
+from .scan import KernelScan, scan_kernel
+
+#: Order of entries in the assembled feature vector.
+FEATURE_NAMES = (
+    "mem_constant",
+    "mem_continuous",
+    "mem_stride",
+    "mem_random",
+    "arith_int",
+    "arith_float",
+    "work_dim",
+    "global_size",
+    "local_size",
+    "cpu_util",
+    "gpu_util",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class StaticFeatures:
+    """The six compile-time code features of Table 1."""
+
+    mem_constant: int
+    mem_continuous: int
+    mem_stride: int
+    mem_random: int
+    arith_int: int
+    arith_float: int
+
+    @staticmethod
+    def from_scan(scan: KernelScan) -> "StaticFeatures":
+        return StaticFeatures(
+            mem_constant=scan.count_access(AccessClass.CONSTANT),
+            mem_continuous=scan.count_access(AccessClass.CONTINUOUS),
+            mem_stride=scan.count_access(AccessClass.STRIDE),
+            mem_random=scan.count_access(AccessClass.RANDOM),
+            arith_int=scan.n_arith_int,
+            arith_float=scan.n_arith_float,
+        )
+
+    def as_tuple(self) -> tuple[int, ...]:
+        return (
+            self.mem_constant,
+            self.mem_continuous,
+            self.mem_stride,
+            self.mem_random,
+            self.arith_int,
+            self.arith_float,
+        )
+
+
+def extract_static_features(info: KernelInfo) -> StaticFeatures:
+    """Extract the six static code features from an analysed kernel."""
+    return StaticFeatures.from_scan(scan_kernel(info))
+
+
+def extract_static_features_from_source(
+    source: str, kernel_name: str | None = None
+) -> StaticFeatures:
+    """Parse ``source`` and extract its static features in one step."""
+    kernel = parse_kernel(source, kernel_name)
+    return extract_static_features(analyze_kernel(kernel))
+
+
+def assemble_feature_vector(
+    static: StaticFeatures,
+    work_dim: int,
+    global_size: int,
+    local_size: int,
+    cpu_util: float,
+    gpu_util: float,
+) -> np.ndarray:
+    """Build the full 11-entry model input vector (Table 1 order).
+
+    ``global_size`` and ``local_size`` are total work-item counts (the
+    product over dimensions); ``cpu_util`` / ``gpu_util`` are normalised
+    active-core fractions in [0, 1].
+    """
+    return np.array(
+        [
+            static.mem_constant,
+            static.mem_continuous,
+            static.mem_stride,
+            static.mem_random,
+            static.arith_int,
+            static.arith_float,
+            work_dim,
+            global_size,
+            local_size,
+            cpu_util,
+            gpu_util,
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_matrix(
+    static: StaticFeatures,
+    work_dim: int,
+    global_size: int,
+    local_size: int,
+    configs: "np.ndarray",
+) -> np.ndarray:
+    """Vectorised assembly: one feature row per (cpu_util, gpu_util) config.
+
+    ``configs`` is an (n, 2) array of utilisation pairs.  Used by the
+    predictor, which evaluates the model over all 44 DoP configurations in
+    a single call instead of 44 scalar evaluations.
+    """
+    configs = np.asarray(configs, dtype=np.float64)
+    n = configs.shape[0]
+    out = np.empty((n, N_FEATURES), dtype=np.float64)
+    out[:, :9] = assemble_feature_vector(
+        static, work_dim, global_size, local_size, 0.0, 0.0
+    )[:9]
+    out[:, 9:] = configs
+    return out

@@ -1,0 +1,306 @@
+"""Detailed kernel profiles for the architecture simulator.
+
+The 11-feature vector of Table 1 deliberately *summarises* a kernel; the
+hardware does not.  To make the reproduction face the paper's real
+difficulty — the ML model predicting a machine whose behaviour its features
+under-describe (cf. the MVT2/ATAX2 aliasing discussion in §9.4) — the
+simulator consumes a strictly richer description extracted from the same
+AST: dynamic per-work-item operation counts (loop trip counts evaluated
+with the actual scalar arguments), exact stride magnitudes, per-buffer
+footprints, and divergence structure.
+
+A :class:`KernelProfile` is produced at enqueue time, when the scalar
+argument values and the ND-range are known.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..frontend.semantics import KernelInfo
+from .accessclass import AccessClass, stride_magnitude
+from .scan import KernelScan, scan_kernel
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Dynamic view of one memory-operation site, as the hardware sees it.
+
+    ``temporal_stride_elems`` is the address delta (in elements) between
+    consecutive executions by the *same* work-item (the innermost-loop
+    coefficient); ``warp_stride_elems`` is the delta between *adjacent*
+    work-items (the dimension-0 id coefficient).  Together they determine
+    GPU coalescing: a small warp stride coalesces across SIMD lanes, a
+    zero warp stride broadcasts one address to the whole warp, and a large
+    warp stride gives every lane a private stream whose cache line must
+    survive in L2 until its next use — the paper's capacity-miss mechanism
+    (Figure 3b).  ``shared`` marks operations whose addresses do not depend
+    on the work-item identity at all (inter-item reuse, e.g. the ``x``
+    vector of Gesummv).
+    """
+
+    buffer: str
+    access: AccessClass
+    is_store: bool
+    executions_per_item: float
+    elem_bytes: int
+    temporal_stride_elems: float
+    warp_stride_elems: float
+    shared: bool
+
+    @property
+    def bytes_per_item(self) -> float:
+        return self.executions_per_item * self.elem_bytes
+
+
+@dataclass(frozen=True)
+class ClassTraffic:
+    """Per-work-item dynamic memory traffic for one access class."""
+
+    loads: float = 0.0
+    stores: float = 0.0
+    bytes: float = 0.0
+
+    @property
+    def ops(self) -> float:
+        return self.loads + self.stores
+
+
+@dataclass
+class KernelProfile:
+    """Everything the performance model needs to know about one launch.
+
+    All ``*_per_item`` quantities are dynamic estimates per work-item,
+    derived by evaluating each operation site's enclosing-loop trip counts
+    under the actual argument environment.
+    """
+
+    #: dynamic memory traffic per work-item, keyed by access class
+    traffic: dict[AccessClass, ClassTraffic] = field(default_factory=dict)
+    #: per-operation detail consumed by the simulator's memory model
+    op_profiles: list[OpProfile] = field(default_factory=list)
+    #: dynamic arithmetic per work-item
+    flops_int_per_item: float = 0.0
+    flops_float_per_item: float = 0.0
+    special_per_item: float = 0.0
+    #: mean stride (elements) over stride-class operations, weighted by count
+    mean_stride_elems: float = 0.0
+    #: approximate distinct bytes touched by one work-item
+    footprint_per_item: float = 0.0
+    #: fraction of memory operations that are data-dependent / irregular
+    irregular: bool = False
+    #: number of data-dependent branch sites (control divergence on GPU)
+    divergent_branches: int = 0
+    #: work-group shape information
+    work_dim: int = 1
+    global_size: int = 1
+    local_size: int = 1
+    uses_barrier: bool = False
+    uses_atomics: bool = False
+
+    # -- aggregates used by the machine model -------------------------------
+
+    def class_traffic(self, access: AccessClass) -> ClassTraffic:
+        return self.traffic.get(access, ClassTraffic())
+
+    @property
+    def mem_ops_per_item(self) -> float:
+        return sum(t.ops for t in self.traffic.values())
+
+    @property
+    def bytes_per_item(self) -> float:
+        return sum(t.bytes for t in self.traffic.values())
+
+    @property
+    def flops_per_item(self) -> float:
+        return self.flops_int_per_item + self.flops_float_per_item + self.special_per_item
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of raw memory traffic (avoids division by zero)."""
+        return self.flops_per_item / max(self.bytes_per_item, 1e-12)
+
+    @property
+    def num_work_groups(self) -> int:
+        return max(1, self.global_size // max(self.local_size, 1))
+
+
+def symbol_environment(
+    info: KernelInfo,
+    scalar_args: dict[str, float],
+    global_size: int,
+    local_size: int,
+    work_dim: int = 1,
+) -> dict[str, float]:
+    """Build the symbol valuation used to evaluate trip counts and strides.
+
+    Maps scalar kernel parameters to their runtime values and the launch
+    symbols produced by the affine evaluator (``<get_local_size:d>`` etc.)
+    to the ND-range values.  Per-dimension sizes assume the square-ish
+    decomposition used by all paper workloads.
+    """
+    env: dict[str, float] = {}
+    for name in info.scalar_params:
+        if name in scalar_args:
+            env[name] = float(scalar_args[name])
+    per_dim_global = global_size ** (1.0 / work_dim) if work_dim > 1 else float(global_size)
+    per_dim_local = local_size ** (1.0 / work_dim) if work_dim > 1 else float(local_size)
+    for dim in range(3):
+        env[f"<get_global_size:{dim}>"] = per_dim_global if dim < work_dim else 1.0
+        env[f"<get_local_size:{dim}>"] = per_dim_local if dim < work_dim else 1.0
+        env[f"<get_num_groups:{dim}>"] = (
+            per_dim_global / per_dim_local if dim < work_dim else 1.0
+        )
+        env[f"<get_global_offset:{dim}>"] = 0.0
+    env["<opaque>"] = 1.0
+    env["<quotient>"] = 1.0
+    return env
+
+
+def _op_profile(op, count: float, env: dict[str, float]) -> OpProfile:
+    """Derive the hardware-facing :class:`OpProfile` of one memory op."""
+    form = op.form
+    if form.indirect or form.nonaffine:
+        return OpProfile(
+            buffer=op.buffer,
+            access=op.access,
+            is_store=op.is_store,
+            executions_per_item=count,
+            elem_bytes=op.elem_bytes,
+            temporal_stride_elems=math.inf,
+            warp_stride_elems=math.inf,
+            shared=False,
+        )
+    live = [(var, coeff) for var, coeff in form.vars.items() if not coeff.is_zero]
+    loop_vars = sorted((v for v, _ in live if v.rank < 0), key=lambda v: v.rank)
+    temporal = abs(form.vars[loop_vars[0]].evaluate(env)) if loop_vars else 0.0
+    # Coalescing granularity: work-groups are n-D blocks, and the hardware
+    # rasterises SIMD batches along whichever dimension gives unit-stride
+    # lines their spatial reuse — so the *smallest* per-dimension stride
+    # governs effective coalescing.
+    id_strides = [
+        abs(coeff.evaluate(env))
+        for var, coeff in live
+        if 100 <= var.rank < 300  # local/global ids; group ids excluded
+    ]
+    warp = min((s for s in id_strides if s > 0.0), default=0.0)
+    shared = all(var.rank < 0 for var, _ in live)
+    if form.unknown_base:
+        # anchored to an unknown per-work-item base (e.g. a CSR row
+        # segment): definitely not shared, and every SIMD lane streams
+        # from its own distant region
+        shared = False
+        if warp == 0.0:
+            warp = math.inf
+    return OpProfile(
+        buffer=op.buffer,
+        access=op.access,
+        is_store=op.is_store,
+        executions_per_item=count,
+        elem_bytes=op.elem_bytes,
+        temporal_stride_elems=temporal,
+        warp_stride_elems=warp,
+        shared=shared,
+    )
+
+
+def build_profile(
+    scan: KernelScan,
+    scalar_args: dict[str, float],
+    global_size: int,
+    local_size: int,
+    work_dim: int = 1,
+    irregular_trip_hint: float | None = None,
+) -> KernelProfile:
+    """Instantiate a :class:`KernelProfile` from a static scan.
+
+    ``irregular_trip_hint`` supplies the expected trip count of loops whose
+    bounds are data-dependent (e.g. the nnz-per-row loop of CSR SpMV);
+    without a hint such loops count as a single iteration.
+    """
+    info = scan.info
+    env = symbol_environment(info, scalar_args, global_size, local_size, work_dim)
+    hint = irregular_trip_hint if irregular_trip_hint is not None else 1.0
+
+    loads: dict[AccessClass, float] = {c: 0.0 for c in AccessClass}
+    stores: dict[AccessClass, float] = {c: 0.0 for c in AccessClass}
+    nbytes: dict[AccessClass, float] = {c: 0.0 for c in AccessClass}
+    stride_weight = 0.0
+    stride_total = 0.0
+    footprint = 0.0
+    op_profiles: list[OpProfile] = []
+
+    for op in scan.mem_ops:
+        count = op.executions(env, irregular_default=hint)
+        if op.is_store:
+            stores[op.access] += count
+        else:
+            loads[op.access] += count
+        nbytes[op.access] += count * op.elem_bytes
+        if op.access is AccessClass.STRIDE:
+            stride = stride_magnitude(op.form, env)
+            if math.isfinite(stride) and stride > 0:
+                stride_total += stride * count
+                stride_weight += count
+        # Footprint: constants touch one element; everything else touches a
+        # distinct element per execution (an upper bound for stride/random).
+        if op.access is AccessClass.CONSTANT:
+            footprint += op.elem_bytes
+        else:
+            footprint += count * op.elem_bytes
+        op_profiles.append(_op_profile(op, count, env))
+
+    flops_int = 0.0
+    flops_float = 0.0
+    special = 0.0
+    for op in scan.arith_ops:
+        count = op.executions(env, irregular_default=hint)
+        if op.is_special:
+            special += count
+        elif op.is_float:
+            flops_float += count
+        else:
+            flops_int += count
+
+    traffic = {
+        access: ClassTraffic(loads=loads[access], stores=stores[access], bytes=nbytes[access])
+        for access in AccessClass
+        if loads[access] or stores[access] or nbytes[access]
+    }
+
+    return KernelProfile(
+        traffic=traffic,
+        op_profiles=op_profiles,
+        flops_int_per_item=flops_int,
+        flops_float_per_item=flops_float,
+        special_per_item=special,
+        mean_stride_elems=(stride_total / stride_weight) if stride_weight else 0.0,
+        footprint_per_item=footprint,
+        irregular=scan.has_irregular_loop,
+        divergent_branches=scan.n_data_dependent_branches,
+        work_dim=work_dim,
+        global_size=global_size,
+        local_size=local_size,
+        uses_barrier=scan.barrier_ops > 0,
+        uses_atomics=scan.atomic_ops > 0,
+    )
+
+
+def profile_kernel(
+    info: KernelInfo,
+    scalar_args: dict[str, float],
+    global_size: int,
+    local_size: int,
+    work_dim: int = 1,
+    irregular_trip_hint: float | None = None,
+) -> KernelProfile:
+    """Scan ``info``'s kernel and instantiate its profile in one call."""
+    return build_profile(
+        scan_kernel(info),
+        scalar_args,
+        global_size,
+        local_size,
+        work_dim,
+        irregular_trip_hint,
+    )

@@ -1,0 +1,602 @@
+"""Kernel body scanner: the single AST walk behind all static analyses.
+
+The scanner walks a kernel exactly once and records
+
+* every global-memory operation with its affine address form, access class
+  (Table 1), load/store direction, element type, and the symbolic product
+  of enclosing-loop trip counts (its per-work-item execution multiplier);
+* every arithmetic operation, split into integer and floating point;
+* every loop with its (possibly symbolic, possibly irregular) trip count;
+* every branch, with flags for data-dependent (divergent) conditions.
+
+Static feature extraction (:mod:`repro.analysis.features`) consumes the
+static counts; the simulator profile (:mod:`repro.analysis.profile`)
+instantiates the symbolic trip counts with the runtime argument values that
+only become available at ``clEnqueueNDRangeKernel`` time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..frontend import ast
+from ..frontend.semantics import (
+    INT_BUILTINS,
+    KernelInfo,
+    MATH_BUILTINS,
+    SYNC_BUILTINS,
+    WORK_ITEM_BUILTINS,
+)
+from .accessclass import (
+    AccessClass,
+    AffineEvaluator,
+    AffineForm,
+    Coeff,
+    classify,
+    loop_var,
+)
+
+_ARITH_OPS = frozenset({"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^"})
+
+
+@dataclass
+class TripCount:
+    """Symbolic trip count of one loop: ``(bound - start) / step``.
+
+    ``bound`` and ``start`` are affine forms; ``step`` is the per-iteration
+    increment as a :class:`Coeff`.  ``irregular`` marks loops whose bound
+    depends on loaded data (e.g. the CSR row loop of SpMV) — their counts
+    cannot be derived statically and callers fall back to hints.
+    ``inclusive`` distinguishes ``<=`` from ``<`` bounds.
+    """
+
+    bound: Optional[AffineForm]
+    start: Optional[AffineForm]
+    step: Coeff
+    irregular: bool = False
+    inclusive: bool = False
+
+    def evaluate(self, env: dict[str, float], default: float = 1.0) -> float:
+        """Numeric trip count under ``env`` (symbol name → value).
+
+        Index-variable-dependent bounds (triangular loops) evaluate the
+        bound's constant part only; irregular loops return ``default``.
+        """
+        if self.irregular or self.bound is None or self.start is None:
+            return default
+        if self.bound.indirect or self.start.indirect:
+            return default
+        span = self.bound.const.evaluate(env) - self.start.const.evaluate(env)
+        if self.inclusive:
+            span += 1.0
+        step = abs(self.step.evaluate(env)) or 1.0
+        return max(span / step, 0.0)
+
+
+@dataclass
+class MemoryOp:
+    """One static global-memory operation site."""
+
+    buffer: str
+    is_store: bool
+    access: AccessClass
+    form: AffineForm
+    elem_bytes: int
+    elem_is_float: bool
+    loop_depth: int
+    trips: tuple[TripCount, ...]
+    location: object = None
+
+    def executions(self, env: dict[str, float], irregular_default: float = 1.0) -> float:
+        """Dynamic executions per work-item: product of enclosing trip counts."""
+        total = 1.0
+        for trip in self.trips:
+            total *= trip.evaluate(env, default=irregular_default)
+        return total
+
+
+@dataclass
+class ArithOp:
+    """One static arithmetic operation site."""
+
+    is_float: bool
+    is_special: bool
+    loop_depth: int
+    trips: tuple[TripCount, ...]
+
+    def executions(self, env: dict[str, float], irregular_default: float = 1.0) -> float:
+        total = 1.0
+        for trip in self.trips:
+            total *= trip.evaluate(env, default=irregular_default)
+        return total
+
+
+@dataclass
+class BranchInfo:
+    """One conditional statement in the kernel body."""
+
+    data_dependent: bool
+    id_dependent: bool
+    loop_depth: int
+
+
+@dataclass
+class LoopRecord:
+    """One loop in the kernel body."""
+
+    trip: TripCount
+    depth: int
+    irregular: bool
+
+
+@dataclass
+class KernelScan:
+    """The complete scan result for one kernel."""
+
+    info: KernelInfo
+    mem_ops: list[MemoryOp] = field(default_factory=list)
+    arith_ops: list[ArithOp] = field(default_factory=list)
+    branches: list[BranchInfo] = field(default_factory=list)
+    loops: list[LoopRecord] = field(default_factory=list)
+    local_mem_ops: int = 0
+    atomic_ops: int = 0
+    barrier_ops: int = 0
+
+    # -- static counts (Table 1 code features) ------------------------------
+
+    def count_access(self, access: AccessClass) -> int:
+        return sum(1 for op in self.mem_ops if op.access is access)
+
+    @property
+    def n_arith_int(self) -> int:
+        return sum(1 for op in self.arith_ops if not op.is_float)
+
+    @property
+    def n_arith_float(self) -> int:
+        return sum(1 for op in self.arith_ops if op.is_float)
+
+    @property
+    def has_irregular_loop(self) -> bool:
+        return any(loop.irregular for loop in self.loops)
+
+    @property
+    def n_data_dependent_branches(self) -> int:
+        return sum(1 for b in self.branches if b.data_dependent)
+
+
+_ELEM_BYTES = {
+    "char": 1, "uchar": 1, "bool": 1,
+    "short": 2, "ushort": 2,
+    "int": 4, "uint": 4, "float": 4,
+    "long": 8, "ulong": 8, "double": 8, "size_t": 8, "ptrdiff_t": 8,
+}
+
+
+class KernelScanner:
+    """Performs the single analysis walk over a kernel body."""
+
+    def __init__(self, info: KernelInfo, _call_depth: int = 0):
+        self.info = info
+        self.scan = KernelScan(info=info)
+        self.env: dict[str, AffineForm] = {}
+        self.evaluator = AffineEvaluator(info, self.env)
+        self.loop_stack: list[TripCount] = []
+        self._loop_serial = itertools.count()
+        self._call_depth = _call_depth
+
+    # -- entry point ----------------------------------------------------------
+
+    def run(self) -> KernelScan:
+        self._walk_stmt(self.info.kernel.body)
+        return self.scan
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def _depth(self) -> int:
+        return len(self.loop_stack)
+
+    def _trips(self) -> tuple[TripCount, ...]:
+        return tuple(self.loop_stack)
+
+    def _buffer_of(self, expr: ast.Expr) -> Optional[str]:
+        """The global/constant buffer name an index chain is rooted at."""
+        base = expr
+        while isinstance(base, ast.Index):
+            base = base.base
+        if not isinstance(base, ast.Identifier):
+            return None
+        symbol = self.info.symbols.lookup(base.name)
+        if symbol is None:
+            return None
+        if symbol.type.pointer and symbol.type.address_space in ("global", "constant"):
+            return base.name
+        return None
+
+    def _address_form(self, expr: ast.Index) -> AffineForm:
+        """Linearised address of an index chain (row-major for 2-D arrays)."""
+        # Collect the chain: A[i][j] parses as Index(Index(A, i), j).
+        indices: list[ast.Expr] = []
+        base: ast.Expr = expr
+        while isinstance(base, ast.Index):
+            indices.append(base.index)
+            base = base.base
+        indices.reverse()
+        name = base.name if isinstance(base, ast.Identifier) else "<anon>"
+        form = AffineForm.literal(0)
+        for level, index in enumerate(indices):
+            if level > 0:
+                # row-major: multiply the partial address by the (unknown)
+                # extent of this dimension before adding the next index
+                form = form * AffineForm.constant(Coeff.symbol(f"<dim:{name}:{level}>"))
+            form = form + self.evaluator.eval(index)
+        return form
+
+    def _elem_info(self, buffer: str) -> tuple[int, bool]:
+        symbol = self.info.symbols.lookup(buffer)
+        if symbol is None:
+            return 4, True
+        return _ELEM_BYTES.get(symbol.type.name, 4), symbol.type.is_float
+
+    def _record_mem_op(self, expr: ast.Index, is_store: bool) -> None:
+        buffer = self._buffer_of(expr)
+        if buffer is None:
+            # local / private array traffic: cheap, tracked separately
+            self.scan.local_mem_ops += 1
+            return
+        form = self._address_form(expr)
+        elem_bytes, elem_is_float = self._elem_info(buffer)
+        self.scan.mem_ops.append(
+            MemoryOp(
+                buffer=buffer,
+                is_store=is_store,
+                access=classify(form, in_loop=self._depth > 0),
+                form=form,
+                elem_bytes=elem_bytes,
+                elem_is_float=elem_is_float,
+                loop_depth=self._depth,
+                trips=self._trips(),
+                location=expr.location,
+            )
+        )
+
+    def _record_arith(self, is_float: bool, special: bool = False) -> None:
+        self.scan.arith_ops.append(
+            ArithOp(
+                is_float=is_float,
+                is_special=special,
+                loop_depth=self._depth,
+                trips=self._trips(),
+            )
+        )
+
+    # -- expression scanning ----------------------------------------------------
+    #
+    # ``_scan_expr`` recursively counts arithmetic and memory operations.
+    # Index nodes reached here are *reads*; assignment targets are handled
+    # by ``_scan_assignment`` so stores are counted once.
+
+    def _scan_expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, (ast.IntLiteral, ast.FloatLiteral, ast.Identifier)):
+            return
+        if isinstance(expr, ast.Assignment):
+            self._scan_assignment(expr)
+            return
+        if isinstance(expr, ast.Index):
+            self._scan_expr(expr.index)
+            if isinstance(expr.base, ast.Index):
+                self._scan_index_chain_reads(expr.base)
+            self._record_mem_op(expr, is_store=False)
+            return
+        if isinstance(expr, ast.BinaryOp):
+            self._scan_expr(expr.left)
+            self._scan_expr(expr.right)
+            if expr.op in _ARITH_OPS:
+                is_float = self.info.type_of(expr).is_float
+                self._record_arith(is_float)
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self._scan_expr(expr.operand)
+            if expr.op == "-":
+                self._record_arith(self.info.type_of(expr).is_float)
+            elif expr.op in ("++", "--"):
+                self._record_arith(self.info.type_of(expr).is_float)
+                self._update_env_incdec(expr.operand, expr.op)
+            return
+        if isinstance(expr, ast.PostfixOp):
+            self._scan_expr(expr.operand)
+            self._record_arith(self.info.type_of(expr).is_float)
+            self._update_env_incdec(expr.operand, expr.op)
+            return
+        if isinstance(expr, ast.Conditional):
+            self._scan_expr(expr.cond)
+            self._scan_expr(expr.then)
+            self._scan_expr(expr.otherwise)
+            return
+        if isinstance(expr, ast.Cast):
+            self._scan_expr(expr.operand)
+            return
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._scan_expr(arg)
+            if expr.name in MATH_BUILTINS:
+                self._record_arith(is_float=True, special=True)
+            elif expr.name in INT_BUILTINS:
+                self._record_arith(is_float=False)
+            elif expr.name in SYNC_BUILTINS:
+                if expr.name == "barrier":
+                    self.scan.barrier_ops += 1
+                else:
+                    self.scan.atomic_ops += 1
+            elif expr.name in self.info.user_functions:
+                self._scan_user_call(expr)
+            return
+        # unknown node kinds are ignored (future extensions)
+
+    def _scan_user_call(self, expr: ast.Call) -> None:
+        """Inline-scan a helper function's body in the caller's context.
+
+        The callee's operations execute once per call site, i.e. under the
+        caller's current loop multipliers; its parameters are bound to the
+        caller's argument affine forms so address patterns flow through.
+        Recursion depth is capped (the supported subset has no recursion).
+        """
+        if self._call_depth >= 4:
+            return
+        callee = self.info.user_functions[expr.name]
+        sub = KernelScanner(callee, _call_depth=self._call_depth + 1)
+        sub.scan = self.scan                 # shared op accumulators
+        sub.loop_stack = self.loop_stack     # caller's trip multipliers
+        for param, arg in zip(callee.kernel.params, expr.args):
+            sub.env[param.name] = self.evaluator.eval(arg)
+        saved_info = sub.scan.info
+        sub.scan.info = callee
+        try:
+            sub._walk_stmt(callee.kernel.body)
+        finally:
+            sub.scan.info = saved_info
+
+    def _scan_index_chain_reads(self, expr: ast.Expr) -> None:
+        """Scan inner levels of an index chain (their index expressions only).
+
+        For ``A[i][j]`` the inner ``Index(A, i)`` is address computation, not
+        a separate load, so only its subscript expressions are scanned.
+        """
+        while isinstance(expr, ast.Index):
+            self._scan_expr(expr.index)
+            expr = expr.base
+
+    def _scan_assignment(self, expr: ast.Assignment) -> None:
+        self._scan_expr(expr.value)
+        target = expr.target
+        if isinstance(target, ast.Index):
+            self._scan_expr(target.index)
+            if isinstance(target.base, ast.Index):
+                self._scan_index_chain_reads(target.base)
+            if expr.op != "=":
+                # compound assignment reads the old value first
+                self._record_mem_op(target, is_store=False)
+                self._record_arith(self.info.type_of(expr).is_float)
+            self._record_mem_op(target, is_store=True)
+        elif isinstance(target, ast.Identifier):
+            if expr.op != "=":
+                self._record_arith(self.info.type_of(expr).is_float)
+            self._update_env_assign(target.name, expr)
+        elif isinstance(target, ast.UnaryOp) and target.op == "*":
+            self._scan_expr(target.operand)
+
+    def _update_env_assign(self, name: str, expr: ast.Assignment) -> None:
+        value = self.evaluator.eval(expr.value)
+        if expr.op == "=":
+            self.env[name] = value
+        elif expr.op == "+=":
+            self.env[name] = self.env.get(name, AffineForm.opaque()) + value
+        elif expr.op == "-=":
+            self.env[name] = self.env.get(name, AffineForm.opaque()) - value
+        else:
+            self.env[name] = AffineForm.tainted(indirect=value.indirect)
+
+    def _update_env_incdec(self, operand: ast.Expr, op: str) -> None:
+        if isinstance(operand, ast.Identifier):
+            delta = AffineForm.literal(1 if op == "++" else -1)
+            self.env[operand.name] = self.env.get(operand.name, AffineForm.opaque()) + delta
+
+    # -- statement walking -----------------------------------------------------
+
+    def _walk_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._walk_stmt(inner)
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    self._scan_expr(decl.init)
+                    self.env[decl.name] = self.evaluator.eval(decl.init)
+                else:
+                    self.env[decl.name] = AffineForm.opaque()
+        elif isinstance(stmt, ast.ExprStmt):
+            self._scan_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._walk_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self._walk_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._walk_unbounded_loop(stmt.cond, stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._walk_unbounded_loop(stmt.cond, stmt.body)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value)
+        # Break / Continue: nothing to record
+
+    def _cond_flags(self, cond: ast.Expr) -> tuple[bool, bool]:
+        """(data_dependent, id_dependent) flags of a branch condition."""
+        data_dependent = False
+        id_dependent = False
+        for node in ast.walk(cond):
+            if isinstance(node, ast.Index):
+                data_dependent = True
+            elif isinstance(node, ast.Call) and node.name in WORK_ITEM_BUILTINS:
+                id_dependent = True
+            elif isinstance(node, ast.Identifier):
+                form = self.env.get(node.name)
+                if form is not None:
+                    if form.indirect:
+                        data_dependent = True
+                    if form.has_vars:
+                        id_dependent = True
+        return data_dependent, id_dependent
+
+    def _walk_if(self, stmt: ast.If) -> None:
+        self._scan_expr(stmt.cond)
+        data_dependent, id_dependent = self._cond_flags(stmt.cond)
+        self.scan.branches.append(
+            BranchInfo(
+                data_dependent=data_dependent,
+                id_dependent=id_dependent,
+                loop_depth=self._depth,
+            )
+        )
+        self._walk_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            self._walk_stmt(stmt.otherwise)
+
+    def _extract_iv(self, stmt: ast.For) -> tuple[Optional[str], Optional[AffineForm]]:
+        """(name, initial value form) of the loop's induction variable."""
+        init = stmt.init
+        if isinstance(init, ast.DeclStmt) and len(init.decls) == 1:
+            decl = init.decls[0]
+            start = (
+                self.evaluator.eval(decl.init)
+                if decl.init is not None
+                else AffineForm.literal(0)
+            )
+            return decl.name, start
+        if isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assignment):
+            target = init.expr.target
+            if isinstance(target, ast.Identifier):
+                return target.name, self.evaluator.eval(init.expr.value)
+        return None, None
+
+    def _extract_step(self, stmt: ast.For, iv: str) -> Optional[Coeff]:
+        """Per-iteration increment of ``iv``, or ``None`` if unrecognised."""
+        step = stmt.step
+        if step is None:
+            return None
+        if isinstance(step, (ast.PostfixOp, ast.UnaryOp)) and step.op in ("++", "--"):
+            operand = step.operand
+            if isinstance(operand, ast.Identifier) and operand.name == iv:
+                return Coeff.of(1 if step.op == "++" else -1)
+        if isinstance(step, ast.Assignment) and isinstance(step.target, ast.Identifier):
+            if step.target.name != iv:
+                return None
+            if step.op in ("+=", "-="):
+                delta = self.evaluator.eval(step.value)
+                if delta.is_index_free and not delta.indirect:
+                    return delta.const if step.op == "+=" else -delta.const
+            if step.op == "=" and isinstance(step.value, ast.BinaryOp):
+                value = step.value
+                if (
+                    value.op in ("+", "-")
+                    and isinstance(value.left, ast.Identifier)
+                    and value.left.name == iv
+                ):
+                    delta = self.evaluator.eval(value.right)
+                    if delta.is_index_free and not delta.indirect:
+                        return delta.const if value.op == "+" else -delta.const
+        return None
+
+    def _extract_bound(
+        self, stmt: ast.For, iv: str
+    ) -> tuple[Optional[AffineForm], bool, bool]:
+        """(bound form, inclusive, data_dependent) from the loop condition."""
+        cond = stmt.cond
+        if not isinstance(cond, ast.BinaryOp) or cond.op not in ("<", "<=", ">", ">="):
+            return None, False, False
+        left_is_iv = isinstance(cond.left, ast.Identifier) and cond.left.name == iv
+        bound_expr = cond.right if left_is_iv else cond.left
+        bound = self.evaluator.eval(bound_expr)
+        inclusive = cond.op in ("<=", ">=")
+        return bound, inclusive, bound.indirect
+
+    def _walk_for(self, stmt: ast.For) -> None:
+        if stmt.init is not None:
+            if isinstance(stmt.init, ast.DeclStmt):
+                for decl in stmt.init.decls:
+                    if decl.init is not None:
+                        self._scan_expr(decl.init)
+            elif isinstance(stmt.init, ast.ExprStmt):
+                self._scan_expr(stmt.init.expr)
+        iv, start = self._extract_iv(stmt)
+        step = self._extract_step(stmt, iv) if iv is not None else None
+        bound, inclusive, data_dependent = (
+            self._extract_bound(stmt, iv) if iv is not None else (None, False, False)
+        )
+        irregular = data_dependent or iv is None or step is None or bound is None
+        trip = TripCount(
+            bound=bound,
+            start=start,
+            step=step if step is not None else Coeff.of(1),
+            irregular=irregular,
+            inclusive=inclusive,
+        )
+        depth = self._depth + 1
+        self.scan.loops.append(LoopRecord(trip=trip, depth=depth, irregular=irregular))
+        saved_iv_form = self.env.get(iv) if iv is not None else None
+        if iv is not None:
+            var = loop_var(iv, depth, next(self._loop_serial))
+            scale = step if step is not None else Coeff.of(1)
+            iv_form = AffineForm.variable(var, scale)
+            # Carry the start value into the induction variable's form:
+            # addresses derived from the counter stay anchored to the
+            # per-item base (e.g. CSR row segments).  Starts that cannot
+            # be expressed affinely (loaded row pointers) taint the form
+            # with an *unknown per-item base* — the pattern relative to
+            # the loop stays known, the absolute address does not.
+            if start is not None:
+                if start.indirect or start.nonaffine:
+                    iv_form = AffineForm(
+                        vars=dict(iv_form.vars), const=iv_form.const,
+                        unknown_base=True,
+                    )
+                else:
+                    iv_form = iv_form + start
+            self.env[iv] = iv_form
+        self.loop_stack.append(trip)
+        try:
+            # condition and step expressions execute once per iteration
+            if stmt.cond is not None:
+                self._scan_expr(stmt.cond)
+            if stmt.step is not None:
+                self._scan_expr(stmt.step)
+            self._walk_stmt(stmt.body)
+        finally:
+            self.loop_stack.pop()
+            if iv is not None:
+                if saved_iv_form is not None:
+                    self.env[iv] = saved_iv_form
+                else:
+                    self.env.pop(iv, None)
+
+    def _walk_unbounded_loop(self, cond: ast.Expr, body: ast.Stmt) -> None:
+        self._scan_expr(cond)
+        data_dependent, _ = self._cond_flags(cond)
+        trip = TripCount(bound=None, start=None, step=Coeff.of(1), irregular=True)
+        depth = self._depth + 1
+        self.scan.loops.append(LoopRecord(trip=trip, depth=depth, irregular=True))
+        self.loop_stack.append(trip)
+        try:
+            self._walk_stmt(body)
+        finally:
+            self.loop_stack.pop()
+        if data_dependent:
+            self.scan.branches.append(
+                BranchInfo(data_dependent=True, id_dependent=False, loop_depth=depth)
+            )
+
+
+def scan_kernel(info: KernelInfo) -> KernelScan:
+    """Run the analysis walk over ``info``'s kernel and return the scan."""
+    return KernelScanner(info).run()

@@ -1,0 +1,25 @@
+"""Miniature OpenCL-1.2-style host API over the simulated platforms."""
+
+from .api import (
+    Interposer,
+    create_command_queue,
+    create_context,
+    create_program_with_source,
+    current_interposer,
+    install_interposer,
+    interposed,
+)
+from .buffer import Buffer
+from .context import Context
+from .device import ClPlatform, Device, get_platform, get_platforms
+from .program import Kernel, Program
+from .queue import CommandQueue, Event
+from .types import CLError, CommandType, DeviceType, Status
+
+__all__ = [
+    "Interposer", "create_command_queue", "create_context",
+    "create_program_with_source", "current_interposer", "install_interposer",
+    "interposed", "Buffer", "Context", "ClPlatform", "Device", "get_platform",
+    "get_platforms", "Kernel", "Program", "CommandQueue", "Event", "CLError",
+    "CommandType", "DeviceType", "Status",
+]

@@ -1,0 +1,96 @@
+"""Interposition registry and flat clXxx-style convenience functions.
+
+Dopia is "an additive runtime library running on top of a fully-functional
+OpenCL runtime system; through library interpositioning, Dopia transparently
+intercepts OpenCL API calls" (§4).  This module is the interception
+mechanism: an :class:`Interposer` installed here sees every program build
+and may take over every kernel launch.  ``repro.core.runtime.DopiaRuntime``
+is the (only) production interposer; tests install their own probes.
+"""
+
+from __future__ import annotations
+
+import abc
+import contextlib
+from typing import Optional
+
+from ..interp.ndrange import NDRange
+from .context import Context
+from .device import Device, DeviceType, get_platform, get_platforms
+from .program import Kernel, Program
+from .queue import CommandQueue, Event
+
+
+class Interposer(abc.ABC):
+    """The interception interface (Figure 4's two seams)."""
+
+    @abc.abstractmethod
+    def program_built(self, program: Program) -> None:
+        """Called after ``clCreateProgramWithSource`` + build succeeds."""
+
+    @abc.abstractmethod
+    def enqueue(
+        self,
+        queue: CommandQueue,
+        kernel: Kernel,
+        ndrange: NDRange,
+        irregular_trip_hint: Optional[float],
+    ) -> Optional[Event]:
+        """Called at ``clEnqueueNDRangeKernel``.
+
+        Return an :class:`Event` to take over the launch, or ``None`` to
+        fall through to the vanilla runtime path.
+        """
+
+
+_interposer: Optional[Interposer] = None
+
+
+def install_interposer(interposer: Optional[Interposer]) -> None:
+    """Install (or, with ``None``, remove) the global interposer."""
+    global _interposer
+    _interposer = interposer
+
+
+def current_interposer() -> Optional[Interposer]:
+    return _interposer
+
+
+@contextlib.contextmanager
+def interposed(interposer: Interposer):
+    """Context manager scoping an interposer installation."""
+    previous = current_interposer()
+    install_interposer(interposer)
+    try:
+        yield interposer
+    finally:
+        install_interposer(previous)
+
+
+# ---------------------------------------------------------------------------
+# Flat OpenCL-flavoured helpers
+# ---------------------------------------------------------------------------
+
+
+def create_context(platform_name: str, device_type: DeviceType = DeviceType.ALL) -> Context:
+    """Create a context over a named platform's devices."""
+    platform = get_platform(platform_name)
+    return Context(platform.get_devices(device_type))
+
+
+def create_program_with_source(context: Context, source: str) -> Program:
+    """clCreateProgramWithSource (unbuilt; call ``.build()``)."""
+    return context.create_program_with_source(source)
+
+
+def create_command_queue(
+    context: Context, device: Device | None = None, functional: bool = True
+) -> CommandQueue:
+    """clCreateCommandQueue (defaults to the context's first device)."""
+    return CommandQueue(context, device or context.devices[0], functional=functional)
+
+
+def notify_program_built(program: Program) -> None:
+    """Internal: fan the build notification out to the interposer."""
+    if _interposer is not None:
+        _interposer.program_built(program)

@@ -1,0 +1,43 @@
+"""Buffer objects: global memory shared by CPU and GPU devices.
+
+On integrated architectures the devices share physical memory, so a
+buffer is simply a NumPy array — no copies are ever made, mirroring the
+zero-copy property the paper relies on (§1, §3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import CLError, Status
+
+
+class Buffer:
+    """A device-visible memory object backed by a NumPy array."""
+
+    def __init__(self, context, array: np.ndarray):
+        if not isinstance(array, np.ndarray):
+            raise CLError(Status.INVALID_VALUE, "Buffer requires a NumPy array")
+        if array.ndim != 1:
+            raise CLError(
+                Status.INVALID_VALUE,
+                "buffers are flat; multi-dimensional data must be linearised "
+                "host-side as in any OpenCL program",
+            )
+        self.context = context
+        self.array = array
+
+    @property
+    def size_bytes(self) -> int:
+        return self.array.nbytes
+
+    def read(self) -> np.ndarray:
+        """clEnqueueReadBuffer equivalent: a host copy of the contents."""
+        return self.array.copy()
+
+    def write(self, data: np.ndarray) -> None:
+        """clEnqueueWriteBuffer equivalent: overwrite the contents."""
+        data = np.asarray(data)
+        if data.shape != self.array.shape:
+            raise CLError(Status.INVALID_VALUE, "shape mismatch on buffer write")
+        self.array[...] = data

@@ -1,0 +1,36 @@
+"""Contexts: the container tying devices, programs, and buffers together."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .buffer import Buffer
+from .device import ClPlatform, Device
+from .program import Program
+from .types import CLError, Status
+
+
+class Context:
+    """An OpenCL context over one platform's devices."""
+
+    def __init__(self, devices: list[Device]):
+        if not devices:
+            raise CLError(Status.INVALID_VALUE, "context needs at least one device")
+        platforms = {device.platform.name for device in devices}
+        if len(platforms) != 1:
+            raise CLError(
+                Status.INVALID_VALUE, "all context devices must share a platform"
+            )
+        self.devices = list(devices)
+
+    @property
+    def platform(self) -> ClPlatform:
+        return self.devices[0].platform
+
+    def create_buffer(self, array: np.ndarray) -> Buffer:
+        """clCreateBuffer with CL_MEM_USE_HOST_PTR (zero-copy)."""
+        return Buffer(self, array)
+
+    def create_program_with_source(self, source: str) -> Program:
+        """clCreateProgramWithSource."""
+        return Program(self, source)

@@ -1,0 +1,66 @@
+"""OpenCL-style platform/device objects over the simulated processors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.platforms import PLATFORMS, Platform
+from .types import CLError, DeviceType, Status
+
+
+@dataclass(frozen=True)
+class Device:
+    """One OpenCL compute device (the CPU or the GPU of a platform)."""
+
+    platform: "ClPlatform"
+    device_type: DeviceType
+    name: str
+
+    @property
+    def machine(self) -> Platform:
+        """The underlying simulated processor description."""
+        return self.platform.machine
+
+    @property
+    def max_compute_units(self) -> int:
+        if self.device_type is DeviceType.CPU:
+            return self.machine.cpu.cores
+        return self.machine.gpu.num_cus
+
+    @property
+    def max_work_group_size(self) -> int:
+        return 256 if self.device_type is DeviceType.GPU else 1024
+
+
+@dataclass(frozen=True)
+class ClPlatform:
+    """An OpenCL platform: one integrated processor with two devices."""
+
+    machine: Platform
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    def get_devices(self, device_type: DeviceType = DeviceType.ALL) -> list[Device]:
+        devices = []
+        if device_type & DeviceType.CPU:
+            devices.append(Device(self, DeviceType.CPU, f"{self.name}-cpu"))
+        if device_type & DeviceType.GPU:
+            devices.append(Device(self, DeviceType.GPU, f"{self.name}-gpu"))
+        if not devices:
+            raise CLError(Status.DEVICE_NOT_FOUND, f"no {device_type} on {self.name}")
+        return devices
+
+
+def get_platforms() -> list[ClPlatform]:
+    """clGetPlatformIDs: the simulated Kaveri and Skylake systems."""
+    return [ClPlatform(machine) for machine in PLATFORMS.values()]
+
+
+def get_platform(name: str) -> ClPlatform:
+    """Look up a platform by machine name."""
+    for platform in get_platforms():
+        if platform.name == name.lower():
+            return platform
+    raise CLError(Status.DEVICE_NOT_FOUND, f"no platform named {name!r}")

@@ -1,0 +1,115 @@
+"""Programs and kernels: the compile-time half of the host API.
+
+``Program.build()`` runs the real frontend over the source text and then
+notifies any installed interposer — this is the
+``clCreateProgramWithSource`` seam where Dopia performs its static code
+analysis and malleable code generation (paper Figure 4, top half).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..frontend.errors import FrontendError
+from ..frontend.parser import parse
+from ..frontend.semantics import KernelInfo, analyze_kernel
+from .buffer import Buffer
+from .types import CLError, Status
+
+
+class Program:
+    """A program object created from OpenCL-C source."""
+
+    def __init__(self, context, source: str):
+        self.context = context
+        self.source = source
+        self.built = False
+        self.kernel_infos: dict[str, KernelInfo] = {}
+        #: interposer-private storage (Dopia keeps its analyses here)
+        self.interposer_data: dict[str, Any] = {}
+
+    def build(self, options: str = "") -> "Program":
+        """Compile the program (parse + semantic analysis of every kernel)."""
+        try:
+            unit = parse(self.source)
+            for kernel in unit.kernels():
+                self.kernel_infos[kernel.name] = analyze_kernel(kernel, unit)
+        except FrontendError as error:
+            raise CLError(Status.BUILD_PROGRAM_FAILURE, str(error)) from error
+        if not self.kernel_infos:
+            raise CLError(Status.BUILD_PROGRAM_FAILURE, "no __kernel functions")
+        self.built = True
+        from .api import notify_program_built  # late import to avoid a cycle
+
+        notify_program_built(self)
+        return self
+
+    def create_kernel(self, name: str) -> "Kernel":
+        if not self.built:
+            raise CLError(Status.INVALID_OPERATION, "program not built")
+        if name not in self.kernel_infos:
+            raise CLError(Status.INVALID_KERNEL_NAME, name)
+        return Kernel(self, name)
+
+    def kernel_names(self) -> list[str]:
+        return sorted(self.kernel_infos)
+
+
+class Kernel:
+    """A kernel object with positional/named argument binding."""
+
+    def __init__(self, program: Program, name: str):
+        self.program = program
+        self.name = name
+        self.info = program.kernel_infos[name]
+        self._params = [p.name for p in self.info.kernel.params]
+        self._args: dict[str, Any] = {}
+
+    def set_arg(self, index_or_name: int | str, value: Any) -> None:
+        """Bind one argument (clSetKernelArg); buffers or scalars."""
+        if isinstance(index_or_name, int):
+            try:
+                name = self._params[index_or_name]
+            except IndexError:
+                raise CLError(
+                    Status.INVALID_VALUE, f"kernel has {len(self._params)} args"
+                ) from None
+        else:
+            name = index_or_name
+            if name not in self._params:
+                raise CLError(Status.INVALID_VALUE, f"no parameter {name!r}")
+        self._args[name] = value
+
+    def set_args(self, *values: Any, **named: Any) -> None:
+        """Bind several arguments positionally and/or by name."""
+        for index, value in enumerate(values):
+            self.set_arg(index, value)
+        for name, value in named.items():
+            self.set_arg(name, value)
+
+    def bound_args(self) -> dict[str, Any]:
+        """The raw argument binding (buffers unwrapped to arrays)."""
+        missing = [p for p in self._params if p not in self._args]
+        if missing:
+            raise CLError(Status.INVALID_KERNEL_ARGS, f"unbound: {missing}")
+        out: dict[str, Any] = {}
+        for name, value in self._args.items():
+            out[name] = value.array if isinstance(value, Buffer) else value
+        return out
+
+    def scalar_args(self) -> dict[str, float]:
+        """Only the scalar (non-buffer) arguments, for profiling."""
+        out: dict[str, float] = {}
+        for name, value in self._args.items():
+            if not isinstance(value, (Buffer, np.ndarray)):
+                out[name] = float(value)
+        return out
+
+    @property
+    def param_names(self) -> list[str]:
+        return list(self._params)
+
+    def arg(self, name: str) -> Optional[Any]:
+        return self._args.get(name)

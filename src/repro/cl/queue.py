@@ -1,0 +1,128 @@
+"""Command queues: the launch-time half of the host API.
+
+``CommandQueue.enqueue_nd_range_kernel`` is the seam where Dopia's runtime
+management happens (paper Figure 4, bottom half): an installed interposer
+gets the first chance to execute the launch — predicting the degree of
+parallelism and orchestrating CPU/GPU co-execution — and the vanilla
+runtime path (execute the kernel as written, on this queue's device) is
+the fallback when no interposer is installed.
+
+Execution is functional (the interpreter mutates the buffers) plus
+simulated timing (the performance model) so every launch yields both a
+correct result and a believable wall-clock figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.profile import profile_kernel
+from ..interp.executor import KernelExecutor
+from ..interp.ndrange import NDRange
+from ..sim.engine import DopSetting, simulate_execution
+from .context import Context
+from .device import Device
+from .program import Kernel
+from .types import CLError, CommandType, DeviceType, Status
+
+
+@dataclass
+class Event:
+    """Completion record of one enqueued command (clGetEventProfilingInfo)."""
+
+    command: CommandType
+    simulated_time_s: float = 0.0
+    #: which device(s) ran the work and with what DoP, when known
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class CommandQueue:
+    """An in-order command queue on one device.
+
+    ``functional`` controls whether kernels are actually executed by the
+    interpreter (exact but slow) or only simulated for timing — benchmark
+    sweeps over paper-sized problems use ``functional=False``.
+    """
+
+    def __init__(self, context: Context, device: Device, functional: bool = True):
+        if device not in context.devices:
+            raise CLError(Status.INVALID_VALUE, "device not in context")
+        self.context = context
+        self.device = device
+        self.functional = functional
+        self.events: list[Event] = []
+
+    # -- kernel launch -----------------------------------------------------
+
+    def enqueue_nd_range_kernel(
+        self,
+        kernel: Kernel,
+        global_size,
+        local_size,
+        global_offset=None,
+        irregular_trip_hint: Optional[float] = None,
+    ) -> Event:
+        """clEnqueueNDRangeKernel.
+
+        If an interposer (Dopia) is installed it may take over the launch
+        entirely; otherwise the kernel runs as written on this queue's
+        device with the default (full) degree of parallelism.
+        """
+        ndrange = NDRange(global_size, local_size, global_offset or ())
+        from .api import current_interposer  # late import to avoid a cycle
+
+        interposer = current_interposer()
+        if interposer is not None:
+            event = interposer.enqueue(self, kernel, ndrange, irregular_trip_hint)
+            if event is not None:
+                self.events.append(event)
+                return event
+        event = self._default_execute(kernel, ndrange, irregular_trip_hint)
+        self.events.append(event)
+        return event
+
+    def _default_execute(
+        self, kernel: Kernel, ndrange: NDRange, hint: Optional[float]
+    ) -> Event:
+        args = kernel.bound_args()
+        if self.functional:
+            KernelExecutor(kernel.info, args, ndrange).run()
+        profile = profile_kernel(
+            kernel.info,
+            kernel.scalar_args(),
+            ndrange.total_work_items,
+            ndrange.work_items_per_group,
+            work_dim=ndrange.work_dim,
+            irregular_trip_hint=hint,
+        )
+        machine = self.device.machine
+        if self.device.device_type is DeviceType.GPU:
+            setting = DopSetting(cpu_threads=0, gpu_fraction=1.0)
+        else:
+            setting = DopSetting(cpu_threads=machine.cpu.threads, gpu_fraction=0.0)
+        result = simulate_execution(
+            profile, machine, setting, run_key=(kernel.name, "default")
+        )
+        return Event(
+            command=CommandType.NDRANGE_KERNEL,
+            simulated_time_s=result.time_s,
+            details={"setting": setting, "result": result},
+        )
+
+    # -- buffer traffic ------------------------------------------------------
+
+    def enqueue_read_buffer(self, buffer, destination) -> Event:
+        destination[...] = buffer.array
+        event = Event(command=CommandType.READ_BUFFER)
+        self.events.append(event)
+        return event
+
+    def enqueue_write_buffer(self, buffer, source) -> Event:
+        buffer.write(source)
+        event = Event(command=CommandType.WRITE_BUFFER)
+        self.events.append(event)
+        return event
+
+    def finish(self) -> None:
+        """clFinish — everything is synchronous here, so a no-op."""

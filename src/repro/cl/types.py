@@ -1,0 +1,43 @@
+"""Common types and error codes for the miniature OpenCL host API."""
+
+from __future__ import annotations
+
+import enum
+
+
+class CLError(Exception):
+    """Host-API error, carrying an OpenCL-style status code."""
+
+    def __init__(self, code: "Status", message: str = ""):
+        self.code = code
+        super().__init__(f"{code.name}: {message}" if message else code.name)
+
+
+class Status(enum.Enum):
+    """The subset of OpenCL status codes the runtime can raise."""
+
+    SUCCESS = 0
+    DEVICE_NOT_FOUND = -1
+    INVALID_VALUE = -30
+    INVALID_KERNEL_NAME = -46
+    INVALID_KERNEL_ARGS = -52
+    INVALID_WORK_GROUP_SIZE = -54
+    INVALID_GLOBAL_OFFSET = -56
+    BUILD_PROGRAM_FAILURE = -11
+    INVALID_OPERATION = -59
+
+
+class DeviceType(enum.Flag):
+    """clGetDeviceIDs-style device type selectors."""
+
+    CPU = enum.auto()
+    GPU = enum.auto()
+    ALL = CPU | GPU
+
+
+class CommandType(enum.Enum):
+    """What a queued command did (for events/profiling)."""
+
+    NDRANGE_KERNEL = "ndrange_kernel"
+    READ_BUFFER = "read_buffer"
+    WRITE_BUFFER = "write_buffer"

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``dopia``).
+
+Subcommands mirror the framework's phases:
+
+* ``analyze``   — static analysis of a kernel file: Table-1 features,
+  per-operation access classes, and the instantiated profile.
+* ``transform`` — print the malleable GPU kernel (Figures 5/6) and the
+  generated CPU variant (Figure 7).
+* ``train``     — collect the Table-4 training set on a platform and fit a
+  model; optionally save it (pickle) and emit the DT as C code (§5.2).
+* ``predict``   — pick the best DoP configuration for a kernel launch with
+  a trained (or freshly trained) model.
+* ``sweep``     — exhaustively simulate all 44 configurations for a kernel
+  launch and print the Figure-1-style table.
+
+Example::
+
+    python -m repro analyze examples/kernels/gesummv.cl --arg n=16384 \\
+        --global-size 16384 --local-size 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import extract_static_features, profile_kernel
+from .analysis.scan import scan_kernel
+from .core import DopPredictor, collect_dataset, config_space, measure_workload
+from .frontend import FrontendError, analyze_kernel, parse_kernel
+from .ml import MODEL_FAMILIES, make_model, tree_to_c
+from .sim import get_platform
+from .transform import make_cpu_kernel, make_malleable
+from .workloads.registry import Workload
+from .workloads.synthetic import training_workloads
+
+
+def _parse_scalar(text: str) -> float:
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def _parse_args_option(pairs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"--arg expects name=value, got {pair!r}")
+        name, _, value = pair.partition("=")
+        out[name] = _parse_scalar(value)
+    return out
+
+
+def _load_kernel(path: str, name: str | None):
+    try:
+        source = Path(path).read_text()
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    try:
+        kernel = parse_kernel(source, name)
+        return source, analyze_kernel(kernel)
+    except FrontendError as error:
+        raise SystemExit(f"error: {path}: {error}")
+
+
+def _sizes(option: str) -> tuple[int, ...]:
+    return tuple(int(v) for v in option.split(","))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    _, info = _load_kernel(args.kernel, args.name)
+    features = extract_static_features(info)
+    print(f"kernel        : {info.kernel.name}")
+    print(f"buffers       : {', '.join(info.buffer_params)}")
+    print(f"scalars       : {', '.join(info.scalar_params) or '-'}")
+    print("Table-1 code features:")
+    for field in ("mem_constant", "mem_continuous", "mem_stride", "mem_random",
+                  "arith_int", "arith_float"):
+        print(f"  {field:16s} {getattr(features, field)}")
+    scan = scan_kernel(info)
+    print("memory operations:")
+    for op in scan.mem_ops:
+        kind = "store" if op.is_store else "load"
+        print(f"  {op.buffer:12s} {kind:5s} {op.access.value:10s} depth={op.loop_depth}")
+    if args.global_size:
+        scalars = _parse_args_option(args.arg)
+        profile = profile_kernel(
+            info, scalars, args.global_size, args.local_size,
+            work_dim=args.work_dim, irregular_trip_hint=args.hint,
+        )
+        print(f"profile @ global={args.global_size} local={args.local_size}:")
+        print(f"  bytes/work-item      {profile.bytes_per_item:,.0f}")
+        print(f"  flops/work-item      {profile.flops_per_item:,.0f}")
+        print(f"  mem ops/work-item    {profile.mem_ops_per_item:,.0f}")
+        print(f"  arithmetic intensity {profile.arithmetic_intensity:.3f} flop/B")
+        print(f"  irregular            {profile.irregular}")
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    source, info = _load_kernel(args.kernel, args.name)
+    malleable = make_malleable(info.kernel, work_dim=args.work_dim)
+    print(f"// malleable GPU kernel (work_dim={args.work_dim})")
+    print(malleable.source)
+    if args.cpu:
+        cpu = make_cpu_kernel(info.kernel, work_dim=args.work_dim)
+        print(f"// generated CPU variant")
+        print(cpu.source)
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    platform = get_platform(args.platform)
+    print(f"collecting Table-4 training data on {platform.name} "
+          "(cached after the first run) ...", file=sys.stderr)
+    dataset = collect_dataset(training_workloads(), platform, cache=not args.no_cache)
+    model = make_model(args.model)
+    model.fit(dataset.feature_matrix(), dataset.targets())
+    print(f"trained {args.model} on {dataset.n_workloads} x {dataset.n_configs} points")
+    if args.output:
+        payload = {"platform": platform.name, "model_name": args.model, "model": model}
+        Path(args.output).write_bytes(pickle.dumps(payload))
+        print(f"model saved to {args.output}")
+    if args.emit_c:
+        if args.model != "dt":
+            raise SystemExit("--emit-c requires --model dt")
+        from .analysis.features import FEATURE_NAMES
+
+        Path(args.emit_c).write_text(
+            tree_to_c(model, feature_names=list(FEATURE_NAMES))
+        )
+        print(f"decision tree emitted as C to {args.emit_c}")
+    return 0
+
+
+def _predictor(args: argparse.Namespace) -> DopPredictor:
+    platform = get_platform(args.platform)
+    if getattr(args, "model_file", None):
+        payload = pickle.loads(Path(args.model_file).read_bytes())
+        if payload["platform"] != platform.name:
+            raise SystemExit(
+                f"model was trained for {payload['platform']}, not {platform.name}"
+            )
+        return DopPredictor(payload["model"], platform)
+    dataset = collect_dataset(training_workloads(), platform, cache=True)
+    model = make_model(args.model)
+    model.fit(dataset.feature_matrix(), dataset.targets())
+    return DopPredictor(model, platform)
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    _, info = _load_kernel(args.kernel, args.name)
+    predictor = _predictor(args)
+    features = extract_static_features(info)
+    prediction = predictor.select(
+        features, args.work_dim, args.global_size, args.local_size
+    )
+    setting = prediction.config.setting
+    print(f"kernel   : {info.kernel.name}")
+    print(f"platform : {predictor.platform.name}")
+    print(f"selected : {setting.cpu_threads} CPU threads, "
+          f"{setting.gpu_fraction:.1%} of GPU PEs")
+    print(f"inference: {prediction.inference_cost_s * 1e6:.2f} us for 44 configs")
+    if args.verbose:
+        print("predicted normalised performance per configuration:")
+        for config, score in zip(predictor.configs, prediction.scores):
+            marker = " <-- selected" if config is prediction.config else ""
+            print(f"  cpu={config.cpu_util:4.2f} gpu={config.gpu_util:5.3f} "
+                  f"-> {score:6.3f}{marker}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .report import generate_all
+
+    paths = generate_all(args.out)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    source, info = _load_kernel(args.kernel, args.name)
+    platform = get_platform(args.platform)
+    scalars = _parse_args_option(args.arg)
+    global_size = (args.global_size,) if args.work_dim == 1 else tuple(
+        int(round(args.global_size ** (1 / args.work_dim)))
+        for _ in range(args.work_dim)
+    )
+    local_size = (args.local_size,) if args.work_dim == 1 else tuple(
+        int(round(args.local_size ** (1 / args.work_dim)))
+        for _ in range(args.work_dim)
+    )
+    workload = Workload(
+        key=f"cli/{info.kernel.name}",
+        source=source,
+        kernel_name=info.kernel.name,
+        global_size=global_size,
+        local_size=local_size,
+        scalar_args=scalars,
+        irregular_trip_hint=args.hint,
+    )
+    configs = config_space(platform)
+    times = measure_workload(workload, platform, configs)
+    order = np.argsort(times)
+    print(f"{info.kernel.name} on {platform.name}: all 44 configurations "
+          "(fastest first)")
+    for rank, index in enumerate(order[: args.top], start=1):
+        config = configs[index]
+        print(f"  {rank:2d}. cpu={config.setting.cpu_threads} "
+              f"gpu={config.gpu_util:5.1%}  {times[index] * 1e3:9.3f} ms")
+    best = configs[int(order[0])]
+    print(f"best: {best.setting.cpu_threads} CPU threads + "
+          f"{best.gpu_util:.1%} GPU ({times.min() * 1e3:.3f} ms)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dopia",
+        description="Dopia (PPoPP'22) reproduction: analyse, transform, and "
+                    "schedule OpenCL kernels on simulated integrated processors.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_kernel_options(p, launch=True):
+        p.add_argument("kernel", help="path to an OpenCL-C kernel file")
+        p.add_argument("--name", help="kernel name (if the file has several)")
+        if launch:
+            p.add_argument("--global-size", type=int, default=16384,
+                           dest="global_size", help="total work-items")
+            p.add_argument("--local-size", type=int, default=256,
+                           dest="local_size", help="work-items per group")
+            p.add_argument("--work-dim", type=int, default=1, choices=(1, 2, 3))
+            p.add_argument("--arg", action="append", metavar="NAME=VALUE",
+                           help="scalar kernel argument (repeatable)")
+            p.add_argument("--hint", type=float, default=None,
+                           help="expected trip count of irregular loops")
+
+    p = sub.add_parser("analyze", help="static analysis + optional profile")
+    add_kernel_options(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("transform", help="print malleable / CPU variants")
+    p.add_argument("kernel")
+    p.add_argument("--name")
+    p.add_argument("--work-dim", type=int, default=1, choices=(1, 2, 3))
+    p.add_argument("--cpu", action="store_true", help="also print the CPU variant")
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("train", help="collect training data and fit a model")
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
+    p.add_argument("--output", help="save the trained model (pickle)")
+    p.add_argument("--emit-c", help="emit the decision tree as C code")
+    p.add_argument("--no-cache", action="store_true")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("predict", help="select the best DoP for a launch")
+    add_kernel_options(p)
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
+    p.add_argument("--model-file", help="use a model saved by `train --output`")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures as SVG")
+    p.add_argument("--out", default="figures", help="output directory")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("sweep", help="simulate all 44 configurations")
+    add_kernel_options(p)
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--top", type=int, default=10, help="rows to print")
+    p.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Dopia core: DoP selection, training, runtime management, baselines."""
+
+from .baselines import (
+    BASELINE_UTILS,
+    STATIC_SHARES,
+    baseline_configs,
+    baseline_indices,
+    best_constant_allocation,
+    best_static_time,
+)
+from .dopconfig import (
+    CPU_LEVELS,
+    GPU_LEVELS,
+    MAX_CONFIG_DISTANCE,
+    DopConfig,
+    config_distance,
+    config_space,
+    config_utils_matrix,
+    find_config,
+)
+from .metrics import SchemeQuality, distribution_stats, evaluate_scheme
+from .predictor import DopPredictor, Prediction
+from .runtime import DopiaRuntime, KernelArtifacts
+from .scheduler import (
+    AtomicWorklist,
+    ScheduleTrace,
+    run_dynamic,
+    run_dynamic_pull,
+    run_static,
+)
+from .training import DopDataset, collect_dataset, default_cache_dir, measure_workload
+
+__all__ = [
+    "BASELINE_UTILS", "STATIC_SHARES", "baseline_configs", "baseline_indices",
+    "best_constant_allocation", "best_static_time", "CPU_LEVELS", "GPU_LEVELS",
+    "MAX_CONFIG_DISTANCE", "DopConfig", "config_distance", "config_space",
+    "config_utils_matrix", "find_config", "SchemeQuality", "distribution_stats",
+    "evaluate_scheme", "DopPredictor", "Prediction", "DopiaRuntime",
+    "KernelArtifacts", "AtomicWorklist", "ScheduleTrace", "run_dynamic",
+    "run_dynamic_pull", "run_static", "DopDataset", "collect_dataset", "default_cache_dir",
+    "measure_workload",
+]

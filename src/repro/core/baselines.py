@@ -1,0 +1,86 @@
+"""The comparison configurations of §8.3 and the exhaustive oracle.
+
+* ``CPU``  — all CPU threads, GPU off; work statically assigned.
+* ``GPU``  — all GPU PEs, CPU off.
+* ``ALL``  — everything on, collaborative execution.
+* ``Exhaustive`` — the oracle: the fastest of all 44 configurations,
+  selected with zero overhead (unrealisable in practice; found by
+  exhaustive search over the recorded times).
+* ``Best constant allocation`` — the single configuration with the best
+  *average* normalised performance over a workload set (Table 6).
+* ``best static`` — the best of 19 static partitionings (5 %…95 % to the
+  CPU) under the ALL configuration (Figure 9's STATIC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.engine import simulate_execution
+from ..sim.platforms import Platform
+from ..workloads.registry import Workload
+from .dopconfig import DopConfig, config_space, find_config
+from .training import DopDataset
+
+#: The three fixed schemes, as normalised (cpu_util, gpu_util) pairs.
+BASELINE_UTILS = {
+    "cpu": (1.0, 0.0),
+    "gpu": (0.0, 1.0),
+    "all": (1.0, 1.0),
+}
+
+#: Figure 9's static partition sweep: CPU share from 5 % to 95 %.
+STATIC_SHARES = tuple(round(0.05 * i, 2) for i in range(1, 20))
+
+
+def baseline_configs(platform: Platform) -> dict[str, DopConfig]:
+    """The CPU / GPU / ALL configurations of §8.3 for ``platform``."""
+    configs = config_space(platform)
+    return {
+        name: find_config(configs, *utils) for name, utils in BASELINE_UTILS.items()
+    }
+
+
+def baseline_indices(platform: Platform) -> dict[str, int]:
+    """Positions of CPU / GPU / ALL in the fixed configuration order."""
+    configs = config_space(platform)
+    out = {}
+    for name, utils in BASELINE_UTILS.items():
+        config = find_config(configs, *utils)
+        out[name] = configs.index(config)
+    return out
+
+
+def best_constant_allocation(dataset: DopDataset) -> tuple[int, float]:
+    """(config index, mean normalised perf) of the best single configuration.
+
+    This is Table 6's "Best const. alloc." row: the one fixed (CPU, GPU)
+    pair that maximises average normalised performance across the whole
+    workload set.
+    """
+    norm = dataset.normalized_performance()
+    means = norm.mean(axis=0)
+    best = int(np.argmax(means))
+    return best, float(means[best])
+
+
+def best_static_time(
+    workload: Workload,
+    platform: Platform,
+    shares: tuple[float, ...] = STATIC_SHARES,
+) -> tuple[float, float]:
+    """(time, share) of the best static partitioning under ALL resources."""
+    profile = workload.profile()
+    config = baseline_configs(platform)["all"]
+    best_time = np.inf
+    best_share = shares[0]
+    for share in shares:
+        result = simulate_execution(
+            profile, platform, config.setting,
+            scheduler="static", static_cpu_share=share,
+            run_key=(workload.key, "static"),
+        )
+        if result.time_s < best_time:
+            best_time = result.time_s
+            best_share = share
+    return best_time, best_share

@@ -1,0 +1,86 @@
+"""The degree-of-parallelism configuration space (paper Table 3).
+
+Dopia considers five CPU levels (0/25/50/75/100 % of hardware threads) and
+nine GPU levels (eighths of the PEs), excluding the all-zero pair:
+5 × 9 − 1 = 44 candidate configurations per platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.engine import DopSetting
+from ..sim.platforms import Platform
+
+#: Normalised CPU utilisation levels (fractions of all hardware threads).
+CPU_LEVELS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Normalised GPU utilisation levels (eighths of all PEs).
+GPU_LEVELS = tuple(i / 8 for i in range(9))
+
+
+@dataclass(frozen=True)
+class DopConfig:
+    """One candidate configuration: normalised utilisations + the concrete
+    device setting for a specific platform."""
+
+    cpu_util: float
+    gpu_util: float
+    setting: DopSetting
+
+    @property
+    def utils(self) -> tuple[float, float]:
+        return (self.cpu_util, self.gpu_util)
+
+
+def config_space(platform: Platform) -> list[DopConfig]:
+    """All 44 Table-3 configurations for ``platform``, in a fixed order.
+
+    CPU utilisation maps to thread counts (Kaveri: 0–4 cores; Skylake:
+    0–8 threads); GPU utilisation is the PE fraction the malleable kernel
+    activates.
+    """
+    configs = []
+    for cpu_util in CPU_LEVELS:
+        threads = round(cpu_util * platform.cpu.threads)
+        for gpu_util in GPU_LEVELS:
+            if cpu_util == 0.0 and gpu_util == 0.0:
+                continue
+            configs.append(
+                DopConfig(
+                    cpu_util=cpu_util,
+                    gpu_util=gpu_util,
+                    setting=DopSetting(cpu_threads=threads, gpu_fraction=gpu_util),
+                )
+            )
+    assert len(configs) == 44
+    return configs
+
+
+def config_utils_matrix(configs: list[DopConfig]) -> np.ndarray:
+    """(n, 2) array of normalised (cpu_util, gpu_util) pairs."""
+    return np.array([config.utils for config in configs], dtype=np.float64)
+
+
+#: Normalisation constant for the Euclidean-distance error of Figure 11a:
+#: the longest possible distance in the unit configuration square.
+MAX_CONFIG_DISTANCE = float(np.sqrt(2.0))
+
+
+def config_distance(a: DopConfig, b: DopConfig) -> float:
+    """Normalised Euclidean distance between two configurations (§9.3)."""
+    du = a.cpu_util - b.cpu_util
+    dv = a.gpu_util - b.gpu_util
+    return float(np.hypot(du, dv)) / MAX_CONFIG_DISTANCE
+
+
+def find_config(
+    configs: list[DopConfig], cpu_util: float, gpu_util: float
+) -> DopConfig:
+    """Look up the configuration with the given normalised utilisations."""
+    for config in configs:
+        if abs(config.cpu_util - cpu_util) < 1e-9 and abs(config.gpu_util - gpu_util) < 1e-9:
+            return config
+    raise KeyError(f"no config ({cpu_util}, {gpu_util})")

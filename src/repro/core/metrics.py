@@ -1,0 +1,66 @@
+"""Evaluation metrics of §9.3: classification counts, Euclidean distance
+error, and normalised performance against the exhaustive oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dopconfig import MAX_CONFIG_DISTANCE
+
+
+@dataclass
+class SchemeQuality:
+    """Per-workload quality of one selection scheme against the oracle."""
+
+    correct: int                   #: Table-5 count: exact best-config hits
+    distance_errors: np.ndarray    #: Fig 11a: normalised Euclidean distances
+    normalized_perf: np.ndarray    #: Fig 11b: t_best / t_selected per workload
+
+    @property
+    def mean_distance(self) -> float:
+        return float(self.distance_errors.mean())
+
+    @property
+    def mean_performance(self) -> float:
+        return float(self.normalized_perf.mean())
+
+
+def evaluate_scheme(
+    times: np.ndarray,
+    selected: np.ndarray,
+    config_utils: np.ndarray,
+) -> SchemeQuality:
+    """Score a selection scheme on a recorded time matrix.
+
+    ``times`` is (n_workloads, n_configs); ``selected`` gives the scheme's
+    chosen configuration index per workload; ``config_utils`` is the
+    (n_configs, 2) normalised-utilisation table.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    selected = np.asarray(selected, dtype=np.int64)
+    best_index = times.argmin(axis=1)
+    best_time = times.min(axis=1)
+    rows = np.arange(times.shape[0])
+
+    correct = int((selected == best_index).sum())
+    deltas = config_utils[selected] - config_utils[best_index]
+    distances = np.hypot(deltas[:, 0], deltas[:, 1]) / MAX_CONFIG_DISTANCE
+    normalized = best_time / times[rows, selected]
+    return SchemeQuality(
+        correct=correct, distance_errors=distances, normalized_perf=normalized
+    )
+
+
+def distribution_stats(values: np.ndarray) -> dict[str, float]:
+    """Mean/median/percentile summary used by the box plots (Figs 9–11)."""
+    values = np.asarray(values, dtype=np.float64)
+    return {
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "p5": float(np.percentile(values, 5)),
+        "p25": float(np.percentile(values, 25)),
+        "p75": float(np.percentile(values, 75)),
+        "p95": float(np.percentile(values, 95)),
+    }

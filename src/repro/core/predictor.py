@@ -1,0 +1,63 @@
+"""Thread-count selection: evaluate the model over all 44 configurations.
+
+"Dopia's ML model is evaluated for different CPU and GPU core allocations
+to find the best thread-level parallelism for the given kernel.  The core
+configuration of the predicted minimal kernel runtime determines the CPU
+and GPU core configuration with which the kernel is executed." (§7)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.features import StaticFeatures
+from ..ml.base import Estimator
+from ..sim.platforms import Platform
+from .dopconfig import DopConfig, config_space, config_utils_matrix
+
+
+@dataclass
+class Prediction:
+    """The outcome of one DoP selection."""
+
+    config: DopConfig
+    scores: np.ndarray          #: predicted normalised performance per config
+    inference_cost_s: float     #: modelled cost of the 44 evaluations
+
+
+class DopPredictor:
+    """Binds a trained model to a platform's configuration space."""
+
+    def __init__(self, model: Estimator, platform: Platform):
+        self.model = model
+        self.platform = platform
+        self.configs = config_space(platform)
+        self._utils = config_utils_matrix(self.configs)
+
+    def feature_rows(
+        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int
+    ) -> np.ndarray:
+        """(44, 11) model inputs for one kernel launch."""
+        n = len(self.configs)
+        rows = np.empty((n, 11), dtype=np.float64)
+        rows[:, 0:6] = static.as_tuple()
+        rows[:, 6] = work_dim
+        rows[:, 7] = global_size
+        rows[:, 8] = local_size
+        rows[:, 9:] = self._utils
+        return rows
+
+    def select(
+        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int
+    ) -> Prediction:
+        """Pick the configuration with the highest predicted performance."""
+        rows = self.feature_rows(static, work_dim, global_size, local_size)
+        scores = self.model.predict(rows)
+        best = int(np.argmax(scores))
+        return Prediction(
+            config=self.configs[best],
+            scores=scores,
+            inference_cost_s=self.model.inference_cost_s(len(self.configs)),
+        )

@@ -1,0 +1,212 @@
+"""DopiaRuntime: the interposed runtime tying everything together (§4).
+
+Installed as the :class:`repro.cl.Interposer`, the runtime
+
+* at **program build** (``clCreateProgramWithSource``): statically analyses
+  every kernel, extracts the Table-1 code features, and prepares the
+  malleable GPU and CPU variants (§5, §6);
+* at **kernel launch** (``clEnqueueNDRangeKernel``): combines the static
+  features with the launch geometry, evaluates the pre-trained ML model
+  over all 44 DoP configurations, picks the predicted-best setting, and
+  executes the launch with dynamic workload distribution (§7) — both
+  functionally (Algorithm 1 over the interpreter, mutating real buffers)
+  and on the performance model (simulated wall-clock, which includes the
+  model-inference overhead the paper charges in Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..analysis.features import StaticFeatures, extract_static_features
+from ..analysis.profile import profile_kernel
+from ..cl.api import Interposer
+from ..cl.program import Kernel, Program
+from ..cl.queue import CommandQueue, Event
+from ..cl.types import CommandType
+from ..interp.ndrange import NDRange
+from ..ml import make_model
+from ..ml.base import Estimator
+from ..sim.engine import simulate_execution
+from ..sim.platforms import Platform
+from ..transform.cpu_codegen import CpuKernel, CpuTransformError, make_cpu_kernel
+from ..transform.gpu_malleable import (
+    MalleableKernel,
+    TransformError,
+    make_malleable,
+    throttle_settings,
+)
+from ..workloads.synthetic import training_workloads
+from .predictor import DopPredictor, Prediction
+from .scheduler import run_dynamic
+from .training import collect_dataset
+
+
+@dataclass
+class KernelArtifacts:
+    """Per-kernel products of Dopia's compile-time pass."""
+
+    static_features: StaticFeatures
+    #: malleable GPU variants per work dimension (lazily generated)
+    malleable: dict[int, MalleableKernel]
+    #: Figure-7 CPU variants per work dimension (lazily generated)
+    cpu_codegen: dict[int, CpuKernel]
+    transformable: bool
+    transform_error: str = ""
+
+
+class DopiaRuntime(Interposer):
+    """The Dopia framework as a cl-API interposer."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        model: Estimator,
+        chunk_divisor: int = 10,
+        include_inference_overhead: bool = True,
+    ):
+        self.platform = platform
+        self.predictor = DopPredictor(model, platform)
+        self.chunk_divisor = chunk_divisor
+        self.include_inference_overhead = include_inference_overhead
+        #: launch log: (kernel name, Prediction, ExecutionResult) per enqueue
+        self.launches: list[dict[str, Any]] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def from_pretrained(
+        platform: Platform,
+        model_name: str = "dt",
+        cache: bool = True,
+        **model_kwargs,
+    ) -> "DopiaRuntime":
+        """Train (or load the cached dataset for) the Table-4 synthetic
+        workloads and return a ready runtime — the paper's offline phase."""
+        dataset = collect_dataset(training_workloads(), platform, cache=cache)
+        model = make_model(model_name, **model_kwargs)
+        model.fit(dataset.feature_matrix(), dataset.targets())
+        return DopiaRuntime(platform, model)
+
+    # -- compile-time pass -----------------------------------------------------
+
+    def program_built(self, program: Program) -> None:
+        for name, info in program.kernel_infos.items():
+            features = extract_static_features(info)
+            try:
+                make_malleable(info, work_dim=1)
+                transformable, error = True, ""
+            except TransformError as exc:
+                transformable, error = False, str(exc)
+            program.interposer_data[name] = KernelArtifacts(
+                static_features=features,
+                malleable={},
+                cpu_codegen={},
+                transformable=transformable,
+                transform_error=error,
+            )
+
+    def _artifacts(self, kernel: Kernel) -> KernelArtifacts:
+        data = kernel.program.interposer_data.get(kernel.name)
+        if not isinstance(data, KernelArtifacts):
+            self.program_built(kernel.program)
+            data = kernel.program.interposer_data[kernel.name]
+        return data
+
+    def _malleable_for(self, kernel: Kernel, work_dim: int) -> MalleableKernel:
+        artifacts = self._artifacts(kernel)
+        if work_dim not in artifacts.malleable:
+            artifacts.malleable[work_dim] = make_malleable(
+                kernel.info, work_dim=work_dim
+            )
+        return artifacts.malleable[work_dim]
+
+    def cpu_variant(self, kernel: Kernel, work_dim: int) -> CpuKernel:
+        """The generated Figure-7 CPU source for ``kernel`` (on demand)."""
+        artifacts = self._artifacts(kernel)
+        if work_dim not in artifacts.cpu_codegen:
+            try:
+                artifacts.cpu_codegen[work_dim] = make_cpu_kernel(
+                    kernel.info, work_dim=work_dim
+                )
+            except CpuTransformError as exc:
+                raise CpuTransformError(f"{kernel.name}: {exc}") from exc
+        return artifacts.cpu_codegen[work_dim]
+
+    # -- launch-time pass ------------------------------------------------------
+
+    def enqueue(
+        self,
+        queue: CommandQueue,
+        kernel: Kernel,
+        ndrange: NDRange,
+        irregular_trip_hint: Optional[float],
+    ) -> Optional[Event]:
+        artifacts = self._artifacts(kernel)
+        if not artifacts.transformable:
+            # Barriered kernels cannot be throttled (§6); fall back to the
+            # vanilla runtime path by declining the launch.
+            return None
+
+        prediction = self.predictor.select(
+            artifacts.static_features,
+            ndrange.work_dim,
+            ndrange.total_work_items,
+            ndrange.work_items_per_group,
+        )
+        setting = prediction.config.setting
+
+        if queue.functional:
+            self._execute_functional(kernel, ndrange, prediction)
+
+        profile = profile_kernel(
+            kernel.info,
+            kernel.scalar_args(),
+            ndrange.total_work_items,
+            ndrange.work_items_per_group,
+            work_dim=ndrange.work_dim,
+            irregular_trip_hint=irregular_trip_hint,
+        )
+        result = simulate_execution(
+            profile, self.platform, setting,
+            scheduler="dynamic", chunk_divisor=self.chunk_divisor,
+            run_key=(kernel.name, "dopia"),
+        )
+        time = result.time_s
+        if self.include_inference_overhead:
+            time += prediction.inference_cost_s
+        record = {
+            "kernel": kernel.name,
+            "prediction": prediction,
+            "result": result,
+            "time_s": time,
+        }
+        self.launches.append(record)
+        return Event(
+            command=CommandType.NDRANGE_KERNEL,
+            simulated_time_s=time,
+            details=record,
+        )
+
+    def _execute_functional(
+        self, kernel: Kernel, ndrange: NDRange, prediction: Prediction
+    ) -> None:
+        setting = prediction.config.setting
+        malleable = self._malleable_for(kernel, ndrange.work_dim)
+        if setting.uses_gpu:
+            mod, alloc = throttle_settings(
+                self.platform.gpu.pes_per_cu, setting.gpu_fraction
+            )
+        else:
+            mod, alloc = 1, 1
+        run_dynamic(
+            kernel.info,
+            malleable,
+            kernel.bound_args(),
+            ndrange,
+            setting,
+            dop_gpu_mod=mod,
+            dop_gpu_alloc=alloc,
+            chunk_divisor=self.chunk_divisor,
+        )

@@ -1,0 +1,208 @@
+"""Functional implementation of Algorithm 1 (runtime workload management).
+
+This module executes a kernel launch the way Dopia's runtime manager does,
+operating on the *real* buffers through the interpreter:
+
+* an atomic worklist holds the index of the next unprocessed work-group;
+* each active CPU thread pulls **one work-group at a time** (pull-based,
+  because CPUs have cheap atomics);
+* the GPU is **pushed chunks** of ``num_wgs / 10`` work-groups — Intel
+  iGPUs lack CPU–GPU global atomics, so the GPU cannot pull — executed
+  with the malleable kernel at the selected ``(dop_gpu_mod,
+  dop_gpu_alloc)`` throttle, using the ND-range global offset to address
+  the chunk (Figure 5 line 16 reads ``get_global_offset``);
+* the loop repeats until the worklist is exhausted.
+
+Functional execution is deterministic and every work-group is executed
+exactly once, whatever the interleaving — the invariant the test suite
+checks.  Timing is *not* modelled here (that is :mod:`repro.sim.engine`);
+this is the correctness half of the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..frontend.semantics import KernelInfo
+from ..interp.executor import KernelExecutor
+from ..interp.ndrange import NDRange
+from ..sim.engine import DopSetting
+from ..transform.gpu_malleable import ALLOC_PARAM, MOD_PARAM, MalleableKernel
+
+
+@dataclass
+class ScheduleTrace:
+    """Which device executed which work-groups, in claim order."""
+
+    cpu_groups: list[int] = field(default_factory=list)
+    gpu_groups: list[int] = field(default_factory=list)
+    gpu_chunks: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.cpu_groups) + len(self.gpu_groups)
+
+
+class AtomicWorklist:
+    """The shared work-group counter of Algorithm 1 (line 6)."""
+
+    def __init__(self, num_work_groups: int):
+        self.next = 0
+        self.limit = num_work_groups
+
+    def fetch_add(self, count: int = 1) -> int:
+        value = self.next
+        self.next += count
+        return value
+
+    @property
+    def exhausted(self) -> bool:
+        return self.next >= self.limit
+
+
+def run_dynamic(
+    cpu_info: KernelInfo,
+    gpu_kernel: MalleableKernel,
+    args: dict[str, Any],
+    ndrange: NDRange,
+    setting: DopSetting,
+    dop_gpu_mod: int = 1,
+    dop_gpu_alloc: int = 1,
+    chunk_divisor: int = 10,
+    cpu_pulls_per_round: int | None = None,
+) -> ScheduleTrace:
+    """Execute one launch with Algorithm 1's dynamic distribution.
+
+    ``cpu_info`` is the kernel the CPU threads run (work-group at a time —
+    semantically the original kernel); ``gpu_kernel`` is the malleable GPU
+    variant.  ``cpu_pulls_per_round`` models how many work-groups the CPU
+    side claims while one GPU chunk is in flight (any value yields a
+    correct execution; it only changes the split).
+    """
+    num_wgs = ndrange.total_groups
+    worklist = AtomicWorklist(num_wgs)
+    trace = ScheduleTrace()
+
+    use_cpu = setting.uses_cpu
+    use_gpu = setting.uses_gpu
+    if not use_cpu and not use_gpu:
+        raise ValueError("at least one device must be active")
+
+    cpu_executor = KernelExecutor(cpu_info, args, ndrange) if use_cpu else None
+    gpu_executor = None
+    if use_gpu:
+        gpu_args = dict(args)
+        gpu_args[MOD_PARAM] = dop_gpu_mod
+        gpu_args[ALLOC_PARAM] = dop_gpu_alloc
+        gpu_executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+
+    chunk = max(1, num_wgs // max(1, chunk_divisor)) if use_gpu else 0
+    pulls = cpu_pulls_per_round
+    if pulls is None:
+        pulls = max(1, setting.cpu_threads) * max(1, chunk // 2)
+
+    while not worklist.exhausted:
+        if use_gpu:
+            start = worklist.fetch_add(chunk)
+            take = min(chunk, num_wgs - start)
+            if take > 0:
+                group_ids = [ndrange.group_from_linear(g) for g in range(start, start + take)]
+                gpu_executor.run(group_ids)
+                trace.gpu_groups.extend(range(start, start + take))
+                trace.gpu_chunks += 1
+        if use_cpu:
+            for _ in range(pulls if use_gpu else num_wgs):
+                if worklist.exhausted:
+                    break
+                group = worklist.fetch_add(1)
+                if group >= num_wgs:
+                    break
+                cpu_executor.run_group(ndrange.group_from_linear(group))
+                trace.cpu_groups.append(group)
+
+    return trace
+
+
+def run_dynamic_pull(
+    cpu_info: KernelInfo,
+    gpu_kernel: MalleableKernel,
+    args: dict[str, Any],
+    ndrange: NDRange,
+    setting: DopSetting,
+    dop_gpu_mod: int = 1,
+    dop_gpu_alloc: int = 1,
+    gpu_claims_per_round: int = 2,
+) -> ScheduleTrace:
+    """Fully pull-based variant (future-work extension, §7).
+
+    On platforms with CPU–GPU global atomics both devices claim
+    work-groups from the same worklist one (or a few) at a time; there is
+    no chunk barrier.  Functionally every work-group still executes
+    exactly once.
+    """
+    num_wgs = ndrange.total_groups
+    worklist = AtomicWorklist(num_wgs)
+    trace = ScheduleTrace()
+    use_cpu = setting.uses_cpu
+    use_gpu = setting.uses_gpu
+    if not use_cpu and not use_gpu:
+        raise ValueError("at least one device must be active")
+    cpu_executor = KernelExecutor(cpu_info, args, ndrange) if use_cpu else None
+    gpu_executor = None
+    if use_gpu:
+        gpu_args = dict(args)
+        gpu_args[MOD_PARAM] = dop_gpu_mod
+        gpu_args[ALLOC_PARAM] = dop_gpu_alloc
+        gpu_executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+
+    while not worklist.exhausted:
+        if use_gpu:
+            for _ in range(gpu_claims_per_round):
+                if worklist.exhausted:
+                    break
+                group = worklist.fetch_add(1)
+                gpu_executor.run_group(ndrange.group_from_linear(group))
+                trace.gpu_groups.append(group)
+            trace.gpu_chunks += 1
+        if use_cpu:
+            for _ in range(max(1, setting.cpu_threads) if use_gpu else num_wgs):
+                if worklist.exhausted:
+                    break
+                group = worklist.fetch_add(1)
+                cpu_executor.run_group(ndrange.group_from_linear(group))
+                trace.cpu_groups.append(group)
+    return trace
+
+
+def run_static(
+    cpu_info: KernelInfo,
+    gpu_kernel: MalleableKernel,
+    args: dict[str, Any],
+    ndrange: NDRange,
+    setting: DopSetting,
+    cpu_share: float,
+    dop_gpu_mod: int = 1,
+    dop_gpu_alloc: int = 1,
+) -> ScheduleTrace:
+    """Execute with an a-priori static split (Figure 9's STATIC baseline)."""
+    if not 0.0 <= cpu_share <= 1.0:
+        raise ValueError("cpu_share must be in [0, 1]")
+    num_wgs = ndrange.total_groups
+    cpu_wgs = round(cpu_share * num_wgs) if setting.uses_cpu else 0
+    if not setting.uses_gpu:
+        cpu_wgs = num_wgs
+    trace = ScheduleTrace()
+    if cpu_wgs > 0:
+        executor = KernelExecutor(cpu_info, args, ndrange)
+        executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs))
+        trace.cpu_groups.extend(range(cpu_wgs))
+    if cpu_wgs < num_wgs:
+        gpu_args = dict(args)
+        gpu_args[MOD_PARAM] = dop_gpu_mod
+        gpu_args[ALLOC_PARAM] = dop_gpu_alloc
+        executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+        executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs, num_wgs))
+        trace.gpu_groups.extend(range(cpu_wgs, num_wgs))
+        trace.gpu_chunks = 1
+    return trace

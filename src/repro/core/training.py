@@ -1,0 +1,189 @@
+"""Training-data collection (paper §5.2, Table 4).
+
+Every workload is executed (simulated) at all 44 DoP configurations with
+Dopia's dynamic workload distribution; the recorded execution times become
+the model targets.  Following the paper, the target is the *normalised
+performance* of a configuration — best observed time over this
+configuration's time, in (0, 1] — which makes targets comparable across
+kernels of very different absolute runtimes.
+
+Collecting the full (1,224 + 14) × 44 = 54,472-point dataset takes the
+paper "a few hours" on hardware and a few tens of seconds here, so results
+are cached on disk (``DOPIA_CACHE_DIR`` overrides the location).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.features import StaticFeatures, extract_static_features
+from ..sim.engine import simulate_execution
+from ..sim.platforms import Platform
+from ..workloads.registry import Workload
+from .dopconfig import DopConfig, config_space, config_utils_matrix
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("DOPIA_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".cache"
+
+
+@dataclass
+class DopDataset:
+    """Execution times and features of a workload set on one platform.
+
+    ``times[i, j]`` is the simulated execution time of workload ``i`` under
+    configuration ``j`` (the fixed order of :func:`config_space`).
+    """
+
+    platform_name: str
+    workload_keys: list[str]
+    static_features: np.ndarray    #: (n, 6) Table-1 code features
+    runtime_features: np.ndarray   #: (n, 3) work_dim, global_size, local_size
+    times: np.ndarray              #: (n, 44) seconds
+    config_utils: np.ndarray       #: (44, 2) normalised utilisations
+
+    # -- dataset views ------------------------------------------------------
+
+    @property
+    def n_workloads(self) -> int:
+        return len(self.workload_keys)
+
+    @property
+    def n_configs(self) -> int:
+        return self.times.shape[1]
+
+    def normalized_performance(self) -> np.ndarray:
+        """(n, 44) best-time / time — the model target, in (0, 1]."""
+        best = self.times.min(axis=1, keepdims=True)
+        return best / self.times
+
+    def best_config_indices(self) -> np.ndarray:
+        """Index of the fastest configuration per workload."""
+        return self.times.argmin(axis=1)
+
+    def feature_matrix(self) -> np.ndarray:
+        """(n*44, 11) Table-1 rows: static ⊕ runtime ⊕ config utils."""
+        n, c = self.n_workloads, self.n_configs
+        out = np.empty((n * c, 11), dtype=np.float64)
+        static_runtime = np.hstack([self.static_features, self.runtime_features])
+        out[:, :9] = np.repeat(static_runtime, c, axis=0)
+        out[:, 9:] = np.tile(self.config_utils, (n, 1))
+        return out
+
+    def targets(self) -> np.ndarray:
+        """(n*44,) normalised performance, matching :meth:`feature_matrix`."""
+        return self.normalized_performance().ravel()
+
+    def groups(self) -> np.ndarray:
+        """(n*44,) workload index per row — for grouped cross-validation."""
+        return np.repeat(np.arange(self.n_workloads), self.n_configs)
+
+    def rows_of(self, workload_index: int) -> slice:
+        return slice(workload_index * self.n_configs, (workload_index + 1) * self.n_configs)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            platform_name=self.platform_name,
+            workload_keys=np.array(self.workload_keys),
+            static_features=self.static_features,
+            runtime_features=self.runtime_features,
+            times=self.times,
+            config_utils=self.config_utils,
+        )
+
+    @staticmethod
+    def load(path: Path) -> "DopDataset":
+        data = np.load(path, allow_pickle=False)
+        return DopDataset(
+            platform_name=str(data["platform_name"]),
+            workload_keys=[str(k) for k in data["workload_keys"]],
+            static_features=data["static_features"],
+            runtime_features=data["runtime_features"],
+            times=data["times"],
+            config_utils=data["config_utils"],
+        )
+
+
+def measure_workload(
+    workload: Workload,
+    platform: Platform,
+    configs: Sequence[DopConfig] | None = None,
+    sigma: float | None = None,
+) -> np.ndarray:
+    """Simulated dynamic-distribution times of one workload at every config."""
+    if configs is None:
+        configs = config_space(platform)
+    profile = workload.profile()
+    kwargs = {} if sigma is None else {"sigma": sigma}
+    return np.array(
+        [
+            simulate_execution(
+                profile, platform, config.setting,
+                scheduler="dynamic", run_key=(workload.key,), **kwargs,
+            ).time_s
+            for config in configs
+        ]
+    )
+
+
+def _workloads_fingerprint(workloads: Sequence[Workload], platform: Platform) -> str:
+    hasher = hashlib.blake2b(digest_size=12)
+    hasher.update(platform.name.encode())
+    hasher.update(repr(platform).encode())
+    for workload in workloads:
+        hasher.update(workload.key.encode())
+        hasher.update(workload.source.encode())
+        hasher.update(repr(sorted(workload.scalar_args.items())).encode())
+    return hasher.hexdigest()
+
+
+def collect_dataset(
+    workloads: Sequence[Workload],
+    platform: Platform,
+    cache: bool = True,
+    cache_dir: Path | None = None,
+) -> DopDataset:
+    """Build (or load from cache) the dataset for ``workloads`` on ``platform``."""
+    directory = cache_dir or default_cache_dir()
+    fingerprint = _workloads_fingerprint(workloads, platform)
+    path = directory / f"dataset-{platform.name}-{fingerprint}.npz"
+    if cache and path.exists():
+        return DopDataset.load(path)
+
+    configs = config_space(platform)
+    static = np.empty((len(workloads), 6), dtype=np.float64)
+    runtime = np.empty((len(workloads), 3), dtype=np.float64)
+    times = np.empty((len(workloads), len(configs)), dtype=np.float64)
+    for index, workload in enumerate(workloads):
+        features: StaticFeatures = extract_static_features(workload.kernel_info())
+        static[index] = features.as_tuple()
+        runtime[index] = (
+            workload.work_dim,
+            workload.total_work_items,
+            workload.work_group_items,
+        )
+        times[index] = measure_workload(workload, platform, configs)
+    dataset = DopDataset(
+        platform_name=platform.name,
+        workload_keys=[w.key for w in workloads],
+        static_features=static,
+        runtime_features=runtime,
+        times=times,
+        config_utils=config_utils_matrix(configs),
+    )
+    if cache:
+        dataset.save(path)
+    return dataset

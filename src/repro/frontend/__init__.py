@@ -1,0 +1,56 @@
+"""OpenCL-C compiler frontend (lexer, parser, AST, semantic analysis).
+
+This package replaces the Eigen Compiler Suite frontend the paper uses: it
+turns OpenCL-C kernel source into an AST that the feature-extraction and
+malleable-code-generation passes operate on.
+"""
+
+from .ast import (
+    Assignment,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    Cast,
+    Conditional,
+    Continue,
+    CType,
+    DeclStmt,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    For,
+    FunctionDef,
+    Identifier,
+    If,
+    Index,
+    IntLiteral,
+    Node,
+    NodeVisitor,
+    Param,
+    PostfixOp,
+    Return,
+    Stmt,
+    TranslationUnit,
+    UnaryOp,
+    VarDecl,
+    walk,
+    While,
+)
+from .errors import FrontendError, LexerError, ParserError, SemanticError, SourceLocation
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse, parse_kernel
+from .semantics import KernelInfo, Symbol, SymbolTable, analyze_kernel
+
+__all__ = [
+    "Assignment", "BinaryOp", "Block", "Break", "Call", "Cast", "Conditional",
+    "Continue", "CType", "DeclStmt", "DoWhile", "Expr", "ExprStmt",
+    "FloatLiteral", "For", "FunctionDef", "Identifier", "If", "Index",
+    "IntLiteral", "Node", "NodeVisitor", "Param", "PostfixOp", "Return",
+    "Stmt", "TranslationUnit", "UnaryOp", "VarDecl", "walk", "While",
+    "FrontendError", "LexerError", "ParserError", "SemanticError",
+    "SourceLocation", "Lexer", "Token", "TokenKind", "tokenize", "Parser",
+    "parse", "parse_kernel", "KernelInfo", "Symbol", "SymbolTable",
+    "analyze_kernel",
+]

@@ -1,0 +1,352 @@
+"""AST node definitions for the OpenCL-C subset.
+
+Nodes are plain dataclasses.  Every node stores its :class:`SourceLocation`
+so later passes (feature extraction, malleable-code generation) can report
+precise diagnostics.  The hierarchy intentionally mirrors a C AST:
+
+* :class:`Expr` subclasses for expressions,
+* :class:`Stmt` subclasses for statements,
+* :class:`FunctionDef` / :class:`TranslationUnit` at the top level.
+
+A small visitor (:class:`NodeVisitor`) and a generic ``walk`` iterator are
+provided; the analysis passes in :mod:`repro.analysis` are built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional
+
+from .errors import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+#: OpenCL-C scalar type names the frontend understands, mapped to whether the
+#: type is floating point.  ``size_t`` is treated as an unsigned integer.
+SCALAR_TYPES = {
+    "void": None,
+    "bool": False,
+    "char": False,
+    "uchar": False,
+    "short": False,
+    "ushort": False,
+    "int": False,
+    "uint": False,
+    "long": False,
+    "ulong": False,
+    "size_t": False,
+    "ptrdiff_t": False,
+    "float": True,
+    "double": True,
+}
+
+#: Address spaces for pointer parameters and local declarations.
+ADDRESS_SPACES = ("global", "local", "constant", "private")
+
+
+@dataclass(frozen=True)
+class CType:
+    """A (possibly pointer) OpenCL-C type with an address space.
+
+    ``name`` is the scalar base type (``float``, ``int``, ...); ``pointer``
+    marks one level of indirection (the paper kernels never use multi-level
+    pointers — multi-dimensional data is flattened, as is idiomatic in
+    OpenCL).  ``address_space`` defaults to ``private`` for locals.
+    """
+
+    name: str
+    pointer: bool = False
+    address_space: str = "private"
+    const: bool = False
+
+    @property
+    def is_float(self) -> bool:
+        """True if the scalar base type is a floating-point type."""
+        return bool(SCALAR_TYPES.get(self.name))
+
+    @property
+    def is_integer(self) -> bool:
+        """True if the scalar base type is an integer type."""
+        return SCALAR_TYPES.get(self.name) is False
+
+    def __str__(self) -> str:
+        parts = []
+        if self.address_space != "private":
+            parts.append(f"__{self.address_space}")
+        if self.const:
+            parts.append("const")
+        parts.append(self.name)
+        text = " ".join(parts)
+        return text + "*" if self.pointer else text
+
+
+# ---------------------------------------------------------------------------
+# Base node
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation = field(repr=False)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield child nodes in source order (generic, reflection-based)."""
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Depth-first pre-order traversal over ``node`` and all descendants."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    text: str = ""
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    text: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str
+
+
+@dataclass
+class BinaryOp(Expr):
+    """A binary operation such as ``a + b`` or ``a && b``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """A prefix unary operation (``-x``, ``!x``, ``~x``, ``++x``, ``--x``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class PostfixOp(Expr):
+    """A postfix increment/decrement (``x++``, ``x--``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Assignment(Expr):
+    """An assignment; ``op`` is ``=`` or a compound form such as ``+=``."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise`` operator."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    """A function call.  OpenCL builtins are ordinary calls at this level."""
+
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    """An array subscript ``base[index]``; chains encode ``A[i][j]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    """An explicit C-style cast ``(type) operand``."""
+
+    type: CType
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Node):
+    """A single declarator within a declaration statement.
+
+    ``array_dims`` holds the constant sizes of ``__local`` or private array
+    declarations such as ``__local int worklist[1];``.
+    """
+
+    type: CType
+    name: str
+    array_dims: list[Expr] = field(default_factory=list)
+    init: Optional[Expr] = None
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A declaration statement (possibly with several declarators)."""
+
+    decls: list[VarDecl]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    """A C for-loop.  ``init`` may be a declaration or an expression statement."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    """A kernel/function parameter."""
+
+    type: CType
+    name: str
+
+
+@dataclass
+class FunctionDef(Node):
+    """A function definition; ``is_kernel`` marks ``__kernel`` entry points."""
+
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Block
+    is_kernel: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A parsed source file: an ordered list of function definitions."""
+
+    functions: list[FunctionDef]
+
+    def kernels(self) -> list[FunctionDef]:
+        """All ``__kernel`` entry points in the unit."""
+        return [f for f in self.functions if f.is_kernel]
+
+    def kernel(self, name: str) -> FunctionDef:
+        """Look up a kernel by name; raises ``KeyError`` if absent."""
+        for f in self.functions:
+            if f.is_kernel and f.name == name:
+                return f
+        raise KeyError(f"no kernel named {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Visitor
+# ---------------------------------------------------------------------------
+
+
+class NodeVisitor:
+    """Dispatches ``visit_<ClassName>`` methods; falls back to children."""
+
+    def visit(self, node: Node):
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: Node):
+        for child in node.children():
+            self.visit(child)

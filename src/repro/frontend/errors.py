@@ -1,0 +1,49 @@
+"""Diagnostics for the OpenCL-C frontend.
+
+The frontend mirrors the role the Eigen Compiler Suite plays in the paper:
+a small, self-contained toolchain whose only job is to turn kernel source
+text into an AST that the analysis and transformation passes can walk.
+All errors raised while doing so carry a source location so that failing
+kernels in the test suite and the workload generators are easy to debug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position inside a kernel source string.
+
+    Lines and columns are 1-based, matching how compilers conventionally
+    report positions.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class FrontendError(Exception):
+    """Base class for all frontend diagnostics."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        if location is not None:
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LexerError(FrontendError):
+    """Raised when the tokenizer encounters an invalid character sequence."""
+
+
+class ParserError(FrontendError):
+    """Raised when the token stream does not match the OpenCL-C grammar subset."""
+
+
+class SemanticError(FrontendError):
+    """Raised for violations detected after parsing (unknown names, bad types)."""

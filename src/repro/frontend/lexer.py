@@ -1,0 +1,246 @@
+"""Tokenizer for the OpenCL-C subset used by the Dopia workloads.
+
+The lexer is a single-pass scanner producing a flat list of :class:`Token`
+objects.  It understands:
+
+* line (``//``) and block (``/* */``) comments,
+* preprocessor-style lines (``#define`` etc.) which are skipped — the paper
+  kernels do not rely on macros, but inputs copied from Polybench sources
+  occasionally carry guards,
+* integer literals (decimal and hex, with optional ``u``/``U``/``l``/``L``
+  suffixes), floating-point literals (with optional ``f``/``F`` suffix),
+* identifiers and the OpenCL-C keywords used in kernels,
+* all C operators needed by expressions in the paper's kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import LexerError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LITERAL = "int"
+    FLOAT_LITERAL = "float"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Keywords recognised by the parser.  Address-space and access qualifiers are
+#: included so parameter declarations such as ``__global const float *A`` lex
+#: into keyword tokens rather than plain identifiers.
+KEYWORDS = frozenset(
+    {
+        "void", "char", "uchar", "short", "ushort", "int", "uint", "long",
+        "ulong", "float", "double", "bool", "size_t", "ptrdiff_t",
+        "signed", "unsigned",
+        "__kernel", "kernel",
+        "__global", "global", "__local", "local", "__constant", "constant",
+        "__private", "private",
+        "const", "volatile", "restrict", "static", "inline",
+        "if", "else", "for", "while", "do", "return", "break", "continue",
+        "struct", "typedef",
+        "true", "false",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works by
+#: scanning this tuple in order.
+_PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the source spelling; for literals the parser converts it
+    to a Python number on demand so the token stream stays uniform.
+    """
+
+    kind: TokenKind
+    value: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.location})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class Lexer:
+    """Scans OpenCL-C source text into tokens.
+
+    The class keeps explicit line/column counters instead of using ``re``
+    so diagnostics point at the exact offending character.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor helpers -------------------------------------------
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    # -- skipping -----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace, comments, and preprocessor lines."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexerError("unterminated block comment", start)
+            elif ch == "#" and self.column == 1:
+                # Preprocessor directive: skip to end of (logical) line,
+                # honouring backslash continuations.
+                while self.pos < len(self.source):
+                    if self._peek() == "\\" and self._peek(1) == "\n":
+                        self._advance(2)
+                        continue
+                    if self._peek() == "\n":
+                        break
+                    self._advance()
+            else:
+                return
+
+    # -- token scanners -----------------------------------------------------
+
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == "." and self._peek(1).isdigit():
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            elif self._peek() == ".":
+                is_float = True
+                self._advance()
+            if self._peek() and self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) and self._peek(1) in "+-"
+                    and self._peek(2).isdigit())
+            ):
+                is_float = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+        # literal suffixes (note: membership tests must exclude the empty
+        # EOF sentinel — `"" in "uUlL"` is True in Python)
+        if is_float:
+            if self._peek() and self._peek() in "fF":
+                self._advance()
+        else:
+            while self._peek() and self._peek() in "uUlL":
+                self._advance()
+            if self._peek() and self._peek() in "fF":
+                is_float = True
+                self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, loc)
+
+    def _scan_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek() and _is_ident_char(self._peek()):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _scan_punct(self) -> Token:
+        loc = self._loc()
+        for op in _PUNCTUATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.PUNCT, op, loc)
+        raise LexerError(f"unexpected character {self._peek()!r}", loc)
+
+    # -- public API ---------------------------------------------------------
+
+    def next_token(self) -> Token:
+        """Return the next token, or an EOF token at end of input."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", self._loc())
+        ch = self._peek()
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number()
+        if _is_ident_start(ch):
+            return self._scan_ident()
+        return self._scan_punct()
+
+    def tokenize(self) -> list[Token]:
+        """Scan the whole input and return the token list (EOF-terminated)."""
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source).tokenize()

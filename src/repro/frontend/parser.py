@@ -1,0 +1,463 @@
+"""Recursive-descent parser for the OpenCL-C subset.
+
+The grammar covers everything the paper's workloads use: kernel function
+definitions with address-space-qualified pointer parameters, declarations
+(including ``__local`` arrays), the full C statement repertoire (``if``,
+``for``, ``while``, ``do``, ``return``, ``break``, ``continue``, blocks),
+and C expressions with standard precedence, including assignment operators,
+the ternary operator, casts, calls, and chained subscripts.
+
+The parser produces the AST of :mod:`repro.frontend.ast` and performs no
+semantic checking; that is the job of :mod:`repro.frontend.semantics`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .errors import ParserError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+
+#: Binary operator precedence, higher binds tighter (C rules).
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="})
+
+#: Tokens that may begin a type specifier.
+_TYPE_KEYWORDS = frozenset(ast.SCALAR_TYPES) | {"signed", "unsigned"}
+
+_QUALIFIER_KEYWORDS = frozenset(
+    {
+        "__global", "global", "__local", "local", "__constant", "constant",
+        "__private", "private", "const", "volatile", "restrict", "static",
+        "inline",
+    }
+)
+
+_ADDRESS_SPACE_MAP = {
+    "__global": "global", "global": "global",
+    "__local": "local", "local": "local",
+    "__constant": "constant", "constant": "constant",
+    "__private": "private", "private": "private",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.frontend.ast.TranslationUnit`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token-stream helpers ----------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _check(self, value: str) -> bool:
+        token = self._peek()
+        return token.kind in (TokenKind.PUNCT, TokenKind.KEYWORD) and token.value == value
+
+    def _accept(self, value: str) -> bool:
+        if self._check(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> Token:
+        if not self._check(value):
+            token = self._peek()
+            raise ParserError(
+                f"expected {value!r}, found {token.value!r}", token.location
+            )
+        return self._advance()
+
+    def _loc(self) -> SourceLocation:
+        return self._peek().location
+
+    # -- types ---------------------------------------------------------------
+
+    def _at_type(self, offset: int = 0) -> bool:
+        """True if the token at ``offset`` can begin a declaration."""
+        token = self._peek(offset)
+        if token.kind is not TokenKind.KEYWORD:
+            return False
+        return token.value in _TYPE_KEYWORDS or token.value in _QUALIFIER_KEYWORDS
+
+    def _parse_type(self) -> ast.CType:
+        """Parse qualifiers, a scalar type name, and an optional ``*``."""
+        address_space = "private"
+        const = False
+        name: Optional[str] = None
+        unsigned = False
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.KEYWORD:
+                break
+            value = token.value
+            if value in _ADDRESS_SPACE_MAP:
+                address_space = _ADDRESS_SPACE_MAP[value]
+                self._advance()
+            elif value == "const":
+                const = True
+                self._advance()
+            elif value in ("volatile", "restrict", "static", "inline"):
+                self._advance()
+            elif value == "unsigned":
+                unsigned = True
+                self._advance()
+            elif value == "signed":
+                self._advance()
+            elif value in ast.SCALAR_TYPES:
+                name = value
+                self._advance()
+            else:
+                break
+        if name is None:
+            if unsigned:
+                name = "uint"
+            else:
+                token = self._peek()
+                raise ParserError(f"expected type name, found {token.value!r}", token.location)
+        elif unsigned and name in ("int", "char", "short", "long"):
+            name = "u" + name
+        pointer = False
+        if self._accept("*"):
+            pointer = True
+            # allow trailing qualifiers after the star, e.g. `float * restrict A`
+            while self._peek().kind is TokenKind.KEYWORD and self._peek().value in (
+                "const", "volatile", "restrict",
+            ):
+                self._advance()
+        return ast.CType(name=name, pointer=pointer, address_space=address_space, const=const)
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        loc = self._loc()
+        functions: list[ast.FunctionDef] = []
+        while self._peek().kind is not TokenKind.EOF:
+            functions.append(self._parse_function())
+        return ast.TranslationUnit(location=loc, functions=functions)
+
+    def _parse_function(self) -> ast.FunctionDef:
+        loc = self._loc()
+        is_kernel = False
+        while self._peek().kind is TokenKind.KEYWORD and self._peek().value in (
+            "__kernel", "kernel",
+        ):
+            is_kernel = True
+            self._advance()
+        return_type = self._parse_type()
+        name_token = self._advance()
+        if name_token.kind not in (TokenKind.IDENT, TokenKind.INT_LITERAL):
+            raise ParserError(
+                f"expected function name, found {name_token.value!r}", name_token.location
+            )
+        name = name_token.value
+        # Kernel names in the paper (e.g. `2mat3d`) start with a digit; allow
+        # an INT followed immediately by an identifier-ish token to merge.
+        if name_token.kind is TokenKind.INT_LITERAL and self._peek().kind is TokenKind.IDENT:
+            name += self._advance().value
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                ploc = self._loc()
+                ptype = self._parse_type()
+                pname = self._expect_ident()
+                params.append(ast.Param(location=ploc, type=ptype, name=pname))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._parse_block()
+        return ast.FunctionDef(
+            location=loc,
+            name=name,
+            return_type=return_type,
+            params=params,
+            body=body,
+            is_kernel=is_kernel,
+        )
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind is not TokenKind.IDENT:
+            raise ParserError(f"expected identifier, found {token.value!r}", token.location)
+        return token.value
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        loc = self._loc()
+        self._expect("{")
+        body: list[ast.Stmt] = []
+        while not self._check("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParserError("unterminated block", loc)
+            body.append(self._parse_statement())
+        self._expect("}")
+        return ast.Block(location=loc, body=body)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value == "{":
+            return self._parse_block()
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "do":
+                return self._parse_do_while()
+            if token.value == "return":
+                loc = self._advance().location
+                value = None if self._check(";") else self._parse_expression()
+                self._expect(";")
+                return ast.Return(location=loc, value=value)
+            if token.value == "break":
+                loc = self._advance().location
+                self._expect(";")
+                return ast.Break(location=loc)
+            if token.value == "continue":
+                loc = self._advance().location
+                self._expect(";")
+                return ast.Continue(location=loc)
+            if self._at_type():
+                return self._parse_declaration()
+        if token.kind is TokenKind.PUNCT and token.value == ";":
+            loc = self._advance().location
+            return ast.Block(location=loc, body=[])
+        loc = token.location
+        expr = self._parse_expression()
+        self._expect(";")
+        return ast.ExprStmt(location=loc, expr=expr)
+
+    def _parse_declaration(self) -> ast.DeclStmt:
+        loc = self._loc()
+        base = self._parse_type()
+        decls: list[ast.VarDecl] = []
+        while True:
+            dloc = self._loc()
+            dtype = base
+            if self._accept("*"):
+                dtype = ast.CType(
+                    name=base.name, pointer=True,
+                    address_space=base.address_space, const=base.const,
+                )
+            name = self._expect_ident()
+            dims: list[ast.Expr] = []
+            while self._accept("["):
+                dims.append(self._parse_expression())
+                self._expect("]")
+            init = None
+            if self._accept("="):
+                init = self._parse_assignment()
+            decls.append(
+                ast.VarDecl(location=dloc, type=dtype, name=name, array_dims=dims, init=init)
+            )
+            if not self._accept(","):
+                break
+        self._expect(";")
+        return ast.DeclStmt(location=loc, decls=decls)
+
+    def _parse_if(self) -> ast.If:
+        loc = self._expect("if").location
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then = self._parse_statement()
+        otherwise = self._parse_statement() if self._accept("else") else None
+        return ast.If(location=loc, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_for(self) -> ast.For:
+        loc = self._expect("for").location
+        self._expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(";"):
+            if self._at_type():
+                init = self._parse_declaration()  # consumes ';'
+            else:
+                iloc = self._loc()
+                expr = self._parse_expression()
+                self._expect(";")
+                init = ast.ExprStmt(location=iloc, expr=expr)
+        else:
+            self._expect(";")
+        cond = None if self._check(";") else self._parse_expression()
+        self._expect(";")
+        step = None if self._check(")") else self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.For(location=loc, init=init, cond=cond, step=step, body=body)
+
+    def _parse_while(self) -> ast.While:
+        loc = self._expect("while").location
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.While(location=loc, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        loc = self._expect("do").location
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(location=loc, body=body, cond=cond)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        """Full expression, including the comma operator (left-assoc)."""
+        expr = self._parse_assignment()
+        while self._check(","):
+            loc = self._advance().location
+            right = self._parse_assignment()
+            expr = ast.BinaryOp(location=loc, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assignment(location=token.location, op=token.value, target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._check("?"):
+            loc = self._advance().location
+            then = self._parse_assignment()
+            self._expect(":")
+            otherwise = self._parse_assignment()
+            return ast.Conditional(location=loc, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryOp(location=token.location, op=token.value, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT:
+            if token.value in ("-", "+", "!", "~", "*", "&"):
+                self._advance()
+                operand = self._parse_unary()
+                if token.value == "+":
+                    return operand
+                return ast.UnaryOp(location=token.location, op=token.value, operand=operand)
+            if token.value in ("++", "--"):
+                self._advance()
+                operand = self._parse_unary()
+                return ast.UnaryOp(location=token.location, op=token.value, operand=operand)
+            if token.value == "(" and self._at_type(1):
+                # C-style cast: '(' type ')' unary
+                loc = self._advance().location
+                ctype = self._parse_type()
+                self._expect(")")
+                operand = self._parse_unary()
+                return ast.Cast(location=loc, type=ctype, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return expr
+            if token.value == "[":
+                self._advance()
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(location=token.location, base=expr, index=index)
+            elif token.value == "(" and isinstance(expr, ast.Identifier):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                expr = ast.Call(location=token.location, name=expr.name, args=args)
+            elif token.value in ("++", "--"):
+                self._advance()
+                expr = ast.PostfixOp(location=token.location, op=token.value, operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind is TokenKind.INT_LITERAL:
+            text = token.value.rstrip("uUlL")
+            value = int(text, 0)
+            return ast.IntLiteral(location=token.location, value=value, text=token.value)
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            text = token.value.rstrip("fF")
+            return ast.FloatLiteral(location=token.location, value=float(text), text=token.value)
+        if token.kind is TokenKind.IDENT:
+            return ast.Identifier(location=token.location, name=token.value)
+        if token.kind is TokenKind.KEYWORD and token.value in ("true", "false"):
+            return ast.IntLiteral(
+                location=token.location, value=1 if token.value == "true" else 0,
+                text=token.value,
+            )
+        if token.kind is TokenKind.PUNCT and token.value == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise ParserError(f"unexpected token {token.value!r}", token.location)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse OpenCL-C ``source`` into a translation unit."""
+    return Parser(tokenize(source)).parse_translation_unit()
+
+
+def parse_kernel(source: str, name: str | None = None) -> ast.FunctionDef:
+    """Parse ``source`` and return one kernel (by ``name``, or the only one)."""
+    unit = parse(source)
+    kernels = unit.kernels()
+    if name is not None:
+        return unit.kernel(name)
+    if len(kernels) != 1:
+        raise ParserError(
+            f"expected exactly one kernel, found {len(kernels)}", unit.location
+        )
+    return kernels[0]

@@ -1,0 +1,17 @@
+"""Functional kernel interpreter: the correctness substrate."""
+
+from .builtins import c_div, c_mod
+from .executor import (
+    ArrayRef,
+    KernelExecutor,
+    KernelRuntimeError,
+    WorkGroupContext,
+    WorkItemContext,
+    execute_kernel,
+)
+from .ndrange import NDRange
+
+__all__ = [
+    "ArrayRef", "KernelExecutor", "KernelRuntimeError", "WorkGroupContext",
+    "WorkItemContext", "execute_kernel", "NDRange", "c_div", "c_mod",
+]

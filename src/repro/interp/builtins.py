@@ -1,0 +1,53 @@
+"""Builtin function implementations for the kernel interpreter."""
+
+from __future__ import annotations
+
+import math
+
+#: Math builtins usable from kernels, applied to Python floats.
+MATH_IMPLS = {
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "exp": math.exp,
+    "exp2": lambda x: 2.0 ** x,
+    "log": math.log,
+    "log2": math.log2,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "fabs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "pow": math.pow,
+    "fmax": max,
+    "fmin": min,
+    "fmod": math.fmod,
+    "hypot": math.hypot,
+    "mad": lambda a, b, c: a * b + c,
+    "fma": lambda a, b, c: a * b + c,
+    "clamp": lambda x, lo, hi: min(max(x, lo), hi),
+}
+
+#: Integer builtins.
+INT_IMPLS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "mul24": lambda a, b: a * b,
+    "mad24": lambda a, b, c: a * b + c,
+}
+
+
+def c_div(a, b):
+    """C semantics: integer division truncates toward zero."""
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def c_mod(a, b):
+    """C semantics: remainder has the sign of the dividend."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a - c_div(a, b) * b
+    return math.fmod(a, b)

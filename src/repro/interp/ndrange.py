@@ -1,0 +1,128 @@
+"""ND-range geometry: work-items, work-groups, and their decomposition.
+
+Mirrors the OpenCL execution model of paper Figure 2: an n-dimensional
+index space is split into work-groups (the minimal unit of assignment) of
+work-items (the atomic unit of work).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _as_tuple(value: int | tuple[int, ...] | list[int]) -> tuple[int, ...]:
+    if isinstance(value, int):
+        return (value,)
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """An OpenCL ND-range: global size, work-group size, global offset.
+
+    All three are per-dimension tuples; ``local_size`` must divide
+    ``global_size`` element-wise (the paper's workloads always pad to a
+    multiple and guard with ``if (i < n)`` inside the kernel).
+    """
+
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...]
+    offset: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "global_size", _as_tuple(self.global_size))
+        object.__setattr__(self, "local_size", _as_tuple(self.local_size))
+        offset = _as_tuple(self.offset) if self.offset else (0,) * self.work_dim
+        object.__setattr__(self, "offset", offset)
+        if len(self.local_size) != len(self.global_size):
+            raise ValueError("global_size and local_size dimensionality differ")
+        if len(self.offset) != len(self.global_size):
+            raise ValueError("offset dimensionality differs from global_size")
+        for g, l in zip(self.global_size, self.local_size):
+            if l <= 0 or g <= 0:
+                raise ValueError("sizes must be positive")
+            if g % l != 0:
+                raise ValueError(f"local size {l} does not divide global size {g}")
+
+    @property
+    def work_dim(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def total_work_items(self) -> int:
+        return math.prod(self.global_size)
+
+    @property
+    def work_items_per_group(self) -> int:
+        return math.prod(self.local_size)
+
+    @property
+    def num_groups(self) -> tuple[int, ...]:
+        return tuple(g // l for g, l in zip(self.global_size, self.local_size))
+
+    @property
+    def total_groups(self) -> int:
+        return math.prod(self.num_groups)
+
+    def group_ids(self):
+        """Iterate all work-group id tuples in linear (row-major) order."""
+        counts = self.num_groups
+        if self.work_dim == 1:
+            for i in range(counts[0]):
+                yield (i,)
+        elif self.work_dim == 2:
+            for j in range(counts[1]):
+                for i in range(counts[0]):
+                    yield (i, j)
+        else:
+            for k in range(counts[2]):
+                for j in range(counts[1]):
+                    for i in range(counts[0]):
+                        yield (i, j, k)
+
+    def linear_group_id(self, group_id: tuple[int, ...]) -> int:
+        """Row-major linearisation of a group id (dimension 0 fastest)."""
+        counts = self.num_groups
+        linear = 0
+        for dim in reversed(range(self.work_dim)):
+            linear = linear * counts[dim] + group_id[dim]
+        return linear
+
+    def group_from_linear(self, linear: int) -> tuple[int, ...]:
+        """Inverse of :meth:`linear_group_id`."""
+        counts = self.num_groups
+        out = []
+        for dim in range(self.work_dim):
+            out.append(linear % counts[dim])
+            linear //= counts[dim]
+        return tuple(out)
+
+    def local_ids(self):
+        """Iterate all local work-item ids within one group (dim 0 fastest)."""
+        sizes = self.local_size
+        if self.work_dim == 1:
+            for i in range(sizes[0]):
+                yield (i,)
+        elif self.work_dim == 2:
+            for j in range(sizes[1]):
+                for i in range(sizes[0]):
+                    yield (i, j)
+        else:
+            for k in range(sizes[2]):
+                for j in range(sizes[1]):
+                    for i in range(sizes[0]):
+                        yield (i, j, k)
+
+    def linear_local_id(self, local_id: tuple[int, ...]) -> int:
+        """Row-major linearisation of a local id (dimension 0 fastest).
+
+        This is the order in which work-items map to the PEs of a compute
+        unit, which the malleable-kernel throttling test in Figure 5 line 13
+        relies on.
+        """
+        sizes = self.local_size
+        linear = 0
+        for dim in reversed(range(self.work_dim)):
+            linear = linear * sizes[dim] + local_id[dim]
+        return linear

@@ -1,0 +1,44 @@
+"""From-scratch ML models for Dopia's performance prediction (§5.2, §9.2)."""
+
+from .base import C_OP_SECONDS, Estimator
+from .crossval import (
+    cross_val_predict,
+    grouped_kfold_indices,
+    kfold_indices,
+    leave_one_group_out,
+    mean_absolute_error,
+    r2_score,
+)
+from .forest import RandomForestRegressor
+from .linear import LinearRegression
+from .svr import SVR, rbf_kernel
+from .tree import DecisionTreeRegressor
+from .treecodegen import evaluate_c_tree, tree_to_c
+
+#: The four model families compared in §9.2, by short name.
+MODEL_FAMILIES = {
+    "lin": LinearRegression,
+    "svr": SVR,
+    "dt": DecisionTreeRegressor,
+    "rf": RandomForestRegressor,
+}
+
+
+def make_model(name: str, **kwargs) -> Estimator:
+    """Instantiate one of the §9.2 model families by short name."""
+    try:
+        factory = MODEL_FAMILIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_FAMILIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "C_OP_SECONDS", "Estimator", "cross_val_predict", "grouped_kfold_indices",
+    "kfold_indices", "leave_one_group_out", "mean_absolute_error", "r2_score",
+    "RandomForestRegressor", "LinearRegression", "SVR", "rbf_kernel",
+    "DecisionTreeRegressor", "evaluate_c_tree", "tree_to_c", "MODEL_FAMILIES",
+    "make_model",
+]

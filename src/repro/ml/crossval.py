@@ -1,0 +1,111 @@
+"""K-fold cross-validation (the paper's 64-fold protocol, §9.2).
+
+The dataset is shuffled once, divided into K equal-sized groups, and each
+group serves as the test set while the remaining K−1 train the model; the
+reported result aggregates all folds.  Grouped splitting is also provided:
+Dopia's workloads contribute 44 rows each (one per DoP configuration), and
+rows of the same workload must never straddle the train/test boundary, or
+the validation would leak the very curve the model is asked to predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .base import Estimator
+
+
+def kfold_indices(
+    n: int, k: int, rng: np.random.Generator | int | None = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs for shuffled K-fold CV."""
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    if k > n:
+        raise ValueError(f"cannot make {k} folds from {n} samples")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = rng.permutation(n)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+def grouped_kfold_indices(
+    groups: Sequence, k: int, rng: np.random.Generator | int | None = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """K-fold over *groups*: all rows of a group land in the same fold."""
+    groups = np.asarray(groups)
+    unique = np.unique(groups)
+    if k > unique.shape[0]:
+        raise ValueError(f"cannot make {k} folds from {unique.shape[0]} groups")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = rng.permutation(unique)
+    folds = np.array_split(order, k)
+    for i in range(k):
+        test_groups = set(folds[i].tolist())
+        mask = np.fromiter((g in test_groups for g in groups), bool, groups.shape[0])
+        yield np.nonzero(~mask)[0], np.nonzero(mask)[0]
+
+
+def leave_one_group_out(
+    groups: Sequence, target_group
+) -> tuple[np.ndarray, np.ndarray]:
+    """Train/test split that holds out exactly one group (Fig. 13 protocol)."""
+    groups = np.asarray(groups)
+    mask = groups == target_group
+    if not mask.any():
+        raise ValueError(f"group {target_group!r} not present")
+    return np.nonzero(~mask)[0], np.nonzero(mask)[0]
+
+
+@dataclass
+class CvFoldResult:
+    """Predictions of one cross-validation fold."""
+
+    test_indices: np.ndarray
+    predictions: np.ndarray
+
+
+def cross_val_predict(
+    make_model: Callable[[], Estimator],
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 64,
+    groups: Sequence | None = None,
+    rng: np.random.Generator | int | None = 0,
+) -> np.ndarray:
+    """Out-of-fold predictions for every row, via (grouped) K-fold CV."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    out = np.empty_like(y)
+    if groups is None:
+        splits = kfold_indices(X.shape[0], k, rng)
+    else:
+        splits = grouped_kfold_indices(groups, k, rng)
+    for train, test in splits:
+        model = make_model()
+        model.fit(X[train], y[train])
+        out[test] = model.predict(X[test])
+    return out
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    ss_res = np.square(y_true - y_pred).sum()
+    ss_tot = np.square(y_true - y_true.mean()).sum()
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    return float(np.abs(np.asarray(y_true) - np.asarray(y_pred)).mean())

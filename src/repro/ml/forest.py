@@ -1,0 +1,68 @@
+"""Random-forest regression (bagged CART trees, the paper's RF model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Estimator
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor(Estimator):
+    """Bootstrap-aggregated regression trees with feature subsampling.
+
+    Matches the classic Breiman recipe: each tree sees a bootstrap sample
+    of the rows and considers a random subset of features per split
+    (``max_features`` ≈ d/3 for regression by default).
+    """
+
+    name = "rf"
+
+    def __init__(
+        self,
+        n_estimators: int = 24,
+        max_depth: int = 16,
+        min_samples_leaf: int = 4,
+        max_features: int | None = None,
+        random_state: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X, y = self._check_fit_inputs(X, y)
+        n, d = X.shape
+        max_features = self.max_features or max(1, d // 3)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        for index in range(self.n_estimators):
+            rows = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[rows], y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("predict() before fit()")
+        X = self._check_predict_inputs(X)
+        out = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)
+
+    def inference_cost_s(self, n_rows: int) -> float:
+        if not self.trees_:
+            raise RuntimeError("inference_cost_s() before fit()")
+        return sum(tree.inference_cost_s(n_rows) for tree in self.trees_)

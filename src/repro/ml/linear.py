@@ -1,0 +1,53 @@
+"""Ordinary-least-squares linear regression (the paper's LIN baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import C_OP_SECONDS, Estimator
+
+
+class LinearRegression(Estimator):
+    """Least-squares linear model with intercept and feature standardisation.
+
+    Standardisation matters here: the Table-1 features span ten orders of
+    magnitude (``global_size`` vs ``cpu_util``), and an unconditioned
+    normal-equation solve would be numerically dominated by the size
+    features.  ``numpy.linalg.lstsq`` on the standardised design matrix is
+    both stable and exact.
+    """
+
+    name = "lin"
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = self._check_fit_inputs(X, y)
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        Xs = (X - self._mean) / self._scale
+        design = np.hstack([Xs, np.ones((Xs.shape[0], 1))])
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self.coef_ = solution[:-1]
+        self.intercept_ = float(solution[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("predict() before fit()")
+        X = self._check_predict_inputs(X)
+        Xs = (X - self._mean) / self._scale
+        return Xs @ self.coef_ + self.intercept_
+
+    def inference_cost_s(self, n_rows: int) -> float:
+        if self.coef_ is None:
+            raise RuntimeError("inference_cost_s() before fit()")
+        # one multiply-add per feature (plus normalisation) per row
+        ops_per_row = 3 * self.coef_.shape[0] + 1
+        return n_rows * ops_per_row * C_OP_SECONDS

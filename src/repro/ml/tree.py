@@ -1,0 +1,210 @@
+"""CART regression tree (the paper's deployed DT model, §5.2).
+
+A from-scratch, NumPy-vectorised implementation: the best split of a node
+is found per feature by sorting once and scanning all thresholds with
+prefix sums (variance reduction in O(n log n) per feature), the classic
+CART construction.  Trees are stored in flat arrays so prediction is an
+iterative, allocation-free descent — which is also what makes the
+generated-C deployment of :mod:`repro.ml.treecodegen` straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import C_OP_SECONDS, Estimator
+
+_LEAF = -1
+
+
+@dataclass
+class _Node:
+    feature: int          #: split feature, or -1 for leaves
+    threshold: float      #: go left if x[feature] <= threshold
+    left: int             #: child indices into the node array
+    right: int
+    value: float          #: mean target (prediction at leaves)
+    n_samples: int
+    gain: float = 0.0     #: variance reduction achieved by this split
+
+
+def _best_split(
+    X: np.ndarray, y: np.ndarray, min_samples_leaf: int
+) -> tuple[int, float, float] | None:
+    """(feature, threshold, score) of the best variance-reducing split.
+
+    Score is the reduction in the sum of squared deviations; ``None`` if no
+    admissible split improves on the parent.
+    """
+    n, d = X.shape
+    total_sum = y.sum()
+    parent_sse = np.square(y).sum() - total_sum**2 / n
+    best: tuple[int, float, float] | None = None
+    best_score = 1e-12  # require strictly positive improvement
+    for feature in range(d):
+        order = np.argsort(X[:, feature], kind="stable")
+        xs = X[order, feature]
+        ys = y[order]
+        # candidate split positions: between distinct consecutive values
+        left_sum = np.cumsum(ys)[:-1]
+        left_cnt = np.arange(1, n)
+        right_sum = total_sum - left_sum
+        right_cnt = n - left_cnt
+        valid = (xs[1:] != xs[:-1])
+        valid &= (left_cnt >= min_samples_leaf) & (right_cnt >= min_samples_leaf)
+        if not valid.any():
+            continue
+        # children SSE via the identity SSE = sum(y^2) - (sum y)^2 / n;
+        # the sum(y^2) terms cancel in the reduction, so score =
+        # left^2/nl + right^2/nr - total^2/n
+        gain = (
+            left_sum**2 / left_cnt + right_sum**2 / right_cnt - total_sum**2 / n
+        )
+        gain[~valid] = -np.inf
+        index = int(np.argmax(gain))
+        if gain[index] > best_score:
+            best_score = float(gain[index])
+            threshold = 0.5 * (xs[index] + xs[index + 1])
+            best = (feature, float(threshold), best_score)
+    if best is None:
+        return None
+    del parent_sse  # parent term cancels; kept for readability of the math
+    return best
+
+
+class DecisionTreeRegressor(Estimator):
+    """CART regression tree with depth / leaf-size regularisation."""
+
+    name = "dt"
+
+    def __init__(
+        self,
+        max_depth: int = 16,
+        min_samples_leaf: int = 4,
+        min_samples_split: int = 8,
+        max_features: int | None = None,
+        random_state: int | None = None,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self.max_features = max_features
+        self.random_state = random_state
+        self.nodes_: list[_Node] = []
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = self._check_fit_inputs(X, y)
+        self.nodes_ = []
+        rng = np.random.default_rng(self.random_state)
+        self._build(X, y, depth=0, rng=rng)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng) -> int:
+        index = len(self.nodes_)
+        node = _Node(
+            feature=_LEAF, threshold=0.0, left=-1, right=-1,
+            value=float(y.mean()), n_samples=y.shape[0],
+        )  # gain filled in if the node splits
+        self.nodes_.append(node)
+        if (
+            depth >= self.max_depth
+            or y.shape[0] < self.min_samples_split
+            or np.ptp(y) == 0.0
+        ):
+            return index
+        if self.max_features is not None and self.max_features < X.shape[1]:
+            features = rng.choice(X.shape[1], size=self.max_features, replace=False)
+            features.sort()
+            split = _best_split(X[:, features], y, self.min_samples_leaf)
+            if split is not None:
+                split = (int(features[split[0]]), split[1], split[2])
+        else:
+            split = _best_split(X, y, self.min_samples_leaf)
+        if split is None:
+            return index
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.gain = gain
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return index
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.nodes_:
+            raise RuntimeError("predict() before fit()")
+        X = self._check_predict_inputs(X)
+        # vectorised level-wise descent: all rows walk the tree together
+        positions = np.zeros(X.shape[0], dtype=np.int64)
+        features = np.array([n.feature for n in self.nodes_])
+        thresholds = np.array([n.threshold for n in self.nodes_])
+        lefts = np.array([n.left for n in self.nodes_])
+        rights = np.array([n.right for n in self.nodes_])
+        values = np.array([n.value for n in self.nodes_])
+        active = features[positions] != _LEAF
+        while active.any():
+            idx = positions[active]
+            go_left = (
+                X[active, features[idx]] <= thresholds[idx]
+            )
+            positions[active] = np.where(go_left, lefts[idx], rights[idx])
+            active = features[positions] != _LEAF
+        return values[positions]
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes_)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not self.nodes_:
+            return 0
+        depths = {0: 0}
+        best = 0
+        for index, node in enumerate(self.nodes_):
+            if node.feature != _LEAF:
+                depths[node.left] = depths[index] + 1
+                depths[node.right] = depths[index] + 1
+                best = max(best, depths[index] + 1)
+        return best
+
+    def feature_importances(self, n_features: int | None = None) -> np.ndarray:
+        """Impurity-decrease importances, normalised to sum to 1.
+
+        The weight of a feature is the total variance reduction achieved
+        by all splits on it — the standard CART importance.  Useful for
+        inspecting *what drives* the DoP selection (the Table-1 features'
+        relevance).
+        """
+        if not self.nodes_:
+            raise RuntimeError("feature_importances() before fit()")
+        if n_features is None:
+            n_features = max(
+                (n.feature for n in self.nodes_ if n.feature != _LEAF), default=-1
+            ) + 1
+        out = np.zeros(max(n_features, 1))
+        for node in self.nodes_:
+            if node.feature != _LEAF:
+                out[node.feature] += node.gain
+        total = out.sum()
+        return out / total if total > 0 else out
+
+    def inference_cost_s(self, n_rows: int) -> float:
+        if not self.nodes_:
+            raise RuntimeError("inference_cost_s() before fit()")
+        # one compare-and-branch per level of generated C
+        return n_rows * max(self.depth, 1) * 2 * C_OP_SECONDS

@@ -1,0 +1,9 @@
+"""Figure regeneration: SVG renderings of the paper's plots."""
+
+from .figures import figure01, figure03, figure12, figure13, generate_all
+from .svg import SvgCanvas, barchart_svg, heatmap_svg, linechart_svg
+
+__all__ = [
+    "figure01", "figure03", "figure12", "figure13", "generate_all",
+    "SvgCanvas", "barchart_svg", "heatmap_svg", "linechart_svg",
+]

@@ -1,0 +1,167 @@
+"""Regenerate the paper's figures as SVG files.
+
+``generate_all(out_dir)`` produces:
+
+* ``figure01_gesummv_heatmap.svg`` — the Figure-1 Gesummv DoP heat map;
+* ``figure03_<kernel>.svg`` — Figure-3 execution-time / memory-request
+  curves for Gesummv and SpMV;
+* ``figure12_<platform>.svg`` — the Figure-12 constant-allocation heat
+  maps for both platforms;
+* ``figure13_<platform>.svg`` — Figure-13-style bar charts of the fixed
+  schemes vs Dopia (DT) on the 14 real kernels.
+
+Everything is driven by the same simulator/training pipeline as the
+benchmark harness (training datasets are cached, so after the first run
+this is quick).  Also exposed as ``python -m repro figures``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core import (
+    DopPredictor,
+    baseline_indices,
+    collect_dataset,
+    config_space,
+    evaluate_scheme,
+    measure_workload,
+)
+from ..ml import make_model
+from ..sim import KAVERI, PLATFORMS, DopSetting, simulate_execution
+from ..workloads import make_gesummv, make_spmv, real_workloads, training_workloads
+from .svg import barchart_svg, heatmap_svg, linechart_svg
+
+
+def figure01(out_dir: Path) -> Path:
+    """Figure 1: Gesummv normalised throughput over the DoP grid (Kaveri)."""
+    workload = make_gesummv(n=16384, wg=256)
+    configs = config_space(KAVERI)
+    times = measure_workload(workload, KAVERI, configs)
+    performance = times.min() / times
+    cpu_levels = sorted({c.cpu_util for c in configs})
+    gpu_levels = sorted({c.gpu_util for c in configs}, reverse=True)
+    lookup = {(c.cpu_util, c.gpu_util): i for i, c in enumerate(configs)}
+    grid = [
+        [
+            performance[lookup[(cpu, gpu)]] if (cpu, gpu) in lookup else float("nan")
+            for cpu in cpu_levels
+        ]
+        for gpu in gpu_levels
+    ]
+    svg = heatmap_svg(
+        grid,
+        row_labels=[f"GPU {int(g * KAVERI.gpu.total_pes)}" for g in gpu_levels],
+        col_labels=[f"CPU {round(c * KAVERI.cpu.threads)}" for c in cpu_levels],
+        title="Figure 1: Gesummv normalized throughput (Kaveri)",
+    )
+    path = out_dir / "figure01_gesummv_heatmap.svg"
+    path.write_text(svg)
+    return path
+
+
+def figure03(out_dir: Path) -> list[Path]:
+    """Figure 3: time and memory requests vs GPU utilisation (Kaveri)."""
+    paths = []
+    for name, workload in (
+        ("gesummv", make_gesummv(n=16384, wg=256)),
+        ("spmv", make_spmv(n=16384, wg=256, nnz_per_row=16384)),
+    ):
+        profile = workload.profile()
+        utils = [g / 8 for g in range(1, 9)]
+        results = [
+            simulate_execution(profile, KAVERI, DopSetting(4, u),
+                               run_key=(workload.key, "fig3"))
+            for u in utils
+        ]
+        svg = linechart_svg(
+            [u * 100 for u in utils],
+            {
+                "time (ms)": [r.time_s * 1e3 for r in results],
+                "mem requests (x1e6)": [r.mem_requests / 1e6 for r in results],
+            },
+            title=f"Figure 3: {name} vs GPU utilization (Kaveri, 4 CPU threads)",
+            x_label="GPU utilization (%)",
+        )
+        path = out_dir / f"figure03_{name}.svg"
+        path.write_text(svg)
+        paths.append(path)
+    return paths
+
+
+def figure12(out_dir: Path) -> list[Path]:
+    """Figure 12: mean normalised performance of constant allocations."""
+    paths = []
+    for platform in PLATFORMS.values():
+        dataset = collect_dataset(training_workloads(), platform, cache=True)
+        norm = dataset.normalized_performance().mean(axis=0)
+        configs = config_space(platform)
+        cpu_levels = sorted({c.cpu_util for c in configs})
+        gpu_levels = sorted({c.gpu_util for c in configs}, reverse=True)
+        lookup = {(c.cpu_util, c.gpu_util): i for i, c in enumerate(configs)}
+        grid = [
+            [
+                norm[lookup[(cpu, gpu)]] if (cpu, gpu) in lookup else float("nan")
+                for cpu in cpu_levels
+            ]
+            for gpu in gpu_levels
+        ]
+        svg = heatmap_svg(
+            grid,
+            row_labels=[f"GPU {g:.3f}" for g in gpu_levels],
+            col_labels=[f"CPU {c:.2f}" for c in cpu_levels],
+            title=f"Figure 12: constant allocations ({platform.name})",
+        )
+        path = out_dir / f"figure12_{platform.name}.svg"
+        path.write_text(svg)
+        paths.append(path)
+    return paths
+
+
+def figure13(out_dir: Path) -> list[Path]:
+    """Figure-13-style bars: CPU/GPU/ALL/Dopia.DT on the 14 real kernels.
+
+    Uses whole-synthetic-set training (the cheap variant of the benchmark's
+    leave-one-out protocol; the full protocol lives in the bench).
+    """
+    paths = []
+    for platform in PLATFORMS.values():
+        synth = collect_dataset(training_workloads(), platform, cache=True)
+        real = collect_dataset(real_workloads(), platform, cache=True)
+        model = make_model("dt")
+        model.fit(synth.feature_matrix(), synth.targets())
+        predictor = DopPredictor(model, platform)
+        del predictor  # selection happens directly on the measured matrix
+
+        best = real.times.min(axis=1)
+        preds = model.predict(real.feature_matrix()).reshape(real.n_workloads, 44)
+        selected = preds.argmax(axis=1)
+        dopia = best / real.times[np.arange(real.n_workloads), selected]
+
+        series: dict[str, list[float]] = {}
+        for name, index in baseline_indices(platform).items():
+            series[name.upper()] = list(best / real.times[:, index])
+        series["Dopia.DT"] = list(dopia)
+        groups = [key.split("/")[0] for key in real.workload_keys]
+        svg = barchart_svg(
+            groups, series,
+            title=f"Figure 13: real-world kernels ({platform.name})",
+            y_label="normalized perf", y_max=1.0,
+        )
+        path = out_dir / f"figure13_{platform.name}.svg"
+        path.write_text(svg)
+        paths.append(path)
+    return paths
+
+
+def generate_all(out_dir: str | Path = "figures") -> list[Path]:
+    """Write every figure into ``out_dir`` and return the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = [figure01(out)]
+    paths += figure03(out)
+    paths += figure12(out)
+    paths += figure13(out)
+    return paths

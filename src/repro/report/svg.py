@@ -1,0 +1,213 @@
+"""Dependency-free SVG rendering of the paper's figure types.
+
+The benchmark harness prints tables; this module draws them — heat maps
+(Figures 1 and 12), line charts (Figure 3), and grouped bar charts
+(Figure 13) — as standalone SVG files, so the reproduction can literally
+regenerate the paper's figures without matplotlib (which is unavailable
+in this environment).
+
+The renderer is deliberately small: a handful of shape helpers writing
+well-formed SVG 1.1, plus a perceptually-reasonable two-ramp colour map.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+FONT = "ui-monospace, 'DejaVu Sans Mono', monospace"
+
+
+def _color(value: float) -> str:
+    """Map [0, 1] to a blue→yellow ramp (dark = slow, bright = fast)."""
+    v = min(max(value, 0.0), 1.0)
+    # two linear segments through (0.5): dark blue -> teal -> yellow
+    if v < 0.5:
+        t = v / 0.5
+        r, g, b = int(30 + 20 * t), int(40 + 120 * t), int(90 + 60 * t)
+    else:
+        t = (v - 0.5) / 0.5
+        r, g, b = int(50 + 200 * t), int(160 + 80 * t), int(150 - 110 * t)
+    return f"rgb({r},{g},{b})"
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serialises them."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self.elements: list[str] = []
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str,
+             stroke: str = "none", title: str | None = None) -> None:
+        body = (
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"'
+        )
+        if title:
+            self.elements.append(f"{body}><title>{escape(title)}</title></rect>")
+        else:
+            self.elements.append(body + "/>")
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             anchor: str = "start", fill: str = "#222") -> None:
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="{FONT}" text-anchor="{anchor}" fill="{fill}">'
+            f"{escape(content)}</text>"
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#888", width: float = 1.0) -> None:
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]],
+                 stroke: str = "#1f5fa8", width: float = 2.0) -> None:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def to_string(self) -> str:
+        header = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">'
+        )
+        background = f'<rect width="{self.width}" height="{self.height}" fill="white"/>'
+        return "\n".join([header, background, *self.elements, "</svg>"])
+
+
+def heatmap_svg(
+    values: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str,
+    cell: int = 56,
+) -> str:
+    """A Figure-1/12-style heat map.  ``values`` are in [0, 1] (NaN = empty)."""
+    rows, cols = len(row_labels), len(col_labels)
+    left, top = 110, 54
+    width = left + cols * cell + 30
+    height = top + rows * cell + 40
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 24, title, size=14, anchor="middle")
+    for j, label in enumerate(col_labels):
+        canvas.text(left + j * cell + cell / 2, top - 8, label, anchor="middle")
+    for i, row in enumerate(values):
+        canvas.text(left - 8, top + i * cell + cell / 2 + 4, row_labels[i],
+                    anchor="end")
+        for j, value in enumerate(row):
+            x, y = left + j * cell, top + i * cell
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                canvas.rect(x, y, cell, cell, "#eee", stroke="#ccc")
+                continue
+            canvas.rect(x, y, cell, cell, _color(value), stroke="white",
+                        title=f"{row_labels[i]} x {col_labels[j]}: {value:.2f}")
+            luminance = value  # bright cells get dark text
+            canvas.text(x + cell / 2, y + cell / 2 + 4, f"{value:.2f}",
+                        anchor="middle", size=11,
+                        fill="#222" if luminance > 0.55 else "#eee")
+    return canvas.to_string()
+
+
+def linechart_svg(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """A Figure-3-style line chart (one line per named series)."""
+    left, right, top, bottom = 70, 20, 50, 60
+    plot_w, plot_h = width - left - right, height - top - bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 24, title, size=14, anchor="middle")
+
+    all_y = [v for ys in series.values() for v in ys]
+    y_max = max(all_y) * 1.05 or 1.0
+    x_min, x_max = min(x_values), max(x_values)
+
+    def sx(x: float) -> float:
+        return left + (x - x_min) / (x_max - x_min or 1.0) * plot_w
+
+    def sy(y: float) -> float:
+        return top + plot_h - y / y_max * plot_h
+
+    canvas.line(left, top, left, top + plot_h)
+    canvas.line(left, top + plot_h, left + plot_w, top + plot_h)
+    for tick in range(5):
+        y = y_max * tick / 4
+        canvas.line(left - 4, sy(y), left, sy(y))
+        canvas.text(left - 8, sy(y) + 4, f"{y:.3g}", anchor="end", size=10)
+    for x in x_values:
+        canvas.line(sx(x), top + plot_h, sx(x), top + plot_h + 4)
+        canvas.text(sx(x), top + plot_h + 16, f"{x:g}", anchor="middle", size=10)
+    canvas.text(left + plot_w / 2, height - 12, x_label, anchor="middle", size=11)
+    canvas.text(16, top - 10, y_label, size=11)
+
+    palette = ["#1f5fa8", "#c0392b", "#27ae60", "#8e44ad"]
+    for index, (name, ys) in enumerate(series.items()):
+        color = palette[index % len(palette)]
+        canvas.polyline([(sx(x), sy(y)) for x, y in zip(x_values, ys)], stroke=color)
+        canvas.text(left + plot_w - 4, top + 16 + 16 * index, name,
+                    anchor="end", size=11, fill=color)
+    return canvas.to_string()
+
+
+def barchart_svg(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str,
+    y_label: str = "",
+    y_max: float | None = None,
+    width: int | None = None,
+    height: int = 380,
+) -> str:
+    """A Figure-13-style grouped bar chart."""
+    n_groups, n_series = len(groups), len(series)
+    bar, gap = 14, 18
+    group_w = n_series * bar + gap
+    left, top, bottom = 60, 50, 80
+    width = width or left + n_groups * group_w + 30
+    plot_h = height - top - bottom
+    canvas = SvgCanvas(width, height)
+    canvas.text(width / 2, 24, title, size=14, anchor="middle")
+    limit = y_max or max(max(v) for v in series.values()) * 1.05
+
+    def sy(y: float) -> float:
+        return top + plot_h - min(y, limit) / limit * plot_h
+
+    canvas.line(left, top, left, top + plot_h)
+    canvas.line(left, top + plot_h, width - 20, top + plot_h)
+    for tick in range(5):
+        y = limit * tick / 4
+        canvas.line(left - 4, sy(y), left, sy(y))
+        canvas.text(left - 8, sy(y) + 4, f"{y:.2f}", anchor="end", size=10)
+    canvas.text(16, top - 10, y_label, size=11)
+
+    palette = ["#5b7fa6", "#c0392b", "#27ae60", "#8e44ad", "#d4a017", "#16a085", "#7f8c8d"]
+    for g_index, group in enumerate(groups):
+        gx = left + g_index * group_w + gap / 2
+        for s_index, (name, values) in enumerate(series.items()):
+            value = values[g_index]
+            canvas.rect(gx + s_index * bar, sy(value), bar - 2,
+                        top + plot_h - sy(value),
+                        palette[s_index % len(palette)],
+                        title=f"{group} / {name}: {value:.2f}")
+        canvas.text(gx + group_w / 2 - gap / 2, top + plot_h + 14, group,
+                    anchor="middle", size=9)
+    for s_index, name in enumerate(series):
+        y = height - 40 + 14 * (s_index // 4)
+        x = left + (s_index % 4) * 130
+        canvas.rect(x, y - 9, 10, 10, palette[s_index % len(palette)])
+        canvas.text(x + 14, y, name, size=10)
+    return canvas.to_string()

@@ -1,0 +1,107 @@
+"""Shared-memory bandwidth arbitration between the CPU and GPU devices.
+
+Integrated processors share one off-chip memory system; when the combined
+demand exceeds the sustainable bandwidth, both devices stall.  The paper's
+central observation (Figure 1) is that over-provisioning one device's
+parallelism starves the other through exactly this path.
+
+The arbiter blends two regimes:
+
+* *max–min fair* sharing — each device receives at most its demand, and
+  spare capacity is redistributed (an idealised QoS-aware controller);
+* *pressure-proportional* sharing — at saturation, service is granted in
+  proportion to the request rate each agent offers.  This is how real
+  FR-FCFS-style controllers behave, and it is the mechanism behind the
+  paper's Figure 1: a fully-unleashed GPU floods the controller with
+  requests and "the outnumbered CPU cores experience a significant
+  performance degradation caused by congestion in the memory system".
+
+``fairness`` ∈ [0, 1] interpolates between them (0 = purely proportional,
+1 = purely fair).  Each platform carries its own value: Kaveri's northbridge
+offers little CPU protection, while Skylake's shared LLC and newer
+controller shield the CPU somewhat better.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+#: A device's *pressure* on the memory controller saturates once its miss
+#: queues are full: however fast its compute side could consume data, it can
+#: keep at most a bounded multiple of the DRAM bandwidth in flight.  This
+#: cap keeps a thrashing GPU from (unphysically) monopolising the controller.
+PRESSURE_CAP = 1.2
+
+
+def allocate_bandwidth(
+    demands: Sequence[float], capacity: float, fairness: float = 1.0
+) -> list[float]:
+    """Allocate ``capacity`` among ``demands``; see module docstring.
+
+    The result never exceeds a device's demand and sums to at most
+    ``min(capacity, sum(demands))``.
+    """
+    fair = _maxmin_fair(demands, capacity)
+    if fairness >= 1.0:
+        return fair
+    pressure = [min(d, PRESSURE_CAP * capacity) for d in demands]
+    proportional = _pressure_proportional(pressure, capacity)
+    # proportional shares are computed from the capped pressure but never
+    # grant more than the true demand
+    proportional = [min(p, d) for p, d in zip(proportional, demands)]
+    return [
+        fairness * f + (1.0 - fairness) * p for f, p in zip(fair, proportional)
+    ]
+
+
+def _pressure_proportional(
+    demands: Sequence[float], capacity: float
+) -> list[float]:
+    total = sum(demands)
+    if total <= capacity or total <= 0.0:
+        return [float(d) for d in demands]
+    return [d / total * capacity for d in demands]
+
+
+def _maxmin_fair(demands: Sequence[float], capacity: float) -> list[float]:
+    """Max–min fair allocation of ``capacity`` among ``demands``.
+
+    Devices demanding less than an equal share keep their demand; the
+    remainder is split among the still-hungry devices, iteratively.
+    """
+    n = len(demands)
+    if n == 0:
+        return []
+    allocation = [0.0] * n
+    remaining = float(capacity)
+    hungry = [i for i in range(n) if demands[i] > 0.0]
+    while hungry and remaining > 1e-12:
+        share = remaining / len(hungry)
+        satisfied = [i for i in hungry if demands[i] - allocation[i] <= share]
+        if not satisfied:
+            for i in hungry:
+                allocation[i] += share
+            remaining = 0.0
+            break
+        for i in satisfied:
+            grant = demands[i] - allocation[i]
+            allocation[i] = demands[i]
+            remaining -= grant
+            hungry.remove(i)
+    return allocation
+
+
+def contended_rates(rates, capacity: float, fairness: float = 1.0) -> list[float]:
+    """Contended item rates for devices sharing ``capacity`` bytes/second.
+
+    ``rates`` is a sequence of :class:`repro.sim.devices.DeviceRate`.
+    Each device's bandwidth demand is its compute-bound rate times its
+    per-item traffic; the achieved item rate is the roofline minimum of
+    compute and allocated bandwidth.
+    """
+    demands = [rate.bandwidth_demand for rate in rates]
+    allocation = allocate_bandwidth(demands, capacity, fairness)
+    return [
+        rate.items_rate_given_bandwidth(bw) for rate, bw in zip(rates, allocation)
+    ]

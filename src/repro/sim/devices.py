@@ -1,0 +1,113 @@
+"""Per-device execution-rate models (compute side of the roofline).
+
+Each device is summarised by how many work-items per second it can retire
+when memory is infinitely fast (the compute rate) and how many DRAM bytes
+each item drags in (from :mod:`repro.sim.memory`).  The co-execution
+engine combines these with the shared-bandwidth arbitration to obtain
+contended rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.profile import KernelProfile
+from .memory import TrafficEstimate, cpu_traffic, gpu_traffic
+from .platforms import Platform
+
+#: Extra issue cost of special-function operations (sqrt, exp, ...) in
+#: units of regular float operations.
+_SPECIAL_COST_GPU = 4.0
+_SPECIAL_COST_CPU = 12.0
+
+#: Throughput factor of one SMT sibling thread relative to a full core.
+_SMT_YIELD = 0.3
+
+
+@dataclass(frozen=True)
+class DeviceRate:
+    """Execution capability of one device for one kernel launch."""
+
+    items_per_second: float      #: compute-bound retirement rate
+    bytes_per_item: float        #: DRAM traffic per work-item
+    traffic: TrafficEstimate
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """Bytes/second the device would pull if never memory-stalled."""
+        return self.items_per_second * self.bytes_per_item
+
+    def items_rate_given_bandwidth(self, bandwidth: float) -> float:
+        """Achievable item rate when allotted ``bandwidth`` bytes/second."""
+        if self.items_per_second <= 0.0:
+            return 0.0
+        if self.bytes_per_item <= 0.0:
+            return self.items_per_second
+        return min(self.items_per_second, bandwidth / self.bytes_per_item)
+
+
+def gpu_rate(
+    profile: KernelProfile, platform: Platform, gpu_fraction: float
+) -> DeviceRate:
+    """GPU device rate at PE utilisation ``gpu_fraction`` ∈ [0, 1].
+
+    Compute capacity scales linearly with the number of active PEs (that
+    is precisely what the malleable-kernel throttle controls); control
+    divergence and irregular loop bounds serialise SIMD batches and
+    discount the rate — the reason irregular kernels are CPU-affine
+    (§1, [24, 36]).
+    """
+    if gpu_fraction <= 0.0:
+        return DeviceRate(0.0, 0.0, TrafficEstimate(0.0, 0.0, 1.0))
+    gpu = platform.gpu
+    cycles = (
+        profile.flops_float_per_item / gpu.flops_per_cycle_per_pe
+        + profile.special_per_item * _SPECIAL_COST_GPU / gpu.flops_per_cycle_per_pe
+        + profile.flops_int_per_item / gpu.intops_per_cycle_per_pe
+        + profile.mem_ops_per_item  # one issue slot per access
+    )
+    cycles = max(cycles, 1.0)
+    divergence = 1.0 + 0.5 * profile.divergent_branches
+    if profile.irregular:
+        divergence += 1.0
+    active_pes = gpu.total_pes * gpu_fraction
+    rate = active_pes * gpu.freq_ghz * 1e9 / (cycles * divergence)
+    traffic = gpu_traffic(profile, platform, gpu_fraction)
+    return DeviceRate(rate, traffic.bytes_per_item, traffic)
+
+
+def cpu_effective_cores(platform: Platform, active_threads: int) -> float:
+    """Core-equivalents of ``active_threads`` (SMT siblings yield less)."""
+    cpu = platform.cpu
+    full = min(active_threads, cpu.cores)
+    smt = max(0, active_threads - cpu.cores)
+    return full + _SMT_YIELD * smt
+
+
+def cpu_rate(
+    profile: KernelProfile, platform: Platform, active_threads: int
+) -> DeviceRate:
+    """CPU device rate with ``active_threads`` worker threads.
+
+    Branches cost the CPU almost nothing (out-of-order cores with branch
+    prediction), and SIMD width is modelled through ``flops_per_cycle``.
+    The per-core sustainable-bandwidth cap bounds the compute rate so a
+    single core cannot claim the whole memory system.
+    """
+    if active_threads <= 0:
+        return DeviceRate(0.0, 0.0, TrafficEstimate(0.0, 0.0, 1.0))
+    cpu = platform.cpu
+    cycles = (
+        profile.flops_float_per_item / cpu.flops_per_cycle
+        + profile.special_per_item * _SPECIAL_COST_CPU / cpu.flops_per_cycle
+        + profile.flops_int_per_item / cpu.intops_per_cycle
+        + profile.mem_ops_per_item / cpu.mem_ops_per_cycle
+    )
+    cycles = max(cycles, 1.0)
+    cores = cpu_effective_cores(platform, active_threads)
+    rate = cores * cpu.freq_ghz * 1e9 / cycles
+    traffic = cpu_traffic(profile, platform)
+    if traffic.bytes_per_item > 0.0:
+        bw_cap = cores * cpu.max_bw_per_core_gbps * 1e9
+        rate = min(rate, bw_cap / traffic.bytes_per_item)
+    return DeviceRate(rate, traffic.bytes_per_item, traffic)

@@ -1,0 +1,348 @@
+"""Co-execution engine: simulated execution of a kernel launch.
+
+Given a :class:`repro.analysis.profile.KernelProfile`, a platform, and a
+degree-of-parallelism setting, the engine predicts the wall-clock time and
+total DRAM traffic of the launch under one of the workload-distribution
+schemes of §7/§9.1:
+
+* ``dynamic`` — Algorithm 1: CPU threads pull single work-groups from an
+  atomic worklist; the GPU is pushed chunks of ``num_wgs / chunk_divisor``
+  (default 10) and synchronised between chunks, paying one dispatch
+  overhead per chunk.
+* ``dynamic-pull`` — the future-work variant for hardware with CPU–GPU
+  global atomics: the GPU pulls work-groups from the shared worklist too,
+  removing the chunk barrier (and its load-imbalance tail).
+* ``static`` — an a-priori split: ``static_cpu_share`` of the work-groups
+  go to the CPU, the rest are dispatched to the GPU in one piece; both
+  devices run concurrently (contended) until one finishes, then the other
+  continues alone at full bandwidth.
+* CPU-only / GPU-only fall out of the settings (a zero on the other side).
+
+The engine is analytic/event-driven rather than cycle-accurate: each
+scheduling round advances time by the GPU's chunk service time while the
+CPU drains work-groups at the contended rate — a few dozen arithmetic
+operations per simulated launch, fast enough to generate the paper's
+54,472-point training set in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.profile import KernelProfile
+from .contention import contended_rates
+from .devices import DeviceRate, cpu_rate, gpu_rate
+from .noise import DEFAULT_SIGMA, noise_factor
+from .platforms import Platform
+
+
+@dataclass(frozen=True)
+class DopSetting:
+    """A degree-of-parallelism configuration: active CPU threads + GPU PE fraction."""
+
+    cpu_threads: int
+    gpu_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_threads < 0:
+            raise ValueError("cpu_threads must be non-negative")
+        if not 0.0 <= self.gpu_fraction <= 1.0:
+            raise ValueError("gpu_fraction must be in [0, 1]")
+        if self.cpu_threads == 0 and self.gpu_fraction == 0.0:
+            raise ValueError("at least one device must be active")
+
+    @property
+    def uses_cpu(self) -> bool:
+        return self.cpu_threads > 0
+
+    @property
+    def uses_gpu(self) -> bool:
+        return self.gpu_fraction > 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated launch."""
+
+    time_s: float
+    cpu_items: float
+    gpu_items: float
+    mem_requests: float          #: total DRAM transactions (64 B each)
+    gpu_l2_survival: float       #: stream-line survival in the GPU cache
+    scheduler: str
+
+    @property
+    def throughput(self) -> float:
+        """Work-items per second."""
+        return (self.cpu_items + self.gpu_items) / max(self.time_s, 1e-12)
+
+
+class SimulationError(Exception):
+    """Raised for invalid simulation requests."""
+
+
+def _solo_time_cpu(items: float, rate: DeviceRate, platform: Platform,
+                   threads: int) -> float:
+    spawn = platform.cpu.thread_spawn_overhead_s * threads
+    if rate.items_per_second <= 0.0:
+        raise SimulationError("CPU rate is zero for an active CPU setting")
+    contended = contended_rates([rate], platform.dram_bandwidth, 1.0)[0]
+    return spawn + items / contended
+
+
+def _solo_time_gpu(items: float, rate: DeviceRate, platform: Platform,
+                   n_dispatches: int = 1) -> float:
+    if rate.items_per_second <= 0.0:
+        raise SimulationError("GPU rate is zero for an active GPU setting")
+    contended = contended_rates([rate], platform.dram_bandwidth, 1.0)[0]
+    return n_dispatches * platform.gpu.dispatch_overhead_s + items / contended
+
+
+def simulate_execution(
+    profile: KernelProfile,
+    platform: Platform,
+    setting: DopSetting,
+    scheduler: str = "dynamic",
+    static_cpu_share: float | None = None,
+    chunk_divisor: int = 10,
+    chunk_policy: str = "fixed",
+    sigma: float = DEFAULT_SIGMA,
+    run_key: tuple = (),
+) -> ExecutionResult:
+    """Simulate one kernel launch and return its :class:`ExecutionResult`.
+
+    ``run_key`` identifies the run for the deterministic noise model;
+    callers pass (kernel key, ...) so repeated simulations reproduce.
+    ``chunk_policy`` selects the GPU push-chunk sizing: ``"fixed"`` is the
+    paper's ``num_wgs / chunk_divisor``; ``"guided"`` recomputes the chunk
+    from the *remaining* work each round (guided self-scheduling — the
+    paper's "more elaborate work-group assignments" future work).
+    """
+    items = float(profile.global_size)
+    wg_items = float(max(profile.local_size, 1))
+    num_wgs = max(1.0, items / wg_items)
+
+    crate = cpu_rate(profile, platform, setting.cpu_threads)
+    grate = gpu_rate(profile, platform, setting.gpu_fraction)
+
+    if scheduler == "dynamic":
+        result = _simulate_dynamic(
+            profile, platform, setting, crate, grate, num_wgs, wg_items,
+            chunk_divisor, chunk_policy,
+        )
+    elif scheduler == "dynamic-pull":
+        result = _simulate_dynamic_pull(
+            profile, platform, setting, crate, grate, num_wgs, wg_items,
+        )
+    elif scheduler == "static":
+        if static_cpu_share is None:
+            raise SimulationError("static scheduler requires static_cpu_share")
+        result = _simulate_static(
+            profile, platform, setting, crate, grate, num_wgs, wg_items,
+            static_cpu_share,
+        )
+    else:
+        raise SimulationError(f"unknown scheduler {scheduler!r}")
+
+    factor = noise_factor(
+        run_key + (platform.name, setting.cpu_threads, round(setting.gpu_fraction, 6),
+                   scheduler, static_cpu_share),
+        sigma,
+    )
+    result.time_s *= factor
+    return result
+
+
+def _mem_requests(cpu_items: float, gpu_items: float,
+                  crate: DeviceRate, grate: DeviceRate) -> float:
+    line = 64.0
+    return (cpu_items * crate.bytes_per_item + gpu_items * grate.bytes_per_item) / line
+
+
+def _simulate_dynamic(
+    profile: KernelProfile,
+    platform: Platform,
+    setting: DopSetting,
+    crate: DeviceRate,
+    grate: DeviceRate,
+    num_wgs: float,
+    wg_items: float,
+    chunk_divisor: int,
+    chunk_policy: str = "fixed",
+) -> ExecutionResult:
+    if chunk_policy not in ("fixed", "guided"):
+        raise SimulationError(f"unknown chunk policy {chunk_policy!r}")
+    bandwidth = platform.dram_bandwidth
+    survival = grate.traffic.l2_survival if setting.uses_gpu else 1.0
+
+    # single-device fast paths -------------------------------------------------
+    if not setting.uses_gpu:
+        time = _solo_time_cpu(num_wgs * wg_items, crate, platform, setting.cpu_threads)
+        return ExecutionResult(
+            time_s=time, cpu_items=num_wgs * wg_items, gpu_items=0.0,
+            mem_requests=_mem_requests(num_wgs * wg_items, 0.0, crate, grate),
+            gpu_l2_survival=survival, scheduler="dynamic",
+        )
+    if not setting.uses_cpu:
+        n_chunks = max(1, chunk_divisor)
+        time = _solo_time_gpu(num_wgs * wg_items, grate, platform, n_chunks)
+        return ExecutionResult(
+            time_s=time, cpu_items=0.0, gpu_items=num_wgs * wg_items,
+            mem_requests=_mem_requests(0.0, num_wgs * wg_items, crate, grate),
+            gpu_l2_survival=survival, scheduler="dynamic",
+        )
+
+    # co-execution: contended rates while both devices are drawing ------------
+    fairness = platform.arbitration_fairness
+    cpu_cont, gpu_cont = contended_rates([crate, grate], bandwidth, fairness)
+    cpu_solo = contended_rates([crate], bandwidth, 1.0)[0]
+    if gpu_cont <= 0.0 or cpu_solo <= 0.0:
+        raise SimulationError("device rate collapsed to zero")
+
+    chunk_wgs = max(1.0, num_wgs / max(1, chunk_divisor))
+    dispatch = platform.gpu.dispatch_overhead_s
+    spawn = platform.cpu.thread_spawn_overhead_s * setting.cpu_threads
+
+    time = spawn
+    taken = 0.0
+    cpu_wgs = 0.0
+    gpu_wgs = 0.0
+    while taken < num_wgs:
+        if chunk_policy == "guided":
+            chunk_wgs = max(1.0, (num_wgs - taken) / max(1, chunk_divisor))
+        gpu_take = min(chunk_wgs, num_wgs - taken)
+        taken += gpu_take
+        gpu_wgs += gpu_take
+        gpu_busy = dispatch + gpu_take * wg_items / gpu_cont
+        remaining = num_wgs - taken
+        if remaining <= 0.0:
+            time += gpu_busy
+            break
+        cpu_capacity = gpu_busy * cpu_cont / wg_items
+        if cpu_capacity >= remaining:
+            # the CPU drains everything left before the GPU chunk returns;
+            # once the CPU is idle the GPU's remaining work speeds up to
+            # its uncontended rate, shortening the chunk's tail
+            cpu_wgs += remaining
+            taken = num_wgs
+            cpu_finish = remaining * wg_items / cpu_cont
+            if cpu_finish >= gpu_busy:
+                time += cpu_finish
+            else:
+                gpu_solo = contended_rates([grate], bandwidth, 1.0)[0]
+                done = max(0.0, (cpu_finish - dispatch)) * gpu_cont
+                leftover = max(gpu_take * wg_items - done, 0.0)
+                time += max(cpu_finish, dispatch) + leftover / gpu_solo
+            break
+        cpu_wgs += cpu_capacity
+        taken += cpu_capacity
+        time += gpu_busy
+
+    return ExecutionResult(
+        time_s=time,
+        cpu_items=cpu_wgs * wg_items,
+        gpu_items=gpu_wgs * wg_items,
+        mem_requests=_mem_requests(cpu_wgs * wg_items, gpu_wgs * wg_items, crate, grate),
+        gpu_l2_survival=survival,
+        scheduler="dynamic",
+    )
+
+
+def _simulate_dynamic_pull(
+    profile: KernelProfile,
+    platform: Platform,
+    setting: DopSetting,
+    crate: DeviceRate,
+    grate: DeviceRate,
+    num_wgs: float,
+    wg_items: float,
+) -> ExecutionResult:
+    """Fully pull-based co-execution (the paper's future-work extension, §7).
+
+    On platforms with CPU–GPU global atomics (AMD GCN), the GPU could pull
+    work-groups from the shared worklist like the CPU threads do, removing
+    the per-chunk dispatch barrier and its load-imbalance tail.  Both
+    devices then drain the worklist continuously at their contended rates;
+    the makespan is the common drain time plus one dispatch.
+    """
+    bandwidth = platform.dram_bandwidth
+    survival = grate.traffic.l2_survival if setting.uses_gpu else 1.0
+    if not setting.uses_gpu or not setting.uses_cpu:
+        # degenerates to the single-device paths of the push scheme
+        return _simulate_dynamic(
+            profile, platform, setting, crate, grate, num_wgs, wg_items, 1,
+            "fixed",
+        )
+    fairness = platform.arbitration_fairness
+    cpu_cont, gpu_cont = contended_rates([crate, grate], bandwidth, fairness)
+    total_rate = cpu_cont + gpu_cont
+    if total_rate <= 0.0:
+        raise SimulationError("device rate collapsed to zero")
+    items = num_wgs * wg_items
+    spawn = platform.cpu.thread_spawn_overhead_s * setting.cpu_threads
+    time = max(spawn, platform.gpu.dispatch_overhead_s) + items / total_rate
+    cpu_items = items * cpu_cont / total_rate
+    gpu_items = items - cpu_items
+    return ExecutionResult(
+        time_s=time,
+        cpu_items=cpu_items,
+        gpu_items=gpu_items,
+        mem_requests=_mem_requests(cpu_items, gpu_items, crate, grate),
+        gpu_l2_survival=survival,
+        scheduler="dynamic-pull",
+    )
+
+
+def _simulate_static(
+    profile: KernelProfile,
+    platform: Platform,
+    setting: DopSetting,
+    crate: DeviceRate,
+    grate: DeviceRate,
+    num_wgs: float,
+    wg_items: float,
+    cpu_share: float,
+) -> ExecutionResult:
+    if not 0.0 <= cpu_share <= 1.0:
+        raise SimulationError("static_cpu_share must be in [0, 1]")
+    bandwidth = platform.dram_bandwidth
+    survival = grate.traffic.l2_survival if setting.uses_gpu else 1.0
+    cpu_items = cpu_share * num_wgs * wg_items if setting.uses_cpu else 0.0
+    gpu_items = num_wgs * wg_items - cpu_items
+    if gpu_items > 0.0 and not setting.uses_gpu:
+        raise SimulationError("static split sends work to an inactive GPU")
+    if cpu_items > 0.0 and not setting.uses_cpu:
+        raise SimulationError("static split sends work to an inactive CPU")
+
+    spawn = platform.cpu.thread_spawn_overhead_s * setting.cpu_threads
+    dispatch = platform.gpu.dispatch_overhead_s if gpu_items > 0.0 else 0.0
+
+    if cpu_items <= 0.0:
+        time = _solo_time_gpu(gpu_items, grate, platform)
+    elif gpu_items <= 0.0:
+        time = _solo_time_cpu(cpu_items, crate, platform, setting.cpu_threads)
+    else:
+        fairness = platform.arbitration_fairness
+        cpu_cont, gpu_cont = contended_rates([crate, grate], bandwidth, fairness)
+        t_cpu = spawn + cpu_items / cpu_cont
+        t_gpu = dispatch + gpu_items / gpu_cont
+        overlap = min(t_cpu, t_gpu)
+        if t_cpu <= t_gpu:
+            done = (overlap - dispatch) * gpu_cont if overlap > dispatch else 0.0
+            leftover = max(gpu_items - done, 0.0)
+            gpu_solo = contended_rates([grate], bandwidth, 1.0)[0]
+            time = overlap + leftover / gpu_solo
+        else:
+            done = (overlap - spawn) * cpu_cont if overlap > spawn else 0.0
+            leftover = max(cpu_items - done, 0.0)
+            cpu_solo = contended_rates([crate], bandwidth, 1.0)[0]
+            time = overlap + leftover / cpu_solo
+
+    return ExecutionResult(
+        time_s=time,
+        cpu_items=cpu_items,
+        gpu_items=gpu_items,
+        mem_requests=_mem_requests(cpu_items, gpu_items, crate, grate),
+        gpu_l2_survival=survival,
+        scheduler="static",
+    )

@@ -1,0 +1,194 @@
+"""DRAM-traffic model: what one work-item costs in shared-memory bytes.
+
+This module turns an :class:`repro.analysis.profile.KernelProfile` into
+per-work-item DRAM byte counts for the CPU and the GPU device, including
+the two effects the paper identifies as decisive on integrated parts:
+
+**GPU coalescing** (§5.1).  Within a SIMD batch (wavefront/EU-thread),
+adjacent lanes execute adjacent work-items.  The *warp stride* of an
+access — its address delta between adjacent work-items — determines how
+many DRAM transactions the batch issues:
+
+* warp stride 0: one address broadcast to the whole batch;
+* small warp stride (≤ a cache line): lanes coalesce into few lines;
+* large warp stride (each work-item owns a row, e.g. ``A[i*n+j]``): every
+  lane opens a *private line stream*, and the line fetched for iteration
+  ``j`` only pays off if it survives in L2 until iterations ``j+1 … j+15``.
+
+**L2 capacity misses** (§3.2, Figure 3b).  The private line streams of all
+concurrently resident work-items compete for the GPU L2.  Raising the
+degree of parallelism raises the number of concurrent streams linearly;
+once their combined live set exceeds the L2, the survival probability
+drops and per-access traffic degrades toward one full line per access —
+the paper's observed super-linear growth in memory requests.
+
+The CPU runs work-items of a work-group sequentially on one core, so its
+streams are few, prefetch-friendly, and backed by a large LLC; random and
+shared accesses are filtered by LLC capacity instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis.profile import KernelProfile, OpProfile
+from ..analysis.accessclass import AccessClass
+from .platforms import Platform
+
+
+def _clamp01(value: float) -> float:
+    return 0.0 if value <= 0.0 else 1.0 if value >= 1.0 else value
+
+
+@dataclass(frozen=True)
+class TrafficEstimate:
+    """Per-work-item DRAM traffic of a kernel on one device."""
+
+    bytes_per_item: float
+    transactions_per_item: float
+    l2_survival: float  #: stream-line survival probability (GPU diagnostics)
+
+
+def _shared_region_bytes(op: OpProfile) -> float:
+    """Distinct cache-resident bytes of a shared (item-independent) region."""
+    ts_bytes = op.temporal_stride_elems * op.elem_bytes
+    if ts_bytes == 0.0:
+        return float(op.elem_bytes)  # one hot element
+    # lines touched once per traversal, at line granularity for big strides
+    return op.executions_per_item * min(max(op.elem_bytes, ts_bytes), 64.0)
+
+
+def _random_region_bytes(op: OpProfile, profile: KernelProfile) -> float:
+    """Footprint estimate of a randomly indexed region.
+
+    Indirect accesses (e.g. ``x[colidx[k]]`` in SpMV) touch a region whose
+    size static analysis cannot see; the paper's workloads index vectors
+    sized like the problem, so the global work size is the natural proxy —
+    across the whole launch the accesses spray over the full region even
+    when each work-item only issues a few.
+    """
+    return float(profile.global_size) * op.elem_bytes
+
+
+def gpu_traffic(
+    profile: KernelProfile,
+    platform: Platform,
+    gpu_fraction: float,
+) -> TrafficEstimate:
+    """DRAM bytes per work-item on the GPU at utilisation ``gpu_fraction``.
+
+    ``gpu_fraction`` is the active-PE fraction in (0, 1] selected by the
+    malleable-kernel throttle.
+    """
+    gpu = platform.gpu
+    line = gpu.cacheline_bytes
+    cache = platform.gpu_effective_cache_bytes()
+    # memory-concurrent work-items chip-wide: the L2 is shared by all CUs,
+    # so every CU's active streams compete for it
+    concurrent_items = max(
+        1.0, gpu.max_resident_items_per_cu * gpu.num_cus * gpu_fraction
+    )
+    concurrent_items = min(concurrent_items, float(profile.global_size))
+
+    # ---- working set: who competes for the L2 ----------------------------
+    stream_ops = 0
+    region_bytes = 0.0
+    for op in profile.op_profiles:
+        if op.access is AccessClass.RANDOM:
+            region_bytes += _random_region_bytes(op, profile)
+        elif op.shared:
+            region_bytes += min(_shared_region_bytes(op), cache * 4.0)
+        else:
+            warp_bytes = op.warp_stride_elems * op.elem_bytes
+            if warp_bytes > line and op.temporal_stride_elems > 0:
+                stream_ops += 1
+    # each private stream holds a handful of lines live (demand + prefetch)
+    lines_live = 4.0
+    working_set = stream_ops * concurrent_items * lines_live * line + region_bytes
+    survival = _clamp01(cache / working_set) if working_set > 0 else 1.0
+
+    # ---- per-op traffic ----------------------------------------------------
+    total_bytes = 0.0
+    for op in profile.op_profiles:
+        n = op.executions_per_item
+        elem = op.elem_bytes
+        if op.access is AccessClass.CONSTANT:
+            continue  # one line, shared by everything: negligible
+        if op.access is AccessClass.RANDOM:
+            total_bytes += n * line * (1.0 - survival) + n * elem * survival
+            continue
+        warp_bytes = op.warp_stride_elems * elem
+        temporal_bytes = op.temporal_stride_elems * elem
+        if op.shared:
+            # broadcast: ideal cost is the region once, amortised over all
+            # concurrent consumers; thrashed cost is a line per SIMD batch
+            ideal = n * elem / concurrent_items
+            worst = n * line / gpu.simd_width
+            total_bytes += ideal + (1.0 - survival) * max(worst - ideal, 0.0)
+        elif warp_bytes <= line:
+            # lanes coalesce: the batch's lines are fully (or partly) used
+            # the moment they arrive; no L2 persistence required
+            total_bytes += n * min(max(elem, warp_bytes), line)
+        elif temporal_bytes == 0.0:
+            # scattered one-shot accesses (large stride across lanes, no
+            # loop reuse): every access opens its own line
+            total_bytes += n * line
+        else:
+            # private per-lane stream: line reuse across loop iterations
+            ideal = n * min(max(elem, temporal_bytes), line)
+            worst = n * line
+            total_bytes += ideal + (1.0 - survival) * (worst - ideal)
+
+    return TrafficEstimate(
+        bytes_per_item=total_bytes,
+        transactions_per_item=total_bytes / line,
+        l2_survival=survival,
+    )
+
+
+def cpu_traffic(profile: KernelProfile, platform: Platform) -> TrafficEstimate:
+    """DRAM bytes per work-item on the CPU.
+
+    The CPU executes a work-group's items sequentially per core: per-item
+    streams are contiguous in time, the hardware prefetcher hides strides
+    below a line, and the big LLC absorbs shared and random regions that
+    fit (which is why SpMV and other irregular kernels are CPU-affine).
+    """
+    cpu = platform.cpu
+    line = 64.0
+    cache = float(cpu.llc_bytes)
+
+    region_bytes = 0.0
+    for op in profile.op_profiles:
+        if op.access is AccessClass.RANDOM:
+            region_bytes += _random_region_bytes(op, profile)
+        elif op.shared:
+            region_bytes += _shared_region_bytes(op)
+    survival = _clamp01(cache / region_bytes) if region_bytes > 0 else 1.0
+
+    total_bytes = 0.0
+    for op in profile.op_profiles:
+        n = op.executions_per_item
+        elem = op.elem_bytes
+        if op.access is AccessClass.CONSTANT:
+            continue
+        if op.access is AccessClass.RANDOM:
+            total_bytes += n * line * (1.0 - survival) + n * elem * 0.1 * survival
+            continue
+        if op.shared:
+            # shared regions stay LLC-resident when they fit
+            total_bytes += n * elem * (1.0 - survival)
+            continue
+        stride = op.temporal_stride_elems
+        if stride == 0.0:
+            stride = op.warp_stride_elems  # consecutive items run back-to-back
+        if not math.isfinite(stride):
+            stride = line / elem
+        total_bytes += n * min(max(elem, stride * elem), line)
+
+    return TrafficEstimate(
+        bytes_per_item=total_bytes,
+        transactions_per_item=total_bytes / line,
+        l2_survival=survival,
+    )

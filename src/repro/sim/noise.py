@@ -1,0 +1,41 @@
+"""Deterministic measurement-noise model.
+
+Real runtime measurements jitter; a simulator that returns the exact same
+number every time makes "oracle vs model" comparisons degenerate (any
+model output either matches perfectly or not at all).  Every simulated
+execution time is therefore multiplied by a small lognormal factor whose
+seed is derived from the run's identity, so results are *reproducible*
+(same run → same noise) yet *distinct* across kernels and configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+
+#: Default multiplicative jitter (standard deviation of log time).
+DEFAULT_SIGMA = 0.02
+
+
+def _seed_from(parts: tuple) -> int:
+    digest = hashlib.blake2b(repr(parts).encode(), digest_size=8).digest()
+    return struct.unpack("<Q", digest)[0]
+
+
+def noise_factor(parts: tuple, sigma: float = DEFAULT_SIGMA) -> float:
+    """A reproducible lognormal factor ``exp(sigma * z)`` for this run.
+
+    ``parts`` identifies the run (kernel key, platform, configuration...);
+    the same identity always yields the same factor.
+    """
+    if sigma <= 0.0:
+        return 1.0
+    seed = _seed_from(parts)
+    # Box–Muller from two uniform doubles derived from the hash
+    u1 = ((seed >> 11) & ((1 << 53) - 1)) / float(1 << 53)
+    u2 = (seed & ((1 << 11) - 1)) / float(1 << 11)
+    u1 = min(max(u1, 1e-12), 1.0 - 1e-12)
+    z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+    return math.exp(sigma * z)

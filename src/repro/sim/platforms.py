@@ -1,0 +1,165 @@
+"""Machine descriptions of the two evaluated integrated processors.
+
+Numbers follow §8.1 of the paper plus publicly documented micro-
+architectural parameters of the two parts:
+
+* **AMD A10-7850K "Kaveri"** — Steamroller quad-core CPU at 3.7 GHz and a
+  GCN GPU with 8 CUs × 64 PEs (512 PEs) at 720 MHz; dual-channel DDR3-2133
+  (≈34 GB/s peak, ≈21 GB/s sustained); the GPU has a 512 KiB shared L2 and
+  *no* cache shared with the CPU (separate Onion/Garlic paths).
+* **Intel i7-6700 "Skylake"** — quad-core/8-thread CPU at 3.4 GHz and a
+  Gen9 GT2 GPU described by the paper as 24 CUs × 32 PEs (768 PEs) at
+  350/1150 MHz; dual-channel DDR4-2133 (≈34 GB/s peak, ≈27 GB/s sustained
+  — Skylake's memory subsystem sustains a larger fraction of peak), and a
+  shared 8 MiB LLC that also backs the GPU — the paper's explanation for
+  why the ALL configuration behaves much better on Intel (§9.3).
+
+Absolute figures matter less than ratios: the reproduction targets the
+paper's *shapes* (who wins where, where the DoP sweet spots fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU-device parameters of an integrated processor."""
+
+    cores: int                      #: physical cores (= schedulable CUs)
+    threads: int                    #: hardware threads usable by the runtime
+    freq_ghz: float
+    flops_per_cycle: float          #: sustained f32 FLOPs/cycle/core (SIMD)
+    intops_per_cycle: float         #: sustained integer ops/cycle/core
+    mem_ops_per_cycle: float        #: load/store issue rate per core
+    llc_bytes: int                  #: last-level cache reachable by the CPU
+    max_bw_per_core_gbps: float     #: per-core sustainable DRAM bandwidth
+    thread_spawn_overhead_s: float  #: cost of waking one worker thread
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU-device parameters of an integrated processor."""
+
+    num_cus: int
+    pes_per_cu: int
+    freq_ghz: float
+    simd_width: int                 #: lanes executing in lockstep (warp/wave)
+    l2_bytes: int                   #: GPU-side shared cache
+    cacheline_bytes: int
+    max_resident_items_per_cu: int  #: memory-active work-items per CU
+    dispatch_overhead_s: float      #: host cost of one kernel enqueue
+    flops_per_cycle_per_pe: float
+    intops_per_cycle_per_pe: float
+    shares_llc: bool                #: GPU misses also hit the CPU LLC
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_cus * self.pes_per_cu
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One integrated CPU/GPU processor."""
+
+    name: str
+    cpu: CpuSpec
+    gpu: GpuSpec
+    dram_bandwidth_gbps: float      #: sustained shared-memory bandwidth
+    dram_latency_s: float
+    #: memory-controller arbitration between CPU and GPU at saturation:
+    #: 0 = purely request-proportional (a flooding GPU starves the CPU),
+    #: 1 = perfectly fair.  See repro.sim.contention.
+    arbitration_fairness: float = 0.3
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Sustained bandwidth in bytes/second."""
+        return self.dram_bandwidth_gbps * 1e9
+
+    def gpu_effective_cache_bytes(self) -> float:
+        """Cache capacity backing GPU memory traffic.
+
+        On architectures with a shared LLC (Intel) the GPU effectively
+        enjoys a slice of the big CPU cache behind its own L2, which is
+        the paper's explanation for Intel's milder capacity-miss cliff.
+        """
+        extra = 0.25 * self.cpu.llc_bytes if self.gpu.shares_llc else 0.0
+        return self.gpu.l2_bytes + extra
+
+
+KAVERI = Platform(
+    name="kaveri",
+    cpu=CpuSpec(
+        cores=4,
+        threads=4,
+        freq_ghz=3.7,
+        flops_per_cycle=8.0,        # AVX/FMA3 f32 on Steamroller, sustained
+        intops_per_cycle=4.0,
+        mem_ops_per_cycle=2.0,
+        llc_bytes=4 * 1024 * 1024,  # 2 x 2 MiB module-shared L2
+        max_bw_per_core_gbps=8.0,
+        thread_spawn_overhead_s=8e-6,
+    ),
+    gpu=GpuSpec(
+        num_cus=8,
+        pes_per_cu=64,
+        freq_ghz=0.72,
+        simd_width=64,              # GCN wavefront
+        l2_bytes=512 * 1024,
+        cacheline_bytes=64,
+        max_resident_items_per_cu=256,
+        dispatch_overhead_s=40e-6,
+        flops_per_cycle_per_pe=2.0,  # FMA
+        intops_per_cycle_per_pe=1.0,
+        shares_llc=False,
+    ),
+    dram_bandwidth_gbps=21.0,
+    dram_latency_s=90e-9,
+    arbitration_fairness=0.35,
+)
+
+SKYLAKE = Platform(
+    name="skylake",
+    cpu=CpuSpec(
+        cores=4,
+        threads=8,
+        freq_ghz=3.4,
+        flops_per_cycle=16.0,       # AVX2/FMA f32
+        intops_per_cycle=6.0,
+        mem_ops_per_cycle=3.0,
+        llc_bytes=8 * 1024 * 1024,
+        max_bw_per_core_gbps=12.0,
+        thread_spawn_overhead_s=6e-6,
+    ),
+    gpu=GpuSpec(
+        num_cus=24,
+        pes_per_cu=32,
+        freq_ghz=1.15,
+        simd_width=16,              # Gen9 SIMD-16 dispatch
+        l2_bytes=768 * 1024,        # Gen9 GTI/L3 slice serving the EUs
+        cacheline_bytes=64,
+        max_resident_items_per_cu=256,
+        dispatch_overhead_s=30e-6,
+        flops_per_cycle_per_pe=2.0,
+        intops_per_cycle_per_pe=1.0,
+        shares_llc=True,
+    ),
+    dram_bandwidth_gbps=27.0,
+    dram_latency_s=80e-9,
+    arbitration_fairness=0.5,
+)
+
+#: The two evaluation platforms of the paper, by name.
+PLATFORMS = {platform.name: platform for platform in (KAVERI, SKYLAKE)}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform by name (``"kaveri"`` or ``"skylake"``)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+        ) from None

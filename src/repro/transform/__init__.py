@@ -1,0 +1,19 @@
+"""Malleable code generation (paper §6): GPU throttling and CPU lowering."""
+
+from .cpu_codegen import CpuKernel, CpuTransformError, make_cpu_kernel
+from .gpu_malleable import (
+    ALLOC_PARAM,
+    MOD_PARAM,
+    MalleableKernel,
+    TransformError,
+    make_malleable,
+    throttle_settings,
+)
+from .rewriter import SourcePrinter, clone, print_kernel, substitute_calls
+
+__all__ = [
+    "CpuKernel", "CpuTransformError", "make_cpu_kernel", "ALLOC_PARAM",
+    "MOD_PARAM", "MalleableKernel", "TransformError", "make_malleable",
+    "throttle_settings", "SourcePrinter", "clone", "print_kernel",
+    "substitute_calls",
+]

@@ -1,0 +1,85 @@
+"""Workloads: Table-4 kernels, Table-2 generator, multi-kernel applications."""
+
+from .applications import (
+    APPLICATIONS,
+    AppResult,
+    Application,
+    AtaxApplication,
+    BicgApplication,
+    FdtdApplication,
+    MvtApplication,
+    PageRankApplication,
+)
+from .pagerank import PAGERANK_SRC, make_pagerank, pagerank_reference
+from .polybench import (
+    make_atax1,
+    make_atax2,
+    make_bicg1,
+    make_bicg2,
+    make_conv2d,
+    make_fdtd1,
+    make_fdtd2,
+    make_fdtd3,
+    make_gemm,
+    make_gesummv,
+    make_mvt1,
+    make_mvt2,
+    make_syr2k,
+)
+from .registry import Workload
+from .spmv import SPMV_SRC, make_csr_matrix, make_spmv, spmv_reference
+from .synthetic import (
+    LOOP_EXTENT,
+    TABLE4_DIMS,
+    TABLE4_DTYPES,
+    TABLE4_GAMMAS,
+    TABLE4_PATTERNS,
+    TABLE4_SIZES,
+    TABLE4_WG_SIZES,
+    SyntheticSpec,
+    generate_source,
+    make_synthetic,
+    reference_result,
+    training_specs,
+    training_workloads,
+)
+
+#: Factories for the 14 real-world kernels of Table 4 / Figure 13, in the
+#: paper's presentation order, at their paper configurations.
+REAL_WORKLOAD_FACTORIES = {
+    "2DCONV": make_conv2d,
+    "ATAX1": make_atax1,
+    "ATAX2": make_atax2,
+    "BICG1": make_bicg1,
+    "BICG2": make_bicg2,
+    "FDTD1": make_fdtd1,
+    "FDTD2": make_fdtd2,
+    "FDTD3": make_fdtd3,
+    "GESUMMV": make_gesummv,
+    "MVT1": make_mvt1,
+    "MVT2": make_mvt2,
+    "SYR2K": make_syr2k,
+    "PageRank": make_pagerank,
+    "SpMV": make_spmv,
+}
+
+
+def real_workloads() -> list[Workload]:
+    """The 14 Table-4 real-world workloads at their paper configurations."""
+    return [factory() for factory in REAL_WORKLOAD_FACTORIES.values()]
+
+
+__all__ = [
+    "APPLICATIONS", "AppResult", "Application", "AtaxApplication",
+    "BicgApplication", "FdtdApplication", "MvtApplication",
+    "PageRankApplication",
+    "PAGERANK_SRC", "make_pagerank", "pagerank_reference", "make_atax1",
+    "make_atax2", "make_bicg1", "make_bicg2", "make_conv2d", "make_fdtd1",
+    "make_fdtd2", "make_fdtd3", "make_gemm", "make_gesummv", "make_mvt1", "make_mvt2",
+    "make_syr2k", "Workload", "SPMV_SRC", "make_csr_matrix", "make_spmv",
+    "spmv_reference", "LOOP_EXTENT", "TABLE4_DIMS", "TABLE4_DTYPES",
+    "TABLE4_GAMMAS", "TABLE4_PATTERNS", "TABLE4_SIZES", "TABLE4_WG_SIZES",
+    "SyntheticSpec", "generate_source", "make_synthetic", "reference_result",
+    "training_specs", "training_workloads", "REAL_WORKLOAD_FACTORIES",
+    "real_workloads",
+]

@@ -1,0 +1,290 @@
+"""Multi-kernel applications: the host programs behind Table 4's kernels.
+
+The paper evaluates individual kernels, but ATAX/BICG/MVT/FDTD/PageRank are
+*applications* — sequences of kernel launches sharing buffers, with host
+control flow between them (FDTD's time loop, PageRank's convergence loop).
+This module provides runnable host drivers over the :mod:`repro.cl` API so
+Dopia can be exercised the way a real OpenCL application would use it:
+one program build (analysis happens once per kernel), many enqueues (DoP
+selection happens per launch).
+
+Every application verifies its final buffers against a NumPy reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import cl
+from .pagerank import PAGERANK_SRC
+from .polybench import (
+    ATAX1_SRC,
+    ATAX2_SRC,
+    BICG1_SRC,
+    BICG2_SRC,
+    FDTD1_SRC,
+    FDTD2_SRC,
+    FDTD3_SRC,
+    MVT1_SRC,
+    MVT2_SRC,
+)
+from .spmv import make_csr_matrix
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    name: str
+    simulated_time_s: float
+    launches: int
+    selections: list = field(default_factory=list)  #: DoP per launch (if Dopia ran)
+    outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    verified: bool = False
+
+
+class Application:
+    """Base class: one context, several kernels, shared buffers."""
+
+    name = "app"
+    sources: dict[str, str] = {}
+
+    def __init__(self, platform_name: str = "kaveri", wg: int = 64):
+        self.ctx = cl.create_context(platform_name)
+        self.queue = cl.create_command_queue(self.ctx)
+        self.wg = wg
+        self.kernels: dict[str, cl.Kernel] = {}
+        self._time = 0.0
+        self._launches = 0
+        self._selections: list = []
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def build(self) -> None:
+        for name, source in self.sources.items():
+            program = self.ctx.create_program_with_source(source).build()
+            self.kernels[name] = program.create_kernel(name)
+
+    def launch(self, kernel_name: str, global_size: int, args: dict,
+               hint: float | None = None) -> None:
+        """Bind ``args`` and enqueue a 1-D launch of ``kernel_name``."""
+        kernel = self.kernels[kernel_name]
+        for name, value in args.items():
+            kernel.set_arg(name, value)
+        event = self.queue.enqueue_nd_range_kernel(
+            kernel, (global_size,), (self.wg,), irregular_trip_hint=hint,
+        )
+        self._time += event.simulated_time_s
+        self._launches += 1
+        prediction = event.details.get("prediction")
+        if prediction is not None:
+            self._selections.append(prediction.config.utils)
+
+    def _pad(self, n: int) -> int:
+        return (n + self.wg - 1) // self.wg * self.wg
+
+    def result(self, outputs: dict[str, np.ndarray], verified: bool) -> AppResult:
+        return AppResult(
+            name=self.name,
+            simulated_time_s=self._time,
+            launches=self._launches,
+            selections=self._selections,
+            outputs=outputs,
+            verified=verified,
+        )
+
+
+class AtaxApplication(Application):
+    """ATAX: y = Aᵀ (A x) — two dependent kernels sharing ``tmp``."""
+
+    name = "atax"
+    sources = {"atax_kernel1": ATAX1_SRC, "atax_kernel2": ATAX2_SRC}
+
+    def run(self, n: int = 256, seed: int = 0) -> AppResult:
+        rng = np.random.default_rng(seed)
+        A = rng.uniform(-1, 1, n * n)
+        x = rng.uniform(-1, 1, n)
+        tmp = np.zeros(n)
+        y = np.zeros(n)
+        buffers = {name: self.ctx.create_buffer(arr)
+                   for name, arr in (("A", A), ("x", x), ("tmp", tmp), ("y", y))}
+        self.build()
+        self.launch("atax_kernel1", self._pad(n),
+                    {"A": buffers["A"], "x": buffers["x"], "tmp": buffers["tmp"],
+                     "nx": n, "ny": n})
+        self.launch("atax_kernel2", self._pad(n),
+                    {"A": buffers["A"], "y": buffers["y"], "tmp": buffers["tmp"],
+                     "nx": n, "ny": n})
+        expected = A.reshape(n, n).T @ (A.reshape(n, n) @ x)
+        return self.result({"y": y}, bool(np.allclose(y, expected)))
+
+
+class BicgApplication(Application):
+    """BiCG sub-step: s = Aᵀ r and q = A p (independent kernels)."""
+
+    name = "bicg"
+    sources = {"bicg_kernel1": BICG1_SRC, "bicg_kernel2": BICG2_SRC}
+
+    def run(self, n: int = 256, seed: int = 0) -> AppResult:
+        rng = np.random.default_rng(seed)
+        A = rng.uniform(-1, 1, n * n)
+        r = rng.uniform(-1, 1, n)
+        p = rng.uniform(-1, 1, n)
+        s = np.zeros(n)
+        q = np.zeros(n)
+        buf = {k: self.ctx.create_buffer(v)
+               for k, v in (("A", A), ("r", r), ("p", p), ("s", s), ("q", q))}
+        self.build()
+        self.launch("bicg_kernel1", self._pad(n),
+                    {"A": buf["A"], "r": buf["r"], "s": buf["s"], "nx": n, "ny": n})
+        self.launch("bicg_kernel2", self._pad(n),
+                    {"A": buf["A"], "p": buf["p"], "q": buf["q"], "nx": n, "ny": n})
+        M = A.reshape(n, n)
+        ok = np.allclose(s, M.T @ r) and np.allclose(q, M @ p)
+        return self.result({"s": s, "q": q}, bool(ok))
+
+
+class MvtApplication(Application):
+    """MVT: x1 += A y1 and x2 += Aᵀ y2."""
+
+    name = "mvt"
+    sources = {"mvt_kernel1": MVT1_SRC, "mvt_kernel2": MVT2_SRC}
+
+    def run(self, n: int = 256, seed: int = 0) -> AppResult:
+        rng = np.random.default_rng(seed)
+        A = rng.uniform(-1, 1, n * n)
+        x1 = rng.uniform(-1, 1, n)
+        x2 = rng.uniform(-1, 1, n)
+        y1 = rng.uniform(-1, 1, n)
+        y2 = rng.uniform(-1, 1, n)
+        x1_0, x2_0 = x1.copy(), x2.copy()
+        buf = {k: self.ctx.create_buffer(v) for k, v in
+               (("A", A), ("x1", x1), ("x2", x2), ("y1", y1), ("y2", y2))}
+        self.build()
+        self.launch("mvt_kernel1", self._pad(n),
+                    {"A": buf["A"], "x1": buf["x1"], "y1": buf["y1"], "n": n})
+        self.launch("mvt_kernel2", self._pad(n),
+                    {"A": buf["A"], "x2": buf["x2"], "y2": buf["y2"], "n": n})
+        M = A.reshape(n, n)
+        ok = np.allclose(x1, x1_0 + M @ y1) and np.allclose(x2, x2_0 + M.T @ y2)
+        return self.result({"x1": x1, "x2": x2}, bool(ok))
+
+
+class FdtdApplication(Application):
+    """FDTD-2D: ``steps`` time iterations of the three field updates."""
+
+    name = "fdtd"
+    sources = {"fdtd_step1": FDTD1_SRC, "fdtd_step2": FDTD2_SRC,
+               "fdtd_step3": FDTD3_SRC}
+
+    def __init__(self, platform_name: str = "kaveri", wg: tuple[int, int] = (8, 8)):
+        super().__init__(platform_name, wg=wg[0])
+        self.wg2d = wg
+
+    def run(self, grid: int = 32, steps: int = 4, seed: int = 0) -> AppResult:
+        rng = np.random.default_rng(seed)
+        nx = ny = grid
+        ex = rng.uniform(-1, 1, nx * (ny + 1))
+        ey = rng.uniform(-1, 1, (nx + 1) * ny)
+        hz = rng.uniform(-1, 1, nx * ny)
+        fict = rng.uniform(-1, 1, steps + 1)
+        reference = _fdtd_reference(ex.copy(), ey.copy(), hz.copy(), fict, nx, ny, steps)
+        buf = {k: self.ctx.create_buffer(v) for k, v in
+               (("ex", ex), ("ey", ey), ("hz", hz), ("_fict_", fict))}
+        self.build()
+        size = ((nx + self.wg2d[0] - 1) // self.wg2d[0] * self.wg2d[0],
+                (ny + self.wg2d[1] - 1) // self.wg2d[1] * self.wg2d[1])
+        for t in range(steps):
+            self._launch2d("fdtd_step1", size,
+                           {"_fict_": buf["_fict_"], "ex": buf["ex"],
+                            "ey": buf["ey"], "hz": buf["hz"],
+                            "t": t, "nx": nx, "ny": ny})
+            self._launch2d("fdtd_step2", size,
+                           {"ex": buf["ex"], "ey": buf["ey"], "hz": buf["hz"],
+                            "nx": nx, "ny": ny})
+            self._launch2d("fdtd_step3", size,
+                           {"ex": buf["ex"], "ey": buf["ey"], "hz": buf["hz"],
+                            "nx": nx, "ny": ny})
+        ok = (np.allclose(ex, reference[0]) and np.allclose(ey, reference[1])
+              and np.allclose(hz, reference[2]))
+        return self.result({"ex": ex, "ey": ey, "hz": hz}, bool(ok))
+
+    def _launch2d(self, name: str, size, args) -> None:
+        kernel = self.kernels[name]
+        for arg_name, value in args.items():
+            kernel.set_arg(arg_name, value)
+        event = self.queue.enqueue_nd_range_kernel(kernel, size, self.wg2d)
+        self._time += event.simulated_time_s
+        self._launches += 1
+        prediction = event.details.get("prediction")
+        if prediction is not None:
+            self._selections.append(prediction.config.utils)
+
+
+def _fdtd_reference(ex, ey, hz, fict, nx, ny, steps):
+    """NumPy reference of the FDTD-2D update sequence."""
+    ex2 = ex.reshape(nx, ny + 1)
+    ey2 = ey.reshape(nx + 1, ny)
+    hz2 = hz.reshape(nx, ny)
+    for t in range(steps):
+        ey2[0, :] = fict[t]
+        ey2[1:nx, :] -= 0.5 * (hz2[1:nx, :] - hz2[: nx - 1, :])
+        ex2[:, 1:ny] -= 0.5 * (hz2[:, 1:ny] - hz2[:, : ny - 1])
+        hz2[:, :] -= 0.7 * (
+            ex2[:, 1 : ny + 1] - ex2[:, :ny] + ey2[1 : nx + 1, :] - ey2[:nx, :]
+        )
+    return ex2.ravel(), ey2.ravel(), hz2.ravel()
+
+
+class PageRankApplication(Application):
+    """PageRank power iteration until the rank vector stops moving."""
+
+    name = "pagerank"
+    sources = {"pagerank_step": PAGERANK_SRC}
+
+    def run(
+        self, n: int = 256, avg_degree: int = 8, max_iters: int = 100,
+        tol: float = 1e-10, seed: int = 0,
+    ) -> AppResult:
+        rng = np.random.default_rng(seed)
+        rowptr, colidx, _ = make_csr_matrix(n, n, avg_degree, rng)
+        outdeg = np.bincount(colidx, minlength=n).astype(np.float64)
+        outdeg[outdeg == 0.0] = 1.0
+        rank = np.full(n, 1.0 / n)
+        new_rank = np.zeros(n)
+        buf = {
+            "rowptr": self.ctx.create_buffer(rowptr),
+            "colidx": self.ctx.create_buffer(colidx),
+            "rank": self.ctx.create_buffer(rank),
+            "new_rank": self.ctx.create_buffer(new_rank),
+            "inv_outdeg": self.ctx.create_buffer(1.0 / outdeg),
+        }
+        self.build()
+        iterations = 0
+        for _ in range(max_iters):
+            self.launch(
+                "pagerank_step", self._pad(n),
+                {"rowptr": buf["rowptr"], "colidx": buf["colidx"],
+                 "rank": buf["rank"], "new_rank": buf["new_rank"],
+                 "inv_outdeg": buf["inv_outdeg"], "damping": 0.85, "n": n},
+                hint=float(avg_degree),
+            )
+            iterations += 1
+            delta = float(np.abs(buf["new_rank"].array - buf["rank"].array).max())
+            buf["rank"], buf["new_rank"] = buf["new_rank"], buf["rank"]
+            if delta < tol:
+                break
+        ranks = buf["rank"].array
+        verified = abs(float(ranks.sum()) - 1.0) < 0.2 and iterations < max_iters
+        return self.result({"rank": ranks, "iterations": np.array([iterations])},
+                           bool(verified))
+
+
+#: All applications by name.
+APPLICATIONS = {
+    app.name: app
+    for app in (AtaxApplication, BicgApplication, MvtApplication,
+                FdtdApplication, PageRankApplication)
+}

@@ -1,0 +1,75 @@
+"""PageRank (Table 4): one power-iteration step over a CSR in-edge graph.
+
+The kernel computes, per vertex, the damped sum of incoming ranks weighted
+by the source vertices' inverse out-degrees [4].  The host (or the
+quickstart example) iterates the kernel until convergence, swapping the
+rank buffers between launches — the paper's "iterative PageRank kernel".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import Workload
+from .spmv import make_csr_matrix
+
+PAGERANK_SRC = """
+__kernel void pagerank_step(__global int* rowptr, __global int* colidx,
+                            __global float* rank, __global float* new_rank,
+                            __global float* inv_outdeg,
+                            float damping, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        float sum = 0.0f;
+        for (int k = rowptr[i]; k < rowptr[i + 1]; k++) {
+            int src = colidx[k];
+            sum = sum + rank[src] * inv_outdeg[src];
+        }
+        new_rank[i] = (1.0f - damping) / n + damping * sum;
+    }
+}
+"""
+
+
+def _pagerank_buffers(w: Workload, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = int(w.scalar_args["n"])
+    avg_in = int(w.irregular_trip_hint or 16)
+    avg_in = min(avg_in, max(n // 4, 1))
+    rowptr, colidx, _ = make_csr_matrix(n, n, avg_in, rng)
+    outdeg = np.bincount(colidx, minlength=n).astype(np.float64)
+    outdeg[outdeg == 0.0] = 1.0
+    return {
+        "rowptr": rowptr,
+        "colidx": colidx,
+        "rank": np.full(n, 1.0 / n),
+        "new_rank": np.zeros(n),
+        "inv_outdeg": 1.0 / outdeg,
+    }
+
+
+def make_pagerank(n: int = 16384, wg: int = 256, avg_in_degree: int = 16384) -> Workload:
+    return Workload(
+        key=f"PageRank/{n}/wg{wg}",
+        source=PAGERANK_SRC,
+        kernel_name="pagerank_step",
+        global_size=(((n + wg - 1) // wg) * wg,),
+        local_size=(wg,),
+        scalar_args={"damping": 0.85, "n": n},
+        buffer_builder=_pagerank_buffers,
+        irregular_trip_hint=float(avg_in_degree),
+        description="PageRank power-iteration step (CSR in-edges)",
+    )
+
+
+def pagerank_reference(args: dict) -> np.ndarray:
+    """NumPy reference for one PageRank step on materialised arguments."""
+    n = int(args["n"])
+    damping = float(args["damping"])
+    rowptr, colidx = args["rowptr"], args["colidx"]
+    contrib = args["rank"] * args["inv_outdeg"]
+    out = np.empty(n)
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        out[i] = (1.0 - damping) / n + damping * float(contrib[colidx[lo:hi]].sum())
+    return out

@@ -1,0 +1,110 @@
+"""The workload abstraction shared by benchmarks, tests, and the runtime.
+
+A :class:`Workload` bundles everything needed to launch one kernel:
+source text, launch geometry, scalar arguments, and a recipe for building
+host buffers.  Workloads can be *profiled* (static analysis + runtime
+instantiation → a :class:`repro.analysis.profile.KernelProfile` for the
+simulator) and *materialised* (NumPy buffers for functional execution by
+the interpreter, optionally scaled down so correctness tests stay fast).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..analysis.profile import KernelProfile, profile_kernel
+from ..frontend.parser import parse
+from ..frontend.semantics import KernelInfo, analyze_kernel
+from ..interp.ndrange import NDRange
+
+#: Builds the host buffers of a workload: (workload, rng) -> {name: ndarray}.
+BufferBuilder = Callable[["Workload", np.random.Generator], dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One launchable kernel with its inputs.
+
+    ``key`` uniquely identifies the workload (used for dataset grouping,
+    noise seeding, and result tables).  ``scalar_args`` holds the value
+    parameters passed at launch; ``buffer_builder`` constructs the pointer
+    arguments on demand.
+    """
+
+    key: str
+    source: str
+    kernel_name: str
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...]
+    scalar_args: dict[str, float] = field(default_factory=dict)
+    buffer_builder: Optional[BufferBuilder] = None
+    irregular_trip_hint: Optional[float] = None
+    description: str = ""
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def work_dim(self) -> int:
+        return len(self.global_size)
+
+    @property
+    def total_work_items(self) -> int:
+        return math.prod(self.global_size)
+
+    @property
+    def work_group_items(self) -> int:
+        return math.prod(self.local_size)
+
+    @property
+    def num_work_groups(self) -> int:
+        return self.total_work_items // self.work_group_items
+
+    def ndrange(self) -> NDRange:
+        return NDRange(self.global_size, self.local_size)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def kernel_info(self) -> KernelInfo:
+        """Parse + semantically analyse the kernel (helpers included)."""
+        unit = parse(self.source)
+        kernels = unit.kernels()
+        if self.kernel_name:
+            kernel = unit.kernel(self.kernel_name)
+        else:
+            kernel = kernels[0]
+        return analyze_kernel(kernel, unit)
+
+    def profile(self) -> KernelProfile:
+        """The simulator-facing profile of this launch."""
+        return profile_kernel(
+            self.kernel_info(),
+            self.scalar_args,
+            self.total_work_items,
+            self.work_group_items,
+            work_dim=self.work_dim,
+            irregular_trip_hint=self.irregular_trip_hint,
+        )
+
+    # -- materialisation ------------------------------------------------------
+
+    def build_buffers(self, rng: np.random.Generator | int = 0) -> dict[str, np.ndarray]:
+        """Construct the kernel's pointer arguments as NumPy arrays."""
+        if self.buffer_builder is None:
+            raise ValueError(f"workload {self.key!r} has no buffer builder")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        return self.buffer_builder(self, rng)
+
+    def full_args(self, rng: np.random.Generator | int = 0) -> dict:
+        """Buffers plus scalar arguments — the complete launch argument set."""
+        args: dict = dict(self.build_buffers(rng))
+        args.update(self.scalar_args)
+        return args
+
+    def scaled(self, **overrides) -> "Workload":
+        """A copy with some fields replaced (used for small test variants)."""
+        return replace(self, **overrides)

@@ -1,0 +1,87 @@
+"""Sparse matrix–vector multiplication in CSR format (Table 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import Workload
+
+SPMV_SRC = """
+__kernel void spmv_csr(__global int* rowptr, __global int* colidx,
+                       __global float* vals, __global float* x,
+                       __global float* y, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        float sum = 0.0f;
+        for (int k = rowptr[i]; k < rowptr[i + 1]; k++)
+            sum = sum + vals[k] * x[colidx[k]];
+        y[i] = sum;
+    }
+}
+"""
+
+
+def make_csr_matrix(
+    n_rows: int, n_cols: int, nnz_per_row: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A random CSR matrix with roughly ``nnz_per_row`` entries per row.
+
+    Row population jitters ±50 % so rows are genuinely irregular — the
+    property that makes SpMV's inner loop bound data-dependent.
+    """
+    counts = rng.integers(
+        max(1, nnz_per_row // 2), nnz_per_row + nnz_per_row // 2 + 1, size=n_rows
+    )
+    counts = np.minimum(counts, n_cols)
+    rowptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=rowptr[1:])
+    nnz = int(rowptr[-1])
+    colidx = np.empty(nnz, dtype=np.int64)
+    for row in range(n_rows):
+        lo, hi = rowptr[row], rowptr[row + 1]
+        colidx[lo:hi] = np.sort(rng.choice(n_cols, size=hi - lo, replace=False))
+    vals = rng.uniform(-1.0, 1.0, size=nnz)
+    return rowptr, colidx, vals
+
+
+def _spmv_buffers(w: Workload, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = int(w.scalar_args["n"])
+    nnz_per_row = int(w.irregular_trip_hint or 16)
+    # keep functional materialisation tractable: cap per-row population
+    nnz_per_row = min(nnz_per_row, max(n // 4, 1))
+    rowptr, colidx, vals = make_csr_matrix(n, n, nnz_per_row, rng)
+    return {
+        "rowptr": rowptr,
+        "colidx": colidx,
+        "vals": vals,
+        "x": rng.uniform(-1.0, 1.0, size=n),
+        "y": np.zeros(n),
+    }
+
+
+def make_spmv(n: int = 16384, wg: int = 256, nnz_per_row: int = 16384) -> Workload:
+    """SpMV workload; the paper's graph has 16,384 rows and 16,384 CSR
+    elements per row (§9.4), which makes its work comparable to Gesummv."""
+    return Workload(
+        key=f"SpMV/{n}/wg{wg}",
+        source=SPMV_SRC,
+        kernel_name="spmv_csr",
+        global_size=(((n + wg - 1) // wg) * wg,),
+        local_size=(wg,),
+        scalar_args={"n": n},
+        buffer_builder=_spmv_buffers,
+        irregular_trip_hint=float(nnz_per_row),
+        description="Sparse matrix-vector multiply (CSR)",
+    )
+
+
+def spmv_reference(args: dict) -> np.ndarray:
+    """NumPy reference result for a materialised SpMV argument set."""
+    n = int(args["n"])
+    rowptr, colidx, vals, x = args["rowptr"], args["colidx"], args["vals"], args["x"]
+    y = np.zeros(n)
+    for i in range(n):
+        lo, hi = rowptr[i], rowptr[i + 1]
+        y[i] = float(vals[lo:hi] @ x[colidx[lo:hi]])
+    return y

@@ -1,0 +1,332 @@
+"""The parameterizable synthetic workload family (paper Table 2 / Table 4).
+
+A synthetic kernel adds α matrices of dimensionality β element-wise into an
+output matrix, with γ extra constant multiplications per addend, and with
+δ/ε/θ of the addends accessed transposed / through an index buffer /
+at a constant address.  The work-item dimension (1 or 2) and the data type
+complete the eight parameters of Table 2; Table 4's enumeration of 17
+access patterns × 72 configurations yields the 1,224 training workloads.
+
+Naming follows the paper: ``2mat3d2c1T`` = add 2 three-dimensional
+matrices, 2 constant factors, 1 of the addends transposed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from .registry import Workload
+
+#: Extent of every non-work-item dimension of the synthetic matrices.
+LOOP_EXTENT = 16
+
+#: The 17 access patterns of Table 4.
+TABLE4_PATTERNS = (
+    "1mat3d", "1mat3d1R", "1mat3d1T", "1mat3d1C", "1mat3d1C1R", "1mat3d1C1T",
+    "2mat3d", "2mat3d1R", "2mat3d1T", "2mat3d1R1T", "2mat3d1C", "2mat3d1C1R",
+    "2mat3d1C1T", "2mat3d1C1R1T", "1mat4d", "1mat4d1R", "1mat4d1T",
+)
+
+#: Table 4's "72 configurations" axes.
+TABLE4_DTYPES = ("float", "int")
+TABLE4_DIMS = (1, 2)
+TABLE4_GAMMAS = (0, 2, 4)
+TABLE4_SIZES = (16384, 32768, 65536)
+TABLE4_WG_SIZES = (64, 256)
+
+_PATTERN_RE = re.compile(r"^(\d+)mat(\d)d((?:\d+[TRC])*)$")
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """The eight Table-2 parameters of one synthetic kernel."""
+
+    alpha: int          #: number of addend matrices
+    beta: int           #: matrix dimensionality (3 or 4)
+    gamma: int = 0      #: constant factors per addend
+    delta: int = 0      #: addends with transposed access (T)
+    epsilon: int = 0    #: addends with randomised access (R)
+    theta: int = 0      #: addends with constant access (C)
+    dim: int = 1        #: work-item dimensionality (1 or 2)
+    dtype: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        if self.beta not in (3, 4):
+            raise ValueError("beta must be 3 or 4")
+        if self.dim not in (1, 2):
+            raise ValueError("dim must be 1 or 2")
+        if self.dtype not in ("float", "int"):
+            raise ValueError("dtype must be 'float' or 'int'")
+        if self.gamma < 0:
+            raise ValueError("gamma must be >= 0")
+
+    @property
+    def n_addends(self) -> int:
+        """Total matrices read by the kernel.
+
+        The δ/ε/θ modifiers *replace* the access pattern of the last
+        matrices (Table 2's ``2mat2d2c1T`` example reads A continuously and
+        B transposed).  Table 4, however, also lists patterns whose
+        modifiers exceed α (``1mat3d1C1R``); for those the addend list
+        grows so every modifier gets a matrix — the only reading that
+        makes all seventeen names well-formed.
+        """
+        return max(self.alpha, self.delta + self.epsilon + self.theta)
+
+    @property
+    def n_plain(self) -> int:
+        """Addends accessed with the plain continuous pattern."""
+        return self.n_addends - self.delta - self.epsilon - self.theta
+
+    @property
+    def pattern_name(self) -> str:
+        """The αmatβd[γc][δT][εR][θC] name (Table 2 notation)."""
+        name = f"{self.alpha}mat{self.beta}d"
+        if self.gamma:
+            name += f"{self.gamma}c"
+        if self.delta:
+            name += f"{self.delta}T"
+        if self.epsilon:
+            name += f"{self.epsilon}R"
+        if self.theta:
+            name += f"{self.theta}C"
+        return name
+
+    @staticmethod
+    def from_pattern(pattern: str, gamma: int = 0, dim: int = 1,
+                     dtype: str = "float") -> "SyntheticSpec":
+        """Parse a Table-4 pattern name like ``2mat3d1C1R``."""
+        match = _PATTERN_RE.match(pattern)
+        if match is None:
+            raise ValueError(f"malformed pattern name {pattern!r}")
+        alpha = int(match.group(1))
+        beta = int(match.group(2))
+        delta = epsilon = theta = 0
+        for count, kind in re.findall(r"(\d+)([TRC])", match.group(3)):
+            if kind == "T":
+                delta = int(count)
+            elif kind == "R":
+                epsilon = int(count)
+            else:
+                theta = int(count)
+        return SyntheticSpec(alpha, beta, gamma, delta, epsilon, theta, dim, dtype)
+
+
+# ---------------------------------------------------------------------------
+# Kernel source generation
+# ---------------------------------------------------------------------------
+
+_MATRIX_NAMES = "ABDEFGH"  # C is reserved for the output
+
+
+def _dims(spec: SyntheticSpec) -> list[str]:
+    """Dimension extent parameter names, slowest first: NZ, NY, NX[, NW]."""
+    return ["NZ", "NY", "NX", "NW"][: spec.beta]
+
+
+def _linear_index(dims: list[str], indices: list[str]) -> str:
+    """Row-major linearisation, e.g. ``z*(NY*NX) + y*NX + x``."""
+    terms = []
+    for position, index in enumerate(indices):
+        extents = dims[position + 1 :]
+        if extents:
+            terms.append(f"{index} * ({' * '.join(extents)})")
+        else:
+            terms.append(index)
+    return " + ".join(terms)
+
+
+def generate_source(spec: SyntheticSpec) -> str:
+    """Emit the OpenCL-C kernel for ``spec`` (cf. Figures 5/6 top halves)."""
+    dims = _dims(spec)
+    indices = ["z", "y", "x", "w"][: spec.beta]
+    scalar_t = spec.dtype
+    elem_t = f"__global {scalar_t}*"
+
+    params = [f"{elem_t} {name}" for name in _MATRIX_NAMES[: spec.n_addends]]
+    params.append(f"{elem_t} C")
+    if spec.epsilon:
+        params.append("__global int* IDX")
+    params += [f"int {d}" for d in dims]
+    params += [f"{scalar_t} c{k + 1}" for k in range(spec.gamma)]
+    if spec.theta:
+        params.append("int cidx")
+
+    # id-bound indices and their guards
+    id_indices = indices[: spec.dim]
+    loop_indices = indices[spec.dim :]
+    body: list[str] = []
+    for d, index in enumerate(id_indices):
+        body.append(f"    int {index} = get_global_id({d});")
+    guard = " && ".join(f"({idx} < {dims[i]})" for i, idx in enumerate(id_indices))
+    body.append(f"    if ({guard}) {{")
+    pad = "        "
+    for depth, index in enumerate(loop_indices):
+        extent = dims[spec.dim + depth]
+        body.append(f"{pad}for (int {index} = 0; {index} < {extent}; {index}++) {{")
+        pad += "    "
+    body.append(f"{pad}int idx = {_linear_index(dims, indices)};")
+    body.append(f"{pad}int idxT = {_linear_index(list(reversed(dims)), list(reversed(indices)))};")
+
+    factors = "".join(f"c{k + 1} * " for k in range(spec.gamma))
+    plain = spec.n_plain
+    terms = []
+    for position in range(spec.n_addends):
+        name = _MATRIX_NAMES[position]
+        if position < plain:
+            access = f"{name}[idx]"
+        elif position < plain + spec.delta:
+            access = f"{name}[idxT]"
+        elif position < plain + spec.delta + spec.epsilon:
+            access = f"{name}[IDX[idx]]"
+        else:
+            access = f"{name}[cidx]"
+        terms.append(f"{factors}{access}")
+    body.append(f"{pad}C[idx] = {' + '.join(terms)};")
+    for depth in range(len(loop_indices)):
+        pad = "        " + "    " * (len(loop_indices) - depth - 1)
+        body.append(f"{pad}}}")
+    body.append("    }")
+
+    name = f"synthetic_{spec.pattern_name}_{spec.dim}dim_{spec.dtype}"
+    header = f"__kernel void {name}({', '.join(params)})"
+    return header + "\n{\n" + "\n".join(body) + "\n}\n"
+
+
+def kernel_name(spec: SyntheticSpec) -> str:
+    return f"synthetic_{spec.pattern_name}_{spec.dim}dim_{spec.dtype}"
+
+
+# ---------------------------------------------------------------------------
+# Workload construction
+# ---------------------------------------------------------------------------
+
+
+def _total_elements_from_args(spec: SyntheticSpec, args: dict) -> int:
+    total = 1
+    for d in _dims(spec):
+        total *= int(args[d])
+    return total
+
+
+def _synthetic_buffers(spec: SyntheticSpec, extent: int):
+    def build(w: Workload, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        total = _total_elements_from_args(spec, w.scalar_args)
+        dtype = np.float64 if spec.dtype == "float" else np.int64
+        buffers: dict[str, np.ndarray] = {}
+        for position in range(spec.n_addends):
+            name = _MATRIX_NAMES[position]
+            if spec.dtype == "float":
+                buffers[name] = rng.uniform(-1.0, 1.0, size=total)
+            else:
+                buffers[name] = rng.integers(-100, 100, size=total).astype(dtype)
+        buffers["C"] = np.zeros(total, dtype=dtype)
+        if spec.epsilon:
+            buffers["IDX"] = rng.integers(0, total, size=total).astype(np.int64)
+        return buffers
+
+    return build
+
+
+def make_synthetic(
+    spec: SyntheticSpec,
+    size: int = 16384,
+    wg_items: int = 256,
+    extent: int = LOOP_EXTENT,
+) -> Workload:
+    """Build the :class:`Workload` for one synthetic configuration.
+
+    ``size`` is the work-item count along dimension 0 (the Table-4 "matrix
+    size"); every other matrix dimension has ``extent`` elements.  For
+    2-dimensional launches the work-group is square (8×8 for 64 items,
+    16×16 for 256).
+    """
+    dims = _dims(spec)
+    if spec.dim == 1:
+        global_size: tuple[int, ...] = (size,)
+        local_size: tuple[int, ...] = (wg_items,)
+    else:
+        side = int(round(wg_items ** 0.5))
+        if side * side != wg_items:
+            raise ValueError(f"2-D launches need a square work-group, got {wg_items}")
+        global_size = (size, max(extent, side))
+        local_size = (side, side)
+    scalar_args: dict[str, float] = {"NZ": size}
+    for d in dims[1:]:
+        scalar_args[d] = max(extent, global_size[1]) if (spec.dim == 2 and d == "NY") else extent
+    for k in range(spec.gamma):
+        scalar_args[f"c{k + 1}"] = (1.0 + 0.5 * k) if spec.dtype == "float" else (k + 2)
+    if spec.theta:
+        scalar_args["cidx"] = 3
+    return Workload(
+        key=f"SYN/{spec.pattern_name}/{spec.dim}dim/{spec.dtype}/{size}/wg{wg_items}",
+        source=generate_source(spec),
+        kernel_name=kernel_name(spec),
+        global_size=global_size,
+        local_size=local_size,
+        scalar_args=scalar_args,
+        buffer_builder=_synthetic_buffers(spec, extent),
+        description=f"synthetic {spec.pattern_name} dim={spec.dim} dtype={spec.dtype}",
+    )
+
+
+def training_specs() -> list[SyntheticSpec]:
+    """All 204 distinct kernel specs of Table 4 (17 × 2 dtypes × 2 dims × 3 γ)."""
+    specs = []
+    for pattern, dtype, dim, gamma in itertools.product(
+        TABLE4_PATTERNS, TABLE4_DTYPES, TABLE4_DIMS, TABLE4_GAMMAS
+    ):
+        specs.append(SyntheticSpec.from_pattern(pattern, gamma=gamma, dim=dim, dtype=dtype))
+    return specs
+
+
+def training_workloads(
+    sizes: tuple[int, ...] = TABLE4_SIZES,
+    wg_sizes: tuple[int, ...] = TABLE4_WG_SIZES,
+    extent: int = LOOP_EXTENT,
+) -> list[Workload]:
+    """The full Table-4 enumeration: 17 × 2 × 2 × 3 × |sizes| × |wgs| workloads.
+
+    With the paper's axes this yields exactly 1,224 workloads.
+    """
+    out = []
+    for spec in training_specs():
+        for size in sizes:
+            for wg in wg_sizes:
+                out.append(make_synthetic(spec, size=size, wg_items=wg, extent=extent))
+    return out
+
+
+def reference_result(w: Workload, spec: SyntheticSpec, args: dict) -> np.ndarray:
+    """NumPy reference for a materialised synthetic workload (tests)."""
+    total = _total_elements_from_args(spec, args)
+    dims = [int(args[d]) for d in _dims(spec)]
+    shape = tuple(dims)
+    factor = 1.0 if spec.dtype == "float" else 1
+    for k in range(spec.gamma):
+        factor = factor * args[f"c{k + 1}"]
+    out = np.zeros(shape, dtype=np.float64)
+    plain = spec.n_plain
+    for position in range(spec.n_addends):
+        name = _MATRIX_NAMES[position]
+        mat = np.asarray(args[name], dtype=np.float64)[:total]
+        if position < plain:
+            out += factor * mat.reshape(shape)
+        elif position < plain + spec.delta:
+            out += factor * mat.reshape(tuple(reversed(shape))).transpose(
+                tuple(reversed(range(spec.beta)))
+            )
+        elif position < plain + spec.delta + spec.epsilon:
+            idx = np.asarray(args["IDX"])[:total].reshape(shape)
+            out += factor * mat[idx]
+        else:
+            out += factor * mat[int(args["cidx"])]
+    if spec.dtype == "int":
+        out = out.astype(np.int64).astype(np.float64)
+    return out.ravel()

@@ -1,0 +1,238 @@
+"""Unit tests for the affine address analysis and access classification."""
+
+import pytest
+
+from repro.analysis import AccessClass, extract_static_features_from_source
+from repro.analysis.accessclass import Coeff
+from repro.analysis.scan import scan_kernel
+from repro.frontend import analyze_kernel, parse_kernel
+
+
+def classes(source):
+    """Map buffer name -> set of access classes seen for it."""
+    scan = scan_kernel(analyze_kernel(parse_kernel(source)))
+    out = {}
+    for op in scan.mem_ops:
+        out.setdefault(op.buffer, set()).add(op.access)
+    return out
+
+
+class TestCoeff:
+    def test_literal_arithmetic(self):
+        assert (Coeff.of(2) + Coeff.of(3)).literal == 5
+        assert (Coeff.of(2) * Coeff.of(3)).literal == 6
+        assert (-Coeff.of(2)).literal == -2
+
+    def test_zero_is_empty(self):
+        assert Coeff.of(0).is_zero
+        assert (Coeff.of(2) - Coeff.of(2)).is_zero
+
+    def test_symbolic_product(self):
+        c = Coeff.symbol("n") * Coeff.symbol("m")
+        assert not c.is_literal
+        assert c.evaluate({"n": 3, "m": 4}) == 12
+
+    def test_symbol_plus_literal(self):
+        c = Coeff.symbol("n") + Coeff.of(1)
+        assert c.evaluate({"n": 9}) == 10
+
+    def test_is_unit(self):
+        assert Coeff.of(1).is_unit
+        assert Coeff.of(-1).is_unit
+        assert not Coeff.of(2).is_unit
+        assert not Coeff.symbol("n").is_unit
+
+
+class TestPaperWorkedExample:
+    """§5.1's example must classify exactly as the paper states."""
+
+    SOURCE = """
+    __kernel void example(__global float* A, __global float* B,
+                          __global float* C, __global float* D,
+                          int N, int M, int c1)
+    {
+        for (int i = 0; i < N; i++)
+            for (int j = 0; j < M; j++)
+                D[i][j] = A[i][j] + B[j][i] + C[c1] + C[B[j][i]];
+    }
+    """
+
+    def test_feature_counts_match_paper(self):
+        features = extract_static_features_from_source(self.SOURCE)
+        assert features.mem_constant == 1
+        assert features.mem_continuous == 2
+        assert features.mem_stride == 2
+        assert features.mem_random == 1
+
+    def test_class_assignments(self):
+        by_buffer = classes(self.SOURCE)
+        assert by_buffer["A"] == {AccessClass.CONTINUOUS}
+        assert by_buffer["B"] == {AccessClass.STRIDE}
+        assert by_buffer["C"] == {AccessClass.CONSTANT, AccessClass.RANDOM}
+        assert by_buffer["D"] == {AccessClass.CONTINUOUS}
+
+
+class TestClassificationRules:
+    def test_flat_continuous_by_global_id(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); if (i < n) A[i] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.CONTINUOUS}
+
+    def test_strided_by_global_id(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); if (i < n) A[i * 4] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.STRIDE}
+
+    def test_symbolic_stride(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); A[i * n] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.STRIDE}
+
+    def test_loop_invariant_inside_loop_is_constant(self):
+        # tmp[i] inside the j loop: the address does not vary across the
+        # loop — Gesummv's accumulator pattern
+        by_buffer = classes(
+            "__kernel void f(__global float* T, int n)"
+            "{ int i = get_global_id(0);"
+            "  for (int j = 0; j < n; j++) T[i] = T[i] + 1.0f; }"
+        )
+        assert by_buffer["T"] == {AccessClass.CONSTANT}
+
+    def test_forward_substitution_through_locals(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0);"
+            "  for (int j = 0; j < n; j++) { int idx = i * n + j; A[idx] = 1.0f; } }"
+        )
+        assert by_buffer["A"] == {AccessClass.CONTINUOUS}
+
+    def test_indirect_access_is_random(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, __global int* I, int n)"
+            "{ int i = get_global_id(0); A[I[i]] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.RANDOM}
+        assert by_buffer["I"] == {AccessClass.CONTINUOUS}
+
+    def test_nonaffine_product_is_random(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0);"
+            "  for (int j = 0; j < n; j++) A[i * j] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.RANDOM}
+
+    def test_modulo_address_is_random(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); A[i % 7] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.RANDOM}
+
+    def test_shifted_index_is_stride(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); A[i << 2] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.STRIDE}
+
+    def test_negative_unit_stride_is_continuous(self):
+        by_buffer = classes(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); A[n - i] = 1.0f; }"
+        )
+        assert by_buffer["A"] == {AccessClass.CONTINUOUS}
+
+    def test_local_arrays_not_counted(self):
+        source = (
+            "__kernel void f(__global float* A, int n)"
+            "{ __local int wl[1]; wl[0] = 0; A[get_global_id(0)] = 1.0f; }"
+        )
+        scan = scan_kernel(analyze_kernel(parse_kernel(source)))
+        assert {op.buffer for op in scan.mem_ops} == {"A"}
+        assert scan.local_mem_ops == 1
+
+    def test_compound_assignment_counts_load_and_store(self):
+        source = (
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); A[i] += 1.0f; }"
+        )
+        scan = scan_kernel(analyze_kernel(parse_kernel(source)))
+        loads = [op for op in scan.mem_ops if not op.is_store]
+        stores = [op for op in scan.mem_ops if op.is_store]
+        assert len(loads) == 1 and len(stores) == 1
+
+
+class TestArithmeticCounting:
+    def test_float_vs_int_split(self):
+        features = extract_static_features_from_source(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = get_global_id(0); int k = i * 2 + 1;"
+            "  A[k] = A[k] * 2.0f + 1.0f; }"
+        )
+        assert features.arith_int >= 2      # i*2, +1
+        assert features.arith_float == 2    # *2.0f, +1.0f
+
+    def test_math_builtin_counts_as_float(self):
+        features = extract_static_features_from_source(
+            "__kernel void f(__global float* A)"
+            "{ A[get_global_id(0)] = sqrt(2.0f); }"
+        )
+        assert features.arith_float >= 1
+
+
+class TestTripCounts:
+    def test_static_loop_bound(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global float* A, int n)"
+            "{ for (int j = 0; j < n; j++) A[j] = 1.0f; }"
+        )))
+        (loop,) = scan.loops
+        assert not loop.irregular
+        assert loop.trip.evaluate({"n": 10.0}) == 10.0
+
+    def test_stepped_loop_bound(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global float* A, int n)"
+            "{ for (int j = 0; j < n; j += 2) A[j] = 1.0f; }"
+        )))
+        (loop,) = scan.loops
+        assert loop.trip.evaluate({"n": 10.0}) == 5.0
+
+    def test_inclusive_bound(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global float* A, int n)"
+            "{ for (int j = 0; j <= n; j++) A[j] = 1.0f; }"
+        )))
+        (loop,) = scan.loops
+        assert loop.trip.evaluate({"n": 10.0}) == 11.0
+
+    def test_data_dependent_bound_is_irregular(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global int* R, __global float* A, int n)"
+            "{ int i = get_global_id(0);"
+            "  for (int k = R[i]; k < R[i + 1]; k++) A[k] = 1.0f; }"
+        )))
+        assert scan.has_irregular_loop
+
+    def test_while_loop_is_irregular(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global float* A, int n)"
+            "{ int i = 0; while (i < n) i++; }"
+        )))
+        assert scan.has_irregular_loop
+
+    def test_nested_trip_multiplier(self):
+        scan = scan_kernel(analyze_kernel(parse_kernel(
+            "__kernel void f(__global float* A, int n, int m)"
+            "{ for (int i = 0; i < n; i++)"
+            "    for (int j = 0; j < m; j++) A[i * m + j] = 1.0f; }"
+        )))
+        store = [op for op in scan.mem_ops if op.is_store][0]
+        assert store.executions({"n": 4.0, "m": 5.0}) == 20.0

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the analysis substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.accessclass import Coeff
+from repro.analysis import extract_static_features_from_source
+from repro.interp.ndrange import NDRange
+
+coeff_values = st.integers(min_value=-50, max_value=50)
+symbols = st.sampled_from(["n", "m", "k"])
+
+
+@st.composite
+def coeffs(draw):
+    base = Coeff.of(draw(coeff_values))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        base = base + Coeff.symbol(draw(symbols)) * Coeff.of(draw(coeff_values))
+    return base
+
+
+class TestCoeffAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(coeffs(), coeffs())
+    def test_addition_commutes(self, a, b):
+        env = {"n": 3.0, "m": 5.0, "k": 7.0}
+        assert (a + b).evaluate(env) == (b + a).evaluate(env)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coeffs(), coeffs(), coeffs())
+    def test_distributivity(self, a, b, c):
+        env = {"n": 2.0, "m": 3.0, "k": 5.0}
+        left = (a * (b + c)).evaluate(env)
+        right = (a * b + a * c).evaluate(env)
+        assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(coeffs())
+    def test_negation_is_involution(self, a):
+        env = {"n": 2.0, "m": 3.0, "k": 5.0}
+        assert (-(-a)).evaluate(env) == a.evaluate(env)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coeffs())
+    def test_subtraction_from_self_is_zero(self, a):
+        assert (a - a).is_zero
+
+
+class TestFeatureInvariances:
+    """Feature extraction must be insensitive to semantics-preserving noise."""
+
+    TEMPLATE = (
+        "__kernel void k(__global float* A, __global float* B, int n)"
+        "{{ int i = get_global_id(0); if (i < n) {{ {body} }} }}"
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from([
+        "B[i] = A[i];",
+        "B[i] = A[i] * 2.0f;",
+        "float t = A[i]; B[i] = t;",
+    ]), st.sampled_from(["  ", "\t", "\n   ", " /* noise */ "]))
+    def test_whitespace_and_comments_irrelevant(self, body, filler):
+        clean = self.TEMPLATE.format(body=body)
+        noisy = clean.replace(" ", filler, 3)
+        assert (
+            extract_static_features_from_source(clean)
+            == extract_static_features_from_source(noisy)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=100))
+    def test_literal_values_do_not_change_memory_counts(self, value):
+        a = extract_static_features_from_source(
+            self.TEMPLATE.format(body=f"B[i] = A[i] + {value}.0f;")
+        )
+        b = extract_static_features_from_source(
+            self.TEMPLATE.format(body="B[i] = A[i] + 7.0f;")
+        )
+        assert a.as_tuple()[:4] == b.as_tuple()[:4]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["A", "Matrix", "input_buffer", "xs"]))
+    def test_renaming_buffers_is_irrelevant(self, name):
+        base = self.TEMPLATE.format(body="B[i] = A[i];")
+        renamed = base.replace("A", name)
+        assert (
+            extract_static_features_from_source(base)
+            == extract_static_features_from_source(renamed)
+        )
+
+
+class TestNDRangeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_group_linearisation_bijective_2d(self, gx, gy, lx, ly):
+        nd = NDRange((gx * lx, gy * ly), (lx, ly))
+        seen = set()
+        for group in nd.group_ids():
+            linear = nd.linear_group_id(group)
+            assert nd.group_from_linear(linear) == group
+            seen.add(linear)
+        assert seen == set(range(nd.total_groups))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=16))
+    def test_item_counts_consistent(self, groups, wg):
+        nd = NDRange(groups * wg, wg)
+        assert nd.total_work_items == nd.total_groups * nd.work_items_per_group
+        assert len(list(nd.local_ids())) == nd.work_items_per_group

@@ -1,0 +1,198 @@
+"""Unit tests for the miniature OpenCL host API."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.interp import NDRange
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+
+@pytest.fixture
+def ctx():
+    return cl.create_context("kaveri")
+
+
+class TestPlatformDiscovery:
+    def test_two_platforms(self):
+        names = {p.name for p in cl.get_platforms()}
+        assert names == {"kaveri", "skylake"}
+
+    def test_devices_per_platform(self):
+        platform = cl.get_platform("kaveri")
+        devices = platform.get_devices()
+        assert len(devices) == 2
+        assert {d.device_type for d in devices} == {cl.DeviceType.CPU, cl.DeviceType.GPU}
+
+    def test_device_filter(self):
+        platform = cl.get_platform("skylake")
+        (gpu,) = platform.get_devices(cl.DeviceType.GPU)
+        assert gpu.max_compute_units == 24
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(cl.CLError):
+            cl.get_platform("fermi")
+
+
+class TestContextAndBuffers:
+    def test_context_requires_single_platform(self):
+        kaveri = cl.get_platform("kaveri").get_devices()
+        skylake = cl.get_platform("skylake").get_devices()
+        with pytest.raises(cl.CLError):
+            cl.Context([kaveri[0], skylake[0]])
+
+    def test_buffer_wraps_array_zero_copy(self, ctx):
+        data = np.zeros(8)
+        buffer = ctx.create_buffer(data)
+        buffer.array[0] = 5.0
+        assert data[0] == 5.0
+
+    def test_buffer_rejects_2d(self, ctx):
+        with pytest.raises(cl.CLError):
+            ctx.create_buffer(np.zeros((2, 2)))
+
+    def test_buffer_read_write(self, ctx):
+        buffer = ctx.create_buffer(np.zeros(4))
+        buffer.write(np.arange(4.0))
+        assert np.array_equal(buffer.read(), np.arange(4.0))
+        with pytest.raises(cl.CLError):
+            buffer.write(np.zeros(5))
+
+
+class TestProgramsAndKernels:
+    def test_build_and_kernel_names(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        assert program.kernel_names() == ["saxpy"]
+
+    def test_build_failure_is_cl_error(self, ctx):
+        with pytest.raises(cl.CLError) as err:
+            ctx.create_program_with_source("__kernel void broken( {").build()
+        assert err.value.code is cl.Status.BUILD_PROGRAM_FAILURE
+
+    def test_kernel_before_build_rejected(self, ctx):
+        program = ctx.create_program_with_source(SAXPY)
+        with pytest.raises(cl.CLError):
+            program.create_kernel("saxpy")
+
+    def test_unknown_kernel_rejected(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        with pytest.raises(cl.CLError):
+            program.create_kernel("daxpy")
+
+    def test_positional_and_named_args(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        kernel.set_arg(0, ctx.create_buffer(np.zeros(4)))
+        kernel.set_arg("a", 2.0)
+        kernel.set_args(Y=ctx.create_buffer(np.zeros(4)), n=4)
+        assert kernel.bound_args()["n"] == 4
+
+    def test_unbound_args_detected(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        kernel.set_arg("a", 1.0)
+        with pytest.raises(cl.CLError) as err:
+            kernel.bound_args()
+        assert err.value.code is cl.Status.INVALID_KERNEL_ARGS
+
+    def test_scalar_args_exclude_buffers(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        kernel.set_args(
+            ctx.create_buffer(np.zeros(4)), ctx.create_buffer(np.zeros(4)), 3.0, 4
+        )
+        assert kernel.scalar_args() == {"a": 3.0, "n": 4.0}
+
+
+class TestEnqueue:
+    def test_default_path_executes_functionally(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        x = np.arange(16.0)
+        y = np.ones(16)
+        kernel.set_args(ctx.create_buffer(x), ctx.create_buffer(y), 2.0, 16)
+        queue = cl.create_command_queue(ctx)
+        event = queue.enqueue_nd_range_kernel(kernel, (16,), (8,))
+        assert np.allclose(y, 2 * x + 1)
+        assert event.simulated_time_s > 0
+
+    def test_gpu_queue_uses_gpu_setting(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        kernel.set_args(
+            ctx.create_buffer(np.zeros(8)), ctx.create_buffer(np.zeros(8)), 1.0, 8
+        )
+        gpu = [d for d in ctx.devices if d.device_type is cl.DeviceType.GPU][0]
+        queue = cl.create_command_queue(ctx, gpu)
+        event = queue.enqueue_nd_range_kernel(kernel, (8,), (8,))
+        assert event.details["setting"].gpu_fraction == 1.0
+        assert event.details["setting"].cpu_threads == 0
+
+    def test_non_functional_queue_skips_execution(self, ctx):
+        program = ctx.create_program_with_source(SAXPY).build()
+        kernel = program.create_kernel("saxpy")
+        y = np.ones(8)
+        kernel.set_args(ctx.create_buffer(np.arange(8.0)), ctx.create_buffer(y), 2.0, 8)
+        queue = cl.create_command_queue(ctx, functional=False)
+        event = queue.enqueue_nd_range_kernel(kernel, (8,), (8,))
+        assert np.all(y == 1.0)           # buffers untouched
+        assert event.simulated_time_s > 0  # but timing still produced
+
+    def test_read_write_buffer_commands(self, ctx):
+        buffer = ctx.create_buffer(np.zeros(4))
+        queue = cl.create_command_queue(ctx)
+        queue.enqueue_write_buffer(buffer, np.arange(4.0))
+        out = np.empty(4)
+        queue.enqueue_read_buffer(buffer, out)
+        assert np.array_equal(out, np.arange(4.0))
+
+
+class TestInterposition:
+    def test_interposer_sees_builds_and_can_take_over(self, ctx):
+        calls = []
+
+        class Probe(cl.Interposer):
+            def program_built(self, program):
+                calls.append(("built", program.kernel_names()))
+
+            def enqueue(self, queue, kernel, ndrange, hint):
+                calls.append(("enqueue", kernel.name, ndrange.total_work_items))
+                return cl.Event(command=cl.CommandType.NDRANGE_KERNEL,
+                                simulated_time_s=123.0)
+
+        with cl.interposed(Probe()):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(
+                ctx.create_buffer(np.zeros(8)), ctx.create_buffer(np.zeros(8)), 1.0, 8
+            )
+            queue = cl.create_command_queue(ctx)
+            event = queue.enqueue_nd_range_kernel(kernel, (8,), (4,))
+        assert ("built", ["saxpy"]) in calls
+        assert ("enqueue", "saxpy", 8) in calls
+        assert event.simulated_time_s == 123.0
+        assert cl.current_interposer() is None
+
+    def test_declining_interposer_falls_through(self, ctx):
+        class Decline(cl.Interposer):
+            def program_built(self, program):
+                pass
+
+            def enqueue(self, queue, kernel, ndrange, hint):
+                return None
+
+        y = np.ones(8)
+        with cl.interposed(Decline()):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(ctx.create_buffer(np.arange(8.0)), ctx.create_buffer(y), 1.0, 8)
+            queue = cl.create_command_queue(ctx)
+            queue.enqueue_nd_range_kernel(kernel, (8,), (4,))
+        assert np.allclose(y, np.arange(8.0) + 1)

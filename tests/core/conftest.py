@@ -1,0 +1,30 @@
+"""Shared fixtures for core tests: a small trained runtime per platform.
+
+Training on the full 1,224-workload set takes ~10 s per platform; unit
+tests use a reduced but representative synthetic slice (one size, one
+work-group width) which trains in well under a second.
+"""
+
+import pytest
+
+from repro.core import DopiaRuntime, collect_dataset
+from repro.ml import make_model
+from repro.sim import KAVERI
+from repro.workloads.synthetic import training_workloads
+
+
+@pytest.fixture(scope="session")
+def small_workload_set():
+    return training_workloads(sizes=(16384,), wg_sizes=(256,))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_workload_set):
+    return collect_dataset(small_workload_set, KAVERI, cache=False)
+
+
+@pytest.fixture(scope="session")
+def trained_runtime(small_dataset):
+    model = make_model("dt")
+    model.fit(small_dataset.feature_matrix(), small_dataset.targets())
+    return DopiaRuntime(KAVERI, model)

@@ -1,0 +1,82 @@
+"""Tests for training-dataset caching and fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.core import collect_dataset
+from repro.core.training import _workloads_fingerprint, default_cache_dir
+from repro.sim import KAVERI, SKYLAKE
+from repro.workloads import make_gesummv
+from repro.workloads.synthetic import SyntheticSpec, make_synthetic
+
+
+def small_set(size=1024):
+    spec = SyntheticSpec(alpha=2, beta=3)
+    return [
+        make_synthetic(spec, size=size, wg_items=64),
+        make_gesummv(n=size, wg=64),
+    ]
+
+
+class TestFingerprint:
+    def test_stable_for_same_inputs(self):
+        assert _workloads_fingerprint(small_set(), KAVERI) == _workloads_fingerprint(
+            small_set(), KAVERI
+        )
+
+    def test_sensitive_to_platform(self):
+        assert _workloads_fingerprint(small_set(), KAVERI) != _workloads_fingerprint(
+            small_set(), SKYLAKE
+        )
+
+    def test_sensitive_to_problem_size(self):
+        assert _workloads_fingerprint(small_set(1024), KAVERI) != _workloads_fingerprint(
+            small_set(2048), KAVERI
+        )
+
+    def test_sensitive_to_kernel_source(self):
+        workloads = small_set()
+        patched = [
+            workloads[0].scaled(source=workloads[0].source + "\n// changed\n"),
+            workloads[1],
+        ]
+        assert _workloads_fingerprint(workloads, KAVERI) != _workloads_fingerprint(
+            patched, KAVERI
+        )
+
+
+class TestCacheBehaviour:
+    def test_cache_file_created_and_reused(self, tmp_path):
+        workloads = small_set()
+        first = collect_dataset(workloads, KAVERI, cache=True, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        # tamper detection: a second call must read the same times back
+        second = collect_dataset(workloads, KAVERI, cache=True, cache_dir=tmp_path)
+        assert np.array_equal(first.times, second.times)
+        assert first.workload_keys == second.workload_keys
+
+    def test_cache_disabled_writes_nothing(self, tmp_path):
+        collect_dataset(small_set(), KAVERI, cache=False, cache_dir=tmp_path)
+        assert not list(tmp_path.glob("*.npz"))
+
+    def test_different_platforms_different_files(self, tmp_path):
+        collect_dataset(small_set(), KAVERI, cache=True, cache_dir=tmp_path)
+        collect_dataset(small_set(), SKYLAKE, cache=True, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_default_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("DOPIA_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_roundtrip_preserves_features(self, tmp_path):
+        workloads = small_set()
+        original = collect_dataset(workloads, KAVERI, cache=False)
+        path = tmp_path / "ds.npz"
+        original.save(path)
+        from repro.core.training import DopDataset
+
+        loaded = DopDataset.load(path)
+        assert np.array_equal(original.static_features, loaded.static_features)
+        assert np.array_equal(original.config_utils, loaded.config_utils)
+        assert loaded.platform_name == "kaveri"

@@ -1,0 +1,96 @@
+"""Unit tests for the Table-3 configuration space and §9.3 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    config_distance,
+    config_space,
+    config_utils_matrix,
+    distribution_stats,
+    evaluate_scheme,
+    find_config,
+)
+from repro.sim import KAVERI, SKYLAKE
+
+
+class TestConfigSpace:
+    def test_exactly_44_configs(self):
+        assert len(config_space(KAVERI)) == 44
+        assert len(config_space(SKYLAKE)) == 44
+
+    def test_zero_zero_excluded(self):
+        for config in config_space(KAVERI):
+            assert config.cpu_util > 0 or config.gpu_util > 0
+
+    def test_kaveri_cpu_thread_mapping(self):
+        threads = sorted({c.setting.cpu_threads for c in config_space(KAVERI)})
+        assert threads == [0, 1, 2, 3, 4]
+
+    def test_skylake_cpu_thread_mapping(self):
+        threads = sorted({c.setting.cpu_threads for c in config_space(SKYLAKE)})
+        assert threads == [0, 2, 4, 6, 8]
+
+    def test_gpu_levels_are_eighths(self):
+        fractions = sorted({c.gpu_util for c in config_space(KAVERI)})
+        assert fractions == [i / 8 for i in range(9)]
+
+    def test_find_config(self):
+        configs = config_space(KAVERI)
+        config = find_config(configs, 1.0, 0.375)
+        assert config.setting.cpu_threads == 4
+        with pytest.raises(KeyError):
+            find_config(configs, 0.33, 0.1)
+
+    def test_utils_matrix_shape(self):
+        assert config_utils_matrix(config_space(KAVERI)).shape == (44, 2)
+
+    def test_config_order_stable_across_platforms(self):
+        """Datasets index configs by position; both platforms must agree."""
+        ka = [(c.cpu_util, c.gpu_util) for c in config_space(KAVERI)]
+        sk = [(c.cpu_util, c.gpu_util) for c in config_space(SKYLAKE)]
+        assert ka == sk
+
+
+class TestDistance:
+    def test_identical_configs_distance_zero(self):
+        configs = config_space(KAVERI)
+        assert config_distance(configs[3], configs[3]) == 0.0
+
+    def test_opposite_corners_distance_one(self):
+        configs = config_space(KAVERI)
+        a = find_config(configs, 0.0, 1.0)
+        b = find_config(configs, 1.0, 0.0)
+        assert config_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        configs = config_space(KAVERI)
+        assert config_distance(configs[1], configs[7]) == config_distance(
+            configs[7], configs[1]
+        )
+
+
+class TestEvaluateScheme:
+    def test_oracle_scores_perfectly(self):
+        times = np.array([[2.0, 1.0, 3.0], [5.0, 9.0, 4.0]])
+        utils = np.array([[0.0, 0.5], [0.5, 0.5], [1.0, 0.5]])
+        oracle = times.argmin(axis=1)
+        quality = evaluate_scheme(times, oracle, utils)
+        assert quality.correct == 2
+        assert quality.mean_distance == 0.0
+        assert quality.mean_performance == 1.0
+
+    def test_worst_choice_scores_low(self):
+        times = np.array([[1.0, 10.0]])
+        utils = np.array([[0.0, 0.0], [1.0, 1.0]])
+        quality = evaluate_scheme(times, np.array([1]), utils)
+        assert quality.correct == 0
+        assert quality.mean_performance == pytest.approx(0.1)
+        assert quality.mean_distance == pytest.approx(1.0)
+
+    def test_distribution_stats_keys(self):
+        stats = distribution_stats(np.linspace(0, 1, 101))
+        assert stats["median"] == pytest.approx(0.5)
+        assert stats["p5"] == pytest.approx(0.05)
+        assert stats["p95"] == pytest.approx(0.95)
+        assert stats["p25"] < stats["p75"]

@@ -1,0 +1,161 @@
+"""Tests for the functional Algorithm-1 scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_dynamic, run_static
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.interp import NDRange
+from repro.sim import DopSetting
+from repro.transform import make_malleable
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+
+def prepared(source=SAXPY, work_dim=1):
+    info = analyze_kernel(parse_kernel(source))
+    return info, make_malleable(source, work_dim=work_dim)
+
+
+class TestDynamicScheduler:
+    def test_result_matches_plain_execution(self):
+        info, malleable = prepared()
+        n = 128
+        x = np.arange(n, dtype=float)
+        nd = NDRange(n, 16)
+
+        expected = np.ones(n)
+        from repro.interp import KernelExecutor
+
+        KernelExecutor(info, {"X": x, "Y": expected, "a": 2.0, "n": n}, nd).run()
+
+        actual = np.ones(n)
+        trace = run_dynamic(
+            info, malleable, {"X": x, "Y": actual, "a": 2.0, "n": n},
+            nd, DopSetting(2, 0.5), dop_gpu_mod=2, dop_gpu_alloc=1,
+        )
+        assert np.array_equal(actual, expected)
+        assert trace.total == nd.total_groups
+
+    def test_every_group_executed_exactly_once(self):
+        info, malleable = prepared(
+            "__kernel void count(__global float* C, int n)"
+            "{ C[get_global_id(0)] += 1.0f; }"
+        )
+        n = 96
+        counts = np.zeros(n)
+        trace = run_dynamic(
+            info, malleable, {"C": counts, "n": n}, NDRange(n, 8),
+            DopSetting(3, 1.0),
+        )
+        assert np.all(counts == 1.0)
+        claimed = sorted(trace.cpu_groups + trace.gpu_groups)
+        assert claimed == list(range(NDRange(n, 8).total_groups))
+
+    def test_both_devices_participate(self):
+        info, malleable = prepared()
+        n = 640
+        trace = run_dynamic(
+            info, malleable,
+            {"X": np.zeros(n), "Y": np.zeros(n), "a": 1.0, "n": n},
+            NDRange(n, 16), DopSetting(2, 0.5),
+        )
+        assert trace.cpu_groups and trace.gpu_groups
+
+    def test_cpu_only_setting(self):
+        info, malleable = prepared()
+        n = 64
+        trace = run_dynamic(
+            info, malleable,
+            {"X": np.zeros(n), "Y": np.zeros(n), "a": 1.0, "n": n},
+            NDRange(n, 8), DopSetting(4, 0.0),
+        )
+        assert not trace.gpu_groups
+        assert len(trace.cpu_groups) == 8
+
+    def test_gpu_only_setting(self):
+        info, malleable = prepared()
+        n = 64
+        trace = run_dynamic(
+            info, malleable,
+            {"X": np.zeros(n), "Y": np.zeros(n), "a": 1.0, "n": n},
+            NDRange(n, 8), DopSetting(0, 1.0),
+        )
+        assert not trace.cpu_groups
+        assert len(trace.gpu_groups) == 8
+
+    def test_gpu_chunks_are_tenths(self):
+        info, malleable = prepared()
+        n = 100 * 8
+        trace = run_dynamic(
+            info, malleable,
+            {"X": np.zeros(n), "Y": np.zeros(n), "a": 1.0, "n": n},
+            NDRange(n, 8), DopSetting(0, 1.0),
+        )
+        assert trace.gpu_chunks == 10
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),   # groups
+        st.integers(min_value=0, max_value=4),    # cpu threads
+        st.sampled_from([0.0, 0.25, 0.5, 1.0]),   # gpu fraction
+        st.integers(min_value=1, max_value=8),    # mod
+    )
+    def test_property_single_coverage(self, groups, threads, fraction, mod):
+        if threads == 0 and fraction == 0.0:
+            return
+        info, malleable = prepared(
+            "__kernel void count(__global float* C, int n)"
+            "{ C[get_global_id(0)] += 1.0f; }"
+        )
+        wg = 8
+        n = groups * wg
+        counts = np.zeros(n)
+        run_dynamic(
+            info, malleable, {"C": counts, "n": n}, NDRange(n, wg),
+            DopSetting(threads, fraction), dop_gpu_mod=mod, dop_gpu_alloc=1,
+        )
+        assert np.all(counts == 1.0)
+
+
+class TestStaticScheduler:
+    def test_split_respected(self):
+        info, malleable = prepared()
+        n = 160
+        trace = run_static(
+            info, malleable,
+            {"X": np.zeros(n), "Y": np.zeros(n), "a": 1.0, "n": n},
+            NDRange(n, 16), DopSetting(4, 1.0), cpu_share=0.3,
+        )
+        assert len(trace.cpu_groups) == 3
+        assert len(trace.gpu_groups) == 7
+
+    def test_results_identical_to_dynamic(self):
+        info, malleable = prepared()
+        n = 64
+        x = np.arange(n, dtype=float)
+        y1, y2 = np.ones(n), np.ones(n)
+        run_static(
+            info, malleable, {"X": x, "Y": y1, "a": 3.0, "n": n},
+            NDRange(n, 8), DopSetting(2, 1.0), cpu_share=0.5,
+        )
+        run_dynamic(
+            info, malleable, {"X": x, "Y": y2, "a": 3.0, "n": n},
+            NDRange(n, 8), DopSetting(2, 1.0),
+        )
+        assert np.array_equal(y1, y2)
+
+    def test_invalid_share_rejected(self):
+        info, malleable = prepared()
+        with pytest.raises(ValueError):
+            run_static(
+                info, malleable, {"X": np.zeros(8), "Y": np.zeros(8), "a": 1.0, "n": 8},
+                NDRange(8, 8), DopSetting(1, 1.0), cpu_share=1.5,
+            )

@@ -1,0 +1,215 @@
+"""Tests for dataset collection, prediction, baselines, and the runtime."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.analysis import StaticFeatures
+from repro.core import (
+    DopiaRuntime,
+    DopPredictor,
+    baseline_configs,
+    baseline_indices,
+    best_constant_allocation,
+    best_static_time,
+    collect_dataset,
+    evaluate_scheme,
+)
+from repro.sim import KAVERI
+from repro.workloads import make_gesummv
+from repro.workloads.synthetic import SyntheticSpec, make_synthetic
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+
+class TestDataset:
+    def test_shapes(self, small_dataset):
+        ds = small_dataset
+        assert ds.times.shape == (ds.n_workloads, 44)
+        assert ds.static_features.shape == (ds.n_workloads, 6)
+        assert ds.feature_matrix().shape == (ds.n_workloads * 44, 11)
+        assert ds.targets().shape == (ds.n_workloads * 44,)
+
+    def test_normalized_performance_in_unit_interval(self, small_dataset):
+        norm = small_dataset.normalized_performance()
+        assert norm.max() == 1.0
+        assert norm.min() > 0.0
+        # each workload's best config has normalised performance exactly 1
+        assert np.all(norm.max(axis=1) == 1.0)
+
+    def test_groups_align_with_rows(self, small_dataset):
+        groups = small_dataset.groups()
+        assert groups.shape[0] == small_dataset.n_workloads * 44
+        assert groups[0] == 0 and groups[44] == 1
+
+    def test_cache_round_trip(self, small_workload_set, tmp_path):
+        subset = small_workload_set[:3]
+        first = collect_dataset(subset, KAVERI, cache=True, cache_dir=tmp_path)
+        second = collect_dataset(subset, KAVERI, cache=True, cache_dir=tmp_path)
+        assert np.array_equal(first.times, second.times)
+        assert list(tmp_path.glob("dataset-kaveri-*.npz"))
+
+
+class TestPredictor:
+    def test_feature_rows_shape(self, trained_runtime):
+        predictor = trained_runtime.predictor
+        static = StaticFeatures(0, 4, 0, 0, 3, 4)
+        rows = predictor.feature_rows(static, 1, 16384, 256)
+        assert rows.shape == (44, 11)
+        assert np.all(rows[:, 7] == 16384)
+
+    def test_selection_returns_valid_config(self, trained_runtime):
+        static = StaticFeatures(0, 4, 0, 0, 3, 4)
+        prediction = trained_runtime.predictor.select(static, 1, 16384, 256)
+        assert prediction.config in trained_runtime.predictor.configs
+        assert prediction.scores.shape == (44,)
+        assert prediction.inference_cost_s > 0
+
+    def test_model_beats_baselines_on_training_set(self, small_dataset, trained_runtime):
+        """In-sample sanity: Dopia's selection must beat CPU/GPU/ALL."""
+        ds = small_dataset
+        preds = trained_runtime.predictor.model.predict(ds.feature_matrix())
+        selected = preds.reshape(ds.n_workloads, 44).argmax(axis=1)
+        dopia = evaluate_scheme(ds.times, selected, ds.config_utils)
+        for name, index in baseline_indices(KAVERI).items():
+            fixed = evaluate_scheme(
+                ds.times, np.full(ds.n_workloads, index), ds.config_utils
+            )
+            assert dopia.mean_performance > fixed.mean_performance, name
+
+
+class TestBaselines:
+    def test_baseline_configs_are_the_corners(self):
+        configs = baseline_configs(KAVERI)
+        assert configs["cpu"].setting.cpu_threads == 4
+        assert configs["cpu"].setting.gpu_fraction == 0.0
+        assert configs["gpu"].setting.cpu_threads == 0
+        assert configs["gpu"].setting.gpu_fraction == 1.0
+        assert configs["all"].setting.cpu_threads == 4
+        assert configs["all"].setting.gpu_fraction == 1.0
+
+    def test_best_constant_allocation(self, small_dataset):
+        index, mean = best_constant_allocation(small_dataset)
+        assert 0 <= index < 44
+        norm = small_dataset.normalized_performance().mean(axis=0)
+        assert mean == pytest.approx(norm.max())
+
+    def test_best_static_beats_worst_static(self):
+        workload = make_gesummv(n=4096, wg=256)
+        best, share = best_static_time(workload, KAVERI)
+        assert 0.05 <= share <= 0.95
+        assert best > 0
+
+
+class TestRuntimeIntegration:
+    def test_compile_time_artifacts(self, trained_runtime):
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+        artifacts = program.interposer_data["saxpy"]
+        assert artifacts.static_features.mem_continuous > 0
+        assert artifacts.transformable
+
+    def test_enqueue_executes_and_times(self, trained_runtime):
+        ctx = cl.create_context("kaveri")
+        n = 256
+        x = np.arange(n, dtype=float)
+        y = np.ones(n)
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(ctx.create_buffer(x), ctx.create_buffer(y), 2.0, n)
+            queue = cl.create_command_queue(ctx)
+            event = queue.enqueue_nd_range_kernel(kernel, (n,), (64,))
+        assert np.allclose(y, 2 * x + 1)
+        assert event.simulated_time_s > 0
+        assert "prediction" in event.details
+
+    def test_inference_overhead_included(self, trained_runtime):
+        record_time = trained_runtime.include_inference_overhead
+        assert record_time is True
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(
+                ctx.create_buffer(np.zeros(64)), ctx.create_buffer(np.zeros(64)), 1.0, 64
+            )
+            queue = cl.create_command_queue(ctx, functional=False)
+            event = queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
+        prediction = event.details["prediction"]
+        result = event.details["result"]
+        assert event.simulated_time_s == pytest.approx(
+            result.time_s + prediction.inference_cost_s
+        )
+
+    def test_barriered_kernel_falls_through(self, trained_runtime):
+        source = (
+            "__kernel void b(__global float* A)"
+            "{ __local int s[1];"
+            "  if (get_local_id(0) == 0) s[0] = 1;"
+            "  barrier(1);"
+            "  A[get_global_id(0)] = s[0]; }"
+        )
+        ctx = cl.create_context("kaveri")
+        a = np.zeros(16)
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(source).build()
+            kernel = program.create_kernel("b")
+            kernel.set_args(ctx.create_buffer(a))
+            queue = cl.create_command_queue(ctx)
+            event = queue.enqueue_nd_range_kernel(kernel, (16,), (8,))
+        assert np.all(a == 1.0)             # executed by the vanilla path
+        assert "prediction" not in event.details
+
+    def test_launch_log_accumulates(self, trained_runtime):
+        before = len(trained_runtime.launches)
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(
+                ctx.create_buffer(np.zeros(64)), ctx.create_buffer(np.zeros(64)), 1.0, 64
+            )
+            queue = cl.create_command_queue(ctx, functional=False)
+            queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
+            queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
+        assert len(trained_runtime.launches) == before + 2
+
+    def test_cpu_variant_generation(self, trained_runtime):
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+        cpu = trained_runtime.cpu_variant(kernel, 1)
+        assert cpu.name == "saxpy_cpu"
+        assert "atomic_inc" in cpu.source
+
+    def test_synthetic_workload_through_runtime(self, trained_runtime):
+        """Full path on a generated Table-2 kernel with buffers."""
+        spec = SyntheticSpec(alpha=2, beta=3, gamma=2)
+        workload = make_synthetic(spec, size=32, wg_items=8, extent=4)
+        from repro.workloads.synthetic import reference_result
+
+        args = workload.full_args(rng=9)
+        expected = reference_result(workload, spec, args)
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(workload.source).build()
+            kernel = program.create_kernel(workload.kernel_name)
+            for name, value in args.items():
+                if isinstance(value, np.ndarray):
+                    kernel.set_arg(name, ctx.create_buffer(value))
+                else:
+                    kernel.set_arg(name, value)
+            queue = cl.create_command_queue(ctx)
+            queue.enqueue_nd_range_kernel(
+                kernel, workload.global_size, workload.local_size
+            )
+        assert np.allclose(args["C"], expected)

@@ -1,0 +1,121 @@
+"""Unit tests for the OpenCL-C tokenizer."""
+
+import pytest
+
+from repro.frontend import LexerError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token,) = tokenize("my_var2")[:-1]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "my_var2"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("int float __kernel __global for") == [TokenKind.KEYWORD] * 5
+
+    def test_underscore_starts_identifier(self):
+        (token,) = tokenize("_tmp")[:-1]
+        assert token.kind is TokenKind.IDENT
+
+    def test_punctuation_sequence(self):
+        assert values("a+=b*c;") == ["a", "+=", "b", "*", "c", ";"]
+
+    def test_maximal_munch_on_shifts(self):
+        assert values("a<<=b >>c") == ["a", "<<=", "b", ">>", "c"]
+
+    def test_increment_vs_plus(self):
+        assert values("i++ + ++j") == ["i", "++", "+", "++", "j"]
+
+
+class TestNumericLiterals:
+    def test_decimal_int(self):
+        (token,) = tokenize("42")[:-1]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == "42"
+
+    def test_hex_int(self):
+        (token,) = tokenize("0xFF")[:-1]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == "0xFF"
+
+    def test_unsigned_suffix(self):
+        (token,) = tokenize("7u")[:-1]
+        assert token.kind is TokenKind.INT_LITERAL
+
+    def test_simple_float(self):
+        (token,) = tokenize("3.25")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+    def test_float_f_suffix(self):
+        (token,) = tokenize("0.5f")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+        assert token.value == "0.5f"
+
+    def test_float_exponent(self):
+        (token,) = tokenize("1e-3")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+    def test_int_then_member_like_dot_is_float(self):
+        (token,) = tokenize("2.")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+    def test_integer_suffixed_float(self):
+        (token,) = tokenize("2f")[:-1]
+        assert token.kind is TokenKind.FLOAT_LITERAL
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_line_skipped(self):
+        assert values("#define N 10\nint x;") == ["int", "x", ";"]
+
+    def test_preprocessor_continuation_skipped(self):
+        assert values("#define N \\\n 10\nx") == ["x"]
+
+    def test_locations_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_unexpected_character_raises_with_location(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("a\n  $")
+        assert exc.value.location.line == 2
+
+
+class TestKernelSources:
+    def test_full_kernel_tokenizes(self):
+        source = """
+        __kernel void f(__global float* A, int n) {
+            int i = get_global_id(0);
+            if (i < n) A[i] = A[i] * 2.0f;
+        }
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert "get_global_id" in [t.value for t in tokens]

@@ -1,0 +1,201 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.frontend import (
+    Assignment,
+    BinaryOp,
+    Block,
+    Call,
+    Cast,
+    Conditional,
+    DeclStmt,
+    For,
+    Identifier,
+    If,
+    Index,
+    IntLiteral,
+    ParserError,
+    PostfixOp,
+    Return,
+    UnaryOp,
+    While,
+    parse,
+    parse_kernel,
+)
+
+
+def parse_stmt(body: str):
+    kernel = parse_kernel(f"__kernel void k(__global float* A, int n) {{ {body} }}")
+    return kernel.body.body
+
+
+def parse_expr(text: str):
+    (stmt,) = parse_stmt(f"{text};")
+    return stmt.expr
+
+
+class TestTopLevel:
+    def test_kernel_qualifier_detected(self):
+        unit = parse("__kernel void f(int n) { }")
+        assert unit.functions[0].is_kernel
+
+    def test_plain_function_not_kernel(self):
+        unit = parse("void helper(int n) { }")
+        assert not unit.functions[0].is_kernel
+
+    def test_multiple_kernels(self):
+        unit = parse("__kernel void a() { } __kernel void b() { }")
+        assert [k.name for k in unit.kernels()] == ["a", "b"]
+
+    def test_kernel_lookup_by_name(self):
+        unit = parse("__kernel void a() { } __kernel void b() { }")
+        assert unit.kernel("b").name == "b"
+        with pytest.raises(KeyError):
+            unit.kernel("missing")
+
+    def test_parse_kernel_requires_unique_kernel(self):
+        with pytest.raises(ParserError):
+            parse_kernel("__kernel void a() { } __kernel void b() { }")
+
+    def test_digit_leading_kernel_name(self):
+        kernel = parse_kernel("__kernel void 2mat3d(__global float* A) { }")
+        assert kernel.name == "2mat3d"
+
+    def test_param_qualifiers(self):
+        kernel = parse_kernel(
+            "__kernel void f(__global const float* A, __local int* s, uint n) { }"
+        )
+        a, s, n = kernel.params
+        assert a.type.pointer and a.type.address_space == "global" and a.type.const
+        assert s.type.address_space == "local"
+        assert n.type.name == "uint" and not n.type.pointer
+
+    def test_unsigned_int_spelling(self):
+        kernel = parse_kernel("__kernel void f(unsigned int n) { }")
+        assert kernel.params[0].type.name == "uint"
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        (stmt,) = parse_stmt("int i = 3;")
+        assert isinstance(stmt, DeclStmt)
+        assert stmt.decls[0].name == "i"
+        assert isinstance(stmt.decls[0].init, IntLiteral)
+
+    def test_multi_declarator(self):
+        (stmt,) = parse_stmt("int i = 1, j = 2;")
+        assert [d.name for d in stmt.decls] == ["i", "j"]
+
+    def test_local_array_declaration(self):
+        (stmt,) = parse_stmt("__local int wl[1];")
+        assert stmt.decls[0].array_dims[0].value == 1
+        assert stmt.decls[0].type.address_space == "local"
+
+    def test_if_else(self):
+        (stmt,) = parse_stmt("if (n) return; else n = 1;")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.then, Return)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_stmt("if (n) if (n) n = 1; else n = 2;")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_for_loop_parts(self):
+        (stmt,) = parse_stmt("for (int i = 0; i < n; i++) n = n;")
+        assert isinstance(stmt, For)
+        assert isinstance(stmt.init, DeclStmt)
+        assert isinstance(stmt.cond, BinaryOp)
+        assert isinstance(stmt.step, PostfixOp)
+
+    def test_for_with_empty_clauses(self):
+        (stmt,) = parse_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while(self):
+        (stmt,) = parse_stmt("while (n) n = n - 1;")
+        assert isinstance(stmt, While)
+
+    def test_empty_statement_is_empty_block(self):
+        (stmt,) = parse_stmt(";")
+        assert isinstance(stmt, Block) and not stmt.body
+
+    def test_missing_semicolon_is_error(self):
+        with pytest.raises(ParserError):
+            parse_stmt("n = 1")
+
+    def test_unterminated_block_is_error(self):
+        with pytest.raises(ParserError):
+            parse("__kernel void f() { int i = 0;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("n + n * n")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(n + n) * n")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison_chain_precedence(self):
+        expr = parse_expr("n < 3 && n > 1")
+        assert expr.op == "&&"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expr("n = n = 1")
+        assert isinstance(expr, Assignment)
+        assert isinstance(expr.value, Assignment)
+
+    def test_compound_assignment(self):
+        expr = parse_expr("n += 2")
+        assert expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expr("n ? 1 : 2")
+        assert isinstance(expr, Conditional)
+
+    def test_unary_minus_binds_tight(self):
+        expr = parse_expr("-n * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, UnaryOp)
+
+    def test_index_chain(self):
+        expr = parse_expr("A[n][n]")
+        assert isinstance(expr, Index)
+        assert isinstance(expr.base, Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("get_global_id(0)")
+        assert isinstance(expr, Call)
+        assert expr.args[0].value == 0
+
+    def test_cast(self):
+        expr = parse_expr("(float)n")
+        assert isinstance(expr, Cast)
+        assert expr.type.name == "float"
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = parse_expr("(n) + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, Identifier)
+
+    def test_postfix_increment(self):
+        expr = parse_expr("n++")
+        assert isinstance(expr, PostfixOp)
+
+    def test_address_of(self):
+        expr = parse_expr("&A[0]")
+        assert isinstance(expr, UnaryOp) and expr.op == "&"
+
+    def test_shift_expression(self):
+        expr = parse_expr("n << 2")
+        assert expr.op == "<<"
+
+    def test_unexpected_token_is_error(self):
+        with pytest.raises(ParserError):
+            parse_expr("n + ;")

@@ -1,0 +1,88 @@
+"""Unit tests for the semantic analysis pass."""
+
+import pytest
+
+from repro.frontend import SemanticError, analyze_kernel, parse_kernel
+
+
+def analyze(source):
+    return analyze_kernel(parse_kernel(source))
+
+
+class TestSymbolTable:
+    def test_params_partitioned_into_buffers_and_scalars(self):
+        info = analyze(
+            "__kernel void f(__global float* A, int n, __global int* B, float a) { }"
+        )
+        assert info.buffer_params == ["A", "B"]
+        assert info.scalar_params == ["n", "a"]
+
+    def test_locals_enter_symbol_table(self):
+        info = analyze("__kernel void f(int n) { int i = 0; float x = 1.0f; }")
+        assert "i" in info.symbols
+        assert info.symbols.lookup("x").type.is_float
+
+    def test_local_array_symbol(self):
+        info = analyze("__kernel void f() { __local int wl[4]; }")
+        symbol = info.symbols.lookup("wl")
+        assert symbol.is_array and symbol.array_dims == (4,)
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f(int n) { n = missing; }")
+
+    def test_non_constant_local_array_dim_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f(int n) { __local int wl[n]; }")
+
+
+class TestTypeInference:
+    def test_float_wins_arithmetic(self):
+        info = analyze(
+            "__kernel void f(__global float* A, int n) { float x = A[0] + n; }"
+        )
+        decl = info.kernel.body.body[0].decls[0]
+        assert info.type_of(decl.init).is_float
+
+    def test_comparison_is_bool(self):
+        info = analyze("__kernel void f(int n) { int b = n < 3; }")
+        decl = info.kernel.body.body[0].decls[0]
+        assert info.type_of(decl.init).name == "bool"
+
+    def test_index_yields_element_type(self):
+        info = analyze("__kernel void f(__global float* A) { float x = A[0]; }")
+        decl = info.kernel.body.body[0].decls[0]
+        assert info.type_of(decl.init).name == "float"
+
+    def test_subscript_of_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f(int n) { int x = n[0]; }")
+
+    def test_dereference_of_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f(int n) { int x = *n; }")
+
+
+class TestBuiltins:
+    def test_work_item_builtin_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f() { int i = get_global_id(0, 1); }")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze("__kernel void f() { frobnicate(); }")
+
+    def test_barrier_flag_sets_uses_barrier(self):
+        info = analyze("__kernel void f() { barrier(1); }")
+        assert info.uses_barrier
+        assert not info.uses_atomics
+
+    def test_atomic_sets_uses_atomics(self):
+        info = analyze("__kernel void f(__global int* c) { atomic_inc(c); }")
+        assert info.uses_atomics
+        assert not info.uses_barrier
+
+    def test_math_builtin_returns_float(self):
+        info = analyze("__kernel void f(float x) { float y = sqrt(x); }")
+        decl = info.kernel.body.body[0].decls[0]
+        assert info.type_of(decl.init).is_float

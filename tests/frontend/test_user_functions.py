@@ -1,0 +1,149 @@
+"""Tests for user-defined helper functions (non-kernel functions)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_static_features
+from repro.frontend import SemanticError, analyze_kernel, parse
+from repro.interp import KernelExecutor, KernelRuntimeError, NDRange
+from repro.transform import make_cpu_kernel, make_malleable
+
+HELPER_SRC = """
+float axpb(float a, float x, float b) { return a * x + b; }
+
+int clampi(int v, int lo, int hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+}
+
+__kernel void k(__global float* A, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) A[i] = axpb(2.0f, A[i], 1.0f) + clampi(i, 2, 5);
+}
+"""
+
+
+def analyzed(source=HELPER_SRC, name="k"):
+    unit = parse(source)
+    return analyze_kernel(unit.kernel(name), unit)
+
+
+class TestSemantics:
+    def test_helpers_registered(self):
+        info = analyzed()
+        assert set(info.user_functions) == {"axpb", "clampi"}
+
+    def test_helper_return_type_inferred(self):
+        info = analyzed()
+        assert info.user_functions["axpb"].kernel.return_type.name == "float"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed(
+                "float f(float x) { return x; }"
+                "__kernel void k(__global float* A) { A[0] = f(1.0f, 2.0f); }"
+            )
+
+    def test_unknown_function_still_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed("__kernel void k(__global float* A) { A[0] = mystery(); }")
+
+    def test_helpers_can_call_earlier_helpers(self):
+        info = analyzed(
+            "float one() { return 1.0f; }"
+            "float two() { return one() + one(); }"
+            "__kernel void k(__global float* A) { A[0] = two(); }"
+        )
+        assert "two" in info.user_functions
+
+    def test_atomic_in_helper_propagates_flag(self):
+        info = analyzed(
+            "int bump(__global int* c) { return atomic_inc(c); }"
+            "__kernel void k(__global int* c) { bump(c); }"
+        )
+        assert info.uses_atomics
+
+
+class TestInterpreter:
+    def test_execution_matches_reference(self):
+        info = analyzed()
+        A = np.arange(8, dtype=float)
+        KernelExecutor(info, {"A": A, "n": 8}, NDRange(8, 4)).run()
+        expected = 2 * np.arange(8) + 1 + np.clip(np.arange(8), 2, 5)
+        assert np.allclose(A, expected)
+
+    def test_helper_scope_is_isolated(self):
+        info = analyzed(
+            "float shadow(float i) { i = i + 100.0f; return i; }"
+            "__kernel void k(__global float* A, int n)"
+            "{ int i = get_global_id(0); if (i < n) A[i] = shadow(1.0f) + i; }"
+        )
+        A = np.zeros(4)
+        KernelExecutor(info, {"A": A, "n": 4}, NDRange(4, 4)).run()
+        assert np.allclose(A, 101.0 + np.arange(4))
+
+    def test_helper_taking_buffer_pointer(self):
+        info = analyzed(
+            "float first(__global float* p) { return p[0]; }"
+            "__kernel void k(__global float* A, __global float* B)"
+            "{ B[get_global_id(0)] = first(A); }"
+        )
+        A = np.array([7.5, 1.0])
+        B = np.zeros(2)
+        KernelExecutor(info, {"A": A, "B": B}, NDRange(2, 2)).run()
+        assert np.all(B == 7.5)
+
+    def test_nonvoid_helper_without_return_rejected(self):
+        info = analyzed(
+            "float bad(float x) { x = x + 1.0f; }"
+            "__kernel void k(__global float* A) { A[0] = bad(1.0f); }"
+        )
+        with pytest.raises(KernelRuntimeError):
+            KernelExecutor(info, {"A": np.zeros(1)}, NDRange(1, 1)).run()
+
+
+class TestAnalysisInlining:
+    def test_helper_memory_ops_counted(self):
+        info = analyzed(
+            "float dot3(__global float* A, __global float* B, int base) {"
+            "  return A[base] * B[base] + A[base + 1] * B[base + 1]"
+            "       + A[base + 2] * B[base + 2]; }"
+            "__kernel void k(__global float* A, __global float* B,"
+            "                __global float* C, int n)"
+            "{ int i = get_global_id(0); if (i < n) C[i] = dot3(A, B, i * 3); }"
+        )
+        features = extract_static_features(info)
+        # the six loads inside dot3 are visible to the feature extractor
+        assert features.mem_continuous + features.mem_stride >= 6
+
+    def test_argument_pattern_flows_into_helper(self):
+        stride_info = analyzed(
+            "float get(__global float* A, int at) { return A[at]; }"
+            "__kernel void k(__global float* A, __global float* B, int n)"
+            "{ int i = get_global_id(0); B[i] = get(A, i * 64); }"
+        )
+        features = extract_static_features(stride_info)
+        assert features.mem_stride >= 1
+
+
+class TestTransforms:
+    def test_malleable_carries_helpers_and_is_equivalent(self):
+        expected = np.arange(16, dtype=float)
+        KernelExecutor(analyzed(), {"A": expected, "n": 16}, NDRange(16, 8)).run()
+
+        malleable = make_malleable(HELPER_SRC, work_dim=1)
+        assert "float axpb" in malleable.source
+        actual = np.arange(16, dtype=float)
+        KernelExecutor(
+            malleable.info,
+            {"A": actual, "n": 16, "dop_gpu_mod": 4, "dop_gpu_alloc": 1},
+            NDRange(16, 8),
+        ).run()
+        assert np.array_equal(actual, expected)
+
+    def test_cpu_variant_carries_helpers(self):
+        cpu = make_cpu_kernel(HELPER_SRC, work_dim=1)
+        assert "float axpb" in cpu.source
+        assert cpu.name == "k_cpu"

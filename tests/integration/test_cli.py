@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+KERNELS = Path(__file__).resolve().parents[2] / "examples" / "kernels"
+GESUMMV = str(KERNELS / "gesummv.cl")
+SPMV = str(KERNELS / "spmv.cl")
+
+
+def run_cli(capsys, *argv) -> str:
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_features_printed(self, capsys):
+        out = run_cli(capsys, "analyze", GESUMMV)
+        assert "mem_continuous" in out
+        assert "gesummv" in out
+
+    def test_profile_with_launch_info(self, capsys):
+        out = run_cli(
+            capsys, "analyze", GESUMMV, "--arg", "n=1024",
+            "--global-size", "1024", "--local-size", "64",
+        )
+        assert "bytes/work-item" in out
+        assert "arithmetic intensity" in out
+
+    def test_irregular_kernel_flagged(self, capsys):
+        out = run_cli(
+            capsys, "analyze", SPMV, "--arg", "n=1024",
+            "--global-size", "1024", "--local-size", "64", "--hint", "32",
+        )
+        assert "irregular            True" in out
+
+    def test_missing_file_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/nonexistent/kernel.cl"])
+
+    def test_bad_arg_syntax_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", GESUMMV, "--arg", "n:1024", "--global-size", "64"])
+
+
+class TestTransform:
+    def test_malleable_source_printed(self, capsys):
+        out = run_cli(capsys, "transform", GESUMMV)
+        assert "dop_gpu_mod" in out
+        assert "local_worklist" in out
+
+    def test_cpu_variant_printed(self, capsys):
+        out = run_cli(capsys, "transform", GESUMMV, "--cpu")
+        assert "gesummv_cpu" in out
+        assert "dopia_wg_worklist" in out
+
+    def test_2d_transform(self, capsys):
+        out = run_cli(capsys, "transform", GESUMMV, "--work-dim", "2")
+        assert "get_local_size(1)" in out
+
+
+class TestTrainPredictSweep:
+    def test_train_and_save_and_predict(self, capsys, tmp_path):
+        model_file = tmp_path / "model.pkl"
+        out = run_cli(
+            capsys, "train", "--platform", "kaveri", "--model", "dt",
+            "--output", str(model_file),
+        )
+        assert "trained dt" in out
+        assert model_file.exists()
+
+        out = run_cli(
+            capsys, "predict", GESUMMV, "--platform", "kaveri",
+            "--model-file", str(model_file), "--verbose",
+        )
+        assert "selected :" in out
+        assert "<-- selected" in out
+
+    def test_model_platform_mismatch_rejected(self, capsys, tmp_path):
+        model_file = tmp_path / "model.pkl"
+        run_cli(capsys, "train", "--platform", "kaveri", "--output", str(model_file))
+        with pytest.raises(SystemExit):
+            main([
+                "predict", GESUMMV, "--platform", "skylake",
+                "--model-file", str(model_file),
+            ])
+
+    def test_emit_c(self, capsys, tmp_path):
+        c_file = tmp_path / "tree.c"
+        run_cli(capsys, "train", "--model", "dt", "--emit-c", str(c_file))
+        text = c_file.read_text()
+        assert "double dopia_predict(const double *features)" in text
+        assert "/* features[0] = mem_constant */" in text
+
+    def test_emit_c_requires_dt(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--model", "lin", "--emit-c", str(tmp_path / "x.c")])
+
+    def test_sweep_prints_ranking(self, capsys):
+        out = run_cli(
+            capsys, "sweep", GESUMMV, "--arg", "n=16384",
+            "--global-size", "16384", "--local-size", "256", "--top", "5",
+        )
+        assert "fastest first" in out
+        assert "best:" in out
+        assert out.count("ms") >= 5

@@ -1,0 +1,176 @@
+"""Integration tests: the full pipeline across module boundaries.
+
+These exercise the complete flow the paper's Figure 4 describes —
+source text → frontend → analysis → transformation → prediction →
+Algorithm-1 co-execution → verified buffers — on several kernel families,
+plus cross-checks between independently implemented components.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.analysis import extract_static_features, profile_kernel
+from repro.core import DopiaRuntime, collect_dataset, run_dynamic
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.interp import KernelExecutor, NDRange, execute_kernel
+from repro.ml import make_model
+from repro.sim import KAVERI, DopSetting, simulate_execution
+from repro.transform import make_malleable, print_kernel
+from repro.workloads import (
+    make_gesummv,
+    make_spmv,
+    real_workloads,
+    spmv_reference,
+)
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    make_synthetic,
+    reference_result,
+    training_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    workloads = training_workloads(sizes=(16384,), wg_sizes=(256,))
+    dataset = collect_dataset(workloads, KAVERI, cache=False)
+    model = make_model("dt")
+    model.fit(dataset.feature_matrix(), dataset.targets())
+    return DopiaRuntime(KAVERI, model)
+
+
+class TestAnalysisTransformInterpreterAgreement:
+    """The three independent views of a kernel must agree."""
+
+    @pytest.mark.parametrize("pattern", ["2mat3d", "2mat3d1T", "2mat3d1C1R"])
+    def test_transformed_synthetic_kernels_compute_reference(self, pattern):
+        spec = SyntheticSpec.from_pattern(pattern, gamma=2)
+        workload = make_synthetic(spec, size=24, wg_items=8, extent=4)
+        args = workload.full_args(rng=11)
+        expected = reference_result(workload, spec, args)
+
+        malleable = make_malleable(workload.source, work_dim=1)
+        gpu_args = dict(args, dop_gpu_mod=4, dop_gpu_alloc=1)
+        KernelExecutor(malleable.info, gpu_args, workload.ndrange()).run()
+        assert np.allclose(args["C"], expected)
+
+    def test_printed_transform_reparses_and_reanalyses(self):
+        workload = make_gesummv(n=512, wg=64)
+        malleable = make_malleable(workload.source, work_dim=1)
+        reparsed = analyze_kernel(parse_kernel(print_kernel(malleable.kernel)))
+        assert reparsed.uses_barrier and reparsed.uses_atomics
+        features = extract_static_features(reparsed)
+        assert features.mem_continuous > 0
+
+    def test_profile_consistent_with_interpreted_traffic(self):
+        """The profile's dynamic op counts must match actual executions."""
+        source = (
+            "__kernel void k(__global float* A, __global float* B, int n, int m)"
+            "{ int i = get_global_id(0);"
+            "  if (i < n) { float s = 0.0f;"
+            "    for (int j = 0; j < m; j++) s = s + A[i * m + j];"
+            "    B[i] = s; } }"
+        )
+        n, m = 32, 8
+        info = analyze_kernel(parse_kernel(source))
+        profile = profile_kernel(info, {"n": n, "m": m}, n, 8)
+        # per item: m loads of A + 1 store of B
+        a_loads = sum(
+            op.executions_per_item
+            for op in profile.op_profiles
+            if op.buffer == "A" and not op.is_store
+        )
+        assert a_loads == m
+
+
+class TestSchedulerAgainstInterpreter:
+    def test_algorithm1_equals_plain_execution_on_spmv(self):
+        workload = make_spmv(n=64, wg=8, nnz_per_row=6)
+        args = workload.full_args(rng=3)
+        expected = spmv_reference(args)
+
+        info = workload.kernel_info()
+        malleable = make_malleable(workload.source, work_dim=1)
+        run_dynamic(
+            info, malleable, args, workload.ndrange(),
+            DopSetting(2, 0.5), dop_gpu_mod=2, dop_gpu_alloc=1,
+        )
+        assert np.allclose(args["y"][:64], expected)
+
+
+class TestRuntimeOverRealKernels:
+    def test_gesummv_through_interposed_api(self, runtime):
+        workload = make_gesummv(n=48, wg=8)
+        args = workload.full_args(rng=1)
+        n = 48
+        A = args["A"].reshape(n, n).copy()
+        B = args["B"].reshape(n, n).copy()
+        x = args["x"].copy()
+
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(runtime):
+            program = ctx.create_program_with_source(workload.source).build()
+            kernel = program.create_kernel(workload.kernel_name)
+            for name, value in args.items():
+                kernel.set_arg(
+                    name,
+                    ctx.create_buffer(value) if isinstance(value, np.ndarray) else value,
+                )
+            queue = cl.create_command_queue(ctx)
+            event = queue.enqueue_nd_range_kernel(
+                kernel, workload.global_size, workload.local_size
+            )
+        expected = 1.5 * (A @ x) + 2.5 * (B @ x)
+        assert np.allclose(args["y"][:n], expected)
+        assert event.simulated_time_s > 0
+
+    def test_every_real_kernel_analyses_and_transforms(self, runtime):
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(runtime):
+            for workload in real_workloads():
+                program = ctx.create_program_with_source(workload.source).build()
+                artifacts = program.interposer_data[workload.kernel_name]
+                assert artifacts.transformable, workload.key
+                malleable = runtime._malleable_for(
+                    program.create_kernel(workload.kernel_name), workload.work_dim
+                )
+                assert "dop_gpu_mod" in malleable.source
+
+    def test_prediction_quality_on_memory_bound_kernel(self, runtime):
+        """The trained runtime must not pick full-GPU for Gesummv-like
+        kernels on Kaveri (the paper's motivating blunder)."""
+        workload = make_gesummv(n=16384, wg=256)
+        static = extract_static_features(workload.kernel_info())
+        prediction = runtime.predictor.select(
+            static, 1, workload.total_work_items, workload.work_group_items
+        )
+        # the selection must avoid the catastrophic all-GPU corner
+        assert not (
+            prediction.config.gpu_util == 1.0 and prediction.config.cpu_util == 0.0
+        )
+        # and it must be a good configuration when actually executed
+        profile = workload.profile()
+        chosen = simulate_execution(
+            profile, KAVERI, prediction.config.setting, run_key=(workload.key,)
+        ).time_s
+        gpu_only = simulate_execution(
+            profile, KAVERI, DopSetting(0, 1.0), run_key=(workload.key,)
+        ).time_s
+        assert chosen < gpu_only / 2
+
+
+class TestDeterminism:
+    def test_dataset_collection_is_deterministic(self):
+        workloads = training_workloads(sizes=(16384,), wg_sizes=(256,))[:5]
+        a = collect_dataset(workloads, KAVERI, cache=False)
+        b = collect_dataset(workloads, KAVERI, cache=False)
+        assert np.array_equal(a.times, b.times)
+
+    def test_interpreter_is_deterministic(self):
+        workload = make_spmv(n=32, wg=8, nnz_per_row=4)
+        args1 = workload.full_args(rng=7)
+        args2 = workload.full_args(rng=7)
+        execute_kernel(workload.source, args1, workload.ndrange())
+        execute_kernel(workload.source, args2, workload.ndrange())
+        assert np.array_equal(args1["y"], args2["y"])

@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run to completion.
+
+The examples are part of the public deliverable; each one self-verifies
+its numerical results (asserts inside), so running them end-to-end is a
+meaningful integration check, not just an import test.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, capsys) -> str:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    return capsys.readouterr().out
+
+
+def test_examples_present():
+    assert len(ALL_EXAMPLES) >= 4
+    assert "quickstart.py" in ALL_EXAMPLES
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "result verified" in out
+    assert "selected DoP" in out
+
+
+def test_malleable_codegen(capsys):
+    out = run_example("malleable_codegen.py", capsys)
+    assert "bit-identical" in out
+    assert "dop_gpu_mod" in out
+
+
+def test_dop_exploration(capsys):
+    out = run_example("dop_exploration.py", capsys)
+    assert "exhaustive-search optimum" in out
+    assert "of optimum" in out
+
+
+def test_pagerank_coexecution(capsys):
+    out = run_example("pagerank_coexecution.py", capsys)
+    assert "fixed point verified" in out
+
+
+def test_fdtd_application(capsys):
+    out = run_example("fdtd_application.py", capsys)
+    assert "final fields verified" in out
+    assert "DoP selections" in out

@@ -1,0 +1,75 @@
+"""Tests for the SVG figure regeneration."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.report import barchart_svg, heatmap_svg, linechart_svg
+
+
+def well_formed(svg: str) -> xml.dom.minidom.Document:
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestSvgPrimitives:
+    def test_heatmap_well_formed(self):
+        svg = heatmap_svg(
+            [[0.1, 0.9], [float("nan"), 0.5]],
+            row_labels=["r0", "r1"],
+            col_labels=["c0", "c1"],
+            title="test heatmap",
+        )
+        doc = well_formed(svg)
+        assert doc.documentElement.tagName == "svg"
+        assert "test heatmap" in svg
+
+    def test_heatmap_nan_cells_rendered_empty(self):
+        svg = heatmap_svg([[float("nan")]], ["r"], ["c"], "t")
+        assert "#eee" in svg
+
+    def test_heatmap_escapes_labels(self):
+        svg = heatmap_svg([[0.5]], ["<r&>"], ["c"], "a < b & c")
+        well_formed(svg)
+        assert "&lt;" in svg and "&amp;" in svg
+
+    def test_linechart_well_formed(self):
+        svg = linechart_svg(
+            [1, 2, 3],
+            {"a": [0.1, 0.2, 0.3], "b": [3.0, 2.0, 1.0]},
+            title="lines",
+            x_label="x",
+            y_label="y",
+        )
+        well_formed(svg)
+        assert svg.count("<polyline") == 2
+
+    def test_barchart_well_formed(self):
+        svg = barchart_svg(
+            ["k1", "k2"],
+            {"CPU": [0.5, 0.7], "Dopia": [0.9, 0.95]},
+            title="bars",
+            y_max=1.0,
+        )
+        well_formed(svg)
+        assert svg.count("k1") >= 1
+
+    def test_value_tooltips_present(self):
+        svg = heatmap_svg([[0.42]], ["r"], ["c"], "t")
+        assert "<title>" in svg and "0.42" in svg
+
+
+class TestFigureGeneration:
+    def test_figure01_writes_svg(self, tmp_path):
+        from repro.report import figure01
+
+        path = figure01(tmp_path)
+        assert path.exists()
+        well_formed(path.read_text())
+
+    def test_figure03_writes_both_kernels(self, tmp_path):
+        from repro.report import figure03
+
+        paths = figure03(tmp_path)
+        assert len(paths) == 2
+        for path in paths:
+            well_formed(path.read_text())

@@ -1,0 +1,131 @@
+"""Unit tests for cross-validation utilities and tree code generation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    LinearRegression,
+    cross_val_predict,
+    evaluate_c_tree,
+    grouped_kfold_indices,
+    kfold_indices,
+    leave_one_group_out,
+    mean_absolute_error,
+    r2_score,
+    tree_to_c,
+)
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        seen = np.zeros(100, dtype=int)
+        for train, test in kfold_indices(100, 10):
+            seen[test] += 1
+            assert len(np.intersect1d(train, test)) == 0
+        assert np.all(seen == 1)
+
+    def test_64_folds_of_1224(self):
+        folds = list(kfold_indices(1224, 64))
+        assert len(folds) == 64
+        sizes = [len(test) for _, test in folds]
+        assert min(sizes) >= 19 and max(sizes) <= 20
+
+    def test_too_many_folds_rejected(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 10))
+
+    def test_deterministic_for_seed(self):
+        a = [test.tolist() for _, test in kfold_indices(50, 5, rng=3)]
+        b = [test.tolist() for _, test in kfold_indices(50, 5, rng=3)]
+        assert a == b
+
+
+class TestGroupedKFold:
+    def test_groups_never_straddle_folds(self):
+        groups = np.repeat(np.arange(20), 5)
+        for train, test in grouped_kfold_indices(groups, 4):
+            assert set(groups[train]) & set(groups[test]) == set()
+
+    def test_every_group_tested_once(self):
+        groups = np.repeat(np.arange(12), 3)
+        tested = []
+        for _, test in grouped_kfold_indices(groups, 6):
+            tested.extend(np.unique(groups[test]).tolist())
+        assert sorted(tested) == list(range(12))
+
+    def test_leave_one_group_out(self):
+        groups = ["a", "a", "b", "c", "c"]
+        train, test = leave_one_group_out(groups, "c")
+        assert test.tolist() == [3, 4]
+        assert train.tolist() == [0, 1, 2]
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValueError):
+            leave_one_group_out(["a", "b"], "z")
+
+
+class TestCrossValPredict:
+    def test_every_row_predicted(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(120, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        preds = cross_val_predict(LinearRegression, X, y, k=6)
+        assert r2_score(y, preds) > 0.99
+
+    def test_grouped_variant(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(60, 2))
+        y = X[:, 0]
+        groups = np.repeat(np.arange(12), 5)
+        preds = cross_val_predict(LinearRegression, X, y, k=4, groups=groups)
+        assert preds.shape == y.shape
+
+
+class TestMetrics:
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_r2_of_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+
+class TestTreeCodegen:
+    def fit_tree(self, seed=0, depth=5):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-1, 1, size=(300, 4))
+        y = np.sign(X[:, 0]) + X[:, 1]
+        return DecisionTreeRegressor(max_depth=depth).fit(X, y), X
+
+    def test_generated_code_is_c_shaped(self):
+        tree, _ = self.fit_tree()
+        code = tree_to_c(tree)
+        assert code.startswith("double dopia_predict(const double *features)")
+        assert code.count("return") >= 1
+
+    def test_feature_name_comments(self):
+        tree, _ = self.fit_tree()
+        code = tree_to_c(tree, feature_names=["alpha", "beta", "gamma", "delta"])
+        assert "/* features[0] = alpha */" in code
+
+    def test_generated_code_matches_python_tree(self):
+        tree, X = self.fit_tree()
+        code = tree_to_c(tree)
+        py = tree.predict(X[:50])
+        for row, expected in zip(X[:50], py):
+            assert evaluate_c_tree(code, row) == pytest.approx(expected, abs=1e-12)
+
+    def test_single_leaf_tree(self):
+        X = np.zeros((10, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 4.25))
+        code = tree_to_c(tree)
+        assert evaluate_c_tree(code, [0.0, 0.0]) == 4.25
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(RuntimeError):
+            tree_to_c(DecisionTreeRegressor())

@@ -1,0 +1,217 @@
+"""Unit tests for the from-scratch ML estimators."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SVR,
+    DecisionTreeRegressor,
+    LinearRegression,
+    RandomForestRegressor,
+    make_model,
+    r2_score,
+)
+
+
+def toy_linear(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 4))
+    y = 2.0 * X[:, 0] - 3.0 * X[:, 1] + 0.5
+    return X, y
+
+
+def toy_nonlinear(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0, 1.0, -1.0) * (1 + np.abs(X[:, 1]))
+    return X, y
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_target(self):
+        X, y = toy_linear()
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_huge_scale_features_are_conditioned(self):
+        X, y = toy_linear()
+        X = X.copy()
+        X[:, 2] *= 1e9  # like global_size next to cpu_util
+        model = LinearRegression().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_constant_feature_does_not_crash(self):
+        X, y = toy_linear()
+        X[:, 3] = 7.0
+        LinearRegression().fit(X, y).predict(X)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 3)))
+
+    def test_single_row_input_accepted(self):
+        X, y = toy_linear()
+        model = LinearRegression().fit(X, y)
+        assert model.predict(X[0]).shape == (1,)
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        X, y = toy_nonlinear()
+        model = DecisionTreeRegressor(max_depth=10).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_depth_limit_respected(self):
+        X, y = toy_nonlinear()
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X, y = toy_nonlinear(n=100)
+        model = DecisionTreeRegressor(min_samples_leaf=20).fit(X, y)
+        from repro.ml.tree import _LEAF
+
+        for node in model.nodes_:
+            if node.feature == _LEAF:
+                assert node.n_samples >= 20
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).uniform(size=(50, 3))
+        model = DecisionTreeRegressor().fit(X, np.full(50, 3.5))
+        assert model.n_nodes == 1
+        assert np.all(model.predict(X) == 3.5)
+
+    def test_predictions_within_target_hull(self):
+        X, y = toy_nonlinear()
+        model = DecisionTreeRegressor().fit(X, y)
+        preds = model.predict(X)
+        assert preds.min() >= y.min() - 1e-12
+        assert preds.max() <= y.max() + 1e-12
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_inference_cost_grows_with_depth(self):
+        X, y = toy_nonlinear()
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=12).fit(X, y)
+        assert deep.inference_cost_s(44) > shallow.inference_cost_s(44)
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(400, 4))
+        y = X[:, 0] * X[:, 1] + 0.3 * rng.normal(size=400)
+        half = 200
+        tree = DecisionTreeRegressor(min_samples_leaf=1, min_samples_split=2)
+        tree.fit(X[:half], y[:half])
+        forest = RandomForestRegressor(n_estimators=20, random_state=3)
+        forest.fit(X[:half], y[:half])
+        assert r2_score(y[half:], forest.predict(X[half:])) >= r2_score(
+            y[half:], tree.predict(X[half:])
+        )
+
+    def test_deterministic_given_seed(self):
+        X, y = toy_nonlinear()
+        a = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, random_state=7).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_cost_scales_with_trees(self):
+        X, y = toy_nonlinear()
+        small = RandomForestRegressor(n_estimators=2).fit(X, y)
+        big = RandomForestRegressor(n_estimators=20).fit(X, y)
+        assert big.inference_cost_s(44) > small.inference_cost_s(44)
+
+
+class TestSVR:
+    def test_fits_smooth_function(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(X[:, 0]) * np.cos(X[:, 1])
+        model = SVR(max_samples=300).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_epsilon_insensitivity_limits_support(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = 0.5 * X[:, 0]
+        loose = SVR(epsilon=0.3, max_samples=200).fit(X, y)
+        tight = SVR(epsilon=0.001, max_samples=200).fit(X, y)
+        assert loose.n_support < tight.n_support
+
+    def test_subsampling_respected(self):
+        X, y = toy_nonlinear(n=500)
+        model = SVR(max_samples=100).fit(X, y)
+        assert model.n_support <= 100
+
+    def test_inference_cost_scales_with_support(self):
+        X, y = toy_nonlinear(n=300)
+        model = SVR(max_samples=300, epsilon=0.001).fit(X, y)
+        assert model.inference_cost_s(44) > model.inference_cost_s(1)
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            SVR(C=0)
+        with pytest.raises(ValueError):
+            SVR(epsilon=-1)
+
+
+class TestModelRegistry:
+    def test_all_four_families_constructible(self):
+        for name in ("lin", "svr", "dt", "rf"):
+            model = make_model(name)
+            assert model.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_model("gpt")
+
+    def test_relative_inference_costs_match_fig10b(self):
+        """LIN and DT must be orders of magnitude cheaper than SVR/RF."""
+        X, y = toy_nonlinear(n=300)
+        costs = {}
+        for name in ("lin", "dt", "rf", "svr"):
+            model = make_model(name)
+            if name == "svr":
+                model = SVR(max_samples=300, epsilon=0.001)
+            model.fit(X, y)
+            costs[name] = model.inference_cost_s(44)
+        assert costs["lin"] < costs["svr"] / 50
+        assert costs["dt"] < costs["svr"] / 50
+        assert costs["rf"] > costs["dt"]
+
+
+class TestFeatureImportances:
+    def test_dominant_feature_identified(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(-1, 1, size=(300, 5))
+        y = 10.0 * X[:, 2] + 0.1 * X[:, 0]
+        model = DecisionTreeRegressor().fit(X, y)
+        importances = model.feature_importances(5)
+        assert importances.argmax() == 2
+        assert importances[2] > 0.8
+
+    def test_importances_normalised(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-1, 1, size=(200, 3))
+        y = X[:, 0] * X[:, 1]
+        model = DecisionTreeRegressor().fit(X, y)
+        assert model.feature_importances(3).sum() == pytest.approx(1.0)
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().feature_importances(3)
+
+    def test_single_leaf_importances_are_zero(self):
+        X = np.zeros((20, 2))
+        model = DecisionTreeRegressor().fit(X, np.full(20, 1.5))
+        assert model.feature_importances(2).sum() == 0.0

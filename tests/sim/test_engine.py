@@ -1,0 +1,201 @@
+"""Unit tests for the co-execution engine and contention model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import profile_kernel
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.sim import (
+    KAVERI,
+    SKYLAKE,
+    DopSetting,
+    SimulationError,
+    allocate_bandwidth,
+    cpu_rate,
+    gpu_rate,
+    simulate_execution,
+)
+from repro.workloads.polybench import GESUMMV_SRC
+
+
+def gesummv_profile(n=16384):
+    info = analyze_kernel(parse_kernel(GESUMMV_SRC))
+    return profile_kernel(info, {"n": n, "alpha": 1.0, "beta": 1.0}, n, 256)
+
+
+class TestBandwidthArbitration:
+    def test_under_capacity_everyone_satisfied(self):
+        assert allocate_bandwidth([3.0, 4.0], 10.0) == [3.0, 4.0]
+
+    def test_fair_split_at_saturation(self):
+        allocation = allocate_bandwidth([10.0, 10.0], 10.0, fairness=1.0)
+        assert allocation == [5.0, 5.0]
+
+    def test_maxmin_redistribution(self):
+        allocation = allocate_bandwidth([2.0, 100.0], 10.0, fairness=1.0)
+        assert allocation[0] == pytest.approx(2.0)
+        assert allocation[1] == pytest.approx(8.0)
+
+    def test_proportional_starves_the_small_agent(self):
+        from repro.sim.contention import PRESSURE_CAP
+
+        allocation = allocate_bandwidth([1.0, 99.0], 10.0, fairness=0.0)
+        # the big agent's pressure is capped at PRESSURE_CAP x capacity, so
+        # the small agent keeps a bounded (but much reduced) share
+        expected_small = 1.0 / (1.0 + PRESSURE_CAP * 10.0) * 10.0
+        assert allocation[0] == pytest.approx(expected_small)
+        assert allocation[0] < 1.0  # well below its solo demand
+        assert allocation[1] > 8.0  # the flooding agent dominates
+
+    def test_blend_between_regimes(self):
+        fair = allocate_bandwidth([1.0, 99.0], 10.0, fairness=1.0)
+        proportional = allocate_bandwidth([1.0, 99.0], 10.0, fairness=0.0)
+        blended = allocate_bandwidth([1.0, 99.0], 10.0, fairness=0.5)
+        assert proportional[0] < blended[0] < fair[0]
+
+    def test_total_never_exceeds_capacity(self):
+        for fairness in (0.0, 0.3, 1.0):
+            allocation = allocate_bandwidth([7.0, 9.0, 30.0], 12.0, fairness)
+            assert sum(allocation) <= 12.0 + 1e-9
+
+    def test_zero_demand_gets_zero(self):
+        assert allocate_bandwidth([0.0, 5.0], 10.0)[0] == 0.0
+
+
+class TestDeviceRates:
+    def test_gpu_rate_scales_with_fraction(self):
+        profile = gesummv_profile()
+        full = gpu_rate(profile, KAVERI, 1.0)
+        half = gpu_rate(profile, KAVERI, 0.5)
+        assert full.items_per_second == pytest.approx(2 * half.items_per_second, rel=1e-6)
+
+    def test_zero_fraction_is_inert(self):
+        rate = gpu_rate(gesummv_profile(), KAVERI, 0.0)
+        assert rate.items_per_second == 0.0
+
+    def test_cpu_rate_increases_with_threads(self):
+        profile = gesummv_profile()
+        rates = [cpu_rate(profile, KAVERI, t).items_per_second for t in (1, 2, 4)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_smt_threads_yield_less_than_cores(self):
+        profile = gesummv_profile()
+        four = cpu_rate(profile, SKYLAKE, 4).items_per_second
+        eight = cpu_rate(profile, SKYLAKE, 8).items_per_second
+        assert four < eight < 2 * four
+
+
+class TestSettingValidation:
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DopSetting(0, 0.0)
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            DopSetting(-1, 0.5)
+
+    def test_fraction_range_enforced(self):
+        with pytest.raises(ValueError):
+            DopSetting(1, 1.5)
+
+
+class TestDynamicSimulation:
+    def test_result_accounts_for_every_item(self):
+        profile = gesummv_profile()
+        result = simulate_execution(profile, KAVERI, DopSetting(4, 0.5))
+        assert result.cpu_items + result.gpu_items == pytest.approx(16384)
+
+    def test_cpu_only_runs_everything_on_cpu(self):
+        result = simulate_execution(gesummv_profile(), KAVERI, DopSetting(4, 0.0))
+        assert result.gpu_items == 0.0
+
+    def test_gpu_only_runs_everything_on_gpu(self):
+        result = simulate_execution(gesummv_profile(), KAVERI, DopSetting(0, 1.0))
+        assert result.cpu_items == 0.0
+
+    def test_noise_is_reproducible(self):
+        profile = gesummv_profile()
+        a = simulate_execution(profile, KAVERI, DopSetting(4, 0.5), run_key=("x",))
+        b = simulate_execution(profile, KAVERI, DopSetting(4, 0.5), run_key=("x",))
+        assert a.time_s == b.time_s
+
+    def test_noise_differs_across_keys(self):
+        profile = gesummv_profile()
+        a = simulate_execution(profile, KAVERI, DopSetting(4, 0.5), run_key=("x",))
+        b = simulate_execution(profile, KAVERI, DopSetting(4, 0.5), run_key=("y",))
+        assert a.time_s != b.time_s
+
+    def test_gesummv_best_at_intermediate_gpu_util(self):
+        """The Figure-1 phenomenon, end to end."""
+        profile = gesummv_profile()
+        times = {}
+        for threads in (0, 2, 4):
+            for eighth in range(9):
+                if threads == 0 and eighth == 0:
+                    continue
+                setting = DopSetting(threads, eighth / 8)
+                times[(threads, eighth)] = simulate_execution(
+                    profile, KAVERI, setting, run_key=("fig1",)
+                ).time_s
+        best = min(times, key=times.get)
+        assert 1 <= best[1] <= 4          # moderate GPU utilisation wins
+        assert times[best] < times[(0, 8)] * 0.5   # much better than GPU-only
+        assert times[best] < times[(4, 8)] * 0.9   # better than ALL
+
+    def test_memory_requests_grow_with_gpu_util(self):
+        profile = gesummv_profile()
+        lo = simulate_execution(profile, KAVERI, DopSetting(4, 2 / 8), run_key=("m",))
+        hi = simulate_execution(profile, KAVERI, DopSetting(4, 1.0), run_key=("m",))
+        assert hi.mem_requests > lo.mem_requests
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_execution(
+                gesummv_profile(), KAVERI, DopSetting(4, 0.5), scheduler="magic"
+            )
+
+
+class TestStaticSimulation:
+    def test_static_requires_share(self):
+        with pytest.raises(SimulationError):
+            simulate_execution(
+                gesummv_profile(), KAVERI, DopSetting(4, 0.5), scheduler="static"
+            )
+
+    def test_static_share_splits_items(self):
+        result = simulate_execution(
+            gesummv_profile(), KAVERI, DopSetting(4, 1.0),
+            scheduler="static", static_cpu_share=0.25,
+        )
+        assert result.cpu_items == pytest.approx(0.25 * 16384)
+
+    def test_extreme_shares(self):
+        profile = gesummv_profile()
+        all_cpu = simulate_execution(
+            profile, KAVERI, DopSetting(4, 1.0), scheduler="static", static_cpu_share=1.0
+        )
+        assert all_cpu.gpu_items == 0.0
+        all_gpu = simulate_execution(
+            profile, KAVERI, DopSetting(4, 1.0), scheduler="static", static_cpu_share=0.0
+        )
+        assert all_gpu.cpu_items == 0.0
+
+    def test_dynamic_competitive_with_best_static(self):
+        """Figure 9: dynamic is within the paper's observed band of the
+        best of 19 static splits (their DYNAMIC whiskers reach ~4x; the
+        extremely memory-bound Gesummv is near the tail)."""
+        profile = gesummv_profile()
+        setting = DopSetting(4, 1.0)
+        dynamic = simulate_execution(
+            profile, KAVERI, setting, scheduler="dynamic", run_key=("f9",)
+        ).time_s
+        statics = [
+            simulate_execution(
+                profile, KAVERI, setting, scheduler="static",
+                static_cpu_share=s / 100, run_key=("f9",),
+            ).time_s
+            for s in range(5, 100, 5)
+        ]
+        assert dynamic <= min(statics) * 2.5
+        # and dynamic beats the *median* static split comfortably
+        assert dynamic < sorted(statics)[len(statics) // 2]

@@ -1,0 +1,119 @@
+"""Unit tests for the DRAM-traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import profile_kernel
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.sim import KAVERI, SKYLAKE, cpu_traffic, gpu_traffic
+from repro.workloads.polybench import GESUMMV_SRC
+
+
+def profile_of(source, args, gsz, lsz, **kw):
+    return profile_kernel(analyze_kernel(parse_kernel(source)), args, gsz, lsz, **kw)
+
+
+COALESCED = """
+__kernel void copy(__global float* A, __global float* B, int n)
+{ int i = get_global_id(0); if (i < n) B[i] = A[i]; }
+"""
+
+STRIDED = """
+__kernel void gather(__global float* A, __global float* B, int n)
+{ int i = get_global_id(0); if (i < n) B[i] = A[i * 64]; }
+"""
+
+RANDOM = """
+__kernel void rgather(__global float* A, __global int* I, __global float* B, int n)
+{ int i = get_global_id(0); if (i < n) B[i] = A[I[i]]; }
+"""
+
+
+class TestGpuTraffic:
+    def test_coalesced_traffic_is_useful_bytes(self):
+        profile = profile_of(COALESCED, {"n": 4096}, 4096, 64)
+        estimate = gpu_traffic(profile, KAVERI, 1.0)
+        # one load + one store of 4 bytes each
+        assert estimate.bytes_per_item == pytest.approx(8.0, rel=0.05)
+
+    def test_large_stride_costs_a_line_per_access(self):
+        profile = profile_of(STRIDED, {"n": 4096}, 4096, 64)
+        estimate = gpu_traffic(profile, KAVERI, 1.0)
+        # load: 64-byte line per access; store: coalesced 4 bytes
+        assert estimate.bytes_per_item == pytest.approx(68.0, rel=0.05)
+
+    def test_random_traffic_costs_lines_when_thrashed(self):
+        profile = profile_of(RANDOM, {"n": 1 << 20}, 1 << 20, 64)
+        estimate = gpu_traffic(profile, KAVERI, 1.0)
+        # 4 MiB random region >> 512 KiB L2: close to a line per access
+        assert estimate.bytes_per_item > 40.0
+
+    def test_gesummv_traffic_grows_with_utilisation(self):
+        """The Figure-3b phenomenon: more active PEs, more DRAM traffic."""
+        profile = profile_of(GESUMMV_SRC, {"n": 16384, "alpha": 1.0, "beta": 1.0},
+                             16384, 256)
+        bytes_by_util = [
+            gpu_traffic(profile, KAVERI, u / 8).bytes_per_item for u in range(1, 9)
+        ]
+        assert bytes_by_util[-1] > 2.0 * bytes_by_util[0]
+        # non-decreasing across the sweep
+        # near-monotone: the broadcast (shared-x) term shrinks slightly
+        # with more concurrent sharers, a negligible counter-effect
+        assert all(b2 >= b1 * 0.995 for b1, b2 in zip(bytes_by_util, bytes_by_util[1:]))
+
+    def test_survival_decreases_with_utilisation(self):
+        profile = profile_of(GESUMMV_SRC, {"n": 16384, "alpha": 1.0, "beta": 1.0},
+                             16384, 256)
+        survivals = [
+            gpu_traffic(profile, KAVERI, u / 8).l2_survival for u in range(1, 9)
+        ]
+        assert survivals[0] > survivals[-1]
+
+    def test_shared_llc_softens_the_cliff(self):
+        """Skylake's GPU sees part of the big LLC (§9.3)."""
+        profile = profile_of(GESUMMV_SRC, {"n": 16384, "alpha": 1.0, "beta": 1.0},
+                             16384, 256)
+        kaveri = gpu_traffic(profile, KAVERI, 1.0)
+        skylake = gpu_traffic(profile, SKYLAKE, 1.0)
+        assert skylake.l2_survival > kaveri.l2_survival
+
+    def test_compulsory_floor(self):
+        """Traffic can never drop below the useful bytes of private streams."""
+        profile = profile_of(GESUMMV_SRC, {"n": 8192, "alpha": 1.0, "beta": 1.0},
+                             8192, 256)
+        estimate = gpu_traffic(profile, KAVERI, 1 / 8)
+        assert estimate.bytes_per_item >= 2 * 8192 * 4 * 0.99  # A and B rows
+
+
+class TestCpuTraffic:
+    def test_cpu_streams_at_useful_bytes(self):
+        profile = profile_of(COALESCED, {"n": 4096}, 4096, 64)
+        estimate = cpu_traffic(profile, KAVERI)
+        assert estimate.bytes_per_item == pytest.approx(8.0, rel=0.05)
+
+    def test_cpu_absorbs_fitting_random_region(self):
+        # 64 KiB region fits the 4 MiB LLC: random gather is nearly free
+        profile = profile_of(RANDOM, {"n": 16384}, 16384, 64)
+        estimate = cpu_traffic(profile, KAVERI)
+        assert estimate.l2_survival == 1.0
+        assert estimate.bytes_per_item < 16.0
+
+    def test_cpu_thrashes_on_huge_random_region(self):
+        profile = profile_of(RANDOM, {"n": 1 << 22}, 1 << 22, 64)
+        estimate = cpu_traffic(profile, KAVERI)
+        assert estimate.l2_survival < 0.5
+        assert estimate.bytes_per_item > 30.0
+
+    def test_cpu_insensitive_to_gpu_utilisation_knob(self):
+        profile = profile_of(GESUMMV_SRC, {"n": 4096, "alpha": 1.0, "beta": 1.0},
+                             4096, 256)
+        assert cpu_traffic(profile, KAVERI).bytes_per_item == pytest.approx(
+            cpu_traffic(profile, KAVERI).bytes_per_item
+        )
+
+    def test_cpu_vs_gpu_on_irregular_kernel(self):
+        """Irregular/random-heavy kernels are cheaper per item on the CPU."""
+        profile = profile_of(RANDOM, {"n": 1 << 20}, 1 << 20, 64)
+        cpu = cpu_traffic(profile, KAVERI)
+        gpu = gpu_traffic(profile, KAVERI, 1.0)
+        assert cpu.bytes_per_item < gpu.bytes_per_item

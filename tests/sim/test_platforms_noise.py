@@ -1,0 +1,82 @@
+"""Unit tests for platform descriptions, noise model, and pressure cap."""
+
+import math
+
+import pytest
+
+from repro.sim import KAVERI, PLATFORMS, SKYLAKE, get_platform, noise_factor
+from repro.sim.contention import PRESSURE_CAP, allocate_bandwidth
+
+
+class TestPlatforms:
+    def test_paper_section81_core_counts(self):
+        # AMD A10-7850K: quad-core CPU, 8 CUs x 64 PEs at 720 MHz
+        assert KAVERI.cpu.cores == 4
+        assert KAVERI.gpu.num_cus == 8
+        assert KAVERI.gpu.pes_per_cu == 64
+        assert KAVERI.gpu.total_pes == 512
+        assert KAVERI.gpu.freq_ghz == pytest.approx(0.72)
+        # Intel i7-6700: 4C/8T, 24 CUs x 32 PEs
+        assert SKYLAKE.cpu.threads == 8
+        assert SKYLAKE.gpu.total_pes == 768
+
+    def test_registry_lookup(self):
+        assert get_platform("KAVERI") is KAVERI
+        assert set(PLATFORMS) == {"kaveri", "skylake"}
+        with pytest.raises(KeyError):
+            get_platform("llano")
+
+    def test_skylake_gpu_sees_more_cache(self):
+        assert SKYLAKE.gpu_effective_cache_bytes() > SKYLAKE.gpu.l2_bytes
+        assert KAVERI.gpu_effective_cache_bytes() == KAVERI.gpu.l2_bytes
+
+    def test_skylake_better_provisioned_memory_system(self):
+        """§9.3: 'the Intel i7-6700 processor provides more memory
+        bandwidth and contains a shared last-level cache'."""
+        assert SKYLAKE.dram_bandwidth > KAVERI.dram_bandwidth
+        assert SKYLAKE.arbitration_fairness > KAVERI.arbitration_fairness
+
+    def test_frozen_dataclasses(self):
+        with pytest.raises(Exception):
+            KAVERI.dram_bandwidth_gbps = 100.0
+
+
+class TestNoiseModel:
+    def test_deterministic(self):
+        assert noise_factor(("a", 1)) == noise_factor(("a", 1))
+
+    def test_distinct_keys_distinct_noise(self):
+        values = {noise_factor(("k", i)) for i in range(50)}
+        assert len(values) == 50
+
+    def test_zero_sigma_is_exact(self):
+        assert noise_factor(("x",), sigma=0.0) == 1.0
+
+    def test_magnitude_bounded(self):
+        for i in range(200):
+            factor = noise_factor(("bound", i), sigma=0.02)
+            assert 0.85 < factor < 1.18
+
+    def test_mean_near_one(self):
+        factors = [noise_factor(("m", i), sigma=0.02) for i in range(500)]
+        assert abs(sum(factors) / len(factors) - 1.0) < 0.01
+
+
+class TestPressureCap:
+    def test_huge_demand_cannot_starve_peer_completely(self):
+        # a 1000x-over-capacity demand is capped at PRESSURE_CAP x capacity
+        capacity = 10.0
+        allocation = allocate_bandwidth([5.0, 10000.0], capacity, fairness=0.0)
+        # the small agent's proportional share uses the capped pressure
+        expected_small = 5.0 / (5.0 + PRESSURE_CAP * capacity) * capacity
+        assert allocation[0] == pytest.approx(expected_small)
+        assert allocation[0] > 0.2 * capacity  # not crushed to nothing
+
+    def test_cap_inactive_below_capacity(self):
+        allocation = allocate_bandwidth([2.0, 3.0], 10.0, fairness=0.0)
+        assert allocation == [2.0, 3.0]
+
+    def test_allocation_never_exceeds_true_demand(self):
+        for fairness in (0.0, 0.35, 1.0):
+            allocation = allocate_bandwidth([1.0, 50.0], 10.0, fairness)
+            assert allocation[0] <= 1.0 + 1e-12

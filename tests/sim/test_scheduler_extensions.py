@@ -1,0 +1,80 @@
+"""Unit tests for the scheduler extensions (pull-based GPU, guided chunks)."""
+
+import pytest
+
+from repro.analysis import profile_kernel
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.sim import KAVERI, DopSetting, SimulationError, simulate_execution
+from repro.workloads.polybench import GESUMMV_SRC
+
+
+@pytest.fixture(scope="module")
+def profile():
+    info = analyze_kernel(parse_kernel(GESUMMV_SRC))
+    return profile_kernel(info, {"n": 16384, "alpha": 1.0, "beta": 1.0}, 16384, 256)
+
+
+class TestPullScheduler:
+    def test_accounts_for_all_items(self, profile):
+        result = simulate_execution(
+            profile, KAVERI, DopSetting(4, 0.5), scheduler="dynamic-pull"
+        )
+        assert result.cpu_items + result.gpu_items == pytest.approx(16384)
+        assert result.scheduler == "dynamic-pull"
+
+    def test_split_proportional_to_rates(self, profile):
+        result = simulate_execution(
+            profile, KAVERI, DopSetting(4, 0.25), scheduler="dynamic-pull"
+        )
+        # the faster device must take the larger share
+        assert result.cpu_items != result.gpu_items
+
+    def test_never_slower_than_push(self, profile):
+        for fraction in (0.25, 0.5, 1.0):
+            push = simulate_execution(
+                profile, KAVERI, DopSetting(4, fraction),
+                scheduler="dynamic", run_key=("cmp",), sigma=0.0,
+            ).time_s
+            pull = simulate_execution(
+                profile, KAVERI, DopSetting(4, fraction),
+                scheduler="dynamic-pull", run_key=("cmp",), sigma=0.0,
+            ).time_s
+            assert pull <= push * 1.01
+
+    def test_single_device_degenerates_to_push(self, profile):
+        pull = simulate_execution(
+            profile, KAVERI, DopSetting(4, 0.0),
+            scheduler="dynamic-pull", sigma=0.0,
+        )
+        push = simulate_execution(
+            profile, KAVERI, DopSetting(4, 0.0),
+            scheduler="dynamic", chunk_divisor=1, sigma=0.0,
+        )
+        assert pull.time_s == pytest.approx(push.time_s)
+
+
+class TestGuidedChunks:
+    def test_guided_not_slower_for_memory_bound(self, profile):
+        fixed = simulate_execution(
+            profile, KAVERI, DopSetting(4, 1.0),
+            scheduler="dynamic", chunk_policy="fixed", sigma=0.0,
+        ).time_s
+        guided = simulate_execution(
+            profile, KAVERI, DopSetting(4, 1.0),
+            scheduler="dynamic", chunk_policy="guided", sigma=0.0,
+        ).time_s
+        assert guided <= fixed * 1.01
+
+    def test_guided_accounts_for_all_items(self, profile):
+        result = simulate_execution(
+            profile, KAVERI, DopSetting(4, 0.5),
+            scheduler="dynamic", chunk_policy="guided",
+        )
+        assert result.cpu_items + result.gpu_items == pytest.approx(16384)
+
+    def test_unknown_policy_rejected(self, profile):
+        with pytest.raises(SimulationError):
+            simulate_execution(
+                profile, KAVERI, DopSetting(4, 0.5),
+                scheduler="dynamic", chunk_policy="banana",
+            )

@@ -1,0 +1,101 @@
+"""Tests for the Figure-7 CPU code generation."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.interp import KernelExecutor, NDRange
+from repro.transform import CpuTransformError, make_cpu_kernel
+from repro.transform.cpu_codegen import NUM_WGS_PARAM, WORKLIST_PARAM
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+KERNEL_2D = """
+__kernel void addval(__global float* A, int nx, int ny)
+{
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if ((x < nx) && (y < ny)) A[y * nx + x] += x + 10 * y;
+}
+"""
+
+
+def run_original(source, args, ndrange):
+    kernel = analyze_kernel(parse_kernel(source))
+    KernelExecutor(kernel, args, ndrange).run()
+
+
+def run_cpu_variant(source, work_dim, args, ndrange, n_threads):
+    cpu = make_cpu_kernel(source, work_dim=work_dim)
+    full = dict(args)
+    full[WORKLIST_PARAM] = np.zeros(1, dtype=np.int64)
+    full.update(
+        cpu.scheduler_args(ndrange.total_groups, ndrange.local_size, ndrange.num_groups)
+    )
+    KernelExecutor(cpu.info, full, NDRange(n_threads, 1)).run()
+    return full[WORKLIST_PARAM]
+
+
+class TestStructure:
+    def test_renamed_with_cpu_suffix(self):
+        cpu = make_cpu_kernel(SAXPY, work_dim=1)
+        assert cpu.name == "saxpy_cpu"
+
+    def test_worklist_loop_present(self):
+        cpu = make_cpu_kernel(SAXPY, work_dim=1)
+        assert f"atomic_inc({WORKLIST_PARAM})" in cpu.source
+        assert NUM_WGS_PARAM in cpu.source
+
+    def test_ids_rewritten(self):
+        cpu = make_cpu_kernel(SAXPY, work_dim=1)
+        assert "get_global_id" not in cpu.source
+
+    def test_barriered_kernel_rejected(self):
+        with pytest.raises(CpuTransformError):
+            make_cpu_kernel(
+                "__kernel void f(__global float* A)"
+                "{ barrier(1); A[get_global_id(0)] = 1.0f; }",
+                work_dim=1,
+            )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_1d_equivalence(self, threads):
+        n = 64
+        x = np.arange(n, dtype=float)
+        expected = np.ones(n)
+        run_original(SAXPY, {"X": x, "Y": expected, "a": 2.0, "n": n}, NDRange(n, 16))
+        actual = np.ones(n)
+        run_cpu_variant(
+            SAXPY, 1, {"X": x, "Y": actual, "a": 2.0, "n": n}, NDRange(n, 16), threads
+        )
+        assert np.array_equal(actual, expected)
+
+    def test_2d_equivalence(self):
+        nx, ny = 8, 8
+        expected = np.zeros(nx * ny)
+        run_original(KERNEL_2D, {"A": expected, "nx": nx, "ny": ny}, NDRange((nx, ny), (4, 4)))
+        actual = np.zeros(nx * ny)
+        run_cpu_variant(
+            KERNEL_2D, 2, {"A": actual, "nx": nx, "ny": ny}, NDRange((nx, ny), (4, 4)), 3
+        )
+        assert np.array_equal(actual, expected)
+
+    def test_every_work_group_claimed_exactly_once(self):
+        n = 64
+        counts = np.zeros(n)
+        source = (
+            "__kernel void f(__global float* C)"
+            "{ C[get_global_id(0)] += 1.0f; }"
+        )
+        worklist = run_cpu_variant(source, 1, {"C": counts}, NDRange(n, 8), 4)
+        assert np.all(counts == 1.0)
+        # worklist overshoots by at most one claim per thread
+        assert worklist[0] >= n // 8

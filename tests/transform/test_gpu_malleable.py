@@ -1,0 +1,221 @@
+"""Tests for the malleable GPU transformation (Figures 5/6).
+
+The central property (paper §6, design decision D2): for *any* throttle
+setting, the transformed kernel computes exactly the same buffers as the
+original.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.interp import KernelExecutor, NDRange
+from repro.transform import (
+    ALLOC_PARAM,
+    MOD_PARAM,
+    TransformError,
+    make_malleable,
+    throttle_settings,
+)
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+KERNEL_2D = """
+__kernel void scale2d(__global float* A, int nx, int ny)
+{
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if ((x < nx) && (y < ny)) A[y * nx + x] = A[y * nx + x] * 2.0f + y;
+}
+"""
+
+LOOPY = """
+__kernel void rowsum(__global float* A, __global float* S, int n, int m)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        float acc = 0.0f;
+        for (int j = 0; j < m; j++) acc = acc + A[i * m + j];
+        S[i] = acc;
+    }
+}
+"""
+
+
+def run_original(source, args, ndrange):
+    kernel = parse_kernel(source)
+    from repro.frontend import analyze_kernel
+
+    executor = KernelExecutor(analyze_kernel(kernel), args, ndrange)
+    executor.run()
+
+
+class TestTransformStructure:
+    def test_parameters_appended(self):
+        malleable = make_malleable(SAXPY, work_dim=1)
+        names = [p.name for p in malleable.kernel.params]
+        assert names[-2:] == [MOD_PARAM, ALLOC_PARAM]
+
+    def test_source_contains_throttle_guard(self):
+        malleable = make_malleable(SAXPY, work_dim=1)
+        assert f"get_local_id(0) % {MOD_PARAM} < {ALLOC_PARAM}" in malleable.source
+
+    def test_source_contains_worklist_loop(self):
+        malleable = make_malleable(SAXPY, work_dim=1)
+        assert "atomic_inc(local_worklist)" in malleable.source
+        assert "barrier(1)" in malleable.source
+
+    def test_transformed_kernel_reparses(self):
+        malleable = make_malleable(SAXPY, work_dim=1)
+        assert malleable.info.uses_barrier
+        assert malleable.info.uses_atomics
+
+    def test_global_id_rewritten(self):
+        malleable = make_malleable(SAXPY, work_dim=1)
+        # inside the drain loop the id comes from dynamic_work
+        assert "get_global_id(0)" not in malleable.source
+        assert "dynamic_work" in malleable.source
+
+    def test_barriered_kernel_rejected(self):
+        with pytest.raises(TransformError):
+            make_malleable(
+                "__kernel void f(__global float* A)"
+                "{ barrier(1); A[get_global_id(0)] = 1.0f; }",
+                work_dim=1,
+            )
+
+    def test_reserved_name_clash_rejected(self):
+        with pytest.raises(TransformError):
+            make_malleable(
+                "__kernel void f(__global float* A, int dop_gpu_mod)"
+                "{ A[get_global_id(0)] = dop_gpu_mod; }",
+                work_dim=1,
+            )
+
+    def test_bad_work_dim_rejected(self):
+        with pytest.raises(TransformError):
+            make_malleable(SAXPY, work_dim=0)
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("mod,alloc", [(1, 1), (2, 1), (4, 3), (8, 1), (16, 5), (64, 1)])
+    def test_saxpy_equivalent_under_throttle(self, mod, alloc):
+        n = 96
+        x = np.arange(n, dtype=np.float64)
+        expected = np.ones(n)
+        run_original(SAXPY, {"X": x, "Y": expected, "a": 3.0, "n": n}, NDRange(n, 32))
+
+        actual = np.ones(n)
+        malleable = make_malleable(SAXPY, work_dim=1)
+        executor = KernelExecutor(
+            malleable.info,
+            {"X": x, "Y": actual, "a": 3.0, "n": n, MOD_PARAM: mod, ALLOC_PARAM: alloc},
+            NDRange(n, 32),
+        )
+        executor.run()
+        assert np.array_equal(actual, expected)
+
+    @pytest.mark.parametrize("mod,alloc", [(1, 1), (3, 1), (8, 5)])
+    def test_2d_kernel_equivalent(self, mod, alloc):
+        nx, ny = 16, 8
+        expected = np.arange(nx * ny, dtype=np.float64)
+        run_original(KERNEL_2D, {"A": expected, "nx": nx, "ny": ny}, NDRange((nx, ny), (4, 4)))
+
+        actual = np.arange(nx * ny, dtype=np.float64)
+        malleable = make_malleable(KERNEL_2D, work_dim=2)
+        executor = KernelExecutor(
+            malleable.info,
+            {"A": actual, "nx": nx, "ny": ny, MOD_PARAM: mod, ALLOC_PARAM: alloc},
+            NDRange((nx, ny), (4, 4)),
+        )
+        executor.run()
+        assert np.array_equal(actual, expected)
+
+    def test_loop_kernel_equivalent(self):
+        n, m = 32, 8
+        a = np.arange(n * m, dtype=np.float64)
+        expected = np.zeros(n)
+        run_original(LOOPY, {"A": a, "S": expected, "n": n, "m": m}, NDRange(n, 8))
+
+        actual = np.zeros(n)
+        malleable = make_malleable(LOOPY, work_dim=1)
+        KernelExecutor(
+            malleable.info,
+            {"A": a, "S": actual, "n": n, "m": m, MOD_PARAM: 4, ALLOC_PARAM: 1},
+            NDRange(n, 8),
+        ).run()
+        assert np.array_equal(actual, expected)
+
+    def test_3d_kernel_equivalent(self):
+        source = """
+        __kernel void cube(__global float* A, int nx, int ny, int nz)
+        {
+            int x = get_global_id(0);
+            int y = get_global_id(1);
+            int z = get_global_id(2);
+            if ((x < nx) && (y < ny) && (z < nz))
+                A[(z * ny + y) * nx + x] += x + 10 * y + 100 * z;
+        }
+        """
+        n = 4
+        nd = NDRange((n, n, n), (2, 2, 2))
+        expected = np.zeros(n ** 3)
+        run_original(source, {"A": expected, "nx": n, "ny": n, "nz": n}, nd)
+        actual = np.zeros(n ** 3)
+        malleable = make_malleable(source, work_dim=3)
+        KernelExecutor(
+            malleable.info,
+            {"A": actual, "nx": n, "ny": n, "nz": n, MOD_PARAM: 3, ALLOC_PARAM: 1},
+            nd,
+        ).run()
+        assert np.array_equal(actual, expected)
+
+    def test_equivalent_with_global_offset(self):
+        """Algorithm 1 pushes chunks to the GPU via the global offset."""
+        n = 64
+        expected = np.ones(n)
+        run_original(
+            SAXPY,
+            {"X": np.arange(n, dtype=float), "Y": expected, "a": 2.0, "n": n},
+            NDRange(n, 16),
+        )
+        actual = np.ones(n)
+        malleable = make_malleable(SAXPY, work_dim=1)
+        args = {
+            "X": np.arange(n, dtype=float), "Y": actual, "a": 2.0, "n": n,
+            MOD_PARAM: 2, ALLOC_PARAM: 1,
+        }
+        # execute [0, 32) and [32, 64) as two offset launches
+        KernelExecutor(malleable.info, args, NDRange(32, 16, offset=(0,))).run()
+        KernelExecutor(malleable.info, args, NDRange(32, 16, offset=(32,))).run()
+        assert np.array_equal(actual, expected)
+
+
+class TestThrottleSettings:
+    def test_exact_eighths(self):
+        assert throttle_settings(64, 1.0) == (1, 1)
+        assert throttle_settings(64, 0.5) == (2, 1)
+        assert throttle_settings(64, 0.375) == (8, 3)
+        assert throttle_settings(64, 0.125) == (8, 1)
+
+    def test_fraction_recovered(self):
+        for k in range(1, 9):
+            mod, alloc = throttle_settings(64, k / 8)
+            assert abs(alloc / mod - k / 8) < 1e-9
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            throttle_settings(64, 0.0)
+        with pytest.raises(ValueError):
+            throttle_settings(64, 1.5)
+
+    def test_alloc_never_exceeds_mod(self):
+        for fraction in np.linspace(0.01, 1.0, 57):
+            mod, alloc = throttle_settings(64, float(fraction))
+            assert 1 <= alloc <= mod

@@ -1,0 +1,102 @@
+"""Unit tests for the AST-to-source printer."""
+
+import pytest
+
+from repro.frontend import parse_kernel
+from repro.transform import print_kernel
+from repro.transform.rewriter import SourcePrinter
+
+
+def round_trip(source: str) -> str:
+    return print_kernel(parse_kernel(source))
+
+
+class TestExpressionPrinting:
+    def expr(self, text: str) -> str:
+        source = f"__kernel void k(int a, int b, int c) {{ int r = {text}; }}"
+        kernel = parse_kernel(source)
+        init = kernel.body.body[0].decls[0].init
+        return SourcePrinter().expr(init)
+
+    def test_precedence_parentheses_preserved(self):
+        assert self.expr("(a + b) * c") == "(a + b) * c"
+
+    def test_redundant_parentheses_dropped(self):
+        assert self.expr("(a * b) + c") == "a * b + c"
+
+    def test_right_associative_assignment(self):
+        assert self.expr("a = b = c") == "a = b = c"
+
+    def test_nested_ternary(self):
+        text = self.expr("a ? b : c ? a : b")
+        assert parse_kernel(
+            f"__kernel void k(int a, int b, int c) {{ int r = {text}; }}"
+        )
+
+    def test_unary_binding(self):
+        assert self.expr("-a * b") == "-a * b"
+        assert self.expr("-(a * b)") == "-(a * b)"
+
+    def test_index_chain(self):
+        source = (
+            "__kernel void k(__global float* A, int i, int j)"
+            "{ float r = A[i][j]; }"
+        )
+        kernel = parse_kernel(source)
+        init = kernel.body.body[0].decls[0].init
+        assert SourcePrinter().expr(init) == "A[i][j]"
+
+    def test_modulo_and_shift(self):
+        assert self.expr("a % b << c") == "a % b << c"
+        assert self.expr("a % (b << c)") == "a % (b << c)"
+
+
+class TestStatementPrinting:
+    def test_for_loop_shape(self):
+        text = round_trip(
+            "__kernel void k(int n) { for (int i = 0; i < n; i++) { n = n; } }"
+        )
+        assert "for (int i = 0; i < n; i++)" in text
+
+    def test_if_else_shape(self):
+        text = round_trip(
+            "__kernel void k(int n) { if (n > 0) n = 1; else n = 2; }"
+        )
+        assert "if (n > 0)" in text and "else" in text
+
+    def test_local_array_declaration(self):
+        text = round_trip(
+            "__kernel void k() { __local int s[2]; s[0] = 1; barrier(1); }"
+        )
+        assert "__local int s[2];" in text
+
+    def test_do_while(self):
+        text = round_trip(
+            "__kernel void k(int n) { int i = 0; do { i++; } while (i < n); }"
+        )
+        assert text.count("while (i < n);") == 1
+
+    def test_break_continue_return(self):
+        text = round_trip(
+            "__kernel void k(int n)"
+            "{ for (;;) { if (n) break; if (!n) continue; } return; }"
+        )
+        assert "break;" in text and "continue;" in text and "return;" in text
+
+    def test_qualified_parameters(self):
+        text = round_trip(
+            "__kernel void k(__global const float* A, __local int* s, uint n) { }"
+        )
+        assert "__global const float* A" in text
+        assert "__local int* s" in text
+
+    def test_float_literals_keep_suffix(self):
+        text = round_trip("__kernel void k(__global float* A) { A[0] = 1.5f; }")
+        assert "1.5f" in text
+
+    def test_idempotence_on_paper_kernels(self):
+        from repro.workloads.polybench import GESUMMV_SRC, SYR2K_SRC
+
+        for source in (GESUMMV_SRC, SYR2K_SRC):
+            once = round_trip(source)
+            assert round_trip(once) == once

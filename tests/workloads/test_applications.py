@@ -1,0 +1,82 @@
+"""Tests for the multi-kernel application drivers."""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.workloads.applications import (
+    APPLICATIONS,
+    AtaxApplication,
+    BicgApplication,
+    FdtdApplication,
+    MvtApplication,
+    PageRankApplication,
+)
+
+
+class TestVanillaExecution:
+    """Applications run and self-verify without any interposer."""
+
+    def test_atax(self):
+        result = AtaxApplication(wg=16).run(n=48)
+        assert result.verified
+        assert result.launches == 2
+        assert result.simulated_time_s > 0
+
+    def test_bicg(self):
+        result = BicgApplication(wg=16).run(n=48)
+        assert result.verified
+        assert result.launches == 2
+
+    def test_mvt(self):
+        result = MvtApplication(wg=16).run(n=48)
+        assert result.verified
+
+    def test_fdtd_time_loop(self):
+        result = FdtdApplication(wg=(4, 4)).run(grid=16, steps=3)
+        assert result.verified
+        assert result.launches == 9  # 3 kernels x 3 steps
+
+    def test_pagerank_converges(self):
+        result = PageRankApplication(wg=16).run(n=64, avg_degree=6)
+        assert result.verified
+        assert int(result.outputs["iterations"][0]) < 100
+
+    def test_registry_names(self):
+        assert set(APPLICATIONS) == {"atax", "bicg", "mvt", "fdtd", "pagerank"}
+
+
+class TestUnderDopia:
+    """The same applications, with the runtime interposed per launch."""
+
+    @pytest.fixture(scope="class")
+    def runtime(self):
+        from repro.core import DopiaRuntime, collect_dataset
+        from repro.ml import make_model
+        from repro.sim import KAVERI
+        from repro.workloads.synthetic import training_workloads
+
+        dataset = collect_dataset(
+            training_workloads(sizes=(16384,), wg_sizes=(256,)), KAVERI, cache=False
+        )
+        model = make_model("dt")
+        model.fit(dataset.feature_matrix(), dataset.targets())
+        return DopiaRuntime(KAVERI, model)
+
+    def test_atax_under_dopia_selects_per_launch(self, runtime):
+        with cl.interposed(runtime):
+            result = AtaxApplication(wg=16).run(n=48)
+        assert result.verified
+        assert len(result.selections) == 2  # one DoP decision per enqueue
+
+    def test_fdtd_under_dopia(self, runtime):
+        with cl.interposed(runtime):
+            result = FdtdApplication(wg=(4, 4)).run(grid=16, steps=2)
+        assert result.verified
+        assert len(result.selections) == 6
+
+    def test_pagerank_under_dopia(self, runtime):
+        with cl.interposed(runtime):
+            result = PageRankApplication(wg=16).run(n=48, avg_degree=4)
+        assert result.verified
+        assert result.selections  # Dopia handled the launches

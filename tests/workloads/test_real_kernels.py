@@ -1,0 +1,221 @@
+"""Functional correctness of the 14 real-world kernels (scaled down).
+
+Every Table-4 kernel is executed by the interpreter on a small instance
+and checked against an independent NumPy reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.interp import execute_kernel
+from repro.workloads import (
+    REAL_WORKLOAD_FACTORIES,
+    make_atax1,
+    make_atax2,
+    make_bicg1,
+    make_bicg2,
+    make_conv2d,
+    make_csr_matrix,
+    make_fdtd1,
+    make_fdtd2,
+    make_fdtd3,
+    make_gesummv,
+    make_mvt1,
+    make_mvt2,
+    make_pagerank,
+    make_spmv,
+    make_syr2k,
+    pagerank_reference,
+    real_workloads,
+    spmv_reference,
+)
+
+
+def run(workload, rng=0):
+    args = workload.full_args(rng)
+    execute_kernel(
+        workload.source, args, workload.ndrange(), kernel_name=workload.kernel_name
+    )
+    return args
+
+
+class TestRegistry:
+    def test_fourteen_workloads(self):
+        assert len(real_workloads()) == 14
+
+    def test_factory_names_match_fig13(self):
+        assert list(REAL_WORKLOAD_FACTORIES) == [
+            "2DCONV", "ATAX1", "ATAX2", "BICG1", "BICG2", "FDTD1", "FDTD2",
+            "FDTD3", "GESUMMV", "MVT1", "MVT2", "SYR2K", "PageRank", "SpMV",
+        ]
+
+    def test_paper_sizes(self):
+        by_name = {w.key.split("/")[0]: w for w in real_workloads()}
+        assert by_name["GESUMMV"].scalar_args["n"] == 16384
+        assert by_name["SYR2K"].scalar_args["n"] == 1024
+        assert by_name["2DCONV"].scalar_args["ni"] == 8192
+        assert by_name["SpMV"].irregular_trip_hint == 16384.0
+
+    def test_every_workload_profiles(self):
+        for workload in real_workloads():
+            profile = workload.profile()
+            assert profile.bytes_per_item > 0
+
+
+class TestFunctionalCorrectness:
+    def test_gesummv(self):
+        w = make_gesummv(n=24, wg=8)
+        args = run(w)
+        n = 24
+        A = args["A"].reshape(n, n)
+        B = args["B"].reshape(n, n)
+        expected = 1.5 * (A @ args["x"]) + 2.5 * (B @ args["x"])
+        assert np.allclose(args["y"][:n], expected)
+
+    def test_atax_pipeline(self):
+        n = 16
+        w1 = make_atax1(n=n, wg=8)
+        args = run(w1)
+        A = args["A"].reshape(n, n)
+        assert np.allclose(args["tmp"][:n], A @ args["x"])
+        w2 = make_atax2(n=n, wg=8)
+        args2 = w2.full_args(rng=0)
+        args2["A"], args2["tmp"] = args["A"], args["tmp"]
+        execute_kernel(w2.source, args2, w2.ndrange())
+        assert np.allclose(args2["y"][:n], A.T @ args["tmp"][:n])
+
+    def test_bicg_kernels(self):
+        n = 16
+        args1 = run(make_bicg1(n=n, wg=8))
+        A = args1["A"].reshape(n, n)
+        assert np.allclose(args1["s"][:n], A.T @ args1["r"])
+        args2 = run(make_bicg2(n=n, wg=8))
+        A2 = args2["A"].reshape(n, n)
+        assert np.allclose(args2["q"][:n], A2 @ args2["p"])
+
+    def test_mvt_kernels(self):
+        n = 16
+        args1 = run(make_mvt1(n=n, wg=8), rng=1)
+        # x1 was overwritten in place: recompute expectation
+        w = make_mvt1(n=n, wg=8)
+        fresh = w.full_args(rng=1)
+        A = fresh["A"].reshape(n, n)
+        assert np.allclose(args1["x1"], fresh["x1"] + A @ fresh["y1"])
+
+        args2 = run(make_mvt2(n=n, wg=8), rng=1)
+        w2 = make_mvt2(n=n, wg=8)
+        fresh2 = w2.full_args(rng=1)
+        A2 = fresh2["A"].reshape(n, n)
+        assert np.allclose(args2["x2"], fresh2["x2"] + A2.T @ fresh2["y2"])
+
+    def test_conv2d(self):
+        n = 12
+        w = make_conv2d(n=n, wg=(4, 4))
+        args = run(w)
+        A = args["A"].reshape(n, n)
+        B = args["B"].reshape(n, n)
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                expected = (
+                    0.2 * A[i - 1, j - 1] + (-0.3) * A[i, j - 1] + 0.4 * A[i + 1, j - 1]
+                    + 0.5 * A[i - 1, j] + 0.6 * A[i, j] + 0.7 * A[i + 1, j]
+                    + (-0.8) * A[i - 1, j + 1] + (-0.9) * A[i, j + 1] + 0.1 * A[i + 1, j + 1]
+                )
+                assert B[i, j] == pytest.approx(expected)
+        assert np.all(B[0, :] == 0)
+
+    def test_gemm_extra_workload(self):
+        from repro.workloads import make_gemm
+
+        n = 12
+        w = make_gemm(n=n, wg=(4, 4))
+        args = w.full_args(rng=8)
+        C0 = args["C"].copy()
+        execute_kernel(w.source, args, w.ndrange())
+        expected = (
+            2.5 * C0.reshape(n, n)
+            + 1.5 * args["A"].reshape(n, n) @ args["B"].reshape(n, n)
+        )
+        assert np.allclose(args["C"].reshape(n, n), expected)
+
+    def test_syr2k(self):
+        n = 8
+        w = make_syr2k(n=n, wg=(4, 4))
+        fresh = w.full_args(rng=2)
+        A = fresh["A"].reshape(n, n)
+        B = fresh["B"].reshape(n, n)
+        C0 = fresh["C"].reshape(n, n).copy()
+        args = run(make_syr2k(n=n, wg=(4, 4)), rng=2)
+        expected = 2.5 * C0 + 1.5 * A @ B.T + 1.5 * B @ A.T
+        assert np.allclose(args["C"].reshape(n, n), expected)
+
+    def test_fdtd_steps(self):
+        w1 = make_fdtd1(n=1, wg=(4, 4))
+        grid = int(w1.scalar_args["nx"])
+        args = w1.full_args(rng=3)
+        ey0 = args["ey"].copy()
+        hz0 = args["hz"].copy()
+        execute_kernel(w1.source, args, w1.ndrange())
+        ny = grid
+        # row 0 takes the source value; inner rows take the update
+        assert np.allclose(args["ey"][:ny], args["_fict_"][0])
+        i, j = 2, 3
+        expected = ey0[i * ny + j] - 0.5 * (hz0[i * ny + j] - hz0[(i - 1) * ny + j])
+        assert args["ey"][i * ny + j] == pytest.approx(expected)
+
+        w2 = make_fdtd2(n=1, wg=(4, 4))
+        args2 = w2.full_args(rng=3)
+        ex0 = args2["ex"].copy()
+        hz2 = args2["hz"].copy()
+        execute_kernel(w2.source, args2, w2.ndrange())
+        expected = ex0[i * (ny + 1) + j] - 0.5 * (hz2[i * ny + j] - hz2[i * ny + j - 1])
+        assert args2["ex"][i * (ny + 1) + j] == pytest.approx(expected)
+
+        w3 = make_fdtd3(n=1, wg=(4, 4))
+        args3 = w3.full_args(rng=3)
+        hz3 = args3["hz"].copy()
+        execute_kernel(w3.source, args3, w3.ndrange())
+        expected = hz3[i * ny + j] - 0.7 * (
+            args3["ex"][i * (ny + 1) + j + 1] - args3["ex"][i * (ny + 1) + j]
+            + args3["ey"][(i + 1) * ny + j] - args3["ey"][i * ny + j]
+        )
+        assert args3["hz"][i * ny + j] == pytest.approx(expected)
+
+    def test_spmv(self):
+        w = make_spmv(n=32, wg=8, nnz_per_row=4)
+        args = run(w, rng=4)
+        assert np.allclose(args["y"][:32], spmv_reference(args))
+
+    def test_pagerank_step(self):
+        w = make_pagerank(n=32, wg=8, avg_in_degree=4)
+        args = run(w, rng=5)
+        assert np.allclose(args["new_rank"][:32], pagerank_reference(args))
+
+    def test_pagerank_converges_under_iteration(self):
+        w = make_pagerank(n=24, wg=8, avg_in_degree=4)
+        args = w.full_args(rng=6)
+        for _ in range(40):
+            execute_kernel(w.source, args, w.ndrange())
+            args["rank"], args["new_rank"] = args["new_rank"], args["rank"]
+        assert args["rank"][:24].sum() == pytest.approx(1.0, abs=0.15)
+        delta = np.abs(args["rank"][:24] - args["new_rank"][:24]).max()
+        assert delta < 1e-4
+
+
+class TestCsrGenerator:
+    def test_rowptr_monotone(self):
+        rowptr, colidx, vals = make_csr_matrix(50, 50, 5, np.random.default_rng(0))
+        assert np.all(np.diff(rowptr) >= 1)
+        assert rowptr[0] == 0 and rowptr[-1] == len(colidx) == len(vals)
+
+    def test_column_indices_in_range_and_unique_per_row(self):
+        rowptr, colidx, _ = make_csr_matrix(30, 20, 6, np.random.default_rng(1))
+        assert colidx.min() >= 0 and colidx.max() < 20
+        for row in range(30):
+            cols = colidx[rowptr[row]:rowptr[row + 1]]
+            assert len(np.unique(cols)) == len(cols)
+
+    def test_irregular_row_population(self):
+        rowptr, _, _ = make_csr_matrix(200, 200, 10, np.random.default_rng(2))
+        counts = np.diff(rowptr)
+        assert counts.min() < counts.max()

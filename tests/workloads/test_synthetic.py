@@ -1,0 +1,121 @@
+"""Unit tests for the Table-2 synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AccessClass, extract_static_features
+from repro.interp import execute_kernel
+from repro.workloads import (
+    SyntheticSpec,
+    make_synthetic,
+    reference_result,
+    training_specs,
+    training_workloads,
+)
+from repro.workloads.synthetic import generate_source
+
+
+class TestSpec:
+    def test_pattern_name_round_trip(self):
+        for name in ("1mat3d", "2mat3d1R1T", "2mat3d1C1R1T", "1mat4d1T"):
+            spec = SyntheticSpec.from_pattern(name)
+            assert spec.pattern_name == name or set(name) == set(spec.pattern_name)
+
+    def test_from_pattern_parses_counts(self):
+        spec = SyntheticSpec.from_pattern("2mat3d1C1R")
+        assert spec.alpha == 2 and spec.beta == 3
+        assert spec.theta == 1 and spec.epsilon == 1 and spec.delta == 0
+
+    def test_malformed_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec.from_pattern("3vec2d")
+
+    def test_overflowing_modifiers_extend_addends(self):
+        spec = SyntheticSpec.from_pattern("1mat3d1C1R")
+        assert spec.n_addends == 2
+        assert spec.n_plain == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(alpha=0, beta=3)
+        with pytest.raises(ValueError):
+            SyntheticSpec(alpha=1, beta=2)
+        with pytest.raises(ValueError):
+            SyntheticSpec(alpha=1, beta=3, dim=3)
+        with pytest.raises(ValueError):
+            SyntheticSpec(alpha=1, beta=3, dtype="double")
+
+
+class TestEnumeration:
+    def test_table4_yields_1224_workloads(self):
+        assert len(training_workloads()) == 1224
+
+    def test_204_distinct_kernels(self):
+        assert len(training_specs()) == 17 * 2 * 2 * 3
+
+    def test_workload_keys_unique(self):
+        keys = [w.key for w in training_workloads()]
+        assert len(set(keys)) == len(keys)
+
+    def test_every_kernel_parses_and_profiles(self):
+        # one representative per pattern suffices for speed
+        for spec in training_specs()[::12]:
+            workload = make_synthetic(spec, size=256, wg_items=64)
+            profile = workload.profile()
+            assert profile.mem_ops_per_item > 0
+
+
+class TestGeneratedSemantics:
+    def test_access_classes_match_modifiers(self):
+        spec = SyntheticSpec(alpha=4, beta=3, delta=1, epsilon=1, theta=1, dim=1)
+        features = extract_static_features(
+            make_synthetic(spec, size=64, wg_items=8, extent=4).kernel_info()
+        )
+        assert features.mem_random >= 1   # the indirect D[IDX[idx]] access
+        assert features.mem_constant >= 1  # the E[cidx] access
+        assert features.mem_stride >= 1    # the transposed B[idxT] access
+
+    def test_gamma_adds_arithmetic(self):
+        base = SyntheticSpec(alpha=2, beta=3, gamma=0)
+        heavy = SyntheticSpec(alpha=2, beta=3, gamma=4)
+        f0 = extract_static_features(make_synthetic(base, 64, 8, 4).kernel_info())
+        f4 = extract_static_features(make_synthetic(heavy, 64, 8, 4).kernel_info())
+        assert f4.arith_float > f0.arith_float
+
+    def test_int_dtype_shifts_arithmetic(self):
+        spec = SyntheticSpec(alpha=2, beta=3, gamma=2, dtype="int")
+        features = extract_static_features(make_synthetic(spec, 64, 8, 4).kernel_info())
+        assert features.arith_float == 0
+
+    @pytest.mark.parametrize(
+        "pattern", ["1mat3d", "2mat3d", "2mat3d1T", "2mat3d1R", "2mat3d1C", "1mat4d"]
+    )
+    def test_functional_result_matches_reference(self, pattern):
+        spec = SyntheticSpec.from_pattern(pattern, gamma=2)
+        workload = make_synthetic(spec, size=16, wg_items=8, extent=4)
+        args = workload.full_args(rng=5)
+        expected = reference_result(workload, spec, args)
+        execute_kernel(workload.source, args, workload.ndrange())
+        assert np.allclose(args["C"], expected)
+
+    def test_dim2_functional_result(self):
+        spec = SyntheticSpec.from_pattern("2mat3d1T", dim=2)
+        workload = make_synthetic(spec, size=8, wg_items=64, extent=8)
+        args = workload.full_args(rng=6)
+        expected = reference_result(workload, spec, args)
+        execute_kernel(workload.source, args, workload.ndrange())
+        assert np.allclose(args["C"], expected)
+
+    def test_4d_functional_result(self):
+        spec = SyntheticSpec.from_pattern("1mat4d1T")
+        workload = make_synthetic(spec, size=8, wg_items=4, extent=3)
+        args = workload.full_args(rng=7)
+        expected = reference_result(workload, spec, args)
+        execute_kernel(workload.source, args, workload.ndrange())
+        assert np.allclose(args["C"], expected)
+
+    def test_source_mentions_pattern_pieces(self):
+        spec = SyntheticSpec(alpha=2, beta=3, gamma=2, delta=1)
+        source = generate_source(spec)
+        assert "idxT" in source
+        assert "c1 * c2 *" in source
