@@ -14,6 +14,8 @@ Environment knobs
 ``DOPIA_BENCH_SUBSAMPLE``
     Keep every k-th synthetic workload in the model-comparison benches
     (default 2).  1 reproduces the full set.
+``DOPIA_JOBS``
+    Worker processes for cold dataset collection (default: cpu count).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core import collect_dataset
+from repro.core.collect import default_jobs
 from repro.ml import make_model
 from repro.ml.crossval import grouped_kfold_indices
 from repro.sim import KAVERI, SKYLAKE
@@ -31,6 +34,7 @@ from repro.workloads import real_workloads, training_workloads
 
 FOLDS = int(os.environ.get("DOPIA_BENCH_FOLDS", "8"))
 SUBSAMPLE = int(os.environ.get("DOPIA_BENCH_SUBSAMPLE", "2"))
+JOBS = default_jobs()
 
 PLATFORMS = (KAVERI, SKYLAKE)
 
@@ -47,13 +51,13 @@ def platform(request):
 @pytest.fixture(scope="session")
 def synthetic_dataset(platform):
     """The full Table-4 synthetic dataset (1,224 x 44) for one platform."""
-    return collect_dataset(training_workloads(), platform, cache=True)
+    return collect_dataset(training_workloads(), platform, cache=True, jobs=JOBS)
 
 
 @pytest.fixture(scope="session")
 def real_dataset(platform):
     """The 14 real-world workloads measured at all 44 configurations."""
-    return collect_dataset(real_workloads(), platform, cache=True)
+    return collect_dataset(real_workloads(), platform, cache=True, jobs=JOBS)
 
 
 @pytest.fixture(scope="session")

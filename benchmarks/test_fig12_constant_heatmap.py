@@ -7,7 +7,6 @@ per-kernel selection (94 % / 92 %) cannot be replaced by any single
 configuration.  The heat map's mass sits at full CPU + small GPU fraction.
 """
 
-import numpy as np
 
 from repro.core import best_constant_allocation, config_space
 

@@ -15,7 +15,7 @@ training data; synthetic part strided by ``DOPIA_BENCH_SUBSAMPLE``.
 import numpy as np
 import pytest
 
-from repro.core import baseline_indices, evaluate_scheme
+from repro.core import baseline_indices
 from repro.ml import make_model
 
 from conftest import SUBSAMPLE, print_table

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..frontend import ast
 from ..frontend.parser import parse_kernel
 from ..frontend.semantics import KernelInfo, analyze_kernel
 from .accessclass import AccessClass

@@ -16,7 +16,7 @@ from typing import Optional
 
 from ..interp.ndrange import NDRange
 from .context import Context
-from .device import Device, DeviceType, get_platform, get_platforms
+from .device import Device, DeviceType, get_platform
 from .program import Kernel, Program
 from .queue import CommandQueue, Event
 

@@ -22,6 +22,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -31,10 +32,18 @@ import numpy as np
 from .analysis import extract_static_features, profile_kernel
 from .analysis.scan import scan_kernel
 from .core import DopPredictor, collect_dataset, config_space, measure_workload
+from .core.collect import (
+    cache_contents,
+    clear_cache,
+    collect_dataset_with_stats,
+    default_jobs,
+)
+from .core.training import _workloads_fingerprint, default_cache_dir
 from .frontend import FrontendError, analyze_kernel, parse_kernel
 from .ml import MODEL_FAMILIES, make_model, tree_to_c
 from .sim import get_platform
 from .transform import make_cpu_kernel, make_malleable
+from .workloads import real_workloads
 from .workloads.registry import Workload
 from .workloads.synthetic import training_workloads
 
@@ -117,11 +126,23 @@ def cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(every: int = 100):
+    def report(done: int, total: int, key: str) -> None:
+        if done == total or done % every == 0:
+            print(f"  collected {done}/{total} workloads ({key})", file=sys.stderr)
+    return report
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     platform = get_platform(args.platform)
+    jobs = args.jobs or default_jobs()
     print(f"collecting Table-4 training data on {platform.name} "
-          "(cached after the first run) ...", file=sys.stderr)
-    dataset = collect_dataset(training_workloads(), platform, cache=not args.no_cache)
+          f"with {jobs} worker(s) (cached after the first run) ...", file=sys.stderr)
+    dataset, stats = collect_dataset_with_stats(
+        training_workloads(), platform,
+        cache=not args.no_cache, jobs=jobs, progress=_progress_printer(),
+    )
+    print(f"  {stats.summary()}", file=sys.stderr)
     model = make_model(args.model)
     model.fit(dataset.feature_matrix(), dataset.targets())
     print(f"trained {args.model} on {dataset.n_workloads} x {dataset.n_configs} points")
@@ -150,7 +171,10 @@ def _predictor(args: argparse.Namespace) -> DopPredictor:
                 f"model was trained for {payload['platform']}, not {platform.name}"
             )
         return DopPredictor(payload["model"], platform)
-    dataset = collect_dataset(training_workloads(), platform, cache=True)
+    dataset = collect_dataset(
+        training_workloads(), platform, cache=True,
+        jobs=getattr(args, "jobs", None) or default_jobs(),
+    )
     model = make_model(args.model)
     model.fit(dataset.feature_matrix(), dataset.targets())
     return DopPredictor(model, platform)
@@ -175,6 +199,29 @@ def cmd_predict(args: argparse.Namespace) -> int:
             marker = " <-- selected" if config is prediction.config else ""
             print(f"  cpu={config.cpu_util:4.2f} gpu={config.gpu_util:5.3f} "
                   f"-> {score:6.3f}{marker}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else default_cache_dir()
+    if args.cache_command == "key":
+        platform = get_platform(args.platform)
+        workloads = real_workloads() if args.real else training_workloads()
+        print(f"{platform.name}-{_workloads_fingerprint(workloads, platform)}")
+        return 0
+    if args.cache_command == "clear":
+        removed = clear_cache(directory)
+        print(f"removed {removed} cache file(s) from {directory}")
+        return 0
+    # info (default)
+    contents = cache_contents(directory)
+    print(f"cache dir : {directory}")
+    print(f"manifests : {len(contents['manifests'])}")
+    print(f"shards    : {len(contents['shards'])}")
+    print(f"legacy npz: {len(contents['legacy'])}")
+    print(f"size      : {contents['bytes'] / 1e6:.2f} MB")
+    for manifest in contents["manifests"]:
+        print(f"  {manifest.name}")
     return 0
 
 
@@ -267,6 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="save the trained model (pickle)")
     p.add_argument("--emit-c", help="emit the decision tree as C code")
     p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for dataset collection "
+                        "(default: DOPIA_JOBS or cpu count)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("predict", help="select the best DoP for a launch")
@@ -275,7 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
     p.add_argument("--model-file", help="use a model saved by `train --output`")
     p.add_argument("--verbose", action="store_true")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes if training data must be collected")
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("cache", help="inspect or manage the dataset cache")
+    cache_sub = p.add_subparsers(dest="cache_command")
+    pi = cache_sub.add_parser("info", help="show cache location and contents")
+    pi.add_argument("--dir", help="cache directory (default: DOPIA_CACHE_DIR)")
+    pk = cache_sub.add_parser("key", help="print the dataset fingerprint "
+                                          "(used as the CI cache key)")
+    pk.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    pk.add_argument("--real", action="store_true",
+                    help="fingerprint the 14 real-world workloads instead")
+    pk.add_argument("--dir", help=argparse.SUPPRESS)
+    pc = cache_sub.add_parser("clear", help="delete all cached shards/manifests")
+    pc.add_argument("--dir", help="cache directory (default: DOPIA_CACHE_DIR)")
+    p.set_defaults(func=cmd_cache, cache_command="info", dir=None)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures as SVG")
     p.add_argument("--out", default="figures", help="output directory")
@@ -293,7 +359,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped to a consumer that exited early (e.g. `| head`);
+        # silence the interpreter's stderr complaint about the lost stdout.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

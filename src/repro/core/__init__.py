@@ -1,5 +1,13 @@
 """Dopia core: DoP selection, training, runtime management, baselines."""
 
+from .collect import (
+    CollectionStats,
+    DatasetCacheError,
+    WorkloadSpec,
+    clear_cache,
+    collect_dataset_with_stats,
+    default_jobs,
+)
 from .baselines import (
     BASELINE_UTILS,
     STATIC_SHARES,
@@ -38,5 +46,6 @@ __all__ = [
     "evaluate_scheme", "DopPredictor", "Prediction", "DopiaRuntime",
     "KernelArtifacts", "AtomicWorklist", "ScheduleTrace", "run_dynamic",
     "run_dynamic_pull", "run_static", "DopDataset", "collect_dataset", "default_cache_dir",
-    "measure_workload",
+    "measure_workload", "CollectionStats", "DatasetCacheError", "WorkloadSpec",
+    "clear_cache", "collect_dataset_with_stats", "default_jobs",
 ]

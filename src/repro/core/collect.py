@@ -1,0 +1,548 @@
+"""Parallel, fault-tolerant dataset collection with sharded caching.
+
+The Table-4 corpus — (1,224 synthetic + 14 real) workloads x 44 DoP
+configurations — is embarrassingly parallel: every workload's sweep is an
+independent pure function of (kernel, launch geometry, platform).  This
+module fans the per-workload measurements out over a
+``concurrent.futures.ProcessPoolExecutor`` and replaces the old monolithic
+``.npz`` cache with a content-addressed shard store:
+
+``<cache_dir>/shards/<platform>/<shard-hash>.npz``
+    One workload's measurements (static features, runtime features, and the
+    44 simulated times).  The hash covers the kernel source, launch
+    geometry, scalar arguments, the full platform description, the noise
+    level, and a schema version — a stale or foreign shard can never be
+    mistaken for a current one.
+
+``<cache_dir>/dataset-<platform>-<fingerprint>.manifest.json``
+    The dataset-level index: the ordered workload keys, their shard hashes,
+    and collection statistics.  Purely informational — shard reads are
+    self-validating — so a corrupt manifest is discarded and rewritten.
+
+Robustness guarantees:
+
+* every write is **atomic** — data goes to a temp file in the destination
+  directory first, then ``os.replace`` — so a crash mid-write can never
+  leave a partial shard behind;
+* every read is **corruption-safe** — ``BadZipFile``, truncation, missing
+  keys, and shape/value mismatches are logged, the bad file is discarded,
+  and only the affected shards are re-collected;
+* collection is **resumable** — shards are written as results arrive, so an
+  interrupted run resumes from the shards already on disk.
+
+Legacy monolithic ``dataset-<platform>-<fingerprint>.npz`` files (the
+pre-shard cache format) are still honoured on read when intact, and treated
+as a cache miss (removed, re-collected) when corrupt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+from zipfile import BadZipFile
+
+import numpy as np
+
+from ..sim.platforms import Platform
+from ..workloads.registry import Workload
+
+log = logging.getLogger("repro.collect")
+
+#: Bump when the shard file layout or its semantic content changes.
+SHARD_SCHEMA_VERSION = 1
+
+#: Exceptions that mean "this cache file is unreadable", not "bug".
+CACHE_READ_ERRORS = (OSError, BadZipFile, EOFError, KeyError, ValueError)
+
+#: Progress callback: (done, total, workload_key).
+ProgressFn = Callable[[int, int, str], None]
+
+
+class DatasetCacheError(RuntimeError):
+    """A dataset cache file exists but cannot be read back."""
+
+    def __init__(self, path: Path, cause: BaseException):
+        super().__init__(f"unreadable dataset cache {path}: {cause!r}")
+        self.path = Path(path)
+        self.cause = cause
+
+
+def default_jobs() -> int:
+    """Worker-count default: ``DOPIA_JOBS`` env override, else cpu_count."""
+    env = os.environ.get("DOPIA_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Pickle-safe workload description
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The measurement-relevant, pickle-safe subset of a :class:`Workload`.
+
+    ``Workload`` itself carries a ``buffer_builder`` closure and therefore
+    cannot cross a process boundary; measurement only needs the kernel text
+    and launch geometry, which this spec captures exactly.
+    """
+
+    key: str
+    source: str
+    kernel_name: str
+    global_size: tuple[int, ...]
+    local_size: tuple[int, ...]
+    scalar_args: tuple[tuple[str, float], ...]
+    irregular_trip_hint: Optional[float]
+
+    @staticmethod
+    def from_workload(workload: Workload) -> "WorkloadSpec":
+        return WorkloadSpec(
+            key=workload.key,
+            source=workload.source,
+            kernel_name=workload.kernel_name,
+            global_size=tuple(workload.global_size),
+            local_size=tuple(workload.local_size),
+            scalar_args=tuple(sorted(workload.scalar_args.items())),
+            irregular_trip_hint=workload.irregular_trip_hint,
+        )
+
+    def to_workload(self) -> Workload:
+        return Workload(
+            key=self.key,
+            source=self.source,
+            kernel_name=self.kernel_name,
+            global_size=self.global_size,
+            local_size=self.local_size,
+            scalar_args=dict(self.scalar_args),
+            irregular_trip_hint=self.irregular_trip_hint,
+        )
+
+
+def shard_fingerprint(
+    spec: WorkloadSpec, platform: Platform, sigma: float | None = None
+) -> str:
+    """Content address of one workload's shard on one platform."""
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in (
+        SHARD_SCHEMA_VERSION,
+        platform.name,
+        repr(platform),
+        spec.key,
+        spec.kernel_name,
+        spec.source,
+        spec.global_size,
+        spec.local_size,
+        spec.scalar_args,
+        spec.irregular_trip_hint,
+        sigma,
+    ):
+        hasher.update(repr(part).encode())
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Collection statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CollectionStats:
+    """Instrumentation of one :func:`collect_dataset_with_stats` call."""
+
+    platform: str = ""
+    n_workloads: int = 0
+    n_configs: int = 0
+    jobs: int = 1
+    shard_hits: int = 0
+    shard_misses: int = 0
+    shards_corrupt: int = 0       #: unreadable shards discarded and redone
+    legacy_hit: bool = False      #: served from a pre-shard monolithic file
+    read_seconds: float = 0.0     #: cache probe + shard load phase
+    collect_seconds: float = 0.0  #: simulation (the parallel phase)
+    write_seconds: float = 0.0    #: shard + manifest persistence
+    total_seconds: float = 0.0
+
+    def summary(self) -> str:
+        source = "legacy cache" if self.legacy_hit else (
+            f"{self.shard_hits} shard hits, {self.shard_misses} collected"
+            + (f" ({self.shards_corrupt} corrupt discarded)" if self.shards_corrupt else "")
+        )
+        return (
+            f"{self.platform}: {self.n_workloads} workloads x {self.n_configs} configs"
+            f" | {source} | jobs={self.jobs}"
+            f" | read {self.read_seconds:.2f}s, collect {self.collect_seconds:.2f}s,"
+            f" write {self.write_seconds:.2f}s, total {self.total_seconds:.2f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Atomic, corruption-safe shard I/O
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write_npz(path: Path, arrays: dict) -> None:
+    """Write an ``.npz`` so that ``path`` is either absent or complete."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".npz")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _discard(path: Path, reason: str) -> None:
+    log.warning("discarding unusable cache file %s (%s)", path, reason)
+    try:
+        path.unlink(missing_ok=True)
+    except OSError:  # pragma: no cover - unlink raced or read-only cache
+        pass
+
+
+def _write_shard(
+    path: Path,
+    key: str,
+    static: np.ndarray,
+    runtime: np.ndarray,
+    times: np.ndarray,
+) -> None:
+    _atomic_write_npz(
+        path,
+        {
+            "schema": np.int64(SHARD_SCHEMA_VERSION),
+            "key": np.array(key),
+            "static": static,
+            "runtime": runtime,
+            "times": times,
+        },
+    )
+
+
+def _read_shard(
+    path: Path, key: str, n_configs: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Load one shard; ``None`` (never an exception) when missing or bad."""
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if int(data["schema"]) != SHARD_SCHEMA_VERSION:
+                _discard(path, f"schema {int(data['schema'])}")
+                return None
+            if str(data["key"]) != key:
+                _discard(path, f"key mismatch: {data['key']!r}")
+                return None
+            static = np.asarray(data["static"], dtype=np.float64)
+            runtime = np.asarray(data["runtime"], dtype=np.float64)
+            times = np.asarray(data["times"], dtype=np.float64)
+    except CACHE_READ_ERRORS as error:
+        _discard(path, repr(error))
+        return None
+    if static.shape != (6,) or runtime.shape != (3,) or times.shape != (n_configs,):
+        _discard(path, f"shapes {static.shape}/{runtime.shape}/{times.shape}")
+        return None
+    if not (np.isfinite(times).all() and (times > 0).all()):
+        _discard(path, "non-finite or non-positive times")
+        return None
+    return static, runtime, times
+
+
+# ---------------------------------------------------------------------------
+# Manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Manifest:
+    """Dataset-level index of the shard store (informational)."""
+
+    version: int
+    platform: str
+    fingerprint: str
+    n_configs: int
+    entries: list[dict]  #: [{"key": ..., "shard": <hash>}] in dataset order
+    stats: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=1)
+
+
+def read_manifest(path: Path) -> Manifest | None:
+    """Parse a manifest; ``None`` (and discard) when missing or corrupt."""
+    if not path.exists():
+        return None
+    try:
+        raw = json.loads(path.read_text())
+        manifest = Manifest(
+            version=int(raw["version"]),
+            platform=str(raw["platform"]),
+            fingerprint=str(raw["fingerprint"]),
+            n_configs=int(raw["n_configs"]),
+            entries=[
+                {"key": str(e["key"]), "shard": str(e["shard"])} for e in raw["entries"]
+            ],
+            stats=dict(raw.get("stats", {})),
+        )
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+        _discard(path, repr(error))
+        return None
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# The measurement worker (top-level: must be picklable for process pools)
+# ---------------------------------------------------------------------------
+
+
+def _collect_worker(
+    task: tuple[int, WorkloadSpec, Platform, float | None],
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Measure one workload: static features, runtime features, 44 times.
+
+    Pure function of its arguments (the simulator's noise is seeded by the
+    workload key), so parallel and serial collection agree bit-for-bit.
+    """
+    from ..analysis.features import extract_static_features
+    from .training import measure_workload
+
+    index, spec, platform, sigma = task
+    workload = spec.to_workload()
+    features = extract_static_features(workload.kernel_info())
+    static = np.array(features.as_tuple(), dtype=np.float64)
+    runtime = np.array(
+        [workload.work_dim, workload.total_work_items, workload.work_group_items],
+        dtype=np.float64,
+    )
+    times = measure_workload(workload, platform, sigma=sigma)
+    return index, static, runtime, times
+
+
+# ---------------------------------------------------------------------------
+# The pipeline
+# ---------------------------------------------------------------------------
+
+
+def shard_store_dir(cache_dir: Path, platform_name: str) -> Path:
+    return Path(cache_dir) / "shards" / platform_name
+
+
+def manifest_path(cache_dir: Path, platform_name: str, fingerprint: str) -> Path:
+    return Path(cache_dir) / f"dataset-{platform_name}-{fingerprint}.manifest.json"
+
+
+def legacy_dataset_path(cache_dir: Path, platform_name: str, fingerprint: str) -> Path:
+    return Path(cache_dir) / f"dataset-{platform_name}-{fingerprint}.npz"
+
+
+def collect_dataset_with_stats(
+    workloads: Sequence[Workload],
+    platform: Platform,
+    *,
+    cache: bool = True,
+    cache_dir: Path | None = None,
+    jobs: int | None = None,
+    sigma: float | None = None,
+    progress: ProgressFn | None = None,
+):
+    """Build (or load) the dataset for ``workloads``; return it with stats.
+
+    ``jobs`` is the worker-process count: ``None`` or 1 collects serially
+    in-process; larger values fan the cache misses out over a process pool.
+    The result is bit-identical for every ``jobs`` value.
+    """
+    # Imported here (not at module top) so ``training`` can re-export this
+    # pipeline without an import cycle.
+    from .dopconfig import config_space, config_utils_matrix
+    from .training import DopDataset, _workloads_fingerprint, default_cache_dir
+
+    t_start = time.perf_counter()
+    jobs = max(1, jobs if jobs is not None else 1)
+    configs = config_space(platform)
+    n, n_configs = len(workloads), len(configs)
+    stats = CollectionStats(
+        platform=platform.name, n_workloads=n, n_configs=n_configs, jobs=jobs
+    )
+    directory = Path(cache_dir or default_cache_dir())
+    fingerprint = _workloads_fingerprint(workloads, platform)
+
+    # -- legacy monolithic cache (pre-shard format) ------------------------
+    if cache:
+        legacy = legacy_dataset_path(directory, platform.name, fingerprint)
+        if legacy.exists():
+            dataset = DopDataset.try_load(legacy)
+            if dataset is not None and dataset.n_workloads == n:
+                stats.legacy_hit = True
+                stats.shard_hits = n
+                stats.read_seconds = stats.total_seconds = time.perf_counter() - t_start
+                return dataset, stats
+            _discard(legacy, "corrupt or stale legacy dataset")
+
+    specs = [WorkloadSpec.from_workload(w) for w in workloads]
+    hashes = [shard_fingerprint(spec, platform, sigma) for spec in specs]
+    store = shard_store_dir(directory, platform.name)
+
+    static = np.empty((n, 6), dtype=np.float64)
+    runtime = np.empty((n, 3), dtype=np.float64)
+    times = np.empty((n, n_configs), dtype=np.float64)
+
+    # -- phase 1: probe the shard store ------------------------------------
+    t_read = time.perf_counter()
+    missing: list[int] = []
+    if cache:
+        for index, (spec, digest) in enumerate(zip(specs, hashes)):
+            shard_file = store / f"{digest}.npz"
+            existed = shard_file.exists()
+            shard = _read_shard(shard_file, spec.key, n_configs)
+            if shard is None:
+                if existed:
+                    stats.shards_corrupt += 1
+                missing.append(index)
+                continue
+            static[index], runtime[index], times[index] = shard
+            stats.shard_hits += 1
+    else:
+        missing = list(range(n))
+    stats.shard_misses = len(missing)
+    stats.read_seconds = time.perf_counter() - t_read
+
+    # -- phase 2: measure the misses (the parallel phase) ------------------
+    t_collect = time.perf_counter()
+    write_seconds = 0.0
+
+    def store_result(
+        done: int, result: tuple[int, np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        nonlocal write_seconds
+        index, shard_static, shard_runtime, shard_times = result
+        static[index], runtime[index], times[index] = (
+            shard_static, shard_runtime, shard_times,
+        )
+        if cache:
+            t_write = time.perf_counter()
+            _write_shard(
+                store / f"{hashes[index]}.npz",
+                specs[index].key, shard_static, shard_runtime, shard_times,
+            )
+            write_seconds += time.perf_counter() - t_write
+        if progress is not None:
+            progress(done, len(missing), specs[index].key)
+
+    tasks = [(index, specs[index], platform, sigma) for index in missing]
+    if len(tasks) > 1 and jobs > 1:
+        workers = min(jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 8))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for done, result in enumerate(
+                pool.map(_collect_worker, tasks, chunksize=chunksize), start=1
+            ):
+                store_result(done, result)
+    else:
+        for done, task in enumerate(tasks, start=1):
+            store_result(done, _collect_worker(task))
+    stats.collect_seconds = time.perf_counter() - t_collect - write_seconds
+
+    dataset = DopDataset(
+        platform_name=platform.name,
+        workload_keys=[spec.key for spec in specs],
+        static_features=static,
+        runtime_features=runtime,
+        times=times,
+        config_utils=config_utils_matrix(configs),
+    )
+
+    # -- phase 3: publish the manifest -------------------------------------
+    if cache:
+        t_write = time.perf_counter()
+        manifest = Manifest(
+            version=SHARD_SCHEMA_VERSION,
+            platform=platform.name,
+            fingerprint=fingerprint,
+            n_configs=n_configs,
+            entries=[
+                {"key": spec.key, "shard": digest}
+                for spec, digest in zip(specs, hashes)
+            ],
+            stats={
+                "shard_hits": stats.shard_hits,
+                "shard_misses": stats.shard_misses,
+                "shards_corrupt": stats.shards_corrupt,
+                "jobs": stats.jobs,
+            },
+        )
+        _atomic_write_text(
+            manifest_path(directory, platform.name, fingerprint), manifest.to_json()
+        )
+        write_seconds += time.perf_counter() - t_write
+    stats.write_seconds = write_seconds
+    stats.total_seconds = time.perf_counter() - t_start
+    if stats.shards_corrupt:
+        log.warning(
+            "%s: re-collected %d corrupt shard(s)", platform.name, stats.shards_corrupt
+        )
+    return dataset, stats
+
+
+# ---------------------------------------------------------------------------
+# Cache maintenance helpers (used by ``dopia cache``)
+# ---------------------------------------------------------------------------
+
+
+def cache_contents(cache_dir: Path) -> dict:
+    """Inventory of a cache directory: manifests, shards, bytes on disk."""
+    directory = Path(cache_dir)
+    manifests = sorted(directory.glob("dataset-*.manifest.json"))
+    legacy = sorted(directory.glob("dataset-*.npz"))
+    shards = sorted(directory.glob("shards/*/*.npz"))
+    return {
+        "dir": directory,
+        "manifests": manifests,
+        "legacy": legacy,
+        "shards": shards,
+        "bytes": sum(p.stat().st_size for p in manifests + legacy + shards if p.exists()),
+    }
+
+
+def clear_cache(cache_dir: Path) -> int:
+    """Delete every cache artefact under ``cache_dir``; return files removed."""
+    contents = cache_contents(cache_dir)
+    removed = 0
+    for path in contents["manifests"] + contents["legacy"] + contents["shards"]:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - raced deletion
+            pass
+    store_root = Path(cache_dir) / "shards"
+    if store_root.exists():
+        for sub in sorted(store_root.glob("*")):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        if not any(store_root.iterdir()):
+            store_root.rmdir()
+    return removed

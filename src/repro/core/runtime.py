@@ -80,11 +80,13 @@ class DopiaRuntime(Interposer):
         platform: Platform,
         model_name: str = "dt",
         cache: bool = True,
+        jobs: int | None = None,
         **model_kwargs,
     ) -> "DopiaRuntime":
         """Train (or load the cached dataset for) the Table-4 synthetic
-        workloads and return a ready runtime — the paper's offline phase."""
-        dataset = collect_dataset(training_workloads(), platform, cache=cache)
+        workloads and return a ready runtime — the paper's offline phase.
+        ``jobs`` sets the worker-process count for cold collection."""
+        dataset = collect_dataset(training_workloads(), platform, cache=cache, jobs=jobs)
         model = make_model(model_name, **model_kwargs)
         model.fit(dataset.feature_matrix(), dataset.targets())
         return DopiaRuntime(platform, model)

@@ -9,7 +9,12 @@ kernels of very different absolute runtimes.
 
 Collecting the full (1,224 + 14) × 44 = 54,472-point dataset takes the
 paper "a few hours" on hardware and a few tens of seconds here, so results
-are cached on disk (``DOPIA_CACHE_DIR`` overrides the location).
+are cached on disk (``DOPIA_CACHE_DIR`` overrides the location).  The cache
+is a content-addressed shard store — one ``.npz`` per (workload, platform)
+plus a dataset manifest — managed by :mod:`repro.core.collect`, which also
+parallelises cold collection over a process pool (``jobs``).  Unreadable or
+truncated cache files are never fatal: they are treated as cache misses and
+only the affected shards are re-collected.
 """
 
 from __future__ import annotations
@@ -22,11 +27,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..analysis.features import StaticFeatures, extract_static_features
 from ..sim.engine import simulate_execution
 from ..sim.platforms import Platform
 from ..workloads.registry import Workload
-from .dopconfig import DopConfig, config_space, config_utils_matrix
+from .dopconfig import DopConfig, config_space
 
 
 def default_cache_dir() -> Path:
@@ -106,15 +110,47 @@ class DopDataset:
 
     @staticmethod
     def load(path: Path) -> "DopDataset":
-        data = np.load(path, allow_pickle=False)
-        return DopDataset(
-            platform_name=str(data["platform_name"]),
-            workload_keys=[str(k) for k in data["workload_keys"]],
-            static_features=data["static_features"],
-            runtime_features=data["runtime_features"],
-            times=data["times"],
-            config_utils=data["config_utils"],
-        )
+        """Load a dataset saved by :meth:`save`.
+
+        Raises :class:`repro.core.collect.DatasetCacheError` — never a bare
+        ``zipfile.BadZipFile`` — when the file is missing, truncated, or
+        otherwise unreadable, so callers can treat corruption as a cache
+        miss.  Use :meth:`try_load` for the non-raising variant.
+        """
+        from .collect import CACHE_READ_ERRORS, DatasetCacheError
+
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                dataset = DopDataset(
+                    platform_name=str(data["platform_name"]),
+                    workload_keys=[str(k) for k in data["workload_keys"]],
+                    static_features=np.asarray(data["static_features"], dtype=np.float64),
+                    runtime_features=np.asarray(data["runtime_features"], dtype=np.float64),
+                    times=np.asarray(data["times"], dtype=np.float64),
+                    config_utils=np.asarray(data["config_utils"], dtype=np.float64),
+                )
+        except CACHE_READ_ERRORS as error:
+            raise DatasetCacheError(path, error) from error
+        n = dataset.n_workloads
+        if (
+            dataset.static_features.shape != (n, 6)
+            or dataset.runtime_features.shape != (n, 3)
+            or dataset.times.ndim != 2
+            or dataset.times.shape[0] != n
+            or dataset.config_utils.shape != (dataset.times.shape[1], 2)
+        ):
+            raise DatasetCacheError(path, ValueError("inconsistent array shapes"))
+        return dataset
+
+    @staticmethod
+    def try_load(path: Path) -> "DopDataset | None":
+        """:meth:`load`, but ``None`` instead of raising on a bad file."""
+        from .collect import DatasetCacheError
+
+        try:
+            return DopDataset.load(path)
+        except DatasetCacheError:
+            return None
 
 
 def measure_workload(
@@ -155,35 +191,27 @@ def collect_dataset(
     platform: Platform,
     cache: bool = True,
     cache_dir: Path | None = None,
+    jobs: int | None = None,
+    sigma: float | None = None,
+    progress=None,
 ) -> DopDataset:
-    """Build (or load from cache) the dataset for ``workloads`` on ``platform``."""
-    directory = cache_dir or default_cache_dir()
-    fingerprint = _workloads_fingerprint(workloads, platform)
-    path = directory / f"dataset-{platform.name}-{fingerprint}.npz"
-    if cache and path.exists():
-        return DopDataset.load(path)
+    """Build (or load from cache) the dataset for ``workloads`` on ``platform``.
 
-    configs = config_space(platform)
-    static = np.empty((len(workloads), 6), dtype=np.float64)
-    runtime = np.empty((len(workloads), 3), dtype=np.float64)
-    times = np.empty((len(workloads), len(configs)), dtype=np.float64)
-    for index, workload in enumerate(workloads):
-        features: StaticFeatures = extract_static_features(workload.kernel_info())
-        static[index] = features.as_tuple()
-        runtime[index] = (
-            workload.work_dim,
-            workload.total_work_items,
-            workload.work_group_items,
-        )
-        times[index] = measure_workload(workload, platform, configs)
-    dataset = DopDataset(
-        platform_name=platform.name,
-        workload_keys=[w.key for w in workloads],
-        static_features=static,
-        runtime_features=runtime,
-        times=times,
-        config_utils=config_utils_matrix(configs),
+    Thin wrapper over :func:`repro.core.collect.collect_dataset_with_stats`
+    (the sharded, parallel, fault-tolerant pipeline) that keeps the original
+    return type.  ``jobs=None`` collects serially in-process; pass
+    ``jobs=os.cpu_count()`` (the CLI default) to fan cache misses out over a
+    process pool.
+    """
+    from .collect import collect_dataset_with_stats
+
+    dataset, _ = collect_dataset_with_stats(
+        workloads,
+        platform,
+        cache=cache,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        sigma=sigma,
+        progress=progress,
     )
-    if cache:
-        dataset.save(path)
     return dataset

@@ -27,7 +27,6 @@ import numpy as np
 
 from ..frontend import ast
 from ..frontend.semantics import KernelInfo, analyze_kernel
-from ..frontend.parser import parse_kernel
 from .builtins import INT_IMPLS, MATH_IMPLS, c_div, c_mod
 from .ndrange import NDRange
 

@@ -26,7 +26,7 @@ from ..core import (
     baseline_indices,
     collect_dataset,
     config_space,
-    evaluate_scheme,
+    default_jobs,
     measure_workload,
 )
 from ..ml import make_model
@@ -95,7 +95,7 @@ def figure12(out_dir: Path) -> list[Path]:
     """Figure 12: mean normalised performance of constant allocations."""
     paths = []
     for platform in PLATFORMS.values():
-        dataset = collect_dataset(training_workloads(), platform, cache=True)
+        dataset = collect_dataset(training_workloads(), platform, cache=True, jobs=default_jobs())
         norm = dataset.normalized_performance().mean(axis=0)
         configs = config_space(platform)
         cpu_levels = sorted({c.cpu_util for c in configs})
@@ -128,8 +128,8 @@ def figure13(out_dir: Path) -> list[Path]:
     """
     paths = []
     for platform in PLATFORMS.values():
-        synth = collect_dataset(training_workloads(), platform, cache=True)
-        real = collect_dataset(real_workloads(), platform, cache=True)
+        synth = collect_dataset(training_workloads(), platform, cache=True, jobs=default_jobs())
+        real = collect_dataset(real_workloads(), platform, cache=True, jobs=default_jobs())
         model = make_model("dt")
         model.fit(synth.feature_matrix(), synth.targets())
         predictor = DopPredictor(model, platform)

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..frontend import ast
-from ..frontend.parser import parse_kernel
 from ..frontend.semantics import KernelInfo, analyze_kernel
 from . import rewriter as rw
 

@@ -1,6 +1,5 @@
 """Unit tests for the affine address analysis and access classification."""
 
-import pytest
 
 from repro.analysis import AccessClass, extract_static_features_from_source
 from repro.analysis.accessclass import Coeff

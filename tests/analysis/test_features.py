@@ -1,7 +1,6 @@
 """Unit tests for Table-1 feature vectors and profiles."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     FEATURE_NAMES,

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the analysis substrate."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.accessclass import Coeff

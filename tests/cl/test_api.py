@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import cl
-from repro.interp import NDRange
 
 SAXPY = """
 __kernel void saxpy(__global float* X, __global float* Y, float a, int n)

@@ -1,7 +1,6 @@
 """Tests for training-dataset caching and fingerprinting."""
 
 import numpy as np
-import pytest
 
 from repro.core import collect_dataset
 from repro.core.training import _workloads_fingerprint, default_cache_dir
@@ -46,24 +45,27 @@ class TestFingerprint:
 
 
 class TestCacheBehaviour:
-    def test_cache_file_created_and_reused(self, tmp_path):
+    def test_shards_and_manifest_created_and_reused(self, tmp_path):
         workloads = small_set()
         first = collect_dataset(workloads, KAVERI, cache=True, cache_dir=tmp_path)
-        files = list(tmp_path.glob("*.npz"))
-        assert len(files) == 1
-        # tamper detection: a second call must read the same times back
+        shards = list((tmp_path / "shards" / "kaveri").glob("*.npz"))
+        assert len(shards) == len(workloads)
+        assert len(list(tmp_path.glob("dataset-kaveri-*.manifest.json"))) == 1
+        # a second call must read the same times back from the shard store
         second = collect_dataset(workloads, KAVERI, cache=True, cache_dir=tmp_path)
         assert np.array_equal(first.times, second.times)
         assert first.workload_keys == second.workload_keys
 
     def test_cache_disabled_writes_nothing(self, tmp_path):
         collect_dataset(small_set(), KAVERI, cache=False, cache_dir=tmp_path)
-        assert not list(tmp_path.glob("*.npz"))
+        assert not list(tmp_path.iterdir())
 
-    def test_different_platforms_different_files(self, tmp_path):
+    def test_different_platforms_different_stores(self, tmp_path):
         collect_dataset(small_set(), KAVERI, cache=True, cache_dir=tmp_path)
         collect_dataset(small_set(), SKYLAKE, cache=True, cache_dir=tmp_path)
-        assert len(list(tmp_path.glob("*.npz"))) == 2
+        assert len(list(tmp_path.glob("dataset-*.manifest.json"))) == 2
+        assert (tmp_path / "shards" / "kaveri").is_dir()
+        assert (tmp_path / "shards" / "skylake").is_dir()
 
     def test_default_cache_dir_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("DOPIA_CACHE_DIR", str(tmp_path / "custom"))

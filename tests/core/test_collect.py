@@ -1,0 +1,264 @@
+"""Tests for the parallel, fault-tolerant collection pipeline.
+
+Covers the sharded cache store (atomic writes, corruption recovery,
+manifest rebuilds, legacy-format fallback), parallel/serial determinism,
+and the collection statistics instrumentation.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import collect_dataset
+from repro.core.collect import (
+    CollectionStats,
+    DatasetCacheError,
+    WorkloadSpec,
+    _atomic_write_npz,
+    _collect_worker,
+    cache_contents,
+    clear_cache,
+    collect_dataset_with_stats,
+    legacy_dataset_path,
+    manifest_path,
+    read_manifest,
+    shard_fingerprint,
+    shard_store_dir,
+)
+from repro.core.training import DopDataset, _workloads_fingerprint
+from repro.sim import KAVERI
+from repro.workloads import make_gesummv
+from repro.workloads.synthetic import SyntheticSpec, make_synthetic
+
+
+def small_set(size=1024):
+    spec = SyntheticSpec(alpha=2, beta=3)
+    return [
+        make_synthetic(spec, size=size, wg_items=64),
+        make_synthetic(spec, size=size, wg_items=128),
+        make_gesummv(n=size, wg=64),
+    ]
+
+
+def shard_files(cache_dir):
+    return sorted(shard_store_dir(cache_dir, "kaveri").glob("*.npz"))
+
+
+class TestWorkloadSpec:
+    def test_pickle_roundtrip(self):
+        spec = WorkloadSpec.from_workload(small_set()[0])
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_to_workload_measures_identically(self):
+        workload = small_set()[2]
+        rebuilt = WorkloadSpec.from_workload(workload).to_workload()
+        from repro.core import measure_workload
+
+        assert np.array_equal(
+            measure_workload(workload, KAVERI), measure_workload(rebuilt, KAVERI)
+        )
+
+    def test_fingerprint_sensitive_to_geometry(self):
+        a = WorkloadSpec.from_workload(small_set()[0])
+        b = WorkloadSpec.from_workload(small_set()[1])
+        assert shard_fingerprint(a, KAVERI) != shard_fingerprint(b, KAVERI)
+        assert shard_fingerprint(a, KAVERI) == shard_fingerprint(a, KAVERI)
+
+
+class TestParallelCollection:
+    def test_parallel_matches_serial_bitwise(self):
+        workloads = small_set()
+        serial, s1 = collect_dataset_with_stats(workloads, KAVERI, cache=False, jobs=1)
+        parallel, s2 = collect_dataset_with_stats(workloads, KAVERI, cache=False, jobs=2)
+        assert np.array_equal(serial.times, parallel.times)
+        assert np.array_equal(serial.static_features, parallel.static_features)
+        assert np.array_equal(serial.runtime_features, parallel.runtime_features)
+        assert serial.workload_keys == parallel.workload_keys
+        assert (s1.jobs, s2.jobs) == (1, 2)
+
+    def test_parallel_cold_cache_matches_serial_warm_read(self, tmp_path):
+        workloads = small_set()
+        cold, _ = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path, jobs=2
+        )
+        warm, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path, jobs=1
+        )
+        assert np.array_equal(cold.times, warm.times)
+        assert stats.shard_hits == len(workloads) and stats.shard_misses == 0
+
+    def test_progress_callback_fires_per_miss(self, tmp_path):
+        seen = []
+        collect_dataset_with_stats(
+            small_set(), KAVERI, cache=True, cache_dir=tmp_path, jobs=1,
+            progress=lambda done, total, key: seen.append((done, total, key)),
+        )
+        assert [done for done, _, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for _, total, _ in seen)
+
+
+class TestCorruptionRecovery:
+    def test_truncated_shard_regenerated_transparently(self, tmp_path):
+        workloads = small_set()
+        clean, _ = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        victim = shard_files(tmp_path)[0]
+        victim.write_bytes(victim.read_bytes()[:64])
+        recovered, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert stats.shards_corrupt == 1
+        assert stats.shard_misses == 1 and stats.shard_hits == len(workloads) - 1
+        assert np.array_equal(clean.times, recovered.times)
+        # the shard was rewritten: a third run is all hits
+        _, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert stats.shard_hits == len(workloads) and stats.shards_corrupt == 0
+
+    def test_garbage_shard_regenerated(self, tmp_path):
+        workloads = small_set()
+        collect_dataset_with_stats(workloads, KAVERI, cache=True, cache_dir=tmp_path)
+        shard_files(tmp_path)[1].write_bytes(b"this is not a zip file")
+        _, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert stats.shards_corrupt == 1
+
+    def test_corrupt_manifest_discarded_and_rewritten(self, tmp_path):
+        workloads = small_set()
+        collect_dataset_with_stats(workloads, KAVERI, cache=True, cache_dir=tmp_path)
+        fingerprint = _workloads_fingerprint(workloads, KAVERI)
+        path = manifest_path(tmp_path, "kaveri", fingerprint)
+        path.write_text("{ not json")
+        assert read_manifest(path) is None       # discarded ...
+        assert not path.exists()
+        dataset, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert stats.shard_hits == len(workloads)
+        manifest = read_manifest(path)           # ... and rewritten
+        assert manifest is not None
+        assert [e["key"] for e in manifest.entries] == dataset.workload_keys
+
+    def test_corrupt_legacy_monolithic_is_a_cache_miss(self, tmp_path):
+        """Regression: the seed shipped a truncated monolithic .npz that made
+        collect_dataset raise zipfile.BadZipFile instead of re-collecting."""
+        workloads = small_set()
+        fingerprint = _workloads_fingerprint(workloads, KAVERI)
+        legacy = legacy_dataset_path(tmp_path, "kaveri", fingerprint)
+        legacy.parent.mkdir(parents=True, exist_ok=True)
+        legacy.write_bytes(b"PK\x03\x04 truncated garbage")
+        dataset, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert not legacy.exists()               # discarded
+        assert not stats.legacy_hit
+        assert dataset.n_workloads == len(workloads)
+
+    def test_valid_legacy_monolithic_still_served(self, tmp_path):
+        workloads = small_set()
+        dataset, _ = collect_dataset_with_stats(workloads, KAVERI, cache=False)
+        fingerprint = _workloads_fingerprint(workloads, KAVERI)
+        dataset.save(legacy_dataset_path(tmp_path, "kaveri", fingerprint))
+        loaded, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path
+        )
+        assert stats.legacy_hit
+        assert np.array_equal(dataset.times, loaded.times)
+
+
+class TestAtomicWrites:
+    def test_failed_write_leaves_no_partial_file(self, tmp_path, monkeypatch):
+        def explode(fh, **arrays):
+            fh.write(b"partial bytes")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", explode)
+        with pytest.raises(OSError):
+            _atomic_write_npz(tmp_path / "shard.npz", {"x": np.zeros(3)})
+        assert not list(tmp_path.iterdir())      # no target, no temp litter
+
+    def test_interrupted_run_is_resumable(self, tmp_path, monkeypatch):
+        """A worker crash mid-collection keeps completed shards; the retry
+        collects only the remainder."""
+        workloads = small_set()
+        calls = []
+        real_worker = _collect_worker
+
+        def poisoned(task):
+            calls.append(task[0])
+            if len(calls) == 3:
+                raise RuntimeError("simulated worker crash")
+            return real_worker(task)
+
+        import repro.core.collect as collect_mod
+
+        monkeypatch.setattr(collect_mod, "_collect_worker", poisoned)
+        with pytest.raises(RuntimeError):
+            collect_dataset_with_stats(
+                workloads, KAVERI, cache=True, cache_dir=tmp_path, jobs=1
+            )
+        assert len(shard_files(tmp_path)) == 2   # completed shards survive
+        assert not list(shard_store_dir(tmp_path, "kaveri").glob(".tmp-*"))
+        monkeypatch.undo()
+        _, stats = collect_dataset_with_stats(
+            workloads, KAVERI, cache=True, cache_dir=tmp_path, jobs=1
+        )
+        assert stats.shard_hits == 2 and stats.shard_misses == 1
+
+
+class TestStatsAndTools:
+    def test_stats_summary_mentions_key_numbers(self, tmp_path):
+        _, stats = collect_dataset_with_stats(
+            small_set(), KAVERI, cache=True, cache_dir=tmp_path, jobs=1
+        )
+        assert isinstance(stats, CollectionStats)
+        text = stats.summary()
+        assert "kaveri" in text and "3 workloads" in text and "jobs=1" in text
+        assert stats.total_seconds > 0
+
+    def test_manifest_records_stats(self, tmp_path):
+        workloads = small_set()
+        collect_dataset_with_stats(workloads, KAVERI, cache=True, cache_dir=tmp_path)
+        fingerprint = _workloads_fingerprint(workloads, KAVERI)
+        raw = json.loads(manifest_path(tmp_path, "kaveri", fingerprint).read_text())
+        assert raw["stats"]["shard_misses"] == len(workloads)
+
+    def test_cache_contents_and_clear(self, tmp_path):
+        collect_dataset_with_stats(small_set(), KAVERI, cache=True, cache_dir=tmp_path)
+        contents = cache_contents(tmp_path)
+        assert len(contents["shards"]) == 3 and len(contents["manifests"]) == 1
+        assert contents["bytes"] > 0
+        removed = clear_cache(tmp_path)
+        assert removed == 4
+        assert not shard_store_dir(tmp_path, "kaveri").exists()
+        assert cache_contents(tmp_path)["shards"] == []
+
+
+class TestDopDatasetLoad:
+    def test_load_corrupt_raises_dataset_cache_error(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(DatasetCacheError):
+            DopDataset.load(path)
+
+    def test_load_missing_raises_dataset_cache_error(self, tmp_path):
+        with pytest.raises(DatasetCacheError):
+            DopDataset.load(tmp_path / "absent.npz")
+
+    def test_try_load_returns_none_on_corruption(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"\x00" * 128)
+        assert DopDataset.try_load(path) is None
+
+    def test_explicit_save_load_roundtrip_still_works(self, tmp_path):
+        dataset = collect_dataset(small_set(), KAVERI, cache=False)
+        path = tmp_path / "explicit.npz"
+        dataset.save(path)
+        loaded = DopDataset.load(path)
+        assert np.array_equal(dataset.times, loaded.times)
+        assert loaded.workload_keys == dataset.workload_keys

@@ -6,8 +6,6 @@ import pytest
 from repro import cl
 from repro.analysis import StaticFeatures
 from repro.core import (
-    DopiaRuntime,
-    DopPredictor,
     baseline_configs,
     baseline_indices,
     best_constant_allocation,
@@ -53,7 +51,8 @@ class TestDataset:
         first = collect_dataset(subset, KAVERI, cache=True, cache_dir=tmp_path)
         second = collect_dataset(subset, KAVERI, cache=True, cache_dir=tmp_path)
         assert np.array_equal(first.times, second.times)
-        assert list(tmp_path.glob("dataset-kaveri-*.npz"))
+        assert list(tmp_path.glob("dataset-kaveri-*.manifest.json"))
+        assert len(list((tmp_path / "shards" / "kaveri").glob("*.npz"))) == len(subset)
 
 
 class TestPredictor:

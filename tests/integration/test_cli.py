@@ -100,6 +100,10 @@ class TestTrainPredictSweep:
         with pytest.raises(SystemExit):
             main(["train", "--model", "lin", "--emit-c", str(tmp_path / "x.c")])
 
+    def test_train_accepts_jobs_flag(self, capsys):
+        out = run_cli(capsys, "train", "--platform", "kaveri", "--jobs", "1")
+        assert "trained dt" in out
+
     def test_sweep_prints_ranking(self, capsys):
         out = run_cli(
             capsys, "sweep", GESUMMV, "--arg", "n=16384",
@@ -108,3 +112,39 @@ class TestTrainPredictSweep:
         assert "fastest first" in out
         assert "best:" in out
         assert out.count("ms") >= 5
+
+
+class TestCacheCommand:
+    def test_cache_info_reports_empty_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("DOPIA_CACHE_DIR", str(tmp_path))
+        out = run_cli(capsys, "cache", "info")
+        assert str(tmp_path) in out
+        assert "shards    : 0" in out
+
+    def test_cache_key_prints_fingerprint(self, capsys):
+        out = run_cli(capsys, "cache", "key", "--platform", "kaveri")
+        token = out.strip()
+        assert token.startswith("kaveri-")
+        assert len(token.split("-", 1)[1]) == 24  # blake2b-12 hex digest
+        # stable across invocations (this is the CI cache key)
+        assert run_cli(capsys, "cache", "key", "--platform", "kaveri").strip() == token
+
+    def test_cache_key_differs_for_real_workloads(self, capsys):
+        synth = run_cli(capsys, "cache", "key", "--platform", "skylake").strip()
+        real = run_cli(capsys, "cache", "key", "--platform", "skylake", "--real").strip()
+        assert synth != real
+
+    def test_cache_clear_removes_shards(self, capsys, tmp_path, monkeypatch):
+        from repro.core import collect_dataset
+        from repro.sim import KAVERI
+        from repro.workloads import make_gesummv
+
+        monkeypatch.setenv("DOPIA_CACHE_DIR", str(tmp_path))
+        collect_dataset([make_gesummv(n=512, wg=64)], KAVERI, cache=True,
+                        cache_dir=tmp_path)
+        out = run_cli(capsys, "cache", "info")
+        assert "shards    : 1" in out
+        out = run_cli(capsys, "cache", "clear")
+        assert "removed 2 cache file(s)" in out
+        out = run_cli(capsys, "cache", "info")
+        assert "shards    : 0" in out

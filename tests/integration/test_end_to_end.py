@@ -13,7 +13,7 @@ from repro import cl
 from repro.analysis import extract_static_features, profile_kernel
 from repro.core import DopiaRuntime, collect_dataset, run_dynamic
 from repro.frontend import analyze_kernel, parse_kernel
-from repro.interp import KernelExecutor, NDRange, execute_kernel
+from repro.interp import KernelExecutor, execute_kernel
 from repro.ml import make_model
 from repro.sim import KAVERI, DopSetting, simulate_execution
 from repro.transform import make_malleable, print_kernel

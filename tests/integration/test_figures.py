@@ -2,7 +2,6 @@
 
 import xml.dom.minidom
 
-import pytest
 
 from repro.report import barchart_svg, heatmap_svg, linechart_svg
 

@@ -1,6 +1,5 @@
 """Unit tests for the co-execution engine and contention model."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import profile_kernel

@@ -1,6 +1,5 @@
 """Unit tests for platform descriptions, noise model, and pressure cap."""
 
-import math
 
 import pytest
 

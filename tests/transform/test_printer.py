@@ -1,6 +1,5 @@
 """Unit tests for the AST-to-source printer."""
 
-import pytest
 
 from repro.frontend import parse_kernel
 from repro.transform import print_kernel

@@ -1,6 +1,5 @@
 """Tests for the multi-kernel application drivers."""
 
-import numpy as np
 import pytest
 
 from repro import cl

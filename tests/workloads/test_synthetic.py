@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import AccessClass, extract_static_features
+from repro.analysis import extract_static_features
 from repro.interp import execute_kernel
 from repro.workloads import (
     SyntheticSpec,
