@@ -1,0 +1,99 @@
+"""Extension — vectorized-backend speedup over the scalar interpreter.
+
+The functional substrate (`repro.interp`) is not part of the paper's
+contribution, but everything downstream — differential tests, dataset
+collection sanity runs, the application drivers — pays its cost.  This
+bench measures what the batched NumPy backend buys on representative
+registry kernels and asserts the central claims: bit-identical buffers
+and an order-of-magnitude speedup at realistic launch sizes.
+
+Run with ``-s`` to see the per-kernel table.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.interp import KernelExecutor, VectorizedExecutor, check_vectorizable
+from repro.workloads import make_atax1, make_gesummv, make_spmv
+
+from conftest import print_table
+
+#: Mid-sized instances: big enough that batching dominates interpreter
+#: dispatch, small enough that the scalar oracle finishes in seconds.
+SUBJECTS = {
+    "GESUMMV": lambda: make_gesummv(n=512, wg=64),
+    "ATAX1": lambda: make_atax1(n=512, wg=64),
+    "SpMV": lambda: make_spmv(n=2048, wg=64, nnz_per_row=32),
+}
+
+
+def _copy_args(args):
+    return {
+        name: value.copy() if isinstance(value, np.ndarray) else value
+        for name, value in args.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def speedup_results():
+    rows = []
+    for name, factory in SUBJECTS.items():
+        workload = factory()
+        info = workload.kernel_info()
+        assert check_vectorizable(info).eligible
+        base = workload.full_args(rng=0)
+
+        scalar_args = _copy_args(base)
+        started = time.perf_counter()
+        KernelExecutor(info, scalar_args, workload.ndrange()).run()
+        scalar_s = time.perf_counter() - started
+
+        vector_args = _copy_args(base)
+        executor = VectorizedExecutor(info, vector_args, workload.ndrange())
+        started = time.perf_counter()
+        executor.run()
+        vector_s = time.perf_counter() - started
+
+        identical = all(
+            scalar_args[buf].tobytes() == vector_args[buf].tobytes()
+            for buf in info.buffer_params
+            if isinstance(scalar_args[buf], np.ndarray)
+        )
+        rows.append({
+            "kernel": name,
+            "work_items": workload.total_work_items,
+            "scalar_s": scalar_s,
+            "vector_s": vector_s,
+            "speedup": scalar_s / vector_s,
+            "identical": identical,
+            "fallback": executor.used_fallback,
+        })
+    return rows
+
+
+def test_ext_backend_speedup_table(benchmark, speedup_results):
+    benchmark(lambda: speedup_results[0]["speedup"])
+    print_table(
+        "Extension: vectorized backend vs scalar oracle",
+        ["kernel", "work_items", "scalar_s", "vector_s", "speedup", "identical"],
+        [
+            [r["kernel"], r["work_items"], f"{r['scalar_s']:.3f}",
+             f"{r['vector_s']:.3f}", f"{r['speedup']:.1f}x", r["identical"]]
+            for r in speedup_results
+        ],
+    )
+
+
+def test_buffers_bit_identical(speedup_results):
+    for row in speedup_results:
+        assert row["identical"], row["kernel"]
+        assert not row["fallback"], row["kernel"]
+
+
+def test_order_of_magnitude_speedup(speedup_results):
+    for row in speedup_results:
+        assert row["speedup"] > 10.0, (
+            f"{row['kernel']}: only {row['speedup']:.1f}x"
+        )

@@ -84,10 +84,12 @@ def create_program_with_source(context: Context, source: str) -> Program:
 
 
 def create_command_queue(
-    context: Context, device: Device | None = None, functional: bool = True
+    context: Context, device: Device | None = None, functional: bool = True,
+    backend: str | None = None,
 ) -> CommandQueue:
     """clCreateCommandQueue (defaults to the context's first device)."""
-    return CommandQueue(context, device or context.devices[0], functional=functional)
+    return CommandQueue(context, device or context.devices[0],
+                        functional=functional, backend=backend)
 
 
 def notify_program_built(program: Program) -> None:

@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..analysis.profile import profile_kernel
-from ..interp.executor import KernelExecutor
 from ..interp.ndrange import NDRange
+from ..interp.vectorize import make_executor
 from ..sim.engine import DopSetting, simulate_execution
 from .context import Context
 from .device import Device
@@ -43,14 +43,20 @@ class CommandQueue:
     ``functional`` controls whether kernels are actually executed by the
     interpreter (exact but slow) or only simulated for timing — benchmark
     sweeps over paper-sized problems use ``functional=False``.
+
+    ``backend`` picks the functional execution strategy per launch
+    (``auto``/``vector``/``scalar``; ``None`` defers to ``DOPIA_BACKEND``)
+    — see :func:`repro.interp.make_executor`.
     """
 
-    def __init__(self, context: Context, device: Device, functional: bool = True):
+    def __init__(self, context: Context, device: Device, functional: bool = True,
+                 backend: str | None = None):
         if device not in context.devices:
             raise CLError(Status.INVALID_VALUE, "device not in context")
         self.context = context
         self.device = device
         self.functional = functional
+        self.backend = backend
         self.events: list[Event] = []
 
     # -- kernel launch -----------------------------------------------------
@@ -87,7 +93,7 @@ class CommandQueue:
     ) -> Event:
         args = kernel.bound_args()
         if self.functional:
-            KernelExecutor(kernel.info, args, ndrange).run()
+            make_executor(kernel.info, args, ndrange, backend=self.backend).run()
         profile = profile_kernel(
             kernel.info,
             kernel.scalar_args(),

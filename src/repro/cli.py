@@ -225,6 +225,100 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    """Differential run: execute one launch on both interpreter backends,
+    compare the output buffers bit-for-bit, and report the speedup."""
+    from .interp import (
+        KernelExecutor,
+        NDRange,
+        VectorizedExecutor,
+        check_vectorizable,
+        execution_stats,
+    )
+
+    _, info = _load_kernel(args.kernel, args.name)
+    ndrange = NDRange(_launch_sizes(args.global_size, args.work_dim),
+                      _launch_sizes(args.local_size, args.work_dim))
+    scalars = _parse_args_option(args.arg)
+    sizes: dict[str, int] = {}
+    for pair in args.buffer or []:
+        if "=" not in pair:
+            raise SystemExit(f"--buffer expects name=elements, got {pair!r}")
+        name, _, count = pair.partition("=")
+        sizes[name] = int(count)
+
+    def build_args() -> dict:
+        rng = np.random.default_rng(args.seed)
+        values: dict = {}
+        for param in info.kernel.params:
+            if param.type.pointer:
+                count = sizes.get(param.name, ndrange.total_work_items)
+                if param.type.is_float:
+                    values[param.name] = rng.standard_normal(count)
+                else:
+                    values[param.name] = rng.integers(
+                        0, max(1, ndrange.total_work_items), count)
+            elif param.name in scalars:
+                values[param.name] = scalars[param.name]
+            else:
+                # a usable default: integer scalars are usually problem
+                # sizes, float scalars usually coefficients
+                values[param.name] = (
+                    1.0 if param.type.is_float else ndrange.total_work_items
+                )
+        return values
+
+    eligibility = check_vectorizable(info)
+    print(f"kernel    : {info.kernel.name}")
+    print(f"launch    : global={ndrange.global_size} local={ndrange.local_size}")
+    print(f"eligible  : {eligibility.eligible}"
+          + (f" ({eligibility.reason})" if eligibility.reason else ""))
+
+    import time as _time
+
+    from .interp import KernelRuntimeError
+
+    scalar_args = build_args()
+    started = _time.perf_counter()
+    try:
+        KernelExecutor(info, scalar_args, ndrange).run()
+    except KernelRuntimeError as exc:
+        raise SystemExit(
+            f"kernel failed on the default inputs: {exc}\n"
+            "(size buffers explicitly with --buffer NAME=ELEMENTS; buffers "
+            "default to one element per work-item)"
+        )
+    scalar_s = _time.perf_counter() - started
+
+    vector_args = build_args()
+    executor = VectorizedExecutor(info, vector_args, ndrange)
+    started = _time.perf_counter()
+    executor.run()
+    vector_s = _time.perf_counter() - started
+
+    mismatched = [
+        name for name in info.buffer_params
+        if np.asarray(scalar_args[name]).tobytes()
+        != np.asarray(vector_args[name]).tobytes()
+    ]
+    print(f"scalar    : {scalar_s:.4f} s")
+    print(f"vector    : {vector_s:.4f} s"
+          + (" (fell back to scalar)" if executor.used_fallback else ""))
+    if vector_s > 0:
+        print(f"speedup   : {scalar_s / vector_s:.1f}x")
+    print(f"identical : {not mismatched}"
+          + (f" (mismatch in {', '.join(mismatched)})" if mismatched else ""))
+    print(execution_stats.summary(), file=sys.stderr)
+    return 1 if mismatched else 0
+
+
+def _launch_sizes(total: int, work_dim: int) -> tuple[int, ...]:
+    if work_dim == 1:
+        return (total,)
+    side = int(round(total ** (1 / work_dim)))
+    return tuple(side for _ in range(work_dim))
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from .report import generate_all
 
@@ -280,6 +374,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="dopia",
         description="Dopia (PPoPP'22) reproduction: analyse, transform, and "
                     "schedule OpenCL kernels on simulated integrated processors.",
+    )
+    parser.add_argument(
+        "--backend", choices=("auto", "vector", "scalar"), default=None,
+        help="kernel-execution backend for functional runs (sets "
+             "DOPIA_BACKEND; default: auto — vectorized NumPy where "
+             "eligible, scalar interpreter otherwise)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -343,6 +443,18 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--dir", help="cache directory (default: DOPIA_CACHE_DIR)")
     p.set_defaults(func=cmd_cache, cache_command="info", dir=None)
 
+    p = sub.add_parser(
+        "backends",
+        help="differential-test one launch: scalar vs vectorized backend",
+    )
+    add_kernel_options(p)
+    p.add_argument("--buffer", action="append", metavar="NAME=ELEMENTS",
+                   help="element count for a pointer argument "
+                        "(default: total work-items)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the generated input buffers")
+    p.set_defaults(func=cmd_backends)
+
     p = sub.add_parser("figures", help="regenerate the paper's figures as SVG")
     p.add_argument("--out", default="figures", help="output directory")
     p.set_defaults(func=cmd_figures)
@@ -359,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        # Environment, not plumbing: every layer (queue, scheduler,
+        # runtime) resolves its backend through DOPIA_BACKEND.
+        os.environ["DOPIA_BACKEND"] = args.backend
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -65,11 +65,15 @@ class DopiaRuntime(Interposer):
         model: Estimator,
         chunk_divisor: int = 10,
         include_inference_overhead: bool = True,
+        backend: str | None = None,
     ):
         self.platform = platform
         self.predictor = DopPredictor(model, platform)
         self.chunk_divisor = chunk_divisor
         self.include_inference_overhead = include_inference_overhead
+        #: interpreter backend for functional execution (``auto``/``vector``/
+        #: ``scalar``; ``None`` defers to ``DOPIA_BACKEND``)
+        self.backend = backend
         #: launch log: (kernel name, Prediction, ExecutionResult) per enqueue
         self.launches: list[dict[str, Any]] = []
 
@@ -81,6 +85,7 @@ class DopiaRuntime(Interposer):
         model_name: str = "dt",
         cache: bool = True,
         jobs: int | None = None,
+        backend: str | None = None,
         **model_kwargs,
     ) -> "DopiaRuntime":
         """Train (or load the cached dataset for) the Table-4 synthetic
@@ -89,7 +94,7 @@ class DopiaRuntime(Interposer):
         dataset = collect_dataset(training_workloads(), platform, cache=cache, jobs=jobs)
         model = make_model(model_name, **model_kwargs)
         model.fit(dataset.feature_matrix(), dataset.targets())
-        return DopiaRuntime(platform, model)
+        return DopiaRuntime(platform, model, backend=backend)
 
     # -- compile-time pass -----------------------------------------------------
 
@@ -211,4 +216,5 @@ class DopiaRuntime(Interposer):
             dop_gpu_mod=mod,
             dop_gpu_alloc=alloc,
             chunk_divisor=self.chunk_divisor,
+            backend=self.backend,
         )

@@ -25,8 +25,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..frontend.semantics import KernelInfo
-from ..interp.executor import KernelExecutor
 from ..interp.ndrange import NDRange
+from ..interp.vectorize import make_executor
 from ..sim.engine import DopSetting
 from ..transform.gpu_malleable import ALLOC_PARAM, MOD_PARAM, MalleableKernel
 
@@ -71,6 +71,7 @@ def run_dynamic(
     dop_gpu_alloc: int = 1,
     chunk_divisor: int = 10,
     cpu_pulls_per_round: int | None = None,
+    backend: str | None = None,
 ) -> ScheduleTrace:
     """Execute one launch with Algorithm 1's dynamic distribution.
 
@@ -78,7 +79,10 @@ def run_dynamic(
     semantically the original kernel); ``gpu_kernel`` is the malleable GPU
     variant.  ``cpu_pulls_per_round`` models how many work-groups the CPU
     side claims while one GPU chunk is in flight (any value yields a
-    correct execution; it only changes the split).
+    correct execution; it only changes the split).  ``backend`` selects
+    the interpreter backend for the CPU side (the malleable GPU kernel is
+    never vectorizable — its local atomic worklist keeps it on the scalar
+    path).
     """
     num_wgs = ndrange.total_groups
     worklist = AtomicWorklist(num_wgs)
@@ -89,13 +93,17 @@ def run_dynamic(
     if not use_cpu and not use_gpu:
         raise ValueError("at least one device must be active")
 
-    cpu_executor = KernelExecutor(cpu_info, args, ndrange) if use_cpu else None
+    cpu_executor = (
+        make_executor(cpu_info, args, ndrange, backend=backend)
+        if use_cpu else None
+    )
     gpu_executor = None
     if use_gpu:
         gpu_args = dict(args)
         gpu_args[MOD_PARAM] = dop_gpu_mod
         gpu_args[ALLOC_PARAM] = dop_gpu_alloc
-        gpu_executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+        gpu_executor = make_executor(
+            gpu_kernel.info, gpu_args, ndrange, backend=backend)
 
     chunk = max(1, num_wgs // max(1, chunk_divisor)) if use_gpu else 0
     pulls = cpu_pulls_per_round
@@ -133,6 +141,7 @@ def run_dynamic_pull(
     dop_gpu_mod: int = 1,
     dop_gpu_alloc: int = 1,
     gpu_claims_per_round: int = 2,
+    backend: str | None = None,
 ) -> ScheduleTrace:
     """Fully pull-based variant (future-work extension, §7).
 
@@ -148,13 +157,17 @@ def run_dynamic_pull(
     use_gpu = setting.uses_gpu
     if not use_cpu and not use_gpu:
         raise ValueError("at least one device must be active")
-    cpu_executor = KernelExecutor(cpu_info, args, ndrange) if use_cpu else None
+    cpu_executor = (
+        make_executor(cpu_info, args, ndrange, backend=backend)
+        if use_cpu else None
+    )
     gpu_executor = None
     if use_gpu:
         gpu_args = dict(args)
         gpu_args[MOD_PARAM] = dop_gpu_mod
         gpu_args[ALLOC_PARAM] = dop_gpu_alloc
-        gpu_executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+        gpu_executor = make_executor(
+            gpu_kernel.info, gpu_args, ndrange, backend=backend)
 
     while not worklist.exhausted:
         if use_gpu:
@@ -184,6 +197,7 @@ def run_static(
     cpu_share: float,
     dop_gpu_mod: int = 1,
     dop_gpu_alloc: int = 1,
+    backend: str | None = None,
 ) -> ScheduleTrace:
     """Execute with an a-priori static split (Figure 9's STATIC baseline)."""
     if not 0.0 <= cpu_share <= 1.0:
@@ -194,14 +208,15 @@ def run_static(
         cpu_wgs = num_wgs
     trace = ScheduleTrace()
     if cpu_wgs > 0:
-        executor = KernelExecutor(cpu_info, args, ndrange)
+        executor = make_executor(cpu_info, args, ndrange, backend=backend)
         executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs))
         trace.cpu_groups.extend(range(cpu_wgs))
     if cpu_wgs < num_wgs:
         gpu_args = dict(args)
         gpu_args[MOD_PARAM] = dop_gpu_mod
         gpu_args[ALLOC_PARAM] = dop_gpu_alloc
-        executor = KernelExecutor(gpu_kernel.info, gpu_args, ndrange)
+        executor = make_executor(gpu_kernel.info, gpu_args, ndrange,
+                                 backend=backend)
         executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs, num_wgs))
         trace.gpu_groups.extend(range(cpu_wgs, num_wgs))
         trace.gpu_chunks = 1

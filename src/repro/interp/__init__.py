@@ -1,4 +1,16 @@
-"""Functional kernel interpreter: the correctness substrate."""
+"""Functional kernel interpreter: the correctness substrate.
+
+Two backends execute the same OpenCL-C AST:
+
+* :class:`KernelExecutor` — the scalar oracle, one work-item at a time,
+  with full barrier/atomic semantics.
+* :class:`VectorizedExecutor` — batched NumPy execution for eligible
+  kernels, bit-identical to the oracle (and differential-tested against
+  it), roughly an order of magnitude faster.
+
+:func:`make_executor` picks between them (``auto``/``vector``/``scalar``,
+environment default ``DOPIA_BACKEND``).
+"""
 
 from .builtins import c_div, c_mod
 from .executor import (
@@ -10,8 +22,21 @@ from .executor import (
     execute_kernel,
 )
 from .ndrange import NDRange
+from .stats import ExecutionStats, execution_stats
+from .vectorize import (
+    AUTO_MIN_WORK_ITEMS,
+    BACKENDS,
+    Eligibility,
+    VectorizedExecutor,
+    check_vectorizable,
+    make_executor,
+    resolve_backend,
+)
 
 __all__ = [
     "ArrayRef", "KernelExecutor", "KernelRuntimeError", "WorkGroupContext",
     "WorkItemContext", "execute_kernel", "NDRange", "c_div", "c_mod",
+    "AUTO_MIN_WORK_ITEMS", "BACKENDS", "Eligibility", "ExecutionStats",
+    "VectorizedExecutor", "check_vectorizable", "execution_stats",
+    "make_executor", "resolve_backend",
 ]

@@ -20,6 +20,7 @@ running each item to completion in turn.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -29,6 +30,7 @@ from ..frontend import ast
 from ..frontend.semantics import KernelInfo, analyze_kernel
 from .builtins import INT_IMPLS, MATH_IMPLS, c_div, c_mod
 from .ndrange import NDRange
+from .stats import execution_stats
 
 
 class KernelRuntimeError(Exception):
@@ -189,6 +191,15 @@ class KernelExecutor:
 
     def run_group(self, group_id: tuple[int, ...]) -> None:
         """Execute one work-group, honouring barriers if present."""
+        started = time.perf_counter()
+        self._run_group(group_id)
+        execution_stats.record_run(
+            self.info.kernel.name, "scalar",
+            self.ndrange.work_items_per_group,
+            time.perf_counter() - started,
+        )
+
+    def _run_group(self, group_id: tuple[int, ...]) -> None:
         group = WorkGroupContext(self, group_id)
         items = [
             WorkItemContext(group, local_id) for local_id in self.ndrange.local_ids()
@@ -380,10 +391,18 @@ class KernelExecutor:
             )
         left = self._eval(expr.left, item)
         right = self._eval(expr.right, item)
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
+        if op == "+" or op == "-":
+            # Pointer arithmetic lands here: adding to a NumPy buffer would
+            # silently produce an *element-wise* result, and ArrayRef has no
+            # ``+`` at all, so both pointer shapes are detected after the
+            # fact — keeping the scalar fast path free of isinstance checks.
+            try:
+                value = left + right if op == "+" else left - right
+            except TypeError:
+                return self._pointer_arith(op, left, right)
+            if value.__class__ is np.ndarray:
+                return self._pointer_arith(op, left, right)
+            return value
         if op == "*":
             return left * right
         if op == "/":
@@ -416,6 +435,47 @@ class KernelExecutor:
             return right
         raise KernelRuntimeError(f"unsupported binary operator {op!r}")
 
+    def _pointer_arith(self, op: str, left: Any, right: Any) -> Any:
+        """C pointer arithmetic: ``ptr ± int`` offsets the pointer (the
+        resulting :class:`ArrayRef` is bounds-checked when dereferenced, as
+        in C, where merely *forming* a past-the-end pointer is allowed);
+        ``ptr - ptr`` is an element difference within one buffer.  Anything
+        else — and notably what NumPy would silently turn into element-wise
+        arithmetic — is a kernel error.
+        """
+
+        def as_ref(value: Any) -> ArrayRef:
+            return value if isinstance(value, ArrayRef) else ArrayRef(value, 0)
+
+        left_ptr = isinstance(left, (np.ndarray, ArrayRef))
+        right_ptr = isinstance(right, (np.ndarray, ArrayRef))
+        if op == "-" and left_ptr and right_ptr:
+            lref, rref = as_ref(left), as_ref(right)
+            if lref.array is not rref.array:
+                raise KernelRuntimeError(
+                    "subtraction of pointers into different buffers"
+                )
+            return lref.offset - rref.offset
+        if op in ("+", "-") and left_ptr and not right_ptr:
+            ref = as_ref(left)
+            delta = int(right)
+            return ArrayRef(ref.array, ref.offset + (delta if op == "+" else -delta))
+        if op == "+" and right_ptr and not left_ptr:
+            ref = as_ref(right)
+            return ArrayRef(ref.array, ref.offset + int(left))
+        raise KernelRuntimeError(
+            f"invalid pointer operand to binary {op!r}"
+        )
+
+    def _deref(self, ref: ArrayRef) -> ArrayRef:
+        """Bounds-check a pointer before it is read or written through."""
+        if not 0 <= ref.offset < ref.array.shape[0]:
+            raise KernelRuntimeError(
+                f"out-of-bounds pointer access: offset {ref.offset} into "
+                f"buffer of {ref.array.shape[0]} elements"
+            )
+        return ref
+
     def _eval_unary(self, expr: ast.UnaryOp, item: WorkItemContext) -> Any:
         if expr.op in ("++", "--"):
             old = self._eval(expr.operand, item)
@@ -430,11 +490,11 @@ class KernelExecutor:
         if expr.op == "~":
             return ~int(operand)
         if expr.op == "*":
-            if isinstance(operand, ArrayRef):
-                value = operand.array[operand.offset]
-                return value.item() if isinstance(value, np.generic) else value
             if isinstance(operand, np.ndarray):
-                value = operand[0]
+                operand = ArrayRef(operand, 0)
+            if isinstance(operand, ArrayRef):
+                ref = self._deref(operand)
+                value = ref.array[ref.offset]
                 return value.item() if isinstance(value, np.generic) else value
             raise KernelRuntimeError("dereference of non-pointer value")
         if expr.op == "&":
@@ -479,11 +539,11 @@ class KernelExecutor:
             return
         if isinstance(target, ast.UnaryOp) and target.op == "*":
             pointer = self._eval(target.operand, item)
-            if isinstance(pointer, ArrayRef):
-                pointer.array[pointer.offset] = value
-                return
             if isinstance(pointer, np.ndarray):
-                pointer[0] = value
+                pointer = ArrayRef(pointer, 0)
+            if isinstance(pointer, ArrayRef):
+                ref = self._deref(pointer)
+                ref.array[ref.offset] = value
                 return
         raise KernelRuntimeError("invalid assignment target")
 
@@ -575,6 +635,7 @@ class KernelExecutor:
             pointer = ArrayRef(pointer, 0)
         if not isinstance(pointer, ArrayRef):
             raise KernelRuntimeError(f"{name} requires a pointer argument")
+        pointer = self._deref(pointer)
         old = int(pointer.array[pointer.offset])
         if name == "atomic_inc":
             new = old + 1
@@ -606,12 +667,15 @@ def execute_kernel(
     ndrange: NDRange,
     group_ids: Optional[Iterable[tuple[int, ...]]] = None,
     kernel_name: str | None = None,
+    backend: str | None = None,
 ) -> None:
     """Execute a kernel (from source text or a :class:`KernelInfo`).
 
     Buffers in ``args`` are mutated in place, like real OpenCL global
     memory.  ``group_ids`` restricts execution to a subset of work-groups
     — the primitive Dopia's dynamic scheduler (Algorithm 1) is built on.
+    ``backend`` picks the execution strategy (``auto``/``vector``/``scalar``,
+    default from ``DOPIA_BACKEND``); see :func:`repro.interp.make_executor`.
     """
     if isinstance(info_or_source, str):
         from ..frontend.parser import parse
@@ -629,4 +693,6 @@ def execute_kernel(
         info = analyze_kernel(kernel, unit)
     else:
         info = info_or_source
-    KernelExecutor(info, args, ndrange).run(group_ids)
+    from .vectorize import make_executor
+
+    make_executor(info, args, ndrange, backend=backend).run(group_ids)

@@ -1,0 +1,125 @@
+"""Instrumentation for kernel-execution backend selection.
+
+Mirrors :class:`repro.core.collect.CollectionStats`: a process-global,
+reset-able counter that records which backend (``vector`` or ``scalar``)
+executed each kernel, how much work it processed, and how long it took —
+so the speedup of the vectorized NumPy backend over the scalar oracle is
+observable from the CLI and from tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _BackendCounter:
+    """Accumulated work for one (kernel, backend) pair."""
+
+    calls: int = 0
+    work_items: int = 0
+    seconds: float = 0.0
+
+    @property
+    def items_per_second(self) -> float | None:
+        if self.seconds <= 0.0 or self.work_items == 0:
+            return None
+        return self.work_items / self.seconds
+
+
+@dataclass
+class ExecutionStats:
+    """Per-kernel execution counters for the interpreter backends.
+
+    ``choices`` keeps the most recent backend-selection decision per kernel
+    (and why it was made); ``runs`` accumulates executed work per
+    ``(kernel, backend)``; ``fallbacks`` counts transparent mid-run
+    reversions from the vectorized path to the scalar oracle.
+    """
+
+    runs: dict[tuple[str, str], _BackendCounter] = field(default_factory=dict)
+    choices: dict[str, tuple[str, str]] = field(default_factory=dict)
+    fallbacks: dict[str, int] = field(default_factory=dict)
+    fallback_reasons: dict[str, str] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_choice(self, kernel: str, backend: str, reason: str = "") -> None:
+        self.choices[kernel] = (backend, reason)
+
+    def record_run(self, kernel: str, backend: str, work_items: int,
+                   seconds: float) -> None:
+        counter = self.runs.setdefault((kernel, backend), _BackendCounter())
+        counter.calls += 1
+        counter.work_items += work_items
+        counter.seconds += seconds
+
+    def record_fallback(self, kernel: str, reason: str) -> None:
+        self.fallbacks[kernel] = self.fallbacks.get(kernel, 0) + 1
+        self.fallback_reasons[kernel] = reason
+
+    # -- queries -------------------------------------------------------------
+
+    def kernels(self) -> list[str]:
+        names = {kernel for kernel, _ in self.runs}
+        names.update(self.choices)
+        return sorted(names)
+
+    def backend_for(self, kernel: str) -> str | None:
+        choice = self.choices.get(kernel)
+        return choice[0] if choice is not None else None
+
+    def speedup(self, kernel: str) -> float | None:
+        """Vector throughput over scalar throughput, when both were timed."""
+        vector = self.runs.get((kernel, "vector"))
+        scalar = self.runs.get((kernel, "scalar"))
+        if vector is None or scalar is None:
+            return None
+        v_rate = vector.items_per_second
+        s_rate = scalar.items_per_second
+        if v_rate is None or s_rate is None:
+            return None
+        return v_rate / s_rate
+
+    def total_calls(self) -> int:
+        return sum(counter.calls for counter in self.runs.values())
+
+    def summary(self) -> str:
+        """One paragraph per kernel, suitable for stderr reporting."""
+        if not self.kernels():
+            return "execution: no kernels run"
+        lines = []
+        for kernel in self.kernels():
+            parts = []
+            choice = self.choices.get(kernel)
+            if choice is not None:
+                backend, reason = choice
+                parts.append(f"backend={backend}" + (f" ({reason})" if reason else ""))
+            for backend in ("vector", "scalar"):
+                counter = self.runs.get((kernel, backend))
+                if counter is None:
+                    continue
+                parts.append(
+                    f"{backend}: {counter.calls} call(s), "
+                    f"{counter.work_items} item(s), {counter.seconds:.3f}s"
+                )
+            ratio = self.speedup(kernel)
+            if ratio is not None:
+                parts.append(f"speedup={ratio:.1f}x")
+            if kernel in self.fallbacks:
+                parts.append(
+                    f"fallbacks={self.fallbacks[kernel]} "
+                    f"({self.fallback_reasons.get(kernel, '')})"
+                )
+            lines.append(f"execution[{kernel}]: " + "; ".join(parts))
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.runs.clear()
+        self.choices.clear()
+        self.fallbacks.clear()
+        self.fallback_reasons.clear()
+
+
+#: Process-global counter, like ``repro.core.collect.collection_stats``.
+execution_stats = ExecutionStats()

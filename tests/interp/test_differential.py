@@ -1,0 +1,299 @@
+"""Differential testing: the vectorized backend against the scalar oracle.
+
+The scalar interpreter is the semantic ground truth; the batched NumPy
+backend must produce **bit-identical** buffers for every kernel it
+accepts.  This suite drives both backends over
+
+* the 14 real-world registry kernels (Table 4), scaled down,
+* their malleable-transformed variants at several throttle settings
+  (which exercise the transparent scalar fallback — the worklist
+  transform introduces barriers and atomics),
+* a sweep of Table-2 synthetic kernels over pattern/dim/dtype axes, and
+* hypothesis-generated random launch geometries and kernel parameters,
+
+comparing raw buffer bytes after each pair of runs.  The broad sweeps
+carry ``@pytest.mark.slow`` so the fast CI lane (``-m "not slow"``)
+keeps a representative subset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import (
+    NDRange,
+    check_vectorizable,
+    execute_kernel,
+    execution_stats,
+)
+from repro.transform import ALLOC_PARAM, MOD_PARAM, make_malleable
+from repro.workloads import (
+    REAL_WORKLOAD_FACTORIES,
+    TABLE4_PATTERNS,
+    SyntheticSpec,
+    make_atax1,
+    make_atax2,
+    make_bicg1,
+    make_bicg2,
+    make_conv2d,
+    make_fdtd1,
+    make_fdtd2,
+    make_fdtd3,
+    make_gesummv,
+    make_mvt1,
+    make_mvt2,
+    make_pagerank,
+    make_spmv,
+    make_synthetic,
+    make_syr2k,
+)
+
+#: Every Table-4 registry kernel at a size small enough for the scalar
+#: oracle — keys deliberately mirror ``REAL_WORKLOAD_FACTORIES``.
+SCALED_REAL = {
+    "2DCONV": lambda: make_conv2d(n=12, wg=(4, 4)),
+    "ATAX1": lambda: make_atax1(n=24, wg=8),
+    "ATAX2": lambda: make_atax2(n=24, wg=8),
+    "BICG1": lambda: make_bicg1(n=24, wg=8),
+    "BICG2": lambda: make_bicg2(n=24, wg=8),
+    "FDTD1": lambda: make_fdtd1(n=1, wg=(4, 4)),
+    "FDTD2": lambda: make_fdtd2(n=1, wg=(4, 4)),
+    "FDTD3": lambda: make_fdtd3(n=1, wg=(4, 4)),
+    "GESUMMV": lambda: make_gesummv(n=24, wg=8),
+    "MVT1": lambda: make_mvt1(n=24, wg=8),
+    "MVT2": lambda: make_mvt2(n=24, wg=8),
+    "SYR2K": lambda: make_syr2k(n=8, wg=(4, 4)),
+    "PageRank": lambda: make_pagerank(n=32, wg=8, avg_in_degree=4),
+    "SpMV": lambda: make_spmv(n=32, wg=8, nnz_per_row=4),
+}
+
+
+def _copy_args(args):
+    return {
+        name: value.copy() if isinstance(value, np.ndarray) else value
+        for name, value in args.items()
+    }
+
+
+def assert_bit_identical(source, args, ndrange, kernel_name=None):
+    """Run ``source`` under both backends and compare raw buffer bytes."""
+    scalar_args = _copy_args(args)
+    vector_args = _copy_args(args)
+    execute_kernel(source, scalar_args, ndrange,
+                   kernel_name=kernel_name, backend="scalar")
+    execute_kernel(source, vector_args, ndrange,
+                   kernel_name=kernel_name, backend="vector")
+    for name, value in scalar_args.items():
+        if isinstance(value, np.ndarray):
+            assert value.dtype == vector_args[name].dtype, name
+            assert value.tobytes() == vector_args[name].tobytes(), (
+                f"buffer {name!r} differs between backends"
+            )
+    return scalar_args, vector_args
+
+
+def assert_workload_bit_identical(workload, rng=0):
+    return assert_bit_identical(
+        workload.source, workload.full_args(rng), workload.ndrange(),
+        kernel_name=workload.kernel_name,
+    )
+
+
+class TestRealKernels:
+    def test_scaled_registry_is_complete(self):
+        assert list(SCALED_REAL) == list(REAL_WORKLOAD_FACTORIES)
+
+    def test_all_registry_kernels_eligible(self):
+        for name, factory in SCALED_REAL.items():
+            eligibility = check_vectorizable(factory().kernel_info())
+            assert eligibility.eligible, f"{name}: {eligibility.reason}"
+
+    @pytest.mark.parametrize("name", list(SCALED_REAL))
+    def test_bit_identical(self, name):
+        assert_workload_bit_identical(SCALED_REAL[name]())
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", list(SCALED_REAL))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_bit_identical_across_seeds(self, name, seed):
+        assert_workload_bit_identical(SCALED_REAL[name](), rng=seed)
+
+    def test_vector_backend_was_actually_used(self):
+        execution_stats.reset()
+        try:
+            assert_workload_bit_identical(SCALED_REAL["GESUMMV"]())
+            assert execution_stats.backend_for("gesummv") == "vector"
+            assert not execution_stats.fallbacks
+        finally:
+            execution_stats.reset()
+
+
+#: Throttle settings spanning full allocation, partial, and sparse.
+THROTTLES = [(1, 1), (4, 2), (8, 3)]
+
+#: Malleable-equivalence subjects: one 1-D regular, one 1-D irregular,
+#: one 2-D kernel.  The full registry sweep is in the slow lane.
+MALLEABLE_FAST = ["GESUMMV", "SpMV", "2DCONV"]
+
+
+def _malleable_args(workload, malleable, mod, alloc, rng=0):
+    args = workload.full_args(rng)
+    args[MOD_PARAM] = mod
+    args[ALLOC_PARAM] = alloc
+    return args, malleable
+
+
+def check_malleable(name, mod, alloc):
+    """Transformed kernel, both backends, against the untouched original.
+
+    The worklist transform adds a barrier and an atomic counter, so the
+    vectorizer must *decline* it and fall back to the scalar
+    interpreter — transparently, with identical results.
+    """
+    workload = SCALED_REAL[name]()
+    malleable = make_malleable(workload.source, work_dim=workload.work_dim,
+                               kernel_name=workload.kernel_name)
+    eligibility = check_vectorizable(malleable.info)
+    assert not eligibility.eligible
+
+    baseline = _copy_args(workload.full_args(rng=0))
+    execute_kernel(workload.source, baseline, workload.ndrange(),
+                   kernel_name=workload.kernel_name, backend="scalar")
+
+    for backend in ("scalar", "vector", "auto"):
+        args = _copy_args(workload.full_args(rng=0))
+        args[MOD_PARAM] = mod
+        args[ALLOC_PARAM] = alloc
+        from repro.interp import make_executor
+
+        make_executor(malleable.info, args, workload.ndrange(),
+                      backend=backend).run()
+        for buf, value in baseline.items():
+            if isinstance(value, np.ndarray):
+                assert value.tobytes() == args[buf].tobytes(), (
+                    f"{name} malleable(mod={mod}, alloc={alloc}) "
+                    f"backend={backend}: buffer {buf!r} differs"
+                )
+
+
+class TestMalleableVariants:
+    @pytest.mark.parametrize("name", MALLEABLE_FAST)
+    def test_throttled_matches_original(self, name):
+        check_malleable(name, 4, 2)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", list(SCALED_REAL))
+    @pytest.mark.parametrize("mod,alloc", THROTTLES)
+    def test_full_registry_throttle_sweep(self, name, mod, alloc):
+        check_malleable(name, mod, alloc)
+
+
+# -- Table-2 synthetic sweep -------------------------------------------------
+
+#: A pattern from each Table-2 modifier family for the fast lane.
+FAST_SYNTH = ["1mat3d", "2mat3d1T", "2mat3d1C1R", "1mat4d1R"]
+
+#: The full Table-4 pattern axis (17 names) for the nightly lane.
+ALL_PATTERNS = list(TABLE4_PATTERNS)
+
+
+def _synthetic_case(pattern, dim, dtype, gamma=1):
+    spec = SyntheticSpec.from_pattern(pattern, gamma=gamma, dim=dim,
+                                      dtype=dtype)
+    return make_synthetic(spec, size=32, wg_items=16, extent=4)
+
+
+class TestSyntheticSweep:
+    @pytest.mark.parametrize("pattern", FAST_SYNTH)
+    @pytest.mark.parametrize("dim", [1, 2])
+    def test_fast_subset(self, pattern, dim):
+        assert_workload_bit_identical(_synthetic_case(pattern, dim, "float"))
+
+    def test_integer_dtype(self):
+        assert_workload_bit_identical(_synthetic_case("2mat3d", 1, "int"))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("pattern", ALL_PATTERNS)
+    @pytest.mark.parametrize("dim", [1, 2])
+    @pytest.mark.parametrize("dtype", ["float", "int"])
+    def test_full_sweep(self, pattern, dim, dtype):
+        assert_workload_bit_identical(_synthetic_case(pattern, dim, dtype))
+
+
+# -- hypothesis: random parameters and launch geometries ---------------------
+
+DIVERGENT_SRC = """
+__kernel void mix(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) {
+        float acc = 0.0f;
+        for (int j = 0; j <= i % 5; j++) {
+            acc = acc + X[(i + j) % n];
+        }
+        if (X[i] > 0.0f) {
+            acc = acc * a;
+        } else {
+            acc = acc - a;
+        }
+        Y[i] = acc + Y[i] + (float)(i / 3);
+    }
+}
+"""
+
+GRID2D_SRC = """
+__kernel void grid(__global float* A, int nx, int ny, float s)
+{
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    if ((x < nx) && (y < ny)) {
+        int k = y * nx + x;
+        float v = A[k];
+        while (v > 1.0f) {
+            v = v / 2.0f;
+        }
+        A[k] = v * s + (float)((x + y) % 3);
+    }
+}
+"""
+
+
+class TestRandomised:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=96),
+        wg=st.sampled_from([1, 2, 4, 8]),
+        a=st.floats(min_value=-8.0, max_value=8.0,
+                    allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_divergent_1d(self, n, wg, a, seed):
+        rng = np.random.default_rng(seed)
+        padded = -(-n // wg) * wg
+        args = {
+            "X": rng.standard_normal(padded),
+            "Y": rng.standard_normal(padded),
+            "a": a,
+            "n": n,
+        }
+        assert_bit_identical(DIVERGENT_SRC, args, NDRange(padded, wg))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        gx=st.integers(min_value=1, max_value=6),
+        gy=st.integers(min_value=1, max_value=6),
+        s=st.floats(min_value=-4.0, max_value=4.0,
+                    allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_uniform_loop_2d(self, gx, gy, s, seed):
+        rng = np.random.default_rng(seed)
+        nx, ny = gx * 2, gy * 2
+        args = {
+            "A": rng.uniform(0.0, 16.0, size=nx * ny),
+            "nx": nx,
+            "ny": ny,
+            "s": s,
+        }
+        assert_bit_identical(GRID2D_SRC, args, NDRange((nx, ny), (2, 2)))

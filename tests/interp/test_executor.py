@@ -274,3 +274,86 @@ class TestNDRange:
         )
         assert out[8:16].sum() == 8 and out[24:32].sum() == 8
         assert out.sum() == 16
+
+
+class TestPointerBounds:
+    """Pointer arithmetic forms unchecked refs (as C allows); *using* an
+    out-of-range ref — load, store, or atomic — is a kernel error rather
+    than NumPy's silent negative-index wraparound."""
+
+    def test_pointer_offset_deref(self):
+        args = {"A": np.zeros(8), "S": np.zeros(2), "n": 8}
+        execute_kernel(
+            """
+            __kernel void f(__global float* A, __global float* S, int n)
+            {
+                __global float* p = A + 2;
+                *p = 7.0f;
+                __global float* q = A + 5;
+                S[0] = (float)(q - p);
+            }
+            """,
+            args,
+            NDRange(1, 1),
+        )
+        assert args["A"][2] == 7.0
+        assert args["S"][0] == 3.0
+
+    def test_store_past_end_raises(self):
+        with pytest.raises(KernelRuntimeError, match="out-of-bounds pointer"):
+            execute_kernel(
+                "__kernel void f(__global float* A, int n)"
+                "{ *(A + n) = 1.0f; }",
+                {"A": np.zeros(4), "n": 4},
+                NDRange(1, 1),
+            )
+
+    def test_negative_offset_load_raises(self):
+        """The critical case: NumPy would happily serve ``A[-1]``."""
+        with pytest.raises(KernelRuntimeError, match="offset -1"):
+            execute_kernel(
+                "__kernel void f(__global float* A)"
+                "{ float v = *(A - 1); A[0] = v; }",
+                {"A": np.zeros(4)},
+                NDRange(1, 1),
+            )
+
+    def test_buffer_not_clobbered_before_error(self):
+        args = {"A": np.zeros(4)}
+        with pytest.raises(KernelRuntimeError):
+            execute_kernel(
+                "__kernel void f(__global float* A)"
+                "{ float v = *(A - 1); A[3] = v + 1.0f; }",
+                args,
+                NDRange(1, 1),
+            )
+        assert args["A"][3] == 0.0
+
+    def test_cross_buffer_subtraction_raises(self):
+        with pytest.raises(KernelRuntimeError, match="different buffers"):
+            execute_kernel(
+                "__kernel void f(__global float* A, __global float* B,"
+                " __global float* S)"
+                "{ S[0] = (float)((B + 1) - (A + 0)); }",
+                {"A": np.zeros(4), "B": np.zeros(4), "S": np.zeros(1)},
+                NDRange(1, 1),
+            )
+
+    def test_atomic_through_oob_pointer_raises(self):
+        with pytest.raises(KernelRuntimeError, match="out-of-bounds pointer"):
+            execute_kernel(
+                "__kernel void f(__global int* C, int n)"
+                "{ atomic_add(C + n, 1); }",
+                {"C": np.zeros(2, dtype=np.int64), "n": 2},
+                NDRange(1, 1),
+            )
+
+    def test_vector_backend_oob_raises_too(self):
+        with pytest.raises(KernelRuntimeError, match="out-of-bounds"):
+            execute_kernel(
+                "__kernel void f(__global float* A, int n)"
+                "{ A[get_global_id(0) + n] = 1.0f; }",
+                {"A": np.zeros(4), "n": 1},
+                NDRange(4, 4),
+                backend="vector",
+            )

@@ -1,0 +1,208 @@
+"""Unit tests for the vectorized backend's machinery.
+
+The end-to-end bit-identity evidence lives in ``test_differential``;
+this file pins down the pieces: the eligibility pass, backend
+resolution, the transparent runtime fallback, and the execution-stats
+counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import analyze_kernel, parse
+from repro.interp import (
+    AUTO_MIN_WORK_ITEMS,
+    KernelExecutor,
+    NDRange,
+    VectorizedExecutor,
+    check_vectorizable,
+    execution_stats,
+    make_executor,
+    resolve_backend,
+)
+from repro.interp import vectorize
+from repro.interp.stats import ExecutionStats
+
+SAXPY = """
+__kernel void saxpy(__global float* X, __global float* Y, float a, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) Y[i] = a * X[i] + Y[i];
+}
+"""
+
+
+def info_of(source):
+    unit = parse(source)
+    return analyze_kernel(unit.kernels()[0], unit)
+
+
+def saxpy_args(n=128):
+    rng = np.random.default_rng(7)
+    return {"X": rng.standard_normal(n), "Y": rng.standard_normal(n),
+            "a": 2.5, "n": n}
+
+
+class TestEligibility:
+    def test_plain_kernel_eligible(self):
+        assert check_vectorizable(info_of(SAXPY)).eligible
+
+    @pytest.mark.parametrize("body,needle", [
+        ("barrier(1); A[get_global_id(0)] = 1.0f;", "barrier"),
+        ("atomic_inc(&A[0]);", "atomic"),
+        ("__local float tile[4]; A[0] = 1.0f;", "tile"),
+        ("float scratch[4]; scratch[0] = 1.0f; A[0] = scratch[0];",
+         "private array"),
+        ("__global float* p = A; *p = 1.0f;", "pointer"),
+        ("*(A + 1) = 1.0f;", "pointer indirection"),
+    ])
+    def test_rejections(self, body, needle):
+        source = "__kernel void f(__global float* A) { %s }" % body
+        eligibility = check_vectorizable(info_of(source))
+        assert not eligibility.eligible
+        assert needle in eligibility.reason
+
+    def test_pointer_reassignment_in_helper_rejected(self):
+        source = """
+        float head(__global float* p) { p = p + 1; return p[0]; }
+        __kernel void f(__global float* A) { A[0] = head(A); }
+        """
+        eligibility = check_vectorizable(info_of(source))
+        assert not eligibility.eligible
+        assert "helper" in eligibility.reason
+
+    def test_result_is_memoized(self):
+        info = info_of(SAXPY)
+        assert check_vectorizable(info) is check_vectorizable(info)
+
+
+class TestBackendResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("DOPIA_BACKEND", raising=False)
+        assert resolve_backend() == "auto"
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.setenv("DOPIA_BACKEND", "scalar")
+        assert resolve_backend() == "scalar"
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("DOPIA_BACKEND", "scalar")
+        assert resolve_backend("vector") == "vector"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("simd")
+
+    def test_scalar_forced(self):
+        executor = make_executor(info_of(SAXPY), saxpy_args(), NDRange(128, 32),
+                                 backend="scalar")
+        assert isinstance(executor, KernelExecutor)
+
+    def test_vector_for_eligible(self):
+        executor = make_executor(info_of(SAXPY), saxpy_args(), NDRange(128, 32),
+                                 backend="vector")
+        assert isinstance(executor, VectorizedExecutor)
+
+    def test_auto_keeps_small_launches_scalar(self):
+        n = AUTO_MIN_WORK_ITEMS // 2
+        executor = make_executor(info_of(SAXPY), saxpy_args(n), NDRange(n, 1),
+                                 backend="auto")
+        assert isinstance(executor, KernelExecutor)
+
+    def test_auto_vectorizes_large_launches(self):
+        n = AUTO_MIN_WORK_ITEMS * 2
+        executor = make_executor(info_of(SAXPY), saxpy_args(n), NDRange(n, 32),
+                                 backend="auto")
+        assert isinstance(executor, VectorizedExecutor)
+
+    def test_ineligible_runs_scalar_under_vector(self):
+        source = ("__kernel void f(__global int* C)"
+                  "{ atomic_inc(&C[0]); }")
+        executor = make_executor(info_of(source), {"C": np.zeros(1, np.int64)},
+                                 NDRange(128, 32), backend="vector")
+        assert isinstance(executor, KernelExecutor)
+
+
+class TestRuntimeFallback:
+    def test_fallback_restores_buffers_and_reruns_scalar(self, monkeypatch):
+        """A mid-batch bail-out must leave no trace of partial stores."""
+        real_run = vectorize._BatchRun.run
+        tripped = {"count": 0}
+
+        def sabotaged(self):
+            if tripped["count"] == 0:
+                tripped["count"] += 1
+                # Mutate an output first so the snapshot restore is load-
+                # bearing, then bail as an unsupported construct would.
+                self.env["Y"][...] = -1.0
+                raise vectorize.VectorizeFallback("synthetic trip")
+            return real_run(self)
+
+        monkeypatch.setattr(vectorize._BatchRun, "run", sabotaged)
+        args = saxpy_args()
+        expected = args["a"] * args["X"] + args["Y"]
+        executor = VectorizedExecutor(info_of(SAXPY), args, NDRange(128, 32))
+        execution_stats.reset()
+        try:
+            executor.run()
+            assert executor.used_fallback
+            assert execution_stats.fallbacks.get("saxpy") == 1
+        finally:
+            execution_stats.reset()
+        np.testing.assert_array_equal(args["Y"], expected)
+
+    def test_genuine_kernel_error_propagates(self):
+        """Out-of-bounds is a kernel bug, not a vectorization gap — it must
+        surface identically instead of silently retrying on the oracle."""
+        source = ("__kernel void f(__global float* A)"
+                  "{ A[get_global_id(0) + 1] = 1.0f; }")
+        from repro.interp import KernelRuntimeError
+
+        executor = VectorizedExecutor(info_of(source), {"A": np.zeros(4)},
+                                      NDRange(4, 4))
+        with pytest.raises(KernelRuntimeError):
+            executor.run()
+        assert not executor.used_fallback
+
+
+class TestExecutionStats:
+    def test_run_records_and_speedup(self):
+        stats = ExecutionStats()
+        stats.record_choice("k", "vector", "eligible")
+        stats.record_run("k", "scalar", 1000, 2.0)
+        stats.record_run("k", "vector", 1000, 0.1)
+        assert stats.backend_for("k") == "vector"
+        assert stats.speedup("k") == pytest.approx(20.0)
+        assert stats.total_calls() == 2
+
+    def test_speedup_needs_both_backends(self):
+        stats = ExecutionStats()
+        stats.record_run("k", "vector", 100, 0.5)
+        assert stats.speedup("k") is None
+
+    def test_summary_mentions_kernels_and_fallbacks(self):
+        stats = ExecutionStats()
+        stats.record_choice("k", "vector", "eligible")
+        stats.record_run("k", "vector", 100, 0.5)
+        stats.record_fallback("k", "synthetic trip")
+        text = stats.summary()
+        assert "k" in text and "vector" in text
+
+    def test_global_stats_capture_launches(self):
+        execution_stats.reset()
+        try:
+            make_executor(info_of(SAXPY), saxpy_args(), NDRange(128, 32),
+                          backend="vector").run()
+            assert execution_stats.backend_for("saxpy") == "vector"
+            assert execution_stats.total_calls() == 1
+        finally:
+            execution_stats.reset()
+
+    def test_reset_clears_everything(self):
+        stats = ExecutionStats()
+        stats.record_run("k", "vector", 100, 0.5)
+        stats.record_fallback("k", "why")
+        stats.reset()
+        assert stats.total_calls() == 0
+        assert not stats.fallbacks
+        assert stats.kernels() == []
