@@ -39,6 +39,20 @@ reads before all writes here, while the scalar interpreter interleaves
 lanes.  Such intra-statement cross-lane races are undefined behaviour in
 real OpenCL; no repository kernel contains one, and the differential suite
 (`tests/interp/test_differential.py`) would flag any that appeared.
+
+A second documented limit: lane integer arithmetic runs in ``int64``
+(overflow wraps silently under ``np.errstate``), while the scalar oracle
+uses unbounded Python ints.  Because two's-complement wrapping is exact
+modulo 2**64 and buffer stores truncate, ``+ - * << & | ^`` chains still
+agree with the oracle at every store; the backends can only diverge when
+an intermediate wider than 64 bits feeds an operation that is *not* a
+ring homomorphism modulo 2**64 — division, remainder, a comparison, a
+right shift, or a float conversion (e.g. the product of three values near
+2**40, then compared).  Shift counts outside ``[0, 64)`` are detected at
+run time and fall back to the scalar path; wider intermediates are not,
+so kernels relying on >64-bit integer precision must run with
+``backend=scalar``.  No registry kernel does, and the differential suite
+guards that envelope.
 """
 
 from __future__ import annotations
@@ -261,6 +275,23 @@ _WRAPPED_MATH: dict[str, Callable] = {
     if name not in _NATIVE_MATH and name not in _INT_RESULT_MATH
 }
 
+#: Inputs on which the scalar backend's ``math`` implementation raises
+#: (ValueError / OverflowError / ZeroDivisionError) but the NumPy kernel
+#: would silently produce a NaN/inf under ``np.errstate``.  Each predicate
+#: flags the offending lanes; any *active* hit reverts the launch to the
+#: scalar path so the oracle's exception (and partial stores) are exact.
+_MATH_DOMAIN_CHECKS: dict[str, Callable] = {
+    "sqrt": lambda x: np.less(x, 0),
+    "rsqrt": lambda x: np.less_equal(x, 0),
+    "fmod": lambda x, y: np.isinf(x) | np.equal(y, 0),
+    "floor": lambda x: ~np.isfinite(x),
+    "ceil": lambda x: ~np.isfinite(x),
+}
+
+#: Exceptions the scalar ``math`` implementations raise on domain/overflow
+#: errors; under the vector backend they trigger the transparent fallback.
+_MATH_ERRORS = (ValueError, OverflowError, ZeroDivisionError)
+
 _VEC_INT: dict[str, Callable] = {
     "abs": np.abs,
     "min": np.minimum,
@@ -427,6 +458,10 @@ class _BatchRun:
         self.count = self.lanes.count
         self.full = np.ones(self.count, dtype=bool)
         self.env: dict[str, Any] = dict(executor.args)
+        #: Variables first bound under a divergent mask: name -> the lanes
+        #: that actually executed a binding.  Reads check it (see ``_eval``);
+        #: fully-bound variables are absent.
+        self.partially_bound: dict[str, np.ndarray] = {}
         self.frames: list[_Frame] = [_Frame(self.count)]
 
     def run(self) -> None:
@@ -457,10 +492,23 @@ class _BatchRun:
     def _bind(self, name: str, value: Any, mask: np.ndarray) -> None:
         if mask is self.full or bool(mask.all()):
             self.env[name] = value
+            self.partially_bound.pop(name, None)
             return
         old = self.env.get(name)
         if old is None:
+            # First binding happens under divergence: the inactive lanes do
+            # not have this variable (the scalar backend would raise
+            # 'unbound identifier' if they read it).  Record which lanes are
+            # live and give the rest an inert placeholder; reads validate
+            # against the recorded mask.
+            self.partially_bound[name] = mask.copy()
             old = 0.0 if _is_float_kind(value) else 0
+        else:
+            bound = self.partially_bound.get(name)
+            if bound is not None:
+                bound |= mask
+                if bool(bound.all()):
+                    del self.partially_bound[name]
         self.env[name] = self._blend(value, old, mask)
 
     def _ident_type(self, name: str) -> Optional[ast.CType]:
@@ -509,6 +557,11 @@ class _BatchRun:
                     frame.value = self._blend(value, 0, mask) \
                         if not bool(mask.all()) else value
                 else:
+                    if _is_float_kind(frame.value) != _is_float_kind(value):
+                        # np.where would float-promote the earlier int
+                        # returns; the oracle keeps each lane's own type.
+                        raise self._fallback(
+                            "return values with mixed int/float types")
                     frame.value = self._blend(value, frame.value, mask)
             frame.returned = frame.returned | mask
             return np.zeros(self.count, dtype=bool)
@@ -614,11 +667,21 @@ class _BatchRun:
             return expr.value
         if kind is ast.Identifier:
             try:
-                return self.env[expr.name]
+                value = self.env[expr.name]
             except KeyError:
                 raise KernelRuntimeError(
                     f"unbound identifier {expr.name!r}"
                 ) from None
+            bound = self.partially_bound.get(expr.name)
+            if bound is not None and bool((mask & ~bound).any()):
+                # An active lane reads a variable only ever assigned on
+                # *other* lanes (e.g. in a divergent branch this lane never
+                # took).  The scalar backend reports that kernel bug as
+                # 'unbound identifier'; rerun there instead of silently
+                # substituting the placeholder.
+                raise self._fallback(
+                    f"read of {expr.name!r} on a lane that never bound it")
+            return value
         if kind is ast.BinaryOp:
             return self._eval_binary(expr, mask)
         if kind is ast.UnaryOp:
@@ -652,8 +715,20 @@ class _BatchRun:
             return self._eval(branch, mask)
         then_mask = mask & taken
         else_mask = mask & ~taken
-        then_val = self._eval(expr.then, then_mask) if then_mask.any() else 0
-        else_val = self._eval(expr.otherwise, else_mask) if else_mask.any() else 0
+        then_val = self._eval(expr.then, then_mask) if then_mask.any() else None
+        else_val = (self._eval(expr.otherwise, else_mask)
+                    if else_mask.any() else None)
+        if then_val is None and else_val is None:
+            return 0
+        if then_val is None:
+            then_val = 0.0 if _is_float_kind(else_val) else 0
+        elif else_val is None:
+            else_val = 0.0 if _is_float_kind(then_val) else 0
+        elif _is_float_kind(then_val) != _is_float_kind(else_val):
+            # np.where would promote the int side to float64 on every lane;
+            # the scalar oracle keeps each lane's own branch type (an int
+            # lane then divides with C truncation).  Punt to the oracle.
+            raise self._fallback("ternary with mixed int/float branch types")
         return np.where(taken, then_val, else_val)
 
     def _eval_binary(self, expr: ast.BinaryOp, mask: np.ndarray) -> Any:
@@ -715,10 +790,21 @@ class _BatchRun:
             return (left <= right).astype(np.int64)
         if op == ">=":
             return (left >= right).astype(np.int64)
-        if op == "<<":
-            return np.left_shift(_as_int(left), _as_int(right))
-        if op == ">>":
-            return np.right_shift(_as_int(left), _as_int(right))
+        if op == "<<" or op == ">>":
+            # int64 lanes vs the oracle's unbounded Python ints: a count
+            # outside [0, 64) is a ValueError (negative) or well-defined
+            # (Python) where NumPy's C shift is undefined.  Rerun on the
+            # scalar path, which gets both cases exactly right.
+            amount = _as_int(right)
+            if _is_arr(amount):
+                if bool((mask & ((amount < 0) | (amount >= 64))).any()):
+                    raise self._fallback(
+                        "shift amount outside [0, 64) on an active lane")
+            elif not 0 <= amount < 64:
+                raise self._fallback(
+                    f"shift amount {amount} outside [0, 64)")
+            shift = np.left_shift if op == "<<" else np.right_shift
+            return shift(_as_int(left), amount)
         if op == "&":
             return np.bitwise_and(_as_int(left), _as_int(right))
         if op == "|":
@@ -932,22 +1018,59 @@ class _BatchRun:
         raise self._fallback(f"unknown work-item query {name}")
 
     def _math_call(self, name: str, expr: ast.Call, mask: np.ndarray) -> Any:
+        """Evaluate a math builtin on the *active* lanes only.
+
+        Lanes masked off by divergent control flow never reach the builtin
+        in the scalar schedule, so they must not be able to raise here
+        (``log`` of a guarded-out negative, ``exp`` overflow, ...).  Array
+        arguments are compressed to the active lanes before the call and
+        the result is scattered back, with inactive lanes holding a zero
+        placeholder that masked stores/blends never observe.  An error on
+        an *active* lane — where the scalar backend would raise — reverts
+        the launch to the scalar path so the oracle's exact exception and
+        partial buffer state are reproduced.
+        """
         args = [_as_float(self._eval(arg, mask)) for arg in expr.args]
         if not any(_is_arr(arg) for arg in args):
-            return MATH_IMPLS[name](*args)
-        if name in _NATIVE_MATH:
-            return _NATIVE_MATH[name](*args)
-        if name in _INT_RESULT_MATH:
-            return _as_int(_INT_RESULT_MATH[name](*args))
-        return _WRAPPED_MATH[name](*args)
+            if not bool(mask.any()):
+                return 0.0
+            try:
+                return MATH_IMPLS[name](*args)
+            except _MATH_ERRORS as exc:
+                raise self._fallback(f"math builtin {name!r}: {exc}") from exc
+        if not bool(mask.any()):
+            return np.zeros(self.count, dtype=np.float64)
+        full = bool(mask.all())
+        packed = args if full else \
+            [arg[mask] if _is_arr(arg) else arg for arg in args]
+        check = _MATH_DOMAIN_CHECKS.get(name)
+        if check is not None and bool(np.any(check(*packed))):
+            raise self._fallback(
+                f"math builtin {name!r}: domain error on an active lane")
+        try:
+            if name in _NATIVE_MATH:
+                result = _NATIVE_MATH[name](*packed)
+            elif name in _INT_RESULT_MATH:
+                result = _as_int(_INT_RESULT_MATH[name](*packed))
+            else:
+                result = _WRAPPED_MATH[name](*packed)
+        except _MATH_ERRORS as exc:
+            raise self._fallback(f"math builtin {name!r}: {exc}") from exc
+        if full:
+            return result
+        out = np.zeros(self.count, dtype=result.dtype)
+        out[mask] = result
+        return out
 
     def _call_user_function(self, name: str, expr: ast.Call,
                             mask: np.ndarray) -> Any:
         callee = self.info.user_functions[name]
         values = [self._eval(arg, mask) for arg in expr.args]
         saved_env = self.env
+        saved_partial = self.partially_bound
         saved_info = self.info
         self.env = {}
+        self.partially_bound = {}
         for param, value in zip(callee.kernel.params, values):
             self.env[param.name] = (
                 value if param.type.pointer else self._coerce(value, param.type)
@@ -960,6 +1083,7 @@ class _BatchRun:
         finally:
             self.frames.pop()
             self.env = saved_env
+            self.partially_bound = saved_partial
             self.info = saved_info
         if callee.kernel.return_type.name == "void":
             return None

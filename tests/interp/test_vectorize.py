@@ -165,6 +165,221 @@ class TestRuntimeFallback:
         assert not executor.used_fallback
 
 
+def run_on_both_backends(source, make_args, ndrange):
+    """Run a kernel on both backends; return (vector_args, scalar_args,
+    vector_exc, scalar_exc, vector_executor) for parity assertions."""
+    unit = parse(source)
+    info = analyze_kernel(unit.kernels()[0], unit)
+    vec_args, ref_args = make_args(), make_args()
+    scalar_exc = vector_exc = None
+    try:
+        KernelExecutor(info, ref_args, ndrange).run()
+    except Exception as exc:  # noqa: BLE001 - parity includes the crash
+        scalar_exc = exc
+    executor = VectorizedExecutor(info, vec_args, ndrange)
+    try:
+        executor.run()
+    except Exception as exc:  # noqa: BLE001
+        vector_exc = exc
+    return vec_args, ref_args, vector_exc, scalar_exc, executor
+
+
+class TestOracleParity:
+    """Regression tests for divergences between the backends (REVIEW fixes):
+    each case must match the scalar oracle bit-for-bit, including which
+    exception is raised and the buffer state left behind by a crash."""
+
+    N = 128
+
+    def test_masked_lanes_never_evaluate_math(self):
+        """log() under a guard must not raise for the guarded-out lanes —
+        and the kernel must stay on the vector path, not fall back."""
+        source = """
+        __kernel void guarded_log(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            float x = A[i];
+            if (x > 0.0f) out[i] = log(x);
+        }
+        """
+        make = lambda: {"A": np.linspace(-2, 2, self.N), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert not executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_masked_lanes_never_overflow_exp(self):
+        source = """
+        __kernel void guarded_exp(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            float x = A[i];
+            if (x < 100.0f) out[i] = exp(x);
+        }
+        """
+        huge = np.where(np.arange(self.N) % 2 == 0, 1.5, 800.0)
+        make = lambda: {"A": huge.copy(), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert not executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_active_lane_domain_error_matches_oracle(self):
+        """An *unguarded* log of a negative is a kernel bug: both backends
+        must raise the same error and leave the same partial stores."""
+        source = """
+        __kernel void bad_log(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            out[i] = log(A[i]);
+        }
+        """
+        make = lambda: {"A": np.linspace(-2, 2, self.N), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, _ = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert type(vexc) is type(sexc) is ValueError
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_native_math_domain_error_matches_oracle(self):
+        """np.sqrt would silently yield NaN where math.sqrt raises."""
+        source = """
+        __kernel void bad_sqrt(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            out[i] = sqrt(A[i]);
+        }
+        """
+        make = lambda: {"A": np.linspace(-2, 2, self.N), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, _ = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert type(vexc) is type(sexc) is ValueError
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_mixed_type_ternary_matches_oracle(self):
+        """np.where would promote the int branch to float64; the oracle
+        divides the int lanes with C truncation instead."""
+        source = """
+        __kernel void tern(__global int* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            out[i] = (A[i] > 0 ? 5 : 4.0f) / 2;
+        }
+        """
+        flip = np.array([1, -1] * (self.N // 2), np.int64)
+        make = lambda: {"A": flip.copy(), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_divergent_unbound_read_matches_oracle(self):
+        """Reading a variable only bound in the *other* branch is a kernel
+        bug the oracle reports; it must not be masked by a zero default."""
+        source = """
+        __kernel void unbound(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            if (A[i] > 0.0f) { float t = A[i]; out[i] = t; }
+            else { out[i] = t; }
+        }
+        """
+        from repro.interp import KernelRuntimeError
+
+        make = lambda: {"A": np.linspace(-2, 2, self.N), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, _ = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert type(vexc) is type(sexc) is KernelRuntimeError
+        assert "unbound identifier" in str(vexc)
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_divergent_decl_stays_vectorized(self):
+        """The bread-and-butter guard pattern must not pay the fallback."""
+        source = """
+        __kernel void guarded(__global float* A, __global float* out, int n)
+        {
+            int i = get_global_id(0);
+            if (i < n) { float x = A[i]; out[i] = x * 2.0f; }
+        }
+        """
+        make = lambda: {"A": np.linspace(-2, 2, self.N),
+                        "out": np.zeros(self.N), "n": self.N - 28}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert not executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_oversized_shift_matches_oracle(self):
+        """Shifts >= 64 are undefined for int64 lanes; the oracle computes
+        them exactly (and overflows at the truncating store)."""
+        source = """
+        __kernel void shifty(__global int* A, __global int* out)
+        {
+            int i = get_global_id(0);
+            int s = A[i] + 60;
+            out[i] = (1 << s) / 2;
+        }
+        """
+        make = lambda: {"A": np.arange(self.N, dtype=np.int64) % 8,
+                        "out": np.zeros(self.N, np.int64)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert type(vexc) is type(sexc)
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_uniform_math_domain_error_matches_oracle(self):
+        """Domain errors on a *uniform* (non-array) argument also revert."""
+        source = """
+        __kernel void uniform_log(__global float* out, float v)
+        {
+            int i = get_global_id(0);
+            out[i] = log(v - 2.0f);
+        }
+        """
+        make = lambda: {"out": np.zeros(self.N), "v": 1.0}
+        vec, ref, vexc, sexc, _ = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert type(vexc) is type(sexc) is ValueError
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_mixed_type_helper_returns_match_oracle(self):
+        """Divergent returns of different kinds would float-promote the int
+        lanes under np.where; the oracle keeps each lane's own type."""
+        source = """
+        float pick(float x) { if (x > 0.0f) return 3; return 0.5f; }
+        __kernel void ret(__global float* A, __global float* out)
+        {
+            int i = get_global_id(0);
+            out[i] = pick(A[i]) / 2;
+        }
+        """
+        make = lambda: {"A": np.linspace(-2, 2, self.N), "out": np.zeros(self.N)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+    def test_in_range_shift_stays_vectorized(self):
+        source = """
+        __kernel void shifty2(__global int* A, __global int* out)
+        {
+            int i = get_global_id(0);
+            out[i] = (A[i] << 3) >> 1;
+        }
+        """
+        make = lambda: {"A": np.arange(self.N, dtype=np.int64),
+                        "out": np.zeros(self.N, np.int64)}
+        vec, ref, vexc, sexc, executor = run_on_both_backends(
+            source, make, NDRange(self.N, 32))
+        assert vexc is None and sexc is None
+        assert not executor.used_fallback
+        np.testing.assert_array_equal(vec["out"], ref["out"])
+
+
 class TestExecutionStats:
     def test_run_records_and_speedup(self):
         stats = ExecutionStats()
