@@ -15,6 +15,7 @@ import contextlib
 from typing import Optional
 
 from ..interp.ndrange import NDRange
+from ..obs import tracer
 from .context import Context
 from .device import Device, DeviceType, get_platform
 from .program import Kernel, Program
@@ -95,4 +96,10 @@ def create_command_queue(
 def notify_program_built(program: Program) -> None:
     """Internal: fan the build notification out to the interposer."""
     if _interposer is not None:
-        _interposer.program_built(program)
+        if tracer.enabled:
+            with tracer.span("cl.program_built", "build",
+                             kernels=list(program.kernel_infos),
+                             interposer=type(_interposer).__name__):
+                _interposer.program_built(program)
+        else:
+            _interposer.program_built(program)

@@ -20,6 +20,8 @@ from typing import Any, Optional
 from ..analysis.profile import profile_kernel
 from ..interp.ndrange import NDRange
 from ..interp.vectorize import make_executor
+from ..obs import tracer
+from ..obs.tracer import NULL_SPAN
 from ..sim.engine import DopSetting, simulate_execution
 from .context import Context
 from .device import Device
@@ -79,21 +81,34 @@ class CommandQueue:
         from .api import current_interposer  # late import to avoid a cycle
 
         interposer = current_interposer()
-        if interposer is not None:
-            event = interposer.enqueue(self, kernel, ndrange, irregular_trip_hint)
-            if event is not None:
-                self.events.append(event)
-                return event
-        event = self._default_execute(kernel, ndrange, irregular_trip_hint)
-        self.events.append(event)
-        return event
+        traced = tracer.enabled
+        with tracer.span(
+            "cl.enqueue_nd_range_kernel", "launch",
+            kernel=kernel.name,
+            global_size=list(ndrange.global_size),
+            local_size=list(ndrange.local_size),
+            interposed=interposer is not None,
+        ) if traced else NULL_SPAN:
+            if interposer is not None:
+                event = interposer.enqueue(self, kernel, ndrange, irregular_trip_hint)
+                if event is not None:
+                    self.events.append(event)
+                    return event
+            event = self._default_execute(kernel, ndrange, irregular_trip_hint)
+            self.events.append(event)
+            return event
 
     def _default_execute(
         self, kernel: Kernel, ndrange: NDRange, hint: Optional[float]
     ) -> Event:
+        traced = tracer.enabled
         args = kernel.bound_args()
         if self.functional:
-            make_executor(kernel.info, args, ndrange, backend=self.backend).run()
+            with tracer.span(
+                "cl.default_execute", "launch",
+                kernel=kernel.name, device=self.device.device_type.name,
+            ) if traced else NULL_SPAN:
+                make_executor(kernel.info, args, ndrange, backend=self.backend).run()
         profile = profile_kernel(
             kernel.info,
             kernel.scalar_args(),
@@ -120,12 +135,18 @@ class CommandQueue:
 
     def enqueue_read_buffer(self, buffer, destination) -> Event:
         destination[...] = buffer.array
+        if tracer.enabled:
+            tracer.instant("cl.read_buffer", "launch", nbytes=buffer.array.nbytes)
+            tracer.counter("cl.buffer_reads")
         event = Event(command=CommandType.READ_BUFFER)
         self.events.append(event)
         return event
 
     def enqueue_write_buffer(self, buffer, source) -> Event:
         buffer.write(source)
+        if tracer.enabled:
+            tracer.instant("cl.write_buffer", "launch", nbytes=buffer.array.nbytes)
+            tracer.counter("cl.buffer_writes")
         event = Event(command=CommandType.WRITE_BUFFER)
         self.events.append(event)
         return event

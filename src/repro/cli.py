@@ -12,6 +12,10 @@ Subcommands mirror the framework's phases:
   a trained (or freshly trained) model.
 * ``sweep``     — exhaustively simulate all 44 configurations for a kernel
   launch and print the Figure-1-style table.
+* ``trace``     — run one registry workload under the interposed runtime
+  with tracing on; write the JSONL + Chrome trace-event pair.
+* ``stats``     — summarise a JSONL trace written by ``trace`` (or by the
+  ``DOPIA_TRACE=<path>`` atexit export).
 
 Example::
 
@@ -43,7 +47,11 @@ from .frontend import FrontendError, analyze_kernel, parse_kernel
 from .ml import MODEL_FAMILIES, make_model, tree_to_c
 from .sim import get_platform
 from .transform import make_cpu_kernel, make_malleable
-from .workloads import real_workloads
+from .workloads import (
+    REAL_WORKLOAD_FACTORIES,
+    SCALED_REAL_FACTORIES,
+    real_workloads,
+)
 from .workloads.registry import Workload
 from .workloads.synthetic import training_workloads
 
@@ -364,6 +372,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one registry workload under the Dopia runtime with tracing on.
+
+    Training (or the cached dataset load) happens *before* the tracer is
+    enabled, so the trace covers exactly the online phase: program build,
+    kernel analysis, prediction over the 44 configurations, functional
+    co-execution, and the performance model.
+    """
+    from . import cl
+    from .core.runtime import DopiaRuntime
+    from .obs import (
+        format_summary,
+        summarize,
+        tracer,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    factories = REAL_WORKLOAD_FACTORIES if args.full else SCALED_REAL_FACTORIES
+    if args.workload not in factories:
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; choose from: "
+            + ", ".join(factories)
+        )
+    workload = factories[args.workload]()
+
+    platform = get_platform(args.platform)
+    jobs = args.jobs or default_jobs()
+    print(f"training {args.model} on {platform.name} "
+          "(cached after the first run) ...", file=sys.stderr)
+    runtime = DopiaRuntime.from_pretrained(
+        platform, model_name=args.model, jobs=jobs
+    )
+
+    tracer.enable()
+    try:
+        with cl.interposed(runtime):
+            context = cl.create_context(args.platform)
+            program = context.create_program_with_source(workload.source).build()
+            kernel = program.create_kernel(workload.kernel_name)
+            for name, value in workload.full_args(args.seed).items():
+                kernel.set_arg(
+                    name,
+                    context.create_buffer(value)
+                    if isinstance(value, np.ndarray) else value,
+                )
+            queue = cl.create_command_queue(
+                context, functional=not args.full
+            )
+            event = queue.enqueue_nd_range_kernel(
+                kernel, workload.global_size, workload.local_size,
+                irregular_trip_hint=workload.irregular_trip_hint,
+            )
+        events = tracer.events()
+        counters = dict(tracer.counters)
+        dropped = tracer.dropped
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    jsonl = out / f"{args.workload}.trace.jsonl"
+    chrome = out / f"{args.workload}.chrome.json"
+    write_jsonl(events, jsonl)
+    write_chrome_trace(events, chrome, counters)
+
+    print(f"workload : {args.workload} "
+          f"(global={workload.global_size} local={workload.local_size})")
+    print(f"simulated: {event.simulated_time_s * 1e3:.3f} ms")
+    print(f"trace    : {jsonl}")
+    print(f"chrome   : {chrome}  (load in chrome://tracing or ui.perfetto.dev)")
+    if dropped:
+        print(f"warning  : ring buffer dropped {dropped} event(s)", file=sys.stderr)
+    print(format_summary(summarize(events)))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarise a JSONL trace file."""
+    from .obs import format_summary, read_jsonl, summarize
+
+    try:
+        events = read_jsonl(args.trace)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {args.trace}: {error}")
+    except ValueError as error:
+        raise SystemExit(f"error: {args.trace} is not a JSONL trace: {error}")
+    print(f"trace    : {args.trace}")
+    print(format_summary(summarize(events)))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -464,6 +565,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
     p.add_argument("--top", type=int, default=10, help="rows to print")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace one registry workload through the interposed runtime",
+    )
+    p.add_argument("workload", metavar="WORKLOAD",
+                   help="registry key (e.g. GESUMMV, SpMV, 2DCONV)")
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
+    p.add_argument("--full", action="store_true",
+                   help="paper-sized launch, simulation only (default: the "
+                        "scaled launch, executed functionally)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for the input buffers")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes if training data must be collected")
+    p.add_argument("--out", default="traces",
+                   help="output directory for the trace pair")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("stats", help="summarise a JSONL trace file")
+    p.add_argument("trace", help="path to a .trace.jsonl file")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

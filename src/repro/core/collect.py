@@ -51,6 +51,8 @@ from zipfile import BadZipFile
 
 import numpy as np
 
+from ..obs import tracer
+from ..obs.tracer import NULL_SPAN
 from ..sim.platforms import Platform
 from ..workloads.registry import Workload
 
@@ -400,6 +402,7 @@ def collect_dataset_with_stats(
                 stats.legacy_hit = True
                 stats.shard_hits = n
                 stats.read_seconds = stats.total_seconds = time.perf_counter() - t_start
+                _trace_collection(stats)
                 return dataset, stats
             _discard(legacy, "corrupt or stale legacy dataset")
 
@@ -412,22 +415,25 @@ def collect_dataset_with_stats(
     times = np.empty((n, n_configs), dtype=np.float64)
 
     # -- phase 1: probe the shard store ------------------------------------
+    traced = tracer.enabled
     t_read = time.perf_counter()
     missing: list[int] = []
-    if cache:
-        for index, (spec, digest) in enumerate(zip(specs, hashes)):
-            shard_file = store / f"{digest}.npz"
-            existed = shard_file.exists()
-            shard = _read_shard(shard_file, spec.key, n_configs)
-            if shard is None:
-                if existed:
-                    stats.shards_corrupt += 1
-                missing.append(index)
-                continue
-            static[index], runtime[index], times[index] = shard
-            stats.shard_hits += 1
-    else:
-        missing = list(range(n))
+    with tracer.span("collect.probe", "collect", platform=platform.name,
+                     workloads=n, cached=cache) if traced else NULL_SPAN:
+        if cache:
+            for index, (spec, digest) in enumerate(zip(specs, hashes)):
+                shard_file = store / f"{digest}.npz"
+                existed = shard_file.exists()
+                shard = _read_shard(shard_file, spec.key, n_configs)
+                if shard is None:
+                    if existed:
+                        stats.shards_corrupt += 1
+                    missing.append(index)
+                    continue
+                static[index], runtime[index], times[index] = shard
+                stats.shard_hits += 1
+        else:
+            missing = list(range(n))
     stats.shard_misses = len(missing)
     stats.read_seconds = time.perf_counter() - t_read
 
@@ -454,17 +460,19 @@ def collect_dataset_with_stats(
             progress(done, len(missing), specs[index].key)
 
     tasks = [(index, specs[index], platform, sigma) for index in missing]
-    if len(tasks) > 1 and jobs > 1:
-        workers = min(jobs, len(tasks))
-        chunksize = max(1, len(tasks) // (workers * 8))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for done, result in enumerate(
-                pool.map(_collect_worker, tasks, chunksize=chunksize), start=1
-            ):
-                store_result(done, result)
-    else:
-        for done, task in enumerate(tasks, start=1):
-            store_result(done, _collect_worker(task))
+    with tracer.span("collect.measure", "collect", platform=platform.name,
+                     misses=len(tasks), jobs=jobs) if traced else NULL_SPAN:
+        if len(tasks) > 1 and jobs > 1:
+            workers = min(jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (workers * 8))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for done, result in enumerate(
+                    pool.map(_collect_worker, tasks, chunksize=chunksize), start=1
+                ):
+                    store_result(done, result)
+        else:
+            for done, task in enumerate(tasks, start=1):
+                store_result(done, _collect_worker(task))
     stats.collect_seconds = time.perf_counter() - t_collect - write_seconds
 
     dataset = DopDataset(
@@ -505,7 +513,26 @@ def collect_dataset_with_stats(
         log.warning(
             "%s: re-collected %d corrupt shard(s)", platform.name, stats.shards_corrupt
         )
+    _trace_collection(stats)
     return dataset, stats
+
+
+def _trace_collection(stats: CollectionStats) -> None:
+    """Mirror one collection's statistics into the tracer (when enabled)."""
+    if not tracer.enabled:
+        return
+    tracer.instant(
+        "collect.done", "collect",
+        platform=stats.platform,
+        n_workloads=stats.n_workloads, n_configs=stats.n_configs,
+        jobs=stats.jobs, shard_hits=stats.shard_hits,
+        shard_misses=stats.shard_misses, shards_corrupt=stats.shards_corrupt,
+        legacy_hit=stats.legacy_hit,
+        read_seconds=stats.read_seconds, collect_seconds=stats.collect_seconds,
+        write_seconds=stats.write_seconds, total_seconds=stats.total_seconds,
+    )
+    tracer.counter("collect.shard_hits", stats.shard_hits)
+    tracer.counter("collect.shard_misses", stats.shard_misses)
 
 
 # ---------------------------------------------------------------------------

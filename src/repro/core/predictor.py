@@ -14,6 +14,7 @@ import numpy as np
 
 from ..analysis.features import StaticFeatures
 from ..ml.base import Estimator
+from ..obs import tracer
 from ..sim.platforms import Platform
 from .dopconfig import DopConfig, config_space, config_utils_matrix
 
@@ -56,8 +57,31 @@ class DopPredictor:
         rows = self.feature_rows(static, work_dim, global_size, local_size)
         scores = self.model.predict(rows)
         best = int(np.argmax(scores))
-        return Prediction(
+        prediction = Prediction(
             config=self.configs[best],
             scores=scores,
             inference_cost_s=self.model.inference_cost_s(len(self.configs)),
         )
+        if tracer.enabled:
+            # The full scored configuration space — the evidence behind
+            # "why did this launch pick (c CPU threads, GPU/g)?".
+            tracer.instant(
+                "predictor.select", "predict",
+                platform=self.platform.name,
+                work_dim=work_dim, global_size=global_size,
+                local_size=local_size,
+                best=best,
+                cpu_threads=prediction.config.setting.cpu_threads,
+                gpu_fraction=prediction.config.setting.gpu_fraction,
+                inference_cost_s=prediction.inference_cost_s,
+                configs=[
+                    {
+                        "cpu_threads": config.setting.cpu_threads,
+                        "gpu_fraction": config.setting.gpu_fraction,
+                        "score": float(score),
+                    }
+                    for config, score in zip(self.configs, scores)
+                ],
+            )
+            tracer.counter("predictor.selections")
+        return prediction

@@ -16,6 +16,7 @@ Installed as the :class:`repro.cl.Interposer`, the runtime
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -28,7 +29,9 @@ from ..cl.types import CommandType
 from ..interp.ndrange import NDRange
 from ..ml import make_model
 from ..ml.base import Estimator
-from ..sim.engine import simulate_execution
+from ..obs import tracer
+from ..obs.tracer import NULL_SPAN
+from ..sim.engine import ExecutionResult, simulate_execution
 from ..sim.platforms import Platform
 from ..transform.cpu_codegen import CpuKernel, CpuTransformError, make_cpu_kernel
 from ..transform.gpu_malleable import (
@@ -41,6 +44,35 @@ from ..workloads.synthetic import training_workloads
 from .predictor import DopPredictor, Prediction
 from .scheduler import run_dynamic
 from .training import collect_dataset
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One interposed launch: what was picked and what it cost.
+
+    The canonical copy of every launch flows through the tracer (the
+    ``dopia.launch`` span tree plus the ``dopia.launch_record`` event);
+    this typed record is the bounded in-memory view kept on
+    :attr:`DopiaRuntime.launches` for programmatic access.
+    """
+
+    kernel: str
+    prediction: Prediction
+    result: ExecutionResult
+    time_s: float
+
+    def as_details(self) -> dict[str, Any]:
+        """The ``Event.details`` dict (the historical record layout)."""
+        return {
+            "kernel": self.kernel,
+            "prediction": self.prediction,
+            "result": self.result,
+            "time_s": self.time_s,
+        }
+
+
+#: Default bound on the in-memory launch log (records, not bytes).
+DEFAULT_MAX_LAUNCH_RECORDS = 4096
 
 
 @dataclass
@@ -66,6 +98,7 @@ class DopiaRuntime(Interposer):
         chunk_divisor: int = 10,
         include_inference_overhead: bool = True,
         backend: str | None = None,
+        max_launch_records: int = DEFAULT_MAX_LAUNCH_RECORDS,
     ):
         self.platform = platform
         self.predictor = DopPredictor(model, platform)
@@ -74,8 +107,18 @@ class DopiaRuntime(Interposer):
         #: interpreter backend for functional execution (``auto``/``vector``/
         #: ``scalar``; ``None`` defers to ``DOPIA_BACKEND``)
         self.backend = backend
-        #: launch log: (kernel name, Prediction, ExecutionResult) per enqueue
-        self.launches: list[dict[str, Any]] = []
+        #: bounded launch log: one :class:`LaunchRecord` per interposed
+        #: enqueue, newest kept (a long-lived runtime no longer grows
+        #: without bound; the full history is the tracer's job)
+        self.launches: deque[LaunchRecord] = deque(maxlen=max(1, max_launch_records))
+
+    @property
+    def max_launch_records(self) -> int:
+        return self.launches.maxlen or 0
+
+    def clear(self) -> None:
+        """Drop the accumulated launch records."""
+        self.launches.clear()
 
     # -- construction helpers -------------------------------------------------
 
@@ -99,20 +142,27 @@ class DopiaRuntime(Interposer):
     # -- compile-time pass -----------------------------------------------------
 
     def program_built(self, program: Program) -> None:
-        for name, info in program.kernel_infos.items():
-            features = extract_static_features(info)
-            try:
-                make_malleable(info, work_dim=1)
-                transformable, error = True, ""
-            except TransformError as exc:
-                transformable, error = False, str(exc)
-            program.interposer_data[name] = KernelArtifacts(
-                static_features=features,
-                malleable={},
-                cpu_codegen={},
-                transformable=transformable,
-                transform_error=error,
-            )
+        with tracer.span("dopia.program_build", "build",
+                         kernels=list(program.kernel_infos)):
+            for name, info in program.kernel_infos.items():
+                with tracer.span("dopia.analyze_kernel", "build", kernel=name):
+                    features = extract_static_features(info)
+                    try:
+                        make_malleable(info, work_dim=1)
+                        transformable, error = True, ""
+                    except TransformError as exc:
+                        transformable, error = False, str(exc)
+                program.interposer_data[name] = KernelArtifacts(
+                    static_features=features,
+                    malleable={},
+                    cpu_codegen={},
+                    transformable=transformable,
+                    transform_error=error,
+                )
+                if tracer.enabled:
+                    tracer.instant("dopia.kernel_artifacts", "build",
+                                   kernel=name, transformable=transformable,
+                                   reason=error)
 
     def _artifacts(self, kernel: Kernel) -> KernelArtifacts:
         data = kernel.program.interposer_data.get(kernel.name)
@@ -154,47 +204,78 @@ class DopiaRuntime(Interposer):
         if not artifacts.transformable:
             # Barriered kernels cannot be throttled (§6); fall back to the
             # vanilla runtime path by declining the launch.
+            if tracer.enabled:
+                tracer.instant("dopia.decline", "launch", kernel=kernel.name,
+                               reason=artifacts.transform_error)
             return None
 
-        prediction = self.predictor.select(
-            artifacts.static_features,
-            ndrange.work_dim,
-            ndrange.total_work_items,
-            ndrange.work_items_per_group,
-        )
-        setting = prediction.config.setting
+        traced = tracer.enabled
+        with tracer.span(
+            "dopia.launch", "launch",
+            kernel=kernel.name,
+            global_size=list(ndrange.global_size),
+            local_size=list(ndrange.local_size),
+            functional=queue.functional,
+        ) if traced else NULL_SPAN:
+            with tracer.span("dopia.predict", "predict",
+                             kernel=kernel.name) if traced else NULL_SPAN:
+                prediction = self.predictor.select(
+                    artifacts.static_features,
+                    ndrange.work_dim,
+                    ndrange.total_work_items,
+                    ndrange.work_items_per_group,
+                )
+            setting = prediction.config.setting
 
-        if queue.functional:
-            self._execute_functional(kernel, ndrange, prediction)
+            if queue.functional:
+                with tracer.span(
+                    "dopia.execute_functional", "schedule",
+                    kernel=kernel.name, cpu_threads=setting.cpu_threads,
+                    gpu_fraction=setting.gpu_fraction,
+                ) if traced else NULL_SPAN:
+                    self._execute_functional(kernel, ndrange, prediction)
 
-        profile = profile_kernel(
-            kernel.info,
-            kernel.scalar_args(),
-            ndrange.total_work_items,
-            ndrange.work_items_per_group,
-            work_dim=ndrange.work_dim,
-            irregular_trip_hint=irregular_trip_hint,
-        )
-        result = simulate_execution(
-            profile, self.platform, setting,
-            scheduler="dynamic", chunk_divisor=self.chunk_divisor,
-            run_key=(kernel.name, "dopia"),
-        )
-        time = result.time_s
-        if self.include_inference_overhead:
-            time += prediction.inference_cost_s
-        record = {
-            "kernel": kernel.name,
-            "prediction": prediction,
-            "result": result,
-            "time_s": time,
-        }
-        self.launches.append(record)
-        return Event(
-            command=CommandType.NDRANGE_KERNEL,
-            simulated_time_s=time,
-            details=record,
-        )
+            with tracer.span("dopia.simulate", "sim",
+                             kernel=kernel.name) if traced else NULL_SPAN:
+                profile = profile_kernel(
+                    kernel.info,
+                    kernel.scalar_args(),
+                    ndrange.total_work_items,
+                    ndrange.work_items_per_group,
+                    work_dim=ndrange.work_dim,
+                    irregular_trip_hint=irregular_trip_hint,
+                )
+                result = simulate_execution(
+                    profile, self.platform, setting,
+                    scheduler="dynamic", chunk_divisor=self.chunk_divisor,
+                    run_key=(kernel.name, "dopia"),
+                )
+            time = result.time_s
+            if self.include_inference_overhead:
+                time += prediction.inference_cost_s
+            record = LaunchRecord(
+                kernel=kernel.name,
+                prediction=prediction,
+                result=result,
+                time_s=time,
+            )
+            self.launches.append(record)
+            if traced:
+                tracer.instant(
+                    "dopia.launch_record", "launch",
+                    kernel=kernel.name,
+                    cpu_threads=setting.cpu_threads,
+                    gpu_fraction=setting.gpu_fraction,
+                    time_s=time, sim_time_s=result.time_s,
+                    inference_cost_s=prediction.inference_cost_s,
+                )
+                tracer.counter("dopia.launches")
+                tracer.observe("dopia.launch_time_s", time)
+            return Event(
+                command=CommandType.NDRANGE_KERNEL,
+                simulated_time_s=time,
+                details=record.as_details(),
+            )
 
     def _execute_functional(
         self, kernel: Kernel, ndrange: NDRange, prediction: Prediction

@@ -27,6 +27,8 @@ from typing import Any
 from ..frontend.semantics import KernelInfo
 from ..interp.ndrange import NDRange
 from ..interp.vectorize import make_executor
+from ..obs import tracer
+from ..obs.tracer import NULL_SPAN
 from ..sim.engine import DopSetting
 from ..transform.gpu_malleable import ALLOC_PARAM, MOD_PARAM, MalleableKernel
 
@@ -110,24 +112,39 @@ def run_dynamic(
     if pulls is None:
         pulls = max(1, setting.cpu_threads) * max(1, chunk // 2)
 
-    while not worklist.exhausted:
-        if use_gpu:
-            start = worklist.fetch_add(chunk)
-            take = min(chunk, num_wgs - start)
-            if take > 0:
-                group_ids = [ndrange.group_from_linear(g) for g in range(start, start + take)]
-                gpu_executor.run(group_ids)
-                trace.gpu_groups.extend(range(start, start + take))
-                trace.gpu_chunks += 1
-        if use_cpu:
-            for _ in range(pulls if use_gpu else num_wgs):
-                if worklist.exhausted:
-                    break
-                group = worklist.fetch_add(1)
-                if group >= num_wgs:
-                    break
-                cpu_executor.run_group(ndrange.group_from_linear(group))
-                trace.cpu_groups.append(group)
+    traced = tracer.enabled
+    with tracer.span(
+        "schedule.run_dynamic", "schedule",
+        kernel=cpu_info.kernel.name, num_work_groups=num_wgs,
+        cpu_threads=setting.cpu_threads, gpu_fraction=setting.gpu_fraction,
+        chunk_size=chunk,
+    ) if traced else NULL_SPAN:
+        while not worklist.exhausted:
+            if use_gpu:
+                start = worklist.fetch_add(chunk)
+                take = min(chunk, num_wgs - start)
+                if take > 0:
+                    group_ids = [ndrange.group_from_linear(g) for g in range(start, start + take)]
+                    gpu_executor.run(group_ids)
+                    trace.gpu_groups.extend(range(start, start + take))
+                    trace.gpu_chunks += 1
+                    if traced:
+                        tracer.instant("schedule.gpu_chunk", "schedule",
+                                       start=start, count=take,
+                                       chunk=trace.gpu_chunks - 1)
+            if use_cpu:
+                pulled_from = len(trace.cpu_groups)
+                for _ in range(pulls if use_gpu else num_wgs):
+                    if worklist.exhausted:
+                        break
+                    group = worklist.fetch_add(1)
+                    if group >= num_wgs:
+                        break
+                    cpu_executor.run_group(ndrange.group_from_linear(group))
+                    trace.cpu_groups.append(group)
+                if traced and len(trace.cpu_groups) > pulled_from:
+                    tracer.instant("schedule.cpu_pull", "schedule",
+                                   groups=trace.cpu_groups[pulled_from:])
 
     return trace
 
@@ -169,22 +186,37 @@ def run_dynamic_pull(
         gpu_executor = make_executor(
             gpu_kernel.info, gpu_args, ndrange, backend=backend)
 
-    while not worklist.exhausted:
-        if use_gpu:
-            for _ in range(gpu_claims_per_round):
-                if worklist.exhausted:
-                    break
-                group = worklist.fetch_add(1)
-                gpu_executor.run_group(ndrange.group_from_linear(group))
-                trace.gpu_groups.append(group)
-            trace.gpu_chunks += 1
-        if use_cpu:
-            for _ in range(max(1, setting.cpu_threads) if use_gpu else num_wgs):
-                if worklist.exhausted:
-                    break
-                group = worklist.fetch_add(1)
-                cpu_executor.run_group(ndrange.group_from_linear(group))
-                trace.cpu_groups.append(group)
+    traced = tracer.enabled
+    with tracer.span(
+        "schedule.run_dynamic_pull", "schedule",
+        kernel=cpu_info.kernel.name, num_work_groups=num_wgs,
+        cpu_threads=setting.cpu_threads, gpu_fraction=setting.gpu_fraction,
+        gpu_claims_per_round=gpu_claims_per_round,
+    ) if traced else NULL_SPAN:
+        while not worklist.exhausted:
+            if use_gpu:
+                claimed_from = len(trace.gpu_groups)
+                for _ in range(gpu_claims_per_round):
+                    if worklist.exhausted:
+                        break
+                    group = worklist.fetch_add(1)
+                    gpu_executor.run_group(ndrange.group_from_linear(group))
+                    trace.gpu_groups.append(group)
+                trace.gpu_chunks += 1
+                if traced:
+                    tracer.instant("schedule.gpu_pull", "schedule",
+                                   groups=trace.gpu_groups[claimed_from:])
+            if use_cpu:
+                pulled_from = len(trace.cpu_groups)
+                for _ in range(max(1, setting.cpu_threads) if use_gpu else num_wgs):
+                    if worklist.exhausted:
+                        break
+                    group = worklist.fetch_add(1)
+                    cpu_executor.run_group(ndrange.group_from_linear(group))
+                    trace.cpu_groups.append(group)
+                if traced and len(trace.cpu_groups) > pulled_from:
+                    tracer.instant("schedule.cpu_pull", "schedule",
+                                   groups=trace.cpu_groups[pulled_from:])
     return trace
 
 
@@ -207,17 +239,30 @@ def run_static(
     if not setting.uses_gpu:
         cpu_wgs = num_wgs
     trace = ScheduleTrace()
-    if cpu_wgs > 0:
-        executor = make_executor(cpu_info, args, ndrange, backend=backend)
-        executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs))
-        trace.cpu_groups.extend(range(cpu_wgs))
-    if cpu_wgs < num_wgs:
-        gpu_args = dict(args)
-        gpu_args[MOD_PARAM] = dop_gpu_mod
-        gpu_args[ALLOC_PARAM] = dop_gpu_alloc
-        executor = make_executor(gpu_kernel.info, gpu_args, ndrange,
-                                 backend=backend)
-        executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs, num_wgs))
-        trace.gpu_groups.extend(range(cpu_wgs, num_wgs))
-        trace.gpu_chunks = 1
+    traced = tracer.enabled
+    with tracer.span(
+        "schedule.run_static", "schedule",
+        kernel=cpu_info.kernel.name, num_work_groups=num_wgs,
+        cpu_threads=setting.cpu_threads, gpu_fraction=setting.gpu_fraction,
+        cpu_share=cpu_share,
+    ) if traced else NULL_SPAN:
+        if cpu_wgs > 0:
+            executor = make_executor(cpu_info, args, ndrange, backend=backend)
+            executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs))
+            trace.cpu_groups.extend(range(cpu_wgs))
+            if traced:
+                tracer.instant("schedule.static_cpu", "schedule",
+                               start=0, count=cpu_wgs)
+        if cpu_wgs < num_wgs:
+            gpu_args = dict(args)
+            gpu_args[MOD_PARAM] = dop_gpu_mod
+            gpu_args[ALLOC_PARAM] = dop_gpu_alloc
+            executor = make_executor(gpu_kernel.info, gpu_args, ndrange,
+                                     backend=backend)
+            executor.run(ndrange.group_from_linear(g) for g in range(cpu_wgs, num_wgs))
+            trace.gpu_groups.extend(range(cpu_wgs, num_wgs))
+            trace.gpu_chunks = 1
+            if traced:
+                tracer.instant("schedule.static_gpu", "schedule",
+                               start=cpu_wgs, count=num_wgs - cpu_wgs)
     return trace

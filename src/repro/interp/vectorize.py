@@ -66,6 +66,7 @@ import numpy as np
 
 from ..frontend import ast
 from ..frontend.semantics import KernelInfo, WORK_ITEM_BUILTINS
+from ..obs import tracer
 from .builtins import INT_IMPLS, MATH_IMPLS, c_div, c_mod
 from .executor import KernelExecutor, KernelRuntimeError
 from .ndrange import NDRange
@@ -207,20 +208,29 @@ def make_executor(
     choice = resolve_backend(backend)
     name = info.kernel.name
     if choice == "scalar":
-        execution_stats.record_choice(name, "scalar", "forced by backend=scalar")
+        _record_choice(name, "scalar", "forced by backend=scalar")
         return KernelExecutor(info, args, ndrange)
     eligibility = check_vectorizable(info)
     if not eligibility.eligible:
-        execution_stats.record_choice(name, "scalar", eligibility.reason)
+        _record_choice(name, "scalar", eligibility.reason)
         return KernelExecutor(info, args, ndrange)
     if choice == "auto" and ndrange.total_work_items < AUTO_MIN_WORK_ITEMS:
-        execution_stats.record_choice(
+        _record_choice(
             name, "scalar",
             f"launch of {ndrange.total_work_items} work-items is below the "
             f"vectorization threshold ({AUTO_MIN_WORK_ITEMS})")
         return KernelExecutor(info, args, ndrange)
-    execution_stats.record_choice(name, "vector", "eligible")
+    _record_choice(name, "vector", "eligible")
     return VectorizedExecutor(info, args, ndrange)
+
+
+def _record_choice(name: str, backend: str, reason: str) -> None:
+    """Record a backend decision in the stats and (when on) the tracer."""
+    execution_stats.record_choice(name, backend, reason)
+    if tracer.enabled:
+        tracer.instant("backend.choice", "backend",
+                       kernel=name, backend=backend, reason=reason)
+        tracer.counter(f"backend.{backend}_launches")
 
 
 # ---------------------------------------------------------------------------
@@ -434,6 +444,10 @@ class VectorizedExecutor:
                 buffers[name][...] = saved
             self.used_fallback = True
             execution_stats.record_fallback(self.info.kernel.name, str(exc))
+            if tracer.enabled:
+                tracer.instant("backend.fallback", "backend",
+                               kernel=self.info.kernel.name, reason=str(exc))
+                tracer.counter("backend.fallbacks")
             self.scalar.run(groups)
             return
         execution_stats.record_run(

@@ -1,0 +1,52 @@
+"""``repro.obs`` — launch tracing and metrics.
+
+A structured observability layer threaded through the whole launch path:
+the process-global :data:`tracer` records nested spans and typed events
+(build/analysis, predictor evaluation with all 44 scored configurations,
+scheduler chunk/pull activity, interpreter backend selection, simulated
+time) into a bounded ring buffer, with counters and histograms on the
+side.  Exports to JSONL and Chrome trace-event JSON; ``dopia trace`` and
+``dopia stats`` are the CLI surface, ``DOPIA_TRACE`` the env toggle.
+
+Off by default and proven zero-perturbation by the differential suite.
+"""
+
+from .export import (
+    JSONL_KEYS,
+    event_from_json,
+    event_to_json,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .summary import (
+    ReconstructedSchedule,
+    SpanStats,
+    TraceSummary,
+    format_summary,
+    reconstruct_schedule,
+    summarize,
+)
+from .tracer import (
+    DEFAULT_CAPACITY,
+    Histogram,
+    TraceEvent,
+    Tracer,
+    apply_env,
+    env_trace_request,
+    iter_spans,
+    tracer,
+)
+
+# Honour DOPIA_TRACE as soon as any instrumented module loads.
+apply_env()
+
+__all__ = [
+    "DEFAULT_CAPACITY", "Histogram", "TraceEvent", "Tracer", "apply_env",
+    "env_trace_request", "iter_spans", "tracer",
+    "JSONL_KEYS", "event_from_json", "event_to_json", "read_jsonl",
+    "to_chrome_trace", "write_chrome_trace", "write_jsonl",
+    "ReconstructedSchedule", "SpanStats", "TraceSummary", "format_summary",
+    "reconstruct_schedule", "summarize",
+]

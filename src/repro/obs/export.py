@@ -1,0 +1,134 @@
+"""Trace export: JSONL (one event per line) and Chrome trace-event JSON.
+
+The JSONL schema is the stable machine interface (every line carries the
+same eight keys — see :data:`JSONL_KEYS`); the Chrome form loads directly
+into ``chrome://tracing`` or https://ui.perfetto.dev for a flame view of
+one launch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from .tracer import PHASE_COUNTER, TraceEvent
+
+#: Every JSONL line is an object with exactly these keys.
+JSONL_KEYS = ("name", "cat", "ph", "ts_us", "dur_us", "tid", "depth", "args")
+
+
+def jsonable(value: Any) -> Any:
+    """Best-effort conversion of event args to JSON-serialisable values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset, range)):
+        return [jsonable(v) for v in value]
+    return repr(value)
+
+
+def event_to_json(event: TraceEvent) -> dict:
+    """The JSONL object form of one event."""
+    return {
+        "name": event.name,
+        "cat": event.category,
+        "ph": event.phase,
+        "ts_us": round(event.ts_us, 3),
+        "dur_us": round(event.dur_us, 3),
+        "tid": event.tid,
+        "depth": event.depth,
+        "args": jsonable(event.args),
+    }
+
+
+def event_from_json(obj: dict) -> TraceEvent:
+    return TraceEvent(
+        name=str(obj["name"]),
+        category=str(obj["cat"]),
+        phase=str(obj["ph"]),
+        ts_us=float(obj["ts_us"]),
+        dur_us=float(obj.get("dur_us", 0.0)),
+        tid=int(obj.get("tid", 0)),
+        depth=int(obj.get("depth", 0)),
+        args=dict(obj.get("args", {})),
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str | Path) -> Path:
+    """Write one event per line; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_json(event)) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_json(json.loads(line)))
+    return events
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent],
+    counters: Optional[dict[str, float]] = None,
+) -> dict:
+    """The ``chrome://tracing`` JSON object for an event stream.
+
+    Counter events already in the stream render as tracks; the final
+    counter totals (if given) land in ``otherData`` for quick inspection.
+    """
+    trace_events = []
+    for event in events:
+        entry: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": round(event.ts_us, 3),
+            "pid": 0,
+            "tid": event.tid,
+            "args": jsonable(event.args),
+        }
+        if event.phase == "X":
+            entry["dur"] = round(event.dur_us, 3)
+        elif event.phase == "i":
+            entry["s"] = "t"          # instant scoped to its thread
+        elif event.phase == PHASE_COUNTER:
+            # Chrome requires counter args to be flat name -> number.
+            entry["args"] = {
+                k: float(v) for k, v in jsonable(event.args).items()
+                if isinstance(v, (int, float))
+            }
+        trace_events.append(entry)
+    document: dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if counters:
+        document["otherData"] = {"counters": jsonable(counters)}
+    return document
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent],
+    path: str | Path,
+    counters: Optional[dict[str, float]] = None,
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(events, counters=counters)))
+    return path

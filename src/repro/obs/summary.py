@@ -1,0 +1,150 @@
+"""Trace analysis: aggregation for ``dopia stats`` and schedule recovery.
+
+Two consumers:
+
+* :func:`summarize` / :func:`format_summary` — per-(category, name) span
+  statistics, instant-event counts, and final counter values, rendered as
+  the plain-text report ``dopia stats <trace.jsonl>`` prints.
+* :func:`reconstruct_schedule` — rebuilds the exact work-group partition
+  of a launch from its ``schedule.*`` events.  The property suite asserts
+  this reconstruction matches the :class:`repro.core.scheduler.ScheduleTrace`
+  the scheduler itself returned, event for event, so the trace is a
+  faithful record of Algorithm 1's behaviour rather than a summary of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .tracer import PHASE_COUNTER, PHASE_INSTANT, PHASE_SPAN, TraceEvent
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timing of one (category, name) span kind."""
+
+    count: int = 0
+    total_us: float = 0.0
+    min_us: float = float("inf")
+    max_us: float = 0.0
+
+    def add(self, dur_us: float) -> None:
+        self.count += 1
+        self.total_us += dur_us
+        self.min_us = min(self.min_us, dur_us)
+        self.max_us = max(self.max_us, dur_us)
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``dopia stats`` reports about one trace."""
+
+    spans: dict[tuple[str, str], SpanStats] = field(default_factory=dict)
+    instants: dict[tuple[str, str], int] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    n_events: int = 0
+
+
+def summarize(events: Iterable[TraceEvent]) -> TraceSummary:
+    summary = TraceSummary()
+    for event in events:
+        summary.n_events += 1
+        key = (event.category, event.name)
+        if event.phase == PHASE_SPAN:
+            stats = summary.spans.get(key)
+            if stats is None:
+                stats = summary.spans[key] = SpanStats()
+            stats.add(event.dur_us)
+        elif event.phase == PHASE_INSTANT:
+            summary.instants[key] = summary.instants.get(key, 0) + 1
+        elif event.phase == PHASE_COUNTER:
+            # the stream carries running totals; the last one wins
+            for name, value in event.args.items():
+                if isinstance(value, (int, float)):
+                    summary.counters[name] = float(value)
+    return summary
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Plain-text report, categories sorted, widest span kinds first."""
+    lines = [f"events    : {summary.n_events}"]
+    if summary.spans:
+        lines.append("spans (total/mean over count):")
+        ordered = sorted(
+            summary.spans.items(), key=lambda kv: -kv[1].total_us
+        )
+        for (category, name), stats in ordered:
+            lines.append(
+                f"  {category:10s} {name:32s} "
+                f"{stats.total_us / 1e3:10.3f} ms / "
+                f"{stats.mean_us / 1e3:9.3f} ms x {stats.count}"
+            )
+    if summary.instants:
+        lines.append("events by kind:")
+        for (category, name), count in sorted(summary.instants.items()):
+            lines.append(f"  {category:10s} {name:32s} x {count}")
+    if summary.counters:
+        lines.append("counters:")
+        for name, value in sorted(summary.counters.items()):
+            text = f"{value:g}"
+            lines.append(f"  {name:43s} {text}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Schedule reconstruction
+# ---------------------------------------------------------------------------
+
+#: ``schedule.*`` event names that carry work-group claims.
+_GPU_RANGE_EVENTS = ("schedule.gpu_chunk", "schedule.static_gpu")
+_CPU_RANGE_EVENTS = ("schedule.static_cpu",)
+
+
+@dataclass
+class ReconstructedSchedule:
+    """The work-group partition recovered from a launch's trace events.
+
+    Field-compatible with :class:`repro.core.scheduler.ScheduleTrace`
+    (kept structural, not imported, so ``repro.obs`` stays dependency-free).
+    """
+
+    cpu_groups: list[int] = field(default_factory=list)
+    gpu_groups: list[int] = field(default_factory=list)
+    gpu_chunks: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.cpu_groups) + len(self.gpu_groups)
+
+
+def reconstruct_schedule(events: Iterable[TraceEvent]) -> ReconstructedSchedule:
+    """Rebuild a launch's exact CPU/GPU work-group partition, in claim order.
+
+    Understands the event vocabulary of all three schedulers: pushed GPU
+    chunks (``schedule.gpu_chunk``: linear range), pulled claims
+    (``schedule.gpu_pull``/``schedule.cpu_pull``: explicit group lists),
+    and static halves (``schedule.static_cpu``/``schedule.static_gpu``).
+    """
+    recon = ReconstructedSchedule()
+    for event in events:
+        if event.phase != PHASE_INSTANT:
+            continue
+        args = event.args
+        if event.name in _GPU_RANGE_EVENTS:
+            start, count = int(args["start"]), int(args["count"])
+            recon.gpu_groups.extend(range(start, start + count))
+            recon.gpu_chunks += 1
+        elif event.name == "schedule.gpu_pull":
+            recon.gpu_groups.extend(int(g) for g in args["groups"])
+            recon.gpu_chunks += 1
+        elif event.name == "schedule.cpu_pull":
+            recon.cpu_groups.extend(int(g) for g in args["groups"])
+        elif event.name in _CPU_RANGE_EVENTS:
+            start, count = int(args["start"]), int(args["count"])
+            recon.cpu_groups.extend(range(start, start + count))
+    return recon

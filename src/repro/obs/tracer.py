@@ -1,0 +1,320 @@
+"""The tracer: nested spans, typed events, counters, and histograms.
+
+One process-global :class:`Tracer` (``repro.obs.tracer``) is threaded
+through the whole launch path — program build and static analysis,
+predictor evaluation (all 44 scored configurations), scheduler chunk/pull
+activity, interpreter backend selection and fallbacks, and the simulated
+time breakdown.  Events land in a bounded in-memory ring buffer (oldest
+events are dropped, never the process) and export to JSONL or Chrome
+``chrome://tracing`` format via :mod:`repro.obs.export`.
+
+Tracing is **off by default and zero-perturbation**: every recording site
+is guarded by a single ``tracer.enabled`` attribute check, recording never
+touches RNG state or kernel buffers, and the differential suite
+(`tests/obs/test_zero_perturbation.py`) proves a traced run bit-identical
+to an untraced one.
+
+Toggles
+-------
+``DOPIA_TRACE`` (environment)
+    Unset/``0``/``false`` — disabled (the default).  ``1``/``true`` —
+    enabled, in-memory only.  Any other value is treated as an export
+    path: the trace is written there at interpreter exit (``*.json`` →
+    Chrome trace format, anything else → JSONL).
+``tracer.enable()`` / ``tracer.disable()``
+    Programmatic control, used by ``dopia trace`` and the test harness.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+#: Default ring-buffer capacity (events). A full end-to-end traced launch
+#: lands in the hundreds of events; dataset collection in the tens of
+#: thousands — the ring keeps the most recent window either way.
+DEFAULT_CAPACITY = 65536
+
+#: Chrome trace-event phase codes used here: complete span, instant, counter.
+PHASE_SPAN = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed timeline entry, directly mappable to a Chrome trace event."""
+
+    name: str
+    category: str
+    phase: str                 #: ``X`` span, ``i`` instant, ``C`` counter
+    ts_us: float               #: microseconds since the tracer's epoch
+    dur_us: float = 0.0        #: span duration (``X`` only)
+    tid: int = 0               #: small per-thread ordinal, 0 = first thread
+    depth: int = 0             #: span-nesting depth at record time
+    args: dict = field(default_factory=dict)
+
+
+@dataclass
+class Histogram:
+    """Streaming value distribution: count/sum/min/max + log2 buckets."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    #: bucket exponent -> count; value v lands in ceil(log2(v)) (0 for v<=1)
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exponent = max(0, math.ceil(math.log2(value))) if value > 0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullSpan:
+    """The shared no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; records one ``X`` event when the ``with`` block exits.
+
+    The event is recorded even if the block raises, so a trace always shows
+    where the time went up to a failure.
+    """
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_t0", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._span_stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        dur_s = time.perf_counter() - self._t0
+        stack = self._tracer._span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(
+            self._name, self._category, PHASE_SPAN,
+            ts_us=(self._t0 - self._tracer._epoch) * 1e6,
+            dur_us=dur_s * 1e6,
+            depth=self._depth,
+            args=self._args,
+        )
+
+
+class Tracer:
+    """Bounded-ring event recorder with spans, counters, and histograms.
+
+    Thread-safe: recording takes one short lock; the span stack is
+    thread-local so nesting depth is per-thread.  Disabled cost is a
+    single attribute check at each site (plus, for ``span()`` call sites,
+    building the keyword arguments — instrumented hot loops guard with
+    ``if tracer.enabled`` so even that disappears).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.enabled = False
+        self.capacity = capacity
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.total_events = 0
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._tids: dict[int, int] = {}
+        self._epoch = time.perf_counter()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def enable(self, capacity: Optional[int] = None) -> None:
+        """Switch recording on (idempotent); optionally resize the ring."""
+        if capacity is not None and capacity != self.capacity:
+            with self._lock:
+                self.capacity = capacity
+                self._events = deque(self._events, maxlen=capacity)
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Switch recording off; the buffered events stay readable."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all events, counters, and histograms; reset the epoch."""
+        with self._lock:
+            self._events.clear()
+            self.counters.clear()
+            self.histograms.clear()
+            self.total_events = 0
+            self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, category: str = "span", **args: Any):
+        """Context manager timing a nested region (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, category, args)
+
+    def instant(self, name: str, category: str = "event", **args: Any) -> None:
+        """Record a point-in-time event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._record(name, category, PHASE_INSTANT,
+                     ts_us=self._now_us(), depth=len(self._span_stack()),
+                     args=args)
+
+    def counter(self, name: str, value: float = 1.0,
+                category: str = "counter") -> None:
+        """Accumulate a named counter and record its running total."""
+        if not self.enabled:
+            return
+        with self._lock:
+            total = self.counters.get(name, 0.0) + value
+            self.counters[name] = total
+        self._record(name, category, PHASE_COUNTER,
+                     ts_us=self._now_us(), args={name: total})
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one sample into the named histogram (no event emitted)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
+
+    # -- queries -------------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """The buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring since the last :meth:`clear`."""
+        return self.total_events - len(self._events)
+
+    # -- internals -----------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _span_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    def _record(self, name: str, category: str, phase: str, *,
+                ts_us: float, dur_us: float = 0.0, depth: int = 0,
+                args: dict) -> None:
+        event = TraceEvent(
+            name=name, category=category, phase=phase,
+            ts_us=ts_us, dur_us=dur_us, tid=self._tid(), depth=depth,
+            args=args,
+        )
+        with self._lock:
+            self._events.append(event)
+            self.total_events += 1
+
+
+#: The process-global tracer every instrumented module records into.
+tracer = Tracer()
+
+
+# ---------------------------------------------------------------------------
+# Environment toggle
+# ---------------------------------------------------------------------------
+
+_FALSY = ("", "0", "false", "off", "no")
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def env_trace_request(environ: Optional[dict] = None) -> Optional[str]:
+    """Parse ``DOPIA_TRACE``: ``None`` (off), ``"1"`` (memory), or a path."""
+    value = (environ or os.environ).get("DOPIA_TRACE", "").strip()
+    if value.lower() in _FALSY:
+        return None
+    if value.lower() in _TRUTHY:
+        return "1"
+    return value
+
+
+_env_applied = False
+
+
+def apply_env(target: Optional[Tracer] = None) -> Optional[str]:
+    """Honour ``DOPIA_TRACE`` once per process: enable (and, for a path
+    value, register an at-exit export).  Returns the parsed request."""
+    global _env_applied
+    target = target or tracer
+    request = env_trace_request()
+    if request is None:
+        return None
+    target.enable()
+    if not _env_applied and request != "1":
+        import atexit
+
+        from .export import write_chrome_trace, write_jsonl
+
+        def _export_at_exit(path: str = request) -> None:
+            events = target.events()
+            if not events:
+                return
+            if path.endswith(".json"):
+                write_chrome_trace(events, path, counters=target.counters)
+            else:
+                write_jsonl(events, path)
+
+        atexit.register(_export_at_exit)
+    _env_applied = True
+    return request
+
+
+def iter_spans(events: Iterable[TraceEvent]) -> Iterable[TraceEvent]:
+    """Just the ``X`` (complete-span) events of a stream."""
+    return (event for event in events if event.phase == PHASE_SPAN)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.profile import KernelProfile
+from ..obs import tracer
 from .contention import contended_rates
 from .devices import DeviceRate, cpu_rate, gpu_rate
 from .noise import DEFAULT_SIGMA, noise_factor
@@ -150,6 +151,23 @@ def simulate_execution(
         sigma,
     )
     result.time_s *= factor
+    if tracer.enabled:
+        # Simulated-time breakdown: where the modelled wall-clock went.
+        tracer.instant(
+            "sim.execute", "sim",
+            scheduler=scheduler, platform=platform.name,
+            cpu_threads=setting.cpu_threads, gpu_fraction=setting.gpu_fraction,
+            time_s=result.time_s, noise_factor=factor,
+            cpu_items=result.cpu_items, gpu_items=result.gpu_items,
+            mem_requests=result.mem_requests,
+            spawn_overhead_s=(platform.cpu.thread_spawn_overhead_s
+                              * setting.cpu_threads if setting.uses_cpu else 0.0),
+            dispatch_overhead_s=(platform.gpu.dispatch_overhead_s
+                                 if setting.uses_gpu else 0.0),
+            run_key="/".join(str(part) for part in run_key),
+        )
+        tracer.counter("sim.executions")
+        tracer.observe("sim.time_s", result.time_s)
     return result
 
 

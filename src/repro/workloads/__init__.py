@@ -69,6 +69,32 @@ def real_workloads() -> list[Workload]:
     return [factory() for factory in REAL_WORKLOAD_FACTORIES.values()]
 
 
+#: Every Table-4 registry kernel at a size small enough for the scalar
+#: oracle — keys deliberately mirror ``REAL_WORKLOAD_FACTORIES``.  The
+#: differential suite and ``dopia trace`` both drive launches from here.
+SCALED_REAL_FACTORIES = {
+    "2DCONV": lambda: make_conv2d(n=12, wg=(4, 4)),
+    "ATAX1": lambda: make_atax1(n=24, wg=8),
+    "ATAX2": lambda: make_atax2(n=24, wg=8),
+    "BICG1": lambda: make_bicg1(n=24, wg=8),
+    "BICG2": lambda: make_bicg2(n=24, wg=8),
+    "FDTD1": lambda: make_fdtd1(n=1, wg=(4, 4)),
+    "FDTD2": lambda: make_fdtd2(n=1, wg=(4, 4)),
+    "FDTD3": lambda: make_fdtd3(n=1, wg=(4, 4)),
+    "GESUMMV": lambda: make_gesummv(n=24, wg=8),
+    "MVT1": lambda: make_mvt1(n=24, wg=8),
+    "MVT2": lambda: make_mvt2(n=24, wg=8),
+    "SYR2K": lambda: make_syr2k(n=8, wg=(4, 4)),
+    "PageRank": lambda: make_pagerank(n=32, wg=8, avg_in_degree=4),
+    "SpMV": lambda: make_spmv(n=32, wg=8, nnz_per_row=4),
+}
+
+
+def scaled_real_workloads() -> list[Workload]:
+    """The Table-4 registry at interpreter-friendly sizes."""
+    return [factory() for factory in SCALED_REAL_FACTORIES.values()]
+
+
 __all__ = [
     "APPLICATIONS", "AppResult", "Application", "AtaxApplication",
     "BicgApplication", "FdtdApplication", "MvtApplication",
@@ -81,5 +107,5 @@ __all__ = [
     "TABLE4_GAMMAS", "TABLE4_PATTERNS", "TABLE4_SIZES", "TABLE4_WG_SIZES",
     "SyntheticSpec", "generate_source", "make_synthetic", "reference_result",
     "training_specs", "training_workloads", "REAL_WORKLOAD_FACTORIES",
-    "real_workloads",
+    "real_workloads", "SCALED_REAL_FACTORIES", "scaled_real_workloads",
 ]

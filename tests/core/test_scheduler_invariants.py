@@ -1,0 +1,236 @@
+"""Property suite: the trace IS the schedule.
+
+Two invariants over all three schedulers, a DoP grid, and random
+ND-ranges:
+
+1. **single coverage** — every work-group executes exactly once,
+   whatever the device split;
+2. **faithful tracing** — the ``schedule.*`` events emitted while the
+   tracer is on reconstruct the *exact* :class:`ScheduleTrace` partition
+   the scheduler returned: same CPU claims in the same order, same GPU
+   claims in the same order, same chunk count.
+
+Invariant 2 is what makes the observability layer trustworthy: the
+exported trace is a faithful record of Algorithm 1's behaviour, not an
+approximation of it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import run_dynamic, run_dynamic_pull, run_static
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.interp import NDRange
+from repro.obs import reconstruct_schedule, tracer
+from repro.sim import DopSetting
+from repro.transform import make_malleable
+
+COUNT_SRC = (
+    "__kernel void count(__global float* C, int n)"
+    "{ C[get_global_id(0)] += 1.0f; }"
+)
+
+COUNT_2D_SRC = """
+__kernel void count2(__global float* C, int nx)
+{
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    C[y * nx + x] += 1.0f;
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer.clear()
+    yield
+    tracer.disable()
+    tracer.clear()
+
+
+def prepared(source=COUNT_SRC, work_dim=1):
+    info = analyze_kernel(parse_kernel(source))
+    return info, make_malleable(source, work_dim=work_dim)
+
+
+def run_traced(scheduler, info, malleable, counts_n, ndrange, setting, **kwargs):
+    """One traced scheduler run; returns (counts, ScheduleTrace, events)."""
+    counts = np.zeros(counts_n)
+    args = {"C": counts, "n": counts_n}
+    if "nx" in info.scalar_params:
+        args = {"C": counts, "nx": ndrange.global_size[0]}
+    tracer.clear()
+    tracer.enable()
+    try:
+        trace = scheduler(info, malleable, args, ndrange, setting, **kwargs)
+        events = tracer.events()
+    finally:
+        tracer.disable()
+    return counts, trace, events
+
+
+def assert_faithful(trace, events, num_groups):
+    recon = reconstruct_schedule(events)
+    assert recon.cpu_groups == trace.cpu_groups
+    assert recon.gpu_groups == trace.gpu_groups
+    assert recon.gpu_chunks == trace.gpu_chunks
+    assert recon.total == trace.total == num_groups
+
+
+#: The DoP grid: CPU-only, GPU-only, and co-execution points.
+DOP_GRID = [
+    DopSetting(1, 0.0),
+    DopSetting(4, 0.0),
+    DopSetting(0, 0.25),
+    DopSetting(0, 1.0),
+    DopSetting(2, 0.5),
+    DopSetting(4, 1.0),
+]
+
+
+class TestTraceReconstructionGrid:
+    @pytest.mark.parametrize(
+        "setting", DOP_GRID, ids=lambda s: f"c{s.cpu_threads}g{s.gpu_fraction}"
+    )
+    @pytest.mark.parametrize("groups", [1, 7, 40])
+    def test_run_dynamic(self, setting, groups):
+        info, malleable = prepared()
+        wg = 8
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_dynamic, info, malleable, n, NDRange(n, wg), setting,
+            dop_gpu_mod=2, dop_gpu_alloc=1,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+    @pytest.mark.parametrize(
+        "setting", DOP_GRID, ids=lambda s: f"c{s.cpu_threads}g{s.gpu_fraction}"
+    )
+    @pytest.mark.parametrize("groups", [1, 7, 40])
+    def test_run_dynamic_pull(self, setting, groups):
+        info, malleable = prepared()
+        wg = 8
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_dynamic_pull, info, malleable, n, NDRange(n, wg), setting,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+    @pytest.mark.parametrize(
+        "setting", DOP_GRID, ids=lambda s: f"c{s.cpu_threads}g{s.gpu_fraction}"
+    )
+    @pytest.mark.parametrize("cpu_share", [0.0, 0.3, 1.0])
+    def test_run_static(self, setting, cpu_share):
+        info, malleable = prepared()
+        wg = 8
+        groups = 10
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_static, info, malleable, n, NDRange(n, wg), setting,
+            cpu_share=cpu_share,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+    def test_2d_ndrange(self):
+        info, malleable = prepared(COUNT_2D_SRC, work_dim=2)
+        nx = ny = 12
+        counts, trace, events = run_traced(
+            run_dynamic, info, malleable, nx * ny,
+            NDRange((nx, ny), (4, 4)), DopSetting(2, 0.5),
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, NDRange((nx, ny), (4, 4)).total_groups)
+
+
+class TestTraceReconstructionRandom:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        groups=st.integers(min_value=1, max_value=24),
+        wg=st.sampled_from([1, 4, 8]),
+        threads=st.integers(min_value=0, max_value=4),
+        fraction=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        chunk_divisor=st.integers(min_value=1, max_value=12),
+    )
+    def test_run_dynamic_random(self, groups, wg, threads, fraction, chunk_divisor):
+        if threads == 0 and fraction == 0.0:
+            return
+        info, malleable = prepared()
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_dynamic, info, malleable, n, NDRange(n, wg),
+            DopSetting(threads, fraction), chunk_divisor=chunk_divisor,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        groups=st.integers(min_value=1, max_value=24),
+        wg=st.sampled_from([1, 4, 8]),
+        threads=st.integers(min_value=0, max_value=4),
+        fraction=st.sampled_from([0.0, 0.5, 1.0]),
+        claims=st.integers(min_value=1, max_value=5),
+    )
+    def test_run_dynamic_pull_random(self, groups, wg, threads, fraction, claims):
+        if threads == 0 and fraction == 0.0:
+            return
+        info, malleable = prepared()
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_dynamic_pull, info, malleable, n, NDRange(n, wg),
+            DopSetting(threads, fraction), gpu_claims_per_round=claims,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        groups=st.integers(min_value=1, max_value=24),
+        wg=st.sampled_from([1, 4, 8]),
+        threads=st.integers(min_value=1, max_value=4),
+        fraction=st.sampled_from([0.0, 0.5, 1.0]),
+        share=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_run_static_random(self, groups, wg, threads, fraction, share):
+        info, malleable = prepared()
+        n = groups * wg
+        counts, trace, events = run_traced(
+            run_static, info, malleable, n, NDRange(n, wg),
+            DopSetting(threads, fraction), cpu_share=share,
+        )
+        assert np.all(counts == 1.0)
+        assert_faithful(trace, events, groups)
+
+
+class TestUntracedBehaviourUnchanged:
+    def test_untraced_run_emits_no_events(self):
+        info, malleable = prepared()
+        n = 64
+        counts = np.zeros(n)
+        assert not tracer.enabled
+        trace = run_dynamic(
+            info, malleable, {"C": counts, "n": n}, NDRange(n, 8),
+            DopSetting(2, 0.5),
+        )
+        assert np.all(counts == 1.0)
+        assert trace.total == 8
+        assert tracer.events() == []
+
+    def test_traced_and_untraced_schedules_identical(self):
+        info, malleable = prepared()
+        n = 160
+        setting = DopSetting(2, 0.5)
+
+        plain = run_dynamic(
+            info, malleable, {"C": np.zeros(n), "n": n}, NDRange(n, 8), setting
+        )
+        _, traced, _ = run_traced(
+            run_dynamic, info, malleable, n, NDRange(n, 8), setting
+        )
+        assert traced.cpu_groups == plain.cpu_groups
+        assert traced.gpu_groups == plain.gpu_groups
+        assert traced.gpu_chunks == plain.gpu_chunks

@@ -180,6 +180,35 @@ class TestRuntimeIntegration:
             queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
             queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
         assert len(trained_runtime.launches) == before + 2
+        record = trained_runtime.launches[-1]
+        assert record.kernel == "saxpy"
+        assert record.as_details()["time_s"] == record.time_s
+
+    def test_launch_log_is_bounded(self, trained_runtime):
+        from repro.core.runtime import DEFAULT_MAX_LAUNCH_RECORDS, DopiaRuntime
+
+        assert trained_runtime.max_launch_records == DEFAULT_MAX_LAUNCH_RECORDS
+
+        runtime = DopiaRuntime(
+            trained_runtime.platform, trained_runtime.predictor.model,
+            max_launch_records=3,
+        )
+        assert runtime.max_launch_records == 3
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(
+                ctx.create_buffer(np.zeros(64)), ctx.create_buffer(np.zeros(64)), 1.0, 64
+            )
+            queue = cl.create_command_queue(ctx, functional=False)
+            for _ in range(5):
+                queue.enqueue_nd_range_kernel(kernel, (64,), (64,))
+        # a long-lived runtime keeps only the newest records
+        assert len(runtime.launches) == 3
+        runtime.clear()
+        assert len(runtime.launches) == 0
+        assert runtime.max_launch_records == 3  # clear keeps the bound
 
     def test_cpu_variant_generation(self, trained_runtime):
         ctx = cl.create_context("kaveri")

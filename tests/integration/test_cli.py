@@ -114,6 +114,60 @@ class TestTrainPredictSweep:
         assert out.count("ms") >= 5
 
 
+class TestTraceStats:
+    def test_trace_writes_valid_pair_and_stats_reads_it(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import JSONL_KEYS
+
+        out = run_cli(
+            capsys, "trace", "GESUMMV", "--out", str(tmp_path), "--jobs", "1",
+        )
+        jsonl = tmp_path / "GESUMMV.trace.jsonl"
+        chrome = tmp_path / "GESUMMV.chrome.json"
+        assert str(jsonl) in out and str(chrome) in out
+        assert "counters:" in out
+
+        # every JSONL line carries the stable eight-key schema
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        for record in events:
+            assert tuple(record) == JSONL_KEYS
+
+        # the advertised content: predictor (44 configs), scheduler,
+        # backend selection
+        names = {e["name"] for e in events}
+        assert "predictor.select" in names
+        assert "backend.choice" in names
+        assert names & {"schedule.cpu_pull", "schedule.gpu_chunk"}
+        select = next(e for e in events if e["name"] == "predictor.select")
+        assert len(select["args"]["configs"]) == 44
+
+        # the Chrome pair loads as plain JSON with a traceEvents array
+        data = json.loads(chrome.read_text())
+        assert len(data["traceEvents"]) == len(events)
+        assert {e["ph"] for e in data["traceEvents"]} <= {"X", "i", "C"}
+
+        out = run_cli(capsys, "stats", str(jsonl))
+        assert f"events    : {len(events)}" in out
+        assert "dopia.launch" in out
+
+    def test_trace_unknown_workload_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "NOPE", "--out", str(tmp_path)])
+
+    def test_stats_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", str(tmp_path / "missing.jsonl")])
+
+    def test_stats_rejects_non_trace_file(self, tmp_path):
+        bad = tmp_path / "not-a-trace.jsonl"
+        bad.write_text("this is not json\n")
+        with pytest.raises(SystemExit):
+            main(["stats", str(bad)])
+
+
 class TestCacheCommand:
     def test_cache_info_reports_empty_dir(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("DOPIA_CACHE_DIR", str(tmp_path))

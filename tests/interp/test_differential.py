@@ -30,43 +30,15 @@ from repro.interp import (
 from repro.transform import ALLOC_PARAM, MOD_PARAM, make_malleable
 from repro.workloads import (
     REAL_WORKLOAD_FACTORIES,
+    SCALED_REAL_FACTORIES,
     TABLE4_PATTERNS,
     SyntheticSpec,
-    make_atax1,
-    make_atax2,
-    make_bicg1,
-    make_bicg2,
-    make_conv2d,
-    make_fdtd1,
-    make_fdtd2,
-    make_fdtd3,
-    make_gesummv,
-    make_mvt1,
-    make_mvt2,
-    make_pagerank,
-    make_spmv,
     make_synthetic,
-    make_syr2k,
 )
 
-#: Every Table-4 registry kernel at a size small enough for the scalar
-#: oracle — keys deliberately mirror ``REAL_WORKLOAD_FACTORIES``.
-SCALED_REAL = {
-    "2DCONV": lambda: make_conv2d(n=12, wg=(4, 4)),
-    "ATAX1": lambda: make_atax1(n=24, wg=8),
-    "ATAX2": lambda: make_atax2(n=24, wg=8),
-    "BICG1": lambda: make_bicg1(n=24, wg=8),
-    "BICG2": lambda: make_bicg2(n=24, wg=8),
-    "FDTD1": lambda: make_fdtd1(n=1, wg=(4, 4)),
-    "FDTD2": lambda: make_fdtd2(n=1, wg=(4, 4)),
-    "FDTD3": lambda: make_fdtd3(n=1, wg=(4, 4)),
-    "GESUMMV": lambda: make_gesummv(n=24, wg=8),
-    "MVT1": lambda: make_mvt1(n=24, wg=8),
-    "MVT2": lambda: make_mvt2(n=24, wg=8),
-    "SYR2K": lambda: make_syr2k(n=8, wg=(4, 4)),
-    "PageRank": lambda: make_pagerank(n=32, wg=8, avg_in_degree=4),
-    "SpMV": lambda: make_spmv(n=32, wg=8, nnz_per_row=4),
-}
+#: Backwards-compatible local alias; the dict now lives with the workloads
+#: so that ``dopia trace`` can drive the same scaled launches.
+SCALED_REAL = SCALED_REAL_FACTORIES
 
 
 def _copy_args(args):

@@ -1,0 +1,17 @@
+"""Shared fixture: one small trained runtime for the observability suite."""
+
+import pytest
+
+from repro.core import DopiaRuntime, collect_dataset
+from repro.ml import make_model
+from repro.sim import KAVERI
+from repro.workloads.synthetic import training_workloads
+
+
+@pytest.fixture(scope="session")
+def trained_runtime():
+    workloads = training_workloads(sizes=(16384,), wg_sizes=(256,))
+    dataset = collect_dataset(workloads, KAVERI, cache=False)
+    model = make_model("dt")
+    model.fit(dataset.feature_matrix(), dataset.targets())
+    return DopiaRuntime(KAVERI, model)

@@ -1,0 +1,220 @@
+"""Unit tests for the tracer core, exports, and summaries."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs import (
+    JSONL_KEYS,
+    Histogram,
+    Tracer,
+    env_trace_request,
+    event_from_json,
+    event_to_json,
+    format_summary,
+    read_jsonl,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import NULL_SPAN
+
+
+def make_tracer(capacity=64) -> Tracer:
+    tracer = Tracer(capacity=capacity)
+    tracer.enable()
+    return tracer
+
+
+class TestRecording:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", detail=1):
+            tracer.instant("point", "test")
+            tracer.counter("n")
+            tracer.observe("v", 1.0)
+        assert tracer.events() == []
+        assert tracer.counters == {}
+        assert tracer.histograms == {}
+        assert tracer.total_events == 0
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is NULL_SPAN
+
+    def test_span_records_complete_event(self):
+        tracer = make_tracer()
+        with tracer.span("work", "test", kernel="k"):
+            pass
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.category == "test"
+        assert event.phase == "X"
+        assert event.dur_us >= 0.0
+        assert event.args == {"kernel": "k"}
+
+    def test_span_nesting_depth(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.instant("leaf")
+        by_name = {e.name: e for e in tracer.events()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["leaf"].depth == 2
+        # inner closes before outer, so it is recorded first
+        assert [e.name for e in tracer.events()] == ["leaf", "inner", "outer"]
+
+    def test_span_recorded_on_exception(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [e.name for e in tracer.events()] == ["doomed"]
+
+    def test_ring_buffer_bounds_and_drop_count(self):
+        tracer = make_tracer(capacity=8)
+        for i in range(20):
+            tracer.instant(f"e{i}")
+        events = tracer.events()
+        assert len(events) == 8
+        assert tracer.total_events == 20
+        assert tracer.dropped == 12
+        # the ring keeps the newest window
+        assert [e.name for e in events] == [f"e{i}" for i in range(12, 20)]
+
+    def test_counters_accumulate_and_emit_running_total(self):
+        tracer = make_tracer()
+        tracer.counter("launches")
+        tracer.counter("launches", 2.0)
+        assert tracer.counters == {"launches": 3.0}
+        totals = [e.args["launches"] for e in tracer.events()]
+        assert totals == [1.0, 3.0]
+
+    def test_clear_resets_everything(self):
+        tracer = make_tracer(capacity=4)
+        for _ in range(6):
+            tracer.instant("e")
+        tracer.counter("n")
+        tracer.observe("v", 2.0)
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.counters == {}
+        assert tracer.histograms == {}
+        assert tracer.dropped == 0
+        assert tracer.enabled  # clear does not toggle recording
+
+    def test_enable_can_resize_the_ring(self):
+        tracer = make_tracer(capacity=4)
+        for i in range(4):
+            tracer.instant(f"e{i}")
+        tracer.enable(capacity=2)
+        assert len(tracer.events()) == 2
+        assert tracer.capacity == 2
+
+
+class TestHistogram:
+    def test_observe_tracks_distribution(self):
+        h = Histogram()
+        for v in (0.5, 1.0, 3.0, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(9.5)
+        assert h.min == 0.5
+        assert h.max == 5.0
+        assert h.mean == pytest.approx(9.5 / 4)
+        # 0.5 and 1.0 -> bucket 0; 3.0 -> 2; 5.0 -> 3
+        assert h.buckets == {0: 2, 2: 1, 3: 1}
+
+    def test_tracer_observe_feeds_named_histogram(self):
+        tracer = make_tracer()
+        tracer.observe("time_s", 0.25)
+        tracer.observe("time_s", 0.75)
+        assert tracer.histograms["time_s"].count == 2
+        assert tracer.events() == []  # histograms do not emit events
+
+
+class TestEnvToggle:
+    @pytest.mark.parametrize("value", ["", "0", "false", "OFF", "no"])
+    def test_falsy_means_disabled(self, value):
+        assert env_trace_request({"DOPIA_TRACE": value}) is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "ON", "yes"])
+    def test_truthy_means_in_memory(self, value):
+        assert env_trace_request({"DOPIA_TRACE": value}) == "1"
+
+    def test_anything_else_is_an_export_path(self):
+        assert env_trace_request({"DOPIA_TRACE": "/tmp/t.jsonl"}) == "/tmp/t.jsonl"
+
+    def test_unset_means_disabled(self):
+        assert env_trace_request({}) is None
+
+
+class TestExport:
+    def events(self):
+        tracer = make_tracer()
+        with tracer.span("work", "test", kernel="k", n=3):
+            tracer.instant("point", "test", groups=[1, 2])
+        tracer.counter("n", 2.0)
+        return tracer.events(), dict(tracer.counters)
+
+    @staticmethod
+    def rounded(event):
+        # timestamps are rounded to nanosecond precision on export
+        return dataclasses.replace(
+            event, ts_us=round(event.ts_us, 3), dur_us=round(event.dur_us, 3)
+        )
+
+    def test_jsonl_round_trip(self, tmp_path):
+        events, _ = self.events()
+        path = write_jsonl(events, tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert tuple(record) == JSONL_KEYS
+        assert read_jsonl(path) == [self.rounded(e) for e in events]
+
+    def test_event_json_round_trip(self):
+        events, _ = self.events()
+        for event in events:
+            assert event_from_json(event_to_json(event)) == self.rounded(event)
+
+    def test_chrome_trace_is_loadable_and_complete(self, tmp_path):
+        events, counters = self.events()
+        path = write_chrome_trace(events, tmp_path / "t.json", counters)
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert len(data["traceEvents"]) == len(events)
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert phases == {"X", "i", "C"}
+        span = next(e for e in data["traceEvents"] if e["ph"] == "X")
+        assert span["dur"] >= 0
+        assert data["otherData"]["counters"] == counters
+
+    def test_chrome_trace_counters_optional(self):
+        events, _ = self.events()
+        data = to_chrome_trace(events)
+        assert len(data["traceEvents"]) == len(events)
+
+
+class TestSummary:
+    def test_summarize_aggregates_by_kind(self):
+        tracer = make_tracer()
+        for _ in range(3):
+            with tracer.span("work", "test"):
+                tracer.instant("point", "test")
+        tracer.counter("n", 5.0)
+        summary = summarize(tracer.events())
+        assert summary.spans[("test", "work")].count == 3
+        assert summary.instants[("test", "point")] == 3
+        assert summary.counters == {"n": 5.0}
+        assert summary.n_events == 7
+
+    def test_format_summary_is_readable(self):
+        tracer = make_tracer()
+        with tracer.span("work", "test"):
+            pass
+        text = format_summary(summarize(tracer.events()))
+        assert "events    : 1" in text
+        assert "work" in text

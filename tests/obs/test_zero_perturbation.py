@@ -1,0 +1,134 @@
+"""Zero-perturbation proof: tracing must never change what a run computes.
+
+For every Table-4 registry kernel (scaled) on both interpreter backends,
+one launch is driven through the full interposed path twice — tracer off,
+then tracer on — and the two runs must be **bit-identical**: every output
+buffer byte-for-byte, and the recorded :class:`LaunchRecord` equal field
+for field (same selected configuration, same 44 scores, same simulated
+time).  The simulator's noise model is keyed deterministically, so any
+divergence here would be the tracer's fault.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.obs import tracer
+from repro.workloads import SCALED_REAL_FACTORIES
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer.disable()
+    tracer.clear()
+    yield
+    tracer.disable()
+    tracer.clear()
+
+
+def run_launch(runtime, workload, backend, traced):
+    """One interposed launch; returns (buffer bytes, LaunchRecord)."""
+    runtime.backend = backend
+    runtime.clear()
+    tracer.clear()
+    if traced:
+        tracer.enable()
+    try:
+        with cl.interposed(runtime):
+            context = cl.create_context("kaveri")
+            program = context.create_program_with_source(workload.source).build()
+            kernel = program.create_kernel(workload.kernel_name)
+            buffers = {}
+            for name, value in workload.full_args(rng=0).items():
+                if isinstance(value, np.ndarray):
+                    buffers[name] = context.create_buffer(value)
+                    kernel.set_arg(name, buffers[name])
+                else:
+                    kernel.set_arg(name, value)
+            queue = cl.create_command_queue(context)
+            queue.enqueue_nd_range_kernel(
+                kernel, workload.global_size, workload.local_size,
+                irregular_trip_hint=workload.irregular_trip_hint,
+            )
+        assert len(runtime.launches) == 1
+        record = runtime.launches[0]
+        contents = {name: buf.array.tobytes() for name, buf in buffers.items()}
+        if traced:
+            assert tracer.events(), "traced run recorded no events"
+        else:
+            assert tracer.events() == []
+        return contents, record
+    finally:
+        tracer.disable()
+        runtime.backend = None
+
+
+def assert_records_equal(plain, traced):
+    assert traced.kernel == plain.kernel
+    assert traced.prediction.config == plain.prediction.config
+    assert (traced.prediction.scores.tobytes()
+            == plain.prediction.scores.tobytes())
+    assert traced.prediction.inference_cost_s == plain.prediction.inference_cost_s
+    assert traced.result == plain.result
+    assert traced.time_s == plain.time_s
+
+
+@pytest.mark.parametrize("backend", ["scalar", "auto"])
+@pytest.mark.parametrize("name", list(SCALED_REAL_FACTORIES))
+def test_traced_run_bit_identical(trained_runtime, name, backend):
+    workload = SCALED_REAL_FACTORIES[name]()
+
+    plain_buffers, plain_record = run_launch(
+        trained_runtime, workload, backend, traced=False
+    )
+    traced_buffers, traced_record = run_launch(
+        trained_runtime, workload, backend, traced=True
+    )
+
+    assert traced_buffers.keys() == plain_buffers.keys()
+    for buf, content in plain_buffers.items():
+        assert traced_buffers[buf] == content, (
+            f"{name} [{backend}]: buffer {buf!r} differs under tracing"
+        )
+    assert_records_equal(plain_record, traced_record)
+
+
+def test_traced_run_emits_the_advertised_events(trained_runtime):
+    """The ISSUE acceptance check: predictor (all 44 scored configs),
+    scheduler activity, and backend selection all present in one trace."""
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    runtime = trained_runtime
+    runtime.clear()
+    tracer.clear()
+    tracer.enable()
+    try:
+        with cl.interposed(runtime):
+            context = cl.create_context("kaveri")
+            program = context.create_program_with_source(workload.source).build()
+            kernel = program.create_kernel(workload.kernel_name)
+            for arg, value in workload.full_args(rng=0).items():
+                kernel.set_arg(
+                    arg,
+                    context.create_buffer(value)
+                    if isinstance(value, np.ndarray) else value,
+                )
+            queue = cl.create_command_queue(context)
+            queue.enqueue_nd_range_kernel(
+                kernel, workload.global_size, workload.local_size
+            )
+        events = tracer.events()
+    finally:
+        tracer.disable()
+
+    names = {event.name for event in events}
+    assert "predictor.select" in names
+    assert "backend.choice" in names
+    assert "sim.execute" in names
+    assert names & {"schedule.cpu_pull", "schedule.gpu_chunk"}
+
+    select = next(e for e in events if e.name == "predictor.select")
+    assert len(select.args["configs"]) == 44
+    record = next(e for e in events if e.name == "dopia.launch_record")
+    chosen = runtime.launches[0].prediction.config.setting
+    assert record.args["cpu_threads"] == chosen.cpu_threads
+    assert record.args["gpu_fraction"] == chosen.gpu_fraction
