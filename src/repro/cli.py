@@ -465,6 +465,99 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Benchmark the concurrent serving layer: clients x launches.
+
+    Runs a closed-loop load generator against :class:`repro.serve.DopiaServer`
+    and prints throughput + latency percentiles.  ``--out`` writes the JSON
+    report (the committed ``BENCH_serve.json`` baseline); ``--check`` compares
+    the measured throughput against a baseline report and fails below
+    ``--check-ratio`` of it (the CI stress-lane regression guard).
+    """
+    import json
+
+    from .core.runtime import DopiaRuntime
+    from .serve import run_serve_bench
+    from .workloads import SCALED_REAL_FACTORIES
+
+    names = (args.workloads.split(",") if args.workloads
+             else list(SCALED_REAL_FACTORIES))
+    unknown = [name for name in names if name not in SCALED_REAL_FACTORIES]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload(s) {', '.join(unknown)}; choose from: "
+            + ", ".join(SCALED_REAL_FACTORIES))
+
+    platform = get_platform(args.platform)
+    jobs = args.jobs or default_jobs()
+    print(f"training {args.model} on {platform.name} "
+          "(cached after the first run) ...", file=sys.stderr)
+    runtime = DopiaRuntime.from_pretrained(
+        platform, model_name=args.model, jobs=jobs)
+
+    client_counts = [int(v) for v in args.clients.split(",")]
+    backend = args.backend or os.environ.get("DOPIA_BACKEND") or "auto"
+    reports = []
+    for clients in client_counts:
+        report = run_serve_bench(
+            platform, runtime.predictor.model,
+            clients=clients,
+            launches_per_client=args.launches,
+            workload_names=names,
+            workers=args.workers,
+            backend=backend,
+            functional=args.functional,
+        )
+        reports.append(report)
+        print(f"{clients:3d} client(s): {report['throughput_lps']:9.1f} "
+              f"launches/s  p50={report['latency']['p50_ms']:.2f}ms "
+              f"p99={report['latency']['p99_ms']:.2f}ms  "
+              f"cache={report['cache']['hit_rate']:.0%}  "
+              f"adapted={report['predictions']['adapted']}")
+
+    payload = {"runs": reports}
+    if len(reports) > 1:
+        base, top = reports[0], reports[-1]
+        if base["throughput_lps"] > 0:
+            payload["scaling"] = {
+                "from_clients": base["clients"],
+                "to_clients": top["clients"],
+                "speedup": round(
+                    top["throughput_lps"] / base["throughput_lps"], 3),
+            }
+            print(f"scaling {base['clients']} -> {top['clients']} clients: "
+                  f"{payload['scaling']['speedup']:.2f}x")
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report   : {args.out}")
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.check).read_text())
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: cannot read baseline {args.check}: {error}")
+        failures = []
+        by_clients = {run["clients"]: run for run in baseline.get("runs", [])}
+        for report in reports:
+            reference = by_clients.get(report["clients"])
+            if reference is None:
+                continue
+            floor = args.check_ratio * reference["throughput_lps"]
+            status = "ok" if report["throughput_lps"] >= floor else "REGRESSED"
+            print(f"guard    : {report['clients']} client(s) "
+                  f"{report['throughput_lps']:.1f} vs baseline "
+                  f"{reference['throughput_lps']:.1f} launches/s "
+                  f"(floor {floor:.1f}) {status}")
+            if status != "ok":
+                failures.append(report["clients"])
+        if failures:
+            raise SystemExit(
+                f"error: throughput regression at {failures} client(s) "
+                f"(< {args.check_ratio:.0%} of baseline)")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -584,6 +677,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="traces",
                    help="output directory for the trace pair")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent serving layer (clients x launches)",
+    )
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
+    p.add_argument("--clients", default="1,8",
+                   help="comma-separated client counts to sweep (default 1,8)")
+    p.add_argument("--launches", type=int, default=100,
+                   help="launches per client (default 100)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker threads (default: one per client)")
+    p.add_argument("--workloads", default=None,
+                   help="comma-separated registry kernels (default: all 14)")
+    p.add_argument("--functional", action="store_true",
+                   help="execute kernels functionally instead of "
+                        "simulation-only benchmark mode")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for cold dataset collection")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON report (e.g. BENCH_serve.json)")
+    p.add_argument("--check", default=None, metavar="PATH",
+                   help="compare against a baseline report and fail on "
+                        "throughput regression")
+    p.add_argument("--check-ratio", type=float, default=0.9,
+                   help="minimum acceptable fraction of baseline throughput "
+                        "(default 0.9)")
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("stats", help="summarise a JSONL trace file")
     p.add_argument("trace", help="path to a .trace.jsonl file")

@@ -38,9 +38,19 @@ class DopPredictor:
         self._utils = config_utils_matrix(self.configs)
 
     def feature_rows(
-        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int
+        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int,
+        cpu_load: float = 0.0, gpu_load: float = 0.0,
     ) -> np.ndarray:
-        """(44, 11) model inputs for one kernel launch."""
+        """(44, 11) model inputs for one kernel launch.
+
+        ``cpu_load``/``gpu_load`` are the *live* device occupancies (0–1)
+        at enqueue time — Table 1's ``CPU_util``/``GPU_util`` features in
+        their online, multiprogrammed role.  Each candidate row carries the
+        total utilisation the device would see if this launch ran at that
+        configuration *on top of* the background load (capped at 1.0).
+        At idle (the defaults) the rows reduce to the offline training
+        layout, so single-client behaviour is unchanged.
+        """
         n = len(self.configs)
         rows = np.empty((n, 11), dtype=np.float64)
         rows[:, 0:6] = static.as_tuple()
@@ -48,15 +58,45 @@ class DopPredictor:
         rows[:, 7] = global_size
         rows[:, 8] = local_size
         rows[:, 9:] = self._utils
+        if cpu_load > 0.0:
+            np.minimum(rows[:, 9] + cpu_load, 1.0, out=rows[:, 9])
+        if gpu_load > 0.0:
+            np.minimum(rows[:, 10] + gpu_load, 1.0, out=rows[:, 10])
         return rows
 
+    def feasible_mask(self, cpu_load: float, gpu_load: float) -> np.ndarray:
+        """Configurations that fit in the *remaining* device capacity.
+
+        A candidate is feasible when its CPU-thread share and GPU-PE
+        fraction both fit alongside the in-flight load.  The serving layer
+        uses this to keep an enqueue from claiming PEs another launch
+        already occupies.
+        """
+        eps = 1e-9
+        return ((self._utils[:, 0] <= 1.0 - cpu_load + eps)
+                & (self._utils[:, 1] <= 1.0 - gpu_load + eps))
+
     def select(
-        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int
+        self, static: StaticFeatures, work_dim: int, global_size: int, local_size: int,
+        cpu_load: float = 0.0, gpu_load: float = 0.0,
     ) -> Prediction:
-        """Pick the configuration with the highest predicted performance."""
-        rows = self.feature_rows(static, work_dim, global_size, local_size)
+        """Pick the configuration with the highest predicted performance.
+
+        With a non-zero live load, candidates that no longer fit in the
+        remaining capacity are masked out before the argmax (unless *every*
+        candidate is infeasible — a saturated device — in which case the
+        unmasked argmax wins and the launch oversubscribes, paying the
+        contention penalty instead of deadlocking).
+        """
+        rows = self.feature_rows(static, work_dim, global_size, local_size,
+                                 cpu_load=cpu_load, gpu_load=gpu_load)
         scores = self.model.predict(rows)
-        best = int(np.argmax(scores))
+        ranked = scores
+        if cpu_load > 0.0 or gpu_load > 0.0:
+            feasible = self.feasible_mask(cpu_load, gpu_load)
+            if feasible.any():
+                ranked = np.where(feasible, scores, -np.inf)
+        best = int(np.argmax(ranked))
         prediction = Prediction(
             config=self.configs[best],
             scores=scores,
@@ -70,6 +110,7 @@ class DopPredictor:
                 platform=self.platform.name,
                 work_dim=work_dim, global_size=global_size,
                 local_size=local_size,
+                cpu_load=cpu_load, gpu_load=gpu_load,
                 best=best,
                 cpu_threads=prediction.config.setting.cpu_threads,
                 gpu_fraction=prediction.config.setting.gpu_fraction,

@@ -16,6 +16,7 @@ Installed as the :class:`repro.cl.Interposer`, the runtime
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -111,14 +112,31 @@ class DopiaRuntime(Interposer):
         #: enqueue, newest kept (a long-lived runtime no longer grows
         #: without bound; the full history is the tracer's job)
         self.launches: deque[LaunchRecord] = deque(maxlen=max(1, max_launch_records))
+        #: total records appended since construction or :meth:`clear`,
+        #: counting past the ring bound
+        self.total_launches = 0
+        #: guards launch accounting (append + total) as one atomic step
+        self._launch_lock = threading.Lock()
+        #: guards lazy per-kernel artifact generation (malleable/CPU
+        #: variants); reentrant because ``_artifacts`` may trigger a full
+        #: ``program_built`` pass.  Execution itself never holds it.
+        self._artifact_lock = threading.RLock()
 
     @property
     def max_launch_records(self) -> int:
         return self.launches.maxlen or 0
 
     def clear(self) -> None:
-        """Drop the accumulated launch records."""
-        self.launches.clear()
+        """Drop the accumulated launch records and reset the total."""
+        with self._launch_lock:
+            self.launches.clear()
+            self.total_launches = 0
+
+    def record_launch(self, record: LaunchRecord) -> None:
+        """Append one launch record atomically (ring append + total)."""
+        with self._launch_lock:
+            self.launches.append(record)
+            self.total_launches += 1
 
     # -- construction helpers -------------------------------------------------
 
@@ -142,9 +160,12 @@ class DopiaRuntime(Interposer):
     # -- compile-time pass -----------------------------------------------------
 
     def program_built(self, program: Program) -> None:
-        with tracer.span("dopia.program_build", "build",
-                         kernels=list(program.kernel_infos)):
+        with self._artifact_lock, tracer.span(
+                "dopia.program_build", "build",
+                kernels=list(program.kernel_infos)):
             for name, info in program.kernel_infos.items():
+                if isinstance(program.interposer_data.get(name), KernelArtifacts):
+                    continue  # another thread won the build race
                 with tracer.span("dopia.analyze_kernel", "build", kernel=name):
                     features = extract_static_features(info)
                     try:
@@ -174,21 +195,25 @@ class DopiaRuntime(Interposer):
     def _malleable_for(self, kernel: Kernel, work_dim: int) -> MalleableKernel:
         artifacts = self._artifacts(kernel)
         if work_dim not in artifacts.malleable:
-            artifacts.malleable[work_dim] = make_malleable(
-                kernel.info, work_dim=work_dim
-            )
+            with self._artifact_lock:
+                if work_dim not in artifacts.malleable:
+                    artifacts.malleable[work_dim] = make_malleable(
+                        kernel.info, work_dim=work_dim
+                    )
         return artifacts.malleable[work_dim]
 
     def cpu_variant(self, kernel: Kernel, work_dim: int) -> CpuKernel:
         """The generated Figure-7 CPU source for ``kernel`` (on demand)."""
         artifacts = self._artifacts(kernel)
         if work_dim not in artifacts.cpu_codegen:
-            try:
-                artifacts.cpu_codegen[work_dim] = make_cpu_kernel(
-                    kernel.info, work_dim=work_dim
-                )
-            except CpuTransformError as exc:
-                raise CpuTransformError(f"{kernel.name}: {exc}") from exc
+            with self._artifact_lock:
+                if work_dim not in artifacts.cpu_codegen:
+                    try:
+                        artifacts.cpu_codegen[work_dim] = make_cpu_kernel(
+                            kernel.info, work_dim=work_dim
+                        )
+                    except CpuTransformError as exc:
+                        raise CpuTransformError(f"{kernel.name}: {exc}") from exc
         return artifacts.cpu_codegen[work_dim]
 
     # -- launch-time pass ------------------------------------------------------
@@ -259,7 +284,7 @@ class DopiaRuntime(Interposer):
                 result=result,
                 time_s=time,
             )
-            self.launches.append(record)
+            self.record_launch(record)
             if traced:
                 tracer.instant(
                     "dopia.launch_record", "launch",

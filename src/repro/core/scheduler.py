@@ -21,6 +21,7 @@ this is the correctness half of the runtime.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -47,16 +48,27 @@ class ScheduleTrace:
 
 
 class AtomicWorklist:
-    """The shared work-group counter of Algorithm 1 (line 6)."""
+    """The shared work-group counter of Algorithm 1 (line 6).
+
+    Genuinely atomic: ``fetch_add`` is a locked read-modify-write, so the
+    counter can be shared by concurrent claimants (the serving layer's
+    stress harness hammers one worklist from many threads) without losing
+    or duplicating work-groups.  The lock is per-worklist — per-launch
+    state, never a global execution lock.
+    """
+
+    __slots__ = ("next", "limit", "_lock")
 
     def __init__(self, num_work_groups: int):
         self.next = 0
         self.limit = num_work_groups
+        self._lock = threading.Lock()
 
     def fetch_add(self, count: int = 1) -> int:
-        value = self.next
-        self.next += count
-        return value
+        with self._lock:
+            value = self.next
+            self.next += count
+            return value
 
     @property
     def exhausted(self) -> bool:

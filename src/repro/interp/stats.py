@@ -9,6 +9,7 @@ observable from the CLI and from tests.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -41,22 +42,29 @@ class ExecutionStats:
     choices: dict[str, tuple[str, str]] = field(default_factory=dict)
     fallbacks: dict[str, int] = field(default_factory=dict)
     fallback_reasons: dict[str, str] = field(default_factory=dict)
+    #: guards every read-modify-write; concurrent launches from the serving
+    #: layer record into this process-global object from many threads
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     # -- recording -----------------------------------------------------------
 
     def record_choice(self, kernel: str, backend: str, reason: str = "") -> None:
-        self.choices[kernel] = (backend, reason)
+        with self._lock:
+            self.choices[kernel] = (backend, reason)
 
     def record_run(self, kernel: str, backend: str, work_items: int,
                    seconds: float) -> None:
-        counter = self.runs.setdefault((kernel, backend), _BackendCounter())
-        counter.calls += 1
-        counter.work_items += work_items
-        counter.seconds += seconds
+        with self._lock:
+            counter = self.runs.setdefault((kernel, backend), _BackendCounter())
+            counter.calls += 1
+            counter.work_items += work_items
+            counter.seconds += seconds
 
     def record_fallback(self, kernel: str, reason: str) -> None:
-        self.fallbacks[kernel] = self.fallbacks.get(kernel, 0) + 1
-        self.fallback_reasons[kernel] = reason
+        with self._lock:
+            self.fallbacks[kernel] = self.fallbacks.get(kernel, 0) + 1
+            self.fallback_reasons[kernel] = reason
 
     # -- queries -------------------------------------------------------------
 
@@ -115,10 +123,11 @@ class ExecutionStats:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        self.runs.clear()
-        self.choices.clear()
-        self.fallbacks.clear()
-        self.fallback_reasons.clear()
+        with self._lock:
+            self.runs.clear()
+            self.choices.clear()
+            self.fallbacks.clear()
+            self.fallback_reasons.clear()
 
 
 #: Process-global counter, like ``repro.core.collect.collection_stats``.

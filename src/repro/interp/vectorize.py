@@ -58,6 +58,7 @@ guards that envelope.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
@@ -104,22 +105,34 @@ class Eligibility:
 
 _ELIGIBILITY_CACHE_ATTR = "_vector_eligibility"
 
+#: Serialises eligibility *computation* across threads.  The memo is
+#: published as an attribute on the :class:`KernelInfo` (an atomic store
+#: under the GIL); without the lock, N threads first-touching the same
+#: kernel concurrently would all run the AST walk and interleave their
+#: publishes — double-checked locking makes first-touch compute-once.
+_eligibility_lock = threading.Lock()
+
 
 def check_vectorizable(info: KernelInfo) -> Eligibility:
     """Static applicability test for the vectorized backend.
 
     The result is memoized on the :class:`KernelInfo` so repeated launches
     (the dynamic scheduler enqueues the same kernel hundreds of times) pay
-    for the AST walk once.
+    for the AST walk once.  Thread-safe: concurrent first-touch from the
+    serving layer's workers computes the walk exactly once.
     """
     cached = getattr(info, _ELIGIBILITY_CACHE_ATTR, None)
     if cached is not None:
         return cached
-    result = _check_vectorizable(info)
-    try:
-        setattr(info, _ELIGIBILITY_CACHE_ATTR, result)
-    except AttributeError:  # pragma: no cover - slotted KernelInfo variant
-        pass
+    with _eligibility_lock:
+        cached = getattr(info, _ELIGIBILITY_CACHE_ATTR, None)
+        if cached is not None:
+            return cached
+        result = _check_vectorizable(info)
+        try:
+            setattr(info, _ELIGIBILITY_CACHE_ATTR, result)
+        except AttributeError:  # pragma: no cover - slotted KernelInfo variant
+            pass
     return result
 
 

@@ -103,9 +103,32 @@ class DecisionTreeRegressor(Estimator):
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         X, y = self._check_fit_inputs(X, y)
         self.nodes_ = []
+        self._flat = None
+        self._depth = None
         rng = np.random.default_rng(self.random_state)
         self._build(X, y, depth=0, rng=rng)
+        self._flat = self._compile()
+        self._depth = self._measure_depth()
         return self
+
+    def _compile(self) -> tuple[np.ndarray, ...]:
+        """Flatten the node list into read-only arrays for descent.
+
+        Compiled once per ``fit``: rebuilding these on every ``predict``
+        dominated the serving layer's prediction latency.  The arrays are
+        immutable after compilation, which is also what makes concurrent
+        ``predict`` calls from many threads safe — prediction only reads.
+        """
+        arrays = (
+            np.array([n.feature for n in self.nodes_]),
+            np.array([n.threshold for n in self.nodes_]),
+            np.array([n.left for n in self.nodes_]),
+            np.array([n.right for n in self.nodes_]),
+            np.array([n.value for n in self.nodes_]),
+        )
+        for array in arrays:
+            array.flags.writeable = False
+        return arrays
 
     def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng) -> int:
         index = len(self.nodes_)
@@ -147,11 +170,11 @@ class DecisionTreeRegressor(Estimator):
         X = self._check_predict_inputs(X)
         # vectorised level-wise descent: all rows walk the tree together
         positions = np.zeros(X.shape[0], dtype=np.int64)
-        features = np.array([n.feature for n in self.nodes_])
-        thresholds = np.array([n.threshold for n in self.nodes_])
-        lefts = np.array([n.left for n in self.nodes_])
-        rights = np.array([n.right for n in self.nodes_])
-        values = np.array([n.value for n in self.nodes_])
+        flat = getattr(self, "_flat", None)
+        if flat is None:
+            # models fitted (or unpickled) before array caching existed
+            flat = self._flat = self._compile()
+        features, thresholds, lefts, rights, values = flat
         active = features[positions] != _LEAF
         while active.any():
             idx = positions[active]
@@ -170,7 +193,13 @@ class DecisionTreeRegressor(Estimator):
 
     @property
     def depth(self) -> int:
-        """Actual depth of the fitted tree."""
+        """Actual depth of the fitted tree (measured once per fit)."""
+        cached = getattr(self, "_depth", None)
+        if cached is None:
+            cached = self._depth = self._measure_depth()
+        return cached
+
+    def _measure_depth(self) -> int:
         if not self.nodes_:
             return 0
         depths = {0: 0}

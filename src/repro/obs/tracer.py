@@ -101,6 +101,34 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class _Context:
+    """Pushes key/value pairs onto the calling thread's context stack.
+
+    While active, every event recorded *by this thread* carries the pairs
+    in its ``args`` (explicit per-event args win on key collision).  The
+    serving layer uses this to thread per-session identity through every
+    span/instant a worker records on behalf of a client, without changing
+    any instrumentation call site.
+    """
+
+    __slots__ = ("_tracer", "_kv", "_prev")
+
+    def __init__(self, tracer: "Tracer", kv: dict):
+        self._tracer = tracer
+        self._kv = kv
+
+    def __enter__(self) -> "_Context":
+        local = self._tracer._local
+        self._prev = getattr(local, "ctx", None)
+        merged = dict(self._prev) if self._prev else {}
+        merged.update(self._kv)
+        local.ctx = merged
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._local.ctx = self._prev
+
+
 class _Span:
     """An open span; records one ``X`` event when the ``with`` block exits.
 
@@ -190,6 +218,16 @@ class Tracer:
             return NULL_SPAN
         return _Span(self, name, category, args)
 
+    def context(self, **kv: Any) -> _Context:
+        """Context manager tagging every event this thread records.
+
+        Unlike :meth:`span`, this is active even while recording is off —
+        it only stores a thread-local dict — so a serving worker can
+        install its session tag once and any tracing toggled on later is
+        attributed correctly.
+        """
+        return _Context(self, kv)
+
     def instant(self, name: str, category: str = "event", **args: Any) -> None:
         """Record a point-in-time event (no-op when disabled)."""
         if not self.enabled:
@@ -243,6 +281,9 @@ class Tracer:
         return stack
 
     def _tid(self) -> int:
+        """Small per-thread ordinal; caller must hold :attr:`_lock` on a
+        potential first sighting (two racing first-touches would otherwise
+        both read ``len(self._tids)`` and share an ordinal)."""
         ident = threading.get_ident()
         tid = self._tids.get(ident)
         if tid is None:
@@ -252,12 +293,15 @@ class Tracer:
     def _record(self, name: str, category: str, phase: str, *,
                 ts_us: float, dur_us: float = 0.0, depth: int = 0,
                 args: dict) -> None:
-        event = TraceEvent(
-            name=name, category=category, phase=phase,
-            ts_us=ts_us, dur_us=dur_us, tid=self._tid(), depth=depth,
-            args=args,
-        )
+        context = getattr(self._local, "ctx", None)
+        if context:
+            args = {**context, **args}
         with self._lock:
+            event = TraceEvent(
+                name=name, category=category, phase=phase,
+                ts_us=ts_us, dur_us=dur_us, tid=self._tid(), depth=depth,
+                args=args,
+            )
             self._events.append(event)
             self.total_events += 1
 

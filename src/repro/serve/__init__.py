@@ -1,0 +1,47 @@
+"""Concurrent multi-client serving layer for the Dopia runtime.
+
+The paper's Table-1 feature vector carries ``CPU_util``/``GPU_util``
+precisely so the model can pick a degree of parallelism *online*, under
+multiprogrammed co-execution.  This package is where those features come
+alive: N client sessions submit kernel launches concurrently into an
+admission queue, a device-load ledger tracks in-flight CPU-thread and
+GPU-PE occupancy, and every enqueue feeds the live load into
+:class:`repro.core.predictor.DopPredictor` so the chosen DoP adapts to
+contention.
+
+Components
+----------
+:class:`~repro.serve.ledger.DeviceLoadLedger`
+    Thread-safe occupancy accounting (leases over CPU threads / GPU PEs).
+:class:`~repro.serve.cache.PredictionCache`
+    LRU over (feature vector, load bucket) keeping the hot path fast.
+:class:`~repro.serve.server.DopiaServer`
+    Admission queue + worker pool + client sessions.
+:func:`~repro.serve.bench.run_serve_bench`
+    The ``dopia serve-bench`` harness (throughput / latency percentiles).
+"""
+
+from .bench import BenchReport, run_serve_bench
+from .cache import PredictionCache
+from .ledger import DeviceLoadLedger, Lease, LoadSnapshot
+from .server import (
+    ClientSession,
+    DopiaServer,
+    LaunchHandle,
+    ServeResult,
+    ServerStats,
+)
+
+__all__ = [
+    "BenchReport",
+    "ClientSession",
+    "DeviceLoadLedger",
+    "DopiaServer",
+    "LaunchHandle",
+    "Lease",
+    "LoadSnapshot",
+    "PredictionCache",
+    "ServeResult",
+    "ServerStats",
+    "run_serve_bench",
+]

@@ -1,0 +1,161 @@
+"""The ``dopia serve-bench`` harness: clients x launches -> throughput/latency.
+
+A closed-loop load generator: each of N client threads owns a session and
+submits launches one at a time (submit, wait, repeat), so concurrency in
+service equals the client count.  The report carries throughput,
+latency percentiles, prediction-cache statistics, ledger high-water
+marks, and online-adaptation counts — committed as ``BENCH_serve.json``
+and guarded by the CI stress lane.
+
+Benchmark mode is simulation-only (``functional=False``) with a lease
+dwell (see :class:`~repro.serve.server.DopiaServer`): the simulated
+platform's devices are "occupied" for a wall-clock dwell proportional to
+the modelled service time, which is what lets the ledger fill up and the
+measured scaling reflect genuine admission/prediction/ledger hot-path
+costs rather than Python interpreter time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..ml.base import Estimator
+from ..sim.platforms import Platform
+from ..workloads import SCALED_REAL_FACTORIES
+from ..workloads.registry import Workload
+from .server import DopiaServer
+
+#: dict alias for the JSON-shaped report
+BenchReport = dict
+
+#: Default per-launch dwell configuration for benchmark mode: scale the
+#: modelled service time up into the milliseconds so the ledger observably
+#: fills, but cap it so a full sweep stays interactive.
+DEFAULT_DWELL_SCALE = 2e3
+DEFAULT_DWELL_CAP_S = 0.004
+
+
+def percentiles(samples: Sequence[float]) -> dict[str, float]:
+    """p50/p90/p99 + mean/max of a latency sample set, in milliseconds."""
+    if not samples:
+        return {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0,
+                "mean_ms": 0.0, "max_ms": 0.0}
+    array = np.asarray(samples, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": float(np.percentile(array, 50)),
+        "p90_ms": float(np.percentile(array, 90)),
+        "p99_ms": float(np.percentile(array, 99)),
+        "mean_ms": float(array.mean()),
+        "max_ms": float(array.max()),
+    }
+
+
+def run_serve_bench(
+    platform: Platform,
+    model: Estimator,
+    *,
+    clients: int = 8,
+    launches_per_client: int = 25,
+    workload_names: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    backend: str | None = None,
+    functional: bool = False,
+    dwell_scale: float = DEFAULT_DWELL_SCALE,
+    dwell_cap_s: float = DEFAULT_DWELL_CAP_S,
+    cache_size: int = 1024,
+) -> BenchReport:
+    """One benchmark run; returns the JSON-shaped report (see module doc)."""
+    if clients < 1 or launches_per_client < 1:
+        raise ValueError("need at least one client and one launch")
+    names = list(workload_names or SCALED_REAL_FACTORIES)
+    factories = {name: SCALED_REAL_FACTORIES[name] for name in names}
+    workloads: list[Workload] = [factories[name]() for name in names]
+
+    server = DopiaServer(
+        platform, model,
+        workers=workers or clients,
+        backend=backend,
+        functional=functional,
+        cache_size=cache_size,
+        dwell_scale=dwell_scale if not functional else 0.0,
+        dwell_cap_s=dwell_cap_s,
+    )
+    barrier = threading.Barrier(clients + 1)
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        prepared_args: list[tuple[Workload, dict[str, Any]]] = []
+        try:
+            session = server.session(f"bench-{index}")
+            # pre-materialise one argument set per workload, outside the
+            # timed region (closed loop measures serving, not NumPy allocation)
+            prepared_args = [(workload, workload.full_args(rng=index))
+                             for workload in workloads]
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            with errors_lock:
+                errors.append(error)
+        barrier.wait()
+        try:
+            if prepared_args:
+                for j in range(launches_per_client):
+                    workload, args = prepared_args[(index + j) % len(prepared_args)]
+                    session.launch(workload, args=args).result(timeout=120.0)
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            with errors_lock:
+                errors.append(error)
+        finally:
+            barrier.wait()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()                    # all clients armed; start the clock
+    t0 = time.perf_counter()
+    barrier.wait()                    # all clients drained; stop the clock
+    wall_s = time.perf_counter() - t0
+    for thread in threads:
+        thread.join()
+    server.close()
+    if errors:
+        raise errors[0]
+
+    total = clients * launches_per_client
+    with server.stats._lock:
+        latencies = list(server.stats.latencies_s)
+        loaded = server.stats.loaded_predictions
+        adapted = server.stats.adapted_predictions
+        completed = server.stats.completed
+    assert completed == total, f"served {completed} of {total} launches"
+    return {
+        "platform": platform.name,
+        "backend": backend or "auto",
+        "clients": clients,
+        "launches_per_client": launches_per_client,
+        "total_launches": total,
+        "workers": workers or clients,
+        "functional": functional,
+        "workloads": names,
+        "dwell_scale": dwell_scale if not functional else 0.0,
+        "dwell_cap_ms": dwell_cap_s * 1e3,
+        "wall_s": round(wall_s, 6),
+        "throughput_lps": round(total / wall_s, 3) if wall_s > 0 else 0.0,
+        "latency": {k: round(v, 3) for k, v in percentiles(latencies).items()},
+        "cache": server.cache.stats(),
+        "ledger": {
+            "peak_cpu_util": round(server.ledger.peak_cpu_util, 4),
+            "peak_gpu_util": round(server.ledger.peak_gpu_util, 4),
+            "total_leases": server.ledger.total_leases,
+        },
+        "predictions": {
+            "under_load": loaded,
+            "adapted": adapted,
+        },
+    }

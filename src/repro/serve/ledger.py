@@ -1,0 +1,139 @@
+"""Device-load ledger: who holds the integrated processor right now.
+
+On an integrated CPU/GPU both devices are shared by every in-flight
+launch.  The ledger is the serving layer's single source of truth for
+*current* occupancy: each admitted launch acquires a :class:`Lease` for
+the CPU threads and the GPU-PE fraction its chosen configuration uses,
+and releases it on completion.  Snapshots of the normalised occupancy
+feed the predictor's ``CPU_util``/``GPU_util`` features (Table 1) so the
+next enqueue sees the machine as it actually is.
+
+The ledger never blocks and never rejects: admission control is the
+predictor's feasibility mask (infeasible configurations are not chosen
+while capacity remains), and when the device is saturated a launch may
+oversubscribe — the contention model charges it for that instead of the
+queue deadlocking.  Occupancy is therefore tracked un-capped internally
+and capped at 1.0 only in snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from ..sim.engine import DopSetting
+from ..sim.platforms import Platform
+
+#: Load-bucket resolution: occupancy is quantised to eighths, matching the
+#: GPU levels of the Table-3 configuration grid, so the prediction cache
+#: key space stays small (9 x 9 load buckets) without losing the
+#: distinctions the model can act on.
+LOAD_BUCKETS = 8
+
+
+@dataclass(frozen=True)
+class LoadSnapshot:
+    """Normalised occupancy of both devices at one instant."""
+
+    cpu_util: float          #: in-flight CPU threads / hardware threads, capped at 1
+    gpu_util: float          #: sum of in-flight GPU-PE fractions, capped at 1
+    in_flight: int           #: number of live leases
+
+    @property
+    def idle(self) -> bool:
+        return self.in_flight == 0
+
+    def bucket(self, buckets: int = LOAD_BUCKETS) -> tuple[int, int]:
+        """Quantised (cpu, gpu) bucket pair for cache keying."""
+        return (round(self.cpu_util * buckets), round(self.gpu_util * buckets))
+
+    def bucketed(self, buckets: int = LOAD_BUCKETS) -> "LoadSnapshot":
+        """The snapshot rounded to its bucket's representative loads.
+
+        Predictions are made from the *bucketed* loads so a cached entry is
+        exactly reusable for every snapshot in the same bucket.
+        """
+        cpu_b, gpu_b = self.bucket(buckets)
+        return LoadSnapshot(cpu_util=cpu_b / buckets, gpu_util=gpu_b / buckets,
+                            in_flight=self.in_flight)
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One launch's hold on device capacity (opaque to callers)."""
+
+    token: int
+    cpu_threads: int
+    gpu_fraction: float
+
+
+class DeviceLoadLedger:
+    """Thread-safe in-flight occupancy accounting for one platform.
+
+    All mutation happens under one short lock; there is no blocking and no
+    waiting — :meth:`acquire` always succeeds (see module docstring).
+    ``peak_cpu_util``/``peak_gpu_util`` record the high-water marks
+    (un-capped, so oversubscription is visible to the benchmark report).
+    """
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._lock = threading.Lock()
+        self._tokens = itertools.count()
+        self._live: dict[int, Lease] = {}
+        self._cpu_threads = 0       #: sum of leased CPU threads
+        self._gpu_fraction = 0.0    #: sum of leased GPU-PE fractions
+        self.peak_cpu_util = 0.0
+        self.peak_gpu_util = 0.0
+        self.total_leases = 0
+
+    # -- leasing -------------------------------------------------------------
+
+    def acquire(self, setting: DopSetting) -> Lease:
+        """Record ``setting``'s occupancy; returns the lease to release."""
+        with self._lock:
+            lease = Lease(
+                token=next(self._tokens),
+                cpu_threads=setting.cpu_threads,
+                gpu_fraction=setting.gpu_fraction,
+            )
+            self._live[lease.token] = lease
+            self._cpu_threads += lease.cpu_threads
+            self._gpu_fraction += lease.gpu_fraction
+            self.total_leases += 1
+            self.peak_cpu_util = max(self.peak_cpu_util, self._raw_cpu_util())
+            self.peak_gpu_util = max(self.peak_gpu_util, self._gpu_fraction)
+            return lease
+
+    def release(self, lease: Lease) -> None:
+        """Return a lease's capacity; double release raises ``KeyError``."""
+        with self._lock:
+            live = self._live.pop(lease.token)
+            self._cpu_threads -= live.cpu_threads
+            self._gpu_fraction -= live.gpu_fraction
+            # exact-int CPU accounting can't drift; float GPU fractions can
+            # accumulate representation error, so clamp an empty ledger home
+            if not self._live:
+                self._cpu_threads = 0
+                self._gpu_fraction = 0.0
+
+    # -- queries -------------------------------------------------------------
+
+    def _raw_cpu_util(self) -> float:
+        threads = max(1, self.platform.cpu.threads)
+        return self._cpu_threads / threads
+
+    def snapshot(self) -> LoadSnapshot:
+        """Current occupancy, capped at 1.0 per device."""
+        with self._lock:
+            return LoadSnapshot(
+                cpu_util=min(1.0, self._raw_cpu_util()),
+                gpu_util=min(1.0, self._gpu_fraction),
+                in_flight=len(self._live),
+            )
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._live)

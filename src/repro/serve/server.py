@@ -1,0 +1,562 @@
+"""The serving layer: admission queue, worker pool, client sessions.
+
+``DopiaServer`` turns the single-client :class:`repro.core.DopiaRuntime`
+launch path into a concurrent service.  N client sessions submit launches
+into one admission queue; a pool of worker threads drains it.  For every
+launch a worker
+
+1. snapshots the :class:`~repro.serve.ledger.DeviceLoadLedger` and feeds
+   the live (bucketed) ``CPU_util``/``GPU_util`` into
+   :meth:`DopPredictor.select <repro.core.predictor.DopPredictor.select>`
+   — through the LRU :class:`~repro.serve.cache.PredictionCache` — so the
+   chosen DoP adapts to contention;
+2. acquires a ledger lease for the chosen configuration;
+3. executes the launch functionally (Algorithm 1 via
+   :func:`repro.core.scheduler.run_dynamic`, mutating the client's real
+   buffers) and/or on the performance model, charging a contention
+   slowdown (:mod:`repro.sim.contention`) for capacity the launch shares
+   with the background load it saw at admission;
+4. releases the lease and resolves the client's :class:`LaunchHandle`.
+
+Locking discipline: every shared structure (ledger, cache, stats, kernel
+preparation) has its own short lock; **no lock is held across kernel
+execution or model inference**, so independent launches proceed in
+parallel.  Per-session identity flows into the tracer via
+:meth:`Tracer.context <repro.obs.tracer.Tracer.context>` so exported
+spans reconstruct each client's timeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.features import StaticFeatures, extract_static_features
+from ..analysis.profile import profile_kernel
+from ..core.predictor import DopPredictor, Prediction
+from ..core.scheduler import ScheduleTrace, run_dynamic
+from ..ml.base import Estimator
+from ..obs import tracer
+from ..obs.tracer import NULL_SPAN
+from ..sim.contention import allocate_bandwidth
+from ..sim.engine import ExecutionResult, simulate_execution
+from ..sim.platforms import Platform
+from ..transform.gpu_malleable import (
+    MalleableKernel,
+    TransformError,
+    make_malleable,
+    throttle_settings,
+)
+from ..workloads.registry import Workload
+from .cache import PredictionCache
+from .ledger import LOAD_BUCKETS, DeviceLoadLedger, LoadSnapshot
+
+
+class ServeError(Exception):
+    """A launch could not be served (untransformable kernel, closed server)."""
+
+
+@dataclass
+class _PreparedKernel:
+    """Per-(source, kernel) compile-time products, shared across launches."""
+
+    workload_key: str
+    info: Any
+    static: StaticFeatures
+    malleable: dict[int, MalleableKernel] = field(default_factory=dict)
+
+
+@dataclass
+class ServeResult:
+    """What one served launch produced."""
+
+    kernel: str
+    session: str
+    seq: int
+    prediction: Prediction
+    load: LoadSnapshot            #: ledger occupancy seen at admission
+    cache_hit: bool
+    trace: Optional[ScheduleTrace]   #: functional schedule (None if sim-only)
+    sim: Optional[ExecutionResult]
+    #: modelled service time: simulated execution x contention slowdown
+    #: + model-inference overhead (seconds)
+    service_time_s: float
+    #: measured wall-clock from submit to completion (seconds)
+    latency_s: float
+    args: dict[str, Any]
+
+
+class LaunchHandle:
+    """Future-style handle for one submitted launch."""
+
+    def __init__(self, session: str, seq: int):
+        self.session = session
+        self.seq = seq
+        self._done = threading.Event()
+        self._result: Optional[ServeResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ServeResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"launch {self.session}#{self.seq} not complete after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: ServeResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _Request:
+    session: str
+    seq: int
+    workload: Workload
+    args: dict[str, Any]
+    handle: LaunchHandle
+    submitted_at: float
+
+
+_STOP = object()
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving counters (lock-protected; read via snapshot)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: per-launch wall latencies, seconds (bounded; newest kept)
+    latencies_s: list[float] = field(default_factory=list)
+    #: launches that saw a non-idle ledger at admission
+    loaded_predictions: int = 0
+    #: launches whose chosen config differed from the idle-load choice
+    adapted_predictions: int = 0
+    max_latency_samples: int = 65536
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
+
+    def record(self, result: ServeResult, adapted: bool) -> None:
+        with self._lock:
+            self.completed += 1
+            if len(self.latencies_s) >= self.max_latency_samples:
+                self.latencies_s.pop(0)
+            self.latencies_s.append(result.latency_s)
+            if not result.load.idle:
+                self.loaded_predictions += 1
+                if adapted:
+                    self.adapted_predictions += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+
+class ClientSession:
+    """One client's ordered view of the server (thread-compatible handle).
+
+    Sessions are cheap; every concurrent client should own one.  ``launch``
+    is non-blocking: it returns a :class:`LaunchHandle` immediately and the
+    admission queue decouples submission from execution.
+    """
+
+    def __init__(self, server: "DopiaServer", name: str):
+        self.server = server
+        self.name = name
+        self._seq = itertools.count()
+
+    def launch(
+        self,
+        workload: Workload,
+        args: Optional[dict[str, Any]] = None,
+        rng_seed: int = 0,
+    ) -> LaunchHandle:
+        """Submit one kernel launch; buffers in ``args`` are mutated in place.
+
+        Without ``args`` the workload's own buffer builder materialises a
+        fresh argument set from ``rng_seed``.
+        """
+        if args is None:
+            args = workload.full_args(rng_seed)
+        return self.server._submit(self, workload, args)
+
+
+class DopiaServer:
+    """Thread-safe multi-client serving front-end over one platform + model.
+
+    Parameters
+    ----------
+    platform, model:
+        As for :class:`repro.core.DopiaRuntime`.
+    workers:
+        Worker-thread pool size (concurrent launches in service).
+    backend:
+        Interpreter backend for functional execution (``auto``/``vector``/
+        ``scalar``; ``None`` defers to ``DOPIA_BACKEND``).
+    functional:
+        When ``False``, launches are simulated for timing only (benchmark
+        mode) — no buffers are touched.
+    cache_size:
+        LRU capacity of the prediction cache.
+    dwell_scale / dwell_cap_s:
+        When ``dwell_scale > 0`` a worker *holds its ledger lease* for
+        ``min(dwell_cap_s, service_time_s * dwell_scale)`` wall seconds,
+        emulating device occupancy for the simulated platform — this is
+        what makes background load visible to concurrent enqueues in
+        benchmark mode, where functional execution (whose real runtime
+        otherwise plays that role) is off.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        model: Estimator,
+        *,
+        workers: int = 4,
+        backend: str | None = None,
+        chunk_divisor: int = 10,
+        functional: bool = True,
+        cache_size: int = 1024,
+        load_buckets: int = LOAD_BUCKETS,
+        dwell_scale: float = 0.0,
+        dwell_cap_s: float = 0.050,
+        queue_capacity: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.platform = platform
+        self.predictor = DopPredictor(model, platform)
+        self.backend = backend
+        self.chunk_divisor = chunk_divisor
+        self.functional = functional
+        self.load_buckets = load_buckets
+        self.dwell_scale = dwell_scale
+        self.dwell_cap_s = dwell_cap_s
+        self.ledger = DeviceLoadLedger(platform)
+        self.cache = PredictionCache(cache_size)
+        #: memoised performance-model results: simulation is a deterministic
+        #: function of (kernel, geometry, scalar args, setting), and served
+        #: launches repeat, so the hot path pays the event-driven model once
+        self.sim_cache = PredictionCache(cache_size)
+        self.stats = ServerStats()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        self._prepared: dict[tuple[str, str], _PreparedKernel] = {}
+        self._prepare_lock = threading.Lock()
+        self._session_lock = threading.Lock()
+        self._session_names: set[str] = set()
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"dopia-serve-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def from_runtime(cls, runtime, **kwargs) -> "DopiaServer":
+        """Build a server sharing a :class:`DopiaRuntime`'s platform/model."""
+        kwargs.setdefault("backend", runtime.backend)
+        kwargs.setdefault("chunk_divisor", runtime.chunk_divisor)
+        return cls(runtime.platform, runtime.predictor.model, **kwargs)
+
+    def __enter__(self) -> "DopiaServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain the queue, stop the workers, reject future submissions."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout)
+
+    # -- client surface -------------------------------------------------------
+
+    def session(self, name: Optional[str] = None) -> ClientSession:
+        """Open a client session with a unique name."""
+        with self._session_lock:
+            if name is None:
+                name = f"client-{len(self._session_names)}"
+            if name in self._session_names:
+                raise ValueError(f"session name {name!r} already in use")
+            self._session_names.add(name)
+        return ClientSession(self, name)
+
+    def _submit(self, session: ClientSession, workload: Workload,
+                args: dict[str, Any]) -> LaunchHandle:
+        if self._closed:
+            raise ServeError("server is closed")
+        seq = next(session._seq)
+        handle = LaunchHandle(session.name, seq)
+        request = _Request(
+            session=session.name, seq=seq, workload=workload, args=args,
+            handle=handle, submitted_at=time.perf_counter(),
+        )
+        self.stats.record_submit()
+        if tracer.enabled:
+            tracer.instant("serve.submit", "serve", session=session.name,
+                           seq=seq, kernel=workload.kernel_name)
+            tracer.counter("serve.submitted")
+        self._queue.put(request)
+        return handle
+
+    # -- kernel preparation ----------------------------------------------------
+
+    def _prepare(self, workload: Workload) -> _PreparedKernel:
+        """Analyse + transform once per distinct (source, kernel name)."""
+        key = (workload.source, workload.kernel_name)
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            with self._prepare_lock:
+                prepared = self._prepared.get(key)
+                if prepared is None:
+                    info = workload.kernel_info()
+                    prepared = _PreparedKernel(
+                        workload_key=workload.key,
+                        info=info,
+                        static=extract_static_features(info),
+                    )
+                    self._prepared[key] = prepared
+        return prepared
+
+    def _malleable_for(self, prepared: _PreparedKernel,
+                       work_dim: int) -> MalleableKernel:
+        if work_dim not in prepared.malleable:
+            with self._prepare_lock:
+                if work_dim not in prepared.malleable:
+                    prepared.malleable[work_dim] = make_malleable(
+                        prepared.info, work_dim=work_dim)
+        return prepared.malleable[work_dim]
+
+    # -- prediction -----------------------------------------------------------
+
+    def _predict(self, prepared: _PreparedKernel, ndrange,
+                 load: LoadSnapshot) -> tuple[Prediction, bool, LoadSnapshot]:
+        """Load-aware DoP selection through the LRU cache.
+
+        Predictions use the *bucketed* load, so a cache entry is exact for
+        every snapshot in its bucket.
+        """
+        bucketed = load.bucketed(self.load_buckets)
+        key = (
+            prepared.static.as_tuple(),
+            ndrange.work_dim,
+            ndrange.total_work_items,
+            ndrange.work_items_per_group,
+            load.bucket(self.load_buckets),
+        )
+        prediction, hit = self.cache.get_or_compute(
+            key,
+            lambda: self.predictor.select(
+                prepared.static,
+                ndrange.work_dim,
+                ndrange.total_work_items,
+                ndrange.work_items_per_group,
+                cpu_load=bucketed.cpu_util,
+                gpu_load=bucketed.gpu_util,
+            ),
+        )
+        return prediction, hit, bucketed
+
+    def _simulate(self, prepared: _PreparedKernel, workload: Workload,
+                  ndrange, scalars: dict[str, Any], setting) -> ExecutionResult:
+        profile = profile_kernel(
+            prepared.info, scalars,
+            ndrange.total_work_items,
+            ndrange.work_items_per_group,
+            work_dim=ndrange.work_dim,
+            irregular_trip_hint=workload.irregular_trip_hint,
+        )
+        return simulate_execution(
+            profile, self.platform, setting,
+            scheduler="dynamic",
+            chunk_divisor=self.chunk_divisor,
+            run_key=(workload.kernel_name, "serve"),
+        )
+
+    # -- contention model -------------------------------------------------------
+
+    def _contention_slowdown(self, prediction: Prediction,
+                             load: LoadSnapshot) -> float:
+        """Modelled slowdown from sharing device capacity with the
+        background load seen at admission.
+
+        Per device, this launch offers its configuration's normalised
+        utilisation as demand against capacity 1.0, alongside the in-flight
+        demand; :func:`repro.sim.contention.allocate_bandwidth` (with the
+        platform's arbitration fairness) grants each side a share, and the
+        slowdown is demand over grant.  With free capacity the grant equals
+        the demand and the slowdown is exactly 1.0 — a lone client is never
+        charged.
+        """
+        slowdown = 1.0
+        config = prediction.config
+        for mine, background in ((config.cpu_util, load.cpu_util),
+                                 (config.gpu_util, load.gpu_util)):
+            if mine <= 0.0 or background <= 0.0:
+                continue
+            granted = allocate_bandwidth(
+                [mine, background], 1.0,
+                fairness=self.platform.arbitration_fairness,
+            )[0]
+            if granted > 1e-12:
+                slowdown = max(slowdown, mine / granted)
+        return slowdown
+
+    # -- worker ---------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            request: _Request = item
+            try:
+                result = self._serve(request)
+            except BaseException as error:  # noqa: BLE001 - delivered to client
+                self.stats.record_failure()
+                request.handle._fail(error)
+            else:
+                request.handle._resolve(result)
+
+    def _serve(self, request: _Request) -> ServeResult:
+        workload = request.workload
+        ndrange = workload.ndrange()
+        traced = tracer.enabled
+        with tracer.context(session=request.session):
+            with tracer.span(
+                "serve.launch", "serve",
+                kernel=workload.kernel_name, seq=request.seq,
+            ) if traced else NULL_SPAN:
+                prepared = self._prepare(workload)
+                try:
+                    malleable = self._malleable_for(prepared, ndrange.work_dim)
+                except TransformError as error:
+                    raise ServeError(
+                        f"kernel {workload.kernel_name!r} is not malleable: "
+                        f"{error}") from error
+
+                load = self.ledger.snapshot()
+                with tracer.span("serve.predict", "predict",
+                                 kernel=workload.kernel_name) if traced else NULL_SPAN:
+                    prediction, cache_hit, bucketed = self._predict(
+                        prepared, ndrange, load)
+                setting = prediction.config.setting
+                adapted = False
+                if not load.idle:
+                    idle_prediction, _ = self.cache.get_or_compute(
+                        (prepared.static.as_tuple(), ndrange.work_dim,
+                         ndrange.total_work_items, ndrange.work_items_per_group,
+                         (0, 0)),
+                        lambda: self.predictor.select(
+                            prepared.static, ndrange.work_dim,
+                            ndrange.total_work_items,
+                            ndrange.work_items_per_group,
+                        ),
+                    )
+                    adapted = idle_prediction.config != prediction.config
+                if traced:
+                    tracer.instant(
+                        "serve.admit", "serve",
+                        kernel=workload.kernel_name, seq=request.seq,
+                        cpu_load=bucketed.cpu_util, gpu_load=bucketed.gpu_util,
+                        in_flight=load.in_flight,
+                        cpu_threads=setting.cpu_threads,
+                        gpu_fraction=setting.gpu_fraction,
+                        cache_hit=cache_hit, adapted=adapted,
+                    )
+
+                lease = self.ledger.acquire(setting)
+                try:
+                    trace = None
+                    if self.functional:
+                        if setting.uses_gpu:
+                            mod, alloc = throttle_settings(
+                                self.platform.gpu.pes_per_cu,
+                                setting.gpu_fraction)
+                        else:
+                            mod, alloc = 1, 1
+                        with tracer.span(
+                            "serve.execute", "schedule",
+                            kernel=workload.kernel_name,
+                            cpu_threads=setting.cpu_threads,
+                            gpu_fraction=setting.gpu_fraction,
+                        ) if traced else NULL_SPAN:
+                            trace = run_dynamic(
+                                prepared.info, malleable, request.args,
+                                ndrange, setting,
+                                dop_gpu_mod=mod, dop_gpu_alloc=alloc,
+                                chunk_divisor=self.chunk_divisor,
+                                backend=self.backend,
+                            )
+                    with tracer.span("serve.simulate", "sim",
+                                     kernel=workload.kernel_name) if traced else NULL_SPAN:
+                        scalars = {name: request.args[name]
+                                   for name in prepared.info.scalar_params}
+                        sim_key = (
+                            workload.kernel_name, workload.source,
+                            ndrange.total_work_items,
+                            ndrange.work_items_per_group, ndrange.work_dim,
+                            tuple(sorted(scalars.items())),
+                            setting.cpu_threads, setting.gpu_fraction,
+                        )
+                        sim, _ = self.sim_cache.get_or_compute(
+                            sim_key,
+                            lambda: self._simulate(prepared, workload, ndrange,
+                                                   scalars, setting),
+                        )
+                    slowdown = self._contention_slowdown(prediction, bucketed)
+                    service_time = (sim.time_s * slowdown
+                                    + prediction.inference_cost_s)
+                    if self.dwell_scale > 0.0:
+                        time.sleep(min(self.dwell_cap_s,
+                                       service_time * self.dwell_scale))
+                finally:
+                    self.ledger.release(lease)
+
+                latency = time.perf_counter() - request.submitted_at
+                result = ServeResult(
+                    kernel=workload.kernel_name,
+                    session=request.session,
+                    seq=request.seq,
+                    prediction=prediction,
+                    load=bucketed,
+                    cache_hit=cache_hit,
+                    trace=trace,
+                    sim=sim,
+                    service_time_s=service_time,
+                    latency_s=latency,
+                    args=request.args,
+                )
+                self.stats.record(result, adapted)
+                if traced:
+                    tracer.counter("serve.completed")
+                    tracer.observe("serve.latency_s", latency)
+                return result

@@ -1,0 +1,95 @@
+"""Regression: launch accounting survives concurrent enqueues.
+
+``DopiaRuntime.launches`` was a bare ``deque.append`` with no paired
+total counter; concurrent interposed enqueues could tear the record
+log. ``record_launch`` must keep the bounded log and the monotonic
+``total_launches`` counter atomic with respect to each other.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import cl
+from repro.core.runtime import LaunchRecord
+
+SAXPY = (
+    "__kernel void saxpy(__global float* x, __global float* y, float a, int n)"
+    "{ int i = get_global_id(0); y[i] = a * x[i] + y[i]; }"
+)
+
+
+def synthetic_record(index):
+    return LaunchRecord(kernel=f"k{index}", prediction=None, result=None,
+                        time_s=float(index))
+
+
+def test_record_launch_is_atomic_under_races(trained_runtime):
+    trained_runtime.clear()
+    threads_n, per_thread = 8, 500
+    barrier = threading.Barrier(threads_n)
+
+    def hammer(index):
+        barrier.wait()
+        for j in range(per_thread):
+            trained_runtime.record_launch(synthetic_record(index * per_thread + j))
+
+    workers = [threading.Thread(target=hammer, args=(i,))
+               for i in range(threads_n)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+
+    expected = threads_n * per_thread
+    assert trained_runtime.total_launches == expected
+    # the log is bounded; it holds min(total, maxlen) records, none torn
+    assert len(trained_runtime.launches) == min(expected,
+                                                trained_runtime.launches.maxlen)
+    assert all(isinstance(r, LaunchRecord) for r in trained_runtime.launches)
+    trained_runtime.clear()
+    assert trained_runtime.total_launches == 0
+    assert len(trained_runtime.launches) == 0
+
+
+def test_concurrent_interposed_enqueues_all_recorded(trained_runtime):
+    """Real launches from N threads: every one recorded, buffers correct."""
+    trained_runtime.clear()
+    threads_n, n = 6, 256
+    barrier = threading.Barrier(threads_n)
+    errors = []
+    lock = threading.Lock()
+    outputs = [None] * threads_n
+
+    def client(index):
+        try:
+            ctx = cl.create_context("kaveri")
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            x = np.arange(n, dtype=float)
+            y = np.ones(n)
+            kernel.set_args(ctx.create_buffer(x), ctx.create_buffer(y),
+                            float(index), n)
+            queue = cl.create_command_queue(ctx)
+            barrier.wait()
+            queue.enqueue_nd_range_kernel(kernel, (n,), (64,))
+            outputs[index] = y
+        except BaseException as error:  # noqa: BLE001
+            with lock:
+                errors.append(error)
+            barrier.abort()
+
+    with cl.interposed(trained_runtime):
+        workers = [threading.Thread(target=client, args=(i,))
+                   for i in range(threads_n)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+
+    if errors:
+        raise errors[0]
+    assert trained_runtime.total_launches == threads_n
+    assert len(trained_runtime.launches) == threads_n
+    for index, y in enumerate(outputs):
+        assert np.array_equal(y, index * np.arange(n, dtype=float) + 1.0)

@@ -1,0 +1,97 @@
+"""Regression: concurrent ``predict`` is bit-identical to serial.
+
+The serving layer calls one shared model from many worker threads.
+Prediction must be a pure read: the descent arrays are compiled once at
+``fit`` time, immutable afterwards, and every concurrent caller gets
+exactly the bytes a serial caller would.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.ml import make_model
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(7)
+    X = rng.uniform(size=(600, 11))
+    y = X[:, 0] * 3.0 + np.sin(X[:, 7] * 6) + rng.normal(scale=0.05, size=600)
+    model = make_model("dt")
+    model.fit(X, y)
+    queries = rng.uniform(size=(44, 11))
+    return model, queries
+
+
+def test_compiled_descent_arrays_are_immutable(fitted):
+    model, _ = fitted
+    for array in model._flat:
+        assert not array.flags.writeable
+
+
+def test_depth_is_memoized_and_correct(fitted):
+    model, _ = fitted
+    assert model.depth == model._measure_depth()
+    assert model._depth == model.depth
+
+
+def test_unpickled_model_recompiles_lazily(fitted):
+    """Models fitted before array caching existed still predict."""
+    model, queries = fitted
+    oracle = model.predict(queries)
+    clone = DecisionTreeRegressor.__new__(DecisionTreeRegressor)
+    clone.__dict__.update(model.__dict__)
+    del clone.__dict__["_flat"]
+    del clone.__dict__["_depth"]
+    assert np.array_equal(clone.predict(queries), oracle)
+    assert clone.depth == model.depth
+
+
+def hammer_predict(model, queries, threads_n=8, repeats=50):
+    """Concurrent predict from N threads; returns divergences/errors."""
+    oracle = model.predict(queries)
+    barrier = threading.Barrier(threads_n)
+    failures = []
+    lock = threading.Lock()
+
+    def worker():
+        try:
+            barrier.wait()
+            for _ in range(repeats):
+                out = model.predict(queries)
+                if out.tobytes() != oracle.tobytes():
+                    raise AssertionError("concurrent predict diverged")
+        except BaseException as error:  # noqa: BLE001
+            with lock:
+                failures.append(error)
+
+    workers = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    return oracle, failures
+
+
+def test_concurrent_predict_bit_identical_to_serial(fitted):
+    model, queries = fitted
+    oracle, failures = hammer_predict(model, queries)
+    assert not failures
+    # and the model itself came through untouched
+    assert np.array_equal(model.predict(queries), oracle)
+
+
+def test_concurrent_forest_predict_bit_identical(fitted):
+    """The ensemble (shared per-tree flat arrays) is just as pure a read."""
+    _, queries = fitted
+    rng = np.random.default_rng(11)
+    X = rng.uniform(size=(300, 11))
+    y = X[:, 1] * 2.0 - X[:, 4]
+    forest = make_model("rf", n_estimators=8)
+    forest.fit(X, y)
+    oracle, failures = hammer_predict(forest, queries, repeats=20)
+    assert not failures
+    assert np.array_equal(forest.predict(queries), oracle)

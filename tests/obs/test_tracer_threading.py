@@ -1,0 +1,115 @@
+"""Regression: the tracer under many threads (serving-layer workers).
+
+Multi-thread guarantees: thread ordinals are unique, per-session context
+flows into every event a worker records, the JSONL export reconstructs
+each thread's span nesting exactly, and the bounded ring's drop counter
+stays consistent with what survived.
+"""
+
+import threading
+from collections import defaultdict
+
+from repro.obs import read_jsonl, write_jsonl
+from repro.obs.tracer import Tracer
+
+THREADS = 6
+
+
+def worker_trace(tracer, name):
+    with tracer.context(session=name):
+        with tracer.span("outer", "serve", who=name):
+            tracer.instant("tick", "serve")
+            with tracer.span("inner", "serve"):
+                tracer.counter("work", 1.0)
+
+
+def run_threads(tracer):
+    barrier = threading.Barrier(THREADS)
+
+    def run(name):
+        barrier.wait()
+        for _ in range(3):
+            worker_trace(tracer, name)
+
+    threads = [threading.Thread(target=run, args=(f"session-{i}",))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_thread_ordinals_are_unique_and_dense():
+    tracer = Tracer()
+    tracer.enable()
+    run_threads(tracer)
+    tids = {event.tid for event in tracer.events()}
+    assert len(tids) == THREADS
+    assert tids == set(range(THREADS))  # small dense ordinals, no duplicates
+
+
+def test_context_tags_every_event_with_its_session():
+    tracer = Tracer()
+    tracer.enable()
+    run_threads(tracer)
+    by_tid = defaultdict(set)
+    for event in tracer.events():
+        assert "session" in event.args, event.name
+        by_tid[event.tid].add(event.args["session"])
+    # a thread's events all carry that thread's session, never a neighbour's
+    assert all(len(sessions) == 1 for sessions in by_tid.values())
+    assert len(set().union(*by_tid.values())) == THREADS
+
+
+def test_jsonl_roundtrip_reconstructs_per_thread_nesting(tmp_path):
+    tracer = Tracer()
+    tracer.enable()
+    run_threads(tracer)
+    path = tmp_path / "serve-trace.jsonl"
+    write_jsonl(tracer.events(), path)
+    events = read_jsonl(path)
+    assert len(events) == len(tracer.events())
+
+    spans_by_tid = defaultdict(list)
+    for event in events:
+        if event.phase == "X":
+            spans_by_tid[event.tid].append(event)
+    assert len(spans_by_tid) == THREADS
+    for tid, spans in spans_by_tid.items():
+        inners = [s for s in spans if s.name == "inner"]
+        outers = [s for s in spans if s.name == "outer"]
+        assert len(inners) == len(outers) == 3
+        # chronological pairing: each inner nests inside one outer
+        inners.sort(key=lambda s: s.ts_us)
+        outers.sort(key=lambda s: s.ts_us)
+        for inner, outer in zip(inners, outers):
+            assert inner.depth == outer.depth + 1
+            assert outer.ts_us <= inner.ts_us
+            assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1e-3
+
+
+def test_ring_drop_counter_is_consistent_under_threads():
+    tracer = Tracer(capacity=32)
+    tracer.enable()
+    emitted_per_thread = 50
+    barrier = threading.Barrier(THREADS)
+
+    def flood(index):
+        barrier.wait()
+        for j in range(emitted_per_thread):
+            tracer.instant("flood", "serve", index=index, j=j)
+
+    threads = [threading.Thread(target=flood, args=(i,))
+               for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    events = tracer.events()
+    total = THREADS * emitted_per_thread
+    assert len(events) == 32                      # ring stayed bounded
+    assert tracer.total_events == total           # nothing went uncounted
+    assert tracer.dropped == total - len(events)  # drops = emitted - kept
+    tracer.clear()
+    assert tracer.dropped == 0

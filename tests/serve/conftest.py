@@ -1,0 +1,21 @@
+"""Shared fixtures for the serving suite: one small trained model.
+
+Same reduced synthetic slice as the core suite — trains in well under a
+second and exercises the full prediction path.
+"""
+
+import pytest
+
+from repro.core import collect_dataset
+from repro.ml import make_model
+from repro.sim import KAVERI
+from repro.workloads.synthetic import training_workloads
+
+
+@pytest.fixture(scope="session")
+def trained_model():
+    workloads = training_workloads(sizes=(16384,), wg_sizes=(256,))
+    dataset = collect_dataset(workloads, KAVERI, cache=False)
+    model = make_model("dt")
+    model.fit(dataset.feature_matrix(), dataset.targets())
+    return model

@@ -1,0 +1,60 @@
+"""The serve-bench harness: report shape, accounting, and scaling knobs."""
+
+import json
+
+import pytest
+
+from repro.serve import run_serve_bench
+from repro.serve.bench import percentiles
+from repro.sim import KAVERI
+
+
+def test_percentiles_empty():
+    assert percentiles([]) == {"p50_ms": 0.0, "p90_ms": 0.0, "p99_ms": 0.0,
+                               "mean_ms": 0.0, "max_ms": 0.0}
+
+
+def test_percentiles_are_milliseconds_and_ordered():
+    stats = percentiles([0.001, 0.002, 0.010])
+    assert stats["p50_ms"] == pytest.approx(2.0)
+    assert stats["max_ms"] == pytest.approx(10.0)
+    assert stats["p50_ms"] <= stats["p90_ms"] <= stats["p99_ms"] <= stats["max_ms"]
+
+
+def test_bench_rejects_degenerate_runs(trained_model):
+    with pytest.raises(ValueError):
+        run_serve_bench(KAVERI, trained_model, clients=0)
+    with pytest.raises(ValueError):
+        run_serve_bench(KAVERI, trained_model, clients=1, launches_per_client=0)
+
+
+def test_bench_report_shape_and_accounting(trained_model):
+    report = run_serve_bench(
+        KAVERI, trained_model,
+        clients=3, launches_per_client=4,
+        workload_names=["GESUMMV", "ATAX1"],
+        dwell_scale=0.0,
+    )
+    assert report["total_launches"] == 12
+    assert report["clients"] == 3
+    assert report["workloads"] == ["GESUMMV", "ATAX1"]
+    assert report["throughput_lps"] > 0.0
+    assert set(report["latency"]) == {"p50_ms", "p90_ms", "p99_ms",
+                                      "mean_ms", "max_ms"}
+    assert report["cache"]["hits"] + report["cache"]["misses"] > 0
+    assert report["ledger"]["total_leases"] == 12
+    assert report["predictions"]["under_load"] >= 0
+    json.dumps(report)  # the report is committed as BENCH_serve.json
+
+
+def test_bench_ledger_fills_under_dwell(trained_model):
+    """With a dwell, concurrent clients see each other in the ledger."""
+    report = run_serve_bench(
+        KAVERI, trained_model,
+        clients=4, launches_per_client=6,
+        workload_names=["GESUMMV"],
+        dwell_scale=2e3, dwell_cap_s=0.002,
+    )
+    assert report["predictions"]["under_load"] > 0
+    assert report["ledger"]["peak_gpu_util"] > 0.0 \
+        or report["ledger"]["peak_cpu_util"] > 0.0

@@ -1,0 +1,84 @@
+"""Unit suite for the LRU prediction cache."""
+
+import threading
+
+import pytest
+
+from repro.serve import PredictionCache
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PredictionCache(0)
+
+
+def test_hit_miss_counters():
+    cache = PredictionCache(4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_lru_evicts_least_recently_used():
+    cache = PredictionCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1     # refresh "a"; "b" is now oldest
+    cache.put("c", 3)              # evicts "b"
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_get_or_compute_computes_once_per_key():
+    cache = PredictionCache(4)
+    calls = []
+    value, hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+    assert (value, hit) == (42, False)
+    value, hit = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+    assert (value, hit) == (42, True)
+    assert len(calls) == 1
+
+
+def test_stats_shape():
+    cache = PredictionCache(2)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("zzz")
+    stats = cache.stats()
+    assert stats == {"size": 1, "capacity": 2, "hits": 1, "misses": 1,
+                     "evictions": 0, "hit_rate": 0.5}
+
+
+def test_concurrent_mixed_workload_stays_consistent():
+    """Racing get/put/get_or_compute never corrupts the LRU structure."""
+    cache = PredictionCache(32)
+    threads_n, ops = 8, 500
+    barrier = threading.Barrier(threads_n)
+    errors = []
+
+    def worker(index):
+        try:
+            barrier.wait()
+            for op in range(ops):
+                key = (index * op) % 64
+                value, _ = cache.get_or_compute(key, lambda: key * 2)
+                # values are deterministic functions of the key, so any
+                # racing computes agree — a mismatch means corruption
+                assert value == key * 2
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    workers = [threading.Thread(target=worker, args=(i,))
+               for i in range(threads_n)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 32
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == threads_n * ops

@@ -1,0 +1,104 @@
+"""Unit suite for the device-load ledger (occupancy accounting)."""
+
+import threading
+
+import pytest
+
+from repro.serve import DeviceLoadLedger, LoadSnapshot
+from repro.sim import DopSetting, KAVERI
+
+
+def test_empty_ledger_is_idle():
+    ledger = DeviceLoadLedger(KAVERI)
+    snap = ledger.snapshot()
+    assert snap.idle
+    assert snap == LoadSnapshot(cpu_util=0.0, gpu_util=0.0, in_flight=0)
+    assert ledger.in_flight == 0
+
+
+def test_acquire_release_roundtrip():
+    ledger = DeviceLoadLedger(KAVERI)
+    lease = ledger.acquire(DopSetting(cpu_threads=2, gpu_fraction=0.5))
+    snap = ledger.snapshot()
+    assert snap.in_flight == 1
+    assert snap.cpu_util == pytest.approx(2 / KAVERI.cpu.threads)
+    assert snap.gpu_util == pytest.approx(0.5)
+    ledger.release(lease)
+    assert ledger.snapshot().idle
+    assert ledger.total_leases == 1
+
+
+def test_double_release_raises():
+    ledger = DeviceLoadLedger(KAVERI)
+    lease = ledger.acquire(DopSetting(cpu_threads=1, gpu_fraction=0.0))
+    ledger.release(lease)
+    with pytest.raises(KeyError):
+        ledger.release(lease)
+
+
+def test_snapshot_caps_but_peaks_do_not():
+    """Oversubscription is capped in snapshots, visible in the peaks."""
+    ledger = DeviceLoadLedger(KAVERI)
+    leases = [ledger.acquire(DopSetting(cpu_threads=KAVERI.cpu.threads,
+                                        gpu_fraction=1.0))
+              for _ in range(3)]
+    snap = ledger.snapshot()
+    assert snap.cpu_util == 1.0 and snap.gpu_util == 1.0  # capped
+    assert ledger.peak_cpu_util == pytest.approx(3.0)     # un-capped
+    assert ledger.peak_gpu_util == pytest.approx(3.0)
+    for lease in leases:
+        ledger.release(lease)
+    assert ledger.snapshot().idle
+
+
+def test_empty_ledger_clamps_float_drift():
+    """Many fractional acquire/release cycles leave an exactly-zero ledger."""
+    ledger = DeviceLoadLedger(KAVERI)
+    for _ in range(1000):
+        lease = ledger.acquire(DopSetting(cpu_threads=0, gpu_fraction=0.125))
+        other = ledger.acquire(DopSetting(cpu_threads=1, gpu_fraction=0.375))
+        ledger.release(lease)
+        ledger.release(other)
+    snap = ledger.snapshot()
+    assert snap.cpu_util == 0.0 and snap.gpu_util == 0.0
+
+
+def test_bucketing_quantises_for_cache_keys():
+    snap = LoadSnapshot(cpu_util=0.3, gpu_util=0.8, in_flight=2)
+    assert snap.bucket(8) == (2, 6)
+    rounded = snap.bucketed(8)
+    assert rounded.cpu_util == pytest.approx(0.25)
+    assert rounded.gpu_util == pytest.approx(0.75)
+    assert rounded.in_flight == 2
+    # idempotent: a bucketed snapshot is its own bucket representative
+    assert rounded.bucketed(8) == rounded
+
+
+def test_concurrent_acquire_release_balances():
+    """N threads x K cycles: counters return exactly to zero."""
+    ledger = DeviceLoadLedger(KAVERI)
+    threads_n, cycles = 8, 200
+    barrier = threading.Barrier(threads_n)
+    errors = []
+
+    def worker(index):
+        try:
+            barrier.wait()
+            setting = DopSetting(cpu_threads=(index % 4) + 1,
+                                 gpu_fraction=(index % 8) / 8)
+            for _ in range(cycles):
+                lease = ledger.acquire(setting)
+                ledger.release(lease)
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    workers = [threading.Thread(target=worker, args=(i,))
+               for i in range(threads_n)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not errors
+    assert ledger.snapshot().idle
+    assert ledger.total_leases == threads_n * cycles
+    assert ledger.peak_cpu_util > 0.0
