@@ -25,7 +25,16 @@ from .profile import (
     profile_kernel,
     symbol_environment,
 )
+from .diagnostics import Diagnostic, Severity, VerifyReport, report_to_json
 from .scan import KernelScan, KernelScanner, MemoryOp, TripCount, scan_kernel
+from .verify import (
+    LaunchSpec,
+    VerifyError,
+    current_policy,
+    verify_kernel,
+    verify_launch,
+    verify_launch_cached,
+)
 
 __all__ = [
     "AccessClass", "AffineEvaluator", "AffineForm", "Coeff", "classify",
@@ -35,4 +44,7 @@ __all__ = [
     "KernelProfile", "OpProfile", "build_profile", "profile_kernel",
     "symbol_environment",
     "KernelScan", "KernelScanner", "MemoryOp", "TripCount", "scan_kernel",
+    "Diagnostic", "Severity", "VerifyReport", "report_to_json",
+    "LaunchSpec", "VerifyError", "current_policy", "verify_kernel",
+    "verify_launch", "verify_launch_cached",
 ]

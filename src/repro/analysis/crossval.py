@@ -1,0 +1,242 @@
+"""Dynamic cross-validation of static verifier verdicts.
+
+The static race/OOB passes are solver-based; this module checks their
+verdicts against ground truth obtained by *running* the kernel in an
+instrumented scalar interpreter that records every non-atomic load and
+store as ``(buffer instance, element, work-item)``.
+
+A data race is schedule-independent in this model: two distinct
+work-items touch the same element of one buffer instance with at least
+one write.  The interpreter's deterministic order therefore produces the
+same access sets any real schedule would, so
+
+* a ``RACE001``/``RACE002`` diagnostic is **confirmed** when the trace
+  shows the reported buffer element (or any element of the buffer) with
+  conflicting accessors;
+* an ``OOB001``/``OOB002`` diagnostic is **confirmed** when the run
+  raises the interpreter's out-of-bounds error;
+* a *clean* race/OOB verdict is **refuted** if the trace shows a
+  conflict anyway (this is the soundness check the property suite leans
+  on).
+
+Barrier-divergence warnings are advisory (`BAR001` fires on *potential*
+divergence), so a run without a desync does not refute one — but an
+observed desync must be matched by a diagnostic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..frontend import ast
+from ..frontend.semantics import KernelInfo
+from ..interp.executor import (
+    ArrayRef,
+    KernelExecutor,
+    KernelRuntimeError,
+    WorkItemContext,
+    _BarrierDesync,
+)
+from .diagnostics import Diagnostic, VerifyReport
+
+#: Buffer-instance key: param name for __global, (name, group_id) for __local.
+BufferKey = Any
+
+
+class InstrumentedExecutor(KernelExecutor):
+    """Scalar interpreter that records per-element access sets."""
+
+    def __init__(self, info: KernelInfo, args: dict[str, Any], ndrange):
+        super().__init__(info, args, ndrange)
+        self._global_names = {
+            id(value): name for name, value in self.args.items()
+            if isinstance(value, np.ndarray)
+        }
+        # key -> element -> set of work-item global ids
+        self.writes: dict[BufferKey, dict[int, set]] = defaultdict(
+            lambda: defaultdict(set))
+        self.reads: dict[BufferKey, dict[int, set]] = defaultdict(
+            lambda: defaultdict(set))
+
+    def _gid(self, item: WorkItemContext) -> tuple:
+        return tuple(item.global_id(d) for d in range(self.ndrange.work_dim))
+
+    def _buffer_key(self, array: np.ndarray,
+                    item: WorkItemContext) -> Optional[BufferKey]:
+        name = self._global_names.get(id(array))
+        if name is not None:
+            return name
+        for local_name, local_array in item.group.local_arrays.items():
+            if local_array is array:
+                return (local_name, item.group.group_id)
+        return None
+
+    def _resolve_ref(self, expr: ast.Index, item: WorkItemContext) -> ArrayRef:
+        ref = super()._resolve_ref(expr, item)
+        key = self._buffer_key(ref.array, item)
+        if key is not None:
+            self.reads[key][ref.offset].add(self._gid(item))
+        return ref
+
+    def _store(self, target: ast.Expr, value: Any,
+               item: WorkItemContext) -> None:
+        if isinstance(target, ast.Index):
+            ref = KernelExecutor._resolve_ref(self, target, item)
+            key = self._buffer_key(ref.array, item)
+            if key is not None:
+                self.writes[key][ref.offset].add(self._gid(item))
+            ref.array[ref.offset] = value
+            return
+        super()._store(target, value, item)
+
+
+@dataclass
+class Conflict:
+    """Two distinct work-items on one element, at least one writing."""
+
+    buffer: str
+    element: int
+    gid_a: tuple
+    gid_b: tuple
+    kind: str  # "write/write" | "write/read"
+
+
+@dataclass
+class DynamicReport:
+    """Ground truth from one instrumented run."""
+
+    conflicts: list[Conflict] = field(default_factory=list)
+    oob_error: Optional[str] = None
+    barrier_desync: bool = False
+    runtime_error: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return (self.oob_error is None and not self.barrier_desync
+                and self.runtime_error is None)
+
+    def conflicts_on(self, buffer: str) -> list[Conflict]:
+        return [c for c in self.conflicts if c.buffer == buffer]
+
+
+def _buffer_name(key: BufferKey) -> str:
+    return key if isinstance(key, str) else key[0]
+
+
+def run_instrumented(info: KernelInfo, args: dict[str, Any],
+                     ndrange) -> DynamicReport:
+    """Execute the kernel in the instrumented interpreter and distil the
+    trace into conflicts / OOB / desync facts."""
+    report = DynamicReport()
+    executor = InstrumentedExecutor(info, args, ndrange)
+    try:
+        executor.run()
+    except _BarrierDesync:
+        report.barrier_desync = True
+    except KernelRuntimeError as error:
+        message = str(error)
+        if "out-of-bounds" in message:
+            report.oob_error = message
+        else:
+            report.runtime_error = message
+
+    for key in set(executor.writes) | set(executor.reads):
+        writes = executor.writes.get(key, {})
+        reads = executor.reads.get(key, {})
+        for element, writers in writes.items():
+            writer_list = sorted(writers)
+            if len(writer_list) >= 2:
+                report.conflicts.append(Conflict(
+                    buffer=_buffer_name(key), element=element,
+                    gid_a=writer_list[0], gid_b=writer_list[1],
+                    kind="write/write"))
+                continue
+            other = [g for g in reads.get(element, ()) if g not in writers]
+            if writer_list and other:
+                report.conflicts.append(Conflict(
+                    buffer=_buffer_name(key), element=element,
+                    gid_a=writer_list[0], gid_b=sorted(other)[0],
+                    kind="write/read"))
+    return report
+
+
+@dataclass
+class CrossCheck:
+    """Verdict comparison for one static report against one dynamic run."""
+
+    confirmed: list[Diagnostic] = field(default_factory=list)
+    unreproduced: list[Diagnostic] = field(default_factory=list)
+    missed_conflicts: list[Conflict] = field(default_factory=list)
+    missed_oob: Optional[str] = None
+    missed_desync: bool = False
+
+    @property
+    def consistent(self) -> bool:
+        """No static claim refuted and no dynamic fact missed."""
+        return (not self.unreproduced and not self.missed_conflicts
+                and self.missed_oob is None and not self.missed_desync)
+
+
+def cross_validate(report: VerifyReport,
+                   dynamic: DynamicReport) -> CrossCheck:
+    """Compare a static :class:`VerifyReport` with dynamic ground truth."""
+    check = CrossCheck()
+    diagnosed_buffers: set[str] = set()
+    any_oob_diag = False
+    any_bar_diag = any(d.code == "BAR001" for d in report.diagnostics)
+
+    for diag in report.diagnostics:
+        if diag.code in ("RACE001", "RACE002", "RACE010"):
+            buffer = diag.payload.get("buffer", "")
+            diagnosed_buffers.add(buffer)
+            element = diag.payload.get("element")
+            hits = dynamic.conflicts_on(buffer)
+            if any(c.element == element for c in hits) or (
+                    element is None and hits):
+                check.confirmed.append(diag)
+            elif hits:
+                # overlap on the buffer, different element (e.g. the solver
+                # and the schedule picked different witnesses)
+                check.confirmed.append(diag)
+            elif not dynamic.completed:
+                # the run aborted before the access could happen
+                check.confirmed.append(diag)
+            else:
+                check.unreproduced.append(diag)
+        elif diag.code in ("OOB001", "OOB002"):
+            any_oob_diag = True
+            if dynamic.oob_error is not None:
+                check.confirmed.append(diag)
+            elif not dynamic.completed:
+                check.confirmed.append(diag)
+            else:
+                check.unreproduced.append(diag)
+
+    race_verdict = report.verdicts.get("races")
+    if race_verdict == "clean":
+        check.missed_conflicts = [
+            c for c in dynamic.conflicts
+            if c.buffer not in diagnosed_buffers
+        ]
+    oob_verdict = report.verdicts.get("oob")
+    if (dynamic.oob_error is not None and not any_oob_diag
+            and oob_verdict == "clean"):
+        check.missed_oob = dynamic.oob_error
+    if dynamic.barrier_desync and not any_bar_diag:
+        check.missed_desync = True
+    return check
+
+
+def cross_validate_launch(info: KernelInfo, args: dict[str, Any],
+                          ndrange) -> tuple[VerifyReport, DynamicReport,
+                                            CrossCheck]:
+    """One-call harness: verify statically, run instrumented, compare."""
+    from .verify import LaunchSpec, verify_launch
+
+    report = verify_launch(info, LaunchSpec.from_args(ndrange, args))
+    dynamic = run_instrumented(info, args, ndrange)
+    return report, dynamic, cross_validate(report, dynamic)

@@ -1,0 +1,211 @@
+"""Structured diagnostics for the static kernel verifier (``repro.analysis.verify``).
+
+Every finding the verifier emits is a :class:`Diagnostic`: a stable code, a
+severity, the kernel it concerns, a source span, a human-readable message,
+and a machine-readable payload.  The model is deliberately boring — frozen
+dataclasses with a total ordering and a stable JSON form — because the
+diagnostics are consumed by four different surfaces (the ``cl.program``
+build log, the launch-path policy gate, ``dopia lint``, and the CI baseline
+diff) and all four need byte-stable output.
+
+JSON stability contract
+-----------------------
+``report_to_json`` sorts diagnostics by ``sort_key`` (code, kernel, line,
+column, message), sorts every payload dict by key, and stamps the document
+with ``SCHEMA_VERSION`` so the committed ``LINT_BASELINE.json`` can be
+diffed textually across runs and versions.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..frontend.errors import SourceLocation
+
+#: Bump when the JSON document layout (not the set of diagnostics) changes.
+SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """Diagnostic severities, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def order(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+#: Stable diagnostic codes.  Codes are append-only: never renumber.
+CODES: dict[str, str] = {
+    "RACE001": "data race on a __global buffer (distinct work-items, "
+               "confirmed write/write or write/read overlap)",
+    "RACE002": "data race on a __local array (distinct work-items of one "
+               "group, confirmed overlap)",
+    "RACE010": "every work-item stores to the same address sequence "
+               "(id-invariant store; racy for any launch with >1 work-item)",
+    "OOB001": "out-of-bounds access on a __global buffer for the "
+              "specialized launch",
+    "OOB002": "out-of-bounds access on a __local array",
+    "BAR001": "barrier() under work-item-divergent control flow",
+    "VEC001": "kernel is ineligible for the vectorized backend",
+}
+
+#: Default severity per code (specialization can upgrade/downgrade).
+DEFAULT_SEVERITY: dict[str, Severity] = {
+    "RACE001": Severity.ERROR,
+    "RACE002": Severity.ERROR,
+    "RACE010": Severity.WARNING,
+    "OOB001": Severity.ERROR,
+    "OOB002": Severity.ERROR,
+    "BAR001": Severity.WARNING,
+    "VEC001": Severity.INFO,
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values into JSON-stable primitives (sorted dicts)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(value[k]) for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding.
+
+    ``payload`` carries the machine-readable evidence (witness work-item
+    ids, the offending index, the buffer extent, the fallback reason, ...)
+    and must contain only JSON-able values.
+    """
+
+    code: str
+    severity: Severity
+    kernel: str
+    message: str
+    line: int = 0
+    column: int = 0
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @staticmethod
+    def at(
+        code: str,
+        kernel: str,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        severity: Optional[Severity] = None,
+        **payload: Any,
+    ) -> "Diagnostic":
+        return Diagnostic(
+            code=code,
+            severity=severity or DEFAULT_SEVERITY.get(code, Severity.WARNING),
+            kernel=kernel,
+            message=message,
+            line=location.line if location is not None else 0,
+            column=location.column if location is not None else 0,
+            payload=payload,
+        )
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.severity.order, self.code, self.kernel, self.line,
+                self.column, self.message)
+
+    def render(self) -> str:
+        """One-line compiler-log style rendering."""
+        span = f"{self.line}:{self.column}: " if self.line else ""
+        return (f"{span}{self.severity.value}: [{self.code}] "
+                f"{self.kernel}: {self.message}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "kernel": self.kernel,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "payload": _jsonable(self.payload),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """All diagnostics for one verification run (one kernel or one launch).
+
+    ``verdicts`` records the per-pass outcome — ``"clean"`` (proved safe),
+    ``"diagnosed"`` (definite findings emitted), or ``"unknown"`` (outside
+    the soundness envelope; nothing reported) — so downstream consumers can
+    distinguish *proved race-free* from *nothing found*.
+    """
+
+    kernel: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    verdicts: dict[str, str] = field(default_factory=dict)
+
+    def extend(self, items: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(items)
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=lambda d: d.sort_key)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.sorted() if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def actionable(self) -> list[Diagnostic]:
+        """Errors + warnings (what 'zero diagnostics' means for a kernel)."""
+        return [d for d in self.sorted() if d.severity is not Severity.INFO]
+
+    def render(self, min_severity: Severity = Severity.WARNING) -> str:
+        keep = [d for d in self.sorted()
+                if d.severity.order <= min_severity.order]
+        if not keep:
+            return f"{self.kernel}: clean ({self._verdict_text()})"
+        lines = [d.render() for d in keep]
+        lines.append(
+            f"{self.kernel}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)"
+        )
+        return "\n".join(lines)
+
+    def _verdict_text(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in sorted(self.verdicts.items()))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "verdicts": {k: self.verdicts[k] for k in sorted(self.verdicts)},
+            "diagnostics": [d.as_dict() for d in self.sorted()],
+        }
+
+
+def report_to_json(reports: Iterable[VerifyReport]) -> str:
+    """Serialise reports as the stable, schema-versioned JSON document."""
+    ordered = sorted(reports, key=lambda r: r.kernel)
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "reports": [r.as_dict() for r in ordered],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"

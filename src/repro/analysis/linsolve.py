@@ -1,0 +1,204 @@
+"""Bounded integer linear-equation solver for the race/OOB verifier.
+
+The race detector reduces "can two distinct work-items touch the same
+address?" to satisfiability of one linear Diophantine equation
+
+    ``sum_i a_i * x_i + c == 0``
+
+over box-constrained integer variables (id deltas, per-access loop
+counters).  This module decides such systems *exactly* within a node
+budget, returning
+
+* ``SAT`` with a concrete witness assignment,
+* ``UNSAT`` (a proof: no assignment exists inside the boxes), or
+* ``UNKNOWN`` when the search exceeds its budget (never wrong, only
+  incomplete — callers must treat it as "outside the envelope").
+
+The search assigns the largest-|coefficient| variable first and prunes
+with two exact tests per node: the interval test (the remaining terms'
+achievable range must cover the residual) and the gcd congruence test
+(the residual must be divisible by the gcd of the remaining
+coefficients).  For the affine forms real kernels produce — a handful of
+variables whose coefficients are 1, the row length, or the local size —
+the first variable's candidate interval typically collapses to a few
+values and the search finishes in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, floor, gcd
+from typing import Optional
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+#: Search nodes before giving up (an exact budget, not a timeout).
+DEFAULT_NODE_BUDGET = 50_000
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Solver outcome; ``witness`` maps variable name -> value when SAT."""
+
+    status: str
+    witness: Optional[dict[str, int]] = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+
+def _term_interval(coeff: int, lo: int, hi: int) -> tuple[int, int]:
+    a, b = coeff * lo, coeff * hi
+    return (a, b) if a <= b else (b, a)
+
+
+def solve_linear(
+    terms: dict[str, int],
+    constant: int,
+    bounds: dict[str, tuple[int, int]],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Verdict:
+    """Decide ``sum(terms[v] * v) + constant == 0`` over inclusive boxes.
+
+    ``bounds`` must cover every variable in ``terms``; variables bound in
+    ``bounds`` but absent from ``terms`` (zero coefficient) only need a
+    non-empty box and take their lower bound in the witness.
+    """
+    for name, (lo, hi) in bounds.items():
+        if lo > hi:
+            return Verdict(UNSAT)
+
+    live: list[tuple[str, int, int, int]] = []
+    for name, coeff in terms.items():
+        if coeff == 0:
+            continue
+        if name not in bounds:
+            raise ValueError(f"unbounded variable {name!r}")
+        lo, hi = bounds[name]
+        live.append((name, coeff, lo, hi))
+    # Largest |coefficient| first: its candidate interval is narrowest.
+    live.sort(key=lambda item: -abs(item[1]))
+
+    # Suffix interval sums: rest_lo[i], rest_hi[i] = achievable range of
+    # terms i..end; rest_gcd[i] = gcd of coefficients i..end.
+    n = len(live)
+    rest_lo = [0] * (n + 1)
+    rest_hi = [0] * (n + 1)
+    rest_gcd = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        _, coeff, lo, hi = live[i]
+        t_lo, t_hi = _term_interval(coeff, lo, hi)
+        rest_lo[i] = rest_lo[i + 1] + t_lo
+        rest_hi[i] = rest_hi[i + 1] + t_hi
+        rest_gcd[i] = gcd(abs(coeff), rest_gcd[i + 1])
+
+    budget = [node_budget]
+    assignment: dict[str, int] = {}
+
+    def search(i: int, residual: int) -> Optional[str]:
+        """Solve terms i.. == -residual; returns SAT/None, raises on budget."""
+        if budget[0] <= 0:
+            return UNKNOWN
+        budget[0] -= 1
+        if i == n:
+            return SAT if residual == 0 else None
+        if not (rest_lo[i] <= -residual <= rest_hi[i]):
+            return None
+        g = rest_gcd[i]
+        if g and residual % g != 0:
+            return None
+        name, coeff, lo, hi = live[i]
+        # coeff * v must land in [-residual - rest_hi[i+1], -residual - rest_lo[i+1]]
+        lo_t = -residual - rest_hi[i + 1]
+        hi_t = -residual - rest_lo[i + 1]
+        if coeff > 0:
+            v_lo = max(lo, ceil(lo_t / coeff))
+            v_hi = min(hi, floor(hi_t / coeff))
+        else:
+            v_lo = max(lo, ceil(hi_t / coeff))
+            v_hi = min(hi, floor(lo_t / coeff))
+        for v in range(v_lo, v_hi + 1):
+            assignment[name] = v
+            result = search(i + 1, residual + coeff * v)
+            if result is not None:
+                return result
+            del assignment[name]
+        return None
+
+    result = search(0, constant)
+    if result == UNKNOWN:
+        return Verdict(UNKNOWN)
+    if result == SAT:
+        witness = dict(assignment)
+        for name, (lo, hi) in bounds.items():
+            witness.setdefault(name, lo)
+        return Verdict(SAT, witness)
+    return Verdict(UNSAT)
+
+
+def solve_with_nonzero(
+    terms: dict[str, int],
+    constant: int,
+    bounds: dict[str, tuple[int, int]],
+    nonzero: list[str],
+    extra_nonzero: list[str] = (),
+    node_budget: int = DEFAULT_NODE_BUDGET,
+) -> Verdict:
+    """Decide the equation subject to a disjunctive distinctness constraint.
+
+    Finds a solution where *at least one* variable in ``nonzero`` is
+    non-zero and *every* variable in ``extra_nonzero`` is non-zero — the
+    shape of "the two accesses belong to distinct work-items" (some id
+    delta differs) combined with "distinct work-items never share a
+    worklist claim" (the claim delta must differ too).
+
+    Decided by case-splitting: for each ``v`` in ``nonzero`` and each sign,
+    restrict ``v``'s box away from zero and solve; ``extra_nonzero``
+    variables are themselves sign-split.  All subproblems UNSAT => UNSAT;
+    any SAT => SAT with that witness; otherwise UNKNOWN.
+    """
+    if not nonzero:
+        return Verdict(UNSAT)
+
+    def sign_boxes(name: str) -> list[tuple[int, int]]:
+        lo, hi = bounds[name]
+        out = []
+        if hi >= 1:
+            out.append((max(lo, 1), hi))
+        if lo <= -1:
+            out.append((lo, min(hi, -1)))
+        return out
+
+    def subproblems(pending: list[str], base: dict[str, tuple[int, int]]):
+        if not pending:
+            yield base
+            return
+        name, rest = pending[0], pending[1:]
+        if name in base and base[name][0] >= 1 or name in base and base[name][1] <= -1:
+            yield from subproblems(rest, base)
+            return
+        for box in sign_boxes(name):
+            branched = dict(base)
+            branched[name] = box
+            yield from subproblems(rest, branched)
+
+    saw_unknown = False
+    for primary in nonzero:
+        for primary_box in sign_boxes(primary):
+            base = dict(bounds)
+            base[primary] = primary_box
+            extras = [v for v in extra_nonzero if v != primary]
+            for boxed in subproblems(extras, base):
+                verdict = solve_linear(terms, constant, boxed, node_budget)
+                if verdict.is_sat:
+                    return verdict
+                if verdict.status == UNKNOWN:
+                    saw_unknown = True
+    return Verdict(UNKNOWN) if saw_unknown else Verdict(UNSAT)

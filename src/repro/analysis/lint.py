@@ -1,0 +1,192 @@
+"""``dopia lint``: batch static verification over workloads and files.
+
+Produces one :class:`~repro.analysis.diagnostics.VerifyReport` per target —
+a registry workload (verified against its real launch geometry), one of its
+transformed variants (the Figure-5/6 malleable GPU kernel or the Figure-7
+CPU kernel), or a bare ``.cl`` file (launch-independent passes only).
+
+The JSON document (:func:`repro.analysis.diagnostics.report_to_json`) is
+byte-stable, which is what makes the committed ``LINT_BASELINE.json``
+diffable: :func:`diff_baseline` compares two documents structurally and
+reports *new* diagnostics (CI fails on any) separately from *removed* ones
+(informational — the baseline should be regenerated).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from ..frontend.semantics import KernelInfo
+from .diagnostics import VerifyReport
+from .verify import LaunchSpec, verify_kernel, verify_launch
+
+#: Throttle setting used when linting malleable variants: half the lanes of
+#: every 4-wide bundle, a representative mid-range DoP.
+LINT_GPU_MOD = 4
+LINT_GPU_ALLOC = 2
+
+#: CPU-variant lint launch: this many cooperative scheduler threads.
+LINT_CPU_THREADS = 4
+
+
+def _workload_args(workload) -> dict[str, Any]:
+    """Deterministic full argument binding for one registry workload."""
+    return workload.full_args(np.random.default_rng(0))
+
+
+def lint_workload(workload) -> VerifyReport:
+    """Verify one registry workload against its own launch geometry."""
+    report = verify_launch(
+        workload.kernel_info(),
+        LaunchSpec.from_args(workload.ndrange(), _workload_args(workload)),
+    )
+    report.kernel = workload.key
+    return report
+
+
+def lint_malleable_variant(workload) -> Optional[VerifyReport]:
+    """Verify the malleable GPU variant of one workload (None when the
+    kernel is untransformable, e.g. barriered)."""
+    from ..transform.gpu_malleable import TransformError, make_malleable
+
+    ndrange = workload.ndrange()
+    try:
+        malleable = make_malleable(workload.kernel_info(),
+                                   work_dim=ndrange.work_dim)
+    except TransformError:
+        return None
+    args = _workload_args(workload)
+    args["dop_gpu_mod"] = LINT_GPU_MOD
+    args["dop_gpu_alloc"] = LINT_GPU_ALLOC
+    report = verify_launch(malleable.info,
+                           LaunchSpec.from_args(ndrange, args))
+    report.kernel = f"{workload.key}@malleable"
+    return report
+
+
+def lint_cpu_variant(workload) -> Optional[VerifyReport]:
+    """Verify the generated CPU variant of one workload, launched the way
+    the cooperative scheduler launches it: one work-item per thread."""
+    from ..interp.ndrange import NDRange
+    from ..transform.cpu_codegen import CpuTransformError, make_cpu_kernel
+
+    ndrange = workload.ndrange()
+    try:
+        cpu = make_cpu_kernel(workload.kernel_info(),
+                              work_dim=ndrange.work_dim)
+    except CpuTransformError:
+        return None
+    num_groups = tuple(
+        g // l for g, l in zip(ndrange.global_size, ndrange.local_size))
+    args = _workload_args(workload)
+    args["dopia_wg_worklist"] = np.zeros(1, dtype=np.int32)
+    args.update(cpu.scheduler_args(
+        workload.num_work_groups, ndrange.local_size, num_groups))
+    report = verify_launch(
+        cpu.info,
+        LaunchSpec.from_args(NDRange((LINT_CPU_THREADS,), (1,)), args),
+    )
+    report.kernel = f"{workload.key}@cpu"
+    return report
+
+
+def lint_workloads(
+    keys: Optional[Iterable[str]] = None,
+    variants: bool = False,
+) -> list[VerifyReport]:
+    """Lint registry workloads (all of them when ``keys`` is None).
+
+    With ``variants`` the malleable GPU and generated CPU kernels of each
+    workload are verified too — the static proof that the Figure-5/6/7
+    transforms preserve access-set disjointness for the real launches.
+    """
+    from ..workloads import scaled_real_workloads
+
+    workloads = scaled_real_workloads()
+    if keys is not None:
+        wanted = set(keys)
+        by_key = {w.key: w for w in workloads}
+        unknown = wanted - set(by_key)
+        if unknown:
+            raise KeyError(
+                f"unknown workload(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(by_key))}")
+        workloads = [by_key[k] for k in sorted(wanted)]
+
+    reports: list[VerifyReport] = []
+    for workload in workloads:
+        reports.append(lint_workload(workload))
+        if variants:
+            for variant in (lint_malleable_variant(workload),
+                            lint_cpu_variant(workload)):
+                if variant is not None:
+                    reports.append(variant)
+    return reports
+
+
+def lint_kernel_info(info: KernelInfo, name: Optional[str] = None,
+                     launch: Optional[LaunchSpec] = None) -> VerifyReport:
+    """Lint one analysed kernel — launch-specialized when a launch is given,
+    launch-independent passes otherwise."""
+    report = (verify_launch(info, launch) if launch is not None
+              else verify_kernel(info))
+    if name:
+        report.kernel = name
+    return report
+
+
+# -- baseline diff -----------------------------------------------------------
+
+
+@dataclass
+class BaselineDiff:
+    """Structural comparison of two lint JSON documents."""
+
+    new: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    schema_changed: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """CI gate: no new diagnostics (removed ones only warn)."""
+        return not self.new and not self.schema_changed
+
+
+def _diagnostic_keys(document: dict) -> set[tuple]:
+    keys: set[tuple] = set()
+    for report in document.get("reports", []):
+        for diag in report.get("diagnostics", []):
+            keys.add((
+                report.get("kernel", ""),
+                diag.get("code", ""),
+                diag.get("severity", ""),
+                diag.get("line", 0),
+                diag.get("column", 0),
+                diag.get("message", ""),
+            ))
+    return keys
+
+
+def _describe(key: tuple) -> str:
+    kernel, code, severity, line, column, message = key
+    return f"{kernel}: {line}:{column}: {severity}: [{code}] {message}"
+
+
+def diff_baseline(current_json: str, baseline_json: str) -> BaselineDiff:
+    """Compare a freshly generated lint document against the committed
+    baseline.  ``new`` diagnostics fail CI; ``removed`` ones mean the
+    baseline is stale and should be regenerated."""
+    current = json.loads(current_json)
+    baseline = json.loads(baseline_json)
+    diff = BaselineDiff(
+        schema_changed=(current.get("schema_version")
+                        != baseline.get("schema_version")))
+    now = _diagnostic_keys(current)
+    then = _diagnostic_keys(baseline)
+    diff.new = sorted(_describe(k) for k in now - then)
+    diff.removed = sorted(_describe(k) for k in then - now)
+    return diff

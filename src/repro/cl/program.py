@@ -29,6 +29,9 @@ class Program:
         self.kernel_infos: dict[str, KernelInfo] = {}
         #: interposer-private storage (Dopia keeps its analyses here)
         self.interposer_data: dict[str, Any] = {}
+        #: static-verifier reports per kernel (populated by ``build()`` when
+        #: ``DOPIA_VERIFY`` is not ``off``), keyed by kernel name
+        self.verify_reports: dict[str, Any] = {}
 
     def build(self, options: str = "") -> "Program":
         """Compile the program (parse + semantic analysis of every kernel)."""
@@ -40,11 +43,33 @@ class Program:
             raise CLError(Status.BUILD_PROGRAM_FAILURE, str(error)) from error
         if not self.kernel_infos:
             raise CLError(Status.BUILD_PROGRAM_FAILURE, "no __kernel functions")
+        self._verify_build()
         self.built = True
         from .api import notify_program_built  # late import to avoid a cycle
 
         notify_program_built(self)
         return self
+
+    def _verify_build(self) -> None:
+        """Static verification at build time (the compiler-log surface).
+
+        Launch-independent passes only — barrier divergence, id-invariant
+        stores, vectorizer eligibility.  Gated on ``DOPIA_VERIFY``: the
+        default (``off``) costs one env lookup and nothing else.
+        """
+        from ..analysis.verify import (
+            apply_policy,
+            current_policy,
+            verify_kernel,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        for name, info in self.kernel_infos.items():
+            report = verify_kernel(info)
+            self.verify_reports[name] = report
+            apply_policy(report, policy)
 
     def create_kernel(self, name: str) -> "Kernel":
         if not self.built:

@@ -78,6 +78,7 @@ class CommandQueue:
         device with the default (full) degree of parallelism.
         """
         ndrange = NDRange(global_size, local_size, global_offset or ())
+        self._verify_launch(kernel, ndrange)
         from .api import current_interposer  # late import to avoid a cycle
 
         interposer = current_interposer()
@@ -97,6 +98,29 @@ class CommandQueue:
             event = self._default_execute(kernel, ndrange, irregular_trip_hint)
             self.events.append(event)
             return event
+
+    @staticmethod
+    def _verify_launch(kernel: Kernel, ndrange: NDRange) -> None:
+        """Launch-specialized static verification, gated on ``DOPIA_VERIFY``.
+
+        Runs the race/OOB/barrier passes against the concrete geometry and
+        bound buffer extents before any work executes.  ``warn`` prints the
+        report to stderr like a build log; ``raise`` turns errors into
+        :class:`repro.analysis.verify.VerifyError`.  The default (``off``)
+        costs one env lookup per enqueue.
+        """
+        from ..analysis.verify import (
+            LaunchSpec,
+            apply_policy,
+            current_policy,
+            verify_launch_cached,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        spec = LaunchSpec.from_args(ndrange, kernel.bound_args())
+        apply_policy(verify_launch_cached(kernel.info, spec), policy)
 
     def _default_execute(
         self, kernel: Kernel, ndrange: NDRange, hint: Optional[float]

@@ -279,8 +279,10 @@ def cmd_backends(args: argparse.Namespace) -> int:
     eligibility = check_vectorizable(info)
     print(f"kernel    : {info.kernel.name}")
     print(f"launch    : global={ndrange.global_size} local={ndrange.local_size}")
+    where = getattr(eligibility, "location", None)
+    at = f" at {where.line}:{where.column}" if where is not None else ""
     print(f"eligible  : {eligibility.eligible}"
-          + (f" ({eligibility.reason})" if eligibility.reason else ""))
+          + (f" ({eligibility.reason}{at})" if eligibility.reason else ""))
 
     import time as _time
 
@@ -318,6 +320,84 @@ def cmd_backends(args: argparse.Namespace) -> int:
           + (f" (mismatch in {', '.join(mismatched)})" if mismatched else ""))
     print(execution_stats.summary(), file=sys.stderr)
     return 1 if mismatched else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static verification over registry workloads and/or kernel files.
+
+    Positional targets are registry workload keys or ``.cl`` paths; no
+    targets means every registry workload.  Workloads are verified against
+    their real launch geometry (plus, with ``--variants``, their malleable
+    GPU and generated CPU transforms); bare files get the
+    launch-independent passes unless ``--global-size`` is given.
+    """
+    from .analysis.diagnostics import Severity, report_to_json
+    from .analysis.lint import diff_baseline, lint_kernel_info, lint_workloads
+    from .analysis.verify import LaunchSpec
+    from .interp.ndrange import NDRange
+
+    # Registry keys contain "/" (e.g. GESUMMV/24/wg8), so a path separator
+    # alone does not make a target a file: only a real suffix or an
+    # existing path does.
+    file_targets = [t for t in args.target or []
+                    if Path(t).suffix or Path(t).exists()]
+    workload_keys = [t for t in args.target or [] if t not in file_targets]
+
+    reports = []
+    if workload_keys or not file_targets:
+        try:
+            reports.extend(lint_workloads(workload_keys or None,
+                                          variants=args.variants))
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+    for path in file_targets:
+        _, info = _load_kernel(path, args.name)
+        launch = None
+        if args.global_size:
+            ndrange = NDRange(_launch_sizes(args.global_size, args.work_dim),
+                              _launch_sizes(args.local_size, args.work_dim))
+            extents = {}
+            for pair in args.buffer or []:
+                name, _, count = pair.partition("=")
+                extents[name] = int(count)
+            buffers = {
+                p.name: np.zeros(
+                    extents.get(p.name, ndrange.total_work_items))
+                for p in info.kernel.params if p.type.pointer
+            }
+            launch = LaunchSpec.from_args(
+                ndrange, {**buffers, **_parse_args_option(args.arg)})
+        reports.append(lint_kernel_info(info, name=Path(path).stem,
+                                        launch=launch))
+
+    document = report_to_json(reports)
+    if args.json:
+        print(document, end="")
+    else:
+        for report in reports:
+            print(report.render())
+
+    if args.check:
+        try:
+            baseline = Path(args.check).read_text()
+        except OSError as error:
+            raise SystemExit(f"error: cannot read baseline: {error}")
+        diff = diff_baseline(document, baseline)
+        for line in diff.removed:
+            print(f"lint: removed from baseline (regenerate it): {line}",
+                  file=sys.stderr)
+        if diff.schema_changed:
+            print("lint: schema version differs from baseline",
+                  file=sys.stderr)
+        for line in diff.new:
+            print(f"lint: NEW diagnostic: {line}", file=sys.stderr)
+        if not diff.clean:
+            return 1
+        print(f"lint: no new diagnostics across {len(reports)} report(s)",
+              file=sys.stderr)
+        return 0
+    errors = sum(len(r.by_severity(Severity.ERROR)) for r in reports)
+    return 1 if errors else 0
 
 
 def _launch_sizes(total: int, work_dim: int) -> tuple[int, ...]:
@@ -648,6 +728,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="RNG seed for the generated input buffers")
     p.set_defaults(func=cmd_backends)
+
+    p = sub.add_parser(
+        "lint",
+        help="static verification: data races, out-of-bounds accesses, "
+             "divergent barriers, vectorizer eligibility",
+    )
+    p.add_argument("target", nargs="*", metavar="WORKLOAD|FILE",
+                   help="registry workload keys and/or .cl files "
+                        "(default: every registry workload)")
+    p.add_argument("--variants", action="store_true",
+                   help="also verify the malleable GPU and generated CPU "
+                        "transforms of each workload")
+    p.add_argument("--json", action="store_true",
+                   help="emit the stable, schema-versioned JSON document")
+    p.add_argument("--check", default=None, metavar="PATH",
+                   help="diff against a committed baseline (LINT_BASELINE."
+                        "json); exit 1 on any new diagnostic")
+    p.add_argument("--name", help="kernel name for file targets")
+    p.add_argument("--global-size", type=int, default=None, dest="global_size",
+                   help="specialize file targets at this launch (default: "
+                        "launch-independent passes only)")
+    p.add_argument("--local-size", type=int, default=256, dest="local_size")
+    p.add_argument("--work-dim", type=int, default=1, choices=(1, 2, 3))
+    p.add_argument("--arg", action="append", metavar="NAME=VALUE",
+                   help="scalar kernel argument for file targets")
+    p.add_argument("--buffer", action="append", metavar="NAME=ELEMENTS",
+                   help="buffer extent for file targets "
+                        "(default: total work-items)")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures as SVG")
     p.add_argument("--out", default="figures", help="output directory")

@@ -302,6 +302,34 @@ class DopiaRuntime(Interposer):
                 details=record.as_details(),
             )
 
+    @staticmethod
+    def _verify_transformed(
+        kernel: Kernel,
+        malleable: MalleableKernel,
+        ndrange: NDRange,
+        mod: int,
+        alloc: int,
+    ) -> None:
+        """Verify the *malleable* variant about to execute, not just the
+        original: the throttled kernel must preserve access-set disjointness
+        for this launch.  Gated on ``DOPIA_VERIFY`` (default ``off`` costs
+        one env lookup); results are cached per (kernel, launch shape)."""
+        from ..analysis.verify import (
+            LaunchSpec,
+            apply_policy,
+            current_policy,
+            verify_launch_cached,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        args = dict(kernel.bound_args())
+        args["dop_gpu_mod"] = mod
+        args["dop_gpu_alloc"] = alloc
+        spec = LaunchSpec.from_args(ndrange, args)
+        apply_policy(verify_launch_cached(malleable.info, spec), policy)
+
     def _execute_functional(
         self, kernel: Kernel, ndrange: NDRange, prediction: Prediction
     ) -> None:
@@ -313,6 +341,7 @@ class DopiaRuntime(Interposer):
             )
         else:
             mod, alloc = 1, 1
+        self._verify_transformed(kernel, malleable, ndrange, mod, alloc)
         run_dynamic(
             kernel.info,
             malleable,

@@ -42,6 +42,9 @@ class ExecutionStats:
     choices: dict[str, tuple[str, str]] = field(default_factory=dict)
     fallbacks: dict[str, int] = field(default_factory=dict)
     fallback_reasons: dict[str, str] = field(default_factory=dict)
+    #: kernel -> "line:column" of the construct that forced the most recent
+    #: fallback ("" when the fallback site carried no source location)
+    fallback_locations: dict[str, str] = field(default_factory=dict)
     #: guards every read-modify-write; concurrent launches from the serving
     #: layer record into this process-global object from many threads
     _lock: threading.Lock = field(
@@ -61,10 +64,17 @@ class ExecutionStats:
             counter.work_items += work_items
             counter.seconds += seconds
 
-    def record_fallback(self, kernel: str, reason: str) -> None:
+    def record_fallback(self, kernel: str, reason: str,
+                        location: object = None) -> None:
         with self._lock:
             self.fallbacks[kernel] = self.fallbacks.get(kernel, 0) + 1
             self.fallback_reasons[kernel] = reason
+            line = getattr(location, "line", None)
+            if line:
+                column = getattr(location, "column", 0)
+                self.fallback_locations[kernel] = f"{line}:{column}"
+            else:
+                self.fallback_locations[kernel] = ""
 
     # -- queries -------------------------------------------------------------
 
@@ -115,9 +125,11 @@ class ExecutionStats:
             if ratio is not None:
                 parts.append(f"speedup={ratio:.1f}x")
             if kernel in self.fallbacks:
+                where = self.fallback_locations.get(kernel, "")
+                at = f" at {where}" if where else ""
                 parts.append(
                     f"fallbacks={self.fallbacks[kernel]} "
-                    f"({self.fallback_reasons.get(kernel, '')})"
+                    f"({self.fallback_reasons.get(kernel, '')}{at})"
                 )
             lines.append(f"execution[{kernel}]: " + "; ".join(parts))
         return "\n".join(lines)
@@ -128,6 +140,7 @@ class ExecutionStats:
             self.choices.clear()
             self.fallbacks.clear()
             self.fallback_reasons.clear()
+            self.fallback_locations.clear()
 
 
 #: Process-global counter, like ``repro.core.collect.collection_stats``.

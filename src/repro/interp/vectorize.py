@@ -85,15 +85,28 @@ MAX_LANES_PER_BATCH = 1 << 16
 
 
 class VectorizeFallback(Exception):
-    """Internal signal: revert this launch to the scalar interpreter."""
+    """Internal signal: revert this launch to the scalar interpreter.
+
+    ``location`` points at the construct that forced the fallback (when
+    known), so stats and diagnostics can show *where*, not just *why*.
+    """
+
+    def __init__(self, why: str, location=None):
+        super().__init__(why)
+        self.location = location
 
 
 @dataclass(frozen=True)
 class Eligibility:
-    """Whether a kernel can run on the vectorized backend, and why not."""
+    """Whether a kernel can run on the vectorized backend, and why not.
+
+    ``location`` is the source span of the disqualifying construct (None
+    for whole-kernel reasons such as barrier/atomic usage).
+    """
 
     eligible: bool
     reason: str = ""
+    location: "ast.SourceLocation | None" = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.eligible
@@ -139,10 +152,11 @@ def check_vectorizable(info: KernelInfo) -> Eligibility:
 def _check_vectorizable(info: KernelInfo) -> Eligibility:
     if info.uses_barrier:
         return Eligibility(False, "work-group barriers need the cooperative "
-                                  "scalar scheduler")
+                                  "scalar scheduler", info.kernel.location)
     if info.uses_atomics:
         return Eligibility(False, "atomics have ordering semantics the "
-                                  "batched backend cannot reproduce")
+                                  "batched backend cannot reproduce",
+                           info.kernel.location)
     functions = [(info.kernel.name, info)]
     functions += [(name, callee) for name, callee in info.user_functions.items()]
     known_calls = (
@@ -154,38 +168,46 @@ def _check_vectorizable(info: KernelInfo) -> Eligibility:
         for node in ast.walk(fn_info.kernel.body):
             if isinstance(node, ast.DeclStmt):
                 for decl in node.decls:
+                    at = node.location
                     if decl.type.address_space == "local":
                         return Eligibility(
-                            False, f"__local variable {decl.name!r}{where}")
+                            False, f"__local variable {decl.name!r}{where}", at)
                     if decl.array_dims:
                         return Eligibility(
-                            False, f"private array {decl.name!r}{where}")
+                            False, f"private array {decl.name!r}{where}", at)
                     if decl.type.pointer:
                         return Eligibility(
-                            False, f"pointer variable {decl.name!r}{where}")
+                            False, f"pointer variable {decl.name!r}{where}", at)
             elif isinstance(node, ast.UnaryOp) and node.op in ("*", "&"):
-                return Eligibility(False, f"pointer indirection{where}")
+                return Eligibility(False, f"pointer indirection{where}",
+                                   node.location)
             elif (isinstance(node, (ast.UnaryOp, ast.PostfixOp))
                   and node.op in ("++", "--")
                   and fn_info.type_of(node.operand).pointer):
-                return Eligibility(False, f"pointer increment{where}")
+                return Eligibility(False, f"pointer increment{where}",
+                                   node.location)
             elif (isinstance(node, ast.Assignment)
                   and fn_info.type_of(node.target).pointer):
-                return Eligibility(False, f"pointer reassignment{where}")
+                return Eligibility(False, f"pointer reassignment{where}",
+                                   node.location)
             elif isinstance(node, ast.Cast) and node.type.pointer:
-                return Eligibility(False, f"pointer cast{where}")
+                return Eligibility(False, f"pointer cast{where}",
+                                   node.location)
             elif isinstance(node, ast.BinaryOp):
                 if (fn_info.type_of(node).pointer
                         or fn_info.type_of(node.left).pointer
                         or fn_info.type_of(node.right).pointer):
-                    return Eligibility(False, f"pointer arithmetic{where}")
+                    return Eligibility(False, f"pointer arithmetic{where}",
+                                       node.location)
             elif isinstance(node, ast.Index):
                 if not isinstance(node.base, ast.Identifier):
                     return Eligibility(
-                        False, f"subscript of a computed pointer{where}")
+                        False, f"subscript of a computed pointer{where}",
+                        node.location)
             elif isinstance(node, ast.Call) and node.name not in known_calls:
                 return Eligibility(
-                    False, f"unsupported builtin {node.name!r}{where}")
+                    False, f"unsupported builtin {node.name!r}{where}",
+                    node.location)
     return Eligibility(True)
 
 
@@ -456,7 +478,8 @@ class VectorizedExecutor:
             for name, saved in snapshot.items():
                 buffers[name][...] = saved
             self.used_fallback = True
-            execution_stats.record_fallback(self.info.kernel.name, str(exc))
+            execution_stats.record_fallback(self.info.kernel.name, str(exc),
+                                            getattr(exc, "location", None))
             if tracer.enabled:
                 tracer.instant("backend.fallback", "backend",
                                kernel=self.info.kernel.name, reason=str(exc))
@@ -496,8 +519,8 @@ class _BatchRun:
 
     # -- helpers -------------------------------------------------------------
 
-    def _fallback(self, why: str) -> VectorizeFallback:
-        return VectorizeFallback(why)
+    def _fallback(self, why: str, node: Any = None) -> VectorizeFallback:
+        return VectorizeFallback(why, getattr(node, "location", None))
 
     def _truth(self, value: Any) -> Any:
         """Branch condition: Python bool if uniform, bool array if varying."""
@@ -588,23 +611,23 @@ class _BatchRun:
                         # np.where would float-promote the earlier int
                         # returns; the oracle keeps each lane's own type.
                         raise self._fallback(
-                            "return values with mixed int/float types")
+                            "return values with mixed int/float types", stmt)
                     frame.value = self._blend(value, frame.value, mask)
             frame.returned = frame.returned | mask
             return np.zeros(self.count, dtype=bool)
         if kind is ast.Break:
             if not self.frames[-1].loops:
-                raise self._fallback("break outside of a loop")
+                raise self._fallback("break outside of a loop", stmt)
             ctx = self.frames[-1].loops[-1]
             ctx.broken = ctx.broken | mask
             return np.zeros(self.count, dtype=bool)
         if kind is ast.Continue:
             if not self.frames[-1].loops:
-                raise self._fallback("continue outside of a loop")
+                raise self._fallback("continue outside of a loop", stmt)
             ctx = self.frames[-1].loops[-1]
             ctx.continued = ctx.continued | mask
             return np.zeros(self.count, dtype=bool)
-        raise self._fallback(f"unsupported statement {kind.__name__}")
+        raise self._fallback(f"unsupported statement {kind.__name__}", stmt)
 
     def _exec_if(self, stmt: ast.If, mask: np.ndarray) -> np.ndarray:
         taken = self._truth(self._eval(stmt.cond, mask))
@@ -707,7 +730,8 @@ class _BatchRun:
                 # 'unbound identifier'; rerun there instead of silently
                 # substituting the placeholder.
                 raise self._fallback(
-                    f"read of {expr.name!r} on a lane that never bound it")
+                    f"read of {expr.name!r} on a lane that never bound it",
+                    expr)
             return value
         if kind is ast.BinaryOp:
             return self._eval_binary(expr, mask)
@@ -722,7 +746,7 @@ class _BatchRun:
             value = self._eval(expr.value, mask)
             if expr.op != "=":
                 old = self._eval(expr.target, mask)
-                value = self._binop(expr.op[:-1], old, value, mask)
+                value = self._binop(expr.op[:-1], old, value, mask, expr)
             self._store(expr.target, value, mask)
             return value
         if kind is ast.Conditional:
@@ -733,7 +757,7 @@ class _BatchRun:
             return self._coerce(self._eval(expr.operand, mask), expr.type)
         if kind is ast.Call:
             return self._eval_call(expr, mask)
-        raise self._fallback(f"unsupported expression {kind.__name__}")
+        raise self._fallback(f"unsupported expression {kind.__name__}", expr)
 
     def _eval_conditional(self, expr: ast.Conditional, mask: np.ndarray) -> Any:
         taken = self._truth(self._eval(expr.cond, mask))
@@ -755,7 +779,8 @@ class _BatchRun:
             # np.where would promote the int side to float64 on every lane;
             # the scalar oracle keeps each lane's own branch type (an int
             # lane then divides with C truncation).  Punt to the oracle.
-            raise self._fallback("ternary with mixed int/float branch types")
+            raise self._fallback("ternary with mixed int/float branch types",
+                                 expr)
         return np.where(taken, then_val, else_val)
 
     def _eval_binary(self, expr: ast.BinaryOp, mask: np.ndarray) -> Any:
@@ -764,7 +789,7 @@ class _BatchRun:
             return self._eval_logical(expr, mask, is_and=(op == "&&"))
         left = self._eval(expr.left, mask)
         right = self._eval(expr.right, mask)
-        return self._binop(op, left, right, mask)
+        return self._binop(op, left, right, mask, expr)
 
     def _eval_logical(self, expr: ast.BinaryOp, mask: np.ndarray,
                       is_and: bool) -> Any:
@@ -792,7 +817,8 @@ class _BatchRun:
         combined = (left & right) if is_and else (left | right)
         return combined.astype(np.int64)
 
-    def _binop(self, op: str, left: Any, right: Any, mask: np.ndarray) -> Any:
+    def _binop(self, op: str, left: Any, right: Any, mask: np.ndarray,
+               node: Any = None) -> Any:
         if not _is_arr(left) and not _is_arr(right):
             return self._uniform_binop(op, left, right)
         if op == "+":
@@ -826,10 +852,11 @@ class _BatchRun:
             if _is_arr(amount):
                 if bool((mask & ((amount < 0) | (amount >= 64))).any()):
                     raise self._fallback(
-                        "shift amount outside [0, 64) on an active lane")
+                        "shift amount outside [0, 64) on an active lane",
+                        node)
             elif not 0 <= amount < 64:
                 raise self._fallback(
-                    f"shift amount {amount} outside [0, 64)")
+                    f"shift amount {amount} outside [0, 64)", node)
             shift = np.left_shift if op == "<<" else np.right_shift
             return shift(_as_int(left), amount)
         if op == "&":
@@ -840,7 +867,7 @@ class _BatchRun:
             return np.bitwise_xor(_as_int(left), _as_int(right))
         if op == ",":
             return right
-        raise self._fallback(f"unsupported binary operator {op!r}")
+        raise self._fallback(f"unsupported binary operator {op!r}", node)
 
     @staticmethod
     def _uniform_binop(op: str, left: Any, right: Any) -> Any:
@@ -923,14 +950,14 @@ class _BatchRun:
             return int(not truth)
         if op == "~":
             return ~_as_int(operand)
-        raise self._fallback(f"unsupported unary operator {op!r}")
+        raise self._fallback(f"unsupported unary operator {op!r}", expr)
 
     # -- memory --------------------------------------------------------------
 
     def _buffer(self, expr: ast.Expr, mask: np.ndarray) -> np.ndarray:
         base = self._eval(expr, mask)
         if not isinstance(base, np.ndarray):
-            raise self._fallback("subscript of a non-buffer value")
+            raise self._fallback("subscript of a non-buffer value", expr)
         return base
 
     def _check_bounds(self, index: Any, limit: int, mask: np.ndarray) -> None:
@@ -978,7 +1005,7 @@ class _BatchRun:
         if isinstance(target, ast.Index):
             self._store_element(target, value, mask)
             return
-        raise self._fallback("unsupported assignment target")
+        raise self._fallback("unsupported assignment target", target)
 
     def _store_element(self, target: ast.Index, value: Any,
                        mask: np.ndarray) -> None:
@@ -1019,13 +1046,14 @@ class _BatchRun:
             return _VEC_INT[name](*args)
         if name in self.info.user_functions:
             return self._call_user_function(name, expr, mask)
-        raise self._fallback(f"call to unsupported function {name!r}")
+        raise self._fallback(f"call to unsupported function {name!r}", expr)
 
     def _work_item_query(self, name: str, expr: ast.Call,
                          mask: np.ndarray) -> Any:
         dim_value = self._eval(expr.args[0], mask) if expr.args else 0
         if _is_arr(dim_value):
-            raise self._fallback(f"{name} with a divergent dimension argument")
+            raise self._fallback(f"{name} with a divergent dimension argument",
+                                 expr)
         dim = int(dim_value)
         nd = self.ndrange
         if name == "get_global_id":
@@ -1042,7 +1070,7 @@ class _BatchRun:
             return nd.num_groups[dim] if dim < nd.work_dim else 1
         if name == "get_global_offset":
             return nd.offset[dim] if dim < nd.work_dim else 0
-        raise self._fallback(f"unknown work-item query {name}")
+        raise self._fallback(f"unknown work-item query {name}", expr)
 
     def _math_call(self, name: str, expr: ast.Call, mask: np.ndarray) -> Any:
         """Evaluate a math builtin on the *active* lanes only.
@@ -1064,7 +1092,7 @@ class _BatchRun:
             try:
                 return MATH_IMPLS[name](*args)
             except _MATH_ERRORS as exc:
-                raise self._fallback(f"math builtin {name!r}: {exc}") from exc
+                raise self._fallback(f"math builtin {name!r}: {exc}", expr) from exc
         if not bool(mask.any()):
             return np.zeros(self.count, dtype=np.float64)
         full = bool(mask.all())
@@ -1073,7 +1101,7 @@ class _BatchRun:
         check = _MATH_DOMAIN_CHECKS.get(name)
         if check is not None and bool(np.any(check(*packed))):
             raise self._fallback(
-                f"math builtin {name!r}: domain error on an active lane")
+                f"math builtin {name!r}: domain error on an active lane", expr)
         try:
             if name in _NATIVE_MATH:
                 result = _NATIVE_MATH[name](*packed)
@@ -1082,7 +1110,7 @@ class _BatchRun:
             else:
                 result = _WRAPPED_MATH[name](*packed)
         except _MATH_ERRORS as exc:
-            raise self._fallback(f"math builtin {name!r}: {exc}") from exc
+            raise self._fallback(f"math builtin {name!r}: {exc}", expr) from exc
         if full:
             return result
         out = np.zeros(self.count, dtype=result.dtype)

@@ -355,6 +355,28 @@ class DopiaServer:
                         prepared.info, work_dim=work_dim)
         return prepared.malleable[work_dim]
 
+    @staticmethod
+    def _verify_admission(prepared: _PreparedKernel, ndrange,
+                          args: dict[str, Any]) -> None:
+        """Static verification at admission, gated on ``DOPIA_VERIFY``.
+
+        With ``warn`` the report goes to stderr; with ``raise`` a
+        :class:`repro.analysis.verify.VerifyError` fails the launch handle
+        before any buffer is touched.  Reports are cached per (kernel,
+        launch shape), so repeat launches of one workload pay once."""
+        from ..analysis.verify import (
+            LaunchSpec,
+            apply_policy,
+            current_policy,
+            verify_launch_cached,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        spec = LaunchSpec.from_args(ndrange, args)
+        apply_policy(verify_launch_cached(prepared.info, spec), policy)
+
     # -- prediction -----------------------------------------------------------
 
     def _predict(self, prepared: _PreparedKernel, ndrange,
@@ -462,6 +484,7 @@ class DopiaServer:
                     raise ServeError(
                         f"kernel {workload.kernel_name!r} is not malleable: "
                         f"{error}") from error
+                self._verify_admission(prepared, ndrange, request.args)
 
                 load = self.ledger.snapshot()
                 with tracer.span("serve.predict", "predict",

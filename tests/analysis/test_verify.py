@@ -1,0 +1,326 @@
+"""Unit tests for the static kernel verifier and its host-API wiring."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import (
+    SCHEMA_VERSION,
+    Diagnostic,
+    Severity,
+    VerifyReport,
+    report_to_json,
+)
+from repro.analysis.linsolve import solve_linear, solve_with_nonzero
+from repro.analysis.lint import diff_baseline, lint_workloads
+from repro.analysis.verify import (
+    LaunchSpec,
+    VerifyError,
+    apply_policy,
+    current_policy,
+    verify_kernel,
+    verify_launch,
+    verify_launch_cached,
+)
+from repro.frontend.parser import parse, parse_kernel
+from repro.frontend.semantics import analyze_kernel
+from repro.interp.ndrange import NDRange
+
+
+def info_of(source, name=None):
+    return analyze_kernel(parse_kernel(source, name), parse(source))
+
+
+def launch_for(info, ndrange, **args):
+    return LaunchSpec.from_args(ndrange, args)
+
+
+RACY = """
+__kernel void racy(__global float* c) {
+    int i = get_global_id(0);
+    c[0] = i;
+}
+"""
+
+CLEAN = """
+__kernel void ok(__global float* c) {
+    int i = get_global_id(0);
+    c[i] = i;
+}
+"""
+
+LOCAL_SHIFT = """
+__kernel void shift(__global float* out) {
+    __local float s[8];
+    int l = get_local_id(0);
+    int i = get_global_id(0);
+    s[l] = l;
+    out[i] = s[l] + 1.0f;
+    s[l + 1] = l;
+}
+"""
+
+DIVERGENT_BARRIER = """
+__kernel void bar(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) { barrier(1); }
+    a[i] = i;
+}
+"""
+
+
+# -- linsolve -----------------------------------------------------------------
+
+
+class TestLinearSolver:
+    def test_sat_with_witness(self):
+        v = solve_linear({"x": 2, "y": -3}, -1, {"x": (0, 5), "y": (0, 5)})
+        assert v.is_sat
+        x, y = v.witness["x"], v.witness["y"]
+        assert 2 * x - 3 * y - 1 == 0
+
+    def test_unsat_by_gcd(self):
+        # 2x + 4y == 1 has no integer solution
+        v = solve_linear({"x": 2, "y": 4}, -1, {"x": (0, 9), "y": (0, 9)})
+        assert v.is_unsat
+
+    def test_unsat_by_interval(self):
+        v = solve_linear({"x": 1}, -100, {"x": (0, 9)})
+        assert v.is_unsat
+
+    def test_empty_box_is_unsat(self):
+        v = solve_linear({"x": 1}, 0, {"x": (3, 2)})
+        assert v.is_unsat
+
+    def test_budget_exhaustion_is_unknown(self):
+        terms = {f"v{i}": (2 * i + 3) for i in range(8)}
+        bounds = {f"v{i}": (-50, 50) for i in range(8)}
+        v = solve_linear(terms, -1, bounds, node_budget=3)
+        assert v.status == "unknown"
+
+    def test_nonzero_constraint(self):
+        # x - y == 0 with x != 0 requires x == y != 0
+        v = solve_with_nonzero({"x": 1, "y": -1}, 0,
+                               {"x": (0, 3), "y": (0, 3)}, nonzero=["x"])
+        assert v.is_sat
+        assert v.witness["x"] == v.witness["y"] != 0
+
+    def test_extra_nonzero_can_make_unsat(self):
+        # x == 0 forced by the equation, but x must be nonzero
+        v = solve_with_nonzero({"x": 1}, 0, {"x": (-3, 3)}, nonzero=["x"])
+        assert v.is_unsat
+
+
+# -- diagnostics model --------------------------------------------------------
+
+
+class TestDiagnostics:
+    def test_json_document_is_stable(self):
+        report = VerifyReport(kernel="k")
+        report.extend([
+            Diagnostic.at("OOB001", "k", "b", severity=Severity.ERROR),
+            Diagnostic.at("BAR001", "k", "a"),
+        ])
+        doc1 = report_to_json([report])
+        doc2 = report_to_json([report])
+        assert doc1 == doc2
+        data = json.loads(doc1)
+        assert data["schema_version"] == SCHEMA_VERSION
+        codes = [d["code"] for d in data["reports"][0]["diagnostics"]]
+        assert codes == ["OOB001", "BAR001"]  # errors sort before warnings
+
+    def test_actionable_excludes_info(self):
+        report = VerifyReport(kernel="k")
+        report.extend([Diagnostic.at("VEC001", "k", "v")])
+        assert report.actionable == []
+        assert len(report.infos) == 1
+
+
+# -- verifier passes ----------------------------------------------------------
+
+
+class TestVerifyKernel:
+    def test_divergent_barrier_warns(self):
+        report = verify_kernel(info_of(DIVERGENT_BARRIER))
+        assert any(d.code == "BAR001" for d in report.diagnostics)
+        assert report.verdicts["barriers"] == "diagnosed"
+
+    def test_id_invariant_store_warns_statically(self):
+        report = verify_kernel(info_of(RACY))
+        assert any(d.code == "RACE010" for d in report.diagnostics)
+
+    def test_clean_kernel(self):
+        report = verify_kernel(info_of(CLEAN))
+        assert report.actionable == []
+
+
+class TestVerifyLaunch:
+    def test_global_race_diagnosed_with_witness(self):
+        info = info_of(RACY)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (4,)), c=np.zeros(8)))
+        races = [d for d in report.diagnostics if d.code == "RACE001"]
+        assert races
+        payload = races[0].payload
+        assert payload["buffer"] == "c"
+        assert payload["witness_a"]["gid"] != payload["witness_b"]["gid"]
+        assert report.verdicts["races"] == "diagnosed"
+
+    def test_local_race_and_oob_diagnosed(self):
+        info = info_of(LOCAL_SHIFT)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (8,)), out=np.zeros(8)))
+        codes = {d.code for d in report.diagnostics}
+        assert "RACE002" in codes  # s[l] vs s[l+1] overlap
+        assert "OOB002" in codes   # s[7 + 1] past the 8-element array
+
+    def test_clean_launch_proves_all_passes(self):
+        info = info_of(CLEAN)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (4,)), c=np.zeros(8)))
+        assert report.actionable == []
+        assert report.verdicts["races"] == "clean"
+        assert report.verdicts["oob"] == "clean"
+
+    def test_undersized_buffer_is_oob(self):
+        info = info_of(CLEAN)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (4,)), c=np.zeros(4)))
+        oob = [d for d in report.diagnostics if d.code == "OOB001"]
+        assert oob
+        assert oob[0].payload["index"] >= 4
+
+    def test_cache_returns_same_report(self):
+        info = info_of(CLEAN)
+        spec = launch_for(info, NDRange((8,), (4,)), c=np.zeros(8))
+        first = verify_launch_cached(info, spec)
+        second = verify_launch_cached(info, spec)
+        assert first is second
+        other = verify_launch_cached(
+            info, launch_for(info, NDRange((16,), (4,)), c=np.zeros(16)))
+        assert other is not first
+
+
+# -- policy gate --------------------------------------------------------------
+
+
+class TestPolicy:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("DOPIA_VERIFY", raising=False)
+        assert current_policy() == "off"
+
+    def test_invalid_value_is_off(self, monkeypatch):
+        monkeypatch.setenv("DOPIA_VERIFY", "bogus")
+        assert current_policy() == "off"
+
+    def test_raise_policy_raises_on_errors(self):
+        info = info_of(RACY)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (4,)), c=np.zeros(8)))
+        with pytest.raises(VerifyError) as excinfo:
+            apply_policy(report, "raise")
+        assert excinfo.value.report is report
+
+    def test_warn_policy_prints_and_returns(self, capsys):
+        info = info_of(RACY)
+        report = verify_launch(
+            info, launch_for(info, NDRange((8,), (4,)), c=np.zeros(8)))
+        apply_policy(report, "warn")
+        assert "RACE001" in capsys.readouterr().err
+
+
+# -- host-API wiring ----------------------------------------------------------
+
+
+class TestWiring:
+    def _context(self):
+        from repro.cl.api import create_context
+
+        return create_context("skylake")
+
+    def test_build_populates_reports_under_warn(self, monkeypatch, capsys):
+        monkeypatch.setenv("DOPIA_VERIFY", "warn")
+        ctx = self._context()
+        prog = ctx.create_program_with_source(DIVERGENT_BARRIER).build()
+        assert "bar" in prog.verify_reports
+        assert any(d.code == "BAR001"
+                   for d in prog.verify_reports["bar"].diagnostics)
+        assert "BAR001" in capsys.readouterr().err
+
+    def test_build_skips_verification_when_off(self, monkeypatch):
+        monkeypatch.delenv("DOPIA_VERIFY", raising=False)
+        ctx = self._context()
+        prog = ctx.create_program_with_source(DIVERGENT_BARRIER).build()
+        assert prog.verify_reports == {}
+
+    def test_enqueue_raises_on_racy_kernel(self, monkeypatch):
+        from repro.cl.api import create_command_queue
+
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        ctx = self._context()
+        prog = ctx.create_program_with_source(RACY).build()
+        kernel = prog.create_kernel("racy")
+        kernel.set_args(ctx.create_buffer(np.zeros(8)))
+        queue = create_command_queue(ctx, ctx.devices[0])
+        with pytest.raises(VerifyError):
+            queue.enqueue_nd_range_kernel(kernel, (8,), (4,))
+
+    def test_enqueue_allows_clean_kernel(self, monkeypatch):
+        from repro.cl.api import create_command_queue
+
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        ctx = self._context()
+        prog = ctx.create_program_with_source(CLEAN).build()
+        kernel = prog.create_kernel("ok")
+        buffer = ctx.create_buffer(np.zeros(8))
+        kernel.set_args(buffer)
+        queue = create_command_queue(ctx, ctx.devices[0])
+        queue.enqueue_nd_range_kernel(kernel, (8,), (4,))
+        assert buffer.array[3] == 3.0
+
+    def test_serve_admission_gate(self, monkeypatch):
+        from repro.serve.server import DopiaServer, _PreparedKernel
+
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        info = info_of(RACY)
+        prepared = _PreparedKernel(workload_key="t", info=info, static=None)
+        with pytest.raises(VerifyError):
+            DopiaServer._verify_admission(
+                prepared, NDRange((8,), (4,)), {"c": np.zeros(8)})
+
+
+# -- lint ---------------------------------------------------------------------
+
+
+class TestLint:
+    def test_single_workload_report(self):
+        reports = lint_workloads(["GESUMMV/24/wg8"])
+        assert len(reports) == 1
+        assert reports[0].kernel == "GESUMMV/24/wg8"
+        assert reports[0].actionable == []
+
+    def test_unknown_workload_key(self):
+        with pytest.raises(KeyError):
+            lint_workloads(["NOPE"])
+
+    def test_diff_baseline_detects_new_and_removed(self):
+        clean = VerifyReport(kernel="k")
+        dirty = VerifyReport(kernel="k")
+        dirty.extend([Diagnostic.at("OOB001", "k", "boom",
+                                    severity=Severity.ERROR)])
+        base = report_to_json([clean])
+        now = report_to_json([dirty])
+        diff = diff_baseline(now, base)
+        assert not diff.clean and len(diff.new) == 1
+        reverse = diff_baseline(base, now)
+        assert reverse.clean and len(reverse.removed) == 1
+
+    def test_committed_baseline_matches(self):
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parents[2] / "LINT_BASELINE.json"
+        reports = lint_workloads(variants=True)
+        diff = diff_baseline(report_to_json(reports),
+                             baseline_path.read_text())
+        assert diff.clean and not diff.removed, vars(diff)

@@ -1,0 +1,188 @@
+"""Property suite for the static verifier (repro.analysis.verify).
+
+Generates racy / out-of-bounds / divergent-barrier mutants from the Table-2
+synthetic kernel family and checks that
+
+* every injected defect is flagged with the right diagnostic code,
+* every race/OOB diagnostic is confirmed by the instrumented dynamic run
+  (:mod:`repro.analysis.crossval`), and
+* the unmodified kernels — synthetic and all 14 registry workloads —
+  produce **zero** actionable diagnostics (no false positives).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.crossval import cross_validate, run_instrumented
+from repro.analysis.verify import LaunchSpec, verify_launch
+from repro.frontend.parser import parse, parse_kernel
+from repro.frontend.semantics import analyze_kernel
+from repro.workloads import scaled_real_workloads
+from repro.workloads.synthetic import SyntheticSpec, make_synthetic
+
+# -- synthetic family ---------------------------------------------------------
+# Small launches keep the dynamic cross-check cheap: 32 work-items over a
+# 32x4x4 element space, 8-item work-groups.
+
+SIZE, WG_ITEMS, EXTENT = 32, 8, 4
+
+
+def _spec_strategy():
+    return st.builds(
+        SyntheticSpec,
+        alpha=st.integers(min_value=1, max_value=2),
+        beta=st.just(3),
+        gamma=st.integers(min_value=0, max_value=1),
+        delta=st.just(0),
+        epsilon=st.just(0),
+        theta=st.integers(min_value=0, max_value=1),
+        dim=st.just(1),
+        dtype=st.sampled_from(["float", "int"]),
+    )
+
+
+def _instantiate(spec, mutate=None):
+    """Build (info, args, ndrange) for a (possibly mutated) synthetic spec."""
+    workload = make_synthetic(spec, size=SIZE, wg_items=WG_ITEMS, extent=EXTENT)
+    source = mutate(workload.source) if mutate else workload.source
+    unit = parse(source)
+    info = analyze_kernel(parse_kernel(source), unit)
+    args = workload.full_args(np.random.default_rng(0))
+    return info, args, workload.ndrange()
+
+
+def _verify(info, args, ndrange):
+    return verify_launch(info, LaunchSpec.from_args(ndrange, args))
+
+
+# -- defect injectors ---------------------------------------------------------
+
+
+def _inject_shared_store(source: str) -> str:
+    """Every work-item stores to C[0]: a definite write/write race."""
+    assert "C[idx] =" in source
+    return source.replace("C[idx] =", "C[0] =", 1)
+
+
+def _inject_dropped_id(source: str) -> str:
+    """Drop the id-bound term from the store index: distinct work-items
+    (different z) collide on the same element."""
+    assert "C[idx] =" in source
+    return source.replace("C[idx] =", "C[y * NX + x] =", 1)
+
+
+def _inject_oob_over(source: str) -> str:
+    assert "C[idx] =" in source
+    return source.replace("C[idx] =", "C[idx + 1] =", 1)
+
+
+def _inject_oob_under(source: str) -> str:
+    assert "C[idx] =" in source
+    return source.replace("C[idx] =", "C[idx - 1] =", 1)
+
+
+def _inject_divergent_barrier(source: str) -> str:
+    """barrier() inside the id-dependent bounds guard."""
+    marker = ") {\n"
+    at = source.index(marker) + len(marker)
+    return source[:at] + "        barrier(1);\n" + source[at:]
+
+
+# -- properties ---------------------------------------------------------------
+
+
+class TestSyntheticFamilyClean:
+    @settings(max_examples=12, deadline=None)
+    @given(_spec_strategy())
+    def test_unmodified_kernel_is_clean_and_confirmed(self, spec):
+        info, args, ndrange = _instantiate(spec)
+        report = _verify(info, args, ndrange)
+        assert report.actionable == [], [d.render() for d in report.actionable]
+        assert report.verdicts["races"] == "clean"
+        assert report.verdicts["oob"] == "clean"
+        # dynamic corroboration: the clean verdict misses nothing
+        check = cross_validate(report, run_instrumented(info, args, ndrange))
+        assert check.consistent, vars(check)
+
+
+class TestInjectedDefectsFlagged:
+    @settings(max_examples=8, deadline=None)
+    @given(_spec_strategy())
+    def test_shared_store_race_flagged_and_confirmed(self, spec):
+        info, args, ndrange = _instantiate(spec, _inject_shared_store)
+        report = _verify(info, args, ndrange)
+        codes = {d.code for d in report.diagnostics}
+        assert "RACE001" in codes, [d.render() for d in report.diagnostics]
+        dynamic = run_instrumented(info, args, ndrange)
+        check = cross_validate(report, dynamic)
+        assert any(d.code == "RACE001" for d in check.confirmed)
+        assert not check.unreproduced
+
+    @settings(max_examples=8, deadline=None)
+    @given(_spec_strategy())
+    def test_dropped_id_race_flagged_and_confirmed(self, spec):
+        info, args, ndrange = _instantiate(spec, _inject_dropped_id)
+        report = _verify(info, args, ndrange)
+        codes = {d.code for d in report.diagnostics}
+        assert "RACE001" in codes, [d.render() for d in report.diagnostics]
+        check = cross_validate(report, run_instrumented(info, args, ndrange))
+        assert any(d.code == "RACE001" for d in check.confirmed)
+        assert not check.unreproduced
+
+    @settings(max_examples=8, deadline=None)
+    @given(_spec_strategy())
+    def test_oob_overflow_flagged_and_confirmed(self, spec):
+        info, args, ndrange = _instantiate(spec, _inject_oob_over)
+        report = _verify(info, args, ndrange)
+        oob = [d for d in report.diagnostics if d.code == "OOB001"]
+        assert oob, [d.render() for d in report.diagnostics]
+        # the witness index really is past the end
+        extent = args["C"].size
+        assert any(d.payload.get("index", 0) >= extent for d in oob)
+        check = cross_validate(report, run_instrumented(info, args, ndrange))
+        assert any(d.code == "OOB001" for d in check.confirmed)
+        assert not check.unreproduced
+
+    @settings(max_examples=8, deadline=None)
+    @given(_spec_strategy())
+    def test_oob_underflow_flagged_and_confirmed(self, spec):
+        info, args, ndrange = _instantiate(spec, _inject_oob_under)
+        report = _verify(info, args, ndrange)
+        oob = [d for d in report.diagnostics if d.code == "OOB001"]
+        assert oob, [d.render() for d in report.diagnostics]
+        assert any(d.payload.get("index", 0) < 0 for d in oob)
+        check = cross_validate(report, run_instrumented(info, args, ndrange))
+        assert any(d.code == "OOB001" for d in check.confirmed)
+        assert not check.unreproduced
+
+    @settings(max_examples=8, deadline=None)
+    @given(_spec_strategy())
+    def test_divergent_barrier_flagged(self, spec):
+        info, args, ndrange = _instantiate(spec, _inject_divergent_barrier)
+        report = _verify(info, args, ndrange)
+        assert any(d.code == "BAR001" for d in report.diagnostics), \
+            [d.render() for d in report.diagnostics]
+
+
+# -- no false positives on the real kernels -----------------------------------
+
+
+@pytest.mark.parametrize("workload", scaled_real_workloads(),
+                         ids=lambda w: w.key)
+def test_registry_kernel_has_zero_actionable_diagnostics(workload):
+    info = workload.kernel_info()
+    args = workload.full_args(np.random.default_rng(0))
+    report = _verify(info, args, workload.ndrange())
+    assert report.actionable == [], [d.render() for d in report.actionable]
+
+
+@pytest.mark.parametrize("workload", scaled_real_workloads(),
+                         ids=lambda w: w.key)
+def test_registry_clean_verdicts_confirmed_dynamically(workload):
+    info = workload.kernel_info()
+    args = workload.full_args(np.random.default_rng(0))
+    ndrange = workload.ndrange()
+    report = _verify(info, args, ndrange)
+    check = cross_validate(report, run_instrumented(info, args, ndrange))
+    assert check.consistent, vars(check)

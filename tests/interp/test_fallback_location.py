@@ -1,0 +1,58 @@
+"""Vectorize-fallback reasons carry source locations (ExecutionStats)."""
+
+import numpy as np
+
+from repro.frontend.parser import parse, parse_kernel
+from repro.frontend.semantics import analyze_kernel
+from repro.interp.executor import execute_kernel
+from repro.interp.ndrange import NDRange
+from repro.interp.stats import ExecutionStats, execution_stats
+from repro.interp.vectorize import check_vectorizable
+
+
+def info_of(source):
+    return analyze_kernel(parse_kernel(source), parse(source))
+
+
+def test_ineligibility_reason_has_location():
+    source = (
+        "__kernel void k(__global float* a) {\n"
+        "    int i = get_global_id(0);\n"
+        "    barrier(1);\n"
+        "    a[i] = i;\n"
+        "}\n"
+    )
+    eligibility = check_vectorizable(info_of(source))
+    assert not eligibility.eligible
+    assert eligibility.location is not None
+    assert eligibility.location.line >= 1
+
+
+def test_runtime_fallback_records_location():
+    source = (
+        "__kernel void sh(__global int* a, __global int* b, int s) {\n"
+        "    int i = get_global_id(0);\n"
+        "    a[i] = b[i] << s;\n"
+        "}\n"
+    )
+    execution_stats.reset()
+    a = np.zeros(8, dtype=np.int64)
+    b = np.zeros(8, dtype=np.int64)
+    # shift amount 70 is outside [0, 64): the vector path must fall back
+    execute_kernel(source, {"a": a, "b": b, "s": 70},
+                   NDRange((8,), (4,)), backend="vector")
+    try:
+        assert execution_stats.fallbacks.get("sh") == 1
+        location = execution_stats.fallback_locations.get("sh")
+        assert location == "3:17", location  # the << expression's span
+        assert "at 3:17" in execution_stats.summary()
+    finally:
+        execution_stats.reset()
+
+
+def test_record_fallback_without_location():
+    stats = ExecutionStats()
+    stats.record_fallback("k", "why")
+    assert stats.fallback_locations["k"] == ""
+    stats.reset()
+    assert stats.fallback_locations == {}
