@@ -1,30 +1,42 @@
-"""Extension — vectorized-backend speedup over the scalar interpreter.
+"""Extension — compiled-backend speedups over the scalar interpreter.
 
 The functional substrate (`repro.interp`) is not part of the paper's
 contribution, but everything downstream — differential tests, dataset
 collection sanity runs, the application drivers — pays its cost.  This
-bench measures what the batched NumPy backend buys on representative
-registry kernels and asserts the central claims: bit-identical buffers
-and an order-of-magnitude speedup at realistic launch sizes.
+bench measures what the two compiled tiers buy on representative registry
+kernels and asserts the central claims: bit-identical buffers, an
+order-of-magnitude vector speedup at realistic launch sizes, and a
+further >=2x geomean from the jit tier on the uniform-control fast path.
 
 Run with ``-s`` to see the per-kernel table.
 """
 
+import math
 import time
 
 import numpy as np
 import pytest
 
-from repro.interp import KernelExecutor, VectorizedExecutor, check_vectorizable
-from repro.workloads import make_atax1, make_gesummv, make_spmv
+from repro.interp import (
+    JitExecutor,
+    JitUnsupported,
+    KernelExecutor,
+    VectorizedExecutor,
+    check_vectorizable,
+    compile_cached,
+)
+from repro.workloads import make_atax1, make_gesummv, make_mvt1, make_spmv
 
 from conftest import print_table
 
 #: Mid-sized instances: big enough that batching dominates interpreter
 #: dispatch, small enough that the scalar oracle finishes in seconds.
+#: GESUMMV/ATAX1/MVT1 take the jit fast path; SpMV's irregular row loop
+#: declines to the vector tier.
 SUBJECTS = {
     "GESUMMV": lambda: make_gesummv(n=512, wg=64),
     "ATAX1": lambda: make_atax1(n=512, wg=64),
+    "MVT1": lambda: make_mvt1(n=512, wg=64),
     "SpMV": lambda: make_spmv(n=2048, wg=64, nnz_per_row=32),
 }
 
@@ -34,6 +46,14 @@ def _copy_args(args):
         name: value.copy() if isinstance(value, np.ndarray) else value
         for name, value in args.items()
     }
+
+
+def _identical(info, reference, candidate):
+    return all(
+        reference[buf].tobytes() == candidate[buf].tobytes()
+        for buf in info.buffer_params
+        if isinstance(reference[buf], np.ndarray)
+    )
 
 
 @pytest.fixture(scope="module")
@@ -56,18 +76,33 @@ def speedup_results():
         executor.run()
         vector_s = time.perf_counter() - started
 
-        identical = all(
-            scalar_args[buf].tobytes() == vector_args[buf].tobytes()
-            for buf in info.buffer_params
-            if isinstance(scalar_args[buf], np.ndarray)
-        )
+        jit_args = _copy_args(base)
+        try:
+            compiled = compile_cached(info, jit_args, workload.ndrange())
+        except JitUnsupported:
+            jit_executor = VectorizedExecutor(
+                info, jit_args, workload.ndrange())
+            jit_path = "vector"
+        else:
+            jit_executor = JitExecutor(
+                info, jit_args, workload.ndrange(), compiled)
+            jit_path = "jit"
+        started = time.perf_counter()
+        jit_executor.run()
+        jit_s = time.perf_counter() - started
+
         rows.append({
             "kernel": name,
             "work_items": workload.total_work_items,
             "scalar_s": scalar_s,
             "vector_s": vector_s,
+            "jit_s": jit_s,
             "speedup": scalar_s / vector_s,
-            "identical": identical,
+            "jit_speedup": scalar_s / jit_s,
+            "jit_over_vector": vector_s / jit_s,
+            "jit_path": jit_path,
+            "identical": (_identical(info, scalar_args, vector_args)
+                          and _identical(info, scalar_args, jit_args)),
             "fallback": executor.used_fallback,
         })
     return rows
@@ -76,11 +111,14 @@ def speedup_results():
 def test_ext_backend_speedup_table(benchmark, speedup_results):
     benchmark(lambda: speedup_results[0]["speedup"])
     print_table(
-        "Extension: vectorized backend vs scalar oracle",
-        ["kernel", "work_items", "scalar_s", "vector_s", "speedup", "identical"],
+        "Extension: compiled backends vs scalar oracle",
+        ["kernel", "work_items", "scalar_s", "vector_s", "jit_s",
+         "vec_x", "jit_x", "jit/vec", "path", "identical"],
         [
             [r["kernel"], r["work_items"], f"{r['scalar_s']:.3f}",
-             f"{r['vector_s']:.3f}", f"{r['speedup']:.1f}x", r["identical"]]
+             f"{r['vector_s']:.3f}", f"{r['jit_s']:.3f}",
+             f"{r['speedup']:.1f}x", f"{r['jit_speedup']:.1f}x",
+             f"{r['jit_over_vector']:.1f}x", r["jit_path"], r["identical"]]
             for r in speedup_results
         ],
     )
@@ -97,3 +135,23 @@ def test_order_of_magnitude_speedup(speedup_results):
         assert row["speedup"] > 10.0, (
             f"{row['kernel']}: only {row['speedup']:.1f}x"
         )
+
+
+def test_uniform_fast_path_compiles(speedup_results):
+    paths = {r["kernel"]: r["jit_path"] for r in speedup_results}
+    assert paths["GESUMMV"] == "jit"
+    assert paths["ATAX1"] == "jit"
+    assert paths["MVT1"] == "jit"
+    # the irregular row loop must decline, not crash
+    assert paths["SpMV"] == "vector"
+
+
+def test_jit_geomean_over_vector(speedup_results):
+    ratios = [r["jit_over_vector"] for r in speedup_results
+              if r["jit_path"] == "jit"]
+    assert ratios, "no kernel took the jit fast path"
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    assert geomean > 2.0, (
+        f"jit geomean over vector only {geomean:.2f}x "
+        f"(per-kernel: {[round(r, 2) for r in ratios]})"
+    )

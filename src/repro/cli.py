@@ -234,14 +234,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_backends(args: argparse.Namespace) -> int:
-    """Differential run: execute one launch on both interpreter backends,
-    compare the output buffers bit-for-bit, and report the speedup."""
+    """Differential run: execute one launch on every interpreter backend
+    (scalar oracle, vectorized, jit), compare the output buffers
+    bit-for-bit, and report the speedups."""
     from .interp import (
+        JitUnsupported,
         KernelExecutor,
         NDRange,
         VectorizedExecutor,
         check_vectorizable,
+        compile_cached,
         execution_stats,
+        make_executor,
     )
 
     _, info = _load_kernel(args.kernel, args.name)
@@ -306,16 +310,47 @@ def cmd_backends(args: argparse.Namespace) -> int:
     executor.run()
     vector_s = _time.perf_counter() - started
 
+    jit_args = build_args()
+    jit_s = jit_note = None
+    try:
+        compiled = compile_cached(info, jit_args, ndrange)
+    except JitUnsupported as exc:
+        jit_note = f"declined: {exc}"
+        jit_args = None
+    else:
+        jit_executor = make_executor(info, jit_args, ndrange, backend="jit")
+        started = _time.perf_counter()
+        jit_executor.run()
+        jit_s = _time.perf_counter() - started
+        notes = [f"compile {compiled.compile_seconds * 1e3:.1f} ms"]
+        if compiled.masked:
+            notes.append("masked")
+        if compiled.oob_elided_by_verdict:
+            notes.append("oob-elided-by-verdict")
+        if getattr(jit_executor, "used_fallback", False):
+            notes.append("fell back to vector")
+        jit_note = ", ".join(notes)
+
     mismatched = [
         name for name in info.buffer_params
         if np.asarray(scalar_args[name]).tobytes()
         != np.asarray(vector_args[name]).tobytes()
+        or (jit_args is not None
+            and np.asarray(scalar_args[name]).tobytes()
+            != np.asarray(jit_args[name]).tobytes())
     ]
     print(f"scalar    : {scalar_s:.4f} s")
     print(f"vector    : {vector_s:.4f} s"
           + (" (fell back to scalar)" if executor.used_fallback else ""))
+    if jit_s is not None:
+        print(f"jit       : {jit_s:.4f} s ({jit_note})")
+    else:
+        print(f"jit       : - ({jit_note})")
     if vector_s > 0:
-        print(f"speedup   : {scalar_s / vector_s:.1f}x")
+        print(f"speedup   : {scalar_s / vector_s:.1f}x (vector over scalar)")
+    if jit_s is not None and jit_s > 0:
+        print(f"            {scalar_s / jit_s:.1f}x (jit over scalar), "
+              f"{vector_s / jit_s:.1f}x (jit over vector)")
     print(f"identical : {not mismatched}"
           + (f" (mismatch in {', '.join(mismatched)})" if mismatched else ""))
     print(execution_stats.summary(), file=sys.stderr)
@@ -545,6 +580,70 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Backend micro-benchmark with a committed-baseline regression guard.
+
+    Times the scalar / vector / jit tiers on representative registry
+    kernels, checks bit-identity, and prints the table.  ``--out`` writes
+    the JSON report; ``--update-baseline`` refreshes the committed
+    ``BENCH_backend.json``; ``--check`` replays against a baseline and
+    fails when any speedup drops below ``--check-ratio`` of it (the CI
+    ``perf`` lane).
+    """
+    import json
+
+    from .interp.bench import backend_bench, compare_reports
+
+    payload = backend_bench(repeats=args.repeats)
+
+    header = (f"{'kernel':10s} {'items':>7s} {'scalar':>9s} {'vector':>9s} "
+              f"{'jit':>9s} {'vec-x':>6s} {'jit-x':>6s} {'jit/vec':>7s} "
+              f"{'path':>6s}  identical")
+    print(header)
+    for name, row in payload["kernels"].items():
+        print(f"{name:10s} {row['work_items']:7d} {row['scalar_s']:8.4f}s "
+              f"{row['vector_s']:8.4f}s {row['jit_s']:8.4f}s "
+              f"{row['vector_speedup']:5.1f}x {row['jit_speedup']:5.1f}x "
+              f"{row['jit_over_vector']:6.1f}x {row['jit_path']:>6s}  "
+              f"{row['identical']}")
+    if "geomean_jit_over_vector" in payload:
+        print(f"geomean   : {payload['geomean_jit_over_vector']:.2f}x "
+              "(jit over vector, uniform-control fast path)")
+
+    broken = [name for name, row in payload["kernels"].items()
+              if not row["identical"]]
+    if broken:
+        raise SystemExit(
+            f"error: fast-tier buffers diverged from scalar on {broken}")
+
+    out = args.out
+    if args.update_baseline:
+        out = args.update_baseline
+    if out:
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report    : {out}")
+
+    if args.check:
+        try:
+            baseline = json.loads(Path(args.check).read_text())
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"error: cannot read baseline {args.check}: {error}")
+        failures, warnings = compare_reports(
+            payload, baseline, args.check_ratio)
+        for line in warnings:
+            print(f"guard WARN: {line}")
+        for line in failures:
+            print(f"guard FAIL: {line}")
+        if failures:
+            raise SystemExit(
+                f"error: {len(failures)} backend-speedup regression(s) "
+                f"(< {args.check_ratio:.0%} of baseline)")
+        print(f"guard     : aggregate speedups within "
+              f"{args.check_ratio:.0%} of baseline")
+    return 0
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Benchmark the concurrent serving layer: clients x launches.
 
@@ -650,10 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "schedule OpenCL kernels on simulated integrated processors.",
     )
     parser.add_argument(
-        "--backend", choices=("auto", "vector", "scalar"), default=None,
+        "--backend", choices=("auto", "jit", "vector", "scalar"), default=None,
         help="kernel-execution backend for functional runs (sets "
-             "DOPIA_BACKEND; default: auto — vectorized NumPy where "
-             "eligible, scalar interpreter otherwise)",
+             "DOPIA_BACKEND; default: auto — trace-compiled NumPy program "
+             "where eligible, vectorized batches otherwise, scalar "
+             "interpreter as the last resort)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -719,7 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "backends",
-        help="differential-test one launch: scalar vs vectorized backend",
+        help="differential-test one launch: scalar vs vector vs jit backend",
     )
     add_kernel_options(p)
     p.add_argument("--buffer", action="append", metavar="NAME=ELEMENTS",
@@ -786,6 +886,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="traces",
                    help="output directory for the trace pair")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the execution backends against each other "
+             "(scalar / vector / jit) with a baseline regression guard",
+    )
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repetitions per backend; best-of wins "
+                        "(default 3)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON report")
+    p.add_argument("--check", default=None, metavar="PATH",
+                   help="compare speedups against a baseline report "
+                        "(BENCH_backend.json) and fail on regression")
+    p.add_argument("--check-ratio", type=float, default=0.9,
+                   help="minimum acceptable fraction of each baseline "
+                        "speedup (default 0.9)")
+    p.add_argument("--update-baseline", default=None, metavar="PATH",
+                   nargs="?", const="BENCH_backend.json",
+                   help="rewrite the committed baseline "
+                        "(default path: BENCH_backend.json)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "serve-bench",

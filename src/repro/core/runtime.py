@@ -83,8 +83,9 @@ class KernelArtifacts:
     static_features: StaticFeatures
     #: malleable GPU variants per work dimension (lazily generated)
     malleable: dict[int, MalleableKernel]
-    #: Figure-7 CPU variants per work dimension (lazily generated)
-    cpu_codegen: dict[int, CpuKernel]
+    #: Figure-7 CPU variants per (work dimension, claim discipline)
+    #: (lazily generated)
+    cpu_codegen: dict[tuple[int, str], CpuKernel]
     transformable: bool
     transform_error: str = ""
 
@@ -202,19 +203,47 @@ class DopiaRuntime(Interposer):
                     )
         return artifacts.malleable[work_dim]
 
-    def cpu_variant(self, kernel: Kernel, work_dim: int) -> CpuKernel:
-        """The generated Figure-7 CPU source for ``kernel`` (on demand)."""
+    def cpu_variant(self, kernel: Kernel, work_dim: int,
+                    claims: str | None = None,
+                    ndrange: NDRange | None = None) -> CpuKernel:
+        """The generated Figure-7 CPU source for ``kernel`` (on demand).
+
+        ``claims`` picks the worklist discipline (see
+        :func:`repro.transform.make_cpu_kernel`).  ``None`` resolves it
+        from evidence: when ``ndrange`` is provided and the verifier's
+        specialized race pass returns a *clean* verdict for this launch,
+        the fetch-add claims are relaxed to a static stride; any other
+        verdict (``unknown``, diagnosed, or no launch to specialize
+        against) keeps the always-safe atomic form.
+        """
+        if claims is None:
+            claims = "relaxed" if (
+                ndrange is not None and self._race_clean(kernel, ndrange)
+            ) else "atomic"
         artifacts = self._artifacts(kernel)
-        if work_dim not in artifacts.cpu_codegen:
+        key = (work_dim, claims)
+        if key not in artifacts.cpu_codegen:
             with self._artifact_lock:
-                if work_dim not in artifacts.cpu_codegen:
+                if key not in artifacts.cpu_codegen:
                     try:
-                        artifacts.cpu_codegen[work_dim] = make_cpu_kernel(
-                            kernel.info, work_dim=work_dim
+                        artifacts.cpu_codegen[key] = make_cpu_kernel(
+                            kernel.info, work_dim=work_dim, claims=claims
                         )
                     except CpuTransformError as exc:
                         raise CpuTransformError(f"{kernel.name}: {exc}") from exc
-        return artifacts.cpu_codegen[work_dim]
+        return artifacts.cpu_codegen[key]
+
+    def _race_clean(self, kernel: Kernel, ndrange: NDRange) -> bool:
+        """Whether the verifier proves this launch free of cross-item races."""
+        from ..analysis.verify import LaunchSpec, verify_launch_cached
+
+        try:
+            args = kernel.bound_args()
+        except Exception:
+            return False  # arguments not fully bound yet: no evidence
+        launch = LaunchSpec.from_args(ndrange, args)
+        report = verify_launch_cached(kernel.info, launch)
+        return report.verdicts.get("races") == "clean"
 
     # -- launch-time pass ------------------------------------------------------
 

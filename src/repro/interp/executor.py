@@ -674,8 +674,9 @@ def execute_kernel(
     Buffers in ``args`` are mutated in place, like real OpenCL global
     memory.  ``group_ids`` restricts execution to a subset of work-groups
     — the primitive Dopia's dynamic scheduler (Algorithm 1) is built on.
-    ``backend`` picks the execution strategy (``auto``/``vector``/``scalar``,
-    default from ``DOPIA_BACKEND``); see :func:`repro.interp.make_executor`.
+    ``backend`` picks the execution strategy
+    (``auto``/``jit``/``vector``/``scalar``, default from
+    ``DOPIA_BACKEND``); see :func:`repro.interp.make_executor`.
     """
     if isinstance(info_or_source, str):
         from ..frontend.parser import parse

@@ -1,10 +1,14 @@
 """Instrumentation for kernel-execution backend selection.
 
 Mirrors :class:`repro.core.collect.CollectionStats`: a process-global,
-reset-able counter that records which backend (``vector`` or ``scalar``)
-executed each kernel, how much work it processed, and how long it took —
-so the speedup of the vectorized NumPy backend over the scalar oracle is
-observable from the CLI and from tests.
+reset-able counter that records which backend (``jit``, ``vector`` or
+``scalar``) executed each kernel, how much work it processed, and how
+long it took — so the speedup of the compiled tiers over the scalar
+oracle is observable from the CLI and from tests.
+
+Fallback counters are keyed per ``(kernel, tier)``: a jit-compile
+refusal and a mid-run vectorize reversion are different events with
+different remedies, and ``dopia backends`` reports them separately.
 """
 
 from __future__ import annotations
@@ -34,17 +38,25 @@ class ExecutionStats:
 
     ``choices`` keeps the most recent backend-selection decision per kernel
     (and why it was made); ``runs`` accumulates executed work per
-    ``(kernel, backend)``; ``fallbacks`` counts transparent mid-run
-    reversions from the vectorized path to the scalar oracle.
+    ``(kernel, backend)``; ``fallbacks`` counts transparent reversions to a
+    slower tier, keyed per ``(kernel, tier)`` where ``tier`` names the
+    backend that *declined* the work (``"jit"``: compile refusal or
+    runtime guard, ``"vector"``: mid-run reversion to the scalar oracle).
     """
 
     runs: dict[tuple[str, str], _BackendCounter] = field(default_factory=dict)
     choices: dict[str, tuple[str, str]] = field(default_factory=dict)
-    fallbacks: dict[str, int] = field(default_factory=dict)
-    fallback_reasons: dict[str, str] = field(default_factory=dict)
-    #: kernel -> "line:column" of the construct that forced the most recent
-    #: fallback ("" when the fallback site carried no source location)
-    fallback_locations: dict[str, str] = field(default_factory=dict)
+    fallbacks: dict[tuple[str, str], int] = field(default_factory=dict)
+    fallback_reasons: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: (kernel, tier) -> "line:column" of the construct that forced the most
+    #: recent fallback ("" when the fallback site carried no source location)
+    fallback_locations: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: kernel -> number of jit compilations (cache misses, including
+    #: negative results) and the time they took
+    jit_compiles: dict[str, int] = field(default_factory=dict)
+    jit_compile_seconds: dict[str, float] = field(default_factory=dict)
+    #: kernel -> number of jit program-cache hits (positive or negative)
+    jit_cache_hits: dict[str, int] = field(default_factory=dict)
     #: guards every read-modify-write; concurrent launches from the serving
     #: layer record into this process-global object from many threads
     _lock: threading.Lock = field(
@@ -65,39 +77,61 @@ class ExecutionStats:
             counter.seconds += seconds
 
     def record_fallback(self, kernel: str, reason: str,
-                        location: object = None) -> None:
+                        location: object = None, tier: str = "vector") -> None:
+        key = (kernel, tier)
         with self._lock:
-            self.fallbacks[kernel] = self.fallbacks.get(kernel, 0) + 1
-            self.fallback_reasons[kernel] = reason
+            self.fallbacks[key] = self.fallbacks.get(key, 0) + 1
+            self.fallback_reasons[key] = reason
             line = getattr(location, "line", None)
             if line:
                 column = getattr(location, "column", 0)
-                self.fallback_locations[kernel] = f"{line}:{column}"
+                self.fallback_locations[key] = f"{line}:{column}"
             else:
-                self.fallback_locations[kernel] = ""
+                self.fallback_locations[key] = ""
+
+    def record_jit_compile(self, kernel: str, seconds: float) -> None:
+        with self._lock:
+            self.jit_compiles[kernel] = self.jit_compiles.get(kernel, 0) + 1
+            self.jit_compile_seconds[kernel] = (
+                self.jit_compile_seconds.get(kernel, 0.0) + seconds)
+
+    def record_jit_cache_hit(self, kernel: str) -> None:
+        with self._lock:
+            self.jit_cache_hits[kernel] = self.jit_cache_hits.get(kernel, 0) + 1
 
     # -- queries -------------------------------------------------------------
 
     def kernels(self) -> list[str]:
         names = {kernel for kernel, _ in self.runs}
         names.update(self.choices)
+        names.update(kernel for kernel, _ in self.fallbacks)
         return sorted(names)
 
     def backend_for(self, kernel: str) -> str | None:
         choice = self.choices.get(kernel)
         return choice[0] if choice is not None else None
 
-    def speedup(self, kernel: str) -> float | None:
-        """Vector throughput over scalar throughput, when both were timed."""
-        vector = self.runs.get((kernel, "vector"))
+    def fallback_count(self, kernel: str, tier: str | None = None) -> int:
+        """Fallbacks recorded for ``kernel`` — one tier, or all summed."""
+        if tier is not None:
+            return self.fallbacks.get((kernel, tier), 0)
+        return sum(count for (name, _t), count in self.fallbacks.items()
+                   if name == kernel)
+
+    def fallback_tiers(self, kernel: str) -> list[str]:
+        return sorted(t for (name, t) in self.fallbacks if name == kernel)
+
+    def speedup(self, kernel: str, backend: str = "vector") -> float | None:
+        """``backend`` throughput over scalar throughput, when both ran."""
+        fast = self.runs.get((kernel, backend))
         scalar = self.runs.get((kernel, "scalar"))
-        if vector is None or scalar is None:
+        if fast is None or scalar is None:
             return None
-        v_rate = vector.items_per_second
+        f_rate = fast.items_per_second
         s_rate = scalar.items_per_second
-        if v_rate is None or s_rate is None:
+        if f_rate is None or s_rate is None:
             return None
-        return v_rate / s_rate
+        return f_rate / s_rate
 
     def total_calls(self) -> int:
         return sum(counter.calls for counter in self.runs.values())
@@ -113,7 +147,7 @@ class ExecutionStats:
             if choice is not None:
                 backend, reason = choice
                 parts.append(f"backend={backend}" + (f" ({reason})" if reason else ""))
-            for backend in ("vector", "scalar"):
+            for backend in ("jit", "vector", "scalar"):
                 counter = self.runs.get((kernel, backend))
                 if counter is None:
                     continue
@@ -121,15 +155,22 @@ class ExecutionStats:
                     f"{backend}: {counter.calls} call(s), "
                     f"{counter.work_items} item(s), {counter.seconds:.3f}s"
                 )
+            if kernel in self.jit_compiles:
+                parts.append(
+                    f"jit-compiles={self.jit_compiles[kernel]} "
+                    f"({self.jit_compile_seconds.get(kernel, 0.0):.3f}s), "
+                    f"cache-hits={self.jit_cache_hits.get(kernel, 0)}"
+                )
             ratio = self.speedup(kernel)
             if ratio is not None:
                 parts.append(f"speedup={ratio:.1f}x")
-            if kernel in self.fallbacks:
-                where = self.fallback_locations.get(kernel, "")
+            for tier in self.fallback_tiers(kernel):
+                key = (kernel, tier)
+                where = self.fallback_locations.get(key, "")
                 at = f" at {where}" if where else ""
                 parts.append(
-                    f"fallbacks={self.fallbacks[kernel]} "
-                    f"({self.fallback_reasons.get(kernel, '')}{at})"
+                    f"{tier}-fallbacks={self.fallbacks[key]} "
+                    f"({self.fallback_reasons.get(key, '')}{at})"
                 )
             lines.append(f"execution[{kernel}]: " + "; ".join(parts))
         return "\n".join(lines)
@@ -141,6 +182,9 @@ class ExecutionStats:
             self.fallbacks.clear()
             self.fallback_reasons.clear()
             self.fallback_locations.clear()
+            self.jit_compiles.clear()
+            self.jit_compile_seconds.clear()
+            self.jit_cache_hits.clear()
 
 
 #: Process-global counter, like ``repro.core.collect.collection_stats``.

@@ -74,7 +74,9 @@ from .ndrange import NDRange
 from .stats import execution_stats
 
 #: Recognised backend names, in precedence order for documentation.
-BACKENDS = ("auto", "vector", "scalar")
+#: ``auto`` tries jit -> vector -> scalar, stopping at the first tier
+#: that accepts the kernel and launch.
+BACKENDS = ("auto", "jit", "vector", "scalar")
 
 #: ``auto`` keeps tiny launches on the scalar path: below this many total
 #: work-items the per-batch NumPy dispatch overhead eats the win.
@@ -237,8 +239,11 @@ def make_executor(
 
     ``scalar`` forces the oracle; ``vector`` uses the batched backend for
     every eligible kernel (ineligible kernels still run — scalar — so the
-    flag never breaks a program); ``auto`` additionally keeps launches
-    below :data:`AUTO_MIN_WORK_ITEMS` on the scalar path.
+    flag never breaks a program); ``jit`` additionally trace-compiles the
+    launch to a straight-line NumPy program when the kernel is inside the
+    JIT subset (reverting to ``vector`` when not); ``auto`` behaves like
+    ``jit`` but keeps launches below :data:`AUTO_MIN_WORK_ITEMS` on the
+    scalar path.
     """
     choice = resolve_backend(backend)
     name = info.kernel.name
@@ -255,6 +260,22 @@ def make_executor(
             f"launch of {ndrange.total_work_items} work-items is below the "
             f"vectorization threshold ({AUTO_MIN_WORK_ITEMS})")
         return KernelExecutor(info, args, ndrange)
+    if choice in ("auto", "jit"):
+        from .codegen import JitExecutor, JitUnsupported, compile_cached
+
+        try:
+            compiled = compile_cached(info, args, ndrange)
+        except JitUnsupported as exc:
+            execution_stats.record_fallback(name, str(exc), exc.location,
+                                            tier="jit")
+            if tracer.enabled:
+                tracer.instant("backend.fallback", "backend", kernel=name,
+                               tier="jit", reason=str(exc))
+                tracer.counter("backend.jit_fallbacks")
+            _record_choice(name, "vector", f"jit declined: {exc}")
+            return VectorizedExecutor(info, args, ndrange)
+        _record_choice(name, "jit", "compiled")
+        return JitExecutor(info, args, ndrange, compiled)
     _record_choice(name, "vector", "eligible")
     return VectorizedExecutor(info, args, ndrange)
 

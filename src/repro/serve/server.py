@@ -210,8 +210,11 @@ class DopiaServer:
     workers:
         Worker-thread pool size (concurrent launches in service).
     backend:
-        Interpreter backend for functional execution (``auto``/``vector``/
-        ``scalar``; ``None`` defers to ``DOPIA_BACKEND``).
+        Interpreter backend for functional execution (``auto``/``jit``/
+        ``vector``/``scalar``; ``None`` defers to ``DOPIA_BACKEND``).
+        The jit tier's program cache is keyed per prepared
+        :class:`KernelInfo`, so repeat launches of one workload compile
+        once per distinct launch shape and amortize across clients.
     functional:
         When ``False``, launches are simulated for timing only (benchmark
         mode) — no buffers are touched.

@@ -54,6 +54,9 @@ class CpuKernel:
     info: KernelInfo
     source: str
     work_dim: int
+    #: how threads claim work-groups: "atomic" (fetch-add worklist) or
+    #: "relaxed" (static stride; requires a race-clean verdict)
+    claims: str = "atomic"
 
     @property
     def name(self) -> str:
@@ -97,14 +100,29 @@ def make_cpu_kernel(
     kernel_or_source: ast.FunctionDef | str | KernelInfo,
     work_dim: int,
     kernel_name: str | None = None,
+    claims: str = "atomic",
 ) -> CpuKernel:
     """Generate the Figure-7 CPU variant of a kernel.
 
     Accepts source text, a parsed :class:`FunctionDef`, or an analysed
     :class:`KernelInfo` (preserving helper-function context).
+
+    ``claims`` selects how threads claim work-groups from the worklist:
+
+    * ``"atomic"`` — Figure 7's ``atomic_inc`` fetch-add on the shared
+      worklist buffer (always safe; the default).
+    * ``"relaxed"`` — a static strided schedule: thread ``t`` of ``T``
+      claims work-groups ``t, t+T, t+2T, …`` with no shared counter at
+      all.  Only sound when the kernel is race-free across work-groups,
+      i.e. when ``analysis.verify`` returned a race-clean verdict — the
+      caller is responsible for checking (see ``runtime.cpu_variant``).
+      The worklist parameter stays in the signature so launch plumbing
+      is identical for both forms.
     """
     if not 1 <= work_dim <= 3:
         raise CpuTransformError(f"unsupported work dimension {work_dim}")
+    if claims not in ("atomic", "relaxed"):
+        raise CpuTransformError(f"unknown claim discipline {claims!r}")
     if isinstance(kernel_or_source, KernelInfo):
         original_info = kernel_or_source
         kernel = original_info.kernel
@@ -187,17 +205,37 @@ def make_cpu_kernel(
         step=ast.PostfixOp(location=rw.SYNTH, op="++", operand=rw.ident(ITEM_VAR)),
         body=body,
     )
-    wg_loop = ast.For(
-        location=rw.SYNTH,
-        init=rw.decl_stmt(
-            int_type, WG_VAR, init=rw.call("atomic_inc", rw.ident(WORKLIST_PARAM))
-        ),
-        cond=rw.binop("<", rw.ident(WG_VAR), rw.ident(NUM_WGS_PARAM)),
-        step=rw.assign(
-            rw.ident(WG_VAR), rw.call("atomic_inc", rw.ident(WORKLIST_PARAM))
-        ),
-        body=rw.block(item_loop),
-    )
+    if claims == "relaxed":
+        # Static strided schedule over the generated kernel's own launch
+        # geometry (T threads, local size 1): thread t claims work-groups
+        # t, t+T, t+2T, …  No shared counter, no fetch-add.  These get_*
+        # calls are deliberately built *after* ``substitute_calls`` — they
+        # query the outer CPU launch, not the original ND-range.
+        wg_loop = ast.For(
+            location=rw.SYNTH,
+            init=rw.decl_stmt(
+                int_type, WG_VAR, init=rw.call("get_global_id", rw.intlit(0))
+            ),
+            cond=rw.binop("<", rw.ident(WG_VAR), rw.ident(NUM_WGS_PARAM)),
+            step=rw.assign(
+                rw.ident(WG_VAR),
+                rw.binop("+", rw.ident(WG_VAR),
+                         rw.call("get_global_size", rw.intlit(0))),
+            ),
+            body=rw.block(item_loop),
+        )
+    else:
+        wg_loop = ast.For(
+            location=rw.SYNTH,
+            init=rw.decl_stmt(
+                int_type, WG_VAR, init=rw.call("atomic_inc", rw.ident(WORKLIST_PARAM))
+            ),
+            cond=rw.binop("<", rw.ident(WG_VAR), rw.ident(NUM_WGS_PARAM)),
+            step=rw.assign(
+                rw.ident(WG_VAR), rw.call("atomic_inc", rw.ident(WORKLIST_PARAM))
+            ),
+            body=rw.block(item_loop),
+        )
     new_kernel.body = rw.block(wg_loop)
 
     helper_sources = [
@@ -210,4 +248,5 @@ def make_cpu_kernel(
     unit = parse(source)
     reparsed = unit.kernels()[-1]
     info = analyze_kernel(reparsed, unit)
-    return CpuKernel(kernel=reparsed, info=info, source=source, work_dim=work_dim)
+    return CpuKernel(kernel=reparsed, info=info, source=source,
+                     work_dim=work_dim, claims=claims)

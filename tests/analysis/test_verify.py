@@ -323,4 +323,15 @@ class TestLint:
         reports = lint_workloads(variants=True)
         diff = diff_baseline(report_to_json(reports),
                              baseline_path.read_text())
-        assert diff.clean and not diff.removed, vars(diff)
+        if diff.clean and not diff.removed:
+            return
+        lines = ["committed LINT_BASELINE.json is out of date:"]
+        if diff.schema_changed:
+            lines.append("  schema version changed")
+        lines.extend(f"  NEW diagnostic: {entry}" for entry in diff.new)
+        lines.extend(f"  removed from baseline: {entry}"
+                     for entry in diff.removed)
+        lines.append("  regenerate deliberately with: "
+                     "python -m repro lint --variants --json "
+                     "> LINT_BASELINE.json")
+        pytest.fail("\n".join(lines))

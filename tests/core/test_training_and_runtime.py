@@ -219,6 +219,53 @@ class TestRuntimeIntegration:
         assert cpu.name == "saxpy_cpu"
         assert "atomic_inc" in cpu.source
 
+    def test_cpu_variant_relaxes_claims_on_race_clean_verdict(
+            self, trained_runtime):
+        from repro.interp import NDRange
+
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(SAXPY).build()
+            kernel = program.create_kernel("saxpy")
+            kernel.set_args(
+                ctx.create_buffer(np.zeros(64)),
+                ctx.create_buffer(np.zeros(64)), 1.0, 64,
+            )
+        # saxpy stores only Y[i] at the lane's own id: the specialized
+        # race pass proves this launch clean, so auto claims relax
+        relaxed = trained_runtime.cpu_variant(kernel, 1,
+                                              ndrange=NDRange(64, 16))
+        assert relaxed.claims == "relaxed"
+        assert "atomic_inc" not in relaxed.source
+        # without a launch there is no verdict: stay on the safe default
+        atomic = trained_runtime.cpu_variant(kernel, 1)
+        assert atomic.claims == "atomic"
+        assert "atomic_inc" in atomic.source
+        # both variants are cached independently
+        assert relaxed is trained_runtime.cpu_variant(
+            kernel, 1, ndrange=NDRange(64, 16))
+        assert atomic is trained_runtime.cpu_variant(kernel, 1)
+
+    def test_cpu_variant_keeps_atomic_claims_on_racy_kernel(
+            self, trained_runtime):
+        racy = """
+        __kernel void racy(__global float* Y, int n)
+        {
+            int i = get_global_id(0);
+            if (i < n) Y[0] = Y[0] + 1.0f;
+        }
+        """
+        from repro.interp import NDRange
+
+        ctx = cl.create_context("kaveri")
+        with cl.interposed(trained_runtime):
+            program = ctx.create_program_with_source(racy).build()
+            kernel = program.create_kernel("racy")
+            kernel.set_args(ctx.create_buffer(np.zeros(64)), 64)
+        cpu = trained_runtime.cpu_variant(kernel, 1, ndrange=NDRange(64, 16))
+        assert cpu.claims == "atomic"
+        assert "atomic_inc" in cpu.source
+
     def test_synthetic_workload_through_runtime(self, trained_runtime):
         """Full path on a generated Table-2 kernel with buffers."""
         spec = SyntheticSpec(alpha=2, beta=3, gamma=2)

@@ -1,8 +1,9 @@
-"""Differential testing: the vectorized backend against the scalar oracle.
+"""Differential testing: the compiled backends against the scalar oracle.
 
 The scalar interpreter is the semantic ground truth; the batched NumPy
-backend must produce **bit-identical** buffers for every kernel it
-accepts.  This suite drives both backends over
+backend and the jit trace-compiler must produce **bit-identical**
+buffers for every kernel they accept.  This suite drives all three
+backends over
 
 * the 14 real-world registry kernels (Table 4), scaled down,
 * their malleable-transformed variants at several throttle settings
@@ -49,20 +50,29 @@ def _copy_args(args):
 
 
 def assert_bit_identical(source, args, ndrange, kernel_name=None):
-    """Run ``source`` under both backends and compare raw buffer bytes."""
+    """Run ``source`` under all three backends and compare buffer bytes.
+
+    The jit leg goes through the ``jit`` entry point, which compiles the
+    kernel when eligible and transparently runs the vector tier when the
+    compile declines — either way the bytes must match the oracle.
+    """
     scalar_args = _copy_args(args)
-    vector_args = _copy_args(args)
     execute_kernel(source, scalar_args, ndrange,
                    kernel_name=kernel_name, backend="scalar")
-    execute_kernel(source, vector_args, ndrange,
-                   kernel_name=kernel_name, backend="vector")
+    compiled_args = {}
+    for backend in ("vector", "jit"):
+        compiled_args[backend] = _copy_args(args)
+        execute_kernel(source, compiled_args[backend], ndrange,
+                       kernel_name=kernel_name, backend=backend)
     for name, value in scalar_args.items():
-        if isinstance(value, np.ndarray):
-            assert value.dtype == vector_args[name].dtype, name
-            assert value.tobytes() == vector_args[name].tobytes(), (
-                f"buffer {name!r} differs between backends"
+        if not isinstance(value, np.ndarray):
+            continue
+        for backend, candidate in compiled_args.items():
+            assert value.dtype == candidate[name].dtype, (backend, name)
+            assert value.tobytes() == candidate[name].tobytes(), (
+                f"buffer {name!r} differs between scalar and {backend}"
             )
-    return scalar_args, vector_args
+    return scalar_args, compiled_args["vector"]
 
 
 def assert_workload_bit_identical(workload, rng=0):
@@ -91,11 +101,17 @@ class TestRealKernels:
     def test_bit_identical_across_seeds(self, name, seed):
         assert_workload_bit_identical(SCALED_REAL[name](), rng=seed)
 
-    def test_vector_backend_was_actually_used(self):
+    def test_fast_backends_were_actually_used(self):
+        """The differential helper must exercise real compiled paths: the
+        jit leg ends on the jit tier (no silent decline to vector), and
+        no leg falls back mid-run."""
         execution_stats.reset()
         try:
             assert_workload_bit_identical(SCALED_REAL["GESUMMV"]())
-            assert execution_stats.backend_for("gesummv") == "vector"
+            # the jit leg ran last, so the most recent choice is jit
+            assert execution_stats.backend_for("gesummv") == "jit"
+            assert ("gesummv", "vector") in execution_stats.runs
+            assert ("gesummv", "jit") in execution_stats.runs
             assert not execution_stats.fallbacks
         finally:
             execution_stats.reset()
@@ -120,8 +136,8 @@ def check_malleable(name, mod, alloc):
     """Transformed kernel, both backends, against the untouched original.
 
     The worklist transform adds a barrier and an atomic counter, so the
-    vectorizer must *decline* it and fall back to the scalar
-    interpreter — transparently, with identical results.
+    jit compiler and the vectorizer must both *decline* it and fall back
+    to the scalar interpreter — transparently, with identical results.
     """
     workload = SCALED_REAL[name]()
     malleable = make_malleable(workload.source, work_dim=workload.work_dim,
@@ -133,7 +149,7 @@ def check_malleable(name, mod, alloc):
     execute_kernel(workload.source, baseline, workload.ndrange(),
                    kernel_name=workload.kernel_name, backend="scalar")
 
-    for backend in ("scalar", "vector", "auto"):
+    for backend in ("scalar", "vector", "jit", "auto"):
         args = _copy_args(workload.full_args(rng=0))
         args[MOD_PARAM] = mod
         args[ALLOC_PARAM] = alloc

@@ -42,8 +42,11 @@ def test_runtime_fallback_records_location():
     execute_kernel(source, {"a": a, "b": b, "s": 70},
                    NDRange((8,), (4,)), backend="vector")
     try:
-        assert execution_stats.fallbacks.get("sh") == 1
-        location = execution_stats.fallback_locations.get("sh")
+        assert execution_stats.fallbacks.get(("sh", "vector")) == 1
+        assert execution_stats.fallback_count("sh") == 1
+        assert execution_stats.fallback_count("sh", tier="vector") == 1
+        assert execution_stats.fallback_count("sh", tier="jit") == 0
+        location = execution_stats.fallback_locations.get(("sh", "vector"))
         assert location == "3:17", location  # the << expression's span
         assert "at 3:17" in execution_stats.summary()
     finally:
@@ -53,6 +56,22 @@ def test_runtime_fallback_records_location():
 def test_record_fallback_without_location():
     stats = ExecutionStats()
     stats.record_fallback("k", "why")
-    assert stats.fallback_locations["k"] == ""
+    assert stats.fallback_locations[("k", "vector")] == ""
     stats.reset()
     assert stats.fallback_locations == {}
+
+
+def test_fallbacks_keyed_per_tier():
+    """Regression: jit and vector fallbacks must not aggregate (ISSUE 6)."""
+    stats = ExecutionStats()
+    stats.record_fallback("k", "lane loop", tier="jit")
+    stats.record_fallback("k", "shift out of range", tier="vector")
+    stats.record_fallback("k", "shift out of range", tier="vector")
+    assert stats.fallback_count("k", tier="jit") == 1
+    assert stats.fallback_count("k", tier="vector") == 2
+    assert stats.fallback_count("k") == 3
+    assert stats.fallback_tiers("k") == ["jit", "vector"]
+    assert stats.fallback_reasons[("k", "jit")] == "lane loop"
+    summary = stats.summary()
+    assert "jit-fallbacks=1" in summary
+    assert "vector-fallbacks=2" in summary

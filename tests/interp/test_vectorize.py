@@ -109,11 +109,44 @@ class TestBackendResolution:
                                  backend="auto")
         assert isinstance(executor, KernelExecutor)
 
-    def test_auto_vectorizes_large_launches(self):
+    def test_auto_compiles_large_launches(self):
+        from repro.interp import JitExecutor
+
         n = AUTO_MIN_WORK_ITEMS * 2
         executor = make_executor(info_of(SAXPY), saxpy_args(n), NDRange(n, 32),
                                  backend="auto")
-        assert isinstance(executor, VectorizedExecutor)
+        assert isinstance(executor, JitExecutor)
+
+    def test_jit_backend_for_eligible(self):
+        from repro.interp import JitExecutor
+
+        executor = make_executor(info_of(SAXPY), saxpy_args(), NDRange(128, 32),
+                                 backend="jit")
+        assert isinstance(executor, JitExecutor)
+
+    def test_jit_declines_to_vector(self):
+        # A lane-varying loop bound is outside the JIT subset but fine
+        # for the masked interpreter: jit must hand over, not fail.
+        source = """
+        __kernel void lanes(__global float* A)
+        {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int j = 0; j < i; j++) acc = acc + A[j];
+            A[i] = acc;
+        }
+        """
+        execution_stats.reset()
+        try:
+            executor = make_executor(
+                info_of(source), {"A": np.zeros(128)}, NDRange(128, 32),
+                backend="jit")
+            assert isinstance(executor, VectorizedExecutor)
+            assert execution_stats.backend_for("lanes") == "vector"
+            assert execution_stats.fallback_count("lanes", tier="jit") == 1
+            assert execution_stats.fallback_count("lanes", tier="vector") == 0
+        finally:
+            execution_stats.reset()
 
     def test_ineligible_runs_scalar_under_vector(self):
         source = ("__kernel void f(__global int* C)"
@@ -146,7 +179,7 @@ class TestRuntimeFallback:
         try:
             executor.run()
             assert executor.used_fallback
-            assert execution_stats.fallbacks.get("saxpy") == 1
+            assert execution_stats.fallbacks.get(("saxpy", "vector")) == 1
         finally:
             execution_stats.reset()
         np.testing.assert_array_equal(args["Y"], expected)

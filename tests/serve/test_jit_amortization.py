@@ -1,0 +1,39 @@
+"""The jit program cache amortizes across serving-layer launches.
+
+The server analyses each distinct kernel once (``_prepare``) and reuses
+that :class:`KernelInfo` for every subsequent launch; the jit cache is
+keyed on exactly that object plus the launch shape.  Repeat launches of
+one workload must therefore compile once and hit the program cache for
+the rest — the steady state ``dopia serve-bench`` measures.
+"""
+
+from repro.interp import execution_stats
+from repro.serve import DopiaServer
+from repro.sim import KAVERI
+from repro.workloads import SCALED_REAL_FACTORIES
+
+LAUNCHES = 4
+
+
+def test_repeat_launches_compile_once(trained_model):
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    kernel = workload.kernel_name
+    execution_stats.reset()
+    try:
+        with DopiaServer(KAVERI, trained_model, workers=1,
+                         backend="jit") as server:
+            session = server.session()
+            for seed in range(LAUNCHES):
+                result = session.launch(workload, rng_seed=seed) \
+                    .result(timeout=120)
+                assert result.trace is not None  # executed functionally
+        compiles = execution_stats.jit_compiles.get(kernel, 0)
+        hits = execution_stats.jit_cache_hits.get(kernel, 0)
+        # every launch has the same shape: one compile, the rest hit the
+        # cache (the scheduler may consult the cache more than once per
+        # launch, so `hits` can exceed LAUNCHES - 1)
+        assert compiles == 1, (compiles, hits)
+        assert hits >= LAUNCHES - 1, (compiles, hits)
+        assert ("gesummv", "jit") in execution_stats.runs
+    finally:
+        execution_stats.reset()

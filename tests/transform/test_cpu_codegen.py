@@ -31,8 +31,9 @@ def run_original(source, args, ndrange):
     KernelExecutor(kernel, args, ndrange).run()
 
 
-def run_cpu_variant(source, work_dim, args, ndrange, n_threads):
-    cpu = make_cpu_kernel(source, work_dim=work_dim)
+def run_cpu_variant(source, work_dim, args, ndrange, n_threads,
+                    claims="atomic"):
+    cpu = make_cpu_kernel(source, work_dim=work_dim, claims=claims)
     full = dict(args)
     full[WORKLIST_PARAM] = np.zeros(1, dtype=np.int64)
     full.update(
@@ -63,6 +64,18 @@ class TestStructure:
                 "{ barrier(1); A[get_global_id(0)] = 1.0f; }",
                 work_dim=1,
             )
+
+    def test_relaxed_claims_drop_the_fetch_add(self):
+        cpu = make_cpu_kernel(SAXPY, work_dim=1, claims="relaxed")
+        assert cpu.claims == "relaxed"
+        assert "atomic_inc" not in cpu.source
+        # the worklist parameter stays for launch-plumbing compatibility
+        assert WORKLIST_PARAM in cpu.source
+        assert NUM_WGS_PARAM in cpu.source
+
+    def test_unknown_claims_rejected(self):
+        with pytest.raises(CpuTransformError, match="claim discipline"):
+            make_cpu_kernel(SAXPY, work_dim=1, claims="speculative")
 
 
 class TestEquivalence:
@@ -99,3 +112,29 @@ class TestEquivalence:
         assert np.all(counts == 1.0)
         # worklist overshoots by at most one claim per thread
         assert worklist[0] >= n // 8
+
+    @pytest.mark.parametrize("threads", [1, 3, 4])
+    def test_relaxed_claims_equivalent(self, threads):
+        n = 64
+        x = np.arange(n, dtype=float)
+        expected = np.ones(n)
+        run_original(SAXPY, {"X": x, "Y": expected, "a": 2.0, "n": n},
+                     NDRange(n, 16))
+        actual = np.ones(n)
+        worklist = run_cpu_variant(
+            SAXPY, 1, {"X": x, "Y": actual, "a": 2.0, "n": n}, NDRange(n, 16),
+            threads, claims="relaxed",
+        )
+        assert np.array_equal(actual, expected)
+        assert worklist[0] == 0  # the shared counter is never touched
+
+    def test_relaxed_claims_cover_every_group_once(self):
+        n = 64
+        counts = np.zeros(n)
+        source = (
+            "__kernel void f(__global float* C)"
+            "{ C[get_global_id(0)] += 1.0f; }"
+        )
+        run_cpu_variant(source, 1, {"C": counts}, NDRange(n, 8), 3,
+                        claims="relaxed")
+        assert np.all(counts == 1.0)
