@@ -25,9 +25,10 @@ Anything the walker cannot express exactly is *demoted*, never guessed:
 from __future__ import annotations
 
 import itertools
+import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Optional
-from weakref import WeakKeyDictionary
 
 from ..frontend import ast
 from ..frontend.semantics import (
@@ -895,21 +896,93 @@ class _ModelWalker:
         return False
 
 
-_MODEL_CACHE: "WeakKeyDictionary[KernelInfo, AccessModel]" = WeakKeyDictionary()
+# ``KernelInfo`` is an unhashable dataclass, so a WeakKeyDictionary keyed
+# on it raises TypeError on every lookup and never memoises anything —
+# key by id() with a weakref finalizer instead (the verify/jit cache
+# idiom): identity is exactly the sharing unit of the serving layer's
+# prepared artifacts, and the finalizer evicts when the info dies.
+_MODEL_CACHE: dict[int, tuple["weakref.ref", "AccessModel"]] = {}
+_RW_CACHE: dict[int, tuple["weakref.ref", "LaunchRWSummary"]] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def _memo_get(cache: dict, info: KernelInfo):
+    with _CACHE_LOCK:
+        entry = cache.get(id(info))
+        if entry is not None and entry[0]() is info:
+            return entry[1]
+    return None
+
+
+def _memo_put(cache: dict, info: KernelInfo, value) -> None:
+    ident = id(info)
+    try:
+        # no lock in the callback: dict.pop is atomic under the GIL, and
+        # taking _CACHE_LOCK from a GC callback could deadlock
+        ref = weakref.ref(info, lambda _r, i=ident, c=cache: c.pop(i, None))
+    except TypeError:  # pragma: no cover - non-weakrefable info
+        return
+    with _CACHE_LOCK:
+        cache[ident] = (ref, value)
 
 
 def build_access_model(info: KernelInfo) -> AccessModel:
     """Build (and memoise per KernelInfo) the access model for a kernel."""
-    try:
-        cached = _MODEL_CACHE.get(info)
-    except TypeError:  # pragma: no cover - non-weakrefable info
-        cached = None
+    cached = _memo_get(_MODEL_CACHE, info)
     if cached is not None:
         return cached
     model = AccessModel(info=info, kernel=info.kernel.name)
     _ModelWalker(info, model).run()
-    try:
-        _MODEL_CACHE[info] = model
-    except TypeError:  # pragma: no cover
-        pass
+    _memo_put(_MODEL_CACHE, info, model)
     return model
+
+
+@dataclass(frozen=True)
+class LaunchRWSummary:
+    """Which *global* buffer parameters a launch reads and writes.
+
+    This is the launch-level face of the access model, consumed by the
+    serving layer's hazard matcher (:mod:`repro.serve.graph`): a kernel
+    conflicts with an in-flight one iff their read/write sets touch
+    overlapping buffers.  ``exact`` is False when the walker saw a
+    pointer-deref store it could not attribute to a named buffer — the
+    summary then conservatively claims every buffer parameter as both
+    read and written, which can only over-order, never miss a hazard.
+    """
+
+    reads: frozenset[str]
+    writes: frozenset[str]
+    exact: bool = True
+
+
+def launch_rw_summary(info: KernelInfo) -> LaunchRWSummary:
+    """Summarise (and memoise) a kernel's global-buffer read/write sets.
+
+    Soundness follows the walker's demotion rules: unanalyzable accesses
+    still carry their buffer name, so they classify correctly; atomics
+    are read-modify-write and land in both sets; only an unattributable
+    pointer-deref store (``model.deref_store``) forces the all-buffers
+    fallback.  A declared buffer parameter the kernel never touches
+    (e.g. FDTD2's unused ``ey``) appears in neither set.
+    """
+    cached = _memo_get(_RW_CACHE, info)
+    if cached is not None:
+        return cached
+    model = build_access_model(info)
+    params = frozenset(info.buffer_params)
+    if model.deref_store:
+        summary = LaunchRWSummary(reads=params, writes=params, exact=False)
+    else:
+        reads = set()
+        writes = set()
+        for access in model.accesses:
+            if access.space != "global" or access.buffer not in params:
+                continue
+            if access.is_store or access.atomic:
+                writes.add(access.buffer)
+            if not access.is_store or access.atomic:
+                reads.add(access.buffer)
+        summary = LaunchRWSummary(reads=frozenset(reads),
+                                  writes=frozenset(writes))
+    _memo_put(_RW_CACHE, info, summary)
+    return summary

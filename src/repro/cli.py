@@ -652,12 +652,98 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     report (the committed ``BENCH_serve.json`` baseline); ``--check`` compares
     the measured throughput against a baseline report and fails below
     ``--check-ratio`` of it (the CI stress-lane regression guard).
+
+    ``--graph`` switches to the chained benchmark instead: every client owns
+    ``--chains-per-client`` multi-kernel chains (``--chain``, default FDTD)
+    and submits them twice — once as dependent launches with a client-side
+    wait between hops, once as a whole graph via ``submit_chain`` — and the
+    report records the graph-over-sync speedup plus bit-identity against a
+    serial oracle.  With ``--out`` the chained report is merged under the
+    top-level ``"chained"`` key, preserving the flat-bench ``"runs"`` (and
+    vice versa).
     """
     import json
 
     from .core.runtime import DopiaRuntime
     from .serve import run_serve_bench
+    from .serve.bench import run_chained_serve_bench
     from .workloads import SCALED_REAL_FACTORIES
+
+    def merge_out(path: str, payload: dict, *, keep: tuple[str, ...]) -> None:
+        """Write ``payload`` to ``path``, carrying over baseline keys in
+        ``keep`` from any existing report so the flat and chained benches
+        can update one BENCH_serve.json without clobbering each other."""
+        target = Path(path)
+        if target.exists():
+            try:
+                previous = json.loads(target.read_text())
+            except ValueError:
+                previous = {}
+            for key in keep:
+                if key in previous and key not in payload:
+                    payload[key] = previous[key]
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report   : {path}")
+
+    if args.graph:
+        platform = get_platform(args.platform)
+        jobs = args.jobs or default_jobs()
+        print(f"training {args.model} on {platform.name} "
+              "(cached after the first run) ...", file=sys.stderr)
+        runtime = DopiaRuntime.from_pretrained(
+            platform, model_name=args.model, jobs=jobs)
+        backend = args.backend or os.environ.get("DOPIA_BACKEND") or "auto"
+        clients = max(int(v) for v in args.clients.split(","))
+        report = run_chained_serve_bench(
+            platform, runtime.predictor.model,
+            clients=clients,
+            steps=args.steps,
+            chain=args.chain,
+            grid=args.grid,
+            chains_per_client=args.chains_per_client,
+            workers=args.workers,
+            backend=backend,
+        )
+        for mode in ("sync", "graph"):
+            run = report[mode]
+            print(f"{mode:5s}: {run['throughput_lps']:9.1f} launches/s  "
+                  f"wall={run['wall_s']:.3f}s "
+                  f"p50={run['latency']['p50_ms']:.2f}ms "
+                  f"p99={run['latency']['p99_ms']:.2f}ms  "
+                  f"bit_identical={run['bit_identical']} "
+                  f"drained={run['drained']}")
+        print(f"chained {report['chain']} x{report['chains_per_client']} "
+              f"@ {report['clients']} clients: "
+              f"{report['speedup_graph_over_sync']:.2f}x graph over sync")
+        if not report["bit_identical"]:
+            raise SystemExit("error: chained bench output diverged from the "
+                             "serial oracle (bit_identical=false)")
+
+        if args.out:
+            merge_out(args.out, {"chained": report},
+                      keep=("runs", "scaling"))
+
+        if args.check:
+            try:
+                baseline = json.loads(Path(args.check).read_text())
+            except (OSError, ValueError) as error:
+                raise SystemExit(
+                    f"error: cannot read baseline {args.check}: {error}")
+            reference = baseline.get("chained")
+            if reference is None:
+                print("guard    : baseline has no 'chained' report; skipping")
+                return 0
+            ref_tp = reference["graph"]["throughput_lps"]
+            measured = report["graph"]["throughput_lps"]
+            floor = args.check_ratio * ref_tp
+            status = "ok" if measured >= floor else "REGRESSED"
+            print(f"guard    : graph mode {measured:.1f} vs baseline "
+                  f"{ref_tp:.1f} launches/s (floor {floor:.1f}) {status}")
+            if status != "ok":
+                raise SystemExit(
+                    f"error: chained graph throughput regression "
+                    f"(< {args.check_ratio:.0%} of baseline)")
+        return 0
 
     names = (args.workloads.split(",") if args.workloads
              else list(SCALED_REAL_FACTORIES))
@@ -708,8 +794,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                   f"{payload['scaling']['speedup']:.2f}x")
 
     if args.out:
-        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"report   : {args.out}")
+        merge_out(args.out, payload, keep=("chained",))
 
     if args.check:
         try:
@@ -926,6 +1011,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--functional", action="store_true",
                    help="execute kernels functionally instead of "
                         "simulation-only benchmark mode")
+    p.add_argument("--graph", action="store_true",
+                   help="run the chained benchmark instead: dependent "
+                        "multi-kernel chains submitted as graphs vs "
+                        "client-side waits (reports the speedup and "
+                        "bit-identity against a serial oracle)")
+    p.add_argument("--chain", default="FDTD",
+                   choices=("FDTD", "ATAX", "BICG", "MVT"),
+                   help="chain workload for --graph (default FDTD)")
+    p.add_argument("--steps", type=int, default=8,
+                   help="chain steps/reps for --graph (default 8)")
+    p.add_argument("--grid", type=int, default=12,
+                   help="FDTD grid edge for --graph (default 12)")
+    p.add_argument("--chains-per-client", type=int, default=2,
+                   help="independent chains each client owns in --graph "
+                        "mode (default 2)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for cold dataset collection")
     p.add_argument("--out", default=None, metavar="PATH",

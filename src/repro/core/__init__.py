@@ -28,7 +28,7 @@ from .dopconfig import (
 )
 from .metrics import SchemeQuality, distribution_stats, evaluate_scheme
 from .predictor import DopPredictor, Prediction
-from .runtime import DopiaRuntime, KernelArtifacts
+from .runtime import DopiaRuntime, KernelArtifacts, execute_chain_serial
 from .scheduler import (
     AtomicWorklist,
     ScheduleTrace,
@@ -43,7 +43,7 @@ __all__ = [
     "best_constant_allocation", "best_static_time", "CPU_LEVELS", "GPU_LEVELS",
     "MAX_CONFIG_DISTANCE", "DopConfig", "config_distance", "config_space",
     "config_utils_matrix", "find_config", "SchemeQuality", "distribution_stats",
-    "evaluate_scheme", "DopPredictor", "Prediction", "DopiaRuntime",
+    "evaluate_scheme", "DopPredictor", "Prediction", "DopiaRuntime", "execute_chain_serial",
     "KernelArtifacts", "AtomicWorklist", "ScheduleTrace", "run_dynamic",
     "run_dynamic_pull", "run_static", "DopDataset", "collect_dataset", "default_cache_dir",
     "measure_workload", "CollectionStats", "DatasetCacheError", "WorkloadSpec",

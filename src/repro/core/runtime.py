@@ -32,7 +32,7 @@ from ..ml import make_model
 from ..ml.base import Estimator
 from ..obs import tracer
 from ..obs.tracer import NULL_SPAN
-from ..sim.engine import ExecutionResult, simulate_execution
+from ..sim.engine import DopSetting, ExecutionResult, simulate_execution
 from ..sim.platforms import Platform
 from ..transform.cpu_codegen import CpuKernel, CpuTransformError, make_cpu_kernel
 from ..transform.gpu_malleable import (
@@ -382,3 +382,80 @@ class DopiaRuntime(Interposer):
             chunk_divisor=self.chunk_divisor,
             backend=self.backend,
         )
+
+    # -- chains ---------------------------------------------------------------
+
+    def run_chain(self, chain) -> list[Prediction]:
+        """Run a :class:`repro.workloads.chains.KernelChain` in task order,
+        functionally, with the predicted-best DoP per launch.
+
+        This is the single-client path; for pipelined concurrent execution
+        hand the chain to ``DopiaServer.submit_chain`` instead.  Returns
+        the per-task predictions in task order.
+        """
+        prepared: dict[tuple[str, str], tuple[Any, MalleableKernel]] = {}
+        predictions: list[Prediction] = []
+        for task in chain.tasks:
+            workload = task.workload
+            ndrange = workload.ndrange()
+            key = (workload.source, workload.kernel_name)
+            if key not in prepared:
+                info = workload.kernel_info()
+                prepared[key] = (info, make_malleable(
+                    info, work_dim=ndrange.work_dim))
+            info, malleable = prepared[key]
+            prediction = self.predictor.select(
+                extract_static_features(info),
+                ndrange.work_dim,
+                ndrange.total_work_items,
+                ndrange.work_items_per_group,
+            )
+            setting = prediction.config.setting
+            if setting.uses_gpu:
+                mod, alloc = throttle_settings(
+                    self.platform.gpu.pes_per_cu, setting.gpu_fraction)
+            else:
+                mod, alloc = 1, 1
+            run_dynamic(
+                info, malleable, task.args, ndrange, setting,
+                dop_gpu_mod=mod, dop_gpu_alloc=alloc,
+                chunk_divisor=self.chunk_divisor, backend=self.backend,
+            )
+            predictions.append(prediction)
+        return predictions
+
+
+def execute_chain_serial(chain, *, backend: str | None = None,
+                         setting: DopSetting | None = None) -> None:
+    """Serial oracle for a :class:`repro.workloads.chains.KernelChain`.
+
+    Runs every task one at a time in declaration order (which the chain
+    factories guarantee is a valid topological order — asserted here),
+    single CPU thread by default.  The graph tests compare server-executed
+    buffer bytes against a fresh identical chain run through this.
+    """
+    if setting is None:
+        setting = DopSetting(cpu_threads=1, gpu_fraction=0.0)
+    if setting.uses_gpu:
+        raise ValueError("the serial oracle is CPU-only; got a GPU setting")
+    done: set[str] = set()
+    prepared: dict[tuple[str, str], tuple[Any, MalleableKernel]] = {}
+    for task in chain.tasks:
+        missing = [dep for dep in task.deps if dep not in done]
+        if missing:
+            raise ValueError(
+                f"chain {chain.name!r} lists task {task.key!r} before its "
+                f"dependencies {missing}")
+        workload = task.workload
+        ndrange = workload.ndrange()
+        key = (workload.source, workload.kernel_name)
+        if key not in prepared:
+            info = workload.kernel_info()
+            prepared[key] = (info, make_malleable(
+                info, work_dim=ndrange.work_dim))
+        info, malleable = prepared[key]
+        run_dynamic(
+            info, malleable, task.args, ndrange, setting,
+            dop_gpu_mod=1, dop_gpu_alloc=1, backend=backend,
+        )
+        done.add(task.key)

@@ -131,6 +131,20 @@ def run_dynamic(
         cpu_threads=setting.cpu_threads, gpu_fraction=setting.gpu_fraction,
         chunk_size=chunk,
     ) if traced else NULL_SPAN:
+        if not use_gpu:
+            # CPU-only launch: no other device shares the worklist, so
+            # the pull loop degenerates to "claim everything once" — run
+            # the whole NDRange as one batch, which pays the executor's
+            # per-call overhead (output snapshot, lane setup) once
+            # instead of once per work-group.
+            worklist.fetch_add(num_wgs)
+            cpu_executor.run(
+                [ndrange.group_from_linear(g) for g in range(num_wgs)])
+            trace.cpu_groups.extend(range(num_wgs))
+            if traced:
+                tracer.instant("schedule.cpu_pull", "schedule",
+                               groups=trace.cpu_groups)
+            return trace
         while not worklist.exhausted:
             if use_gpu:
                 start = worklist.fetch_add(chunk)

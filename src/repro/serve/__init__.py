@@ -21,8 +21,17 @@ Components
     The ``dopia serve-bench`` harness (throughput / latency percentiles).
 """
 
-from .bench import BenchReport, run_serve_bench
+from .bench import BenchReport, run_chained_serve_bench, run_serve_bench
 from .cache import PredictionCache
+from .graph import (
+    DependencyFailedError,
+    GraphCycleError,
+    GraphHandle,
+    GraphScheduler,
+    GraphTask,
+    ServeError,
+    TaskSpace,
+)
 from .ledger import DeviceLoadLedger, Lease, LoadSnapshot
 from .server import (
     ClientSession,
@@ -35,13 +44,21 @@ from .server import (
 __all__ = [
     "BenchReport",
     "ClientSession",
+    "DependencyFailedError",
     "DeviceLoadLedger",
     "DopiaServer",
+    "GraphCycleError",
+    "GraphHandle",
+    "GraphScheduler",
+    "GraphTask",
     "LaunchHandle",
     "Lease",
     "LoadSnapshot",
     "PredictionCache",
+    "ServeError",
     "ServeResult",
     "ServerStats",
+    "TaskSpace",
+    "run_chained_serve_bench",
     "run_serve_bench",
 ]

@@ -13,6 +13,20 @@ platform's devices are "occupied" for a wall-clock dwell proportional to
 the modelled service time, which is what lets the ledger fill up and the
 measured scaling reflect genuine admission/prediction/ledger hot-path
 costs rather than Python interpreter time.
+
+:func:`run_chained_serve_bench` is the graph runtime's benchmark: every
+client owns ``chains_per_client`` independent multi-kernel chains
+(default two FDTD1→2→3 x ``steps`` problems — a small parameter sweep),
+run once with client-side waits between kernels (``sync`` — the
+pre-graph serving model, which serializes the client's whole workload)
+and once submitted as task graphs (``graph``).  Chained mode is
+*functional* (buffers really execute, and the final bytes are checked
+bit-identical to a serial oracle run) plus a flat lease dwell standing
+in for simulated device occupancy — so the graph's win comes from real
+pipelining on two axes: FDTD's s1/s2 are independent within a timestep
+(critical path 2 kernels per step against 3 for client-side chaining),
+and a client's separate problems share no buffers at all, so the graph
+runtime overlaps them fully while client-side waits serialize them.
 """
 
 from __future__ import annotations
@@ -23,9 +37,17 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from ..core.runtime import execute_chain_serial
 from ..ml.base import Estimator
 from ..sim.platforms import Platform
 from ..workloads import SCALED_REAL_FACTORIES
+from ..workloads.chains import (
+    KernelChain,
+    make_atax_chain,
+    make_bicg_chain,
+    make_fdtd_chain,
+    make_mvt_chain,
+)
 from ..workloads.registry import Workload
 from .server import DopiaServer
 
@@ -37,6 +59,13 @@ BenchReport = dict
 #: fills, but cap it so a full sweep stays interactive.
 DEFAULT_DWELL_SCALE = 2e3
 DEFAULT_DWELL_CAP_S = 0.004
+
+#: Chained-bench dwell: a saturated (flat) 20 ms lease dwell per launch.
+#: The dwell stands in for device occupancy and sleeps GIL-free, so the
+#: measured sync-vs-graph ratio reflects the schedulable critical path
+#: (3 vs 2 kernels per FDTD step) rather than Python interpreter time.
+CHAIN_DWELL_SCALE = 1e6
+CHAIN_DWELL_CAP_S = 0.020
 
 
 def percentiles(samples: Sequence[float]) -> dict[str, float]:
@@ -158,4 +187,183 @@ def run_serve_bench(
             "under_load": loaded,
             "adapted": adapted,
         },
+    }
+
+
+def _chain_for(chain: str, *, steps: int, grid: int, seed: int) -> KernelChain:
+    """One client's private chain instance (per-client seed, no sharing)."""
+    if chain == "FDTD":
+        return make_fdtd_chain(steps=steps, grid=grid, seed=seed)
+    if chain == "ATAX":
+        return make_atax_chain(reps=steps, seed=seed)
+    if chain == "MVT":
+        return make_mvt_chain(reps=steps, seed=seed)
+    if chain == "BICG":
+        return make_bicg_chain(seed=seed)
+    raise ValueError(f"unknown chain {chain!r} (FDTD/ATAX/BICG/MVT)")
+
+
+def run_chained_serve_bench(
+    platform: Platform,
+    model: Estimator,
+    *,
+    clients: int = 8,
+    steps: int = 8,
+    chain: str = "FDTD",
+    grid: int = 12,
+    chains_per_client: int = 2,
+    workers: Optional[int] = None,
+    backend: str | None = None,
+    dwell_scale: float = CHAIN_DWELL_SCALE,
+    dwell_cap_s: float = CHAIN_DWELL_CAP_S,
+    cache_size: int = 1024,
+) -> BenchReport:
+    """Graph-vs-client-side-wait chained benchmark (see module doc).
+
+    ``workers`` defaults to ``3 x clients`` so the graph mode has the
+    capacity to execute width beyond one launch per client (each client
+    exposes up to ``2 x chains_per_client`` concurrent launches at an
+    FDTD s1/s2 wave); the sync mode can never use more than ``clients``
+    workers regardless (each client has at most one launch in flight).  Each mode's server is
+    warmed with one untimed chain first, so the timed region measures
+    steady-state serving (jit programs compiled and predictions cached)
+    — cold-start costs are identical in both modes and would only wash
+    out the scheduling difference under test.
+    """
+    if clients < 1 or steps < 1 or chains_per_client < 1:
+        raise ValueError("need at least one client, chain, and step")
+    workers = workers or 3 * clients
+    # resolve the backend once: the serial bit-identity oracle must run
+    # the same execution tier the server used
+    chain_len = len(_chain_for(chain, steps=steps, grid=grid, seed=0))
+    tasks_per_client = chains_per_client * chain_len
+    total = clients * tasks_per_client
+
+    def run_mode(mode: str) -> BenchReport:
+        server = DopiaServer(
+            platform, model,
+            workers=workers, backend=backend, functional=True,
+            simulate=False, load_aware=False, cache_size=cache_size,
+            dwell_scale=dwell_scale, dwell_cap_s=dwell_cap_s,
+        )
+        chains = [
+            [_chain_for(chain, steps=steps, grid=grid,
+                        seed=index * chains_per_client + j)
+             for j in range(chains_per_client)]
+            for index in range(clients)
+        ]
+        warm = _chain_for(chain, steps=steps, grid=grid,
+                          seed=clients * chains_per_client)
+        warm_session = server.session(f"{mode}-warm")
+        for task in warm.tasks:
+            warm_session.launch(task.workload, args=task.args).result(
+                timeout=300.0)
+        barrier = threading.Barrier(clients + 1)
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def client_loop(index: int) -> None:
+            own = chains[index]
+            try:
+                session = server.session(f"{mode}-{index}")
+            except BaseException as error:  # noqa: BLE001
+                with errors_lock:
+                    errors.append(error)
+                session = None
+            barrier.wait()
+            try:
+                if session is None:
+                    return
+                if mode == "graph":
+                    handles = [server.submit_chain(session, one)
+                               for one in own]
+                    for handle in handles:
+                        handle.result(timeout=300.0)
+                else:
+                    for one in own:
+                        for task in one.tasks:
+                            session.launch(
+                                task.workload,
+                                args=task.args).result(timeout=300.0)
+            except BaseException as error:  # noqa: BLE001
+                with errors_lock:
+                    errors.append(error)
+            finally:
+                barrier.wait()
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,),
+                             name=f"chain-{mode}-{i}")
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()                # all clients armed; start the clock
+        t0 = time.perf_counter()
+        barrier.wait()                # all clients drained; stop the clock
+        wall_s = time.perf_counter() - t0
+        for thread in threads:
+            thread.join()
+        drained = server.drain(timeout=30.0) and server.ledger.drained
+        graph_stats = server.graph.snapshot()
+        with server.stats._lock:
+            # skip the warm-up chain's samples: timed region only
+            latencies = list(server.stats.latencies_s)[chain_len:]
+            completed = server.stats.completed
+        server.close()
+        if errors:
+            raise errors[0]
+        expected = total + chain_len
+        assert completed == expected, \
+            f"served {completed} of {expected} launches"
+
+        # bit-identity: every executed chain's final buffers must match a
+        # fresh identical chain executed serially in topo order, same
+        # backend
+        bit_identical = True
+        verified = True
+        for index in range(clients):
+            for j, executed in enumerate(chains[index]):
+                oracle = _chain_for(chain, steps=steps, grid=grid,
+                                    seed=index * chains_per_client + j)
+                execute_chain_serial(oracle, backend=backend)
+                if executed.buffer_bytes() != oracle.buffer_bytes():
+                    bit_identical = False
+                if not executed.verify():
+                    verified = False
+        return {
+            "wall_s": round(wall_s, 6),
+            "throughput_lps": round(total / wall_s, 3) if wall_s > 0 else 0.0,
+            "latency": {k: round(v, 3)
+                        for k, v in percentiles(latencies).items()},
+            "bit_identical": bit_identical,
+            "verified": verified,
+            "drained": drained,
+            "graph": graph_stats,
+        }
+
+    sync_report = run_mode("sync")
+    graph_report = run_mode("graph")
+    sync_tp = sync_report["throughput_lps"]
+    graph_tp = graph_report["throughput_lps"]
+    return {
+        "mode": "chained",
+        "platform": platform.name,
+        "backend": backend or "auto",
+        "chain": chain,
+        "clients": clients,
+        "steps": steps,
+        "grid": grid,
+        "chains_per_client": chains_per_client,
+        "workers": workers,
+        "tasks_per_client": tasks_per_client,
+        "total_launches": total,
+        "dwell_scale": dwell_scale,
+        "dwell_cap_ms": dwell_cap_s * 1e3,
+        "sync": sync_report,
+        "graph": graph_report,
+        "speedup_graph_over_sync": (
+            round(graph_tp / sync_tp, 3) if sync_tp > 0 else 0.0),
+        "bit_identical": (sync_report["bit_identical"]
+                          and graph_report["bit_identical"]),
     }

@@ -39,6 +39,9 @@ class LoadSnapshot:
     cpu_util: float          #: in-flight CPU threads / hardware threads, capped at 1
     gpu_util: float          #: sum of in-flight GPU-PE fractions, capped at 1
     in_flight: int           #: number of live leases
+    #: launches parked behind graph dependencies (no lease held); not part
+    #: of the prediction cache key — parked work consumes no capacity
+    waiting: int = 0
 
     @property
     def idle(self) -> bool:
@@ -56,7 +59,7 @@ class LoadSnapshot:
         """
         cpu_b, gpu_b = self.bucket(buckets)
         return LoadSnapshot(cpu_util=cpu_b / buckets, gpu_util=gpu_b / buckets,
-                            in_flight=self.in_flight)
+                            in_flight=self.in_flight, waiting=self.waiting)
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,7 @@ class DeviceLoadLedger:
         self.peak_cpu_util = 0.0
         self.peak_gpu_util = 0.0
         self.total_leases = 0
+        self._waiting = 0           #: launches parked behind dependencies
 
     # -- leasing -------------------------------------------------------------
 
@@ -118,6 +122,18 @@ class DeviceLoadLedger:
                 self._cpu_threads = 0
                 self._gpu_fraction = 0.0
 
+    def note_waiting(self, delta: int) -> None:
+        """Track launches parked behind graph dependencies (no lease).
+
+        Parked work holds no capacity — it only matters for drain
+        accounting (:attr:`drained`) and observability; it is kept out of
+        ``cpu_util``/``gpu_util`` so the predictor sees the executable
+        frontier, not the whole submitted graph.
+        """
+        with self._lock:
+            self._waiting += delta
+            assert self._waiting >= 0, "waiting count went negative"
+
     # -- queries -------------------------------------------------------------
 
     def _raw_cpu_util(self) -> float:
@@ -131,9 +147,21 @@ class DeviceLoadLedger:
                 cpu_util=min(1.0, self._raw_cpu_util()),
                 gpu_util=min(1.0, self._gpu_fraction),
                 in_flight=len(self._live),
+                waiting=self._waiting,
             )
 
     @property
     def in_flight(self) -> int:
         with self._lock:
             return len(self._live)
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return self._waiting
+
+    @property
+    def drained(self) -> bool:
+        """True when no lease is live and nothing is parked."""
+        with self._lock:
+            return not self._live and self._waiting == 0

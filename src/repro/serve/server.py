@@ -18,10 +18,24 @@ launch a worker
    with the background load it saw at admission;
 4. releases the lease and resolves the client's :class:`LaunchHandle`.
 
+Launches are not assumed independent: every submission is hazard-matched
+against in-flight launches by the :class:`~repro.serve.graph.GraphScheduler`
+(RAW/WAR/WAW on overlapping buffers, read/write sets from
+:func:`repro.analysis.accessmodel.launch_rw_summary` or declared
+intents).  Conflicting launches park until their predecessors complete —
+workers never see a request whose inputs are still being written — and
+independent ones flow straight to the pool.  ``LaunchHandle.then`` chains
+a dependent launch without a client-side wait; ``submit_graph`` /
+:class:`~repro.serve.graph.TaskSpace` submit whole named DAGs with cycle
+rejection and a per-graph future.  Parked launches hold no ledger lease
+and make no prediction, so the DoP predictor only ever sees the
+executable *frontier* of the graph.
+
 Locking discipline: every shared structure (ledger, cache, stats, kernel
-preparation) has its own short lock; **no lock is held across kernel
-execution or model inference**, so independent launches proceed in
-parallel.  Per-session identity flows into the tracer via
+preparation, graph) has its own short lock; **no lock is held across
+kernel execution or model inference**, so independent launches proceed in
+parallel.  Per-session identity — and the graph id, for graph members —
+flows into the tracer via
 :meth:`Tracer.context <repro.obs.tracer.Tracer.context>` so exported
 spans reconstruct each client's timeline.
 """
@@ -33,8 +47,9 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence, Union
 
+from ..analysis.accessmodel import launch_rw_summary
 from ..analysis.features import StaticFeatures, extract_static_features
 from ..analysis.profile import profile_kernel
 from ..core.predictor import DopPredictor, Prediction
@@ -53,11 +68,25 @@ from ..transform.gpu_malleable import (
 )
 from ..workloads.registry import Workload
 from .cache import PredictionCache
+from .graph import (
+    DependencyFailedError,
+    GraphCycleError,
+    GraphHandle,
+    GraphScheduler,
+    GraphTask,
+    ServeError,
+    TaskNode,
+    TaskSpace,
+    buffer_ranges,
+    topological_order,
+)
 from .ledger import LOAD_BUCKETS, DeviceLoadLedger, LoadSnapshot
 
-
-class ServeError(Exception):
-    """A launch could not be served (untransformable kernel, closed server)."""
+__all__ = [
+    "ClientSession", "DependencyFailedError", "DopiaServer", "GraphCycleError",
+    "GraphHandle", "GraphTask", "LaunchHandle", "ServeError", "ServeResult",
+    "ServerStats", "TaskSpace",
+]
 
 
 @dataclass
@@ -88,20 +117,48 @@ class ServeResult:
     #: measured wall-clock from submit to completion (seconds)
     latency_s: float
     args: dict[str, Any]
+    #: graph this launch belonged to (``submit_graph``), if any
+    graph_id: Optional[str] = None
+    #: dependency edges (implicit hazards + explicit) it was admitted with
+    deps: int = 0
 
 
 class LaunchHandle:
-    """Future-style handle for one submitted launch."""
+    """Future-style handle for one submitted launch.
+
+    ``then`` submits a follow-up launch explicitly ordered after this
+    one *without waiting for it* — the whole chain sits in the server's
+    graph and pipelines worker-to-worker with no client round-trips.
+    """
 
     def __init__(self, session: str, seq: int):
         self.session = session
         self.seq = seq
+        self.node: Optional[TaskNode] = None
+        self._client: Optional["ClientSession"] = None
         self._done = threading.Event()
         self._result: Optional[ServeResult] = None
         self._error: Optional[BaseException] = None
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def then(
+        self,
+        workload: Workload,
+        args: Optional[dict[str, Any]] = None,
+        *,
+        rng_seed: int = 0,
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
+    ) -> "LaunchHandle":
+        """Chain a dependent launch (returns immediately, like ``launch``)."""
+        if self._client is None:
+            raise ServeError("handle is not bound to a session")
+        return self._client.launch(
+            workload, args, rng_seed=rng_seed, after=(self,),
+            reads=reads, writes=writes,
+        )
 
     def result(self, timeout: Optional[float] = None) -> ServeResult:
         if not self._done.wait(timeout):
@@ -129,6 +186,7 @@ class _Request:
     args: dict[str, Any]
     handle: LaunchHandle
     submitted_at: float
+    node: Optional[TaskNode] = None
 
 
 _STOP = object()
@@ -141,6 +199,8 @@ class ServerStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    #: subset of ``failed`` that never ran: a dependency failed first
+    dep_failed: int = 0
     #: per-launch wall latencies, seconds (bounded; newest kept)
     latencies_s: list[float] = field(default_factory=list)
     #: launches that saw a non-idle ledger at admission
@@ -166,6 +226,11 @@ class ServerStats:
         with self._lock:
             self.failed += 1
 
+    def record_dep_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+            self.dep_failed += 1
+
     def record_submit(self) -> None:
         with self._lock:
             self.submitted += 1
@@ -189,15 +254,25 @@ class ClientSession:
         workload: Workload,
         args: Optional[dict[str, Any]] = None,
         rng_seed: int = 0,
+        *,
+        after: Sequence[LaunchHandle] = (),
+        reads: Optional[Iterable[str]] = None,
+        writes: Optional[Iterable[str]] = None,
     ) -> LaunchHandle:
         """Submit one kernel launch; buffers in ``args`` are mutated in place.
 
         Without ``args`` the workload's own buffer builder materialises a
-        fresh argument set from ``rng_seed``.
+        fresh argument set from ``rng_seed``.  Buffer hazards against
+        in-flight launches are detected automatically; ``after`` adds
+        explicit ordering on earlier handles, and ``reads``/``writes``
+        override the access-model-derived read/write buffer sets (each
+        side independently) for kernels whose true footprint the static
+        analysis over-approximates.
         """
         if args is None:
             args = workload.full_args(rng_seed)
-        return self.server._submit(self, workload, args)
+        return self.server._submit(self, workload, args, after=after,
+                                   reads=reads, writes=writes)
 
 
 class DopiaServer:
@@ -218,6 +293,20 @@ class DopiaServer:
     functional:
         When ``False``, launches are simulated for timing only (benchmark
         mode) — no buffers are touched.
+    simulate:
+        When ``False``, the performance-model step is skipped entirely
+        (``ServeResult.sim`` is ``None`` and the lease dwell, if enabled,
+        is the flat ``dwell_cap_s``).  Used by the chained benchmark,
+        where execution is functional and the modelled service time
+        would only add GIL-bound noise to the measurement.
+    load_aware:
+        When ``False``, every launch is configured with its *idle*
+        prediction — the ledger still tracks occupancy, but the selected
+        DoP ignores it.  This is the ablation baseline for the paper's
+        online-adaptation claim, and the chained benchmark runs with it
+        off so both scheduling modes execute identical per-launch work
+        (load-adapted configurations differ between modes and would
+        confound the graph-vs-sync comparison).
     cache_size:
         LRU capacity of the prediction cache.
     dwell_scale / dwell_cap_s:
@@ -238,6 +327,8 @@ class DopiaServer:
         backend: str | None = None,
         chunk_divisor: int = 10,
         functional: bool = True,
+        simulate: bool = True,
+        load_aware: bool = True,
         cache_size: int = 1024,
         load_buckets: int = LOAD_BUCKETS,
         dwell_scale: float = 0.0,
@@ -251,6 +342,8 @@ class DopiaServer:
         self.backend = backend
         self.chunk_divisor = chunk_divisor
         self.functional = functional
+        self.simulate = simulate
+        self.load_aware = load_aware
         self.load_buckets = load_buckets
         self.dwell_scale = dwell_scale
         self.dwell_cap_s = dwell_cap_s
@@ -261,6 +354,8 @@ class DopiaServer:
         #: launches repeat, so the hot path pays the event-driven model once
         self.sim_cache = PredictionCache(cache_size)
         self.stats = ServerStats()
+        self.graph = GraphScheduler()
+        self._graph_ids = itertools.count()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._prepared: dict[tuple[str, str], _PreparedKernel] = {}
         self._prepare_lock = threading.Lock()
@@ -291,14 +386,21 @@ class DopiaServer:
         self.close()
 
     def close(self, timeout: float = 30.0) -> None:
-        """Drain the queue, stop the workers, reject future submissions."""
+        """Drain the graph and queue, stop the workers, reject new work."""
         if self._closed:
             return
         self._closed = True
+        # Let in-flight graphs settle first: a _STOP racing ahead of a
+        # parked launch's dispatch would strand its handle forever.
+        self.graph.wait_idle(timeout)
         for _ in self._workers:
             self._queue.put(_STOP)
         for worker in self._workers:
             worker.join(timeout)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted launch has settled (done or failed)."""
+        return self.graph.wait_idle(timeout)
 
     # -- client surface -------------------------------------------------------
 
@@ -313,22 +415,123 @@ class DopiaServer:
         return ClientSession(self, name)
 
     def _submit(self, session: ClientSession, workload: Workload,
-                args: dict[str, Any]) -> LaunchHandle:
+                args: dict[str, Any], *,
+                after: Sequence[LaunchHandle] = (),
+                reads: Optional[Iterable[str]] = None,
+                writes: Optional[Iterable[str]] = None,
+                graph_id: Optional[str] = None,
+                key: Any = None) -> LaunchHandle:
         if self._closed:
             raise ServeError("server is closed")
         seq = next(session._seq)
         handle = LaunchHandle(session.name, seq)
+        handle._client = session
+        read_names, write_names = self._rw_sets(workload, args, reads, writes)
+        node = self.graph.make_node(
+            f"{session.name}#{seq} {workload.kernel_name}",
+            buffer_ranges(args, read_names),
+            buffer_ranges(args, write_names),
+            graph_id=graph_id, key=key,
+        )
+        handle.node = node
         request = _Request(
             session=session.name, seq=seq, workload=workload, args=args,
-            handle=handle, submitted_at=time.perf_counter(),
+            handle=handle, submitted_at=time.perf_counter(), node=node,
         )
+        node.request = request
+        explicit = [h.node for h in after if h.node is not None]
         self.stats.record_submit()
         if tracer.enabled:
             tracer.instant("serve.submit", "serve", session=session.name,
-                           seq=seq, kernel=workload.kernel_name)
+                           seq=seq, kernel=workload.kernel_name,
+                           **({"graph": graph_id} if graph_id else {}))
             tracer.counter("serve.submitted")
-        self._queue.put(request)
+        state = self.graph.admit(node, explicit)
+        if state == "ready":
+            self._queue.put(request)
+        elif state == "waiting":
+            # Parked: no lease, no prediction — the predictor will see
+            # only the frontier this launch joins when it becomes ready.
+            self.ledger.note_waiting(1)
+            if tracer.enabled:
+                tracer.instant("serve.park", "serve", session=session.name,
+                               seq=seq, kernel=workload.kernel_name,
+                               deps=node.deps)
+        else:  # poisoned at admission: an explicit dependency already failed
+            self.stats.record_dep_failure()
+            handle._fail(node.error)
         return handle
+
+    def _rw_sets(self, workload: Workload, args: dict[str, Any],
+                 reads: Optional[Iterable[str]],
+                 writes: Optional[Iterable[str]]) -> tuple[tuple, tuple]:
+        """Buffer names this launch reads/writes, for hazard matching.
+
+        Declared intents win per side; otherwise the access-model summary.
+        If analysis itself fails here (client thread), fall back to every
+        array argument in both sets — over-ordering is safe, and the
+        worker's own ``_prepare`` will surface the real error on the
+        handle as before.
+        """
+        summary = None
+        if reads is None or writes is None:
+            try:
+                summary = launch_rw_summary(self._prepare(workload).info)
+            except Exception:  # noqa: BLE001 - conservative fallback
+                arrays = tuple(
+                    name for name, value in args.items()
+                    if hasattr(value, "__array_interface__"))
+                return (arrays if reads is None else tuple(reads),
+                        arrays if writes is None else tuple(writes))
+        read_names = (tuple(reads) if reads is not None
+                      else tuple(sorted(summary.reads)))
+        write_names = (tuple(writes) if writes is not None
+                       else tuple(sorted(summary.writes)))
+        return read_names, write_names
+
+    def submit_graph(
+        self,
+        session: ClientSession,
+        tasks: Union[TaskSpace, Iterable[GraphTask]],
+        name: Optional[str] = None,
+    ) -> GraphHandle:
+        """Submit a whole named task graph in one shot.
+
+        Validates keys and rejects cycles (:class:`GraphCycleError`)
+        *before* submitting anything, then submits in topological order —
+        explicit ``deps`` edges plus any buffer hazards the scheduler
+        detects on its own.  Returns a :class:`GraphHandle`; index it by
+        task key for per-task handles or call ``result()`` for the whole
+        graph.
+        """
+        if isinstance(tasks, TaskSpace):
+            if name is None:
+                name = tasks.name
+            task_list = tasks.tasks()
+        else:
+            task_list = list(tasks)
+        order = topological_order(task_list)
+        graph_id = f"{name or 'graph'}-{next(self._graph_ids)}"
+        by_key: dict[Any, LaunchHandle] = {}
+        for task in order:
+            args = (task.args if task.args is not None
+                    else task.workload.full_args(task.rng_seed))
+            by_key[task.key] = self._submit(
+                session, task.workload, args,
+                after=tuple(by_key[dep] for dep in task.deps),
+                graph_id=graph_id, key=task.key,
+            )
+        return GraphHandle(graph_id,
+                           {task.key: by_key[task.key] for task in task_list})
+
+    def submit_chain(self, session: ClientSession, chain) -> GraphHandle:
+        """Submit a :class:`repro.workloads.chains.KernelChain` as one graph."""
+        tasks = [
+            GraphTask(key=task.key, workload=task.workload, args=task.args,
+                      deps=tuple(task.deps))
+            for task in chain.tasks
+        ]
+        return self.submit_graph(session, tasks, name=chain.name)
 
     # -- kernel preparation ----------------------------------------------------
 
@@ -387,8 +590,14 @@ class DopiaServer:
         """Load-aware DoP selection through the LRU cache.
 
         Predictions use the *bucketed* load, so a cache entry is exact for
-        every snapshot in its bucket.
+        every snapshot in its bucket.  With ``load_aware`` off the load
+        is zeroed before bucketing, so every launch lands in the idle
+        bucket and gets the idle configuration.
         """
+        if not self.load_aware:
+            load = LoadSnapshot(cpu_util=0.0, gpu_util=0.0,
+                                in_flight=load.in_flight,
+                                waiting=load.waiting)
         bucketed = load.bucketed(self.load_buckets)
         key = (
             prepared.static.as_tuple(),
@@ -463,22 +672,68 @@ class DopiaServer:
             if item is _STOP:
                 return
             request: _Request = item
+            node = request.node
+            if node is not None:
+                self.graph.note_start(node)
             try:
                 result = self._serve(request)
             except BaseException as error:  # noqa: BLE001 - delivered to client
                 self.stats.record_failure()
+                if node is not None:
+                    self._settle_failure(node, error)
                 request.handle._fail(error)
             else:
+                # Graph settles before the handle resolves: a client that
+                # waits on result() then resubmits can never observe its
+                # completed predecessor as still live.
+                if node is not None:
+                    for ready in self.graph.complete(node):
+                        self._dispatch(ready)
                 request.handle._resolve(result)
+
+    def _dispatch(self, node: TaskNode) -> None:
+        """A parked launch's last dependency completed: queue it."""
+        self.ledger.note_waiting(-1)
+        if tracer.enabled:
+            tracer.instant("serve.unpark", "serve",
+                           session=node.request.session,
+                           seq=node.request.seq,
+                           kernel=node.request.workload.kernel_name)
+        self._queue.put(node.request)
+
+    def _settle_failure(self, node: TaskNode, error: BaseException) -> None:
+        """Propagate a launch failure through the graph.
+
+        Output-dependents (RAW/WAW/explicit edges, transitively) fail
+        with :class:`DependencyFailedError` without ever running; pure
+        WAR dependents — which only waited to avoid clobbering the failed
+        launch's input — are released to run.
+        """
+        ready, poisoned = self.graph.fail(node, error)
+        for runnable in ready:
+            self._dispatch(runnable)
+        for victim in poisoned:
+            self.ledger.note_waiting(-1)
+            self.stats.record_dep_failure()
+            if tracer.enabled:
+                tracer.instant("serve.dep_failed", "serve",
+                               session=victim.request.session,
+                               seq=victim.request.seq,
+                               kernel=victim.request.workload.kernel_name)
+            victim.request.handle._fail(victim.error)
 
     def _serve(self, request: _Request) -> ServeResult:
         workload = request.workload
         ndrange = workload.ndrange()
         traced = tracer.enabled
-        with tracer.context(session=request.session):
+        node = request.node
+        graph_kv = ({"graph": node.graph_id}
+                    if node is not None and node.graph_id else {})
+        with tracer.context(session=request.session, **graph_kv):
             with tracer.span(
                 "serve.launch", "serve",
                 kernel=workload.kernel_name, seq=request.seq,
+                deps=node.deps if node is not None else 0, **graph_kv,
             ) if traced else NULL_SPAN:
                 prepared = self._prepare(workload)
                 try:
@@ -542,27 +797,31 @@ class DopiaServer:
                                 chunk_divisor=self.chunk_divisor,
                                 backend=self.backend,
                             )
-                    with tracer.span("serve.simulate", "sim",
-                                     kernel=workload.kernel_name) if traced else NULL_SPAN:
-                        scalars = {name: request.args[name]
-                                   for name in prepared.info.scalar_params}
-                        sim_key = (
-                            workload.kernel_name, workload.source,
-                            ndrange.total_work_items,
-                            ndrange.work_items_per_group, ndrange.work_dim,
-                            tuple(sorted(scalars.items())),
-                            setting.cpu_threads, setting.gpu_fraction,
-                        )
-                        sim, _ = self.sim_cache.get_or_compute(
-                            sim_key,
-                            lambda: self._simulate(prepared, workload, ndrange,
-                                                   scalars, setting),
-                        )
+                    sim = None
+                    if self.simulate:
+                        with tracer.span("serve.simulate", "sim",
+                                         kernel=workload.kernel_name) if traced else NULL_SPAN:
+                            scalars = {name: request.args[name]
+                                       for name in prepared.info.scalar_params}
+                            sim_key = (
+                                workload.kernel_name, workload.source,
+                                ndrange.total_work_items,
+                                ndrange.work_items_per_group, ndrange.work_dim,
+                                tuple(sorted(scalars.items())),
+                                setting.cpu_threads, setting.gpu_fraction,
+                            )
+                            sim, _ = self.sim_cache.get_or_compute(
+                                sim_key,
+                                lambda: self._simulate(prepared, workload,
+                                                       ndrange, scalars,
+                                                       setting),
+                            )
                     slowdown = self._contention_slowdown(prediction, bucketed)
-                    service_time = (sim.time_s * slowdown
-                                    + prediction.inference_cost_s)
+                    service_time = ((sim.time_s * slowdown) if sim is not None
+                                    else 0.0) + prediction.inference_cost_s
                     if self.dwell_scale > 0.0:
-                        time.sleep(min(self.dwell_cap_s,
+                        time.sleep(self.dwell_cap_s if sim is None else
+                                   min(self.dwell_cap_s,
                                        service_time * self.dwell_scale))
                 finally:
                     self.ledger.release(lease)
@@ -580,6 +839,8 @@ class DopiaServer:
                     service_time_s=service_time,
                     latency_s=latency,
                     args=request.args,
+                    graph_id=node.graph_id if node is not None else None,
+                    deps=node.deps if node is not None else 0,
                 )
                 self.stats.record(result, adapted)
                 if traced:

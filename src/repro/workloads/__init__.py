@@ -10,6 +10,15 @@ from .applications import (
     MvtApplication,
     PageRankApplication,
 )
+from .chains import (
+    CHAIN_FACTORIES,
+    ChainTask,
+    KernelChain,
+    make_atax_chain,
+    make_bicg_chain,
+    make_fdtd_chain,
+    make_mvt_chain,
+)
 from .pagerank import PAGERANK_SRC, make_pagerank, pagerank_reference
 from .polybench import (
     make_atax1,
@@ -96,6 +105,8 @@ def scaled_real_workloads() -> list[Workload]:
 
 
 __all__ = [
+    "CHAIN_FACTORIES", "ChainTask", "KernelChain", "make_atax_chain",
+    "make_bicg_chain", "make_fdtd_chain", "make_mvt_chain",
     "APPLICATIONS", "AppResult", "Application", "AtaxApplication",
     "BicgApplication", "FdtdApplication", "MvtApplication",
     "PageRankApplication",

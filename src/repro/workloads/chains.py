@@ -1,0 +1,240 @@
+"""Registered multi-kernel chains: applications as submittable task graphs.
+
+:mod:`repro.workloads.applications` drives multi-kernel applications
+through the ``repro.cl`` API with host control flow between launches.
+This module packages the same applications as *data*: a
+:class:`KernelChain` is a list of :class:`ChainTask`\\ s (workload +
+bound argument dict + named dependencies) over one shared buffer set,
+ready to hand to ``DopiaServer.submit_chain`` — the whole chain goes to
+the server in one shot and pipelines worker-to-worker — or to
+:func:`repro.core.runtime.execute_chain_serial` for the serial oracle.
+
+Each chain carries its NumPy-reference final buffer values, so
+correctness is checked the same way the application drivers do.
+
+Dependency shape per chain (what the graph scheduler should discover
+from buffer hazards alone; the explicit ``deps`` make it self-describing):
+
+``FDTD``
+    per timestep ``t``: ``s1@t`` (ey) and ``s2@t`` (ex) are independent,
+    ``s3@t`` (hz) needs both; ``s1/s2@t+1`` need ``s3@t`` — critical
+    path 2 kernels per step vs 3 serial.
+``ATAX``
+    ``a1`` (tmp = A x) then ``a2`` (y = Aᵀ tmp), strictly serial.
+``BICG``
+    ``s = Aᵀ r`` and ``q = A p`` share only reads — width 2, no edges.
+``MVT``
+    two independent accumulation chains (``x1 += A y1`` repeated, and
+    ``x2 += Aᵀ y2`` repeated) — each rep depends on the previous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .applications import _fdtd_reference
+from .polybench import (
+    make_atax1,
+    make_atax2,
+    make_bicg1,
+    make_bicg2,
+    make_fdtd1,
+    make_fdtd2,
+    make_fdtd3,
+    make_mvt1,
+    make_mvt2,
+)
+from .registry import Workload
+
+
+@dataclass(frozen=True)
+class ChainTask:
+    """One launch of a chain: workload, bound args, named dependencies."""
+
+    key: str
+    workload: Workload
+    args: dict
+    deps: tuple[str, ...] = ()
+
+
+@dataclass
+class KernelChain:
+    """A submittable multi-kernel application over shared buffers.
+
+    ``buffers`` are the live arrays the tasks mutate; ``expected`` holds
+    the NumPy-reference final values for the buffers the application
+    verifies (computed at construction from the initial state).
+    """
+
+    name: str
+    tasks: list[ChainTask]
+    buffers: dict[str, np.ndarray]
+    expected: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def verify(self, rtol: float = 1e-6, atol: float = 1e-9) -> bool:
+        """Do the live buffers match the NumPy reference?"""
+        return all(
+            np.allclose(self.buffers[name], value, rtol=rtol, atol=atol)
+            for name, value in self.expected.items()
+        )
+
+    def buffer_bytes(self) -> dict[str, bytes]:
+        """Raw bytes of every buffer — the bit-identity comparison unit."""
+        return {name: arr.tobytes() for name, arr in self.buffers.items()}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def _pad(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def make_fdtd_chain(steps: int = 2, grid: int = 8,
+                    wg: tuple[int, int] = (4, 4), seed: int = 0) -> KernelChain:
+    """FDTD-2D: ``steps`` timesteps of the three field updates as one graph."""
+    rng = np.random.default_rng(seed)
+    nx = ny = grid
+    buffers = {
+        "ex": rng.uniform(-1, 1, nx * (ny + 1)),
+        "ey": rng.uniform(-1, 1, (nx + 1) * ny),
+        "hz": rng.uniform(-1, 1, nx * ny),
+        "_fict_": rng.uniform(-1, 1, steps + 1),
+    }
+    ref = _fdtd_reference(
+        buffers["ex"].copy(), buffers["ey"].copy(), buffers["hz"].copy(),
+        buffers["_fict_"], nx, ny, steps,
+    )
+    size = (_pad(grid, wg[0]), _pad(grid, wg[1]))
+    geometry = dict(global_size=size, local_size=wg)
+    step2 = make_fdtd2().scaled(
+        key=f"FDTD2/chain{grid}", scalar_args={"nx": nx, "ny": ny}, **geometry)
+    step3 = make_fdtd3().scaled(
+        key=f"FDTD3/chain{grid}", scalar_args={"nx": nx, "ny": ny}, **geometry)
+    fields = {name: buffers[name] for name in ("ex", "ey", "hz")}
+    tasks: list[ChainTask] = []
+    for t in range(steps):
+        step1 = make_fdtd1().scaled(
+            key=f"FDTD1/chain{grid}/t{t}",
+            scalar_args={"t": t, "nx": nx, "ny": ny}, **geometry)
+        prev = (f"s3@{t - 1}",) if t > 0 else ()
+        tasks.append(ChainTask(
+            key=f"s1@{t}", workload=step1,
+            args={"_fict_": buffers["_fict_"], **fields, **step1.scalar_args},
+            deps=prev))
+        tasks.append(ChainTask(
+            key=f"s2@{t}", workload=step2,
+            args={**fields, **step2.scalar_args}, deps=prev))
+        tasks.append(ChainTask(
+            key=f"s3@{t}", workload=step3,
+            args={**fields, **step3.scalar_args},
+            deps=(f"s1@{t}", f"s2@{t}")))
+    return KernelChain(
+        name=f"fdtd{grid}x{steps}", tasks=tasks, buffers=buffers,
+        expected={"ex": ref[0], "ey": ref[1], "hz": ref[2]},
+    )
+
+
+def make_atax_chain(n: int = 24, wg: int = 8, reps: int = 1,
+                    seed: int = 0) -> KernelChain:
+    """ATAX: ``tmp = A x`` then ``y = Aᵀ tmp``, repeated ``reps`` times."""
+    rng = np.random.default_rng(seed)
+    buffers = {
+        "A": rng.uniform(-1, 1, n * n),
+        "x": rng.uniform(-1, 1, n),
+        "tmp": np.zeros(n),
+        "y": np.zeros(n),
+    }
+    kernel1 = make_atax1(n=n, wg=wg).scaled(key=f"ATAX1/chain{n}")
+    kernel2 = make_atax2(n=n, wg=wg).scaled(key=f"ATAX2/chain{n}")
+    args1 = {"A": buffers["A"], "x": buffers["x"], "tmp": buffers["tmp"],
+             **kernel1.scalar_args}
+    args2 = {"A": buffers["A"], "y": buffers["y"], "tmp": buffers["tmp"],
+             **kernel2.scalar_args}
+    tasks: list[ChainTask] = []
+    for rep in range(reps):
+        prev = (f"a2@{rep - 1}",) if rep > 0 else ()
+        tasks.append(ChainTask(key=f"a1@{rep}", workload=kernel1, args=args1,
+                               deps=prev))
+        tasks.append(ChainTask(key=f"a2@{rep}", workload=kernel2, args=args2,
+                               deps=(f"a1@{rep}",)))
+    M = buffers["A"].reshape(n, n)
+    return KernelChain(
+        name=f"atax{n}x{reps}", tasks=tasks, buffers=buffers,
+        expected={"tmp": M @ buffers["x"], "y": M.T @ (M @ buffers["x"])},
+    )
+
+
+def make_bicg_chain(n: int = 24, wg: int = 8, seed: int = 0) -> KernelChain:
+    """BiCG sub-step: ``s = Aᵀ r`` ∥ ``q = A p`` — a width-2 graph."""
+    rng = np.random.default_rng(seed)
+    buffers = {
+        "A": rng.uniform(-1, 1, n * n),
+        "r": rng.uniform(-1, 1, n),
+        "p": rng.uniform(-1, 1, n),
+        "s": np.zeros(n),
+        "q": np.zeros(n),
+    }
+    kernel1 = make_bicg1(n=n, wg=wg).scaled(key=f"BICG1/chain{n}")
+    kernel2 = make_bicg2(n=n, wg=wg).scaled(key=f"BICG2/chain{n}")
+    tasks = [
+        ChainTask(key="b1", workload=kernel1,
+                  args={"A": buffers["A"], "r": buffers["r"],
+                        "s": buffers["s"], **kernel1.scalar_args}),
+        ChainTask(key="b2", workload=kernel2,
+                  args={"A": buffers["A"], "p": buffers["p"],
+                        "q": buffers["q"], **kernel2.scalar_args}),
+    ]
+    M = buffers["A"].reshape(n, n)
+    return KernelChain(
+        name=f"bicg{n}", tasks=tasks, buffers=buffers,
+        expected={"s": M.T @ buffers["r"], "q": M @ buffers["p"]},
+    )
+
+
+def make_mvt_chain(n: int = 24, wg: int = 8, reps: int = 2,
+                   seed: int = 0) -> KernelChain:
+    """MVT: two independent accumulation chains, ``reps`` launches each."""
+    rng = np.random.default_rng(seed)
+    buffers = {
+        "A": rng.uniform(-1, 1, n * n),
+        "x1": rng.uniform(-1, 1, n),
+        "x2": rng.uniform(-1, 1, n),
+        "y1": rng.uniform(-1, 1, n),
+        "y2": rng.uniform(-1, 1, n),
+    }
+    kernel1 = make_mvt1(n=n, wg=wg).scaled(key=f"MVT1/chain{n}")
+    kernel2 = make_mvt2(n=n, wg=wg).scaled(key=f"MVT2/chain{n}")
+    args1 = {"A": buffers["A"], "x1": buffers["x1"], "y1": buffers["y1"],
+             **kernel1.scalar_args}
+    args2 = {"A": buffers["A"], "x2": buffers["x2"], "y2": buffers["y2"],
+             **kernel2.scalar_args}
+    tasks: list[ChainTask] = []
+    for rep in range(reps):
+        tasks.append(ChainTask(
+            key=f"m1@{rep}", workload=kernel1, args=args1,
+            deps=(f"m1@{rep - 1}",) if rep > 0 else ()))
+        tasks.append(ChainTask(
+            key=f"m2@{rep}", workload=kernel2, args=args2,
+            deps=(f"m2@{rep - 1}",) if rep > 0 else ()))
+    M = buffers["A"].reshape(n, n)
+    x1_ref = buffers["x1"].copy()
+    x2_ref = buffers["x2"].copy()
+    for _ in range(reps):
+        x1_ref = x1_ref + M @ buffers["y1"]
+        x2_ref = x2_ref + M.T @ buffers["y2"]
+    return KernelChain(
+        name=f"mvt{n}x{reps}", tasks=tasks, buffers=buffers,
+        expected={"x1": x1_ref, "x2": x2_ref},
+    )
+
+
+#: Chain factories by application name, for the CLI and the chained bench.
+CHAIN_FACTORIES = {
+    "FDTD": make_fdtd_chain,
+    "ATAX": make_atax_chain,
+    "BICG": make_bicg_chain,
+    "MVT": make_mvt_chain,
+}

@@ -58,3 +58,37 @@ def test_bench_ledger_fills_under_dwell(trained_model):
     assert report["predictions"]["under_load"] > 0
     assert report["ledger"]["peak_gpu_util"] > 0.0 \
         or report["ledger"]["peak_cpu_util"] > 0.0
+
+
+def test_chained_bench_report_shape_and_bit_identity(trained_model):
+    """Small chained run: both modes serve every launch, bit-identically."""
+    from repro.serve.bench import run_chained_serve_bench
+
+    report = run_chained_serve_bench(
+        KAVERI, trained_model,
+        clients=2, steps=2, grid=8, chains_per_client=1,
+    )
+    assert report["mode"] == "chained"
+    assert report["chain"] == "FDTD"
+    assert report["total_launches"] == 2 * 2 * 3   # clients x steps x kernels
+    assert report["bit_identical"] is True
+    for mode in ("sync", "graph"):
+        run = report[mode]
+        assert run["throughput_lps"] > 0.0
+        assert run["verified"] is True
+        assert run["drained"] is True
+    # the graph mode actually exercised the scheduler: FDTD's s3@t
+    # parks on s1/s2 and s1/s2@t+1 park on s3@t
+    assert report["graph"]["graph"]["parked"] > 0
+    assert report["speedup_graph_over_sync"] > 0.0
+    json.dumps(report)   # merged into BENCH_serve.json under "chained"
+
+
+def test_chained_bench_rejects_degenerate_runs(trained_model):
+    from repro.serve.bench import run_chained_serve_bench
+
+    with pytest.raises(ValueError):
+        run_chained_serve_bench(KAVERI, trained_model, clients=0)
+    with pytest.raises(ValueError):
+        run_chained_serve_bench(KAVERI, trained_model, clients=1,
+                                chains_per_client=0)

@@ -1,0 +1,261 @@
+"""Hazard matching, failure propagation, and the stale-read regression.
+
+Unit-level coverage of the dependency-aware graph runtime: read/write
+set derivation (:func:`launch_rw_summary` and declared-intent override),
+the RAW/WAW/WAR classifier over host byte ranges, ``then()`` chaining,
+and the chaos path — a mid-graph launch that raises must fail its
+output-dependents with :class:`DependencyFailedError` carrying the root
+cause while independent branches and pure-WAR dependents proceed.
+
+Every test that asserts an edge *formed* runs the server with a small
+lease dwell, so the predecessor is still in flight when the dependent is
+admitted — edge formation is then deterministic, not a race against the
+worker pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accessmodel import launch_rw_summary
+from repro.serve import DependencyFailedError, DopiaServer
+from repro.serve.graph import RAW, WAR, WAW, buffer_ranges, hazard_kind
+from repro.sim import KAVERI
+from repro.workloads import Workload
+from repro.workloads.polybench import make_atax1, make_fdtd2
+
+N = 64
+WG = 16
+GEOM = dict(global_size=(N,), local_size=(WG,))
+
+WRITER_SRC = (
+    "__kernel void writer(__global float* dst, __global float* src)"
+    "{ int i = get_global_id(0); dst[i] = src[i] * 2.0f; }"
+)
+READER_SRC = (
+    "__kernel void reader(__global float* out, __global float* dst)"
+    "{ int i = get_global_id(0); out[i] = dst[i] + 1.0f; }"
+)
+#: fails at runtime (data-dependent out-of-bounds store), not at build:
+#: reads ``idx``, writes ``dst`` — so WAR dependents can target ``idx``
+BROKEN_SRC = (
+    "__kernel void broken(__global float* dst, __global float* idx)"
+    "{ int i = get_global_id(0); dst[(int)idx[i]] = 1.0f; }"
+)
+
+WRITER = Workload(key="graph/writer", source=WRITER_SRC,
+                  kernel_name="writer", **GEOM)
+READER = Workload(key="graph/reader", source=READER_SRC,
+                  kernel_name="reader", **GEOM)
+BROKEN = Workload(key="graph/broken", source=BROKEN_SRC,
+                  kernel_name="broken", **GEOM)
+
+
+def make_server(model, *, dwell_cap_s=0.0, **kw):
+    """Scalar-backend test server; a positive dwell pins every completed
+    launch in the ledger/graph for that long, making edge formation
+    against it deterministic for a client submitting microseconds later."""
+    kw.setdefault("workers", 4)
+    kw.setdefault("backend", "scalar")
+    if dwell_cap_s > 0.0:
+        kw.update(dwell_scale=1e6, dwell_cap_s=dwell_cap_s)
+    return DopiaServer(KAVERI, model, **kw)
+
+
+def event_index(server, what, node):
+    return list(server.graph.events).index((what, node.id, node.label))
+
+
+# -- read/write set derivation ----------------------------------------------
+
+
+def test_rw_summary_classifies_atax1():
+    """ATAX1 (tmp = A x): A and x are read-only, tmp is accumulated —
+    a read-modify-write, so it lands in both sets."""
+    summary = launch_rw_summary(make_atax1(n=8, wg=4).kernel_info())
+    assert {"A", "x"} <= summary.reads
+    assert summary.writes == {"tmp"}
+    assert "A" not in summary.writes and "x" not in summary.writes
+
+
+def test_rw_summary_drops_untouched_params():
+    """FDTD2 declares ``ey`` but never touches it — neither set.
+
+    This is what lets FDTD's s1 (writes ey) and s2 (writes ex) run
+    concurrently inside one timestep: a declared-params fallback would
+    serialise them on a phantom conflict.
+    """
+    summary = launch_rw_summary(make_fdtd2().kernel_info())
+    assert "ey" not in summary.reads
+    assert "ey" not in summary.writes
+
+
+def test_buffer_ranges_views_overlap_distinct_allocations_do_not():
+    base = np.zeros(N)
+    view = base[10:30]
+    other = np.zeros(N)
+    (base_range,) = buffer_ranges({"b": base}, ["b"])
+    (view_range,) = buffer_ranges({"v": view}, ["v"])
+    (other_range,) = buffer_ranges({"o": other}, ["o"])
+    assert base_range[0] <= view_range[0] < view_range[1] <= base_range[1]
+
+    class Node:
+        def __init__(self, reads, writes):
+            self.read_ranges = reads
+            self.write_ranges = writes
+
+    writer_view = Node((), (view_range,))
+    reader_base = Node((base_range,), ())
+    assert hazard_kind(reader_base, writer_view) == RAW
+    assert hazard_kind(Node((), (other_range,)), writer_view) is None
+    assert hazard_kind(Node((), (base_range,)), writer_view) == WAW
+    assert hazard_kind(writer_view, reader_base) == WAR
+
+
+# -- implicit hazards through the server ------------------------------------
+
+
+def test_raw_dependent_sees_writer_output_no_client_wait(trained_model):
+    """Stale-read regression: reader submitted right behind its writer.
+
+    Before hazard matching, both launches went straight to the worker
+    pool and the reader could execute against the pre-writer bytes of
+    ``dst``.  Now the reader parks on a RAW edge, so its output must be
+    computed from the writer's result on every iteration.
+    """
+    rounds = 10
+    with make_server(trained_model, dwell_cap_s=0.01) as server:
+        session = server.session("raw")
+        for round_ in range(rounds):
+            src = np.full(N, float(round_ + 1))
+            dst = np.zeros(N)
+            out = np.zeros(N)
+            writer = session.launch(WRITER, {"dst": dst, "src": src})
+            reader = session.launch(READER, {"out": out, "dst": dst})
+            reader.result(timeout=60.0)
+            writer.result(timeout=60.0)
+            np.testing.assert_array_equal(dst, src * 2.0)
+            np.testing.assert_array_equal(out, src * 2.0 + 1.0)
+        assert server.graph.snapshot()["hazards_raw"] >= rounds
+        assert server.drain(timeout=30.0)
+
+
+def test_war_writer_waits_for_reader(trained_model):
+    """A writer of ``dst`` submitted behind a reader of ``dst`` parks.
+
+    The events log gives a deterministic ordering proof: the reader's
+    ``done`` precedes the writer's ``start`` on every round, so the
+    reader always saw the pre-writer bytes.
+    """
+    with make_server(trained_model, dwell_cap_s=0.01) as server:
+        session = server.session("war")
+        for round_ in range(5):
+            shared = np.full(N, float(round_))
+            out = np.zeros(N)
+            src = np.full(N, 7.0)
+            reader = session.launch(READER, {"out": out, "dst": shared})
+            writer = session.launch(WRITER, {"dst": shared, "src": src})
+            writer.result(timeout=60.0)
+            reader.result(timeout=60.0)
+            assert (event_index(server, "done", reader.node)
+                    < event_index(server, "start", writer.node))
+            np.testing.assert_array_equal(out, float(round_) + 1.0)
+            np.testing.assert_array_equal(shared, 14.0)
+        assert server.graph.snapshot()["hazards_war"] >= 5
+
+
+def test_declared_intents_override_derived_sets(trained_model):
+    """``reads``/``writes`` declarations replace the summary per side."""
+    with make_server(trained_model, dwell_cap_s=0.02) as server:
+        session = server.session("intents")
+        src, dst, out = np.ones(N), np.zeros(N), np.zeros(N)
+        # natural RAW on `dst`... but the reader declares itself free
+        blocked = session.launch(WRITER, {"dst": dst, "src": src})
+        free = session.launch(READER, {"out": out, "dst": dst},
+                              reads=(), writes=("out",))
+        assert free.node.deps == 0
+        blocked.result(timeout=60.0)
+        free.result(timeout=60.0)
+
+        # declared write on `src` manufactures an edge the kernel's own
+        # summary (writer never writes src) would not produce
+        phantom = session.launch(WRITER, {"dst": np.zeros(N), "src": src},
+                                 writes=("dst", "src"))
+        dependent = session.launch(READER, {"out": np.zeros(N), "dst": src})
+        assert dependent.node.deps == 1
+        assert dependent.node.pending.get(phantom.node.id) == RAW
+        phantom.result(timeout=60.0)
+        dependent.result(timeout=60.0)
+        assert server.drain(timeout=30.0)
+
+
+def test_then_chains_pipeline_in_order(trained_model):
+    """``h.then(...)`` hops run server-side, in submission order."""
+    with make_server(trained_model) as server:
+        session = server.session("then")
+        buffers = [np.full(N, 1.0)] + [np.zeros(N) for _ in range(3)]
+        first = session.launch(
+            WRITER, {"dst": buffers[1], "src": buffers[0]})
+        second = first.then(WRITER, {"dst": buffers[2], "src": buffers[1]})
+        third = second.then(WRITER, {"dst": buffers[3], "src": buffers[2]})
+        third.result(timeout=60.0)
+        np.testing.assert_array_equal(buffers[3], 8.0)
+        for earlier, later in ((first, second), (second, third)):
+            assert (event_index(server, "done", earlier.node)
+                    < event_index(server, "start", later.node))
+        assert server.drain(timeout=30.0)
+
+
+# -- chaos: mid-graph failure ------------------------------------------------
+
+
+def test_failure_poisons_output_dependents_only(trained_model):
+    """A raising launch fails RAW dependents transitively, spares WAR
+    dependents and independent branches; the server fully drains."""
+    with make_server(trained_model, dwell_cap_s=0.15) as server:
+        session = server.session("chaos")
+        oob = np.full(N, 1e9)           # every store lands out of bounds
+        poisoned_dst = np.zeros(N)
+        out = np.zeros(N)
+        side_src = np.ones(N)
+        side_dst = np.zeros(N)
+
+        # the gate's 150ms dwell keeps `bad` parked while the rest of
+        # the graph is admitted against it
+        gate = session.launch(WRITER, {"dst": np.zeros(N), "src": side_src})
+        bad = session.launch(BROKEN, {"dst": poisoned_dst, "idx": oob},
+                             after=(gate,))
+        # RAW on the failed write -> poisoned, transitively via `then`
+        victim = session.launch(READER, {"out": out, "dst": poisoned_dst})
+        grand = victim.then(WRITER, {"dst": np.zeros(N), "src": out})
+        # WAR only: overwrites the failed launch's *input* — released
+        war_only = session.launch(WRITER, {"dst": oob, "src": side_src})
+        assert war_only.node.pending.get(bad.node.id) == WAR
+        # independent branch: untouched buffers
+        branch = session.launch(WRITER, {"dst": side_dst, "src": side_src})
+
+        with pytest.raises(Exception) as bad_error:
+            bad.result(timeout=60.0)
+        assert not isinstance(bad_error.value, DependencyFailedError)
+
+        for dependent in (victim, grand):
+            with pytest.raises(DependencyFailedError) as excinfo:
+                dependent.result(timeout=60.0)
+            assert excinfo.value.root_cause is bad_error.value
+            assert "broken" in excinfo.value.failed_task
+            assert excinfo.value.__cause__ is bad_error.value
+
+        war_only.result(timeout=60.0)
+        branch.result(timeout=60.0)
+        np.testing.assert_array_equal(oob, 2.0)
+        np.testing.assert_array_equal(side_dst, 2.0)
+        np.testing.assert_array_equal(out, 0.0)   # victim never ran
+        np.testing.assert_array_equal(poisoned_dst, 0.0)
+
+        assert server.drain(timeout=30.0)
+        assert server.ledger.in_flight == 0
+        assert server.ledger.waiting == 0
+        assert server.graph.drained
+        assert server.graph.snapshot()["poisoned"] == 2
+        with server.stats._lock:
+            assert server.stats.dep_failed == 2
+            assert server.stats.failed == 3   # the root + two poisoned

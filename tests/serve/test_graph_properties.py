@@ -1,0 +1,210 @@
+"""Property harness: random task graphs through the server == serial run.
+
+Hypothesis generates random launch sequences over a small shared buffer
+pool — every task does an order-sensitive update ``w = 0.5*w +
+0.25*(sum of reads) + c`` — and submits them to :class:`DopiaServer`
+back-to-back with **no client-side waits**, so ordering is entirely the
+graph scheduler's job.  For every generated graph:
+
+* **hazard order** — for each pair of conflicting tasks (one writes a
+  buffer the other touches), the earlier submission's ``done`` event
+  precedes the later's ``start`` event;
+* **no lost or duplicated launches** — every task starts exactly once
+  and finishes exactly once;
+* **serial equivalence** — the final bytes of every buffer are
+  bit-identical to a fresh copy of the same task sequence executed one
+  task at a time in submission order
+  (:func:`repro.core.runtime.execute_chain_serial`), on the scalar
+  interpreter and the jit tier alike.
+
+``DOPIA_GRAPH_EXAMPLES`` scales the example count (default 100 per
+backend — 200 graphs per run; CI's stress lane runs a faster subset).
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runtime import execute_chain_serial
+from repro.serve import DopiaServer, GraphCycleError, TaskSpace
+from repro.sim import KAVERI
+from repro.workloads import Workload
+from repro.workloads.chains import ChainTask, KernelChain
+
+N = 64
+WG = 16
+NUM_BUFFERS = 4
+MAX_READS = 3
+EXAMPLES = int(os.environ.get("DOPIA_GRAPH_EXAMPLES", "100"))
+BACKENDS = ("scalar", "jit")
+
+
+def _task_source(n_reads: int) -> str:
+    params = "".join(f"__global float* r{k}, " for k in range(n_reads))
+    reads = " + ".join(f"r{k}[i]" for k in range(n_reads)) or "0.0f"
+    return (
+        f"__kernel void task(__global float* w, {params}float c)"
+        f"{{ int i = get_global_id(0); "
+        f"w[i] = 0.5f * w[i] + 0.25f * ({reads}) + c; }}"
+    )
+
+
+#: one workload per read-arity; the update reads ``w`` too, so ordering
+#: matters for every pair that shares a written buffer
+TASKS = {
+    k: Workload(key=f"graph/prop{k}", source=_task_source(k),
+                kernel_name="task", global_size=(N,), local_size=(WG,))
+    for k in range(MAX_READS + 1)
+}
+
+#: (write buffer, read buffers, scalar) — one generated launch
+task_st = st.tuples(
+    st.integers(0, NUM_BUFFERS - 1),
+    st.lists(st.integers(0, NUM_BUFFERS - 1),
+             max_size=MAX_READS, unique=True).map(tuple),
+    st.integers(-4, 4),
+)
+graph_st = st.lists(task_st, min_size=3, max_size=8)
+
+_INITIAL = np.random.default_rng(20260808).uniform(-1, 1, (NUM_BUFFERS, N))
+
+
+def fresh_buffers() -> list[np.ndarray]:
+    return [_INITIAL[b].copy() for b in range(NUM_BUFFERS)]
+
+
+def task_args(task, buffers) -> dict:
+    write, reads, c = task
+    args = {"w": buffers[write]}
+    for k, b in enumerate(reads):
+        args[f"r{k}"] = buffers[b]
+    args["c"] = float(c)
+    return args
+
+
+def conflicts(earlier, later) -> bool:
+    """Ground truth, from buffer indices alone: do the two tasks need an
+    order?  (One's write is touched by the other; ``w`` is also read.)"""
+    w_a, reads_a, _ = earlier
+    w_b, reads_b, _ = later
+    touched_a = {w_a, *reads_a}
+    touched_b = {w_b, *reads_b}
+    return w_a in touched_b or w_b in touched_a
+
+
+def serial_oracle(tasks, backend) -> list[bytes]:
+    """The same task sequence on fresh buffers, one launch at a time."""
+    buffers = fresh_buffers()
+    chain_tasks = []
+    for j, task in enumerate(tasks):
+        deps = tuple(f"t{i}" for i in range(j) if conflicts(tasks[i], task))
+        chain_tasks.append(ChainTask(
+            key=f"t{j}", workload=TASKS[len(task[1])],
+            args=task_args(task, buffers), deps=deps))
+    chain = KernelChain(name="prop", tasks=chain_tasks,
+                        buffers={str(b): buffers[b]
+                                 for b in range(NUM_BUFFERS)})
+    execute_chain_serial(chain, backend=backend)
+    return [buffers[b].tobytes() for b in range(NUM_BUFFERS)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=EXAMPLES, deadline=None)
+@given(tasks=graph_st)
+def test_random_graphs_match_serial_execution(trained_model, backend, tasks):
+    buffers = fresh_buffers()
+    with DopiaServer(KAVERI, trained_model, workers=4,
+                     backend=backend) as server:
+        session = server.session("prop")
+        handles = [session.launch(TASKS[len(task[1])],
+                                  task_args(task, buffers))
+                   for task in tasks]
+        for handle in handles:
+            handle.result(timeout=120.0)
+        assert server.drain(timeout=30.0)
+        events = list(server.graph.events)
+
+    # no lost or duplicated launches: one start + one done per task
+    for handle in handles:
+        node = handle.node
+        assert events.count(("start", node.id, node.label)) == 1
+        assert events.count(("done", node.id, node.label)) == 1
+
+    # hazard pairs execute in submission order
+    position = {
+        (what, node_id): at for at, (what, node_id, _) in enumerate(events)
+    }
+    for j, later in enumerate(tasks):
+        for i in range(j):
+            if not conflicts(tasks[i], later):
+                continue
+            done_i = position[("done", handles[i].node.id)]
+            start_j = position[("start", handles[j].node.id)]
+            assert done_i < start_j, (
+                f"task {i} conflicts with task {j} but finished after "
+                f"it started: {tasks[i]} vs {later}")
+
+    # bit-identical to the one-at-a-time run of the same sequence
+    expected = serial_oracle(tasks, backend)
+    for b in range(NUM_BUFFERS):
+        assert buffers[b].tobytes() == expected[b], f"buffer {b} diverged"
+
+
+@settings(max_examples=max(10, EXAMPLES // 4), deadline=None)
+@given(
+    deps_picks=st.lists(st.integers(0, 2 ** 8 - 1), min_size=2, max_size=7),
+)
+def test_explicit_random_dags_respect_declared_order(trained_model,
+                                                     deps_picks):
+    """submit_graph over private buffers: only declared edges order tasks.
+
+    Each task gets its own buffers (no hazards at all), and depends on a
+    random subset of earlier tasks encoded by ``deps_picks`` bitmasks —
+    so any ordering the events log shows is the explicit machinery's.
+    """
+    space = TaskSpace("rand")
+    deps_of = {}
+    for j, mask in enumerate(deps_picks):
+        deps = tuple(f"n{i}" for i in range(min(j, 8)) if mask & (1 << i))
+        deps_of[f"n{j}"] = deps
+        space.add(f"n{j}", TASKS[0],
+                  {"w": np.zeros(N), "c": float(j)}, deps=deps)
+    with DopiaServer(KAVERI, trained_model, workers=4,
+                     backend="scalar") as server:
+        handle = server.submit_graph(server.session("explicit"), space)
+        results = handle.result(timeout=120.0)
+        assert server.drain(timeout=30.0)
+        events = list(server.graph.events)
+
+    assert set(results) == set(deps_of)
+    assert all(r.graph_id == handle.graph_id for r in results.values())
+    position = {
+        (what, node_id): at for at, (what, node_id, _) in enumerate(events)
+    }
+    for key, deps in deps_of.items():
+        node = handle[key].node
+        for dep in deps:
+            assert (position[("done", handle[dep].node.id)]
+                    < position[("start", node.id)])
+
+
+def test_cycle_rejected_before_anything_runs(trained_model):
+    space = TaskSpace("cycle")
+    space.add("a", TASKS[0], {"w": np.zeros(N), "c": 0.0}, deps=["c"])
+    space.add("b", TASKS[0], {"w": np.zeros(N), "c": 0.0}, deps=["a"])
+    space.add("c", TASKS[0], {"w": np.zeros(N), "c": 0.0}, deps=["b"])
+    with DopiaServer(KAVERI, trained_model, workers=2,
+                     backend="scalar") as server:
+        session = server.session("cycle")
+        with pytest.raises(GraphCycleError):
+            server.submit_graph(session, space)
+        with server.stats._lock:
+            assert server.stats.submitted == 0   # rejected whole
+        # the server is unharmed: a well-formed graph still serves
+        ok = TaskSpace("ok")
+        out = np.zeros(N)
+        ok.add("only", TASKS[0], {"w": out, "c": 1.0})
+        server.submit_graph(session, ok).result(timeout=60.0)
+        np.testing.assert_allclose(out, 1.0)

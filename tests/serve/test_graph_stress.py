@@ -1,0 +1,96 @@
+"""Graph stress harness: concurrent clients, interleaved real chains.
+
+Eight barrier-synced clients each own a private FDTD-2D chain (two
+timesteps — the s1∥s2 diamond twice over) *and* a private ATAX chain
+(two strictly serial reps), submit both as whole graphs back-to-back,
+and wait.  The suite proves, under a watchdog so a scheduling deadlock
+fails fast instead of hanging CI:
+
+* **bit identity** — every chain's final buffers equal a fresh same-seed
+  chain executed one task at a time (the serial oracle), on the scalar
+  interpreter and the jit tier alike;
+* **numerical correctness** — each chain's NumPy reference still holds;
+* **clean drain** — when every handle has resolved, the ledger holds no
+  leases and no parked launches, and the graph scheduler is empty.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.runtime import execute_chain_serial
+from repro.serve import DopiaServer
+from repro.sim import KAVERI
+from repro.workloads.chains import make_atax_chain, make_fdtd_chain
+
+CLIENTS = 8
+WATCHDOG_S = 120.0
+BACKENDS = ("scalar", "jit")
+
+
+def make_chains(client: int):
+    """One FDTD + one ATAX chain, seeded per client (disjoint buffers)."""
+    return [
+        make_fdtd_chain(steps=2, grid=8, seed=client),
+        make_atax_chain(reps=2, seed=client),
+    ]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_interleaved_chains_bit_identical_and_drained(trained_model, backend):
+    chains = {client: make_chains(client) for client in range(CLIENTS)}
+    errors = []
+    errors_lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    with DopiaServer(KAVERI, trained_model, workers=2 * CLIENTS,
+                     backend=backend) as server:
+
+        def client_loop(client: int) -> None:
+            try:
+                session = server.session(f"stress-{client}")
+                barrier.wait(timeout=WATCHDOG_S)
+                handles = [server.submit_chain(session, chain)
+                           for chain in chains[client]]
+                for handle in handles:
+                    results = handle.result(timeout=WATCHDOG_S)
+                    assert all(r.trace is not None for r in results.values())
+            except BaseException as error:  # noqa: BLE001 - collected below
+                with errors_lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=client_loop, args=(client,),
+                                    name=f"stress-{client}")
+                   for client in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=WATCHDOG_S)
+            assert not thread.is_alive(), "stress client wedged (deadlock?)"
+        if errors:
+            raise errors[0]
+
+        # every lease and parked launch released at drain
+        assert server.drain(timeout=30.0)
+        assert server.ledger.in_flight == 0
+        assert server.ledger.waiting == 0
+        assert server.graph.drained
+        snapshot = server.graph.snapshot()
+        total = sum(len(chain) for client in chains.values()
+                    for chain in client)
+        assert snapshot["submitted"] == total
+        assert snapshot["poisoned"] == 0
+        with server.stats._lock:
+            assert server.stats.completed == total
+            assert server.stats.failed == 0
+
+    # bit identity + numerical correctness, per client and per chain
+    for client in range(CLIENTS):
+        for served, oracle in zip(chains[client], make_chains(client)):
+            execute_chain_serial(oracle, backend=backend)
+            assert served.buffer_bytes() == oracle.buffer_bytes(), (
+                f"client {client} chain {served.name} diverged from the "
+                f"serial oracle on backend {backend}")
+            assert served.verify(), (
+                f"client {client} chain {served.name} fails its NumPy "
+                f"reference on backend {backend}")

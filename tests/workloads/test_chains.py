@@ -1,0 +1,74 @@
+"""Registered kernel chains: shape, dependency wiring, and references.
+
+Every chain factory must produce a valid topological task order whose
+serial execution reproduces the chain's own NumPy reference — the same
+contract the graph scheduler is held to, established here without any
+server in the loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runtime import execute_chain_serial
+from repro.workloads.chains import (
+    CHAIN_FACTORIES,
+    make_atax_chain,
+    make_fdtd_chain,
+    make_mvt_chain,
+)
+
+
+@pytest.mark.parametrize("name", sorted(CHAIN_FACTORIES))
+def test_factories_execute_serially_and_verify(name):
+    chain = CHAIN_FACTORIES[name](seed=3)
+    execute_chain_serial(chain)
+    assert chain.verify(), f"{chain.name} diverged from its NumPy reference"
+
+
+@pytest.mark.parametrize("name", sorted(CHAIN_FACTORIES))
+def test_tasks_are_in_topological_order(name):
+    chain = CHAIN_FACTORIES[name](seed=0)
+    seen = set()
+    for task in chain.tasks:
+        assert set(task.deps) <= seen, (
+            f"{chain.name} lists {task.key} before its deps {task.deps}")
+        assert task.key not in seen
+        seen.add(task.key)
+
+
+def test_fdtd_chain_diamond_shape():
+    """Per timestep: s1 ∥ s2, s3 joins both, next step fans out of s3."""
+    chain = make_fdtd_chain(steps=3, grid=8)
+    assert len(chain) == 9
+    by_key = {task.key: task for task in chain.tasks}
+    for t in range(3):
+        assert set(by_key[f"s3@{t}"].deps) == {f"s1@{t}", f"s2@{t}"}
+        expected = (f"s3@{t - 1}",) if t > 0 else ()
+        assert by_key[f"s1@{t}"].deps == expected
+        assert by_key[f"s2@{t}"].deps == expected
+
+
+def test_atax_chain_is_strictly_serial():
+    chain = make_atax_chain(reps=2)
+    deps = [task.deps for task in chain.tasks]
+    assert deps == [(), ("a1@0",), ("a2@0",), ("a1@1",)]
+
+
+def test_mvt_chain_has_two_independent_lanes():
+    chain = make_mvt_chain(reps=2)
+    by_key = {task.key: task for task in chain.tasks}
+    assert by_key["m1@1"].deps == ("m1@0",)
+    assert by_key["m2@1"].deps == ("m2@0",)
+    lane1 = {"m1@0", "m1@1"}
+    for key in lane1:
+        assert not set(by_key[key].deps) & {"m2@0", "m2@1"}
+
+
+def test_chain_buffers_are_live_task_arguments():
+    """Tasks mutate the chain's own buffers (no hidden copies)."""
+    chain = make_atax_chain(reps=1, seed=1)
+    task = chain.tasks[0]
+    assert task.args["A"] is chain.buffers["A"]
+    before = chain.buffers["tmp"].copy()
+    execute_chain_serial(chain)
+    assert not np.array_equal(chain.buffers["tmp"], before)
