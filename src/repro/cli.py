@@ -661,18 +661,29 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     serial oracle.  With ``--out`` the chained report is merged under the
     top-level ``"chained"`` key, preserving the flat-bench ``"runs"`` (and
     vice versa).
+
+    ``--shards N`` switches to the sharded multi-process benchmark: clients
+    drive :class:`repro.serve.ShardedServer` with a pipelined window per
+    client, and the report (merged under ``"sharded"[str(N)]``) carries
+    per-shard blocks plus router counters.  Unless ``--no-verify``, an
+    untimed functional pass re-runs every workload and two chains through
+    the sharded data path and asserts bit-identity against the serial
+    oracle.  ``--check`` guards against the matching shard count in the
+    baseline's ``"sharded"`` dict.
     """
     import json
 
     from .core.runtime import DopiaRuntime
     from .serve import run_serve_bench
-    from .serve.bench import run_chained_serve_bench
+    from .serve.bench import run_chained_serve_bench, run_sharded_serve_bench
     from .workloads import SCALED_REAL_FACTORIES
 
     def merge_out(path: str, payload: dict, *, keep: tuple[str, ...]) -> None:
         """Write ``payload`` to ``path``, carrying over baseline keys in
-        ``keep`` from any existing report so the flat and chained benches
-        can update one BENCH_serve.json without clobbering each other."""
+        ``keep`` from any existing report so the flat, chained, and sharded
+        benches can update one BENCH_serve.json without clobbering each
+        other.  The ``"sharded"`` key is a dict of reports by shard count
+        and is merged entry-wise."""
         target = Path(path)
         if target.exists():
             try:
@@ -680,7 +691,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             except ValueError:
                 previous = {}
             for key in keep:
-                if key in previous and key not in payload:
+                if key not in previous:
+                    continue
+                if key == "sharded" and key in payload:
+                    merged = dict(previous[key])
+                    merged.update(payload[key])
+                    payload[key] = merged
+                elif key not in payload:
                     payload[key] = previous[key]
         target.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report   : {path}")
@@ -721,7 +738,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
         if args.out:
             merge_out(args.out, {"chained": report},
-                      keep=("runs", "scaling"))
+                      keep=("runs", "scaling", "sharded"))
 
         if args.check:
             try:
@@ -742,6 +759,76 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             if status != "ok":
                 raise SystemExit(
                     f"error: chained graph throughput regression "
+                    f"(< {args.check_ratio:.0%} of baseline)")
+        return 0
+
+    if args.shards:
+        platform = get_platform(args.platform)
+        jobs = args.jobs or default_jobs()
+        print(f"training {args.model} on {platform.name} "
+              "(cached after the first run) ...", file=sys.stderr)
+        runtime = DopiaRuntime.from_pretrained(
+            platform, model_name=args.model, jobs=jobs)
+        backend = args.backend or os.environ.get("DOPIA_BACKEND") or "auto"
+        clients = max(int(v) for v in args.clients.split(","))
+        report = run_sharded_serve_bench(
+            platform, runtime.predictor.model,
+            shards=args.shards,
+            clients=clients,
+            launches_per_client=args.launches,
+            window=args.window,
+            workers_per_shard=args.workers_per_shard,
+            backend=backend,
+            verify=not args.no_verify,
+        )
+        print(f"{args.shards} shard(s) x {report['workers_per_shard']} "
+              f"workers, {clients} clients (window {report['window']}): "
+              f"{report['throughput_lps']:9.1f} launches/s  "
+              f"p50={report['latency']['p50_ms']:.2f}ms "
+              f"p99={report['latency']['p99_ms']:.2f}ms")
+        for block in report["shard_reports"]:
+            cache = block["cache"]
+            print(f"  shard {block['shard']}: {block['launches']:5d} launches "
+                  f"({block['completed']} completed, {block['failed']} failed) "
+                  f"cache={cache['hit_rate']:.0%}")
+        router = report["router"]
+        print(f"router   : escalated={router['escalated']} "
+              f"chained_same_shard={router['chained_same_shard']} "
+              f"throttled={router['throttled']} shed={router['shed']} "
+              f"rerouted={router['rerouted']}")
+        if "verify" in report:
+            print(f"verify   : bit_identical={report['bit_identical']} "
+                  f"({report['verify']['workloads']} workloads, "
+                  f"chains {'/'.join(report['verify']['chains'])})")
+            if not report["bit_identical"]:
+                raise SystemExit("error: sharded bench output diverged from "
+                                 "the serial oracle (bit_identical=false)")
+
+        if args.out:
+            merge_out(args.out, {"sharded": {str(args.shards): report}},
+                      keep=("runs", "scaling", "chained", "sharded"))
+
+        if args.check:
+            try:
+                baseline = json.loads(Path(args.check).read_text())
+            except (OSError, ValueError) as error:
+                raise SystemExit(
+                    f"error: cannot read baseline {args.check}: {error}")
+            reference = baseline.get("sharded", {}).get(str(args.shards))
+            if reference is None:
+                print(f"guard    : baseline has no sharded[{args.shards}] "
+                      "report; skipping")
+                return 0
+            ref_tp = reference["throughput_lps"]
+            measured = report["throughput_lps"]
+            floor = args.check_ratio * ref_tp
+            status = "ok" if measured >= floor else "REGRESSED"
+            print(f"guard    : {args.shards} shard(s) {measured:.1f} vs "
+                  f"baseline {ref_tp:.1f} launches/s (floor {floor:.1f}) "
+                  f"{status}")
+            if status != "ok":
+                raise SystemExit(
+                    f"error: sharded throughput regression "
                     f"(< {args.check_ratio:.0%} of baseline)")
         return 0
 
@@ -794,7 +881,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                   f"{payload['scaling']['speedup']:.2f}x")
 
     if args.out:
-        merge_out(args.out, payload, keep=("chained",))
+        merge_out(args.out, payload, keep=("chained", "sharded"))
 
     if args.check:
         try:
@@ -1026,6 +1113,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chains-per-client", type=int, default=2,
                    help="independent chains each client owns in --graph "
                         "mode (default 2)")
+    p.add_argument("--shards", type=int, default=0,
+                   help="run the sharded multi-process benchmark with this "
+                        "many worker shards instead (0 = off)")
+    p.add_argument("--workers-per-shard", type=int, default=8,
+                   help="worker threads inside each shard for --shards "
+                        "(default 8)")
+    p.add_argument("--window", type=int, default=8,
+                   help="pipelined launches each client keeps in flight "
+                        "in --shards mode (default 8)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the untimed functional bit-identity pass "
+                        "after the --shards benchmark")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for cold dataset collection")
     p.add_argument("--out", default=None, metavar="PATH",

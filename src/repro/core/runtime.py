@@ -459,3 +459,26 @@ def execute_chain_serial(chain, *, backend: str | None = None,
             dop_gpu_mod=1, dop_gpu_alloc=1, backend=backend,
         )
         done.add(task.key)
+
+
+def execute_workload_serial(workload, args: dict[str, Any], *,
+                            backend: str | None = None,
+                            setting: DopSetting | None = None) -> None:
+    """Serial oracle for a single workload launch (mutates ``args`` buffers).
+
+    Single CPU thread by default, same dynamic-scheduling path as
+    :func:`execute_chain_serial`; the sharded-serving tests run every
+    registry workload through this and demand bit-identical buffers from
+    the multi-process server.
+    """
+    if setting is None:
+        setting = DopSetting(cpu_threads=1, gpu_fraction=0.0)
+    if setting.uses_gpu:
+        raise ValueError("the serial oracle is CPU-only; got a GPU setting")
+    ndrange = workload.ndrange()
+    info = workload.kernel_info()
+    malleable = make_malleable(info, work_dim=ndrange.work_dim)
+    run_dynamic(
+        info, malleable, args, ndrange, setting,
+        dop_gpu_mod=1, dop_gpu_alloc=1, backend=backend,
+    )

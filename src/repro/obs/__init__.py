@@ -35,7 +35,9 @@ from .tracer import (
     Tracer,
     apply_env,
     env_trace_request,
+    export_env_trace,
     iter_spans,
+    trace_export_path,
     tracer,
 )
 
@@ -44,7 +46,8 @@ apply_env()
 
 __all__ = [
     "DEFAULT_CAPACITY", "Histogram", "TraceEvent", "Tracer", "apply_env",
-    "env_trace_request", "iter_spans", "tracer",
+    "env_trace_request", "export_env_trace", "iter_spans",
+    "trace_export_path", "tracer",
     "JSONL_KEYS", "event_from_json", "event_to_json", "read_jsonl",
     "to_chrome_trace", "write_chrome_trace", "write_jsonl",
     "ReconstructedSchedule", "SpanStats", "TraceSummary", "format_summary",

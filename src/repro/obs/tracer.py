@@ -331,6 +331,57 @@ def env_trace_request(environ: Optional[dict] = None) -> Optional[str]:
 _env_applied = False
 
 
+def trace_export_path(request: Optional[str] = None,
+                      suffix: Optional[str] = None) -> Optional[str]:
+    """The file a trace export should land in, or ``None``.
+
+    ``suffix`` (or the ``DOPIA_TRACE_SUFFIX`` env var) is spliced in
+    before the extension — ``trace.json`` + ``shard2`` →
+    ``trace.shard2.json`` — so every process of a sharded server can
+    honour one ``DOPIA_TRACE`` setting without clobbering the others.
+    """
+    if request is None:
+        request = env_trace_request()
+    if request is None or request == "1":
+        return None
+    if suffix is None:
+        suffix = os.environ.get("DOPIA_TRACE_SUFFIX", "").strip() or None
+    if not suffix:
+        return request
+    root, ext = os.path.splitext(request)
+    return f"{root}.{suffix}{ext}"
+
+
+def _export_to(target: Tracer, path: str) -> None:
+    from .export import write_chrome_trace, write_jsonl
+
+    events = target.events()
+    if not events:
+        return
+    if path.endswith(".json"):
+        write_chrome_trace(events, path, counters=target.counters)
+    else:
+        write_jsonl(events, path)
+
+
+def export_env_trace(target: Optional[Tracer] = None,
+                     suffix: Optional[str] = None) -> Optional[str]:
+    """Export the tracer's events *now* per ``DOPIA_TRACE``; returns the path.
+
+    Forked worker processes need this: multiprocessing children exit via
+    ``os._exit`` without running :mod:`atexit` handlers, so the at-exit
+    export registered by :func:`apply_env` never fires for them.  Workers
+    call this explicitly in their shutdown path, passing a per-shard
+    ``suffix`` so each process writes its own file.
+    """
+    target = target or tracer
+    path = trace_export_path(suffix=suffix)
+    if path is None or not target.enabled:
+        return None
+    _export_to(target, path)
+    return path
+
+
 def apply_env(target: Optional[Tracer] = None) -> Optional[str]:
     """Honour ``DOPIA_TRACE`` once per process: enable (and, for a path
     value, register an at-exit export).  Returns the parsed request."""
@@ -343,16 +394,10 @@ def apply_env(target: Optional[Tracer] = None) -> Optional[str]:
     if not _env_applied and request != "1":
         import atexit
 
-        from .export import write_chrome_trace, write_jsonl
-
-        def _export_at_exit(path: str = request) -> None:
-            events = target.events()
-            if not events:
-                return
-            if path.endswith(".json"):
-                write_chrome_trace(events, path, counters=target.counters)
-            else:
-                write_jsonl(events, path)
+        def _export_at_exit() -> None:
+            path = trace_export_path(request)
+            if path is not None:
+                _export_to(target, path)
 
         atexit.register(_export_at_exit)
     _env_applied = True

@@ -19,9 +19,19 @@ Components
     Admission queue + worker pool + client sessions.
 :func:`~repro.serve.bench.run_serve_bench`
     The ``dopia serve-bench`` harness (throughput / latency percentiles).
+:class:`~repro.serve.shard.ShardedServer`
+    Multi-process scale-out: consistent-hash routing to worker shards
+    over zero-copy shared-memory buffers (:mod:`repro.serve.shm`), with
+    a cross-process prediction store (:mod:`repro.serve.predstore`).
 """
 
-from .bench import BenchReport, run_chained_serve_bench, run_serve_bench
+from .bench import (
+    SHARDED_WINDOW,
+    BenchReport,
+    run_chained_serve_bench,
+    run_serve_bench,
+    run_sharded_serve_bench,
+)
 from .cache import PredictionCache
 from .graph import (
     DependencyFailedError,
@@ -33,6 +43,7 @@ from .graph import (
     TaskSpace,
 )
 from .ledger import DeviceLoadLedger, Lease, LoadSnapshot
+from .predstore import PredictionStore, store_namespace
 from .server import (
     ClientSession,
     DopiaServer,
@@ -40,10 +51,22 @@ from .server import (
     ServeResult,
     ServerStats,
 )
+from .shard import (
+    BackpressureError,
+    ConsistentHashRing,
+    RouterStats,
+    ShardClientSession,
+    ShardCrashError,
+    ShardResult,
+    ShardedServer,
+)
+from .shm import SegmentCache, SharedArgs, ShmArena, attach_args
 
 __all__ = [
+    "BackpressureError",
     "BenchReport",
     "ClientSession",
+    "ConsistentHashRing",
     "DependencyFailedError",
     "DeviceLoadLedger",
     "DopiaServer",
@@ -55,10 +78,23 @@ __all__ = [
     "Lease",
     "LoadSnapshot",
     "PredictionCache",
+    "PredictionStore",
+    "SegmentCache",
     "ServeError",
     "ServeResult",
     "ServerStats",
+    "SharedArgs",
+    "ShardCrashError",
+    "ShardResult",
+    "ShardedServer",
+    "ShmArena",
     "TaskSpace",
+    "attach_args",
+    "RouterStats",
+    "SHARDED_WINDOW",
+    "ShardClientSession",
     "run_chained_serve_bench",
     "run_serve_bench",
+    "run_sharded_serve_bench",
+    "store_namespace",
 ]

@@ -33,11 +33,12 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from ..core.runtime import execute_chain_serial
+from ..core.runtime import execute_chain_serial, execute_workload_serial
 from ..ml.base import Estimator
 from ..sim.platforms import Platform
 from ..workloads import SCALED_REAL_FACTORIES
@@ -50,6 +51,7 @@ from ..workloads.chains import (
 )
 from ..workloads.registry import Workload
 from .server import DopiaServer
+from .shard import ShardedServer
 
 #: dict alias for the JSON-shaped report
 BenchReport = dict
@@ -367,3 +369,232 @@ def run_chained_serve_bench(
         "bit_identical": (sync_report["bit_identical"]
                           and graph_report["bit_identical"]),
     }
+
+
+#: Pipeline window of the sharded benchmark: launches each client keeps
+#: in flight.  The closed loop of :func:`run_serve_bench` caps a client
+#: at one launch per (dwell + round-trip), so aggregate throughput is
+#: latency-bound no matter how many shards serve; a small window turns
+#: the measurement throughput-bound (in_flight / latency) while keeping
+#: the router's live hazard-matching set — clients x window — cheap.
+SHARDED_WINDOW = 8
+
+
+def _sharded_verify(platform, model, *, shards, workers_per_shard,
+                    backend, cache_size) -> dict:
+    """Untimed functional pass: sharded execution vs the serial oracle.
+
+    Every registry workload launches once through a functional sharded
+    server and its buffers are compared byte-for-byte against
+    :func:`repro.core.runtime.execute_workload_serial`; the FDTD and
+    ATAX chains do the same against :func:`execute_chain_serial`,
+    crossing shard boundaries through the router's hazard escalation.
+    """
+    mismatched: list[str] = []
+    server = ShardedServer(
+        platform, model, shards=shards, workers_per_shard=workers_per_shard,
+        backend=backend, functional=True, simulate=False,
+        cache_size=cache_size, warm_start=False,
+    )
+    try:
+        session = server.session("verify")
+        staged = []
+        for name, factory in SCALED_REAL_FACTORIES.items():
+            workload = factory()
+            args = workload.full_args(rng=1)
+            oracle = {key: (value.copy() if isinstance(value, np.ndarray)
+                            else value) for key, value in args.items()}
+            staged.append((name, workload, args, oracle))
+        handles = [(name, session.launch(workload, args=args))
+                   for name, workload, args, _ in staged]
+        for (_, handle) in handles:
+            handle.result(timeout=300.0)
+        for name, workload, args, oracle in staged:
+            execute_workload_serial(workload, oracle, backend=backend)
+            for key, value in oracle.items():
+                if isinstance(value, np.ndarray) and \
+                        not np.array_equal(value, args[key]):
+                    mismatched.append(f"{name}:{key}")
+        for chain_name in ("FDTD", "ATAX"):
+            served = _chain_for(chain_name, steps=3, grid=12, seed=2)
+            oracle_chain = _chain_for(chain_name, steps=3, grid=12, seed=2)
+            server.submit_chain(session, served).result(timeout=300.0)
+            execute_chain_serial(oracle_chain, backend=backend)
+            if served.buffer_bytes() != oracle_chain.buffer_bytes():
+                mismatched.append(f"chain:{chain_name}")
+        escalated = server.stats.snapshot()["escalated"]
+    finally:
+        server.close()
+    return {
+        "workloads": len(SCALED_REAL_FACTORIES),
+        "chains": ["FDTD", "ATAX"],
+        "bit_identical": not mismatched,
+        "mismatched": mismatched,
+        "escalated": escalated,
+    }
+
+
+def run_sharded_serve_bench(
+    platform: Platform,
+    model: Estimator,
+    *,
+    shards: int = 4,
+    clients: int = 8,
+    launches_per_client: int = 100,
+    window: int = SHARDED_WINDOW,
+    workers_per_shard: int = 8,
+    workload_names: Optional[Sequence[str]] = None,
+    backend: str | None = None,
+    dwell_scale: float = DEFAULT_DWELL_SCALE,
+    dwell_cap_s: float = DEFAULT_DWELL_CAP_S,
+    cache_size: int = 1024,
+    queue_depth: int = 64,
+    verify: bool = True,
+) -> BenchReport:
+    """Sharded throughput benchmark + functional bit-identity pass.
+
+    The timed region mirrors :func:`run_serve_bench`'s conditions —
+    same workload mix, same per-launch simulated-dwell parameters, same
+    benchmark (simulate-only) mode — but drives the multi-process
+    :class:`~repro.serve.shard.ShardedServer` with a pipelined window
+    per client (:data:`SHARDED_WINDOW`) instead of a closed loop, which
+    is the access pattern sharding exists to serve.  ``verify=True``
+    appends an untimed functional pass proving the sharded data path
+    produces bit-identical buffers (see :func:`_sharded_verify`).
+    """
+    if clients < 1 or launches_per_client < 1 or window < 1:
+        raise ValueError("need at least one client, launch, and window slot")
+    names = list(workload_names or SCALED_REAL_FACTORIES)
+    factories = {name: SCALED_REAL_FACTORIES[name] for name in names}
+    workloads: list[Workload] = [factories[name]() for name in names]
+    if window >= len(workloads):
+        # A client cycles through the workload list; once the window
+        # covers a full cycle, launch j and j+len share buffers and the
+        # router would serialise them as WAW hazards — a measurement
+        # artifact, not serving behaviour.
+        raise ValueError(
+            f"window ({window}) must be smaller than the workload mix "
+            f"({len(workloads)}) so a client never overlaps itself")
+
+    server = ShardedServer(
+        platform, model,
+        shards=shards, workers_per_shard=workers_per_shard, backend=backend,
+        functional=False, simulate=True, cache_size=cache_size,
+        dwell_scale=dwell_scale, dwell_cap_s=dwell_cap_s,
+        queue_depth=queue_depth, warm_start=False,
+    )
+    barrier = threading.Barrier(clients + 1)
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    # Untimed warm-up: register every workload with its shard, compile
+    # the prepared kernels, and seed the prediction caches, so the timed
+    # region measures steady-state serving (as the closed-loop bench does).
+    warm_session = server.session("warm")
+    warm_handles = [warm_session.launch(workload, args=workload.full_args(0))
+                    for workload in workloads]
+    for handle in warm_handles:
+        handle.result(timeout=300.0)
+    warm_count = len(warm_handles)
+
+    def client_loop(index: int) -> None:
+        prepared: list[tuple[Workload, dict[str, Any]]] = []
+        session = None
+        try:
+            session = server.session(f"bench-{index}")
+            prepared = [(workload, workload.full_args(rng=index + 1))
+                        for workload in workloads]
+        except BaseException as error:  # noqa: BLE001
+            with errors_lock:
+                errors.append(error)
+        barrier.wait()
+        try:
+            if session is None:
+                return
+            # Drain in half-window bursts: waiting per launch costs an
+            # Event wake each; draining several at once finds most of
+            # them already set, amortising wakes without shrinking the
+            # in-flight window below window/2.
+            drain = max(1, window // 2)
+            pending: deque = deque()
+            for j in range(launches_per_client):
+                workload, args = prepared[(index + j) % len(prepared)]
+                pending.append(session.launch(workload, args=args))
+                if len(pending) >= window:
+                    for _ in range(drain):
+                        pending.popleft().result(timeout=300.0)
+            while pending:
+                pending.popleft().result(timeout=300.0)
+        except BaseException as error:  # noqa: BLE001
+            with errors_lock:
+                errors.append(error)
+        finally:
+            barrier.wait()
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,),
+                         name=f"shard-client-{i}")
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()                    # all clients armed; start the clock
+    t0 = time.perf_counter()
+    barrier.wait()                    # all clients drained; stop the clock
+    wall_s = time.perf_counter() - t0
+    for thread in threads:
+        thread.join()
+    total = clients * launches_per_client
+    with server.stats._lock:
+        # warm-up samples lead the list; timed region only
+        latencies = list(server.stats.latencies_s)[warm_count:]
+        completed = server.stats.completed
+        failed = server.stats.failed
+    router = server.stats.snapshot()
+    snapshot = server.snapshot()
+    server.close()
+    reports = server.shard_reports
+    if errors:
+        raise errors[0]
+    expected = total + warm_count
+    assert completed == expected and failed == 0, \
+        f"served {completed} of {expected} launches ({failed} failed)"
+
+    shard_blocks = []
+    for report in sorted(reports, key=lambda r: r["shard"]):
+        shard_blocks.append({
+            "shard": report["shard"],
+            "launches": report["launches"],
+            "completed": report["completed"],
+            "failed": report["failed"],
+            "cache": report["cache"],
+            "ledger": report["ledger"],
+            "warm_loaded": report["warm_loaded"],
+        })
+    out: BenchReport = {
+        "mode": "sharded",
+        "platform": platform.name,
+        "backend": backend or "auto",
+        "shards": shards,
+        "clients": clients,
+        "launches_per_client": launches_per_client,
+        "window": window,
+        "workers_per_shard": workers_per_shard,
+        "total_launches": total,
+        "workloads": names,
+        "dwell_scale": dwell_scale,
+        "dwell_cap_ms": dwell_cap_s * 1e3,
+        "wall_s": round(wall_s, 6),
+        "throughput_lps": round(total / wall_s, 3) if wall_s > 0 else 0.0,
+        "latency": {k: round(v, 3) for k, v in percentiles(latencies).items()},
+        "router": router,
+        "graph": snapshot["graph"],
+        "shard_reports": shard_blocks,
+    }
+    if verify:
+        out["verify"] = _sharded_verify(
+            platform, model, shards=shards,
+            workers_per_shard=max(2, workers_per_shard // 4),
+            backend=backend, cache_size=cache_size)
+        out["bit_identical"] = out["verify"]["bit_identical"]
+    return out

@@ -63,6 +63,16 @@ class PredictionCache:
         self.put(key, value)
         return value, False
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Point-in-time snapshot of entries, oldest first.
+
+        Feeds the cross-process persistence tier
+        (:class:`repro.serve.predstore.PredictionStore`); recency is not
+        refreshed, so snapshotting never perturbs eviction order.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

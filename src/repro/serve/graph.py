@@ -67,6 +67,13 @@ class DependencyFailedError(ServeError):
         self.failed_task = failed_task
         self.__cause__ = root_cause
 
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args only,
+        # which is one short for this signature; the sharded server ships
+        # these across process pipes, so spell the constructor call out.
+        return (DependencyFailedError,
+                (self.args[0], self.root_cause, self.failed_task))
+
 
 # -- hazard kinds -----------------------------------------------------------
 
@@ -352,6 +359,20 @@ class GraphScheduler:
     def live(self) -> int:
         with self._lock:
             return len(self._live)
+
+    def live_nodes(self, state: Optional[str] = None) -> list[TaskNode]:
+        """Snapshot of live nodes, optionally filtered by state.
+
+        Shutdown paths use this to find launches that never started
+        (``state="waiting"``) so their handles can be failed rather than
+        abandoned; the snapshot is point-in-time, so callers must
+        re-check ``node.state`` before acting on it.
+        """
+        with self._lock:
+            nodes = list(self._live.values())
+        if state is not None:
+            nodes = [node for node in nodes if node.state == state]
+        return nodes
 
     @property
     def drained(self) -> bool:

@@ -1,0 +1,166 @@
+"""Cross-process prediction store: warm-start the DoP cache from disk.
+
+The per-process :class:`~repro.serve.cache.PredictionCache` makes repeat
+launches a dictionary hit — but a freshly forked shard starts cold and
+pays full model inference for every distinct (features, geometry, load
+bucket) it sees.  KLARAPTOR's argument for dynamic launch-parameter
+selection cuts the other way too: the selection *state* is what's
+valuable, and it is a pure function of the model, so it can be shared.
+
+This store persists cache entries with the content-addressed shard-store
+idiom from :mod:`repro.core.collect`:
+
+``<root>/predictions/<namespace>/<key-hash>.pkl``
+    One ``(key, Prediction)`` pair.  The namespace digests the platform
+    description **and the pickled model**, so entries can never leak
+    across models or platforms — a retrained model gets a fresh, empty
+    namespace rather than stale decisions.
+
+Robustness mirrors the collect store: every write is atomic (temp file +
+``os.replace``), every read is corruption-safe (a truncated or foreign
+file is skipped, and removed when possible), and persisting is
+idempotent (the key hash is the filename, so re-writing an entry is a
+no-op replace).  Multiple shard processes may persist concurrently
+without coordination — last write wins, and both writes carry the same
+deterministic value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Hashable, Optional
+
+from ..ml.base import Estimator
+from ..sim.platforms import Platform
+from .cache import PredictionCache
+
+__all__ = ["PredictionStore", "store_namespace", "default_store_root"]
+
+#: Bump when the entry layout changes; part of the namespace digest.
+STORE_SCHEMA_VERSION = 1
+
+#: Exceptions that mean "this entry file is unreadable", not "bug".
+ENTRY_READ_ERRORS = (OSError, EOFError, pickle.UnpicklingError,
+                     AttributeError, ImportError, ValueError, TypeError)
+
+
+def default_store_root() -> Path:
+    """``DOPIA_PRED_STORE`` env override, else ``~/.cache/dopia``."""
+    env = os.environ.get("DOPIA_PRED_STORE", "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "dopia"
+
+
+def store_namespace(platform: Platform, model: Estimator) -> str:
+    """Content address of one (platform, trained model) pair.
+
+    Decisions are deterministic given these two, so the digest is the
+    exact validity domain of every stored entry.
+    """
+    hasher = hashlib.blake2b(digest_size=12)
+    hasher.update(repr(STORE_SCHEMA_VERSION).encode())
+    hasher.update(repr(sorted(asdict(platform).items())).encode())
+    hasher.update(pickle.dumps(model))
+    return f"{platform.name}-{hasher.hexdigest()}"
+
+
+class PredictionStore:
+    """Directory-backed (key -> Prediction) map shared across processes."""
+
+    def __init__(self, namespace: str, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.dir = self.root / "predictions" / namespace
+        self.loaded = 0
+        self.persisted = 0
+        self.skipped = 0          #: unreadable entry files seen on load
+
+    @classmethod
+    def for_model(cls, platform: Platform, model: Estimator,
+                  root: Optional[Path] = None) -> "PredictionStore":
+        return cls(store_namespace(platform, model), root=root)
+
+    @staticmethod
+    def _entry_name(key: Hashable) -> str:
+        digest = hashlib.blake2b(
+            pickle.dumps(key, protocol=4), digest_size=16).hexdigest()
+        return f"{digest}.pkl"
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Persist one entry atomically (concurrent writers are safe)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps((key, value), protocol=4)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.dir / self._entry_name(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.persisted += 1
+
+    def persist(self, cache: PredictionCache) -> int:
+        """Write every entry currently in ``cache``; returns the count."""
+        count = 0
+        for key, value in cache.items():
+            self.put(key, value)
+            count += 1
+        return count
+
+    # -- read ----------------------------------------------------------------
+
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """All readable entries (unreadable files skipped and removed)."""
+        if not self.dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.dir.glob("*.pkl")):
+            try:
+                with open(path, "rb") as fh:
+                    key, value = pickle.load(fh)
+                out.append((key, value))
+            except ENTRY_READ_ERRORS:
+                self.skipped += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return out
+
+    def load_into(self, cache: PredictionCache) -> int:
+        """Warm-start ``cache`` from disk; returns entries loaded.
+
+        Loads count as neither hits nor misses — the counters keep
+        measuring this process's own traffic.
+        """
+        count = 0
+        for key, value in self.entries():
+            cache.put(key, value)
+            count += 1
+        self.loaded += count
+        return count
+
+    def __len__(self) -> int:
+        if not self.dir.is_dir():
+            return 0
+        return sum(1 for _ in self.dir.glob("*.pkl"))
+
+    def clear(self) -> None:
+        if not self.dir.is_dir():
+            return
+        for path in self.dir.glob("*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -43,6 +43,7 @@ spans reconstruct each client's timeline.
 from __future__ import annotations
 
 import itertools
+import os
 import queue
 import threading
 import time
@@ -96,7 +97,36 @@ class _PreparedKernel:
     workload_key: str
     info: Any
     static: StaticFeatures
+    #: ``static.as_tuple()``, precomputed — it keys every prediction-cache
+    #: lookup on the hot path
+    static_tuple: tuple = ()
     malleable: dict[int, MalleableKernel] = field(default_factory=dict)
+    #: access-model (reads, writes) name tuples, resolved lazily on first
+    #: hazard-matched submission (None until then; a pair of tuples after)
+    rw_names: Optional[tuple] = None
+
+
+@dataclass
+class _LaunchMeta:
+    """Per-(workload, args) launch invariants, memoised across launches.
+
+    A serving client re-launches the same workload instance with the same
+    prepared argument dict hundreds of times; launch geometry, prediction
+    cache keys, and the simulator's scalar signature are all functions of
+    those two objects.  ``workload``/``args`` are strong references —
+    validity is checked by object identity against them, so a recycled
+    ``id()`` can never alias a dead entry.
+    """
+
+    workload: Workload
+    args: dict
+    prepared: _PreparedKernel
+    ndrange: Any
+    #: (static_tuple, work_dim, total_items, items_per_group) — the
+    #: load-independent prefix of the prediction-cache key
+    pred_key: tuple
+    scalars: dict
+    scalars_key: tuple
 
 
 @dataclass
@@ -131,17 +161,49 @@ class LaunchHandle:
     graph and pipelines worker-to-worker with no client round-trips.
     """
 
+    #: guards lazy construction of the per-handle wait event; shared by
+    #: every handle (critical sections are a few instructions, and the
+    #: alternative — an Event per handle up front — costs ~10us on the
+    #: submit hot path that most handles never use)
+    _wait_lock = threading.Lock()
+
     def __init__(self, session: str, seq: int):
         self.session = session
         self.seq = seq
         self.node: Optional[TaskNode] = None
         self._client: Optional["ClientSession"] = None
-        self._done = threading.Event()
+        self._settled = False
+        self._event: Optional[threading.Event] = None
         self._result: Optional[ServeResult] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: list = []
 
     def done(self) -> bool:
-        return self._done.is_set()
+        return self._settled
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once the handle settles (now, if it already has).
+
+        Each callback fires exactly once, on whichever thread settles the
+        handle (or the caller's, if already settled); exceptions are
+        swallowed so a bad callback cannot take down a worker.  The
+        sharded router uses this to pipeline completion notifications
+        without a blocking ``result()`` per launch.
+        """
+        self._callbacks.append(fn)
+        if self._settled:
+            self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        while self._callbacks:
+            try:
+                fn = self._callbacks.pop()
+            except IndexError:  # lost the race to another settler
+                break
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - callbacks must not kill workers
+                pass
 
     def then(
         self,
@@ -161,7 +223,7 @@ class LaunchHandle:
         )
 
     def result(self, timeout: Optional[float] = None) -> ServeResult:
-        if not self._done.wait(timeout):
+        if not self._settled and not self._wait(timeout):
             raise TimeoutError(
                 f"launch {self.session}#{self.seq} not complete after {timeout}s")
         if self._error is not None:
@@ -169,13 +231,31 @@ class LaunchHandle:
         assert self._result is not None
         return self._result
 
+    def _wait(self, timeout: Optional[float]) -> bool:
+        with LaunchHandle._wait_lock:
+            if self._settled:
+                return True
+            if self._event is None:
+                self._event = threading.Event()
+            event = self._event
+        return event.wait(timeout)
+
+    def _mark_settled(self) -> None:
+        with LaunchHandle._wait_lock:
+            self._settled = True
+            event = self._event
+        if event is not None:
+            event.set()
+
     def _resolve(self, result: ServeResult) -> None:
         self._result = result
-        self._done.set()
+        self._mark_settled()
+        self._run_callbacks()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._done.set()
+        self._mark_settled()
+        self._run_callbacks()
 
 
 @dataclass
@@ -358,6 +438,9 @@ class DopiaServer:
         self._graph_ids = itertools.count()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
         self._prepared: dict[tuple[str, str], _PreparedKernel] = {}
+        #: (id(workload), id(args)) -> _LaunchMeta; entries pin both
+        #: objects, and identity is re-checked on every hit
+        self._meta: dict[tuple[int, int], _LaunchMeta] = {}
         self._prepare_lock = threading.Lock()
         self._session_lock = threading.Lock()
         self._session_names: set[str] = set()
@@ -386,17 +469,64 @@ class DopiaServer:
         self.close()
 
     def close(self, timeout: float = 30.0) -> None:
-        """Drain the graph and queue, stop the workers, reject new work."""
+        """Drain the graph and queue, stop the workers, reject new work.
+
+        If the drain times out, every launch that has not started is
+        *failed* — queued requests and parked graph nodes alike, with
+        poisoning cascaded to their output-dependents — so no handle is
+        ever left unresolved for a client to hang on.
+        """
         if self._closed:
             return
         self._closed = True
         # Let in-flight graphs settle first: a _STOP racing ahead of a
         # parked launch's dispatch would strand its handle forever.
-        self.graph.wait_idle(timeout)
+        if not self.graph.wait_idle(timeout):
+            self._abandon_pending()
         for _ in self._workers:
             self._queue.put(_STOP)
         for worker in self._workers:
             worker.join(timeout)
+        self._meta.clear()
+
+    def _abandon_pending(self) -> None:
+        """Fail every not-yet-started launch (shutdown drain timed out).
+
+        Launches already running stay with their workers — the join in
+        :meth:`close` waits for them; everything still queued or parked
+        settles with a :class:`ServeError` and poisons its dependents.
+        """
+        error = ServeError("server closed before launch could run")
+        # Pull queued-but-unstarted requests out so no worker races us
+        # into note_start while we fail their nodes.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            request: _Request = item
+            self.stats.record_failure()
+            if request.node is not None:
+                self._settle_failure(request.node, error)
+            request.handle._fail(error)
+        # Parked nodes never reached the queue; fail them with the same
+        # cascade.  Re-snapshot each round — poisoning removes dependents
+        # from the live set, and WAR-released nodes go to the still-live
+        # workers as usual.
+        while True:
+            parked = [node for node in self.graph.live_nodes(state="waiting")
+                      if node.request is not None]
+            if not parked:
+                break
+            for node in parked:
+                if node.state != "waiting":
+                    continue  # settled by an earlier node's cascade
+                self.ledger.note_waiting(-1)
+                self.stats.record_failure()
+                self._settle_failure(node, error)
+                node.request.handle._fail(error)
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every submitted launch has settled (done or failed)."""
@@ -473,20 +603,25 @@ class DopiaServer:
         worker's own ``_prepare`` will surface the real error on the
         handle as before.
         """
-        summary = None
         if reads is None or writes is None:
+            prepared = None
             try:
-                summary = launch_rw_summary(self._prepare(workload).info)
+                prepared = self._prepare(workload)
+                if prepared.rw_names is None:
+                    summary = launch_rw_summary(prepared.info)
+                    prepared.rw_names = (tuple(sorted(summary.reads)),
+                                         tuple(sorted(summary.writes)))
             except Exception:  # noqa: BLE001 - conservative fallback
                 arrays = tuple(
                     name for name, value in args.items()
                     if hasattr(value, "__array_interface__"))
                 return (arrays if reads is None else tuple(reads),
                         arrays if writes is None else tuple(writes))
-        read_names = (tuple(reads) if reads is not None
-                      else tuple(sorted(summary.reads)))
-        write_names = (tuple(writes) if writes is not None
-                       else tuple(sorted(summary.writes)))
+            model_reads, model_writes = prepared.rw_names
+        else:
+            model_reads = model_writes = ()
+        read_names = tuple(reads) if reads is not None else model_reads
+        write_names = tuple(writes) if writes is not None else model_writes
         return read_names, write_names
 
     def submit_graph(
@@ -544,13 +679,38 @@ class DopiaServer:
                 prepared = self._prepared.get(key)
                 if prepared is None:
                     info = workload.kernel_info()
+                    static = extract_static_features(info)
                     prepared = _PreparedKernel(
                         workload_key=workload.key,
                         info=info,
-                        static=extract_static_features(info),
+                        static=static,
+                        static_tuple=static.as_tuple(),
                     )
                     self._prepared[key] = prepared
         return prepared
+
+    def _launch_meta(self, workload: Workload,
+                     args: dict[str, Any]) -> _LaunchMeta:
+        """Memoised launch invariants for one (workload, args) pair."""
+        key = (id(workload), id(args))
+        meta = self._meta.get(key)
+        if meta is not None and meta.workload is workload \
+                and meta.args is args:
+            return meta
+        prepared = self._prepare(workload)
+        ndrange = workload.ndrange()
+        scalars = {name: args[name] for name in prepared.info.scalar_params}
+        meta = _LaunchMeta(
+            workload=workload, args=args, prepared=prepared, ndrange=ndrange,
+            pred_key=(prepared.static_tuple, ndrange.work_dim,
+                      ndrange.total_work_items, ndrange.work_items_per_group),
+            scalars=scalars,
+            scalars_key=tuple(sorted(scalars.items())),
+        )
+        if len(self._meta) >= 4096:
+            self._meta.clear()
+        self._meta[key] = meta
+        return meta
 
     def _malleable_for(self, prepared: _PreparedKernel,
                        work_dim: int) -> MalleableKernel:
@@ -570,6 +730,11 @@ class DopiaServer:
         :class:`repro.analysis.verify.VerifyError` fails the launch handle
         before any buffer is touched.  Reports are cached per (kernel,
         launch shape), so repeat launches of one workload pay once."""
+        # Cheap env gate before importing the verifier machinery: "off"
+        # (the default) is the serving hot path.
+        if os.environ.get("DOPIA_VERIFY", "off").strip().lower() \
+                in ("", "off"):
+            return
         from ..analysis.verify import (
             LaunchSpec,
             apply_policy,
@@ -585,7 +750,7 @@ class DopiaServer:
 
     # -- prediction -----------------------------------------------------------
 
-    def _predict(self, prepared: _PreparedKernel, ndrange,
+    def _predict(self, meta: _LaunchMeta,
                  load: LoadSnapshot) -> tuple[Prediction, bool, LoadSnapshot]:
         """Load-aware DoP selection through the LRU cache.
 
@@ -599,15 +764,10 @@ class DopiaServer:
                                 in_flight=load.in_flight,
                                 waiting=load.waiting)
         bucketed = load.bucketed(self.load_buckets)
-        key = (
-            prepared.static.as_tuple(),
-            ndrange.work_dim,
-            ndrange.total_work_items,
-            ndrange.work_items_per_group,
-            load.bucket(self.load_buckets),
-        )
+        ndrange = meta.ndrange
+        prepared = meta.prepared
         prediction, hit = self.cache.get_or_compute(
-            key,
+            meta.pred_key + (load.bucket(self.load_buckets),),
             lambda: self.predictor.select(
                 prepared.static,
                 ndrange.work_dim,
@@ -724,18 +884,20 @@ class DopiaServer:
 
     def _serve(self, request: _Request) -> ServeResult:
         workload = request.workload
-        ndrange = workload.ndrange()
+        meta = self._launch_meta(workload, request.args)
+        prepared = meta.prepared
+        ndrange = meta.ndrange
         traced = tracer.enabled
         node = request.node
         graph_kv = ({"graph": node.graph_id}
                     if node is not None and node.graph_id else {})
-        with tracer.context(session=request.session, **graph_kv):
+        with (tracer.context(session=request.session, **graph_kv)
+              if traced else NULL_SPAN):
             with tracer.span(
                 "serve.launch", "serve",
                 kernel=workload.kernel_name, seq=request.seq,
                 deps=node.deps if node is not None else 0, **graph_kv,
             ) if traced else NULL_SPAN:
-                prepared = self._prepare(workload)
                 try:
                     malleable = self._malleable_for(prepared, ndrange.work_dim)
                 except TransformError as error:
@@ -748,14 +910,12 @@ class DopiaServer:
                 with tracer.span("serve.predict", "predict",
                                  kernel=workload.kernel_name) if traced else NULL_SPAN:
                     prediction, cache_hit, bucketed = self._predict(
-                        prepared, ndrange, load)
+                        meta, load)
                 setting = prediction.config.setting
                 adapted = False
                 if not load.idle:
                     idle_prediction, _ = self.cache.get_or_compute(
-                        (prepared.static.as_tuple(), ndrange.work_dim,
-                         ndrange.total_work_items, ndrange.work_items_per_group,
-                         (0, 0)),
+                        meta.pred_key + ((0, 0),),
                         lambda: self.predictor.select(
                             prepared.static, ndrange.work_dim,
                             ndrange.total_work_items,
@@ -801,19 +961,17 @@ class DopiaServer:
                     if self.simulate:
                         with tracer.span("serve.simulate", "sim",
                                          kernel=workload.kernel_name) if traced else NULL_SPAN:
-                            scalars = {name: request.args[name]
-                                       for name in prepared.info.scalar_params}
                             sim_key = (
                                 workload.kernel_name, workload.source,
                                 ndrange.total_work_items,
                                 ndrange.work_items_per_group, ndrange.work_dim,
-                                tuple(sorted(scalars.items())),
+                                meta.scalars_key,
                                 setting.cpu_threads, setting.gpu_fraction,
                             )
                             sim, _ = self.sim_cache.get_or_compute(
                                 sim_key,
                                 lambda: self._simulate(prepared, workload,
-                                                       ndrange, scalars,
+                                                       ndrange, meta.scalars,
                                                        setting),
                             )
                     slowdown = self._contention_slowdown(prediction, bucketed)

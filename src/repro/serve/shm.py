@@ -1,0 +1,408 @@
+"""Zero-copy kernel buffers in POSIX shared memory for sharded serving.
+
+The sharded server (:mod:`repro.serve.shard`) executes launches in
+worker *processes*; kernel buffers therefore cannot live in the router's
+private heap.  This module moves them into
+:class:`multiprocessing.shared_memory.SharedMemory` segments and exposes
+them as plain NumPy views on both sides of the process boundary:
+
+* the **owner** (router process) packs an argument dict's arrays into one
+  segment (:meth:`ShmArena.share`) — 64-byte-aligned offsets, one
+  allocation per dict — and gets back live views plus a picklable
+  :class:`SharedArgs` descriptor;
+* a **worker** reconstructs the same dict with :func:`attach_args`; the
+  per-process :class:`SegmentCache` maps each segment exactly once, so
+  two launches referencing the same segment see *overlapping* host
+  ranges — which is what the shard-local hazard matcher keys on — and
+  repeated launches pay no re-mapping cost.
+
+Lifecycle safety is the point, not an afterthought:
+
+* the arena tracks every segment it created and ``unlink``\\ s them all on
+  :meth:`ShmArena.close` (also registered via :mod:`weakref`
+  finalizer, so a dropped arena cannot orphan ``/dev/shm`` entries);
+* non-owner attachments are **never registered with the resource
+  tracker** (:func:`_attach_untracked`): without that, a worker's
+  tracker would unlink segments the router still uses when the worker
+  exits — or, under ``fork``'s shared tracker, corrupt the owner's
+  registration — and spam "leaked shared_memory" warnings (the test
+  suite treats any tracker noise as a failure);
+* segment names carry a ``dopia-<pid>-`` prefix so
+  :func:`sweep_orphans` can find and remove leftovers after a killed
+  process, and tests can assert ``/dev/shm`` is clean.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "SharedArgs", "SegmentCache", "ShmArena", "attach_args",
+    "list_segments", "sweep_orphans",
+]
+
+#: Alignment of every array inside a segment (cache line; also keeps any
+#: dtype's natural alignment satisfied).
+ALIGN = 64
+
+#: Where POSIX shared memory appears as files (Linux).  Only used by the
+#: leak-inspection helpers; the data path never touches the filesystem.
+SHM_DIR = Path("/dev/shm")
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+def _defuse(segment: shared_memory.SharedMemory) -> None:
+    """Disarm a mapping that live NumPy views pin (``close`` raised
+    ``BufferError``).
+
+    The views keep the underlying mmap object alive through their
+    exported buffers, so dropping the ``SharedMemory``'s own references
+    is safe — and necessary: its ``__del__`` retries ``close()`` during
+    garbage collection and would spam ``Exception ignored ...
+    BufferError`` at every interpreter shutdown.  The file descriptor is
+    closed here (the mapping survives fd close); the memory itself is
+    reclaimed when the last view dies or the process exits.
+    """
+    fd = getattr(segment, "_fd", -1)
+    if fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        segment._fd = -1
+    segment._buf = None
+    segment._mmap = None
+
+
+_attach_lock = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Python < 3.13 has no ``track=False``: attaching registers the name
+    with the *attaching* process's tracker, which is wrong either way.
+    Under ``spawn`` the worker's own tracker would unlink segments the
+    router still owns when the worker exits (and warn about "leaked"
+    memory); under ``fork`` the tracker process is *shared*, so
+    unregistering from the worker would erase the owner's entry and the
+    owner's legitimate ``unlink`` would then crash the tracker with a
+    ``KeyError`` traceback.  Suppressing registration during attach
+    sidesteps both: only the creating process ever holds the
+    registration, and it is balanced by exactly one ``unlink``.
+    """
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SharedArgs:
+    """Picklable recipe for rebuilding an argument dict in any process.
+
+    ``arrays`` maps parameter name -> (segment name, dtype string, shape,
+    byte offset); ``scalars`` rides along verbatim.  The descriptor is
+    tiny — sharing is O(1) in buffer size on the wire.
+    """
+
+    arrays: tuple[tuple[str, str, str, tuple[int, ...], int], ...]
+    scalars: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(seg for _, seg, _, _, _ in self.arrays))
+
+
+class SegmentCache:
+    """Per-process map of segment name -> mapped :class:`SharedMemory`.
+
+    Each segment is mapped exactly once per process, so every view built
+    from it shares one base address — overlapping arrays stay
+    overlapping, which the hazard matcher depends on.  ``forget`` evicts
+    a mapping once the owner has retired the segment; eviction is
+    best-effort (a mapping still referenced by live views is kept until
+    those views die).
+    """
+
+    def __init__(self, owner: bool = False):
+        self._owner = owner
+        self._lock = threading.Lock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def get(self, name: str) -> shared_memory.SharedMemory:
+        with self._lock:
+            segment = self._segments.get(name)
+            if segment is None:
+                if self._owner:
+                    segment = shared_memory.SharedMemory(name=name)
+                else:
+                    segment = _attach_untracked(name)
+                self._segments[name] = segment
+            return segment
+
+    def adopt(self, segment: shared_memory.SharedMemory) -> None:
+        """Register a segment this process itself created."""
+        with self._lock:
+            self._segments[segment.name] = segment
+
+    def forget(self, names: Iterable[str]) -> None:
+        """Drop cached mappings (safe: mappings pinned by live views stay)."""
+        with self._lock:
+            for name in names:
+                segment = self._segments.pop(name, None)
+                if segment is None:
+                    continue
+                try:
+                    segment.close()
+                except BufferError:
+                    # a NumPy view still points into the mapping; the views
+                    # keep the memory alive, so just disarm the handle
+                    _defuse(segment)
+
+    def close_all(self) -> None:
+        with self._lock:
+            names = list(self._segments)
+        self.forget(names)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+
+def _views_from(segment: shared_memory.SharedMemory,
+                entries) -> dict[str, np.ndarray]:
+    views: dict[str, np.ndarray] = {}
+    for pname, dtype, shape, offset in entries:
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(segment.buf, dtype=dt, count=count,
+                             offset=offset)
+        views[pname] = view.reshape(shape)
+    return views
+
+
+def attach_args(shared: SharedArgs, cache: SegmentCache) -> dict[str, Any]:
+    """Rebuild the full argument dict (views + scalars) in this process."""
+    args: dict[str, Any] = {}
+    by_segment: dict[str, list] = {}
+    for pname, seg, dtype, shape, offset in shared.arrays:
+        by_segment.setdefault(seg, []).append((pname, dtype, shape, offset))
+    for seg_name, entries in by_segment.items():
+        args.update(_views_from(cache.get(seg_name), entries))
+    args.update(dict(shared.scalars))
+    return args
+
+
+@dataclass
+class _Segment:
+    """Owner-side record of one allocation."""
+
+    shm: shared_memory.SharedMemory
+    base: int               #: first mapped byte (this process's view)
+    size: int
+
+
+class ShmArena:
+    """Owner-side allocator + registry of shared-memory segments.
+
+    One arena per :class:`~repro.serve.shard.ShardedServer`.  All
+    segments it creates are unlinked on :meth:`close` (and by a weakref
+    finalizer as a last resort), so a cleanly shut-down server leaves
+    ``/dev/shm`` exactly as it found it.
+    """
+
+    def __init__(self, prefix: Optional[str] = None):
+        self.prefix = prefix or f"dopia-{os.getpid()}-{secrets.token_hex(3)}"
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._segments: dict[str, _Segment] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, ShmArena._finalize, self._segments)
+
+    @staticmethod
+    def _finalize(segments: dict[str, _Segment]) -> None:
+        for record in list(segments.values()):
+            try:
+                record.shm.close()
+            except BufferError:
+                _defuse(record.shm)
+            except Exception:  # noqa: BLE001 - already gone is fine
+                pass
+            try:
+                record.shm.unlink()
+            except Exception:  # noqa: BLE001 - already gone is fine
+                pass
+        segments.clear()
+
+    # -- allocation ----------------------------------------------------------
+
+    def _new_segment(self, size: int) -> _Segment:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("arena is closed")
+            name = f"{self.prefix}-{self._counter}"
+            self._counter += 1
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(1, size))
+        flat = np.frombuffer(shm.buf, dtype=np.uint8)
+        record = _Segment(shm=shm, base=flat.__array_interface__["data"][0],
+                          size=shm.size)
+        with self._lock:
+            self._segments[shm.name] = record
+        return record
+
+    def share(self, args: dict[str, Any]) -> tuple[SharedArgs, dict[str, Any]]:
+        """Pack ``args``'s arrays into one new segment.
+
+        Returns ``(descriptor, live_args)`` where ``live_args`` is the
+        same dict shape with every array replaced by its shared view
+        (data copied in) and scalars untouched.  Arrays that already live
+        in one of this arena's segments are referenced in place — no
+        second copy, true zero-copy resubmission.
+        """
+        arrays = {name: value for name, value in args.items()
+                  if isinstance(value, np.ndarray)}
+        scalars = {name: value for name, value in args.items()
+                   if name not in arrays}
+        placed: dict[str, tuple[str, str, tuple[int, ...], int]] = {}
+        fresh: dict[str, np.ndarray] = {}
+        live: dict[str, Any] = dict(scalars)
+        for name, arr in arrays.items():
+            owned = self.locate(arr)
+            if owned is not None:
+                placed[name] = (owned[0], arr.dtype.str, arr.shape, owned[1])
+                live[name] = arr
+            else:
+                fresh[name] = arr
+        if fresh:
+            offsets: dict[str, int] = {}
+            cursor = 0
+            for name, arr in fresh.items():
+                cursor = _align(cursor)
+                offsets[name] = cursor
+                cursor += int(arr.nbytes)
+            record = self._new_segment(cursor)
+            for name, arr in fresh.items():
+                view = np.frombuffer(
+                    record.shm.buf, dtype=arr.dtype,
+                    count=arr.size, offset=offsets[name]).reshape(arr.shape)
+                view[...] = arr
+                placed[name] = (record.shm.name, arr.dtype.str, arr.shape,
+                                offsets[name])
+                live[name] = view
+        descriptor = SharedArgs(
+            arrays=tuple((name,) + placed[name] for name in arrays),
+            scalars=tuple(sorted(scalars.items(),
+                                 key=lambda item: item[0])),
+        )
+        return descriptor, live
+
+    def share_buffers(self,
+                      buffers: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Copy a plain buffer dict into the arena; returns the live views.
+
+        Convenience for chain workloads: rewire ``chain.buffers`` (and
+        each task's args) through the returned views before submission.
+        """
+        _, live = self.share(buffers)
+        return live
+
+    # -- ownership queries ---------------------------------------------------
+
+    def locate(self, arr: np.ndarray) -> Optional[tuple[str, int]]:
+        """``(segment name, byte offset)`` if ``arr`` lives in this arena."""
+        iface = arr.__array_interface__
+        addr = iface["data"][0]
+        with self._lock:
+            for name, record in self._segments.items():
+                if record.base <= addr < record.base + record.size:
+                    return name, addr - record.base
+        return None
+
+    def owns(self, arr: np.ndarray) -> bool:
+        return self.locate(arr) is not None
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._segments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    # -- retirement ----------------------------------------------------------
+
+    def free(self, names: Iterable[str]) -> None:
+        """Unlink specific segments (their views become dangling)."""
+        for name in names:
+            with self._lock:
+                record = self._segments.pop(name, None)
+            if record is None:
+                continue
+            try:
+                record.shm.close()
+            except BufferError:
+                _defuse(record.shm)  # views pin the memory; unlink proceeds
+            try:
+                record.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def close(self) -> None:
+        """Unlink every owned segment; the arena is unusable afterwards."""
+        with self._lock:
+            self._closed = True
+            names = list(self._segments)
+        self.free(names)
+        self._finalizer.detach()
+
+
+# -- diagnostics ------------------------------------------------------------
+
+
+def list_segments(prefix: str) -> list[str]:
+    """``/dev/shm`` entries carrying ``prefix`` (leak inspection)."""
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(p.name for p in SHM_DIR.iterdir()
+                  if p.name.startswith(prefix))
+
+
+def sweep_orphans(prefix: str) -> list[str]:
+    """Unlink stale segments left by a killed process; returns the names.
+
+    Only names carrying ``prefix`` are touched, so a sweep can never eat
+    another server's live segments.
+    """
+    swept = []
+    for name in list_segments(prefix):
+        try:
+            # Attach untracked, then unlink the file directly: going
+            # through ``SharedMemory.unlink`` would send an unregister
+            # for a name this process never registered, which the shared
+            # tracker reports as a KeyError traceback.
+            segment = _attach_untracked(name)
+            segment.close()
+            os.unlink(SHM_DIR / name)
+            swept.append(name)
+        except FileNotFoundError:
+            continue
+    return swept

@@ -1,0 +1,143 @@
+"""Cross-process prediction store: warm starts, corruption, isolation.
+
+The store is the sharded server's answer to cold forks: DoP decisions
+are a pure function of (platform, model), so a shard can load its
+predecessors' cache from disk instead of paying model inference again.
+These tests pin the storage contract — atomic idempotent writes,
+corruption-safe reads, namespace isolation — and the end-to-end warm
+start: a second sharded server over the same store boots with the
+first one's decisions already cached.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import make_model
+from repro.serve import (
+    PredictionCache,
+    PredictionStore,
+    ShardedServer,
+    store_namespace,
+)
+from repro.sim import KAVERI
+from repro.workloads import SCALED_REAL_FACTORIES
+
+
+def test_put_entries_round_trip(tmp_path):
+    store = PredictionStore("ns", root=tmp_path)
+    key = (("feat", 1.5), (64,), 3)
+    store.put(key, {"dop": 7})
+    store.put(("other",), {"dop": 2})
+    assert len(store) == 2
+    entries = dict(store.entries())
+    assert entries[key] == {"dop": 7}
+    assert entries[("other",)] == {"dop": 2}
+
+
+def test_persist_is_idempotent(tmp_path):
+    cache = PredictionCache(capacity=16)
+    for i in range(5):
+        cache.put(("k", i), i * i)
+    store = PredictionStore("ns", root=tmp_path)
+    assert store.persist(cache) == 5
+    assert len(store) == 5
+    # re-persisting the same cache replaces in place: no growth, no loss
+    assert store.persist(cache) == 5
+    assert len(store) == 5
+    assert dict(store.entries()) == {("k", i): i * i for i in range(5)}
+
+
+def test_load_into_warms_a_cold_cache(tmp_path):
+    store = PredictionStore("ns", root=tmp_path)
+    for i in range(4):
+        store.put(("k", i), i)
+    cache = PredictionCache(capacity=16)
+    assert store.load_into(cache) == 4
+    assert store.loaded == 4
+    # warm loads count as neither hits nor misses...
+    assert cache.hits == 0 and cache.misses == 0
+    # ...but subsequent traffic hits
+    assert cache.get(("k", 2)) == 2
+    assert cache.hits == 1
+
+
+def test_corrupt_entries_are_skipped_and_removed(tmp_path):
+    store = PredictionStore("ns", root=tmp_path)
+    store.put(("good",), 1)
+    truncated = store.dir / "00deadbeef.pkl"
+    truncated.write_bytes(b"\x80\x04not a pickle")
+    empty = store.dir / "ffcafe.pkl"
+    empty.write_bytes(b"")
+    assert len(store) == 3
+    entries = store.entries()
+    assert entries == [(("good",), 1)]
+    assert store.skipped == 2
+    assert not truncated.exists() and not empty.exists()
+    # the store heals: a later read sees only the good entry
+    assert len(store) == 1
+
+
+def test_namespaces_are_isolated(tmp_path):
+    first = PredictionStore("ns-a", root=tmp_path)
+    second = PredictionStore("ns-b", root=tmp_path)
+    first.put(("k",), "a-value")
+    assert second.entries() == []
+    assert len(second) == 0
+    second.put(("k",), "b-value")
+    assert dict(first.entries()) == {("k",): "a-value"}
+
+
+def test_store_namespace_digests_platform_and_model(trained_model):
+    trained = store_namespace(KAVERI, trained_model)
+    untrained = store_namespace(KAVERI, make_model("dt"))
+    assert trained.startswith(KAVERI.name)
+    # a different model pickle -> a different (empty) namespace, so a
+    # retrained model can never read a stale model's decisions
+    assert trained != untrained
+    # and the digest is stable for the same pair
+    assert trained == store_namespace(KAVERI, trained_model)
+
+
+def test_clear_empties_the_namespace(tmp_path):
+    store = PredictionStore("ns", root=tmp_path)
+    store.put(("k",), 1)
+    store.clear()
+    assert len(store) == 0
+    store.clear()                    # idempotent on a missing dir too
+
+
+def test_sharded_warm_start_round_trip(trained_model, tmp_path):
+    """Shards persist on shutdown; a fresh pool loads those decisions."""
+    workloads = [factory() for factory in
+                 list(SCALED_REAL_FACTORIES.values())[:6]]
+
+    def run_pool():
+        server = ShardedServer(KAVERI, trained_model, shards=2,
+                               workers_per_shard=2, backend="scalar",
+                               functional=False, simulate=True,
+                               warm_start=True, store_root=tmp_path)
+        try:
+            session = server.session("warm")
+            for workload in workloads:
+                args = workload.full_args(rng=0)
+                session.launch(workload, args=args).result(timeout=120.0)
+        finally:
+            server.close()
+        return server.shard_reports
+
+    cold_reports = run_pool()
+    assert len(cold_reports) == 2
+    assert sum(report["warm_loaded"] for report in cold_reports) == 0
+    persisted = sum(report["persisted"] for report in cold_reports)
+    assert persisted > 0
+
+    store = PredictionStore.for_model(KAVERI, trained_model, root=tmp_path)
+    # workloads sharing a (features, geometry, load) key collapse to one
+    # file — idempotent concurrent writes, never duplicates
+    assert 0 < len(store) <= persisted
+
+    warm_reports = run_pool()
+    assert len(warm_reports) == 2
+    # every shard of the new pool booted with the full decision set
+    for report in warm_reports:
+        assert report["warm_loaded"] == len(store)

@@ -1,0 +1,164 @@
+"""Chaos harness: shard death and SIGTERM retirement, without hangs.
+
+Two failure stories the sharded server must survive:
+
+* **SIGKILL mid-graph** — a shard dies with a launch dispatched to it
+  and a cross-shard dependent parked at the router.  The dispatched
+  launch must fail with :class:`ShardCrashError`, the parked dependent
+  must poison with :class:`DependencyFailedError` (never hang), and the
+  surviving shards must keep serving — including the dead shard's keys,
+  which the ring rehomes.
+
+  SIGSTOP-then-SIGKILL makes the race deterministic: the victim shard
+  is frozen before the launch is written to its pipe, so the kill is
+  guaranteed to land mid-flight.
+
+* **SIGTERM graceful drain** — a terminated shard first serves every
+  launch already written to its pipe (releasing leases as they retire),
+  then sends its "bye" report and exits; nothing dispatched to it is
+  lost, and the router treats the retirement as graceful.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DependencyFailedError,
+    ShardCrashError,
+    ShardedServer,
+)
+from repro.serve.shard import workload_ring_key
+from repro.sim import KAVERI
+from repro.workloads import SCALED_REAL_FACTORIES
+
+from .test_shard_router import N, kernels_on_distinct_shards
+
+
+def _wait_dead(server, index, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while server._shards[index].alive and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert not server._shards[index].alive
+
+
+def test_sigkill_mid_graph_poisons_dependents_not_hangs(trained_model):
+    a, b = kernels_on_distinct_shards(2)
+    buf = np.arange(N, dtype=np.float32)
+    with ShardedServer(KAVERI, trained_model, shards=2, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False) as server:
+        session = server.session("chaos")
+        victim = server._shards[0].proc
+        # freeze shard 0 first: the launch sits unread in its pipe, so
+        # the SIGKILL below is guaranteed to land mid-flight
+        os.kill(victim.pid, signal.SIGSTOP)
+        try:
+            first = session.launch(a, {"w": buf})      # dispatched, shard 0
+            second = session.launch(b, {"w": buf})     # parked: cross-shard
+            time.sleep(0.1)
+            assert not first.done()
+            assert not second.done()
+        finally:
+            os.kill(victim.pid, signal.SIGKILL)
+        with pytest.raises(ShardCrashError):
+            first.result(timeout=60.0)
+        with pytest.raises(DependencyFailedError):
+            second.result(timeout=60.0)
+        _wait_dead(server, 0)
+        stats = server.stats.snapshot()
+        assert stats["escalated"] >= 1
+        assert stats["failed"] == 2
+        assert stats["dep_failed"] == 1
+
+        # the survivor keeps serving its own keys...
+        out = np.zeros(N, dtype=np.float32)
+        session.launch(b, {"w": out}).result(timeout=120.0)
+        step = np.float32(float(b.kernel_name.removeprefix("step")))
+        np.testing.assert_array_equal(out, step)
+
+        # ...and adopts the dead shard's: the ring rehomes kernel `a`
+        rehomed = session.launch(a, {"w": np.zeros(N, dtype=np.float32)})
+        result = rehomed.result(timeout=120.0)
+        assert result.shard == 1
+        assert server.ring.lookup(workload_ring_key(a)) == 1
+        assert server.stats.snapshot()["rerouted"] >= 1
+        assert server.drain(timeout=60.0)
+
+
+def test_sigterm_drains_dispatched_launches(trained_model):
+    """Everything written to the pipe before the SIGTERM is served —
+    the retirement is graceful, with a full "bye" report."""
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    launches = 6
+    with ShardedServer(KAVERI, trained_model, shards=1, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False) as server:
+        session = server.session("drain")
+        handles = [session.launch(workload, workload.full_args(rng=seed))
+                   for seed in range(launches)]
+        # the first result proves the shard is fully booted (a SIGTERM
+        # before the handler is installed would be plain process death)
+        handles[0].result(timeout=120.0)
+        proc = server._shards[0].proc
+        os.kill(proc.pid, signal.SIGTERM)
+        for handle in handles:
+            handle.result(timeout=120.0)       # nothing lost, no errors
+        _wait_dead(server, 0)
+        assert server._shards[0].bye           # graceful, not a crash
+        report = server._shards[0].report
+        stats = server.stats.snapshot()
+
+        # the pool is gone: a post-retirement launch fails fast, no hang
+        late = session.launch(workload, workload.full_args(rng=99))
+        with pytest.raises(ShardCrashError):
+            late.result(timeout=60.0)
+
+    assert stats["completed"] == launches
+    assert stats["failed"] == 0
+    assert report["launches"] == launches
+    assert report["completed"] == launches
+    assert report["failed"] == 0
+    # leases were released as the drain retired each launch
+    assert report["ledger"]["total_leases"] >= launches
+    assert report["graph"]["submitted"] == launches
+
+
+def test_sigterm_releases_router_parked_dependents(trained_model):
+    """A cross-shard dependent parked behind a launch on the terminated
+    shard dispatches once the drain completes its predecessor."""
+    a, b = kernels_on_distinct_shards(2)
+    buf = np.arange(N, dtype=np.float32)
+    with ShardedServer(KAVERI, trained_model, shards=2, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False) as server:
+        session = server.session("park")
+        # prove shard 0 is fully booted before freezing it
+        session.launch(a, {"w": np.zeros(N, dtype=np.float32)}) \
+            .result(timeout=120.0)
+        victim = server._shards[0].proc
+        os.kill(victim.pid, signal.SIGSTOP)
+        first = session.launch(a, {"w": buf})       # in shard 0's pipe
+        second = session.launch(b, {"w": buf})      # parked at the router
+        time.sleep(0.1)
+        assert not second.done()
+        os.kill(victim.pid, signal.SIGCONT)
+        os.kill(victim.pid, signal.SIGTERM)
+        first.result(timeout=120.0)                 # drained, not lost
+        second.result(timeout=120.0)                # unparked and served
+        _wait_dead(server, 0)
+        assert server._shards[0].bye
+        stats = server.stats.snapshot()
+        assert stats["escalated"] >= 1
+        assert stats["failed"] == 0
+
+    # both steps applied in order: w = (w*0.5 + a) * 0.5 + b
+    step_a = np.float32(float(a.kernel_name.removeprefix("step")))
+    step_b = np.float32(float(b.kernel_name.removeprefix("step")))
+    expected = np.arange(N, dtype=np.float32)
+    expected = expected * np.float32(0.5) + step_a
+    expected = expected * np.float32(0.5) + step_b
+    np.testing.assert_array_equal(buf, expected)

@@ -1,0 +1,204 @@
+"""Consistent-hash router: key stability, rebalancing bounds, escalation.
+
+The unit half pins down :class:`repro.serve.shard.ConsistentHashRing`
+(the routing substrate the sharded server's crash-recovery story leans
+on): lookups are deterministic, removing a shard moves *only* that
+shard's keys, and adding one steals about ``1/n`` of the space — never
+a full reshuffle.
+
+The integration half proves the router's **cross-shard hazard
+escalation** ordering from its own scheduler event log: two kernels
+pinned to *different* shards write the same buffer, so the dependent
+launch must park at the router and its ``start`` event can only appear
+after its predecessor's ``done`` — that log order *is* the proof the
+escalation machinery provides (same-shard chains are ordered inside
+the shard instead and make no such router-level promise).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ConsistentHashRing, ShardedServer
+from repro.serve.shard import workload_ring_key
+from repro.sim import KAVERI
+from repro.workloads import Workload
+
+KEYS = [f"kernel-{i}" for i in range(2000)]
+
+
+def mapping(ring, keys=KEYS):
+    return {key: ring.lookup(key) for key in keys}
+
+
+# ---------------------------------------------------------------------------
+# Ring unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_lookup_deterministic_across_instances():
+    first = ConsistentHashRing(range(4))
+    second = ConsistentHashRing(range(4))
+    assert mapping(first) == mapping(second)
+    # and stable under repeated queries on one instance
+    assert mapping(first) == mapping(first)
+
+
+def test_empty_ring_and_membership():
+    ring = ConsistentHashRing()
+    assert ring.lookup("anything") is None
+    assert len(ring) == 0
+    ring.add(3)
+    ring.add(3)                      # idempotent
+    assert ring.nodes == frozenset({3})
+    assert ring.lookup("anything") == 3
+    ring.remove(3)
+    ring.remove(3)                   # idempotent
+    assert ring.lookup("anything") is None
+
+
+def test_removal_moves_only_the_dead_shards_keys():
+    ring = ConsistentHashRing(range(4))
+    before = mapping(ring)
+    ring.remove(2)
+    after = mapping(ring)
+    for key in KEYS:
+        if before[key] == 2:
+            assert after[key] != 2           # evacuated somewhere live
+        else:
+            assert after[key] == before[key]  # untouched
+
+
+def test_adding_a_shard_steals_about_one_nth():
+    ring = ConsistentHashRing(range(4))
+    before = mapping(ring)
+    ring.add(4)
+    after = mapping(ring)
+    moved = [key for key in KEYS if after[key] != before[key]]
+    # every moved key moved TO the new shard — never between survivors
+    assert all(after[key] == 4 for key in moved)
+    # about 1/5 of the space, with generous slack for vnode variance
+    assert 0.05 * len(KEYS) < len(moved) < 0.45 * len(KEYS)
+
+
+def test_add_then_remove_restores_the_original_mapping():
+    ring = ConsistentHashRing(range(4))
+    before = mapping(ring)
+    ring.add(7)
+    ring.remove(7)
+    assert mapping(ring) == before
+
+
+def test_key_space_reasonably_balanced():
+    ring = ConsistentHashRing(range(4))
+    counts = {node: 0 for node in range(4)}
+    for node in mapping(ring).values():
+        counts[node] += 1
+    for node, count in counts.items():
+        assert count > 0.08 * len(KEYS), (node, counts)
+
+
+def test_workload_ring_key_depends_only_on_source_and_kernel():
+    source = "__kernel void k(__global float* w) { w[0] = 1.0f; }"
+    a = Workload(key="a", source=source, kernel_name="k",
+                 global_size=(64,), local_size=(16,))
+    b = Workload(key="b", source=source, kernel_name="k",
+                 global_size=(1024,), local_size=(64,))
+    assert workload_ring_key(a) == workload_ring_key(b)
+    other = Workload(key="c", source=source.replace("1.0f", "2.0f"),
+                     kernel_name="k", global_size=(64,), local_size=(16,))
+    assert workload_ring_key(other) != workload_ring_key(a)
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard escalation: ordering proof from the event log
+# ---------------------------------------------------------------------------
+
+N = 64
+WG = 16
+
+
+def kernels_on_distinct_shards(shards: int = 2) -> tuple:
+    """Two single-buffer write kernels whose ring keys map to different
+    shards of a fresh ``shards``-ring (same construction the server
+    uses), so every A->B hazard between them is cross-shard."""
+    ring = ConsistentHashRing(range(shards))
+    found: dict[int, Workload] = {}
+    for i in range(256):
+        source = (f"__kernel void step{i}(__global float* w) "
+                  f"{{ int g = get_global_id(0); "
+                  f"w[g] = w[g] * 0.5f + {i}.0f; }}")
+        workload = Workload(key=f"chaos/step{i}", source=source,
+                            kernel_name=f"step{i}",
+                            global_size=(N,), local_size=(WG,))
+        shard = ring.lookup(workload_ring_key(workload))
+        if shard not in found:
+            found[shard] = workload
+        if len(found) == shards:
+            return found[0], found[1]
+    raise AssertionError("could not find kernels on distinct shards")
+
+
+def test_cross_shard_hazard_escalation_orders_from_event_log(trained_model):
+    """WAW chain alternating between two shards: every dependent parks at
+    the router, and the scheduler event log shows each predecessor's
+    ``done`` strictly before its dependent's ``start``."""
+    a, b = kernels_on_distinct_shards(2)
+    buf = np.arange(N, dtype=np.float32)
+    expected = buf.copy()
+    plan = [a, b, a, b, a, b]
+    for workload in plan:           # serial oracle of w = w*0.5 + i
+        step = float(workload.kernel_name.removeprefix("step"))
+        expected = expected * np.float32(0.5) + np.float32(step)
+
+    with ShardedServer(KAVERI, trained_model, shards=2, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False) as server:
+        assert server.ring.lookup(workload_ring_key(a)) == 0
+        assert server.ring.lookup(workload_ring_key(b)) == 1
+        session = server.session("escalate")
+        handles = [session.launch(workload, {"w": buf}) for workload in plan]
+        for handle in handles:
+            handle.result(timeout=120.0)
+        assert server.drain(timeout=30.0)
+        events = list(server.graph.events)
+        stats = server.stats.snapshot()
+
+    # every launch after the first is a cross-shard WAW -> escalated
+    assert stats["escalated"] == len(plan) - 1
+    assert stats["chained_same_shard"] == 0
+    assert stats["completed"] == len(plan)
+    assert stats["failed"] == 0
+
+    # exactly-once, and done(dep) precedes start(dependent) in the log
+    position = {}
+    for at, (what, node_id, _) in enumerate(events):
+        assert (what, node_id) not in position, "duplicate event"
+        position[(what, node_id)] = at
+    for earlier, later in zip(handles, handles[1:]):
+        assert (position[("done", earlier.node.id)]
+                < position[("start", later.node.id)])
+
+    # and the escalated ordering produced the serial result
+    np.testing.assert_array_equal(buf, expected)
+
+
+def test_results_carry_their_shard_and_dep_counts(trained_model):
+    a, b = kernels_on_distinct_shards(2)
+    buf = np.zeros(N, dtype=np.float32)
+    with ShardedServer(KAVERI, trained_model, shards=2, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False) as server:
+        session = server.session("meta")
+        first_handle = session.launch(a, {"w": buf})
+        second_handle = session.launch(b, {"w": buf})
+        first = first_handle.result(timeout=120.0)
+        second = second_handle.result(timeout=120.0)
+        escalated = server.stats.snapshot()["escalated"]
+    assert first.shard == 0
+    assert second.shard == 1
+    assert first.deps == 0
+    # the WAW edge exists iff the second launch was admitted before the
+    # first completed; when it was, it must have parked (escalated)
+    assert second.deps == escalated
+    with pytest.raises(ValueError):
+        ShardedServer(KAVERI, trained_model, shards=0)

@@ -1,0 +1,285 @@
+"""Shared-memory lifecycle: round-trips, aliasing, and leak-freedom.
+
+Three promises from :mod:`repro.serve.shm` get locked down here:
+
+1. **bit identity** — an argument dict shared through an arena and
+   re-attached (in-process or across a fork) is byte-for-byte the
+   original, scalars included;
+2. **aliasing survives the wire** — overlapping views of one buffer map
+   to overlapping ranges of one segment, so a write through any view is
+   visible through every other (the shard-local hazard matcher depends
+   on exactly this);
+3. **nothing leaks** — ``/dev/shm`` is clean after a clean shutdown,
+   after a dropped (never-closed) arena, and after a SIGKILLed worker;
+   and the whole data path stays silent on stderr: any resource-tracker
+   noise ("leaked shared_memory", KeyError tracebacks) fails the suite.
+"""
+
+import gc
+import os
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.serve import ShardedServer
+from repro.serve.shm import (
+    SegmentCache,
+    ShmArena,
+    attach_args,
+    list_segments,
+    sweep_orphans,
+)
+from repro.sim import KAVERI
+from repro.workloads import SCALED_REAL_FACTORIES
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+# ---------------------------------------------------------------------------
+# Round-trips and aliasing
+# ---------------------------------------------------------------------------
+
+
+def test_share_attach_round_trip_bit_identity():
+    arena = ShmArena()
+    rng = np.random.default_rng(7)
+    args = {
+        "a": rng.uniform(-1, 1, 257),                 # odd size: padding
+        "b": rng.integers(0, 1 << 30, 64, dtype=np.int32),
+        "c": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+        "n": 42,
+        "scale": 0.75,
+    }
+    shared, live = arena.share(args)
+    cache = SegmentCache(owner=False)
+    try:
+        attached = attach_args(shared, cache)
+        assert set(attached) == set(args)
+        for name in ("a", "b", "c"):
+            assert attached[name].dtype == args[name].dtype
+            assert attached[name].shape == args[name].shape
+            assert attached[name].tobytes() == args[name].tobytes()
+            assert live[name].tobytes() == args[name].tobytes()
+        assert attached["n"] == 42
+        assert attached["scale"] == 0.75
+        # the descriptor is tiny: one segment, O(1) in buffer size
+        assert len(shared.segment_names) == 1
+    finally:
+        cache.close_all()
+        arena.close()
+    assert list_segments(arena.prefix) == []
+
+
+def test_view_aliasing_round_trip():
+    """Overlapping views share bytes on both sides of the attach."""
+    arena = ShmArena()
+    cache = SegmentCache(owner=False)
+    try:
+        base = arena.share_buffers(
+            {"base": np.arange(64, dtype=np.float32)})["base"]
+        args = {"whole": base, "head": base[:16], "tail": base[48:]}
+        shared, live = arena.share(args)
+        # already-owned views are referenced in place: no second segment
+        assert len(arena) == 1
+        attached = attach_args(shared, cache)
+        assert attached["whole"].tobytes() == base.tobytes()
+
+        # write through the attached head -> visible through the
+        # attached whole AND through the owner's original view
+        attached["head"][:] = -1.0
+        np.testing.assert_array_equal(attached["whole"][:16], -1.0)
+        np.testing.assert_array_equal(base[:16], -1.0)
+        np.testing.assert_array_equal(live["head"], -1.0)
+
+        # and the other direction: owner writes, attacher observes
+        base[48:] = 9.0
+        np.testing.assert_array_equal(attached["tail"], 9.0)
+    finally:
+        cache.close_all()
+        arena.close()
+
+
+def test_segment_cache_maps_each_segment_once():
+    arena = ShmArena()
+    cache = SegmentCache(owner=False)
+    try:
+        shared, _ = arena.share({"a": np.zeros(8), "b": np.ones(8)})
+        first = attach_args(shared, cache)
+        second = attach_args(shared, cache)
+        assert len(cache) == 1
+        # one mapping -> one base address -> views alias across attaches
+        first["a"][0] = 5.0
+        assert second["a"][0] == 5.0
+    finally:
+        cache.close_all()
+        arena.close()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: /dev/shm stays clean
+# ---------------------------------------------------------------------------
+
+
+def test_dropped_arena_finalizer_unlinks_segments():
+    arena = ShmArena()
+    prefix = arena.prefix
+    arena.share({"a": np.zeros(128)})
+    assert len(list_segments(prefix)) == 1
+    del arena                      # never closed: the finalizer's job
+    gc.collect()
+    assert list_segments(prefix) == []
+
+
+def test_sweep_orphans_removes_only_the_given_prefix():
+    orphan = shared_memory.SharedMemory(
+        name=f"dopia-orphan-{os.getpid()}", create=True, size=64)
+    bystander = shared_memory.SharedMemory(
+        name=f"dopia-bystander-{os.getpid()}", create=True, size=64)
+    try:
+        # simulate the owner dying without cleanup: the /dev/shm entry
+        # persists but no live tracker knows the name
+        swept = sweep_orphans(f"dopia-orphan-{os.getpid()}")
+        assert swept == [f"dopia-orphan-{os.getpid()}"]
+        assert list_segments(f"dopia-orphan-{os.getpid()}") == []
+        # a second sweep finds nothing; the bystander is untouched
+        assert sweep_orphans(f"dopia-orphan-{os.getpid()}") == []
+        assert list_segments(f"dopia-bystander-{os.getpid()}") \
+            == [f"dopia-bystander-{os.getpid()}"]
+    finally:
+        from multiprocessing import resource_tracker
+        orphan.close()
+        # this process created the "orphan" (to simulate a dead owner),
+        # so balance its tracker registration by hand — the swept file
+        # is gone and ``unlink()`` would raise before unregistering
+        try:
+            resource_tracker.unregister(f"/{orphan.name}", "shared_memory")
+        except Exception:  # noqa: BLE001 - tracker absent on some platforms
+            pass
+        bystander.close()
+        try:
+            bystander.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def test_sharded_server_clean_shutdown_leaves_shm_clean(trained_model):
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    server = ShardedServer(KAVERI, trained_model, shards=2,
+                           workers_per_shard=2, backend="scalar",
+                           functional=True, simulate=False,
+                           warm_start=False)
+    prefix = server.arena.prefix
+    try:
+        session = server.session("clean")
+        for seed in range(3):
+            session.launch(workload,
+                           workload.full_args(rng=seed)).result(timeout=120.0)
+        assert len(list_segments(prefix)) > 0       # buffers really shared
+    finally:
+        server.close()
+    assert list_segments(prefix) == []
+
+
+def test_killed_worker_leaves_no_orphans(trained_model):
+    """SIGKILL a shard mid-service: the router still owns every segment,
+    so closing it must leave ``/dev/shm`` exactly as found."""
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    server = ShardedServer(KAVERI, trained_model, shards=2,
+                           workers_per_shard=2, backend="scalar",
+                           functional=True, simulate=False,
+                           warm_start=False)
+    prefix = server.arena.prefix
+    try:
+        session = server.session("kill")
+        session.launch(workload, workload.full_args(rng=0)).result(timeout=120)
+        victim = server._shards[0].proc
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=30.0)
+        assert not victim.is_alive()
+        deadline = time.monotonic() + 30.0
+        while server._shards[0].alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not server._shards[0].alive
+    finally:
+        server.close()
+    assert list_segments(prefix) == []
+
+
+# ---------------------------------------------------------------------------
+# Regression: any resource-tracker noise fails the suite
+# ---------------------------------------------------------------------------
+
+TRACKER_SCRIPT = """
+import numpy as np
+from multiprocessing import get_context
+from repro.serve.shm import ShmArena, SegmentCache, attach_args, list_segments
+
+
+def child(shared):
+    cache = SegmentCache(owner=False)
+    args = attach_args(shared, cache)
+    args["a"][:] = 7.0
+    cache.close_all()
+
+
+arena = ShmArena()
+shared, live = arena.share({"a": np.zeros(32), "n": 1})
+ctx = get_context("fork")
+proc = ctx.Process(target=child, args=(shared,))
+proc.start()
+proc.join()
+assert proc.exitcode == 0
+assert float(live["a"][0]) == 7.0          # the fork really wrote shm
+arena.close()
+assert list_segments(arena.prefix) == []
+
+# the full sharded data path: fork pool, real kernels, warm shutdown
+from repro.core import collect_dataset
+from repro.ml import make_model
+from repro.serve import ShardedServer
+from repro.sim import KAVERI
+from repro.workloads import SCALED_REAL_FACTORIES
+from repro.workloads.synthetic import training_workloads
+
+dataset = collect_dataset(training_workloads(sizes=(16384,), wg_sizes=(256,)),
+                          KAVERI, cache=False)
+model = make_model("dt")
+model.fit(dataset.feature_matrix(), dataset.targets())
+server = ShardedServer(KAVERI, model, shards=2, workers_per_shard=2,
+                       backend="scalar", functional=True, simulate=False,
+                       warm_start=False)
+prefix = server.arena.prefix
+session = server.session("tracker")
+workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+for seed in range(4):
+    session.launch(workload, workload.full_args(rng=seed)).result(timeout=120)
+server.close()
+assert list_segments(prefix) == []
+print("TRACKER-CLEAN")
+"""
+
+#: stderr substrings that mean the resource tracker saw something wrong
+TRACKER_NOISE = ("leaked shared_memory", "resource_tracker",
+                 "KeyError", "Traceback", "UserWarning")
+
+
+def test_resource_tracker_warnings_fail_the_suite():
+    """End-to-end subprocess: attach across a fork, run the sharded
+    server, shut down — with a byte-clean stderr.  Tracker complaints
+    print at interpreter exit, which is why this must be a subprocess
+    rather than an in-process assertion."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", TRACKER_SCRIPT],
+        capture_output=True, text=True, timeout=600, env=env)
+    assert proc.returncode == 0, proc.stderr
+    assert "TRACKER-CLEAN" in proc.stdout
+    for marker in TRACKER_NOISE:
+        assert marker not in proc.stderr, (
+            f"resource-tracker noise on stderr ({marker!r}):\n{proc.stderr}")
