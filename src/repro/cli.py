@@ -909,6 +909,140 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_retrain(args: argparse.Namespace) -> int:
+    """Run the online retraining loop manually (``dopia retrain``).
+
+    Default mode loads the persisted observation store for the platform
+    (segments written by serving processes via
+    ``ObservationStore.flush``), trains the pretrained prior, and runs
+    one drift-detect → refit → shadow-score step, printing the decision.
+
+    ``--check`` runs the deterministic golden-trace replay end-to-end
+    instead — planted load shift, drift detection, shadow-scored
+    promotion, and a second replay for bit-stability — and exits
+    non-zero unless every check passes.  This is the CI entry point; the
+    regret report goes to ``--out``.
+    """
+    import json
+
+    from .ml.online import (
+        ObservationStore,
+        OnlineConfig,
+        OnlineLoop,
+        ReplayConfig,
+        observation_namespace,
+        run_replay,
+        train_base,
+    )
+
+    if args.check:
+        config = ReplayConfig()
+        print("training incumbent on the reduced Table-4 slice ...",
+              file=sys.stderr)
+        model, X, y = train_base(config)
+        print("replaying the golden trace (twice, for bit-stability) ...",
+              file=sys.stderr)
+        first = run_replay(config, model=model, base_X=X, base_y=y)
+        second = run_replay(config, model=model, base_X=X, base_y=y)
+        report = dict(first)
+        report["checks"] = dict(
+            first["checks"],
+            bit_stable=(first["chosen"] == second["chosen"]
+                        and first["decisions"] == second["decisions"]),
+        )
+        report["pass"] = all(report["checks"].values())
+        print(f"drift     : detected at launch {report['drift_detected_at']} "
+              f"(shift planted at {config.shift_at})")
+        print(f"promotion : at launch {report['promoted_at']} "
+              f"({report['promotions']} promoted, "
+              f"{report['rejections']} rejected)")
+        print(f"regret    : pre={report['pre_promotion_regret']:.4f} "
+              f"post={report['post_promotion_regret']:.4f} "
+              f"(idle {report['idle_regret']:.4f})")
+        for name, ok in report["checks"].items():
+            print(f"check     : {name:22s} {'ok' if ok else 'FAILED'}")
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+            print(f"report    : {args.out}")
+        if not report["pass"]:
+            failed = [k for k, ok in report["checks"].items() if not ok]
+            raise SystemExit(
+                f"error: golden-trace replay failed: {', '.join(failed)}")
+        return 0
+
+    platform = get_platform(args.platform)
+    store = ObservationStore(
+        observation_namespace(platform.name),
+        window=args.window,
+        root=Path(args.store) if args.store else None,
+    )
+    loaded = store.load()
+    print(f"observations: {loaded} loaded from {store.dir}")
+    if not loaded:
+        print("nothing to retrain from; serve with online=True (and flush "
+              "the observation store) first")
+        return 0
+
+    jobs = args.jobs or default_jobs()
+    print(f"training the {args.model} prior on {platform.name} "
+          "(cached after the first run) ...", file=sys.stderr)
+    dataset = collect_dataset(training_workloads(), platform,
+                              cache=True, jobs=jobs)
+    X, y = dataset.feature_matrix(), dataset.targets()
+    model = make_model(args.model)
+    model.fit(X, y)
+    predictor = DopPredictor(model, platform)
+
+    loop = OnlineLoop(
+        model=model,
+        configs_utils=predictor._utils,
+        base_X=X,
+        base_y=y,
+        config=OnlineConfig(),
+        store=store,
+    )
+    decision = loop.step()
+    drift = decision.drift
+    print(f"drift       : {'DETECTED' if drift.drifted else 'none'} "
+          f"(mean regret {drift.mean_regret:.4f} over "
+          f"{sum(k.observations for k in drift.kernels)} launches)")
+    for kernel in drift.kernels:
+        flag = " <- drifted" if kernel.drifted else ""
+        print(f"  {kernel.kernel:20s} regret={kernel.mean_regret:.4f} "
+              f"obs={kernel.observations} cells={kernel.cells}{flag}")
+    if decision.shadow is not None:
+        shadow = decision.shadow
+        print(f"shadow      : incumbent={shadow.incumbent_regret:.4f} "
+              f"candidate={shadow.candidate_regret:.4f} "
+              f"margin={shadow.margin} -> "
+              f"{'PROMOTE' if shadow.promote else 'reject'} "
+              f"({shadow.reason})")
+    if args.out:
+        payload = {
+            "platform": platform.name,
+            "observations": store.stats(),
+            "drifted": drift.drifted,
+            "mean_regret": drift.mean_regret,
+            "kernels": [
+                {"kernel": k.kernel, "mean_regret": k.mean_regret,
+                 "observations": k.observations, "cells": k.cells,
+                 "drifted": k.drifted}
+                for k in drift.kernels
+            ],
+            "promoted": decision.promoted,
+            "reason": decision.reason,
+        }
+        if decision.shadow is not None:
+            payload["shadow"] = {
+                "incumbent_regret": decision.shadow.incumbent_regret,
+                "candidate_regret": decision.shadow.candidate_regret,
+                "margin": decision.shadow.margin,
+            }
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"report      : {args.out}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
@@ -1136,6 +1270,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum acceptable fraction of baseline throughput "
                         "(default 0.9)")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "retrain",
+        help="run the online retraining loop (drift -> refit -> shadow "
+             "promotion) over persisted observations, or --check the "
+             "golden-trace replay",
+    )
+    p.add_argument("--platform", default="kaveri", choices=("kaveri", "skylake"))
+    p.add_argument("--model", default="dt", choices=sorted(MODEL_FAMILIES))
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="observation-store root (default: DOPIA_PRED_STORE "
+                        "or ~/.cache/dopia)")
+    p.add_argument("--window", type=int, default=4096,
+                   help="observation window to score (default 4096)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for cold dataset collection")
+    p.add_argument("--check", action="store_true",
+                   help="run the deterministic golden-trace replay end-to-end "
+                        "and fail unless drift is detected, the candidate is "
+                        "promoted exactly once, regret improves, and the "
+                        "replay is bit-stable")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the regret report JSON "
+                        "(e.g. BENCH_retrain.json)")
+    p.set_defaults(func=cmd_retrain)
 
     p = sub.add_parser("stats", help="summarise a JSONL trace file")
     p.add_argument("trace", help="path to a .trace.jsonl file")

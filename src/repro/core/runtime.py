@@ -61,6 +61,12 @@ class LaunchRecord:
     prediction: Prediction
     result: ExecutionResult
     time_s: float
+    #: Table-1 static features of the launched kernel (empty for records
+    #: created before the online-retraining fields were added)
+    static: tuple = ()
+    work_dim: int = 0
+    global_size: int = 0
+    local_size: int = 0
 
     def as_details(self) -> dict[str, Any]:
         """The ``Event.details`` dict (the historical record layout)."""
@@ -118,6 +124,10 @@ class DopiaRuntime(Interposer):
         self.total_launches = 0
         #: guards launch accounting (append + total) as one atomic step
         self._launch_lock = threading.Lock()
+        #: optional observation sink (:class:`repro.ml.online.OnlineLoop`);
+        #: when set, :meth:`record_launch` feeds every launch into the
+        #: retraining loop's observation store — see :meth:`attach_online`
+        self.online = None
         #: guards lazy per-kernel artifact generation (malleable/CPU
         #: variants); reentrant because ``_artifacts`` may trigger a full
         #: ``program_built`` pass.  Execution itself never holds it.
@@ -133,11 +143,43 @@ class DopiaRuntime(Interposer):
             self.launches.clear()
             self.total_launches = 0
 
+    def attach_online(self, loop) -> None:
+        """Feed future launches into an :class:`repro.ml.online.OnlineLoop`.
+
+        The runtime is the single-client (idle-machine) path, so the
+        observations it contributes carry zero background load — they
+        anchor the store's idle cells while a co-located server (or a
+        later serving session sharing the same persistent store)
+        contributes the loaded ones.
+        """
+        self.online = loop
+
     def record_launch(self, record: LaunchRecord) -> None:
-        """Append one launch record atomically (ring append + total)."""
+        """Append one launch record atomically (ring append + total).
+
+        With an online loop attached, the record is also ingested as a
+        training observation (when it carries the launch-shape fields —
+        pre-existing minimal records are logged but not learned from).
+        """
         with self._launch_lock:
             self.launches.append(record)
             self.total_launches += 1
+        loop = self.online
+        if loop is not None and record.static:
+            config = record.prediction.config
+            loop.ingest(
+                kernel=record.kernel,
+                static=record.static,
+                work_dim=record.work_dim,
+                global_size=record.global_size,
+                local_size=record.local_size,
+                cpu_load=0.0,
+                gpu_load=0.0,
+                cpu_util=config.cpu_util,
+                gpu_util=config.gpu_util,
+                time_s=record.result.time_s,
+                source="runtime",
+            )
 
     # -- construction helpers -------------------------------------------------
 
@@ -312,6 +354,10 @@ class DopiaRuntime(Interposer):
                 prediction=prediction,
                 result=result,
                 time_s=time,
+                static=artifacts.static_features.as_tuple(),
+                work_dim=ndrange.work_dim,
+                global_size=ndrange.total_work_items,
+                local_size=ndrange.work_items_per_group,
             )
             self.record_launch(record)
             if traced:

@@ -1,0 +1,71 @@
+"""``repro.ml.online`` — closing the loop: predictor retraining from traces.
+
+The paper ships a pretrained DecisionTree and never looks back; this
+package turns the production telemetry the runtime and serving layers
+already record into *better* DoP predictions, without ever serving a
+worse model.  Four stages, each usable alone:
+
+:class:`~repro.ml.online.store.ObservationStore`
+    Append-only log of per-launch observations — the Table-1 feature row
+    (including the live load columns), the chosen configuration, and the
+    measured/simulated time — bounded in memory, persisted across
+    processes with the same atomic-rename machinery as
+    :mod:`repro.serve.predstore` so sharded workers contribute too.
+:class:`~repro.ml.online.drift.DriftDetector`
+    Per-kernel *regret* (chosen-configuration time vs the
+    realised-best-in-hindsight among sibling launches and counterfactual
+    probes of the same launch cell) over a sliding window; drift is a
+    sustained regret above threshold.
+:class:`~repro.ml.online.refit.Refitter`
+    Fits a candidate model on the pretrained dataset plus the observed
+    window (observation rows weighted up so production evidence can
+    out-vote the synthetic prior).
+:class:`~repro.ml.online.shadow.ShadowScorer` + :class:`PromotionGate`
+    Replays candidate and incumbent against the recent window — same
+    selection rule as serving, feasibility mask included — and promotes
+    the candidate only when its shadow regret beats the incumbent's by a
+    configurable margin.  A rejected candidate changes nothing.
+
+:class:`~repro.ml.online.loop.OnlineLoop` wires the stages together and
+is what :class:`repro.serve.DopiaServer` drives from its background
+retraining thread (and ``dopia retrain`` drives manually).
+:func:`~repro.ml.online.replay.run_replay` is the deterministic
+golden-trace harness — a seeded workload with a planted load shift —
+that proves the whole loop end to end (``dopia retrain --check``).
+"""
+
+from .drift import DriftConfig, DriftDetector, DriftReport, KernelRegret
+from .loop import Decision, OnlineConfig, OnlineLoop
+from .refit import RefitConfig, Refitter
+from .replay import REPLAY_SCHEMA_VERSION, ReplayConfig, run_replay, train_base
+from .shadow import PromotionGate, ShadowReport, ShadowScorer, select_among
+from .store import (
+    OBS_SCHEMA_VERSION,
+    Observation,
+    ObservationStore,
+    observation_namespace,
+)
+
+__all__ = [
+    "Decision",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReport",
+    "KernelRegret",
+    "OBS_SCHEMA_VERSION",
+    "REPLAY_SCHEMA_VERSION",
+    "Observation",
+    "ObservationStore",
+    "OnlineConfig",
+    "OnlineLoop",
+    "PromotionGate",
+    "RefitConfig",
+    "Refitter",
+    "ReplayConfig",
+    "ShadowReport",
+    "ShadowScorer",
+    "observation_namespace",
+    "run_replay",
+    "select_among",
+    "train_base",
+]

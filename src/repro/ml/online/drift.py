@@ -1,0 +1,139 @@
+"""Drift detection: is the incumbent model leaving performance on the table?
+
+*Regret* of a launch is how much slower its chosen configuration ran than
+the realised-best-in-hindsight of its cell — the minimum time over
+sibling launches and counterfactual probes of the same (launch shape,
+load bucket):
+
+    regret(o) = time(o) / best(cell(o)) - 1            (0 = optimal pick)
+
+Drift is sustained regret: a kernel whose mean regret over the sliding
+window exceeds the threshold, with enough real (non-probe) observations
+to trust the mean.  A pretrained model goes regretful exactly when the
+conditions it was trained under stop holding — in this reproduction,
+when background load makes the capped load columns alias configurations
+the idle-trained tree learned to rank by their uncapped utilisations.
+
+Counters and per-kernel regret observations are exported through
+:mod:`repro.obs` so a trace shows *why* a refit was triggered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ...obs import tracer
+from .store import Observation, ObservationStore
+
+__all__ = ["DriftConfig", "DriftDetector", "DriftReport", "KernelRegret"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Sensitivity of the detector.
+
+    ``regret_threshold`` is a fraction: 0.08 means "the chosen configs
+    run 8 % slower than the hindsight best, on average".
+    ``min_observations`` guards against deciding off a handful of noisy
+    launches.
+    """
+
+    regret_threshold: float = 0.08
+    min_observations: int = 24
+
+
+@dataclass(frozen=True)
+class KernelRegret:
+    kernel: str
+    observations: int           #: real launches scored (probes excluded)
+    cells: int
+    mean_regret: float
+    max_regret: float
+    drifted: bool
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    drifted: bool
+    kernels: tuple[KernelRegret, ...] = field(default_factory=tuple)
+
+    @property
+    def mean_regret(self) -> float:
+        """Observation-weighted mean regret across all scored kernels."""
+        total = sum(k.observations for k in self.kernels)
+        if not total:
+            return 0.0
+        return sum(k.mean_regret * k.observations for k in self.kernels) / total
+
+    def drifted_kernels(self) -> list[str]:
+        return [k.kernel for k in self.kernels if k.drifted]
+
+
+def observation_regret(obs: Observation, cell: Sequence[Observation]) -> float:
+    """Regret of one real launch against its cell's hindsight best."""
+    best = ObservationStore.cell_best(cell)
+    if best <= 0.0:
+        return 0.0
+    return max(obs.time_s / best - 1.0, 0.0)
+
+
+class DriftDetector:
+    """Scores a window of observations; stateless between calls."""
+
+    def __init__(self, config: DriftConfig | None = None):
+        self.config = config or DriftConfig()
+        self.checks = 0
+        self.detections = 0
+
+    def check(self, observations: Sequence[Observation]) -> DriftReport:
+        """Per-kernel regret over ``observations``; drift if any kernel
+        clears both the observation floor and the regret threshold."""
+        self.checks += 1
+        cells = ObservationStore.by_cell(observations)
+        per_kernel: dict[str, list[float]] = {}
+        kernel_cells: dict[str, set] = {}
+        for cell_key, cell in cells.items():
+            for obs in cell:
+                if obs.probe:
+                    continue
+                per_kernel.setdefault(obs.kernel, []).append(
+                    observation_regret(obs, cell))
+                kernel_cells.setdefault(obs.kernel, set()).add(cell_key)
+
+        kernels = []
+        cfg = self.config
+        for kernel in sorted(per_kernel):
+            regrets = per_kernel[kernel]
+            mean = sum(regrets) / len(regrets)
+            drifted = (len(regrets) >= cfg.min_observations
+                       and mean > cfg.regret_threshold)
+            kernels.append(KernelRegret(
+                kernel=kernel,
+                observations=len(regrets),
+                cells=len(kernel_cells[kernel]),
+                mean_regret=mean,
+                max_regret=max(regrets),
+                drifted=drifted,
+            ))
+            if tracer.enabled:
+                tracer.observe("online.kernel_regret", mean)
+                tracer.observe(f"online.kernel_regret.{kernel}", mean)
+
+        report = DriftReport(
+            drifted=any(k.drifted for k in kernels),
+            kernels=tuple(kernels),
+        )
+        if report.drifted:
+            self.detections += 1
+        if tracer.enabled:
+            tracer.counter("online.drift_checks")
+            if report.drifted:
+                tracer.counter("online.drift_detected")
+            tracer.instant(
+                "online.drift", "online",
+                drifted=report.drifted,
+                mean_regret=report.mean_regret,
+                kernels={k.kernel: round(k.mean_regret, 6) for k in kernels},
+            )
+        return report

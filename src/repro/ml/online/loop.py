@@ -1,0 +1,240 @@
+"""The retraining loop: observe → detect drift → refit → shadow → promote.
+
+:class:`OnlineLoop` owns the incumbent model and the four stages.  The
+host (a :class:`~repro.serve.server.DopiaServer` retrain thread, the
+``dopia retrain`` CLI, or the replay harness) feeds launches in through
+:meth:`ingest` and calls :meth:`step` periodically; each step returns a
+:class:`Decision` recording exactly what happened and why, and the host
+reacts to ``decision.promoted`` by swapping its predictor's model and
+invalidating its prediction cache against the superseded generation.
+
+Hindsight needs counterfactuals: a launch only measures the one
+configuration it ran at, so the loop fills each newly seen cell with
+*probe* observations — the remaining configurations' times for the same
+launch shape under the same load — via a host-supplied ``prober``
+callback.  In this reproduction the prober consults the simulator; on
+real hardware it would be a sampling executor (run a duplicate launch at
+a candidate configuration) or simply absent, in which case hindsight
+degrades to the best configuration production traffic happened to try.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ...obs import tracer
+from ..base import Estimator
+from .drift import DriftConfig, DriftDetector, DriftReport
+from .refit import RefitConfig, Refitter
+from .shadow import PromotionGate, ShadowReport, ShadowScorer
+from .store import Observation, ObservationStore
+
+__all__ = ["Decision", "OnlineConfig", "OnlineLoop", "Prober"]
+
+#: ``prober(observation, config_index) -> time_s | None`` — measure (or
+#: simulate) the observation's launch at another configuration under the
+#: same background load; ``None`` when the host cannot.
+Prober = Callable[[Observation, int], Optional[float]]
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    drift: DriftConfig = field(default_factory=DriftConfig)
+    refit: RefitConfig = field(default_factory=RefitConfig)
+    #: candidate must beat the incumbent's shadow regret by this much
+    promote_margin: float = 0.005
+    #: shadow evidence floor (real launches in the scored window)
+    min_promote_observations: int = 8
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What one :meth:`OnlineLoop.step` concluded."""
+
+    generation: int             #: model generation *after* this step
+    drift: DriftReport
+    shadow: Optional[ShadowReport]
+    promoted: bool
+    reason: str                 #: "no-drift" | shadow report's reason
+
+    @property
+    def drifted(self) -> bool:
+        return self.drift.drifted
+
+
+class OnlineLoop:
+    """Drift-gated refit with shadow-scored promotion."""
+
+    def __init__(
+        self,
+        model: Estimator,
+        configs_utils: np.ndarray,
+        base_X: np.ndarray,
+        base_y: np.ndarray,
+        config: OnlineConfig | None = None,
+        store: ObservationStore | None = None,
+        prober: Prober | None = None,
+    ):
+        self.config = config or OnlineConfig()
+        self.model = model
+        self.utils = np.asarray(configs_utils, dtype=np.float64)
+        # not ``store or ...``: an empty store is len()-falsy but still
+        # the caller's store
+        self.store = store if store is not None else ObservationStore()
+        self.prober = prober
+        self.detector = DriftDetector(self.config.drift)
+        self.refitter = Refitter(base_X, base_y, self.config.refit)
+        self.scorer = ShadowScorer(self.utils)
+        self.gate = PromotionGate(
+            margin=self.config.promote_margin,
+            min_observations=self.config.min_promote_observations,
+        )
+        self.generation = 0
+        self.steps = 0
+        self.promotions = 0
+        self.rejections = 0
+        self._probed: set[tuple] = set()
+        self._config_index = {
+            (round(u, 6), round(v, 6)): i
+            for i, (u, v) in enumerate(self.utils)
+        }
+
+    # -- ingest ----------------------------------------------------------------
+
+    def config_index(self, cpu_util: float, gpu_util: float) -> int:
+        return self._config_index[(round(cpu_util, 6), round(gpu_util, 6))]
+
+    def ingest(
+        self,
+        kernel: str,
+        static: Sequence[float],
+        work_dim: int,
+        global_size: int,
+        local_size: int,
+        cpu_load: float,
+        gpu_load: float,
+        cpu_util: float,
+        gpu_util: float,
+        time_s: float,
+        predicted_score: float = 0.0,
+        source: str = "runtime",
+    ) -> Observation:
+        """Record one completed launch (convenience over ``store.append``)."""
+        return self.store.append(Observation(
+            kernel=kernel,
+            static=tuple(float(x) for x in static),
+            work_dim=int(work_dim),
+            global_size=int(global_size),
+            local_size=int(local_size),
+            cpu_load=float(cpu_load),
+            gpu_load=float(gpu_load),
+            config_index=self.config_index(cpu_util, gpu_util),
+            cpu_util=float(cpu_util),
+            gpu_util=float(gpu_util),
+            time_s=float(time_s),
+            predicted_score=float(predicted_score),
+            source=source,
+        ))
+
+    # -- probes ----------------------------------------------------------------
+
+    def ensure_probes(self) -> int:
+        """Fill newly seen cells with counterfactual sibling observations.
+
+        Only *policy-reachable* configurations are probed — those that
+        fit alongside the cell's background load, exactly the set
+        :meth:`DopPredictor.select`'s feasibility mask allows — so the
+        hindsight best that regret is measured against is always a
+        configuration the serving policy could actually have chosen, and
+        a perfectly retrained model can drive regret to zero.
+
+        Each cell is probed at most once per loop lifetime; without a
+        prober this is a no-op and hindsight comes from real launches
+        alone.  Returns the number of probe observations appended.
+        """
+        if self.prober is None:
+            return 0
+        eps = 1e-9
+        added = 0
+        for obs in self.store.snapshot():
+            if obs.probe or obs.cell_key in self._probed:
+                continue
+            self._probed.add(obs.cell_key)
+            for index, (cpu_util, gpu_util) in enumerate(self.utils):
+                if index == obs.config_index:
+                    continue
+                if (cpu_util > 1.0 - obs.cpu_load + eps
+                        or gpu_util > 1.0 - obs.gpu_load + eps):
+                    continue
+                time_s = self.prober(obs, index)
+                if time_s is None or time_s <= 0.0:
+                    continue
+                self.store.append(Observation(
+                    kernel=obs.kernel,
+                    static=obs.static,
+                    work_dim=obs.work_dim,
+                    global_size=obs.global_size,
+                    local_size=obs.local_size,
+                    cpu_load=obs.cpu_load,
+                    gpu_load=obs.gpu_load,
+                    config_index=index,
+                    cpu_util=float(cpu_util),
+                    gpu_util=float(gpu_util),
+                    time_s=float(time_s),
+                    probe=True,
+                    source="probe",
+                ))
+                added += 1
+        return added
+
+    # -- the step --------------------------------------------------------------
+
+    def step(self) -> Decision:
+        """One pass of the loop; promotes ``self.model`` in place."""
+        self.steps += 1
+        self.ensure_probes()
+        window = self.store.snapshot()
+        drift = self.detector.check(window)
+        if not drift.drifted:
+            decision = Decision(self.generation, drift, None, False, "no-drift")
+            self._trace(decision)
+            return decision
+        candidate = self.refitter.fit_candidate(window, self.utils)
+        shadow = self.gate.decide(self.scorer, self.model, candidate, window)
+        if shadow.promote:
+            self.model = candidate
+            self.generation += 1
+            self.promotions += 1
+        else:
+            self.rejections += 1
+        decision = Decision(self.generation, drift, shadow,
+                            shadow.promote, shadow.reason)
+        self._trace(decision)
+        return decision
+
+    def _trace(self, decision: Decision) -> None:
+        if not tracer.enabled:
+            return
+        tracer.instant(
+            "online.decision", "online",
+            generation=decision.generation,
+            drifted=decision.drifted,
+            promoted=decision.promoted,
+            reason=decision.reason,
+            mean_regret=decision.drift.mean_regret,
+        )
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "generation": self.generation,
+            "steps": self.steps,
+            "promotions": self.promotions,
+            "rejections": self.rejections,
+            "drift_checks": self.detector.checks,
+            "drift_detections": self.detector.detections,
+            "refits": self.refitter.refits,
+            "observations": self.store.stats()["size"],
+        }

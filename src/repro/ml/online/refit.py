@@ -1,0 +1,111 @@
+"""Candidate fitting: pretrained prior + observed evidence.
+
+The candidate is the same model family the incumbent came from (the
+paper's DecisionTree by default), fit on the *union* of the pretrained
+dataset's (features, normalised-performance) rows and rows derived from
+the observation window.  Observed rows are replicated ``obs_weight``
+times so a modest production window can out-vote the much larger
+synthetic prior where they disagree — everywhere else the prior keeps
+the tree's behaviour intact.
+
+Observation targets use the same normalisation as training
+(§9.2: ``best_time / time`` within one workload, here within one cell),
+and the feature rows the same capped load columns as serving
+(:meth:`Observation.feature_row`).  One subtlety: capping aliases rows —
+a config infeasible at the cell's load produces the *same* capped
+columns as a larger config, with a conflicting target.  The selection
+path masks infeasible configs out anyway, so those rows are pure label
+noise; :func:`observation_rows` drops them and only rows the serving
+mask could actually pick are trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...obs import tracer
+from .. import make_model
+from ..base import Estimator
+from .store import Observation, ObservationStore
+
+__all__ = ["RefitConfig", "Refitter", "observation_rows"]
+
+
+@dataclass(frozen=True)
+class RefitConfig:
+    model: str = "dt"
+    #: each observed row counts as this many prior rows in the fit
+    obs_weight: int = 8
+    model_kwargs: Optional[dict] = None
+
+
+def observation_rows(
+    observations: Sequence[Observation],
+    utils: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(X, y) training rows from an observation window.
+
+    ``utils`` is the predictor's (44, 2) config-utilisation matrix, used
+    to apply the serving feasibility rule: rows whose configuration does
+    not fit alongside the cell's background load are dropped (their
+    capped feature columns alias feasible rows with conflicting targets,
+    and the mask makes them unselectable at serve time anyway).
+    """
+    eps = 1e-9
+    xs: list[list[float]] = []
+    ys: list[float] = []
+    for cell in ObservationStore.by_cell(observations).values():
+        best = ObservationStore.cell_best(cell)
+        if best <= 0.0:
+            continue
+        for obs in cell:
+            cpu_util, gpu_util = utils[obs.config_index]
+            if (cpu_util > 1.0 - obs.cpu_load + eps
+                    or gpu_util > 1.0 - obs.gpu_load + eps):
+                continue
+            xs.append(obs.feature_row())
+            ys.append(best / obs.time_s if obs.time_s > 0.0 else 1.0)
+    if not xs:
+        return (np.empty((0, 11), dtype=np.float64),
+                np.empty((0,), dtype=np.float64))
+    return (np.asarray(xs, dtype=np.float64),
+            np.asarray(ys, dtype=np.float64))
+
+
+class Refitter:
+    """Fits candidate models on (pretrained prior ⊕ observation window)."""
+
+    def __init__(self, base_X: np.ndarray, base_y: np.ndarray,
+                 config: RefitConfig | None = None):
+        self.base_X = np.asarray(base_X, dtype=np.float64)
+        self.base_y = np.asarray(base_y, dtype=np.float64)
+        self.config = config or RefitConfig()
+        self.refits = 0
+
+    def fit_candidate(
+        self, observations: Sequence[Observation], utils: np.ndarray,
+    ) -> Estimator:
+        cfg = self.config
+        obs_X, obs_y = observation_rows(observations, utils)
+        if len(obs_X):
+            weight = max(1, cfg.obs_weight)
+            X = np.concatenate([self.base_X] + [obs_X] * weight)
+            y = np.concatenate([self.base_y] + [obs_y] * weight)
+        else:
+            X, y = self.base_X, self.base_y
+        model = make_model(cfg.model, **(cfg.model_kwargs or {}))
+        model.fit(X, y)
+        self.refits += 1
+        if tracer.enabled:
+            tracer.counter("online.refits")
+            tracer.instant(
+                "online.refit", "online",
+                model=cfg.model,
+                observation_rows=int(len(obs_X)),
+                prior_rows=int(len(self.base_X)),
+                obs_weight=cfg.obs_weight,
+            )
+        return model

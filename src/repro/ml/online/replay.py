@@ -1,0 +1,296 @@
+"""Golden-trace replay: a deterministic end-to-end proof of the loop.
+
+The harness drives the retraining loop through a scripted production
+scenario with a planted shift:
+
+* phase 1 — an idle machine serves an alternating mix of real kernels;
+  the pretrained model picks well and regret stays near zero;
+* phase 2 — background GPU load appears (a co-runner occupying 75 % of
+  the PEs).  The serving path's feasibility mask keeps selections legal,
+  but the idle-trained model now ranks the *feasible* configurations by
+  feature rows whose capped load columns it has never seen — it leaves
+  performance on the table, regret rises, drift is detected, a candidate
+  is refit on the observed window, shadow-scored, and promoted.
+
+Everything is deterministic: per-config base times come from the
+simulator's seeded noise (keyed on the workload), contention is the
+closed-form :func:`repro.sim.config_slowdown`, and tree fitting has no
+randomness — so two replays under ``PYTHONHASHSEED=0`` produce
+bit-identical decision sequences, which the golden tests (and
+``dopia retrain --check``) assert.  The report deliberately contains no
+wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ...analysis.features import extract_static_features
+from ...core.dopconfig import config_space, config_utils_matrix
+from ...core.predictor import DopPredictor
+from ...core.training import collect_dataset
+from ...obs import tracer
+from ...sim.contention import config_slowdown
+from ...sim.engine import simulate_execution
+from ...sim.platforms import get_platform
+from ...workloads import SCALED_REAL_FACTORIES
+from ...workloads.synthetic import training_workloads
+from ..base import Estimator
+from .drift import DriftConfig
+from .loop import OnlineConfig, OnlineLoop
+from .refit import RefitConfig
+from .store import Observation, ObservationStore
+
+__all__ = ["REPLAY_SCHEMA_VERSION", "ReplayConfig", "run_replay", "train_base"]
+
+REPLAY_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """The scripted scenario; defaults are the committed golden trace."""
+
+    platform: str = "kaveri"
+    kernels: tuple[str, ...] = ("GESUMMV", "ATAX1")
+    launches: int = 240
+    #: launch index at which the background co-runner appears
+    shift_at: int = 80
+    #: (cpu, gpu) occupancy the co-runner plants after the shift
+    load: tuple[float, float] = (0.0, 0.75)
+    #: run the loop's step() every this many launches
+    check_every: int = 16
+    window: int = 2048
+    drift_threshold: float = 0.05
+    min_drift_observations: int = 16
+    obs_weight: int = 8
+    promote_margin: float = 0.002
+    min_promote_observations: int = 8
+    model: str = "dt"
+    #: reduced Table-4 slice the base model is trained on (fast, cacheable)
+    train_sizes: tuple[int, ...] = (16384,)
+    train_wg_sizes: tuple[int, ...] = (256,)
+    #: replication factor of the replay kernels' idle rows in the prior
+    idle_prior_weight: int = 4
+
+
+def train_base(config: ReplayConfig | None = None,
+               cache: bool = False) -> tuple[Estimator, np.ndarray, np.ndarray]:
+    """(incumbent model, prior X, prior y) for the replay's platform.
+
+    Trains the paper's model family on a reduced Table-4 slice — the
+    same trick the serve-layer test fixtures use — *plus* the replay
+    kernels' own idle-machine rows at every configuration.  That is what
+    "pretrained" means for a production kernel: the offline dataset saw
+    it on an idle machine, so the incumbent picks well at idle and the
+    planted load shift — conditions the prior has never seen — is the
+    only thing that can make it regretful.
+    """
+    from .. import make_model
+
+    config = config or ReplayConfig()
+    platform = get_platform(config.platform)
+    workloads = training_workloads(sizes=config.train_sizes,
+                                   wg_sizes=config.train_wg_sizes)
+    dataset = collect_dataset(workloads, platform, cache=cache)
+    configs = config_space(platform)
+    utils = config_utils_matrix(configs)
+
+    xs, ys = [dataset.feature_matrix()], [dataset.targets()]
+    for name in config.kernels:
+        workload = SCALED_REAL_FACTORIES[name]()
+        profile = workload.profile()
+        static = extract_static_features(workload.kernel_info())
+        times = np.array([
+            simulate_execution(
+                profile, platform, cfg.setting,
+                scheduler="dynamic", run_key=(workload.key, "replay"),
+            ).time_s
+            for cfg in configs
+        ])
+        rows = np.empty((len(configs), 11), dtype=np.float64)
+        rows[:, 0:6] = static.as_tuple()
+        rows[:, 6] = workload.work_dim
+        rows[:, 7] = workload.total_work_items
+        rows[:, 8] = workload.work_group_items
+        rows[:, 9:] = utils
+        target = times.min() / times
+        for _ in range(max(1, config.idle_prior_weight)):
+            xs.append(rows)
+            ys.append(target)
+    X, y = np.concatenate(xs), np.concatenate(ys)
+    model = make_model(config.model)
+    model.fit(X, y)
+    return model, X, y
+
+
+def run_replay(
+    config: ReplayConfig | None = None,
+    model: Estimator | None = None,
+    base_X: np.ndarray | None = None,
+    base_y: np.ndarray | None = None,
+) -> dict:
+    """Drive the loop through the golden trace; returns the regret report.
+
+    Pass a pre-trained ``(model, base_X, base_y)`` (from
+    :func:`train_base`) to amortise training across replays — the run
+    never mutates the passed model, so bit-stability checks can reuse it.
+    """
+    config = config or ReplayConfig()
+    platform = get_platform(config.platform)
+    if model is None or base_X is None or base_y is None:
+        model, base_X, base_y = train_base(config)
+
+    configs = config_space(platform)
+    utils = config_utils_matrix(configs)
+    fairness = platform.arbitration_fairness
+    predictor = DopPredictor(model, platform)
+
+    # Per-kernel launch shape + deterministic per-config base times.
+    shapes: dict[str, dict] = {}
+    for name in config.kernels:
+        workload = SCALED_REAL_FACTORIES[name]()
+        profile = workload.profile()
+        shapes[name] = {
+            "static": extract_static_features(workload.kernel_info()),
+            "work_dim": workload.work_dim,
+            "global_size": workload.total_work_items,
+            "local_size": workload.work_group_items,
+            "base_times": np.array([
+                simulate_execution(
+                    profile, platform, cfg.setting,
+                    scheduler="dynamic", run_key=(workload.key, "replay"),
+                ).time_s
+                for cfg in configs
+            ]),
+        }
+
+    def realised_time(name: str, index: int,
+                      cpu_load: float, gpu_load: float) -> float:
+        cpu_util, gpu_util = utils[index]
+        return float(shapes[name]["base_times"][index] * config_slowdown(
+            cpu_util, gpu_util, cpu_load, gpu_load, fairness=fairness))
+
+    def prober(obs: Observation, index: int) -> float:
+        return realised_time(obs.kernel, index, obs.cpu_load, obs.gpu_load)
+
+    loop = OnlineLoop(
+        model=model,
+        configs_utils=utils,
+        base_X=base_X,
+        base_y=base_y,
+        config=OnlineConfig(
+            drift=DriftConfig(
+                regret_threshold=config.drift_threshold,
+                min_observations=config.min_drift_observations,
+            ),
+            refit=RefitConfig(model=config.model,
+                              obs_weight=config.obs_weight),
+            promote_margin=config.promote_margin,
+            min_promote_observations=config.min_promote_observations,
+        ),
+        store=ObservationStore(window=config.window),
+        prober=prober,
+    )
+
+    chosen: list[int] = []
+    regrets: list[float] = []     #: measured regret per launch, in order
+    loaded: list[bool] = []
+    drift_detected_at: int | None = None
+    promoted_at: int | None = None
+    decisions: list[dict] = []
+
+    for i in range(config.launches):
+        name = config.kernels[i % len(config.kernels)]
+        shape = shapes[name]
+        cpu_load, gpu_load = ((0.0, 0.0) if i < config.shift_at
+                              else config.load)
+        prediction = predictor.select(
+            shape["static"], shape["work_dim"],
+            shape["global_size"], shape["local_size"],
+            cpu_load=cpu_load, gpu_load=gpu_load,
+        )
+        index = loop.config_index(prediction.config.cpu_util,
+                                  prediction.config.gpu_util)
+        time_s = realised_time(name, index, cpu_load, gpu_load)
+        # measured regret vs the best *policy-reachable* configuration —
+        # the same hindsight definition the loop's probes use
+        eps = 1e-9
+        reachable = [j for j in range(len(configs))
+                     if utils[j, 0] <= 1.0 - cpu_load + eps
+                     and utils[j, 1] <= 1.0 - gpu_load + eps] or range(len(configs))
+        best = min(realised_time(name, j, cpu_load, gpu_load)
+                   for j in reachable)
+        chosen.append(index)
+        regrets.append(time_s / best - 1.0 if best > 0.0 else 0.0)
+        loaded.append(i >= config.shift_at)
+        loop.ingest(
+            kernel=name,
+            static=shape["static"].as_tuple(),
+            work_dim=shape["work_dim"],
+            global_size=shape["global_size"],
+            local_size=shape["local_size"],
+            cpu_load=cpu_load,
+            gpu_load=gpu_load,
+            cpu_util=prediction.config.cpu_util,
+            gpu_util=prediction.config.gpu_util,
+            time_s=time_s,
+            source="replay",
+        )
+
+        if (i + 1) % config.check_every == 0:
+            decision = loop.step()
+            decisions.append({
+                "launch": i + 1,
+                "drifted": decision.drifted,
+                "promoted": decision.promoted,
+                "reason": decision.reason,
+                "mean_regret": decision.drift.mean_regret,
+            })
+            if decision.drifted and drift_detected_at is None:
+                drift_detected_at = i + 1
+            if decision.promoted:
+                if promoted_at is None:
+                    promoted_at = i + 1
+                # the serving-side reaction: swap the live predictor
+                predictor.model = loop.model
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    pre = [r for i, (r, on) in enumerate(zip(regrets, loaded))
+           if on and (promoted_at is None or i < promoted_at)]
+    post = [r for i, (r, on) in enumerate(zip(regrets, loaded))
+            if on and promoted_at is not None and i >= promoted_at]
+    pre_regret, post_regret = mean(pre), mean(post)
+
+    checks = {
+        "drift_detected": drift_detected_at is not None,
+        "promoted_exactly_once": loop.promotions == 1,
+        "regret_improved": (promoted_at is not None
+                            and post_regret < pre_regret),
+    }
+    report = {
+        "schema": REPLAY_SCHEMA_VERSION,
+        "config": asdict(config),
+        "platform": platform.name,
+        "drift_detected_at": drift_detected_at,
+        "promoted_at": promoted_at,
+        "promotions": loop.promotions,
+        "rejections": loop.rejections,
+        "generation": loop.generation,
+        "pre_promotion_regret": pre_regret,
+        "post_promotion_regret": post_regret,
+        "regret_improvement": pre_regret - post_regret,
+        "idle_regret": mean([r for r, on in zip(regrets, loaded) if not on]),
+        "decisions": decisions,
+        "chosen": chosen,
+        "observations": loop.store.stats(),
+        "checks": checks,
+        "pass": all(checks.values()),
+    }
+    if tracer.enabled:
+        tracer.instant("online.replay", "online", **checks,
+                       pre_regret=pre_regret, post_regret=post_regret)
+    return report

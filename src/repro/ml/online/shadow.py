@@ -1,0 +1,168 @@
+"""Shadow scoring: would the candidate have picked better configurations?
+
+Promotion safety rests on replaying *exactly* the serving decision rule
+against evidence we already paid for.  For every cell in the recent
+window the scorer asks each model: given this launch shape and this
+background load, which of the configurations we have measured times for
+would you pick?  The model's regret for the cell is how much slower its
+pick is than the cell's realised best; a model's window regret is the
+launch-weighted mean over cells.  No new execution happens — shadow
+scoring is pure inference over recorded observations.
+
+:class:`PromotionGate` then applies the one rule that makes the loop
+monotone: promote only when the candidate's shadow regret beats the
+incumbent's by at least ``margin``.  With ``margin >= 0`` (enforced) the
+gate can never promote a candidate whose window regret exceeds the
+incumbent's — the property the hypothesis suite hammers on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ...obs import tracer
+from ..base import Estimator
+from .store import Observation, ObservationStore
+
+__all__ = ["PromotionGate", "ShadowReport", "ShadowScorer", "select_among"]
+
+
+def select_among(
+    model: Estimator,
+    rows: np.ndarray,
+    utils: np.ndarray,
+    cpu_load: float,
+    gpu_load: float,
+) -> int:
+    """Index (into ``rows``) the model would pick — serving semantics.
+
+    Mirrors :meth:`repro.core.predictor.DopPredictor.select`: score every
+    candidate row, mask out configurations that do not fit alongside the
+    background load, and argmax (falling back to the unmasked argmax when
+    nothing fits).  ``utils`` is the (n, 2) per-row configuration
+    utilisation matrix aligned with ``rows``.
+    """
+    scores = model.predict(rows)
+    ranked = scores
+    if cpu_load > 0.0 or gpu_load > 0.0:
+        eps = 1e-9
+        feasible = ((utils[:, 0] <= 1.0 - cpu_load + eps)
+                    & (utils[:, 1] <= 1.0 - gpu_load + eps))
+        if feasible.any():
+            ranked = np.where(feasible, scores, -np.inf)
+    return int(np.argmax(ranked))
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of one incumbent-vs-candidate shadow comparison."""
+
+    incumbent_regret: float
+    candidate_regret: float
+    cells: int                  #: cells with at least one real launch
+    observations: int           #: real launches those cells contained
+    margin: float
+    promote: bool
+    reason: str
+
+    @property
+    def improvement(self) -> float:
+        return self.incumbent_regret - self.candidate_regret
+
+
+class ShadowScorer:
+    """Replays models against the observation window; pure inference."""
+
+    def __init__(self, configs_utils: np.ndarray):
+        #: (44, 2) normalised utilisations, aligned with ``config_space``
+        self.utils = np.asarray(configs_utils, dtype=np.float64)
+
+    def score(self, model: Estimator,
+              observations: Sequence[Observation]) -> tuple[float, int, int]:
+        """(window regret, cells scored, real launches weighted).
+
+        Each cell contributes the regret of the model's pick *among the
+        configurations measured in that cell* (real or probe), weighted
+        by the number of real launches the cell served — cells that
+        production traffic actually hits dominate the score.
+        """
+        total = 0.0
+        weight = 0
+        cells_scored = 0
+        for cell in ObservationStore.by_cell(observations).values():
+            real = sum(1 for obs in cell if not obs.probe)
+            if not real:
+                continue
+            best = ObservationStore.cell_best(cell)
+            if best <= 0.0:
+                continue
+            # One measured time per configuration (keep the fastest — a
+            # probe and a real launch of the same config are duplicates).
+            by_config: dict[int, Observation] = {}
+            for obs in cell:
+                seen = by_config.get(obs.config_index)
+                if seen is None or obs.time_s < seen.time_s:
+                    by_config[obs.config_index] = obs
+            members = [by_config[i] for i in sorted(by_config)]
+            rows = np.asarray([obs.feature_row() for obs in members],
+                              dtype=np.float64)
+            utils = self.utils[[obs.config_index for obs in members]]
+            pick = select_among(model, rows, utils,
+                                members[0].cpu_load, members[0].gpu_load)
+            regret = max(members[pick].time_s / best - 1.0, 0.0)
+            total += regret * real
+            weight += real
+            cells_scored += 1
+        if not weight:
+            return 0.0, 0, 0
+        return total / weight, cells_scored, weight
+
+
+@dataclass(frozen=True)
+class PromotionGate:
+    """Promote iff candidate regret <= incumbent regret - margin."""
+
+    margin: float = 0.005
+    #: refuse to decide off fewer real launches than this
+    min_observations: int = 8
+
+    def __post_init__(self):
+        if self.margin < 0.0:
+            raise ValueError("promotion margin must be >= 0 "
+                             "(a negative margin could promote a worse model)")
+
+    def decide(self, scorer: ShadowScorer, incumbent: Estimator,
+               candidate: Estimator,
+               observations: Sequence[Observation]) -> ShadowReport:
+        inc_regret, cells, weight = scorer.score(incumbent, observations)
+        cand_regret, _, _ = scorer.score(candidate, observations)
+        if weight < self.min_observations:
+            promote, reason = False, "insufficient-evidence"
+        elif cand_regret <= inc_regret - self.margin:
+            promote, reason = True, "candidate-better"
+        else:
+            promote, reason = False, "candidate-not-better"
+        report = ShadowReport(
+            incumbent_regret=inc_regret,
+            candidate_regret=cand_regret,
+            cells=cells,
+            observations=weight,
+            margin=self.margin,
+            promote=promote,
+            reason=reason,
+        )
+        if tracer.enabled:
+            tracer.counter("online.shadow_scores")
+            tracer.counter("online.promotions" if promote
+                           else "online.rejections")
+            tracer.instant(
+                "online.shadow", "online",
+                incumbent_regret=inc_regret,
+                candidate_regret=cand_regret,
+                cells=cells, observations=weight,
+                margin=self.margin, promote=promote, reason=reason,
+            )
+        return report

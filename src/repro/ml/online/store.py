@@ -1,0 +1,300 @@
+"""Append-only observation store: what production launches actually cost.
+
+One :class:`Observation` per launch, carrying exactly what a refit needs:
+the Table-1 feature inputs (static counters, launch geometry, the
+*background* load the launch ran under), the configuration that was
+chosen, and the measured (or simulated) kernel time.  Counterfactual
+*probe* observations — sibling configurations of the same launch cell,
+measured by the host's prober — share the schema with ``probe=True`` and
+define the realised-best-in-hindsight that regret is computed against.
+
+In memory the store is a bounded sliding window (old evidence about a
+drifted workload is exactly what retraining must forget).  On disk it is
+a set of append-only JSONL *segments*, one per writer process, published
+with the same atomic-rename primitive as the prediction store
+(:func:`repro.serve.predstore.atomic_replace`) — sharded serving workers
+contribute observations to the same namespace without coordination, and
+a reader never sees a torn segment.  Corrupt lines are skipped and
+counted; unreadable segment files are removed (the healing idiom of
+:meth:`repro.serve.predstore.PredictionStore.entries`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from ...obs import tracer
+from ...serve.predstore import atomic_replace, default_store_root
+
+__all__ = [
+    "OBS_SCHEMA_VERSION", "Observation", "ObservationStore",
+    "observation_namespace",
+]
+
+#: Bump when the Observation field layout changes; stamped on every
+#: persisted row and checked on load.
+OBS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One launch (or counterfactual probe) and what it cost.
+
+    ``static`` is the 6-tuple of Table-1 static features;
+    ``cpu_load``/``gpu_load`` are the *bucketed* background occupancies
+    the launch saw at enqueue time (bucketing keeps cells — see
+    :meth:`cell_key` — coarse enough that sibling launches actually
+    land in the same cell); ``cpu_util``/``gpu_util`` are the chosen
+    configuration's own normalised allocations.
+    """
+
+    kernel: str
+    static: tuple[float, ...]
+    work_dim: int
+    global_size: int
+    local_size: int
+    cpu_load: float
+    gpu_load: float
+    config_index: int           #: index into ``config_space(platform)``
+    cpu_util: float
+    gpu_util: float
+    time_s: float
+    predicted_score: float = 0.0
+    probe: bool = False         #: counterfactual sibling, not a real launch
+    source: str = "runtime"     #: "runtime" | "serve" | "probe" | "replay"
+    seq: int = 0                #: ingest order within this process
+
+    @property
+    def group_key(self) -> tuple:
+        """Identity of the *launch shape* — what the model sees besides load."""
+        return (self.static, self.work_dim, self.global_size, self.local_size)
+
+    @property
+    def cell_key(self) -> tuple:
+        """Launch shape plus load bucket: observations in one cell are
+        siblings, directly comparable, and define each other's hindsight."""
+        return self.group_key + (self.cpu_load, self.gpu_load)
+
+    def feature_row(self) -> list[float]:
+        """The 11-column model input this observation corresponds to.
+
+        Mirrors :meth:`repro.core.predictor.DopPredictor.feature_rows`:
+        columns 9–10 carry the configuration's utilisation *plus* the
+        background load, capped at 1.0.
+        """
+        return [
+            *self.static,
+            float(self.work_dim), float(self.global_size), float(self.local_size),
+            min(self.cpu_util + self.cpu_load, 1.0),
+            min(self.gpu_util + self.gpu_load, 1.0),
+        ]
+
+    def as_row(self) -> dict:
+        row = asdict(self)
+        row["static"] = list(self.static)
+        row["v"] = OBS_SCHEMA_VERSION
+        return row
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Observation":
+        if row.get("v") != OBS_SCHEMA_VERSION:
+            raise ValueError(f"observation schema {row.get('v')!r}")
+        return cls(
+            kernel=str(row["kernel"]),
+            static=tuple(float(x) for x in row["static"]),
+            work_dim=int(row["work_dim"]),
+            global_size=int(row["global_size"]),
+            local_size=int(row["local_size"]),
+            cpu_load=float(row["cpu_load"]),
+            gpu_load=float(row["gpu_load"]),
+            config_index=int(row["config_index"]),
+            cpu_util=float(row["cpu_util"]),
+            gpu_util=float(row["gpu_util"]),
+            time_s=float(row["time_s"]),
+            predicted_score=float(row.get("predicted_score", 0.0)),
+            probe=bool(row.get("probe", False)),
+            source=str(row.get("source", "runtime")),
+            seq=int(row.get("seq", 0)),
+        )
+
+
+def observation_namespace(platform_name: str) -> str:
+    """Observations are valid per *platform*, not per model.
+
+    Unlike prediction-cache entries (pure functions of the model), an
+    observation records ground truth about the hardware — it stays valid
+    across promotions, which is the whole point of keeping it.
+    """
+    digest = hashlib.blake2b(
+        repr((OBS_SCHEMA_VERSION, platform_name)).encode(),
+        digest_size=8).hexdigest()
+    return f"{platform_name}-{digest}"
+
+
+class ObservationStore:
+    """Bounded in-memory window + cross-process JSONL segment persistence."""
+
+    def __init__(self, namespace: str = "default",
+                 window: int = 4096, root: Optional[Path] = None):
+        if window < 1:
+            raise ValueError("observation window must be >= 1")
+        self.namespace = namespace
+        self.window = window
+        self.root = Path(root) if root is not None else default_store_root()
+        self.dir = self.root / "observations" / namespace
+        self._lock = threading.Lock()
+        self._window: deque[Observation] = deque(maxlen=window)
+        self._pending: list[Observation] = []   #: appended since last flush
+        self._seq = 0
+        self._segment = 0
+        self.ingested = 0
+        self.probes = 0
+        self.persisted = 0
+        self.loaded = 0
+        self.skipped = 0          #: corrupt lines / unreadable segments
+
+    # -- ingest ----------------------------------------------------------------
+
+    def append(self, obs: Observation) -> Observation:
+        """Add one observation (stamping its ingest sequence number)."""
+        with self._lock:
+            obs = replace(obs, seq=self._seq)
+            self._seq += 1
+            self._window.append(obs)
+            self._pending.append(obs)
+            self.ingested += 1
+            if obs.probe:
+                self.probes += 1
+        if tracer.enabled:
+            tracer.counter("online.observations")
+            if obs.probe:
+                tracer.counter("online.probes")
+        return obs
+
+    def extend(self, observations: Iterable[Observation]) -> None:
+        for obs in observations:
+            self.append(obs)
+
+    # -- read ------------------------------------------------------------------
+
+    def snapshot(self) -> list[Observation]:
+        """Point-in-time copy of the in-memory window, oldest first."""
+        with self._lock:
+            return list(self._window)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._window)
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "size": len(self._window),
+                "window": self.window,
+                "ingested": self.ingested,
+                "probes": self.probes,
+                "persisted": self.persisted,
+                "loaded": self.loaded,
+                "skipped": self.skipped,
+            }
+
+    # -- persistence -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Publish observations appended since the last flush as one
+        atomic JSONL segment; returns the row count.
+
+        Segment names embed the writer's PID and a per-process counter,
+        so concurrent shard processes never collide and every segment is
+        complete (the atomic-rename guarantee of
+        :func:`~repro.serve.predstore.atomic_replace`).
+        """
+        with self._lock:
+            pending, self._pending = self._pending, []
+            segment = self._segment
+            self._segment += 1
+        if not pending:
+            return 0
+        payload = "".join(
+            json.dumps(obs.as_row(), sort_keys=True) + "\n" for obs in pending
+        ).encode()
+        name = f"seg-{os.getpid():06d}-{segment:06d}.jsonl"
+        atomic_replace(self.dir, name, payload)
+        with self._lock:
+            self.persisted += len(pending)
+        return len(pending)
+
+    def load(self) -> int:
+        """Read every persisted segment into the window; returns rows kept.
+
+        Rows are replayed in (segment name, line) order — deterministic
+        across runs — and corrupt lines are skipped while unreadable
+        segment files are unlinked, mirroring the prediction store's
+        healing behaviour.
+        """
+        if not self.dir.is_dir():
+            return 0
+        count = 0
+        for path in sorted(self.dir.glob("seg-*.jsonl")):
+            try:
+                text = path.read_text()
+            except OSError:
+                self.skipped += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            healthy = True
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    obs = Observation.from_row(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    self.skipped += 1
+                    healthy = False
+                    continue
+                with self._lock:
+                    self._window.append(obs)
+                    self._seq = max(self._seq, obs.seq + 1)
+                count += 1
+            if not healthy:
+                # A torn or foreign segment never comes back: heal in place.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        with self._lock:
+            self.loaded += count
+        return count
+
+    def clear_disk(self) -> None:
+        if not self.dir.is_dir():
+            return
+        for path in self.dir.glob("seg-*.jsonl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- grouping helpers (shared by drift + shadow) ---------------------------
+
+    @staticmethod
+    def by_cell(observations: Sequence[Observation]) -> dict[tuple, list[Observation]]:
+        cells: dict[tuple, list[Observation]] = {}
+        for obs in observations:
+            cells.setdefault(obs.cell_key, []).append(obs)
+        return cells
+
+    @staticmethod
+    def cell_best(cell: Sequence[Observation]) -> float:
+        """Realised-best-in-hindsight for one cell (probes included)."""
+        return min(obs.time_s for obs in cell)

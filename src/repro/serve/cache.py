@@ -11,13 +11,19 @@ result outside the lock, accepting that two threads racing on the same
 cold key may both compute (predictions are deterministic, so both compute
 the same value); holding the lock across model inference would serialise
 every enqueue — exactly the global execution lock this layer avoids.
+
+Entries are tagged with the cache's *model generation* so the online
+retraining loop can invalidate everything a superseded model computed
+(:meth:`clear` with a generation) without touching entries written by the
+newly promoted model — or the hit/miss counters, which keep measuring
+this process's traffic across promotions.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Optional
 
 
 class PredictionCache:
@@ -29,9 +35,14 @@ class PredictionCache:
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        #: generation new entries are tagged with; bumped by
+        #: :meth:`advance_generation` when a new model is promoted
+        self.generation = 0
+        self._gens: dict[Hashable, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: Hashable) -> Any | None:
         """The cached value (refreshing recency), or ``None``."""
@@ -50,8 +61,10 @@ class PredictionCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
+            self._gens[key] = self.generation
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._gens.pop(evicted, None)
                 self.evictions += 1
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> tuple[Any, bool]:
@@ -82,18 +95,51 @@ class PredictionCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def clear(self) -> None:
+    def advance_generation(self) -> int:
+        """Start tagging new entries with the next model generation.
+
+        Returns the *superseded* generation, which the caller passes to
+        :meth:`clear` to drop every entry the old model computed — the
+        promote-then-invalidate sequence of the online retraining loop.
+        """
         with self._lock:
-            self._entries.clear()
+            stale = self.generation
+            self.generation += 1
+            return stale
+
+    def clear(self, generation: Optional[int] = None) -> None:
+        """Drop entries; counters (hits/misses/evictions) are preserved.
+
+        With ``generation`` given, only entries written under that
+        generation **or older** are dropped — entries a newly promoted
+        model already computed survive.  Concurrent readers are safe:
+        they either see the old value (a stale-but-deterministic decision
+        made before the promotion) or miss and recompute with whatever
+        model is current.
+        """
+        with self._lock:
+            if generation is None:
+                self.invalidations += len(self._entries)
+                self._entries.clear()
+                self._gens.clear()
+                return
+            stale = [key for key, gen in self._gens.items()
+                     if gen <= generation]
+            for key in stale:
+                del self._entries[key]
+                del self._gens[key]
+            self.invalidations += len(stale)
 
     def stats(self) -> dict[str, float]:
         with self._lock:
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "generation": self.generation,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "invalidations": self.invalidations,
                 "hit_rate": self.hits / (self.hits + self.misses)
                 if (self.hits + self.misses) else 0.0,
             }

@@ -39,7 +39,10 @@ from ..ml.base import Estimator
 from ..sim.platforms import Platform
 from .cache import PredictionCache
 
-__all__ = ["PredictionStore", "store_namespace", "default_store_root"]
+__all__ = [
+    "PredictionStore", "atomic_replace", "store_namespace",
+    "default_store_root",
+]
 
 #: Bump when the entry layout changes; part of the namespace digest.
 STORE_SCHEMA_VERSION = 1
@@ -47,6 +50,32 @@ STORE_SCHEMA_VERSION = 1
 #: Exceptions that mean "this entry file is unreadable", not "bug".
 ENTRY_READ_ERRORS = (OSError, EOFError, pickle.UnpicklingError,
                      AttributeError, ImportError, ValueError, TypeError)
+
+
+def atomic_replace(directory: Path, name: str, payload: bytes) -> Path:
+    """Write ``payload`` to ``directory/name`` atomically.
+
+    The cross-process durability primitive shared by every on-disk store
+    in the serving layer (prediction entries here, observation segments in
+    :mod:`repro.ml.online.store`): the bytes land in a temp file in the
+    same directory and are published with one ``os.replace``, so a reader
+    never sees a half-written file and concurrent writers race safely —
+    last rename wins, and the loser's bytes were a complete file too.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+        target = directory / name
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
 
 
 def default_store_root() -> Path:
@@ -95,19 +124,8 @@ class PredictionStore:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Persist one entry atomically (concurrent writers are safe)."""
-        self.dir.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps((key, value), protocol=4)
-        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(payload)
-            os.replace(tmp, self.dir / self._entry_name(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_replace(self.dir, self._entry_name(key), payload)
         self.persisted += 1
 
     def persist(self, cache: PredictionCache) -> int:

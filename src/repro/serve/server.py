@@ -48,7 +48,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence, Union
 
 from ..analysis.accessmodel import launch_rw_summary
 from ..analysis.features import StaticFeatures, extract_static_features
@@ -56,9 +56,12 @@ from ..analysis.profile import profile_kernel
 from ..core.predictor import DopPredictor, Prediction
 from ..core.scheduler import ScheduleTrace, run_dynamic
 from ..ml.base import Estimator
+
+if TYPE_CHECKING:  # the online package imports serve.predstore — lazy below
+    from ..ml.online import ObservationStore, OnlineConfig, OnlineLoop
 from ..obs import tracer
 from ..obs.tracer import NULL_SPAN
-from ..sim.contention import allocate_bandwidth
+from ..sim.contention import config_slowdown
 from ..sim.engine import ExecutionResult, simulate_execution
 from ..sim.platforms import Platform
 from ..transform.gpu_malleable import (
@@ -396,6 +399,29 @@ class DopiaServer:
         what makes background load visible to concurrent enqueues in
         benchmark mode, where functional execution (whose real runtime
         otherwise plays that role) is off.
+    online:
+        Enable the retraining loop (:mod:`repro.ml.online`): every served
+        launch with a modelled time is ingested as an observation, and
+        :meth:`retrain_now` (or the background thread, see
+        ``retrain_interval_s``) runs drift detection → refit →
+        shadow-scored promotion.  A promotion atomically swaps the live
+        predictor's model and invalidates the superseded generation of
+        the prediction cache; the simulation cache is untouched (it is
+        model-independent).
+    retrain_interval_s:
+        With ``online`` on and a positive interval, a daemon thread calls
+        :meth:`retrain_now` every this many seconds until :meth:`close`.
+        Zero (the default) leaves retraining fully manual.
+    online_prior:
+        Optional ``(X, y)`` arrays of the incumbent's training set — the
+        refit prior.  Without it candidates are fit on observations
+        alone, which is safe (the shadow gate still refuses bad
+        candidates) but forgets everything production traffic has not
+        recently exercised.
+    online_config / observation_store:
+        Override the loop's thresholds or supply a persistent
+        (cross-process) observation store; defaults are in-memory with
+        :class:`repro.ml.online.OnlineConfig` defaults.
     """
 
     def __init__(
@@ -414,6 +440,11 @@ class DopiaServer:
         dwell_scale: float = 0.0,
         dwell_cap_s: float = 0.050,
         queue_capacity: int = 0,
+        online: bool = False,
+        retrain_interval_s: float = 0.0,
+        online_prior: Optional[tuple] = None,
+        online_config: Optional[OnlineConfig] = None,
+        observation_store: Optional[ObservationStore] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -445,6 +476,39 @@ class DopiaServer:
         self._session_lock = threading.Lock()
         self._session_names: set[str] = set()
         self._closed = False
+        self.online: Optional[OnlineLoop] = None
+        self._retrain_stop: Optional[threading.Event] = None
+        self._retrain_thread: Optional[threading.Thread] = None
+        self._retrain_lock = threading.Lock()
+        #: flush the observation window to disk on close — only when the
+        #: caller provided a store (and thus chose where it persists)
+        self._online_persist = observation_store is not None
+        if online:
+            import numpy as np
+
+            from ..ml.online import OnlineLoop
+
+            prior_X, prior_y = (online_prior if online_prior is not None
+                                else (np.empty((0, 11)), np.empty((0,))))
+            self.online = OnlineLoop(
+                model=model,
+                configs_utils=self.predictor._utils,
+                base_X=prior_X,
+                base_y=prior_y,
+                config=online_config,
+                store=observation_store,
+                prober=self._online_probe,
+            )
+            #: launch-shape registry the prober resolves observations
+            #: against: group_key -> (prepared, workload, ndrange, scalars)
+            self._online_shapes: dict[tuple, tuple] = {}
+            if retrain_interval_s > 0.0:
+                self._retrain_stop = threading.Event()
+                self._retrain_thread = threading.Thread(
+                    target=self._retrain_loop,
+                    args=(retrain_interval_s,),
+                    name="dopia-retrain", daemon=True)
+                self._retrain_thread.start()
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"dopia-serve-{i}",
                              daemon=True)
@@ -479,6 +543,13 @@ class DopiaServer:
         if self._closed:
             return
         self._closed = True
+        if self._retrain_stop is not None:
+            self._retrain_stop.set()
+            self._retrain_thread.join(timeout)
+        if self.online is not None and self._online_persist:
+            # publish this session's observations so a later ``dopia
+            # retrain`` (or another server) can learn from them
+            self.online.store.flush()
         # Let in-flight graphs settle first: a _STOP racing ahead of a
         # parked launch's dispatch would strand its handle forever.
         if not self.graph.wait_idle(timeout):
@@ -804,25 +875,126 @@ class DopiaServer:
 
         Per device, this launch offers its configuration's normalised
         utilisation as demand against capacity 1.0, alongside the in-flight
-        demand; :func:`repro.sim.contention.allocate_bandwidth` (with the
+        demand; :func:`repro.sim.contention.config_slowdown` (with the
         platform's arbitration fairness) grants each side a share, and the
         slowdown is demand over grant.  With free capacity the grant equals
         the demand and the slowdown is exactly 1.0 — a lone client is never
         charged.
         """
-        slowdown = 1.0
         config = prediction.config
-        for mine, background in ((config.cpu_util, load.cpu_util),
-                                 (config.gpu_util, load.gpu_util)):
-            if mine <= 0.0 or background <= 0.0:
-                continue
-            granted = allocate_bandwidth(
-                [mine, background], 1.0,
-                fairness=self.platform.arbitration_fairness,
-            )[0]
-            if granted > 1e-12:
-                slowdown = max(slowdown, mine / granted)
-        return slowdown
+        return config_slowdown(
+            config.cpu_util, config.gpu_util,
+            load.cpu_util, load.gpu_util,
+            fairness=self.platform.arbitration_fairness,
+        )
+
+    # -- online retraining ------------------------------------------------------
+
+    def _online_ingest(self, meta: _LaunchMeta, result: ServeResult,
+                       slowdown: float) -> None:
+        """Feed one completed launch into the observation store.
+
+        Only launches with a modelled time carry a training signal; the
+        observed time is the simulated execution under the chosen
+        configuration times the contention slowdown the launch was
+        charged — exactly the quantity a better configuration would have
+        improved.
+        """
+        loop = self.online
+        if loop is None or result.sim is None:
+            return
+        prepared = meta.prepared
+        ndrange = meta.ndrange
+        group_key = (prepared.static_tuple, ndrange.work_dim,
+                     ndrange.total_work_items, ndrange.work_items_per_group)
+        self._online_shapes.setdefault(
+            group_key, (prepared, meta.workload, ndrange, meta.scalars))
+        config = result.prediction.config
+        loop.ingest(
+            kernel=result.kernel,
+            static=prepared.static_tuple,
+            work_dim=ndrange.work_dim,
+            global_size=ndrange.total_work_items,
+            local_size=ndrange.work_items_per_group,
+            cpu_load=result.load.cpu_util,
+            gpu_load=result.load.gpu_util,
+            cpu_util=config.cpu_util,
+            gpu_util=config.gpu_util,
+            time_s=result.sim.time_s * slowdown,
+            source="serve",
+        )
+
+    def _online_probe(self, obs, index: int) -> Optional[float]:
+        """Counterfactual time for ``obs``'s launch at another config.
+
+        Resolves the observation's launch shape to the prepared kernel it
+        came from, simulates that configuration (through the memoised
+        simulation cache — the probe sweep for one cell is 44 entries,
+        shared with the serving path), and charges the same contention
+        slowdown the cell's background load implies.
+        """
+        shape = self._online_shapes.get(obs.group_key)
+        if shape is None:
+            return None
+        prepared, workload, ndrange, scalars = shape
+        config = self.predictor.configs[index]
+        sim_key = (
+            workload.kernel_name, workload.source,
+            ndrange.total_work_items, ndrange.work_items_per_group,
+            ndrange.work_dim, tuple(sorted(scalars.items())),
+            config.setting.cpu_threads, config.setting.gpu_fraction,
+        )
+        sim, _ = self.sim_cache.get_or_compute(
+            sim_key,
+            lambda: self._simulate(prepared, workload, ndrange, scalars,
+                                   config.setting),
+        )
+        return sim.time_s * config_slowdown(
+            config.cpu_util, config.gpu_util,
+            obs.cpu_load, obs.gpu_load,
+            fairness=self.platform.arbitration_fairness,
+        )
+
+    def retrain_now(self):
+        """Run one retraining step; promote the candidate if it wins.
+
+        Returns the :class:`repro.ml.online.Decision` (``None`` when the
+        server is not online).  Serialised: the background thread and
+        manual callers never race a promotion.
+        """
+        loop = self.online
+        if loop is None:
+            return None
+        with self._retrain_lock:
+            decision = loop.step()
+            if decision.promoted:
+                self._promote(loop.model)
+        return decision
+
+    def _promote(self, model: Estimator) -> None:
+        """Swap the serving model and drop the superseded generation.
+
+        The swap is a single attribute assignment (predictions in flight
+        finish on whichever model they started with), after which every
+        cache entry the old model computed is invalidated; entries the
+        new model writes from here on are tagged with the new generation
+        and survive.  The simulation cache is model-independent and kept.
+        """
+        self.predictor.model = model
+        stale = self.cache.advance_generation()
+        self.cache.clear(stale)
+        if tracer.enabled:
+            tracer.instant("serve.promote", "online",
+                           generation=self.cache.generation,
+                           invalidated=self.cache.invalidations)
+
+    def _retrain_loop(self, interval_s: float) -> None:
+        while not self._retrain_stop.wait(interval_s):
+            try:
+                self.retrain_now()
+            except Exception:  # noqa: BLE001 - keep the daemon alive
+                if tracer.enabled:
+                    tracer.counter("online.retrain_errors")
 
     # -- worker ---------------------------------------------------------------
 
@@ -1001,6 +1173,8 @@ class DopiaServer:
                     deps=node.deps if node is not None else 0,
                 )
                 self.stats.record(result, adapted)
+                if self.online is not None:
+                    self._online_ingest(meta, result, slowdown)
                 if traced:
                     tracer.counter("serve.completed")
                     tracer.observe("serve.latency_s", latency)

@@ -1,6 +1,6 @@
 """Integrated-architecture performance simulator (the timing substrate)."""
 
-from .contention import allocate_bandwidth, contended_rates
+from .contention import allocate_bandwidth, config_slowdown, contended_rates
 from .devices import DeviceRate, cpu_effective_cores, cpu_rate, gpu_rate
 from .engine import DopSetting, ExecutionResult, SimulationError, simulate_execution
 from .memory import TrafficEstimate, cpu_traffic, gpu_traffic
@@ -8,7 +8,7 @@ from .noise import DEFAULT_SIGMA, noise_factor
 from .platforms import KAVERI, PLATFORMS, SKYLAKE, CpuSpec, GpuSpec, Platform, get_platform
 
 __all__ = [
-    "allocate_bandwidth", "contended_rates", "DeviceRate",
+    "allocate_bandwidth", "config_slowdown", "contended_rates", "DeviceRate",
     "cpu_effective_cores", "cpu_rate", "gpu_rate", "DopSetting",
     "ExecutionResult", "SimulationError", "simulate_execution",
     "TrafficEstimate", "cpu_traffic", "gpu_traffic", "DEFAULT_SIGMA",

@@ -105,3 +105,32 @@ def contended_rates(rates, capacity: float, fairness: float = 1.0) -> list[float
     return [
         rate.items_rate_given_bandwidth(bw) for rate, bw in zip(rates, allocation)
     ]
+
+
+def config_slowdown(
+    cpu_util: float, gpu_util: float,
+    cpu_load: float, gpu_load: float,
+    fairness: float = 1.0,
+) -> float:
+    """Modelled slowdown of one launch sharing device capacity with a
+    background load.
+
+    Per device, the launch offers its configuration's normalised
+    utilisation as demand against capacity 1.0, alongside the in-flight
+    background demand; :func:`allocate_bandwidth` (with the platform's
+    arbitration fairness) grants each side a share, and the slowdown is
+    demand over grant.  With free capacity the grant equals the demand
+    and the slowdown is exactly 1.0 — a lone launch is never charged.
+    This is the multiplier the serving layer applies to simulated
+    execution time, and the ground truth the online retraining loop's
+    hindsight probes replay.
+    """
+    slowdown = 1.0
+    for mine, background in ((cpu_util, cpu_load), (gpu_util, gpu_load)):
+        if mine <= 0.0 or background <= 0.0:
+            continue
+        granted = allocate_bandwidth([mine, background], 1.0,
+                                     fairness=fairness)[0]
+        if granted > 1e-12:
+            slowdown = max(slowdown, mine / granted)
+    return slowdown

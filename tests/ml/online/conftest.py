@@ -1,0 +1,25 @@
+"""Session fixtures for the online-retraining suite.
+
+The golden-trace replay is deterministic but not free (it trains the base
+model and simulates every launch), so the trained base and the first
+replay report are session-scoped and shared by every test that inspects
+them.
+"""
+
+import pytest
+
+from repro.ml.online import ReplayConfig, run_replay, train_base
+
+
+@pytest.fixture(scope="session")
+def replay_base():
+    """(config, incumbent model, prior X, prior y) for the golden trace."""
+    config = ReplayConfig()
+    model, X, y = train_base(config)
+    return config, model, X, y
+
+
+@pytest.fixture(scope="session")
+def golden_report(replay_base):
+    config, model, X, y = replay_base
+    return run_replay(config, model=model, base_X=X, base_y=y)

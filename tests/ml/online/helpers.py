@@ -1,0 +1,58 @@
+"""Shared observation factory and stub estimator for the online suite."""
+
+import numpy as np
+
+from repro.ml.online import Observation
+
+
+class LinearModel:
+    """Deterministic estimator stand-in: scores rows by a weight vector.
+
+    The shadow scorer only ever calls ``predict`` on 11-column feature
+    rows, so a fixed linear form is enough to build models with any
+    desired (and fully predictable) configuration preference.
+    """
+
+    def __init__(self, weights):
+        self.weights = np.asarray(weights, dtype=np.float64)
+
+    def predict(self, X):
+        return np.asarray(X, dtype=np.float64) @ self.weights
+
+
+def prefer_gpu(sign=1.0):
+    """A model that ranks rows by (signed) column 10 — the GPU column."""
+    weights = np.zeros(11)
+    weights[10] = sign
+    return LinearModel(weights)
+
+
+def make_obs(
+    kernel="K",
+    config_index=0,
+    cpu_util=0.25,
+    gpu_util=0.5,
+    time_s=1.0,
+    cpu_load=0.0,
+    gpu_load=0.0,
+    probe=False,
+    static=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0),
+    global_size=16384,
+    **kwargs,
+):
+    return Observation(
+        kernel=kernel,
+        static=static,
+        work_dim=1,
+        global_size=global_size,
+        local_size=256,
+        cpu_load=cpu_load,
+        gpu_load=gpu_load,
+        config_index=config_index,
+        cpu_util=cpu_util,
+        gpu_util=gpu_util,
+        time_s=time_s,
+        probe=probe,
+        source="probe" if probe else "replay",
+        **kwargs,
+    )

@@ -1,0 +1,74 @@
+"""Drift detector: per-kernel regret over the sliding window."""
+
+from repro.ml.online import DriftConfig, DriftDetector
+from repro.ml.online.drift import observation_regret
+
+from .helpers import make_obs
+
+
+def slow_cell(kernel="K", n_real=4, regret=0.5, **kw):
+    """A cell whose real launches all run ``1 + regret`` times the best."""
+    cell = [make_obs(kernel=kernel, config_index=1, time_s=1.0 + regret, **kw)
+            for _ in range(n_real)]
+    cell.append(make_obs(kernel=kernel, config_index=0, time_s=1.0,
+                         probe=True, **kw))
+    return cell
+
+
+def test_empty_window_is_not_drift():
+    report = DriftDetector().check([])
+    assert not report.drifted
+    assert report.kernels == () and report.mean_regret == 0.0
+
+
+def test_optimal_picks_have_zero_regret():
+    cell = [make_obs(time_s=1.0),
+            make_obs(config_index=1, time_s=1.5, probe=True)]
+    detector = DriftDetector(DriftConfig(regret_threshold=0.01,
+                                         min_observations=1))
+    report = detector.check(cell)
+    assert not report.drifted
+    assert report.kernels[0].mean_regret == 0.0
+
+
+def test_regret_is_measured_against_cell_hindsight_best():
+    cell = [make_obs(config_index=1, time_s=2.0),       # the real launch
+            make_obs(config_index=0, time_s=1.0, probe=True)]
+    assert observation_regret(cell[0], cell) == 1.0     # 2x slower
+    # probes define the best but are never scored themselves
+    report = DriftDetector(DriftConfig(min_observations=1)).check(cell)
+    assert report.kernels[0].observations == 1
+    assert report.kernels[0].mean_regret == 1.0
+
+
+def test_observation_floor_guards_noisy_verdicts():
+    window = slow_cell(n_real=4, regret=1.0)
+    detector = DriftDetector(DriftConfig(regret_threshold=0.1,
+                                         min_observations=5))
+    assert not detector.check(window).drifted
+    window += slow_cell(n_real=4, regret=1.0, gpu_load=0.25)
+    report = detector.check(window)
+    assert report.drifted and detector.detections == 1
+    assert report.kernels[0].cells == 2
+
+
+def test_threshold_separates_noise_from_drift():
+    window = slow_cell(regret=0.05)
+    config = DriftConfig(regret_threshold=0.08, min_observations=1)
+    assert not DriftDetector(config).check(window).drifted
+    assert DriftDetector(config).check(slow_cell(regret=0.09)).drifted
+
+
+def test_per_kernel_verdicts_and_weighted_mean():
+    window = slow_cell(kernel="BAD", n_real=6, regret=1.0)
+    window += [make_obs(kernel="GOOD", time_s=1.0),
+               make_obs(kernel="GOOD", config_index=1, time_s=1.25, probe=True)]
+    report = DriftDetector(DriftConfig(regret_threshold=0.1,
+                                       min_observations=1)).check(window)
+    assert report.drifted
+    assert report.drifted_kernels() == ["BAD"]
+    by_name = {k.kernel: k for k in report.kernels}
+    assert by_name["GOOD"].mean_regret == 0.0
+    assert by_name["BAD"].max_regret == 1.0
+    # 6 launches at regret 1.0 and 1 at 0.0
+    assert report.mean_regret == (6 * 1.0) / 7

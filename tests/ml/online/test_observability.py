@@ -1,0 +1,60 @@
+"""The loop's telemetry contract: every stage reports through repro.obs."""
+
+import numpy as np
+
+from repro.ml.online import OnlineConfig, DriftConfig, OnlineLoop, RefitConfig
+from repro.obs import tracer
+
+from .helpers import make_obs
+
+UTILS = np.array([[0.25, 0.125], [0.25, 1.0]])
+
+
+def test_a_full_step_traces_every_stage():
+    base_X = np.array([[1, 2, 3, 4, 5, 6, 1, 16384, 256, u, v]
+                       for u, v in UTILS], dtype=np.float64)
+    base_y = np.array([1.0, 0.5])
+    loop = OnlineLoop(
+        model=None,  # replaced below once the refitter exists
+        configs_utils=UTILS,
+        base_X=base_X,
+        base_y=base_y,
+        config=OnlineConfig(
+            drift=DriftConfig(regret_threshold=0.1, min_observations=2),
+            refit=RefitConfig(obs_weight=2),
+            promote_margin=0.0,
+            min_promote_observations=1,
+        ),
+    )
+    loop.model = loop.refitter.fit_candidate([], UTILS)
+
+    tracer.enable()
+    try:
+        # two real launches on the slow config + a probe of the fast one
+        for _ in range(2):
+            loop.ingest(kernel="K", static=(1, 2, 3, 4, 5, 6), work_dim=1,
+                        global_size=16384, local_size=256,
+                        cpu_load=0.0, gpu_load=0.0,
+                        cpu_util=0.25, gpu_util=1.0, time_s=2.0)
+        loop.store.append(make_obs(config_index=0, cpu_util=0.25,
+                                   gpu_util=0.125, time_s=1.0, probe=True))
+        decision = loop.step()
+
+        assert decision.drifted
+        counters = dict(tracer.counters)
+        assert counters["online.observations"] == 3
+        assert counters["online.probes"] == 1
+        assert counters["online.drift_checks"] == 1
+        assert counters["online.drift_detected"] == 1
+        assert counters["online.refits"] == 1
+        assert counters["online.shadow_scores"] == 1
+        assert counters.get("online.promotions", 0) \
+            + counters.get("online.rejections", 0) == 1
+        assert "online.kernel_regret" in tracer.histograms
+        assert "online.kernel_regret.K" in tracer.histograms
+        names = {event.name for event in tracer.events()}
+        assert {"online.drift", "online.refit",
+                "online.shadow", "online.decision"} <= names
+    finally:
+        tracer.disable()
+        tracer.clear()

@@ -1,0 +1,89 @@
+"""Property suite: the promotion gate is safe on *any* observation window.
+
+Hypothesis drives randomly shaped windows (cells over the real 44-config
+Kaveri space, arbitrary positive times, probe/real mixes) and arbitrary
+linear models.  Whatever the evidence looks like, the gate must never
+promote a candidate whose shadow regret exceeds the incumbent's — that
+is the invariant that makes the online loop monotone.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dopconfig import config_space, config_utils_matrix
+from repro.ml.online import PromotionGate, ShadowScorer
+from repro.sim import KAVERI
+
+from .helpers import LinearModel, make_obs
+
+UTILS = config_utils_matrix(config_space(KAVERI))
+LOADS = st.sampled_from([0.0, 0.25, 0.5, 0.75])
+TIMES = st.floats(min_value=0.05, max_value=10.0,
+                  allow_nan=False, allow_infinity=False)
+WEIGHTS = st.lists(st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+                   min_size=11, max_size=11)
+
+
+@st.composite
+def windows(draw):
+    observations = []
+    for _ in range(draw(st.integers(1, 4))):
+        kernel = draw(st.sampled_from(["K0", "K1"]))
+        scale = draw(st.integers(1, 4))
+        cpu_load, gpu_load = draw(LOADS), draw(LOADS)
+        indices = draw(st.lists(st.integers(0, len(UTILS) - 1),
+                                min_size=1, max_size=8, unique=True))
+        for index in indices:
+            observations.append(make_obs(
+                kernel=kernel,
+                static=(float(scale), 2.0, 3.0, 4.0, 5.0, 6.0),
+                global_size=1024 * scale,
+                cpu_load=cpu_load,
+                gpu_load=gpu_load,
+                config_index=index,
+                cpu_util=float(UTILS[index, 0]),
+                gpu_util=float(UTILS[index, 1]),
+                time_s=draw(TIMES),
+                probe=draw(st.booleans()),
+            ))
+    return observations
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), WEIGHTS, WEIGHTS, st.floats(0.0, 0.5, allow_nan=False))
+def test_gate_never_promotes_a_worse_candidate(window, w_inc, w_cand, margin):
+    gate = PromotionGate(margin=margin, min_observations=1)
+    report = gate.decide(ShadowScorer(UTILS), LinearModel(w_inc),
+                         LinearModel(w_cand), window)
+    if report.promote:
+        # promote implies the candidate cleared the incumbent by the margin
+        assert report.candidate_regret <= (
+            report.incumbent_regret - margin + 1e-12)
+    # the contrapositive invariant, stated directly: a candidate with
+    # strictly more window regret can never go live
+    if report.candidate_regret > report.incumbent_regret:
+        assert not report.promote
+
+
+@settings(max_examples=40, deadline=None)
+@given(windows(), WEIGHTS, WEIGHTS)
+def test_widening_the_margin_only_ever_blocks(window, w_inc, w_cand):
+    scorer = ShadowScorer(UTILS)
+    incumbent, candidate = LinearModel(w_inc), LinearModel(w_cand)
+    strict = PromotionGate(margin=0.25, min_observations=1).decide(
+        scorer, incumbent, candidate, window)
+    lax = PromotionGate(margin=0.0, min_observations=1).decide(
+        scorer, incumbent, candidate, window)
+    if strict.promote:
+        assert lax.promote
+
+
+@settings(max_examples=40, deadline=None)
+@given(windows(), WEIGHTS, WEIGHTS)
+def test_shadow_decisions_are_deterministic(window, w_inc, w_cand):
+    """Scoring is pure inference: same window, same models, same report."""
+    gate = PromotionGate(margin=0.01, min_observations=1)
+    scorer = ShadowScorer(UTILS)
+    incumbent, candidate = LinearModel(w_inc), LinearModel(w_cand)
+    first = gate.decide(scorer, incumbent, candidate, window)
+    second = gate.decide(scorer, incumbent, candidate, window)
+    assert first == second

@@ -1,0 +1,201 @@
+"""The loop wired into its hosts: DopiaServer and DopiaRuntime.
+
+The server tests drive the real serving path — launches through a
+session, background load planted in the allocation ledger, retraining
+triggered via :meth:`DopiaServer.retrain_now` — and assert the two
+promises the serving layer makes: a promoted candidate atomically
+replaces the predictor *and* invalidates the superseded cache
+generation; a rejected candidate leaves serving byte-identical.
+"""
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.core import DopiaRuntime
+from repro.core.dopconfig import config_space, config_utils_matrix
+from repro.ml.online import DriftConfig, OnlineConfig, OnlineLoop, RefitConfig
+from repro.serve import DopiaServer
+from repro.sim import KAVERI, DopSetting
+from repro.workloads import SCALED_REAL_FACTORIES
+from repro.workloads.applications import AtaxApplication
+
+#: 75 % of the GPU occupied by a co-runner — the golden trace's shift
+CO_RUNNER = DopSetting(cpu_threads=0, gpu_fraction=0.75)
+
+
+def sensitive_config(**overrides):
+    """Drift thresholds scaled down to fire within a short unit test."""
+    kwargs = dict(
+        drift=DriftConfig(regret_threshold=0.2, min_observations=4),
+        refit=RefitConfig(obs_weight=8),
+        promote_margin=0.002,
+        min_promote_observations=4,
+    )
+    kwargs.update(overrides)
+    return OnlineConfig(**kwargs)
+
+
+def online_server(replay_base, **kwargs):
+    _, model, X, y = replay_base
+    return DopiaServer(
+        KAVERI, model, workers=1, functional=False,
+        online=True, online_prior=(X, y), **kwargs,
+    )
+
+
+def serve_some(server, launches=8):
+    session = server.session()          # unique name per call
+    workload = SCALED_REAL_FACTORIES["GESUMMV"]()
+    args = workload.full_args(0)
+    return [session.launch(workload, args).result(timeout=120.0)
+            for _ in range(launches)]
+
+
+def picks(results):
+    return [(r.prediction.config.cpu_util, r.prediction.config.gpu_util)
+            for r in results]
+
+
+class TestServerPromotion:
+    def test_planted_load_drives_a_promotion(self, replay_base):
+        server = online_server(replay_base,
+                               online_config=sensitive_config())
+        try:
+            lease = server.ledger.acquire(CO_RUNNER)
+            serve_some(server)
+            generation = server.cache.generation
+            decision = server.retrain_now()
+            assert decision is not None and decision.drifted
+            assert decision.promoted, decision.reason
+            # promote-then-invalidate: the predictor now serves the
+            # candidate and every stale-generation cache entry is gone
+            assert server.predictor.model is server.online.model
+            assert server.cache.generation == generation + 1
+            assert server.cache.invalidations >= 1
+            server.ledger.release(lease)
+        finally:
+            server.close()
+
+    def test_observations_flow_from_the_serving_path(self, replay_base):
+        server = online_server(replay_base,
+                               online_config=sensitive_config())
+        try:
+            serve_some(server, launches=3)
+            window = server.online.store.snapshot()
+            assert len(window) == 3
+            assert all(obs.source == "serve" for obs in window)
+            assert all(obs.time_s > 0 and len(obs.static) == 6
+                       for obs in window)
+        finally:
+            server.close()
+
+    def test_retrain_daemon_promotes_without_manual_calls(self, replay_base):
+        server = online_server(replay_base,
+                               online_config=sensitive_config(),
+                               retrain_interval_s=0.05)
+        try:
+            lease = server.ledger.acquire(CO_RUNNER)
+            serve_some(server)
+            deadline = time.monotonic() + 30.0
+            while (server.online.promotions == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert server.online.promotions >= 1
+            assert server.predictor.model is server.online.model
+            server.ledger.release(lease)
+        finally:
+            server.close()
+
+
+class TestServerRejection:
+    def test_rejected_candidate_leaves_serving_byte_identical(self, replay_base):
+        """No cache pollution: a rejection changes nothing observable."""
+        config = sensitive_config(promote_margin=1e6)   # unreachable bar
+        server = online_server(replay_base, online_config=config)
+        try:
+            lease = server.ledger.acquire(CO_RUNNER)
+            incumbent = server.predictor.model
+            before = pickle.dumps(picks(serve_some(server)))
+            generation = server.cache.generation
+            decision = server.retrain_now()
+            assert decision is not None and decision.drifted
+            assert not decision.promoted
+            assert decision.reason == "candidate-not-better"
+            # the incumbent, the cache generation, and the cached
+            # decisions all survive untouched
+            assert server.predictor.model is incumbent
+            assert server.cache.generation == generation
+            assert server.cache.invalidations == 0
+            after = pickle.dumps(picks(serve_some(server)))
+            assert before == after
+            server.ledger.release(lease)
+        finally:
+            server.close()
+
+
+class TestRuntimeIngestion:
+    def test_interposed_launches_feed_the_observation_store(self, replay_base):
+        _, model, X, y = replay_base
+        runtime = DopiaRuntime(KAVERI, model)
+        loop = OnlineLoop(
+            model=model,
+            configs_utils=config_utils_matrix(config_space(KAVERI)),
+            base_X=X, base_y=y,
+        )
+        runtime.attach_online(loop)
+        with cl.interposed(runtime):
+            result = AtaxApplication(wg=16).run(n=48)
+        assert result.verified
+        window = loop.store.snapshot()
+        assert len(window) == len(runtime.launches) == 2
+        for obs, record in zip(window, runtime.launches):
+            assert obs.source == "runtime"
+            assert obs.static == record.static and len(obs.static) == 6
+            assert obs.global_size == record.global_size > 0
+            assert obs.time_s == pytest.approx(record.result.time_s)
+            cpu_util, gpu_util = loop.utils[obs.config_index]
+            assert (cpu_util, gpu_util) == (
+                record.prediction.config.cpu_util,
+                record.prediction.config.gpu_util,
+            )
+
+    def test_runtime_without_a_loop_is_unchanged(self, replay_base):
+        _, model, _, _ = replay_base
+        runtime = DopiaRuntime(KAVERI, model)
+        assert runtime.online is None
+        with cl.interposed(runtime):
+            assert AtaxApplication(wg=16).run(n=48).verified
+        assert len(runtime.launches) == 2
+
+
+def test_close_persists_an_explicit_observation_store(replay_base, tmp_path):
+    """A server given a store publishes its window on close, so a later
+    ``dopia retrain`` (or another server) can learn from this session."""
+    from repro.ml.online import ObservationStore
+
+    store = ObservationStore("serve-ns", window=64, root=tmp_path)
+    server = online_server(replay_base, observation_store=store)
+    try:
+        serve_some(server, launches=3)
+    finally:
+        server.close()
+    reader = ObservationStore("serve-ns", window=64, root=tmp_path)
+    assert reader.load() == 3
+    assert all(obs.source == "serve" for obs in reader.snapshot())
+
+
+def test_online_prior_defaults_to_empty(replay_base):
+    """A server can go online with no pretrained prior at all."""
+    _, model, _, _ = replay_base
+    server = DopiaServer(KAVERI, model, workers=1, functional=False,
+                         online=True)
+    try:
+        assert server.online is not None
+        assert server.online.refitter.base_X.shape == (0, 11)
+        assert isinstance(server.online.refitter.base_y, np.ndarray)
+    finally:
+        server.close()

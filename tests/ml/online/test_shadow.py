@@ -1,0 +1,126 @@
+"""Shadow scorer and promotion gate: replaying the serving decision rule.
+
+All tests use a two-configuration universe — ``utils[0] = (0.25, 0.125)``
+(small GPU share) and ``utils[1] = (0.25, 1.0)`` (whole GPU) — and stub
+linear models whose preference over the GPU column is explicit, so every
+pick and every regret is computable by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.online import PromotionGate, ShadowScorer
+from repro.ml.online.shadow import select_among
+
+from .helpers import LinearModel, make_obs, prefer_gpu
+
+UTILS = np.array([[0.25, 0.125], [0.25, 1.0]])
+
+
+def cell(fast_real=True, gpu_load=0.0, kernel="K", n_real=1):
+    """One cell: config 0 runs in 1s, config 1 in 2s.
+
+    The real launches sit on config 0 (the right pick) or config 1 (the
+    wrong one); the other configuration is covered by a probe.
+    """
+    real_index = 0 if fast_real else 1
+    real_time = 1.0 if fast_real else 2.0
+    obs = [make_obs(kernel=kernel, config_index=real_index,
+                    cpu_util=UTILS[real_index, 0], gpu_util=UTILS[real_index, 1],
+                    time_s=real_time, gpu_load=gpu_load)
+           for _ in range(n_real)]
+    probe_index = 1 - real_index
+    obs.append(make_obs(kernel=kernel, config_index=probe_index,
+                        cpu_util=UTILS[probe_index, 0],
+                        gpu_util=UTILS[probe_index, 1],
+                        time_s=2.0 if fast_real else 1.0,
+                        gpu_load=gpu_load, probe=True))
+    return obs
+
+
+class TestSelectAmong:
+    ROWS = np.array([[0.0] * 9 + [0.25, 0.125],
+                     [0.0] * 9 + [0.25, 1.0]])
+
+    def test_idle_is_plain_argmax(self):
+        assert select_among(prefer_gpu(+1), self.ROWS, UTILS, 0.0, 0.0) == 1
+        assert select_among(prefer_gpu(-1), self.ROWS, UTILS, 0.0, 0.0) == 0
+
+    def test_load_masks_infeasible_configurations(self):
+        # 75 % background GPU load: only config 0 (gpu_util 0.125) fits,
+        # so even the GPU-hungry model is forced onto it
+        assert select_among(prefer_gpu(+1), self.ROWS, UTILS, 0.0, 0.75) == 0
+
+    def test_all_infeasible_falls_back_to_unmasked_argmax(self):
+        heavy = np.array([[0.5, 0.5], [0.25, 1.0]])
+        assert select_among(prefer_gpu(+1), self.ROWS, heavy, 0.75, 0.75) == 1
+
+
+class TestShadowScorer:
+    def test_wrong_pick_pays_the_cell_regret(self):
+        scorer = ShadowScorer(UTILS)
+        regret, cells, weight = scorer.score(prefer_gpu(+1), cell(fast_real=True))
+        assert (regret, cells, weight) == (1.0, 1, 1)   # picked 2s over 1s
+        regret, _, _ = scorer.score(prefer_gpu(-1), cell(fast_real=True))
+        assert regret == 0.0
+
+    def test_scoring_respects_the_feasibility_mask(self):
+        # under load the hungry model's pick is masked to the feasible
+        # config, which is also the best: no regret despite the bad taste
+        scorer = ShadowScorer(UTILS)
+        regret, _, _ = scorer.score(prefer_gpu(+1), cell(gpu_load=0.75))
+        assert regret == 0.0
+
+    def test_probe_only_cells_carry_no_weight(self):
+        window = [make_obs(config_index=0, cpu_util=0.25, gpu_util=0.125,
+                           time_s=1.0, probe=True)]
+        assert ShadowScorer(UTILS).score(prefer_gpu(+1), window) == (0.0, 0, 0)
+
+    def test_cells_are_weighted_by_real_launches(self):
+        # 3 launches in the mispicked cell, 1 in the clean one (the cells
+        # differ by load bucket): mean regret = 3/4
+        window = cell(fast_real=True, n_real=3) + cell(gpu_load=0.25, n_real=1)
+        regret, cells, weight = ShadowScorer(UTILS).score(prefer_gpu(+1), window)
+        assert cells == 2 and weight == 4
+        assert regret == pytest.approx(0.75)
+
+    def test_duplicate_configs_keep_the_fastest_measurement(self):
+        window = cell(fast_real=True)
+        # a slower duplicate measurement of config 0 must not change the pick
+        window.append(make_obs(config_index=0, cpu_util=0.25, gpu_util=0.125,
+                               time_s=5.0, probe=True))
+        regret, _, _ = ShadowScorer(UTILS).score(prefer_gpu(-1), window)
+        assert regret == 0.0
+
+
+class TestPromotionGate:
+    def test_negative_margin_is_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PromotionGate(margin=-0.01)
+
+    def test_insufficient_evidence_never_promotes(self):
+        gate = PromotionGate(margin=0.0, min_observations=5)
+        report = gate.decide(ShadowScorer(UTILS), prefer_gpu(+1),
+                             prefer_gpu(-1), cell())
+        assert not report.promote and report.reason == "insufficient-evidence"
+
+    def test_better_candidate_is_promoted(self):
+        gate = PromotionGate(margin=0.1, min_observations=1)
+        report = gate.decide(ShadowScorer(UTILS), prefer_gpu(+1),
+                             prefer_gpu(-1), cell())
+        assert report.promote and report.reason == "candidate-better"
+        assert report.improvement == pytest.approx(1.0)
+
+    def test_margin_blocks_marginal_candidates(self):
+        # both models pick identically: improvement 0 < margin
+        gate = PromotionGate(margin=0.1, min_observations=1)
+        report = gate.decide(ShadowScorer(UTILS), prefer_gpu(-1),
+                             LinearModel(-np.eye(11)[10] * 2), cell())
+        assert not report.promote and report.reason == "candidate-not-better"
+
+    def test_worse_candidate_is_never_promoted(self):
+        gate = PromotionGate(margin=0.0, min_observations=1)
+        report = gate.decide(ShadowScorer(UTILS), prefer_gpu(-1),
+                             prefer_gpu(+1), cell())
+        assert not report.promote
+        assert report.candidate_regret > report.incumbent_regret

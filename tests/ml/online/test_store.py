@@ -1,0 +1,169 @@
+"""Observation store: window semantics, JSONL persistence, healing.
+
+The disk layer reuses the serving tier's atomic-rename primitive, so the
+cross-process test here is the real thing: two forked writers flushing
+segments into one namespace, merged by a single reader.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.ml.online import (
+    OBS_SCHEMA_VERSION,
+    Observation,
+    ObservationStore,
+    observation_namespace,
+)
+
+from .helpers import make_obs
+
+
+class TestWindow:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ObservationStore(window=0)
+
+    def test_append_stamps_increasing_seq(self):
+        store = ObservationStore(window=8)
+        stamped = [store.append(make_obs(time_s=float(i + 1))) for i in range(3)]
+        assert [obs.seq for obs in stamped] == [0, 1, 2]
+        assert [obs.seq for obs in store.snapshot()] == [0, 1, 2]
+
+    def test_window_bounds_memory_oldest_first_out(self):
+        store = ObservationStore(window=4)
+        for i in range(6):
+            store.append(make_obs(time_s=float(i + 1)))
+        window = store.snapshot()
+        assert len(store) == 4
+        assert [obs.time_s for obs in window] == [3.0, 4.0, 5.0, 6.0]
+        # ingested keeps counting past the bound
+        assert store.stats()["ingested"] == 6
+
+    def test_probe_counter(self):
+        store = ObservationStore(window=8)
+        store.append(make_obs())
+        store.append(make_obs(probe=True))
+        stats = store.stats()
+        assert stats["ingested"] == 2 and stats["probes"] == 1
+
+
+class TestObservation:
+    def test_feature_row_caps_load_columns(self):
+        obs = make_obs(cpu_util=0.5, gpu_util=0.875, cpu_load=0.75, gpu_load=0.5)
+        row = obs.feature_row()
+        assert len(row) == 11
+        assert row[9] == 1.0          # 0.5 + 0.75 capped
+        assert row[10] == 1.0         # 0.875 + 0.5 capped
+        idle = make_obs(cpu_util=0.5, gpu_util=0.25).feature_row()
+        assert idle[9] == 0.5 and idle[10] == 0.25
+
+    def test_row_round_trip(self):
+        obs = make_obs(time_s=1.25, probe=True, seq=7, predicted_score=0.5)
+        assert Observation.from_row(json.loads(json.dumps(obs.as_row()))) == obs
+
+    def test_from_row_rejects_other_schema_versions(self):
+        row = make_obs().as_row()
+        row["v"] = OBS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            Observation.from_row(row)
+
+    def test_cell_key_splits_on_load_bucket(self):
+        idle, loaded = make_obs(), make_obs(gpu_load=0.75)
+        assert idle.group_key == loaded.group_key
+        assert idle.cell_key != loaded.cell_key
+
+    def test_cell_best_includes_probes(self):
+        cell = [make_obs(time_s=2.0), make_obs(time_s=0.5, probe=True)]
+        assert ObservationStore.cell_best(cell) == 0.5
+
+
+class TestPersistence:
+    def test_flush_then_load_round_trips(self, tmp_path):
+        writer = ObservationStore("ns", window=16, root=tmp_path)
+        for i in range(5):
+            writer.append(make_obs(time_s=float(i + 1)))
+        assert writer.flush() == 5
+        assert writer.flush() == 0          # nothing pending: no new segment
+        assert len(list(writer.dir.glob("seg-*.jsonl"))) == 1
+
+        reader = ObservationStore("ns", window=16, root=tmp_path)
+        assert reader.load() == 5
+        assert [obs.time_s for obs in reader.snapshot()] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert reader.stats()["loaded"] == 5 and reader.stats()["skipped"] == 0
+        # loaded rows keep their stamps; new appends continue past them
+        assert reader.append(make_obs()).seq == 5
+
+    def test_corrupt_lines_are_skipped_and_segment_healed(self, tmp_path):
+        writer = ObservationStore("ns", window=16, root=tmp_path)
+        writer.append(make_obs(time_s=1.0))
+        writer.flush()
+        writer.append(make_obs(time_s=2.0))
+        writer.flush()
+        segments = sorted(writer.dir.glob("seg-*.jsonl"))
+        assert len(segments) == 2
+        with open(segments[0], "a") as fh:
+            fh.write("{not json\n")
+
+        reader = ObservationStore("ns", window=16, root=tmp_path)
+        assert reader.load() == 2           # both good rows survive this read
+        assert reader.stats()["skipped"] == 1
+        # ...but the torn segment is gone: the store healed in place
+        assert not segments[0].exists() and segments[1].exists()
+        second = ObservationStore("ns", window=16, root=tmp_path)
+        assert second.load() == 1
+        assert second.snapshot()[0].time_s == 2.0
+
+    def test_clear_disk_removes_segments(self, tmp_path):
+        store = ObservationStore("ns", window=4, root=tmp_path)
+        store.append(make_obs())
+        store.flush()
+        store.clear_disk()
+        fresh = ObservationStore("ns", window=4, root=tmp_path)
+        assert fresh.load() == 0
+
+    def test_namespaces_are_isolated(self, tmp_path):
+        a = ObservationStore("ns-a", window=4, root=tmp_path)
+        a.append(make_obs())
+        a.flush()
+        b = ObservationStore("ns-b", window=4, root=tmp_path)
+        assert b.load() == 0
+
+
+def _flush_worker(root, namespace, kernel, count):
+    store = ObservationStore(namespace, window=64, root=root)
+    for i in range(count):
+        store.append(make_obs(kernel=kernel, time_s=float(i + 1)))
+    store.flush()
+
+
+class TestCrossProcess:
+    def test_forked_writers_contribute_distinct_segments(self, tmp_path):
+        """Sharded workers flush without coordination; a reader merges."""
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_flush_worker, args=(tmp_path, "ns", kernel, 3))
+            for kernel in ("A", "B")
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        # PID-stamped names: two processes can never collide on a segment
+        assert len(list((tmp_path / "observations" / "ns").glob("seg-*.jsonl"))) == 2
+
+        reader = ObservationStore("ns", window=64, root=tmp_path)
+        assert reader.load() == 6
+        kernels = {obs.kernel for obs in reader.snapshot()}
+        assert kernels == {"A", "B"}
+
+
+def test_observation_namespace_is_per_platform():
+    kaveri = observation_namespace("kaveri")
+    assert kaveri.startswith("kaveri-")
+    assert kaveri == observation_namespace("kaveri")
+    # observations are ground truth about the hardware: the namespace
+    # digests the platform, never the model, so they survive promotions
+    assert kaveri != observation_namespace("skylake")

@@ -49,8 +49,116 @@ def test_stats_shape():
     cache.get("a")
     cache.get("zzz")
     stats = cache.stats()
-    assert stats == {"size": 1, "capacity": 2, "hits": 1, "misses": 1,
-                     "evictions": 0, "hit_rate": 0.5}
+    assert stats == {"size": 1, "capacity": 2, "generation": 0, "hits": 1,
+                     "misses": 1, "evictions": 0, "invalidations": 0,
+                     "hit_rate": 0.5}
+
+
+class TestGenerationInvalidation:
+    """The promote-then-invalidate contract of the online retraining loop."""
+
+    def test_advance_returns_the_superseded_generation(self):
+        cache = PredictionCache(4)
+        assert cache.generation == 0
+        assert cache.advance_generation() == 0
+        assert cache.generation == 1
+        assert cache.advance_generation() == 1
+
+    def test_clear_by_generation_spares_newer_entries(self):
+        cache = PredictionCache(8)
+        cache.put("gen0", "stale")
+        stale = cache.advance_generation()
+        cache.put("gen1", "fresh")
+        cache.clear(stale)
+        assert cache.get("gen0") is None
+        assert cache.get("gen1") == "fresh"
+        assert cache.invalidations == 1
+
+    def test_clear_drops_the_given_generation_and_older(self):
+        cache = PredictionCache(8)
+        cache.put("g0", 0)
+        first = cache.advance_generation()
+        cache.put("g1", 1)
+        second = cache.advance_generation()
+        cache.put("g2", 2)
+        assert (first, second) == (0, 1)
+        cache.clear(second)                 # drops generations 0 and 1
+        assert cache.get("g0") is None and cache.get("g1") is None
+        assert cache.get("g2") == 2
+        assert cache.invalidations == 2
+
+    def test_clear_preserves_traffic_counters(self):
+        cache = PredictionCache(8)
+        cache.put("a", 1)
+        cache.get("a")                      # hit
+        cache.get("zzz")                    # miss
+        hits, misses = cache.hits, cache.misses
+        cache.clear(cache.advance_generation())
+        assert (cache.hits, cache.misses) == (hits, misses)
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["invalidations"] == 1 and stats["generation"] == 1
+
+    def test_full_clear_still_counts_invalidations(self):
+        cache = PredictionCache(8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0 and cache.invalidations == 2
+
+    def test_rewritten_entry_adopts_the_current_generation(self):
+        cache = PredictionCache(8)
+        cache.put("k", "old")
+        stale = cache.advance_generation()
+        cache.put("k", "new")               # recomputed post-promotion
+        cache.clear(stale)
+        assert cache.get("k") == "new"
+
+    def test_eviction_keeps_generation_tags_consistent(self):
+        cache = PredictionCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)                   # evicts "a"
+        cache.clear(cache.advance_generation())
+        assert len(cache) == 0 and cache.invalidations == 1
+
+    def test_concurrent_readers_during_invalidation(self):
+        """Readers racing clear() see either the old value or a miss."""
+        cache = PredictionCache(64)
+        threads_n, ops = 6, 400
+        barrier = threading.Barrier(threads_n + 1)
+        errors = []
+
+        def reader(index):
+            try:
+                barrier.wait()
+                for op in range(ops):
+                    key = (index + op) % 16
+                    value, _ = cache.get_or_compute(key, lambda: key * 3)
+                    # deterministic values: invalidation may force a
+                    # recompute but can never surface a wrong entry
+                    assert value == key * 3
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def invalidator():
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    cache.clear(cache.advance_generation())
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        workers = [threading.Thread(target=reader, args=(i,))
+                   for i in range(threads_n)]
+        workers.append(threading.Thread(target=invalidator))
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] >= threads_n * ops
+        assert stats["generation"] == 50
 
 
 def test_concurrent_mixed_workload_stays_consistent():

@@ -9,6 +9,8 @@ start: a second sharded server over the same store boots with the
 first one's decisions already cached.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,7 @@ from repro.serve import (
     ShardedServer,
     store_namespace,
 )
+from repro.serve.predstore import atomic_replace
 from repro.sim import KAVERI
 from repro.workloads import SCALED_REAL_FACTORIES
 
@@ -104,6 +107,83 @@ def test_clear_empties_the_namespace(tmp_path):
     store.clear()
     assert len(store) == 0
     store.clear()                    # idempotent on a missing dir too
+
+
+def test_atomic_replace_publishes_complete_files(tmp_path):
+    target = atomic_replace(tmp_path / "dir", "entry.bin", b"first")
+    assert target.read_bytes() == b"first"
+    # replacing is atomic and in place: same path, new bytes
+    assert atomic_replace(tmp_path / "dir", "entry.bin", b"second") == target
+    assert target.read_bytes() == b"second"
+    # no temp files survive a successful publish
+    assert sorted(p.name for p in (tmp_path / "dir").iterdir()) == ["entry.bin"]
+
+
+def _race_writer(root, keys, value_of, rounds):
+    store = PredictionStore("ns", root=root)
+    for _ in range(rounds):
+        for key in keys:
+            store.put(key, value_of(key))
+
+
+def _value_of(key):
+    return {"dop": key[1] * 2}
+
+
+def test_concurrent_writers_racing_the_same_namespace(tmp_path):
+    """Two processes rewriting the same keys: last rename wins, and both
+    renames carried the same deterministic value — readers never see a
+    torn or foreign entry."""
+    keys = [("k", i) for i in range(10)]
+    ctx = multiprocessing.get_context("fork")
+    workers = [ctx.Process(target=_race_writer,
+                           args=(tmp_path, keys, _value_of, 20))
+               for _ in range(2)]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    store = PredictionStore("ns", root=tmp_path)
+    assert len(store) == len(keys)
+    assert dict(store.entries()) == {key: _value_of(key) for key in keys}
+    assert store.skipped == 0
+    # the atomic-publish discipline leaves no temp droppings behind
+    assert not list(store.dir.glob("*.tmp"))
+
+
+def test_corrupt_entry_healing_under_concurrent_writers(tmp_path):
+    """A reader healing corrupt entries while writers race stays sound."""
+    keys = [("k", i) for i in range(10)]
+    store = PredictionStore("ns", root=tmp_path)
+    # plant corruption the concurrent writers will never rewrite
+    store.dir.mkdir(parents=True, exist_ok=True)
+    for name in ("00bad.pkl", "ffbad.pkl"):
+        (store.dir / name).write_bytes(b"\x80\x04 torn")
+
+    ctx = multiprocessing.get_context("fork")
+    workers = [ctx.Process(target=_race_writer,
+                           args=(tmp_path, keys, _value_of, 10))
+               for _ in range(2)]
+    for proc in workers:
+        proc.start()
+    try:
+        # read (and heal) repeatedly while the writers are still racing:
+        # every snapshot must parse, and good entries carry good values
+        while any(proc.is_alive() for proc in workers):
+            for key, value in store.entries():
+                assert value == _value_of(key)
+    finally:
+        for proc in workers:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+    entries = dict(store.entries())
+    assert entries == {key: _value_of(key) for key in keys}
+    assert store.skipped == 2
+    assert not (store.dir / "00bad.pkl").exists()
+    assert not (store.dir / "ffbad.pkl").exists()
 
 
 def test_sharded_warm_start_round_trip(trained_model, tmp_path):
