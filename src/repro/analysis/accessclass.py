@@ -291,6 +291,102 @@ class AffineForm:
 
 
 # ---------------------------------------------------------------------------
+# Quotient/remainder derived variables
+# ---------------------------------------------------------------------------
+
+#: Rank band for derived quotient/remainder variables: slower than any
+#: loop counter (negative ranks) but faster than worklist claims (50) and
+#: work-item ids (100+), so they stay per-work-item in the race pairing.
+DIVMOD_RANK = 10
+
+
+@dataclass(frozen=True)
+class DivModDef:
+    """One ``base / divisor`` + ``base % divisor`` decomposition.
+
+    ``quot`` and ``rem`` are fresh index variables tied together by the
+    exact encoding ``base == divisor*quot + rem, 0 <= rem < divisor``,
+    which the verifier materialises as solver constraints once the
+    divisor resolves to a positive integer at specialization time.  The
+    encoding matches C's truncating ``/``/``%`` only for ``base >= 0``;
+    the verifier enforces that via the base's interval before trusting
+    the pair.
+    """
+
+    base: AffineForm
+    divisor: Coeff
+    quot: IndexVar
+    rem: IndexVar
+
+
+class DivModRegistry:
+    """Interns (dividend form, divisor) pairs into shared (q, r) variables.
+
+    ``id / K`` and ``id % K`` in one kernel must map to the *same*
+    quotient/remainder pair for the defining equation to tie them
+    together — that is the whole point of the encoding.  Keys are the
+    structural identity of the dividend's affine form plus the divisor's
+    symbolic coefficient, so chained decompositions (a 3-D id split) nest
+    naturally: the outer quotient is itself a registered variable and can
+    serve as a later dividend.
+    """
+
+    def __init__(self):
+        self.defs: dict[IndexVar, DivModDef] = {}
+        self._by_key: dict[tuple, DivModDef] = {}
+
+    @staticmethod
+    def _form_key(form: AffineForm) -> tuple:
+        vars_key = tuple(sorted(
+            ((v.name, v.rank), c.terms)
+            for v, c in form.vars.items() if not c.is_zero))
+        return (vars_key, form.const.terms)
+
+    def resolve(self, dividend: AffineForm, divisor_form: AffineForm,
+                kind: str) -> Optional[AffineForm]:
+        """The q (``kind="div"``) or r (``"mod"``) form, or None to punt.
+
+        Only index-dependent affine dividends with an index-free affine
+        divisor are modelled; everything else keeps the legacy
+        (non-affine) behaviour so callers outside the verifier see no
+        change.
+        """
+        for form in (dividend, divisor_form):
+            if form.indirect or form.nonaffine or form.unknown_base:
+                return None
+        if divisor_form.has_vars or not dividend.has_vars:
+            return None
+        divisor = divisor_form.const
+        if divisor.is_zero:
+            return None
+        key = (self._form_key(dividend), divisor.terms)
+        definition = self._by_key.get(key)
+        if definition is None:
+            serial = len(self._by_key)
+            definition = DivModDef(
+                base=dividend, divisor=divisor,
+                quot=IndexVar(f"q{serial}", DIVMOD_RANK),
+                rem=IndexVar(f"r{serial}", DIVMOD_RANK),
+            )
+            self._by_key[key] = definition
+            self.defs[definition.quot] = definition
+            self.defs[definition.rem] = definition
+        return AffineForm.variable(
+            definition.quot if kind == "div" else definition.rem)
+
+    def base_vars(self, var: IndexVar) -> list[IndexVar]:
+        """Transitive underlying variables of a derived variable."""
+        definition = self.defs.get(var)
+        if definition is None:
+            return [var]
+        out: list[IndexVar] = []
+        for base_var, coeff in definition.base.vars.items():
+            if not coeff.is_zero:
+                out.extend(self.base_vars(base_var))
+        return out
+
+
+# ---------------------------------------------------------------------------
 # Expression evaluation into affine forms
 # ---------------------------------------------------------------------------
 
@@ -304,9 +400,14 @@ class AffineEvaluator:
     ``A[i * n + j]`` remain inspectable.
     """
 
-    def __init__(self, info: KernelInfo, env: dict[str, AffineForm]):
+    def __init__(self, info: KernelInfo, env: dict[str, AffineForm],
+                 divmod: Optional[DivModRegistry] = None):
         self.info = info
         self.env = env
+        #: opt-in quotient/remainder modelling; ``None`` (the default, used
+        #: by feature extraction) keeps ``/``/``%`` of index expressions
+        #: non-affine exactly as before
+        self.divmod = divmod
 
     def eval(self, expr: ast.Expr) -> AffineForm:
         method = getattr(self, f"_eval_{type(expr).__name__}", None)
@@ -345,8 +446,18 @@ class AffineEvaluator:
         if expr.op == "*":
             return left * right
         if expr.op in ("/", ">>"):
+            if expr.op == ">>" and isinstance(expr.right, ast.IntLiteral):
+                right = AffineForm.literal(1 << expr.right.value)
+            if self.divmod is not None:
+                derived = self.divmod.resolve(left, right, "div")
+                if derived is not None:
+                    return derived
             return left.divided(right)
         if expr.op == "%":
+            if self.divmod is not None:
+                derived = self.divmod.resolve(left, right, "mod")
+                if derived is not None:
+                    return derived
             indirect = left.indirect or right.indirect
             return AffineForm(indirect=indirect, nonaffine=True)
         if expr.op == "<<":

@@ -39,6 +39,7 @@ from ..frontend.semantics import (
 from .accessclass import (
     AffineEvaluator,
     AffineForm,
+    DivModRegistry,
     IndexVar,
     loop_var,
 )
@@ -180,6 +181,22 @@ class AccessModel:
     #: different-phase local pairs as synchronised.
     phases_valid: bool = True
     deref_store: bool = False
+    #: interned quotient/remainder variables for ``/``/``%`` of index
+    #: expressions; the verifier turns each into an exact defining
+    #: equation (``base == K*q + r, 0 <= r < K``) at specialization time
+    divmod: DivModRegistry = field(default_factory=DivModRegistry)
+
+    def sync_rank_vars(self, form: AffineForm) -> list[IndexVar]:
+        """Variables of ``form`` at or above :data:`CLAIM_RANK`, seeing
+        *through* derived quotient/remainder variables to their bases."""
+        out = []
+        for var, coeff in form.vars.items():
+            if coeff.is_zero:
+                continue
+            for base in self.divmod.base_vars(var):
+                if base.rank >= CLAIM_RANK:
+                    out.append(base)
+        return out
 
 
 _ATOMIC_BUILTINS = frozenset(
@@ -200,7 +217,7 @@ class _ModelWalker:
         self.info = info
         self.model = model
         self.env: dict[str, AffineForm] = {}
-        self.evaluator = AffineEvaluator(info, self.env)
+        self.evaluator = AffineEvaluator(info, self.env, divmod=model.divmod)
         self.guard_stack: list[Guard] = []
         self.loop_stack: list[LoopInfo] = []
         self.buffer_alias: dict[str, Optional[tuple[str, str]]] = {}
@@ -278,8 +295,7 @@ class _ModelWalker:
                 if form is not None:
                     if form.indirect:
                         data_dep = True
-                    if any(v.rank >= CLAIM_RANK and not c.is_zero
-                           for v, c in form.vars.items()):
+                    if self.model.sync_rank_vars(form):
                         id_dep = True
                     if form.unknown_base:
                         data_dep = True
@@ -439,10 +455,8 @@ class _ModelWalker:
             bound = loop.bound
             if loop.irregular or bound is None:
                 reasons.append("loop with irregular trip count")
-            elif bound.indirect or bound.unknown_base or any(
-                v.rank >= CLAIM_RANK and not c.is_zero
-                for v, c in bound.vars.items()
-            ):
+            elif bound.indirect or bound.unknown_base \
+                    or self.model.sync_rank_vars(bound):
                 reasons.append("loop with work-item-dependent trip count")
         divergent = bool(reasons)
         self.model.barriers.append(

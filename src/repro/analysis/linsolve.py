@@ -1,34 +1,42 @@
-"""Bounded integer linear-equation solver for the race/OOB verifier.
+"""Bounded integer linear-constraint solver for the race/OOB verifier.
 
 The race detector reduces "can two distinct work-items touch the same
-address?" to satisfiability of one linear Diophantine equation
+address?" to satisfiability of a system of linear constraints
 
-    ``sum_i a_i * x_i + c == 0``
+    ``sum_i a_i * x_i + c  OP  0``        with OP in {==, !=, <, <=, >, >=}
 
 over box-constrained integer variables (id deltas, per-access loop
-counters).  This module decides such systems *exactly* within a node
-budget, returning
+counters, and the quotient/remainder variables that model the ``/``/``%``
+id decompositions generated schedulers emit: ``q = id / K, r = id % K``
+becomes the exact system ``id - K*q - r == 0, 0 <= r <= K-1``).  This
+module decides such systems *exactly* within a node budget, returning
 
 * ``SAT`` with a concrete witness assignment,
 * ``UNSAT`` (a proof: no assignment exists inside the boxes), or
 * ``UNKNOWN`` when the search exceeds its budget (never wrong, only
   incomplete — callers must treat it as "outside the envelope").
 
-The search assigns the largest-|coefficient| variable first and prunes
-with two exact tests per node: the interval test (the remaining terms'
-achievable range must cover the residual) and the gcd congruence test
-(the residual must be divisible by the gcd of the remaining
-coefficients).  For the affine forms real kernels produce — a handful of
-variables whose coefficients are 1, the row length, or the local size —
-the first variable's candidate interval typically collapses to a few
-values and the search finishes in microseconds.
+The search assigns the variable with the largest |coefficient| across
+the system first and prunes every constraint at every node: equalities
+with the interval test (the remaining terms' achievable range must cover
+the residual) and the gcd congruence test, inequalities with the
+corresponding one-sided interval test.  For the affine forms real
+kernels produce — a handful of variables whose coefficients are 1, the
+row length, or the local size — the first variable's candidate interval
+typically collapses to a few values and the search finishes in
+microseconds.  The gcd test is what makes the div/mod encodings cheap:
+``id == K*q + r`` with ``|r| < K`` forces the remainder delta to zero by
+congruence before any enumeration happens.
+
+``Verdict.nodes`` reports how many search nodes a decision consumed, so
+callers can export solver effort (and budget exhaustion) as metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from math import ceil, floor, gcd
-from typing import Optional
+from typing import Optional, Sequence
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -37,13 +45,47 @@ UNKNOWN = "unknown"
 #: Search nodes before giving up (an exact budget, not a timeout).
 DEFAULT_NODE_BUDGET = 50_000
 
+#: Comparison operators a constraint may carry (all against zero).
+OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``sum(terms[v] * v) + const  op  0`` over the shared boxes."""
+
+    terms: dict[str, int]
+    const: int
+    op: str = "=="
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"unknown constraint operator {self.op!r}")
+
+    def holds(self, total: int) -> bool:
+        if self.op == "==":
+            return total == 0
+        if self.op == "!=":
+            return total != 0
+        if self.op == "<":
+            return total < 0
+        if self.op == "<=":
+            return total <= 0
+        if self.op == ">":
+            return total > 0
+        return total >= 0
+
 
 @dataclass(frozen=True)
 class Verdict:
-    """Solver outcome; ``witness`` maps variable name -> value when SAT."""
+    """Solver outcome; ``witness`` maps variable name -> value when SAT.
+
+    ``nodes`` counts search nodes consumed (cumulative across case
+    splits for the disjunctive wrappers).
+    """
 
     status: str
     witness: Optional[dict[str, int]] = None
+    nodes: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -59,88 +101,190 @@ def _term_interval(coeff: int, lo: int, hi: int) -> tuple[int, int]:
     return (a, b) if a <= b else (b, a)
 
 
-def solve_linear(
-    terms: dict[str, int],
-    constant: int,
+class _CState:
+    """Per-constraint search state against the global variable order."""
+
+    __slots__ = ("op", "coeffs", "rest_lo", "rest_hi", "rest_gcd")
+
+    def __init__(self, constraint: Constraint,
+                 order: dict[str, int], n: int):
+        self.op = constraint.op
+        # coeffs[i] = coefficient of the i-th order variable (0 if absent)
+        self.coeffs = [0] * n
+        for name, coeff in constraint.terms.items():
+            if coeff:
+                self.coeffs[order[name]] = coeff
+
+    def finish(self, boxes: list[tuple[int, int]], n: int) -> None:
+        self.rest_lo = [0] * (n + 1)
+        self.rest_hi = [0] * (n + 1)
+        self.rest_gcd = [0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            coeff = self.coeffs[i]
+            t_lo = t_hi = 0
+            if coeff:
+                t_lo, t_hi = _term_interval(coeff, *boxes[i])
+            self.rest_lo[i] = self.rest_lo[i + 1] + t_lo
+            self.rest_hi[i] = self.rest_hi[i + 1] + t_hi
+            self.rest_gcd[i] = gcd(abs(coeff), self.rest_gcd[i + 1])
+
+    def feasible(self, i: int, residual: int) -> bool:
+        """May constraint still hold given terms ``i..`` are unassigned?"""
+        lo = residual + self.rest_lo[i]
+        hi = residual + self.rest_hi[i]
+        if self.op == "==":
+            if not (lo <= 0 <= hi):
+                return False
+            g = self.rest_gcd[i]
+            return not (g and residual % g != 0)
+        if self.op == "!=":
+            return not (lo == hi == 0)
+        if self.op == "<":
+            return lo < 0
+        if self.op == "<=":
+            return lo <= 0
+        if self.op == ">":
+            return hi > 0
+        return hi >= 0
+
+    def narrow(self, i: int, residual: int,
+               v_lo: int, v_hi: int) -> tuple[int, int]:
+        """Tighten the branch variable's candidate interval at node ``i``."""
+        coeff = self.coeffs[i]
+        if not coeff or self.op == "!=":
+            return v_lo, v_hi
+        # coeff*v must satisfy the constraint once the best/worst case of
+        # the remaining terms i+1.. is accounted for.
+        if self.op == "==":
+            lo_t = -residual - self.rest_hi[i + 1]
+            hi_t = -residual - self.rest_lo[i + 1]
+        elif self.op in ("<", "<="):
+            lo_t = None
+            hi_t = -residual - self.rest_lo[i + 1]
+            if self.op == "<":
+                hi_t -= 1
+        else:  # ">", ">="
+            lo_t = -residual - self.rest_hi[i + 1]
+            if self.op == ">":
+                lo_t += 1
+            hi_t = None
+        if coeff > 0:
+            if lo_t is not None:
+                v_lo = max(v_lo, ceil(lo_t / coeff))
+            if hi_t is not None:
+                v_hi = min(v_hi, floor(hi_t / coeff))
+        else:
+            if hi_t is not None:
+                v_lo = max(v_lo, ceil(hi_t / coeff))
+            if lo_t is not None:
+                v_hi = min(v_hi, floor(lo_t / coeff))
+        return v_lo, v_hi
+
+
+def solve_system(
+    constraints: Sequence[Constraint],
     bounds: dict[str, tuple[int, int]],
     node_budget: int = DEFAULT_NODE_BUDGET,
 ) -> Verdict:
-    """Decide ``sum(terms[v] * v) + constant == 0`` over inclusive boxes.
+    """Decide a conjunction of linear constraints over inclusive boxes.
 
-    ``bounds`` must cover every variable in ``terms``; variables bound in
-    ``bounds`` but absent from ``terms`` (zero coefficient) only need a
-    non-empty box and take their lower bound in the witness.
+    ``bounds`` must cover every variable appearing in any constraint;
+    variables bound in ``bounds`` but absent from every constraint take
+    their lower bound in the witness.
     """
     for name, (lo, hi) in bounds.items():
         if lo > hi:
             return Verdict(UNSAT)
 
-    live: list[tuple[str, int, int, int]] = []
-    for name, coeff in terms.items():
-        if coeff == 0:
-            continue
-        if name not in bounds:
-            raise ValueError(f"unbounded variable {name!r}")
-        lo, hi = bounds[name]
-        live.append((name, coeff, lo, hi))
-    # Largest |coefficient| first: its candidate interval is narrowest.
-    live.sort(key=lambda item: -abs(item[1]))
+    # Global variable order: first appearance across constraints, then a
+    # stable sort by largest |coefficient| anywhere in the system (its
+    # candidate interval is narrowest).
+    first_seen: dict[str, int] = {}
+    max_coeff: dict[str, int] = {}
+    live_constraints: list[Constraint] = []
+    for constraint in constraints:
+        has_terms = False
+        for name, coeff in constraint.terms.items():
+            if coeff == 0:
+                continue
+            has_terms = True
+            if name not in bounds:
+                raise ValueError(f"unbounded variable {name!r}")
+            first_seen.setdefault(name, len(first_seen))
+            max_coeff[name] = max(max_coeff.get(name, 0), abs(coeff))
+        if has_terms:
+            live_constraints.append(constraint)
+        elif not constraint.holds(constraint.const):
+            return Verdict(UNSAT)
 
-    # Suffix interval sums: rest_lo[i], rest_hi[i] = achievable range of
-    # terms i..end; rest_gcd[i] = gcd of coefficients i..end.
-    n = len(live)
-    rest_lo = [0] * (n + 1)
-    rest_hi = [0] * (n + 1)
-    rest_gcd = [0] * (n + 1)
-    for i in range(n - 1, -1, -1):
-        _, coeff, lo, hi = live[i]
-        t_lo, t_hi = _term_interval(coeff, lo, hi)
-        rest_lo[i] = rest_lo[i + 1] + t_lo
-        rest_hi[i] = rest_hi[i + 1] + t_hi
-        rest_gcd[i] = gcd(abs(coeff), rest_gcd[i + 1])
+    names = sorted(first_seen, key=lambda v: first_seen[v])
+    names.sort(key=lambda v: -max_coeff[v])
+    order = {name: i for i, name in enumerate(names)}
+    n = len(names)
+    boxes = [bounds[name] for name in names]
+
+    states = [_CState(c, order, n) for c in live_constraints]
+    for state in states:
+        state.finish(boxes, n)
+    residual0 = [c.const for c in live_constraints]
 
     budget = [node_budget]
     assignment: dict[str, int] = {}
 
-    def search(i: int, residual: int) -> Optional[str]:
-        """Solve terms i.. == -residual; returns SAT/None, raises on budget."""
+    def search(i: int, residuals: list[int]) -> Optional[str]:
         if budget[0] <= 0:
             return UNKNOWN
         budget[0] -= 1
+        for state, residual in zip(states, residuals):
+            if not state.feasible(i, residual):
+                return None
         if i == n:
-            return SAT if residual == 0 else None
-        if not (rest_lo[i] <= -residual <= rest_hi[i]):
-            return None
-        g = rest_gcd[i]
-        if g and residual % g != 0:
-            return None
-        name, coeff, lo, hi = live[i]
-        # coeff * v must land in [-residual - rest_hi[i+1], -residual - rest_lo[i+1]]
-        lo_t = -residual - rest_hi[i + 1]
-        hi_t = -residual - rest_lo[i + 1]
-        if coeff > 0:
-            v_lo = max(lo, ceil(lo_t / coeff))
-            v_hi = min(hi, floor(hi_t / coeff))
-        else:
-            v_lo = max(lo, ceil(hi_t / coeff))
-            v_hi = min(hi, floor(lo_t / coeff))
+            return SAT
+        name = names[i]
+        v_lo, v_hi = boxes[i]
+        for state, residual in zip(states, residuals):
+            v_lo, v_hi = state.narrow(i, residual, v_lo, v_hi)
+            if v_lo > v_hi:
+                return None
         for v in range(v_lo, v_hi + 1):
             assignment[name] = v
-            result = search(i + 1, residual + coeff * v)
+            nxt = [residual + state.coeffs[i] * v
+                   for state, residual in zip(states, residuals)]
+            result = search(i + 1, nxt)
             if result is not None:
                 return result
             del assignment[name]
         return None
 
-    result = search(0, constant)
+    result = search(0, residual0)
+    nodes = node_budget - budget[0]
     if result == UNKNOWN:
-        return Verdict(UNKNOWN)
+        return Verdict(UNKNOWN, nodes=nodes)
     if result == SAT:
         witness = dict(assignment)
         for name, (lo, hi) in bounds.items():
             witness.setdefault(name, lo)
-        return Verdict(SAT, witness)
-    return Verdict(UNSAT)
+        return Verdict(SAT, witness, nodes=nodes)
+    return Verdict(UNSAT, nodes=nodes)
+
+
+def solve_linear(
+    terms: dict[str, int],
+    constant: int,
+    bounds: dict[str, tuple[int, int]],
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    extra: Sequence[Constraint] = (),
+) -> Verdict:
+    """Decide ``sum(terms[v] * v) + constant == 0`` over inclusive boxes.
+
+    ``extra`` appends side constraints (div/mod defining equations, guard
+    inequalities) to the system; the main equation is branched first, so
+    the historical single-equation search order — and its witnesses — are
+    preserved when ``extra`` is empty.
+    """
+    system = [Constraint(terms, constant, "==")]
+    system.extend(extra)
+    return solve_system(system, bounds, node_budget)
 
 
 def solve_with_nonzero(
@@ -150,8 +294,9 @@ def solve_with_nonzero(
     nonzero: list[str],
     extra_nonzero: list[str] = (),
     node_budget: int = DEFAULT_NODE_BUDGET,
+    extra: Sequence[Constraint] = (),
 ) -> Verdict:
-    """Decide the equation subject to a disjunctive distinctness constraint.
+    """Decide the system subject to a disjunctive distinctness constraint.
 
     Finds a solution where *at least one* variable in ``nonzero`` is
     non-zero and *every* variable in ``extra_nonzero`` is non-zero — the
@@ -190,15 +335,19 @@ def solve_with_nonzero(
             yield from subproblems(rest, branched)
 
     saw_unknown = False
+    nodes = 0
     for primary in nonzero:
         for primary_box in sign_boxes(primary):
             base = dict(bounds)
             base[primary] = primary_box
             extras = [v for v in extra_nonzero if v != primary]
             for boxed in subproblems(extras, base):
-                verdict = solve_linear(terms, constant, boxed, node_budget)
+                verdict = solve_linear(terms, constant, boxed, node_budget,
+                                       extra=extra)
+                nodes += verdict.nodes
                 if verdict.is_sat:
-                    return verdict
+                    return Verdict(SAT, verdict.witness, nodes=nodes)
                 if verdict.status == UNKNOWN:
                     saw_unknown = True
-    return Verdict(UNKNOWN) if saw_unknown else Verdict(UNSAT)
+    status = UNKNOWN if saw_unknown else UNSAT
+    return Verdict(status, nodes=nodes)

@@ -148,12 +148,20 @@ class BaselineDiff:
 
     new: list[str] = field(default_factory=list)
     removed: list[str] = field(default_factory=list)
+    #: verdict transitions toward clean (e.g. unknown -> clean): the
+    #: baseline is stale in a *good* way and should be regenerated
+    improved: list[str] = field(default_factory=list)
+    #: verdict transitions away from clean (e.g. clean -> unknown): a
+    #: precision regression, failed like a new diagnostic
+    regressed: list[str] = field(default_factory=list)
     schema_changed: bool = False
 
     @property
     def clean(self) -> bool:
-        """CI gate: no new diagnostics (removed ones only warn)."""
-        return not self.new and not self.schema_changed
+        """CI gate: no new diagnostics and no verdict regressions
+        (removed diagnostics / improved verdicts only warn)."""
+        return not self.new and not self.regressed \
+            and not self.schema_changed
 
 
 def _diagnostic_keys(document: dict) -> set[tuple]:
@@ -176,10 +184,34 @@ def _describe(key: tuple) -> str:
     return f"{kernel}: {line}:{column}: {severity}: [{code}] {message}"
 
 
+#: Partial order of verdict strength per pass: higher is better.  A
+#: transition to a higher rank is an "improved" verdict (baseline stale in
+#: a good way), to a lower rank a regression (fails the CI gate like a new
+#: diagnostic).  ``eligible``/``ineligible`` are the vectorize pass's pair.
+_VERDICT_RANK = {
+    "diagnosed": 0,
+    "ineligible": 0,
+    "unknown": 1,
+    "eligible": 2,
+    "clean": 2,
+}
+
+
+def _verdict_map(document: dict) -> dict[tuple[str, str], str]:
+    """``(kernel, pass) -> verdict`` for every report in a lint document."""
+    verdicts: dict[tuple[str, str], str] = {}
+    for report in document.get("reports", []):
+        kernel = report.get("kernel", "")
+        for pass_name, verdict in (report.get("verdicts") or {}).items():
+            verdicts[(kernel, pass_name)] = verdict
+    return verdicts
+
+
 def diff_baseline(current_json: str, baseline_json: str) -> BaselineDiff:
     """Compare a freshly generated lint document against the committed
-    baseline.  ``new`` diagnostics fail CI; ``removed`` ones mean the
-    baseline is stale and should be regenerated."""
+    baseline.  ``new`` diagnostics and ``regressed`` verdicts fail CI;
+    ``removed`` / ``improved`` ones mean the baseline is stale and should
+    be regenerated."""
     current = json.loads(current_json)
     baseline = json.loads(baseline_json)
     diff = BaselineDiff(
@@ -189,4 +221,40 @@ def diff_baseline(current_json: str, baseline_json: str) -> BaselineDiff:
     then = _diagnostic_keys(baseline)
     diff.new = sorted(_describe(k) for k in now - then)
     diff.removed = sorted(_describe(k) for k in then - now)
+    now_verdicts = _verdict_map(current)
+    then_verdicts = _verdict_map(baseline)
+    for key in sorted(set(now_verdicts) & set(then_verdicts)):
+        before, after = then_verdicts[key], now_verdicts[key]
+        if before == after:
+            continue
+        rank_before = _VERDICT_RANK.get(before, 1)
+        rank_after = _VERDICT_RANK.get(after, 1)
+        line = f"{key[0]}: {key[1]}: {before} -> {after}"
+        if rank_after > rank_before:
+            diff.improved.append(line)
+        elif rank_after < rank_before:
+            diff.regressed.append(line)
     return diff
+
+
+# -- verdict statistics (``dopia lint --stats``) -----------------------------
+
+
+def verdict_summary(document: dict) -> dict[str, dict[str, int]]:
+    """``pass -> verdict -> count`` over every report in a lint document."""
+    summary: dict[str, dict[str, int]] = {}
+    for report in document.get("reports", []):
+        for pass_name, verdict in (report.get("verdicts") or {}).items():
+            summary.setdefault(pass_name, {})
+            summary[pass_name][verdict] = \
+                summary[pass_name].get(verdict, 0) + 1
+    return summary
+
+
+def unknown_entries(document: dict) -> list[str]:
+    """``kernel#pass`` keys of every ``unknown`` verdict in a document —
+    the currency of the ``--stats`` ratchet and its allowlist."""
+    return sorted(
+        f"{kernel}#{pass_name}"
+        for (kernel, pass_name), verdict in _verdict_map(document).items()
+        if verdict == "unknown")

@@ -55,9 +55,11 @@ from typing import Any, Mapping, Optional
 import weakref
 
 from ..frontend.semantics import KernelInfo
+from ..obs import tracer
 from .accessclass import (
     AffineForm,
     Coeff,
+    DivModDef,
     IndexVar,
     group_id_var,
     local_id_var,
@@ -73,7 +75,13 @@ from .accessmodel import (
     build_access_model,
 )
 from .diagnostics import Diagnostic, VerifyReport
-from .linsolve import Verdict, solve_with_nonzero
+from .linsolve import (
+    UNKNOWN as SOLVE_UNKNOWN,
+    Constraint,
+    Verdict,
+    solve_system,
+    solve_with_nonzero,
+)
 
 POLICY_ENV = "DOPIA_VERIFY"
 POLICIES = ("off", "warn", "raise")
@@ -197,6 +205,18 @@ class _ResGuard:
 
 
 @dataclass
+class _SpecDivMod:
+    """One derived q/r pair resolved for a launch: the defining equation
+    ``base_terms + base_const == k*quot + rem`` with ``0 <= rem < k``."""
+
+    quot: IndexVar
+    rem: IndexVar
+    base_terms: dict[IndexVar, int]
+    base_const: int
+    k: int
+
+
+@dataclass
 class _SpecAccess:
     """One access specialised for a launch: integer terms, boxes, guards."""
 
@@ -208,6 +228,9 @@ class _SpecAccess:
     raw_guards: list[Guard]
     dead: bool
     space: str  # var space used: "gid" or "split"
+    #: defining equations for every derived quotient/remainder variable
+    #: the address or guards mention (resolved in ``space``)
+    divmods: list[_SpecDivMod] = None
 
     def box(self, var: IndexVar) -> Optional[tuple[int, int]]:
         return self.boxes.get(var)
@@ -241,6 +264,14 @@ class _Specializer:
             env[f"<get_global_offset:{d}>"] = self.offset[d]
         env["<get_work_dim:0>"] = self.work_dim
         self.env = env
+        #: solver-effort accounting, exported as ``verify.*`` counters
+        self.solver_nodes = 0
+        self.budget_exhausted = 0
+
+    def note_solve(self, verdict: Verdict) -> None:
+        self.solver_nodes += verdict.nodes
+        if verdict.status == SOLVE_UNKNOWN:
+            self.budget_exhausted += 1
 
     # -- integer resolution ----------------------------------------------------
 
@@ -299,7 +330,74 @@ class _Specializer:
         if 300 <= rank < 400:
             d = rank - 300
             return (0, self.ngroups[d] - 1)
+        definition = self.model.divmod.defs.get(var)
+        if definition is not None:
+            return self._divmod_box(var, definition, loop_map)
         return None
+
+    def _divmod_box(
+        self, var: IndexVar, definition: DivModDef,
+        loop_map: Mapping[IndexVar, LoopInfo],
+    ) -> Optional[tuple[int, int]]:
+        """Box a derived quotient/remainder variable from its base's range.
+
+        Sound only when the divisor resolves to a positive integer and the
+        base is provably non-negative (C's truncating ``/``/``%`` and the
+        floor-division encoding agree exactly there); anything else stays
+        unboxed and the access demotes to "unknown" as before.
+        """
+        k = self.coeff_int(definition.divisor)
+        if k is None or k <= 0:
+            return None
+        base_box = self.form_box(definition.base, loop_map)
+        if base_box is None or base_box[0] < 0:
+            return None
+        if var == definition.quot:
+            return (base_box[0] // k, base_box[1] // k)
+        return (0, min(k - 1, base_box[1]))
+
+    def form_box(
+        self, form: AffineForm, loop_map: Mapping[IndexVar, LoopInfo]
+    ) -> Optional[tuple[int, int]]:
+        """The achievable interval of an affine form (space-independent:
+        a gid's range equals its lid/grp expansion's range)."""
+        resolved = self.resolve_form(form, "gid")
+        if resolved is None:
+            return None
+        terms, const = resolved
+        lo = hi = const
+        for var, coeff in terms.items():
+            box = self.natural_box(var, loop_map)
+            if box is None:
+                return None
+            a, b = coeff * box[0], coeff * box[1]
+            lo += min(a, b)
+            hi += max(a, b)
+        return lo, hi
+
+    def _expand_divmod(
+        self, needed: set[IndexVar], loop_map: Mapping[IndexVar, LoopInfo],
+    ) -> list[DivModDef]:
+        """Close ``needed`` over derived-variable definitions: every q/r
+        variable pulls in its partner and its base's variables (chained
+        decompositions recurse).  Returns the active definitions."""
+        defs = self.model.divmod.defs
+        active: dict[IndexVar, DivModDef] = {}
+        frontier = list(needed)
+        while frontier:
+            var = frontier.pop()
+            definition = defs.get(var)
+            if definition is None or definition.quot in active:
+                continue
+            active[definition.quot] = definition
+            more = [definition.quot, definition.rem]
+            more.extend(v for v, c in definition.base.vars.items()
+                        if not c.is_zero)
+            for new in more:
+                if new not in needed:
+                    needed.add(new)
+                    frontier.append(new)
+        return [active[key] for key in sorted(active, key=lambda v: v.name)]
 
     def _form_const(self, form: Optional[AffineForm]) -> Optional[int]:
         if form is None or form.has_vars or form.indirect or form.nonaffine:
@@ -356,6 +454,7 @@ class _Specializer:
         for d in range(self.work_dim):
             needed.add(local_id_var(d))
             needed.add(group_id_var(d))
+        active_defs = self._expand_divmod(needed, loop_map)
         boxes: dict[IndexVar, tuple[int, int]] = {}
         ok_guards: list[_ResGuard] = []
         for var in needed:
@@ -389,10 +488,23 @@ class _Specializer:
             if box[0] > box[1]:
                 dead = True
 
+        divmods: list[_SpecDivMod] = []
+        for definition in active_defs:
+            if definition.quot not in boxes:
+                continue  # unboxable pair: handled as an unbounded variable
+            k = self.coeff_int(definition.divisor)
+            base = self.resolve_form(definition.base, space)
+            if k is None or k <= 0 or base is None:
+                continue
+            divmods.append(_SpecDivMod(
+                quot=definition.quot, rem=definition.rem,
+                base_terms=base[0], base_const=base[1], k=k,
+            ))
+
         return _SpecAccess(
             access=access, terms=terms, const=const, boxes=boxes,
             res_guards=ok_guards, raw_guards=raw_guards, dead=dead,
-            space=space,
+            space=space, divmods=divmods,
         )
 
     # -- concrete guard-tree evaluation -----------------------------------------
@@ -492,7 +604,16 @@ def _tighten(box: tuple[int, int], a: int, c: int,
             return None
         le(-c)
         ge(-c)
-    # "!=" gives no box information
+    elif op == "!=" and (-c) % a == 0:
+        # An excluded value only shrinks the box when it sits on an edge
+        # (interior holes are not representable as an interval).
+        v = (-c) // a
+        if lo == hi == v:
+            return None
+        if v == lo:
+            lo += 1
+        elif v == hi:
+            hi -= 1
     return None if lo > hi else (lo, hi)
 
 
@@ -511,6 +632,9 @@ class _PairEquation:
     constant: int
     bounds: dict[str, tuple[int, int]]
     sync_vars: list[IndexVar]
+    #: side constraints solved alongside the address equation: each side's
+    #: q/r defining equations and its resolved affine guards
+    constraints: list[Constraint]
 
 
 def _assemble_pair(spec_a: _SpecAccess, spec_b: _SpecAccess,
@@ -521,6 +645,8 @@ def _assemble_pair(spec_a: _SpecAccess, spec_b: _SpecAccess,
         sync.update(v for v in spec.terms if _is_sync_var(v))
         for rg in spec.res_guards:
             sync.update(v for v in rg.terms if _is_sync_var(v))
+        for dm in spec.divmods:
+            sync.update(v for v in dm.base_terms if _is_sync_var(v))
     for d in range(work_dim):
         sync.add(local_id_var(d))
         sync.add(group_id_var(d))
@@ -544,6 +670,29 @@ def _assemble_pair(spec_a: _SpecAccess, spec_b: _SpecAccess,
         bounds[s_name] = box_a
         bounds[d_name] = (box_b[0] - box_a[1], box_b[1] - box_a[0])
 
+    def translate(side: str, spec: _SpecAccess,
+                  src: Mapping[IndexVar, int]) -> Optional[dict[str, int]]:
+        """Rename one side's IndexVar terms into the shared/delta/per-side
+        solver namespace (side B sees shared + delta for sync vars)."""
+        out: dict[str, int] = {}
+        for var, coeff in src.items():
+            if not coeff:
+                continue
+            if var in sync:
+                out[f"s:{var.name}"] = out.get(f"s:{var.name}", 0) + coeff
+                if side == "B":
+                    out[f"d:{var.name}"] = (
+                        out.get(f"d:{var.name}", 0) + coeff)
+            else:
+                name = f"{side}:{var.name}"
+                box = spec.box(var)
+                if box is None:
+                    return None
+                out[name] = out.get(name, 0) + coeff
+                bounds.setdefault(name, box)
+        return out
+
+    constraints: list[Constraint] = []
     for side, spec in (("A", spec_a), ("B", spec_b)):
         sign = 1 if side == "A" else -1
         for var, coeff in spec.terms.items():
@@ -555,16 +704,27 @@ def _assemble_pair(spec_a: _SpecAccess, spec_b: _SpecAccess,
             name = f"{side}:{var.name}"
             terms[name] = terms.get(name, 0) + sign * coeff
             bounds[name] = box
-        for rg in spec.res_guards:
-            for var in rg.terms:
-                if _is_sync_var(var):
-                    continue
+        for dm in spec.divmods:
+            base = translate(side, spec, dm.base_terms)
+            if base is None:
+                return None
+            for var, delta in ((dm.quot, -dm.k), (dm.rem, -1)):
                 box = spec.box(var)
-                if box is not None:
-                    bounds.setdefault(f"{side}:{var.name}", box)
+                if box is None:
+                    return None
+                name = f"{side}:{var.name}"
+                base[name] = base.get(name, 0) + delta
+                bounds.setdefault(name, box)
+            constraints.append(Constraint(base, dm.base_const, "=="))
+        for rg in spec.res_guards:
+            translated = translate(side, spec, rg.terms)
+            if translated is None:
+                continue  # unboxed guard var: checked concretely on witnesses
+            constraints.append(Constraint(translated, rg.const, rg.op))
 
     return _PairEquation(terms=terms, constant=constant, bounds=bounds,
-                         sync_vars=sorted(sync, key=lambda v: v.name))
+                         sync_vars=sorted(sync, key=lambda v: v.name),
+                         constraints=constraints)
 
 
 def _shared_claims(spec_a: _SpecAccess, spec_b: _SpecAccess):
@@ -663,7 +823,8 @@ def _validate_witness(
     witness = dict(witness)
     for var in eq.sync_vars:
         s_name = f"s:{var.name}"
-        if eq.terms.get(s_name, 0):
+        if eq.terms.get(s_name, 0) or any(
+                c.terms.get(s_name, 0) for c in eq.constraints):
             continue
         box_a = spec_a.box(var)
         box_b = spec_b.box(var)
@@ -682,6 +843,20 @@ def _validate_witness(
         for var, value in values.items():
             box = spec.box(var)
             if box is not None and not (box[0] <= value <= box[1]):
+                return None
+    # Derived q/r values must agree with their defining div/mod concretely
+    # (a safety net over the solver's encoding; also rejects witnesses
+    # where a base would be negative and C truncation diverges from it).
+    for values, spec in ((values_a, spec_a), (values_b, spec_b)):
+        for dm in spec.divmods:
+            base = dm.base_const
+            for var, coeff in dm.base_terms.items():
+                if var not in values:
+                    return None
+                base += coeff * values[var]
+            quot, rem = values.get(dm.quot), values.get(dm.rem)
+            if quot is None or rem is None or base < 0 \
+                    or quot != base // dm.k or rem != base % dm.k:
                 return None
     if ctx.guards_hold(spec_a, values_a) is not True:
         return None
@@ -847,7 +1022,9 @@ def _race_pair(ctx, model, space, buffer, a, b, spec_a, spec_b,
         if not nonzero:
             continue
         verdict: Verdict = solve_with_nonzero(
-            eq.terms, eq.constant, bounds, nonzero, extra)
+            eq.terms, eq.constant, bounds, nonzero, extra,
+            extra=eq.constraints)
+        ctx.note_solve(verdict)
         if verdict.is_unsat:
             continue
         if verdict.status != "sat":
@@ -932,6 +1109,16 @@ def _oob_access(ctx: _Specializer, model: AccessModel, access: Access,
         return "unknown"
     if spec.dead:
         return "in-bounds"
+    result = _oob_interval(ctx, model, access, spec, extent)
+    if result == "unknown":
+        # The per-variable interval test is blind to correlations (derived
+        # q/r pairs, multi-variable guards); decide exactly instead.
+        return _oob_solver(ctx, model, access, spec, extent)
+    return result
+
+
+def _oob_interval(ctx: _Specializer, model: AccessModel, access: Access,
+                  spec: _SpecAccess, extent: int):
     lo = hi = spec.const
     for var, coeff in spec.terms.items():
         box = spec.box(var)
@@ -964,7 +1151,7 @@ def _oob_access(ctx: _Specializer, model: AccessModel, access: Access,
         if ctx.guards_hold(spec, witness) is not True:
             return "unknown"
         code = "OOB002" if access.space in ("local", "private") else "OOB001"
-        gid = _gid_of_any(witness, ctx, space)
+        gid = _gid_of_any(witness, ctx, spec.space)
         op = "store to" if access.is_store else "load from"
         message = (
             f"out-of-bounds {op} {access.buffer}[{index}] "
@@ -976,6 +1163,84 @@ def _oob_access(ctx: _Specializer, model: AccessModel, access: Access,
             witness={"gid": list(gid)}, is_store=access.is_store,
         )
     return "unknown"
+
+
+def _oob_solver(ctx: _Specializer, model: AccessModel, access: Access,
+                spec: _SpecAccess, extent: int):
+    """Exact OOB decision via the constraint solver.
+
+    The interval/corner analysis treats each variable independently, so it
+    cannot see that a derived quotient and remainder are *correlated*
+    through their defining equation, nor that a multi-variable guard caps
+    the reachable addresses of a padded launch.  This path solves
+    ``addr >= extent`` / ``addr <= -1`` under the full constraint system
+    (defining equations plus resolved guards) instead.
+    """
+    bounds = {var.name: box for var, box in spec.boxes.items()}
+    by_name = {var.name: var for var in spec.boxes}
+
+    def translate(src: Mapping[IndexVar, int]) -> Optional[dict[str, int]]:
+        out: dict[str, int] = {}
+        for var, coeff in src.items():
+            if not coeff:
+                continue
+            if var.name not in bounds:
+                return None
+            out[var.name] = out.get(var.name, 0) + coeff
+        return out
+
+    system: list[Constraint] = []
+    for dm in spec.divmods:
+        base = translate(dm.base_terms)
+        if base is None or dm.quot.name not in bounds:
+            return "unknown"
+        base[dm.quot.name] = base.get(dm.quot.name, 0) - dm.k
+        base[dm.rem.name] = base.get(dm.rem.name, 0) - 1
+        system.append(Constraint(base, dm.base_const, "=="))
+    for rg in spec.res_guards:
+        translated = translate(rg.terms)
+        if translated is not None:
+            system.append(Constraint(translated, rg.const, rg.op))
+    addr = translate(spec.terms)
+    if addr is None:
+        return "unknown"
+
+    saw_unknown = False
+    for label, probe in (
+        ("overflow", Constraint(addr, spec.const - extent, ">=")),
+        ("underflow", Constraint(addr, spec.const + 1, "<=")),
+    ):
+        verdict = solve_system([probe, *system], bounds)
+        ctx.note_solve(verdict)
+        if verdict.is_unsat:
+            continue
+        if not verdict.is_sat:
+            saw_unknown = True
+            continue
+        values = {by_name[name]: value
+                  for name, value in verdict.witness.items()
+                  if name in by_name}
+        index = spec.const + sum(
+            c * values.get(v, 0) for v, c in spec.terms.items())
+        if any(loop.has_break for loop in access.loops):
+            saw_unknown = True
+            continue
+        if ctx.guards_hold(spec, values) is not True:
+            saw_unknown = True
+            continue
+        code = "OOB002" if access.space in ("local", "private") else "OOB001"
+        gid = _gid_of_any(values, ctx, spec.space)
+        op = "store to" if access.is_store else "load from"
+        message = (
+            f"out-of-bounds {op} {access.buffer}[{index}] "
+            f"({extent} elements) by work-item gid={list(gid)}"
+        )
+        return Diagnostic.at(
+            code, model.kernel, message, location=access.location,
+            buffer=access.buffer, index=index, extent=extent,
+            witness={"gid": list(gid)}, is_store=access.is_store,
+        )
+    return "unknown" if saw_unknown else "in-bounds"
 
 
 def _mixes_gid_and_split(form: AffineForm) -> bool:
@@ -1133,6 +1398,17 @@ def verify_launch(info: KernelInfo, launch: LaunchSpec) -> VerifyReport:
     vec_diags, vec_verdict = _run_vectorize_pass(info)
     report.extend(vec_diags)
     report.verdicts["vectorize"] = vec_verdict
+
+    if tracer.enabled:
+        # Solver-effort metrics: how hard the envelope is being pushed in
+        # production ("dopia stats" aggregates these counters).
+        tracer.counter("verify.solver_nodes", float(ctx.solver_nodes))
+        if ctx.budget_exhausted:
+            tracer.counter("verify.solver_budget_exhausted",
+                           float(ctx.budget_exhausted))
+        for name in ("races", "oob"):
+            if report.verdicts.get(name) == "unknown":
+                tracer.counter(f"verify.solver_unknown_total.{name}")
     return report
 
 

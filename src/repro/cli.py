@@ -412,27 +412,78 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for report in reports:
             print(report.render())
 
+    ratchet = _lint_stats(document, args.allow_unknown) if args.stats else 0
+
     if args.check:
         try:
             baseline = Path(args.check).read_text()
         except OSError as error:
             raise SystemExit(f"error: cannot read baseline: {error}")
         diff = diff_baseline(document, baseline)
+        for line in diff.improved:
+            print(f"lint: IMPROVED verdict: {line}", file=sys.stderr)
         for line in diff.removed:
-            print(f"lint: removed from baseline (regenerate it): {line}",
+            print(f"lint: removed from baseline: {line}", file=sys.stderr)
+        if diff.improved or diff.removed:
+            print("lint: baseline is stale; regenerate it with:",
                   file=sys.stderr)
+            print(f"lint:   PYTHONPATH=src python -m repro lint "
+                  f"{'--variants ' if args.variants else ''}--json "
+                  f"> {args.check}", file=sys.stderr)
         if diff.schema_changed:
             print("lint: schema version differs from baseline",
                   file=sys.stderr)
+        for line in diff.regressed:
+            print(f"lint: REGRESSED verdict: {line}", file=sys.stderr)
         for line in diff.new:
             print(f"lint: NEW diagnostic: {line}", file=sys.stderr)
         if not diff.clean:
             return 1
         print(f"lint: no new diagnostics across {len(reports)} report(s)",
               file=sys.stderr)
-        return 0
+        return ratchet
     errors = sum(len(r.by_severity(Severity.ERROR)) for r in reports)
-    return 1 if errors else 0
+    return 1 if errors else ratchet
+
+
+def _lint_stats(document_json: str, allowlist_path: Optional[str]) -> int:
+    """Per-verdict summary plus the *unknown ratchet*: exit non-zero when
+    any ``unknown`` verdict is not excused by the committed allowlist, so
+    the soundness envelope can only grow."""
+    import json
+
+    from .analysis.lint import unknown_entries, verdict_summary
+
+    document = json.loads(document_json)
+    summary = verdict_summary(document)
+    for pass_name in sorted(summary):
+        counts = ", ".join(
+            f"{verdict}={count}"
+            for verdict, count in sorted(summary[pass_name].items()))
+        print(f"lint: stats: {pass_name}: {counts}", file=sys.stderr)
+
+    unknowns = unknown_entries(document)
+    allowed: set[str] = set()
+    if allowlist_path:
+        try:
+            allowed = set(json.loads(Path(allowlist_path).read_text()))
+        except OSError as error:
+            raise SystemExit(f"error: cannot read allowlist: {error}")
+        except ValueError as error:
+            raise SystemExit(f"error: malformed allowlist: {error}")
+    for key in sorted(allowed - set(unknowns)):
+        print(f"lint: allowlist entry no longer unknown (ratchet it): {key}",
+              file=sys.stderr)
+    unexpected = [key for key in unknowns if key not in allowed]
+    for key in unexpected:
+        print(f"lint: UNKNOWN verdict outside allowlist: {key}",
+              file=sys.stderr)
+    if unexpected:
+        return 1
+    print(f"lint: stats: {len(unknowns)} unknown verdict(s), "
+          f"all allowlisted" if unknowns else
+          "lint: stats: no unknown verdicts", file=sys.stderr)
+    return 0
 
 
 def _launch_sizes(total: int, work_dim: int) -> tuple[int, ...]:
@@ -1150,7 +1201,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the stable, schema-versioned JSON document")
     p.add_argument("--check", default=None, metavar="PATH",
                    help="diff against a committed baseline (LINT_BASELINE."
-                        "json); exit 1 on any new diagnostic")
+                        "json); exit 1 on any new diagnostic or verdict "
+                        "regression")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-pass verdict counts and fail on any "
+                        "'unknown' verdict not excused by --allow-unknown")
+    p.add_argument("--allow-unknown", default=None, metavar="PATH",
+                   dest="allow_unknown",
+                   help="JSON list of 'kernel#pass' keys whose unknown "
+                        "verdicts are tolerated by --stats "
+                        "(LINT_ALLOWLIST.json)")
     p.add_argument("--name", help="kernel name for file targets")
     p.add_argument("--global-size", type=int, default=None, dest="global_size",
                    help="specialize file targets at this launch (default: "

@@ -16,6 +16,7 @@ Installed as the :class:`repro.cl.Interposer`, the runtime
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import deque
 from dataclasses import dataclass
@@ -240,10 +241,31 @@ class DopiaRuntime(Interposer):
         if work_dim not in artifacts.malleable:
             with self._artifact_lock:
                 if work_dim not in artifacts.malleable:
+                    self._verify_buildable(kernel)
                     artifacts.malleable[work_dim] = make_malleable(
                         kernel.info, work_dim=work_dim
                     )
         return artifacts.malleable[work_dim]
+
+    @staticmethod
+    def _verify_buildable(kernel: Kernel) -> None:
+        """Legality gate at build time: ``verify_kernel`` runs before the
+        malleable transform and, under ``DOPIA_VERIFY=raise``, a kernel
+        with ERROR diagnostics is refused rather than transformed.  The
+        default ``off`` costs one env lookup."""
+        if os.environ.get("DOPIA_VERIFY", "off").strip().lower() \
+                in ("", "off"):
+            return
+        from ..analysis.verify import (
+            apply_policy,
+            current_policy,
+            verify_kernel,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        apply_policy(verify_kernel(kernel.info), policy)
 
     def cpu_variant(self, kernel: Kernel, work_dim: int,
                     claims: str | None = None,
@@ -405,10 +427,38 @@ class DopiaRuntime(Interposer):
         spec = LaunchSpec.from_args(ndrange, args)
         apply_policy(verify_launch_cached(malleable.info, spec), policy)
 
+    @staticmethod
+    def _verify_admissible(kernel: Kernel, ndrange: NDRange) -> None:
+        """Launch-time legality gate on the original kernel.  Gated on
+        ``DOPIA_VERIFY``; reports are cached per (kernel, launch shape)."""
+        if os.environ.get("DOPIA_VERIFY", "off").strip().lower() \
+                in ("", "off"):
+            return
+        from ..analysis.verify import (
+            LaunchSpec,
+            apply_policy,
+            current_policy,
+            verify_launch_cached,
+        )
+
+        policy = current_policy()
+        if policy == "off":
+            return
+        try:
+            args = kernel.bound_args()
+        except Exception:
+            return  # arguments not fully bound: nothing to specialize
+        spec = LaunchSpec.from_args(ndrange, args)
+        apply_policy(verify_launch_cached(kernel.info, spec), policy)
+
     def _execute_functional(
         self, kernel: Kernel, ndrange: NDRange, prediction: Prediction
     ) -> None:
         setting = prediction.config.setting
+        # Legality gate: verify the *original* kernel for this launch
+        # before any variant is even built — under raise, a RACE001 input
+        # is refused outright instead of being transformed and scheduled.
+        self._verify_admissible(kernel, ndrange)
         malleable = self._malleable_for(kernel, ndrange.work_dim)
         if setting.uses_gpu:
             mod, alloc = throttle_settings(

@@ -75,6 +75,51 @@ class AtomicWorklist:
         return self.next >= self.limit
 
 
+def _verify_legality(
+    cpu_info: KernelInfo,
+    gpu_kernel: MalleableKernel | None,
+    args: dict[str, Any],
+    ndrange: NDRange,
+    dop_gpu_mod: int,
+    dop_gpu_alloc: int,
+) -> None:
+    """Admission legality gate for every dynamic-schedule execution.
+
+    Under ``DOPIA_VERIFY`` the original kernel — and, when the GPU side is
+    active, the malleable variant at this throttle — must verify for this
+    launch before any work-group is claimed; ``raise`` refuses RACE001
+    inputs outright.  All callers of :func:`run_dynamic` (the runtime, the
+    serving workers, chains) pass through here, so the gate cannot be
+    bypassed by a new execution path.  The default ``off`` costs one env
+    lookup; verified launches are cached per (kernel, launch shape).
+    """
+    import os
+
+    if os.environ.get("DOPIA_VERIFY", "off").strip().lower() in ("", "off"):
+        return
+    from ..analysis.verify import (
+        LaunchSpec,
+        apply_policy,
+        current_policy,
+        verify_launch_cached,
+    )
+
+    policy = current_policy()
+    if policy == "off":
+        return
+    apply_policy(
+        verify_launch_cached(cpu_info, LaunchSpec.from_args(ndrange, args)),
+        policy)
+    if gpu_kernel is not None:
+        gpu_args = dict(args)
+        gpu_args[MOD_PARAM] = dop_gpu_mod
+        gpu_args[ALLOC_PARAM] = dop_gpu_alloc
+        apply_policy(
+            verify_launch_cached(gpu_kernel.info,
+                                 LaunchSpec.from_args(ndrange, gpu_args)),
+            policy)
+
+
 def run_dynamic(
     cpu_info: KernelInfo,
     gpu_kernel: MalleableKernel,
@@ -106,6 +151,9 @@ def run_dynamic(
     use_gpu = setting.uses_gpu
     if not use_cpu and not use_gpu:
         raise ValueError("at least one device must be active")
+
+    _verify_legality(cpu_info, gpu_kernel if use_gpu else None, args,
+                     ndrange, dop_gpu_mod, dop_gpu_alloc)
 
     cpu_executor = (
         make_executor(cpu_info, args, ndrange, backend=backend)

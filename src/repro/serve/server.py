@@ -819,6 +819,37 @@ class DopiaServer:
         spec = LaunchSpec.from_args(ndrange, args)
         apply_policy(verify_launch_cached(prepared.info, spec), policy)
 
+    def admission_report(self, workload: Workload,
+                         args: Optional[dict[str, Any]] = None) -> dict:
+        """The admission legality report for one workload's launch.
+
+        Returns the ``dopia lint --json`` document shape (schema version,
+        one report with per-pass verdicts and diagnostics) for the exact
+        launch the admission gate verifies, so multi-client callers can
+        query *why* a handle was refused under ``DOPIA_VERIFY=raise`` —
+        e.g. the RACE001 diagnostic with its witness work-items — without
+        re-submitting or parsing a traceback.  ``args`` defaults to the
+        workload's own deterministic argument binding (the shapes are
+        what matter; verification never reads buffer contents).
+
+        Unlike launching, this endpoint always runs the verifier — it is
+        a diagnostic query, independent of the ``DOPIA_VERIFY`` policy.
+        """
+        import json
+
+        import numpy as np
+
+        from ..analysis.diagnostics import report_to_json
+        from ..analysis.verify import LaunchSpec, verify_launch_cached
+
+        prepared = self._prepare(workload)
+        ndrange = workload.ndrange()
+        if args is None:
+            args = workload.full_args(np.random.default_rng(0))
+        report = verify_launch_cached(
+            prepared.info, LaunchSpec.from_args(ndrange, args))
+        return json.loads(report_to_json([report]))
+
     # -- prediction -----------------------------------------------------------
 
     def _predict(self, meta: _LaunchMeta,

@@ -1,0 +1,188 @@
+"""Property tests: the constraint solver against brute-force enumeration.
+
+``solve_system`` is the foundation of every race/OOB proof the verifier
+emits, so it is cross-checked here the only way a decision procedure can
+be: against exhaustive enumeration over small boxes.  SAT witnesses must
+satisfy every constraint and every box; UNSAT claims must survive a full
+sweep of the box product; ``unknown`` is only acceptable when the node
+budget was deliberately starved.
+
+The div/mod section mirrors the encoding the access model emits for
+generated 2-D schedulers (``q = id / K``, ``r = id % K`` becomes
+``id - K*q - r == 0, 0 <= r <= K-1``) and checks the solver agrees with
+direct enumeration of ``id`` alone.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linsolve import (
+    OPS,
+    SAT,
+    UNSAT,
+    Constraint,
+    Verdict,
+    solve_linear,
+    solve_system,
+)
+
+VAR_NAMES = ("x", "y", "z")
+
+
+def brute_force(constraints, bounds):
+    """Every assignment in the box product satisfying all constraints."""
+    names = sorted(bounds)
+    ranges = [range(bounds[n][0], bounds[n][1] + 1) for n in names]
+    for values in itertools.product(*ranges):
+        env = dict(zip(names, values))
+        if all(c.holds(sum(coeff * env[n] for n, coeff in c.terms.items())
+                       + c.const)
+               for c in constraints):
+            yield env
+
+
+def assert_witness_valid(verdict: Verdict, constraints, bounds):
+    assert verdict.witness is not None
+    for name, (lo, hi) in bounds.items():
+        value = verdict.witness.get(name)
+        assert value is not None and lo <= value <= hi, (name, value)
+    for constraint in constraints:
+        total = sum(coeff * verdict.witness[name]
+                    for name, coeff in constraint.terms.items())
+        assert constraint.holds(total + constraint.const), constraint
+
+
+@st.composite
+def small_system(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=3))
+    names = VAR_NAMES[:n_vars]
+    bounds = {}
+    for name in names:
+        lo = draw(st.integers(min_value=-4, max_value=3))
+        bounds[name] = (lo, lo + draw(st.integers(min_value=0, max_value=5)))
+    constraints = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        used = draw(st.lists(st.sampled_from(names), min_size=1,
+                             max_size=n_vars, unique=True))
+        terms = {name: draw(st.integers(min_value=-5, max_value=5)
+                            .filter(bool))
+                 for name in used}
+        constraints.append(Constraint(
+            terms=terms,
+            const=draw(st.integers(min_value=-12, max_value=12)),
+            op=draw(st.sampled_from(OPS)),
+        ))
+    return constraints, bounds
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=300, deadline=None)
+    @given(system=small_system())
+    def test_solver_matches_enumeration(self, system):
+        constraints, bounds = system
+        verdict = solve_system(constraints, bounds)
+        # boxes this small never exhaust the default budget
+        assert verdict.status in (SAT, UNSAT)
+        if verdict.is_sat:
+            assert_witness_valid(verdict, constraints, bounds)
+        else:
+            assert next(iter(brute_force(constraints, bounds)), None) is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(system=small_system())
+    def test_solve_linear_wrapper_agrees(self, system):
+        """The historical single-equation entry point must agree with the
+        system solver it now wraps (extra constraints attached)."""
+        constraints, bounds = system
+        head, *rest = constraints
+        if head.op != "==":
+            head = Constraint(terms=head.terms, const=head.const, op="==")
+            constraints = [head, *rest]
+        wrapped = solve_linear(head.terms, head.const, bounds, extra=rest)
+        direct = solve_system(constraints, bounds)
+        assert wrapped.status == direct.status
+
+
+class TestDivModEncoding:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        hi=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=1, max_value=9),
+        coeff_q=st.integers(min_value=-3, max_value=3),
+        coeff_r=st.integers(min_value=-3, max_value=3),
+        const=st.integers(min_value=-20, max_value=20),
+        op=st.sampled_from(OPS),
+    )
+    def test_matches_direct_enumeration_of_id(self, hi, k, coeff_q,
+                                              coeff_r, const, op):
+        """Probe constraints over (q, r) decide exactly like enumerating
+        ``id`` and computing ``id // k`` / ``id % k`` directly."""
+        bounds = {
+            "id": (0, hi),
+            "q": (0, hi // k),
+            "r": (0, min(k - 1, hi)),
+        }
+        defining = Constraint({"id": 1, "q": -k, "r": -1}, 0, "==")
+        probe = Constraint({"q": coeff_q, "r": coeff_r}, const, op)
+        verdict = solve_system([defining, probe], bounds)
+        truth = any(
+            probe.holds(coeff_q * (i // k) + coeff_r * (i % k) + const)
+            for i in range(hi + 1))
+        assert verdict.status == (SAT if truth else UNSAT)
+        if verdict.is_sat:
+            witness = verdict.witness
+            assert witness["q"] == witness["id"] // k
+            assert witness["r"] == witness["id"] % k
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hi=st.integers(min_value=0, max_value=30),
+        k1=st.integers(min_value=2, max_value=6),
+        k2=st.integers(min_value=2, max_value=6),
+        target=st.integers(min_value=0, max_value=10),
+    )
+    def test_chained_decomposition(self, hi, k1, k2, target):
+        """``(id / k1) % k2 == target`` via a chained (q2, r2) pair over
+        the first quotient — the shape 2-D-in-1-D schedulers produce."""
+        bounds = {
+            "id": (0, hi),
+            "q1": (0, hi // k1),
+            "r1": (0, min(k1 - 1, hi)),
+            "q2": (0, (hi // k1) // k2),
+            "r2": (0, min(k2 - 1, hi // k1)),
+        }
+        system = [
+            Constraint({"id": 1, "q1": -k1, "r1": -1}, 0, "=="),
+            Constraint({"q1": 1, "q2": -k2, "r2": -1}, 0, "=="),
+            Constraint({"r2": 1}, -target, "=="),
+        ]
+        verdict = solve_system(system, bounds)
+        truth = any((i // k1) % k2 == target for i in range(hi + 1))
+        assert verdict.status == (SAT if truth else UNSAT)
+
+    def test_same_group_claims_are_disjoint(self):
+        """The canonical race query: two distinct ids in one 4x4 tile
+        cannot produce the same (row, col) pair — UNSAT by congruence."""
+        bounds = {
+            "idA": (0, 15), "qA": (0, 3), "rA": (0, 3),
+            "idB": (0, 15), "qB": (0, 3), "rB": (0, 3),
+        }
+        system = [
+            Constraint({"idA": 1, "qA": -4, "rA": -1}, 0, "=="),
+            Constraint({"idB": 1, "qB": -4, "rB": -1}, 0, "=="),
+            # same address: 16*q + r equal on both sides
+            Constraint({"qA": 16, "rA": 1, "qB": -16, "rB": -1}, 0, "=="),
+            # distinct work-items
+            Constraint({"idA": 1, "idB": -1}, 0, "!="),
+        ]
+        assert solve_system(system, bounds).is_unsat
+
+    def test_budget_starvation_is_unknown_not_wrong(self):
+        bounds = {f"v{i}": (-30, 30) for i in range(6)}
+        system = [Constraint({f"v{i}": 2 * i + 3 for i in range(6)}, -1,
+                             "==")]
+        verdict = solve_system(system, bounds, node_budget=2)
+        assert verdict.status == "unknown"
+        assert verdict.nodes >= 2

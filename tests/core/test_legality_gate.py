@@ -1,0 +1,102 @@
+"""The admission legality gate: verification before building or running.
+
+Under ``DOPIA_VERIFY=raise`` a launch whose kernel the verifier convicts
+(RACE001 at this geometry) must be refused *before* any variant is built
+or any work-group is claimed — at the runtime's functional-execution
+entry, and independently inside ``run_dynamic`` so serving workers and
+chains cannot bypass the gate through a different code path.  Clean
+kernels pass through unchanged, and the default ``off`` policy keeps
+everything as permissive as before.
+"""
+
+import numpy as np
+import pytest
+
+from repro import cl
+from repro.analysis.verify import VerifyError
+from repro.core import run_dynamic
+from repro.frontend import analyze_kernel, parse_kernel
+from repro.interp import NDRange
+from repro.sim import DopSetting
+from repro.transform import make_malleable
+
+RACY = """
+__kernel void racy(__global float* c, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) c[0] = (float)i;
+}
+"""
+
+CLEAN = """
+__kernel void ok(__global float* c, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) c[i] = (float)i;
+}
+"""
+
+
+def launch_through_runtime(runtime, source, name):
+    ctx = cl.create_context("kaveri")
+    with cl.interposed(runtime):
+        program = ctx.create_program_with_source(source).build()
+        kernel = program.create_kernel(name)
+        kernel.set_args(ctx.create_buffer(np.zeros(64)), 64)
+        queue = cl.create_command_queue(ctx, functional=True)
+        queue.enqueue_nd_range_kernel(kernel, (64,), (16,))
+
+
+class TestRuntimeGate:
+    def test_raise_refuses_racy_launch(self, trained_runtime, monkeypatch):
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        with pytest.raises(VerifyError) as excinfo:
+            launch_through_runtime(trained_runtime, RACY, "racy")
+        assert any(d.code == "RACE001"
+                   for d in excinfo.value.report.diagnostics)
+
+    def test_raise_passes_clean_launch(self, trained_runtime, monkeypatch):
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        launch_through_runtime(trained_runtime, CLEAN, "ok")
+
+    def test_off_admits_racy_launch(self, trained_runtime, monkeypatch):
+        monkeypatch.delenv("DOPIA_VERIFY", raising=False)
+        launch_through_runtime(trained_runtime, RACY, "racy")
+
+    def test_warn_admits_but_reports(self, trained_runtime, monkeypatch,
+                                     capsys):
+        monkeypatch.setenv("DOPIA_VERIFY", "warn")
+        launch_through_runtime(trained_runtime, RACY, "racy")
+        assert "RACE001" in capsys.readouterr().err
+
+
+class TestSchedulerGate:
+    """``run_dynamic`` re-checks legality itself: every execution path —
+    runtime, serving workers, chains — funnels through it."""
+
+    def _prepared(self, source):
+        info = analyze_kernel(parse_kernel(source))
+        return info, make_malleable(source, work_dim=1)
+
+    def test_raise_refuses_inside_run_dynamic(self, monkeypatch):
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        info, malleable = self._prepared(RACY)
+        with pytest.raises(VerifyError):
+            run_dynamic(info, malleable, {"c": np.zeros(64), "n": 64},
+                        NDRange(64, 16), DopSetting(2, 0.5),
+                        dop_gpu_mod=2, dop_gpu_alloc=1)
+
+    def test_raise_passes_clean_kernel(self, monkeypatch):
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        info, malleable = self._prepared(CLEAN)
+        buffer = np.zeros(64)
+        run_dynamic(info, malleable, {"c": buffer, "n": 64},
+                    NDRange(64, 16), DopSetting(2, 0.5),
+                    dop_gpu_mod=2, dop_gpu_alloc=1)
+        assert buffer[5] == 5.0
+
+    def test_off_is_the_permissive_default(self, monkeypatch):
+        monkeypatch.delenv("DOPIA_VERIFY", raising=False)
+        info, malleable = self._prepared(RACY)
+        run_dynamic(info, malleable, {"c": np.zeros(64), "n": 64},
+                    NDRange(64, 16), DopSetting(2, 0.5))

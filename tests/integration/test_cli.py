@@ -202,3 +202,89 @@ class TestCacheCommand:
         assert "removed 2 cache file(s)" in out
         out = run_cli(capsys, "cache", "info")
         assert "shards    : 0" in out
+
+
+class TestLintStats:
+    """``dopia lint --stats``: verdict counts plus the unknown ratchet."""
+
+    def test_stats_printed_for_clean_workload(self, capsys):
+        code = main(["lint", "GESUMMV/24/wg8", "--stats"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "lint: stats: races: clean=1" in err
+        assert "lint: stats: no unknown verdicts" in err
+
+    def test_unlisted_unknown_fails_the_ratchet(self, capsys):
+        # SpMV's indirect column addressing is outside the OOB envelope
+        code = main(["lint", "SpMV/32/wg8", "--stats"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "UNKNOWN verdict outside allowlist: SpMV/32/wg8#oob" in err
+
+    def test_allowlist_excuses_known_unknowns(self, capsys, tmp_path):
+        allowlist = tmp_path / "allow.json"
+        allowlist.write_text('["SpMV/32/wg8#oob"]')
+        code = main(["lint", "SpMV/32/wg8", "--stats",
+                     "--allow-unknown", str(allowlist)])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "1 unknown verdict(s), all allowlisted" in err
+
+    def test_stale_allowlist_entry_is_flagged(self, capsys, tmp_path):
+        allowlist = tmp_path / "allow.json"
+        allowlist.write_text('["GESUMMV/24/wg8#oob"]')
+        code = main(["lint", "GESUMMV/24/wg8", "--stats",
+                     "--allow-unknown", str(allowlist)])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert ("allowlist entry no longer unknown (ratchet it): "
+                "GESUMMV/24/wg8#oob") in err
+
+    def test_committed_allowlist_covers_the_registry(self, capsys):
+        """The CI invocation in miniature: the committed allowlist must
+        excuse exactly the registry's remaining unknowns."""
+        code = main(["lint", "SpMV/32/wg8", "PageRank/32/wg8", "--stats",
+                     "--allow-unknown", "LINT_ALLOWLIST.json"])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "all allowlisted" in err
+
+    def test_baseline_regeneration_hint_on_improvement(self, capsys,
+                                                       tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        code = main(["lint", "GESUMMV/24/wg8", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        # age the baseline: pretend races used to be unknown
+        document["reports"][0]["verdicts"]["races"] = "unknown"
+        baseline.write_text(json.dumps(document))
+        code = main(["lint", "GESUMMV/24/wg8", "--check", str(baseline)])
+        err = capsys.readouterr().err
+        assert code == 0  # improvements warn, never fail
+        assert "IMPROVED verdict: GESUMMV/24/wg8: races: unknown -> clean" \
+            in err
+        assert "baseline is stale; regenerate it with:" in err
+        assert f"--json > {baseline}" in err
+
+    def test_verdict_regression_fails_the_check(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        code = main(["lint", "GESUMMV/24/wg8", "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        # pretend the baseline proved a pass this run cannot
+        document["reports"][0]["verdicts"]["oob"] = "clean"
+        current = json.dumps(document)
+        document["reports"][0]["verdicts"]["oob"] = "unknown"
+        # the *baseline* is the stronger document; regenerating from the
+        # current run would silently lose the proof
+        baseline.write_text(current)
+
+        from repro.analysis.lint import diff_baseline
+
+        diff = diff_baseline(json.dumps(document), current)
+        assert diff.regressed == ["GESUMMV/24/wg8: oob: clean -> unknown"]
+        assert not diff.clean

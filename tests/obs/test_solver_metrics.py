@@ -1,0 +1,78 @@
+"""Solver-effort observability: the verifier exports its search cost.
+
+Every traced ``verify_launch`` emits ``verify.solver_nodes`` (cumulative
+branch-and-prune nodes), ``verify.solver_budget_exhausted`` when a query
+hit the node budget, and one ``verify.solver_unknown_total.<pass>``
+counter per pass that ends at ``unknown`` — the inputs to ``dopia
+stats`` and the CI ratchet's denominator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import LaunchSpec, verify_launch
+from repro.frontend.parser import parse, parse_kernel
+from repro.frontend.semantics import analyze_kernel
+from repro.interp.ndrange import NDRange
+from repro.obs import tracer
+
+TILED = """
+__kernel void tiled(__global float* A, int nx)
+{
+    int id = get_global_id(0);
+    A[(id / nx) * nx + (id % nx)] = 1.0f;
+}
+"""
+
+INDIRECT = """
+__kernel void gather(__global float* out, __global int* col, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) out[i] = (float)col[col[i]];
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer.disable()
+    tracer.clear()
+    yield
+    tracer.disable()
+    tracer.clear()
+
+
+def info_of(source):
+    return analyze_kernel(parse_kernel(source), parse(source))
+
+
+def traced_verify(source, **args):
+    tracer.enable()
+    info = info_of(source)
+    report = verify_launch(
+        info, LaunchSpec.from_args(NDRange((64,), (16,)), args))
+    return report, dict(tracer.counters)
+
+
+class TestSolverMetrics:
+    def test_solver_nodes_counted_for_divmod_proof(self):
+        report, counters = traced_verify(TILED, A=np.zeros(64), nx=8)
+        assert report.verdicts["races"] == "clean"
+        # the (q, r) defining system forces real search work
+        assert counters.get("verify.solver_nodes", 0) > 0
+        assert "verify.solver_budget_exhausted" not in counters
+
+    def test_unknown_verdicts_counted_per_pass(self):
+        report, counters = traced_verify(
+            INDIRECT, out=np.zeros(64),
+            col=np.zeros(64, dtype=np.int32), n=64)
+        assert report.verdicts["oob"] == "unknown"
+        assert counters.get("verify.solver_unknown_total.oob") == 1.0
+        # races resolved: no race-pass unknown counter
+        assert "verify.solver_unknown_total.races" not in counters
+
+    def test_disabled_tracer_records_nothing(self):
+        info = info_of(TILED)
+        verify_launch(info, LaunchSpec.from_args(
+            NDRange((64,), (16,)), {"A": np.zeros(64), "nx": 8}))
+        assert tracer.counters == {}

@@ -1,0 +1,88 @@
+"""The server's admission-report endpoint.
+
+``DopiaServer.admission_report`` answers *why* a launch handle was (or
+would be) refused by the admission legality gate: it returns the same
+schema-versioned JSON document ``dopia lint --json`` emits, for the
+exact launch the gate verifies.  The endpoint is a diagnostic query —
+it runs regardless of the ``DOPIA_VERIFY`` policy — so these tests pin
+the document shape, the RACE001 refusal round-trip under ``raise``, and
+agreement between gate and report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import SCHEMA_VERSION
+from repro.analysis.verify import VerifyError
+from repro.serve import DopiaServer
+from repro.sim import KAVERI
+from repro.workloads import Workload, scaled_real_workloads
+
+RACY_SRC = """
+__kernel void racy(__global float* c, int n)
+{
+    int i = get_global_id(0);
+    if (i < n) c[0] = (float)i;
+}
+"""
+
+
+def racy_workload():
+    return Workload(
+        key="racy-test", source=RACY_SRC, kernel_name="racy",
+        global_size=(64,), local_size=(16,), scalar_args={"n": 64},
+        buffer_builder=lambda w, rng: {"c": np.zeros(64)},
+    )
+
+
+def clean_2d_workload():
+    return {w.key: w for w in scaled_real_workloads()}["2DCONV/12/wg4x4"]
+
+
+class TestAdmissionReport:
+    def test_refused_launch_and_report_agree(self, trained_model,
+                                             monkeypatch):
+        """A RACE001 launch fails its handle under ``raise``; the report
+        endpoint then explains the refusal in the lint JSON shape."""
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        workload = racy_workload()
+        with DopiaServer(KAVERI, trained_model, workers=1) as server:
+            session = server.session("legal")
+            handle = session.launch(workload, args=workload.full_args(0))
+            with pytest.raises(VerifyError):
+                handle.result(timeout=60)
+
+            document = server.admission_report(workload)
+            assert document["schema_version"] == SCHEMA_VERSION
+            (report,) = document["reports"]
+            assert report["verdicts"]["races"] == "diagnosed"
+            races = [d for d in report["diagnostics"]
+                     if d["code"] == "RACE001"]
+            assert races
+            assert races[0]["severity"] == "error"
+
+    def test_report_runs_even_with_policy_off(self, trained_model,
+                                              monkeypatch):
+        monkeypatch.delenv("DOPIA_VERIFY", raising=False)
+        with DopiaServer(KAVERI, trained_model, workers=1) as server:
+            document = server.admission_report(racy_workload())
+            (report,) = document["reports"]
+            assert report["verdicts"]["races"] == "diagnosed"
+
+    def test_clean_2d_workload_reports_proven_verdicts(self, trained_model,
+                                                       monkeypatch):
+        """The div/mod solver's registry payoff, visible at the serving
+        surface: the 2-D workload admits with *proved* verdicts."""
+        monkeypatch.setenv("DOPIA_VERIFY", "raise")
+        workload = clean_2d_workload()
+        with DopiaServer(KAVERI, trained_model, workers=1) as server:
+            session = server.session("legal-2d")
+            result = session.launch(
+                workload, args=workload.full_args(0)).result(timeout=120)
+            assert result is not None
+
+            document = server.admission_report(workload)
+            (report,) = document["reports"]
+            assert report["verdicts"]["races"] == "clean"
+            assert report["verdicts"]["oob"] == "clean"
+            assert report["diagnostics"] == []
